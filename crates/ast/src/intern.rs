@@ -1,0 +1,170 @@
+//! String interning.
+//!
+//! Every identifier in a P program (event names, machine names, state names,
+//! variable names, action names, foreign-function names) is interned into a
+//! compact [`Symbol`]. Symbols are cheap to copy, compare and hash, which
+//! matters because the model checker hashes millions of configurations that
+//! embed symbols.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned string.
+///
+/// Symbols are only meaningful relative to the [`Interner`] that produced
+/// them. All symbols of a single [`crate::Program`] come from the program's
+/// own interner.
+///
+/// # Examples
+///
+/// ```
+/// use p_ast::Interner;
+///
+/// let mut interner = Interner::new();
+/// let a = interner.intern("Elevator");
+/// let b = interner.intern("Elevator");
+/// assert_eq!(a, b);
+/// assert_eq!(interner.resolve(a), "Elevator");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// Returns the raw index of this symbol in its interner.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a symbol from a raw index.
+    ///
+    /// Only indices previously obtained from [`Symbol::index`] on the same
+    /// interner are meaningful.
+    pub fn from_index(index: usize) -> Symbol {
+        Symbol(u32::try_from(index).expect("symbol index overflow"))
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sym#{}", self.0)
+    }
+}
+
+/// A deduplicating store of strings.
+///
+/// # Examples
+///
+/// ```
+/// use p_ast::Interner;
+///
+/// let mut interner = Interner::new();
+/// let unit = interner.intern("unit");
+/// assert_eq!(interner.resolve(unit), "unit");
+/// assert_eq!(interner.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    map: HashMap<String, Symbol>,
+    strings: Vec<String>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Interner {
+        Interner::default()
+    }
+
+    /// Interns `s`, returning the existing symbol if `s` was seen before.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&sym) = self.map.get(s) {
+            return sym;
+        }
+        let sym = Symbol::from_index(self.strings.len());
+        self.strings.push(s.to_owned());
+        self.map.insert(s.to_owned(), sym);
+        sym
+    }
+
+    /// Looks up a string without interning it.
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        self.map.get(s).copied()
+    }
+
+    /// Returns the string for `sym`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` did not come from this interner.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether no strings have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterates over `(symbol, string)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Symbol::from_index(i), s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_deduplicates() {
+        let mut i = Interner::new();
+        let a = i.intern("x");
+        let b = i.intern("y");
+        let c = i.intern("x");
+        assert_eq!(a, c);
+        assert_ne!(a, b);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut i = Interner::new();
+        let names = ["Elevator", "unit", "DoorOpened", "", "a b c"];
+        let syms: Vec<_> = names.iter().map(|n| i.intern(n)).collect();
+        for (sym, name) in syms.iter().zip(names.iter()) {
+            assert_eq!(i.resolve(*sym), *name);
+        }
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut i = Interner::new();
+        assert!(i.get("missing").is_none());
+        let s = i.intern("present");
+        assert_eq!(i.get("present"), Some(s));
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let mut i = Interner::new();
+        i.intern("a");
+        i.intern("b");
+        let collected: Vec<_> = i.iter().map(|(_, s)| s.to_owned()).collect();
+        assert_eq!(collected, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn empty_interner() {
+        let i = Interner::new();
+        assert!(i.is_empty());
+        assert_eq!(i.len(), 0);
+    }
+}

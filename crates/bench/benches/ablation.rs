@@ -1,0 +1,40 @@
+//! Criterion bench for the atomicity-reduction ablation (E5): exhaustive
+//! exploration with scheduling at send/create (the §5 reduction) vs.
+//! after every small step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use p_core::semantics::Granularity;
+use p_core::{corpus, CheckerOptions, Verifier};
+
+fn bench_ablation(c: &mut Criterion) {
+    let program = corpus::elevator_with_budget(1);
+    let lowered = p_core::semantics::lower(&program).unwrap();
+    let mut group = c.benchmark_group("ablation/elevator");
+    group.sample_size(10);
+
+    group.bench_function("atomic", |b| {
+        b.iter(|| {
+            let r = Verifier::new(&lowered).check_exhaustive();
+            assert!(r.passed());
+            r.stats.unique_states
+        })
+    });
+
+    group.bench_function("fine_grained", |b| {
+        b.iter(|| {
+            let r = Verifier::new(&lowered)
+                .with_options(CheckerOptions {
+                    granularity: Granularity::Fine,
+                    ..CheckerOptions::default()
+                })
+                .check_exhaustive();
+            assert!(r.passed());
+            r.stats.unique_states
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

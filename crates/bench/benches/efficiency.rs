@@ -1,0 +1,37 @@
+//! Criterion bench for the §4.1 efficiency comparison: per-event cost of
+//! the P-runtime driver vs. the hand-written driver on the same script.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use p_bench::baseline::{efficiency_script, HandwrittenDriver};
+use p_bench::figures::{p_driver_feed, p_driver_runtime};
+
+fn bench_efficiency(c: &mut Criterion) {
+    let script = efficiency_script(200);
+    let mut group = c.benchmark_group("efficiency");
+    group.throughput(Throughput::Elements(script.len() as u64));
+
+    group.bench_function("p_runtime_driver", |b| {
+        b.iter(|| {
+            let (runtime, id) = p_driver_runtime();
+            for e in &script {
+                p_driver_feed(&runtime, id, *e);
+            }
+            runtime.events_processed()
+        })
+    });
+
+    group.bench_function("handwritten_driver", |b| {
+        b.iter(|| {
+            let mut driver = HandwrittenDriver::new();
+            for e in &script {
+                driver.handle(*e);
+            }
+            driver.completions.len()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_efficiency);
+criterion_main!(benches);

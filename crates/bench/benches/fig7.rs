@@ -1,0 +1,25 @@
+//! Criterion bench for Figure 7: delay-bounded exploration cost per delay
+//! budget, one group per benchmark program.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use p_bench::figures::fig7_programs;
+
+fn bench_fig7(c: &mut Criterion) {
+    for (name, compiled) in fig7_programs() {
+        let mut group = c.benchmark_group(format!("fig7/{name}"));
+        group.sample_size(10);
+        for d in [0usize, 1, 2, 4] {
+            group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, &d| {
+                b.iter(|| {
+                    let r = compiled.verify_delay_bounded(d);
+                    assert!(r.report.passed());
+                    r.report.stats.unique_states
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

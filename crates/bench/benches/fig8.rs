@@ -1,0 +1,24 @@
+//! Criterion bench for Figure 8: exhaustive exploration of each USB
+//! machine analog.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use p_core::{corpus, Compiled};
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(10);
+    for (name, program) in corpus::figure8_machines() {
+        let compiled = Compiled::from_program(program).unwrap();
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let r = compiled.verify();
+                assert!(r.passed());
+                r.stats.unique_states
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

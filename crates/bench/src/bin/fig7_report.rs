@@ -1,0 +1,57 @@
+//! Regenerates Figure 7: states explored as a function of the delay
+//! bound, for the Elevator, Switch-LED and German benchmarks.
+//!
+//! The paper scales Switch-LED by ×10 and Elevator by ×100 "to make the
+//! graphs legible"; we print raw counts plus the same scaled series.
+//!
+//! ```sh
+//! cargo run -p p-bench --bin fig7_report
+//! ```
+
+use p_bench::figures::{exhaustive_states, fig7_programs, fig7_series};
+
+fn main() {
+    let max_d = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12);
+
+    println!("Figure 7 — states explored vs. delay bound (d = 0..={max_d})\n");
+
+    for (name, compiled) in fig7_programs() {
+        let scale = match name {
+            "Elevator" => 100,
+            "Switch-LED" => 10,
+            _ => 1,
+        };
+        let full = exhaustive_states(&compiled);
+        println!("{name} (exhaustive = {full} states, paper legibility scale ×{scale}):");
+        println!(
+            "{:>4} {:>10} {:>12} {:>14} {:>10}",
+            "d", "states", "×scale", "sched. nodes", "time"
+        );
+        let series = fig7_series(&compiled, max_d);
+        for p in &series {
+            println!(
+                "{:>4} {:>10} {:>12} {:>14} {:>9.1?}{}",
+                p.delay_bound,
+                p.states,
+                p.states * scale,
+                p.scheduler_nodes,
+                p.duration,
+                if p.states == full { "  <- full coverage" } else { "" }
+            );
+        }
+        let covered = series.iter().find(|p| p.states == full);
+        match covered {
+            Some(p) => println!(
+                "  full state space covered at delay bound {}\n",
+                p.delay_bound
+            ),
+            None => println!(
+                "  coverage at d={max_d}: {:.1}% of exhaustive\n",
+                100.0 * series.last().unwrap().states as f64 / full as f64
+            ),
+        }
+    }
+}

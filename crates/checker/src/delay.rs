@@ -1,0 +1,307 @@
+//! The delay-bounded scheduler of §5.
+//!
+//! The scheduler maintains a stack `S` of machine identifiers and a delay
+//! score. It always runs the machine on top of `S`; the explored schedules
+//! follow the *causal* order of events:
+//!
+//! * when the scheduled machine creates `m'`, `m'` is pushed on `S`;
+//! * when it sends to `m'` and `m' ∉ S`, `m'` is pushed on `S`;
+//! * a *delay* moves the top of `S` to the bottom and increments the
+//!   score.
+//!
+//! Given a budget `d`, the scheduler explores every schedule with at most
+//! `d` delays (plus all resolutions of ghost `*` choices). With `d = 0`
+//! the explored schedule is exactly the causal one the P runtime executes
+//! (§5); as `d → ∞` all schedules are covered.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::time::Instant;
+
+use p_semantics::{Config, Engine, ExecOutcome, MachineId, YieldKind};
+
+use crate::explore::{hash_bytes, initial_machine, reconstruct, Report, Verifier};
+use crate::stats::ExplorationStats;
+use crate::trace::{Counterexample, TraceStep};
+
+/// The scheduler stack `S` plus the delay score, as one explorable node
+/// component.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedulerState {
+    /// The machine stack; front is the top (the machine scheduled next).
+    pub stack: VecDeque<MachineId>,
+    /// Delays spent so far.
+    pub delays: usize,
+}
+
+impl SchedulerState {
+    /// The initial scheduler state: only the initial machine.
+    pub fn initial() -> SchedulerState {
+        SchedulerState {
+            stack: VecDeque::from([initial_machine()]),
+            delays: 0,
+        }
+    }
+
+    /// Removes machines that cannot currently run, keeping stack order.
+    /// Sound because the only ways a waiting machine becomes runnable —
+    /// receiving an event or being created — push it back on `S`.
+    fn normalize(&mut self, engine: &Engine<'_>, config: &Config) {
+        self.stack
+            .retain(|&id| config.machine(id).is_some() && engine.enabled(config, id));
+    }
+
+    /// Applies `r` delay operations (each moves the top to the bottom).
+    fn rotated(&self, r: usize) -> SchedulerState {
+        let mut s = self.clone();
+        for _ in 0..r {
+            if let Some(top) = s.stack.pop_front() {
+                s.stack.push_back(top);
+            }
+        }
+        s.delays += r;
+        s
+    }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.stack.len() as u32).to_le_bytes());
+        for id in &self.stack {
+            out.extend_from_slice(&id.0.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.delays as u64).to_le_bytes());
+    }
+}
+
+/// Report of a delay-bounded exploration.
+#[derive(Debug, Clone)]
+pub struct DelayReport {
+    /// The safety result and statistics. `stats.unique_states` counts
+    /// unique *configurations* (the Figure 7 quantity); scheduler nodes
+    /// are reported separately.
+    pub report: Report,
+    /// The delay budget used.
+    pub delay_bound: usize,
+    /// Unique (configuration, scheduler state) pairs visited.
+    pub scheduler_nodes: usize,
+}
+
+impl Verifier<'_> {
+    /// Delay-bounded systematic testing with the causal delaying scheduler
+    /// of §5.
+    pub fn check_delay_bounded(&self, delay_bound: usize) -> DelayReport {
+        let engine = self.engine();
+        let start = Instant::now();
+        let mut stats = ExplorationStats::default();
+
+        let init = engine.initial_config();
+        let init_sched = SchedulerState::initial();
+
+        let mut config_states: HashSet<u64> = HashSet::new();
+        let init_bytes = init.canonical_bytes();
+        config_states.insert(hash_bytes(&init_bytes));
+        stats.stored_bytes += init_bytes.len();
+
+        let mut node_seen: HashSet<u64> = HashSet::new();
+        let init_node_hash = node_hash(&init_bytes, &init_sched);
+        node_seen.insert(init_node_hash);
+
+        let mut parents: HashMap<u64, (u64, TraceStep)> = HashMap::new();
+        let mut stack: Vec<(Config, SchedulerState, u64, usize)> =
+            vec![(init, init_sched, init_node_hash, 0)];
+
+        while let Some((config, mut sched, nhash, depth)) = stack.pop() {
+            stats.max_depth = stats.max_depth.max(depth);
+            if depth >= self.options().max_depth {
+                stats.truncated = true;
+                continue;
+            }
+            self.note_diagnostics(&engine, &config, &mut stats);
+            sched.normalize(&engine, &config);
+            if sched.stack.is_empty() {
+                continue; // quiescent
+            }
+            let remaining = delay_bound.saturating_sub(sched.delays);
+            let max_rot = remaining.min(sched.stack.len().saturating_sub(1));
+            for r in 0..=max_rot {
+                let rotated = sched.rotated(r);
+                let &machine = rotated.stack.front().expect("normalized non-empty stack");
+                for succ in
+                    crate::succ::successors_for(&engine, &config, machine, self.options().granularity)
+                {
+                    stats.transitions += 1;
+                    let step = TraceStep::from_run(
+                        self.program(),
+                        succ.machine,
+                        &succ.result,
+                        succ.choices.clone(),
+                    );
+                    let mut next_sched = rotated.clone();
+                    match &succ.result.outcome {
+                        ExecOutcome::Error(e) => {
+                            let mut trace = reconstruct(&parents, nhash);
+                            trace.push(step);
+                            stats.duration = start.elapsed();
+                            stats.unique_states = config_states.len();
+                            return DelayReport {
+                                report: Report {
+                                    counterexample: Some(Counterexample {
+                                        error: e.clone(),
+                                        trace,
+                                    }),
+                                    stats,
+                                    complete: false,
+                                },
+                                delay_bound,
+                                scheduler_nodes: node_seen.len(),
+                            };
+                        }
+                        ExecOutcome::Yield(YieldKind::Sent { to, .. }) => {
+                            if !next_sched.stack.contains(to) {
+                                next_sched.stack.push_front(*to);
+                            }
+                        }
+                        ExecOutcome::Yield(YieldKind::Created { id, .. }) => {
+                            next_sched.stack.push_front(*id);
+                        }
+                        ExecOutcome::Yield(YieldKind::Internal) => {
+                            // Fine-grained runs keep the machine on top.
+                        }
+                        ExecOutcome::Blocked => {
+                            // The machine ran to quiescence; it leaves S
+                            // until an event re-enables it.
+                            next_sched.stack.retain(|&id| id != machine);
+                        }
+                        ExecOutcome::Deleted => {
+                            next_sched.stack.retain(|&id| id != machine);
+                        }
+                        ExecOutcome::NeedChoice => {
+                            unreachable!("successors_for resolves all choices")
+                        }
+                    }
+
+                    let bytes = succ.config.canonical_bytes();
+                    let chash = hash_bytes(&bytes);
+                    if config_states.insert(chash) {
+                        stats.stored_bytes += bytes.len();
+                        if config_states.len() > self.options().max_states {
+                            stats.truncated = true;
+                        }
+                    }
+                    if stats.truncated {
+                        continue;
+                    }
+                    let nh = node_hash(&bytes, &next_sched);
+                    if node_seen.insert(nh) {
+                        parents.insert(nh, (nhash, step));
+                        stack.push((succ.config, next_sched, nh, depth + 1));
+                    }
+                }
+            }
+        }
+
+        stats.duration = start.elapsed();
+        stats.unique_states = config_states.len();
+        DelayReport {
+            report: Report {
+                counterexample: None,
+                complete: !stats.truncated,
+                stats,
+            },
+            delay_bound,
+            scheduler_nodes: node_seen.len(),
+        }
+    }
+}
+
+fn node_hash(config_bytes: &[u8], sched: &SchedulerState) -> u64 {
+    let mut bytes = config_bytes.to_vec();
+    sched.encode(&mut bytes);
+    hash_bytes(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p_semantics::{lower, ForeignEnv};
+
+    #[test]
+    fn rotation_moves_top_to_bottom_and_counts_delays() {
+        let s = SchedulerState {
+            stack: VecDeque::from([MachineId(0), MachineId(1), MachineId(2)]),
+            delays: 1,
+        };
+        let r = s.rotated(1);
+        assert_eq!(
+            r.stack,
+            VecDeque::from([MachineId(1), MachineId(2), MachineId(0)])
+        );
+        assert_eq!(r.delays, 2);
+        // Rotating by the stack length is the identity on the stack.
+        let full = s.rotated(3);
+        assert_eq!(full.stack, s.stack);
+        assert_eq!(full.delays, 4);
+    }
+
+    #[test]
+    fn rotation_of_empty_stack_is_safe() {
+        let s = SchedulerState {
+            stack: VecDeque::new(),
+            delays: 0,
+        };
+        let r = s.rotated(5);
+        assert!(r.stack.is_empty());
+        assert_eq!(r.delays, 5);
+    }
+
+    #[test]
+    fn normalize_drops_disabled_and_dead_machines() {
+        let src = r#"
+            event go;
+            machine A { state S { defer go; } }
+            machine B { state T { entry { delete; } } }
+            ghost machine Env {
+                var a : id;
+                var b : id;
+                state D { entry { a := new A(); b := new B(); } }
+            }
+            main Env();
+        "#;
+        let program = lower(&p_parser::parse(src).unwrap()).unwrap();
+        let engine = p_semantics::Engine::new(&program, ForeignEnv::empty());
+        let mut config = engine.initial_config();
+        // Run everything to quiescence.
+        loop {
+            let enabled = engine.enabled_machines(&config);
+            let Some(&id) = enabled.first() else { break };
+            let mut no = || false;
+            engine.run_machine(&mut config, id, &mut no, Default::default());
+        }
+        let mut sched = SchedulerState {
+            stack: VecDeque::from([MachineId(0), MachineId(1), MachineId(2), MachineId(9)]),
+            delays: 0,
+        };
+        sched.normalize(&engine, &config);
+        assert!(
+            sched.stack.is_empty(),
+            "all machines are blocked, deleted or nonexistent: {sched:?}"
+        );
+    }
+
+    #[test]
+    fn encoding_distinguishes_stack_order_and_delays() {
+        let a = SchedulerState {
+            stack: VecDeque::from([MachineId(0), MachineId(1)]),
+            delays: 0,
+        };
+        let b = a.rotated(1);
+        let mut ea = Vec::new();
+        let mut eb = Vec::new();
+        a.encode(&mut ea);
+        b.encode(&mut eb);
+        assert_ne!(ea, eb);
+        let mut c = a.clone();
+        c.delays = 3;
+        let mut ec = Vec::new();
+        c.encode(&mut ec);
+        assert_ne!(ea, ec);
+    }
+}

@@ -1,0 +1,270 @@
+//! Exhaustive explicit-state search (the Zing-substrate analog) and the
+//! option/report types shared by all strategies.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+use std::time::Instant;
+
+use p_semantics::{
+    Config, Engine, ExecOutcome, ForeignEnv, Granularity, LoweredProgram, MachineId,
+};
+
+use crate::stats::ExplorationStats;
+use crate::succ::successors_for;
+use crate::trace::{Counterexample, TraceStep};
+
+/// Bounds and knobs for exploration.
+#[derive(Debug, Clone)]
+pub struct CheckerOptions {
+    /// Stop after visiting this many unique states.
+    pub max_states: usize,
+    /// Depth bound: maximum scheduler decisions along one path
+    /// (the paper's depth-bounding baseline, §1).
+    pub max_depth: usize,
+    /// Scheduling granularity; [`Granularity::Fine`] only for the
+    /// atomicity-reduction ablation.
+    pub granularity: Granularity,
+    /// Small-step budget per atomic run (detects private divergence).
+    pub fuel: usize,
+}
+
+impl Default for CheckerOptions {
+    fn default() -> CheckerOptions {
+        CheckerOptions {
+            max_states: 1_000_000,
+            max_depth: 1_000_000,
+            granularity: Granularity::Atomic,
+            fuel: 100_000,
+        }
+    }
+}
+
+/// Outcome of a safety check.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// The first violation found, with its schedule.
+    pub counterexample: Option<Counterexample>,
+    /// Exploration statistics.
+    pub stats: ExplorationStats,
+    /// Whether the reachable state space was fully covered (within the
+    /// strategy's own bound, e.g. the delay budget).
+    pub complete: bool,
+}
+
+impl Report {
+    /// True when no violation was found.
+    pub fn passed(&self) -> bool {
+        self.counterexample.is_none()
+    }
+}
+
+/// The model checker: systematic testing of a P program per §5.
+///
+/// # Examples
+///
+/// ```
+/// let src = r#"
+///     event done;
+///     machine M {
+///         var x : int;
+///         state Init { entry { x := 1; assert(x == 1); } }
+///     }
+///     main M();
+/// "#;
+/// let program = p_parser::parse(src).unwrap();
+/// let lowered = p_semantics::lower(&program).unwrap();
+/// let verifier = p_checker::Verifier::new(&lowered);
+/// let report = verifier.check_exhaustive();
+/// assert!(report.passed());
+/// assert!(report.complete);
+/// ```
+#[derive(Debug)]
+pub struct Verifier<'p> {
+    program: &'p LoweredProgram,
+    foreign: ForeignEnv,
+    options: CheckerOptions,
+}
+
+impl<'p> Verifier<'p> {
+    /// Creates a verifier with default options and no foreign functions.
+    pub fn new(program: &'p LoweredProgram) -> Verifier<'p> {
+        Verifier {
+            program,
+            foreign: ForeignEnv::empty(),
+            options: CheckerOptions::default(),
+        }
+    }
+
+    /// Supplies foreign-function implementations (which must be
+    /// deterministic and pure for sound exploration).
+    pub fn with_foreign(mut self, foreign: ForeignEnv) -> Verifier<'p> {
+        self.foreign = foreign;
+        self
+    }
+
+    /// Overrides the exploration options.
+    pub fn with_options(mut self, options: CheckerOptions) -> Verifier<'p> {
+        self.options = options;
+        self
+    }
+
+    /// The options in effect.
+    pub fn options(&self) -> &CheckerOptions {
+        &self.options
+    }
+
+    /// The program under check.
+    pub fn program(&self) -> &'p LoweredProgram {
+        self.program
+    }
+
+    pub(crate) fn engine(&self) -> Engine<'p> {
+        Engine::new(self.program, self.foreign.clone()).with_fuel(self.options.fuel)
+    }
+
+    /// Exhaustive search truncated at `max_depth` scheduler decisions —
+    /// the plain depth-bounding baseline the paper contrasts with delay
+    /// bounding (§1, §5).
+    pub fn check_exhaustive_with_depth(&self, max_depth: usize) -> Report {
+        let options = CheckerOptions {
+            max_depth,
+            ..self.options.clone()
+        };
+        Verifier {
+            program: self.program,
+            foreign: self.foreign.clone(),
+            options,
+        }
+        .check_exhaustive()
+    }
+
+    /// Exhaustive depth-first search over all schedules and ghost choices,
+    /// deduplicating states, up to the configured bounds.
+    ///
+    /// This enumerates *all* interleavings at send/create scheduling
+    /// points — the baseline the delay-bounded scheduler is measured
+    /// against.
+    pub fn check_exhaustive(&self) -> Report {
+        let engine = self.engine();
+        let start = Instant::now();
+        let mut stats = ExplorationStats::default();
+
+        let init = engine.initial_config();
+        let init_bytes = init.canonical_bytes();
+        let init_hash = hash_bytes(&init_bytes);
+        stats.stored_bytes += init_bytes.len();
+        stats.unique_states = 1;
+
+        // parent[state] = (parent state, step taken to get here)
+        let mut parents: HashMap<u64, (u64, TraceStep)> = HashMap::new();
+        let mut visited: HashSet<u64> = HashSet::new();
+        visited.insert(init_hash);
+
+        let mut stack: Vec<(Config, u64, usize)> = vec![(init, init_hash, 0)];
+
+        while let Some((config, hash, depth)) = stack.pop() {
+            stats.max_depth = stats.max_depth.max(depth);
+            if depth >= self.options.max_depth {
+                stats.truncated = true;
+                continue;
+            }
+            self.note_diagnostics(&engine, &config, &mut stats);
+            for id in engine.enabled_machines(&config) {
+                for succ in successors_for(&engine, &config, id, self.options.granularity) {
+                    stats.transitions += 1;
+                    let step = TraceStep::from_run(
+                        self.program,
+                        succ.machine,
+                        &succ.result,
+                        succ.choices.clone(),
+                    );
+                    if let ExecOutcome::Error(e) = &succ.result.outcome {
+                        let mut trace = reconstruct(&parents, hash);
+                        trace.push(step);
+                        stats.duration = start.elapsed();
+                        return Report {
+                            counterexample: Some(Counterexample {
+                                error: e.clone(),
+                                trace,
+                            }),
+                            stats,
+                            complete: false,
+                        };
+                    }
+                    let bytes = succ.config.canonical_bytes();
+                    let h = hash_bytes(&bytes);
+                    if visited.insert(h) {
+                        if stats.unique_states >= self.options.max_states {
+                            stats.truncated = true;
+                            continue;
+                        }
+                        stats.unique_states += 1;
+                        stats.stored_bytes += bytes.len();
+                        parents.insert(h, (hash, step));
+                        stack.push((succ.config, h, depth + 1));
+                    }
+                }
+            }
+        }
+
+        stats.duration = start.elapsed();
+        Report {
+            counterexample: None,
+            complete: !stats.truncated,
+            stats,
+        }
+    }
+}
+
+impl Verifier<'_> {
+    /// Records queue-length and quiescence diagnostics for one visited
+    /// configuration.
+    pub(crate) fn note_diagnostics(
+        &self,
+        engine: &Engine<'_>,
+        config: &Config,
+        stats: &mut ExplorationStats,
+    ) {
+        let mut pending = 0usize;
+        for id in config.live_ids() {
+            if let Some(m) = config.machine(id) {
+                stats.max_queue_seen = stats.max_queue_seen.max(m.queue.len());
+                pending += m.queue.len();
+            }
+        }
+        if engine.enabled_machines(config).is_empty() {
+            stats.quiescent_states += 1;
+            if pending > 0 {
+                stats.stuck_states += 1;
+            }
+        }
+    }
+}
+
+/// Hashes a canonical state encoding.
+pub(crate) fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h = DefaultHasher::new();
+    bytes.hash(&mut h);
+    h.finish()
+}
+
+/// Walks the parent map from the initial state to `state`.
+pub(crate) fn reconstruct(
+    parents: &HashMap<u64, (u64, TraceStep)>,
+    mut state: u64,
+) -> Vec<TraceStep> {
+    let mut steps = Vec::new();
+    while let Some((parent, step)) = parents.get(&state) {
+        steps.push(step.clone());
+        state = *parent;
+    }
+    steps.reverse();
+    steps
+}
+
+/// Convenience: the id of the initial machine in a fresh configuration
+/// (always the first allocated).
+pub(crate) fn initial_machine() -> MachineId {
+    MachineId(0)
+}

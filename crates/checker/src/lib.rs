@@ -1,0 +1,72 @@
+//! Systematic testing of P programs — the verification side of the paper
+//! (§5), built on the shared operational-semantics engine of
+//! `p-semantics`.
+//!
+//! The paper validates P programs by interpreting their operational
+//! semantics inside the explicit-state model checker Zing. This crate
+//! plays Zing's role: it enumerates the program's two sources of
+//! nondeterminism — which machine runs at each send/create scheduling
+//! point, and the ghost machines' `*` choices — while deduplicating
+//! states, and it checks the four error transitions of Figure 6
+//! (assertion failures, sends to ⊥, sends to deleted machines, and
+//! unhandled events).
+//!
+//! Strategies:
+//!
+//! * [`Verifier::check_exhaustive`] — full depth-first search (with depth
+//!   and state bounds);
+//! * [`Verifier::check_delay_bounded`] — the paper's novel *delay-bounded
+//!   causal scheduler* (§5): with budget `d = 0` it explores exactly the
+//!   causal schedule the runtime executes, and increasing `d` adds
+//!   schedules that diverge from causal order in at most `d` places;
+//! * [`Verifier::check_random`] — seeded random walks;
+//! * [`Verifier::check_liveness`] — a bounded check of the two liveness
+//!   properties of §3.2 (this reproduction's extension; the paper lists
+//!   liveness verification as future work).
+//!
+//! # Examples
+//!
+//! ```
+//! let src = r#"
+//!     event req;
+//!     machine Server { state Idle { } }
+//!     ghost machine Client {
+//!         var server : id;
+//!         state Init {
+//!             entry {
+//!                 server := new Server();
+//!                 if (*) { send(server, req); }
+//!             }
+//!         }
+//!     }
+//!     main Client();
+//! "#;
+//! let program = p_parser::parse(src).unwrap();
+//! let lowered = p_semantics::lower(&program).unwrap();
+//! let verifier = p_checker::Verifier::new(&lowered);
+//! // `Server.Idle` never handles `req` → unhandled-event violation.
+//! let report = verifier.check_exhaustive();
+//! assert!(!report.passed());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod delay;
+mod explore;
+mod liveness;
+mod random;
+mod replay;
+mod stats;
+mod succ;
+mod trace;
+
+pub use delay::{DelayReport, SchedulerState};
+pub use explore::{CheckerOptions, Report, Verifier};
+pub use liveness::{LivenessReport, LivenessViolation};
+pub use replay::ReplayOutcome;
+pub use stats::ExplorationStats;
+pub use trace::{Counterexample, TraceStep};
+
+#[cfg(test)]
+mod tests;

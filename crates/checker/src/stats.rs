@@ -1,0 +1,97 @@
+//! Exploration statistics — the quantities reported in Figures 7 and 8 of
+//! the paper (states explored, time, memory).
+
+use std::fmt;
+use std::time::Duration;
+
+/// Statistics of one exploration run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExplorationStats {
+    /// Unique global configurations visited.
+    pub unique_states: usize,
+    /// Atomic machine runs executed (edges of the exploration graph,
+    /// including re-visits).
+    pub transitions: usize,
+    /// Deepest path (in atomic runs) reached from the initial state.
+    pub max_depth: usize,
+    /// Wall-clock exploration time.
+    pub duration: Duration,
+    /// Total bytes of canonical state encodings stored — the analog of the
+    /// memory column in Figure 8.
+    pub stored_bytes: usize,
+    /// True if a bound (states, depth, delays) cut the exploration short.
+    pub truncated: bool,
+    /// Longest input queue observed in any visited configuration — a
+    /// flooding diagnostic (the ⊕ rule bounds per-payload duplicates, not
+    /// distinct payloads).
+    pub max_queue_seen: usize,
+    /// Visited configurations with no enabled machine (the system is
+    /// quiescent there).
+    pub quiescent_states: usize,
+    /// Quiescent configurations that still hold undelivered events (every
+    /// pending event is deferred) — potential lost-work states, the
+    /// safety-level shadow of the second liveness property.
+    pub stuck_states: usize,
+}
+
+impl ExplorationStats {
+    /// Approximate memory in mebibytes.
+    pub fn stored_mib(&self) -> f64 {
+        self.stored_bytes as f64 / (1024.0 * 1024.0)
+    }
+
+    /// States visited per second.
+    pub fn states_per_second(&self) -> f64 {
+        let secs = self.duration.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.unique_states as f64 / secs
+        }
+    }
+}
+
+impl fmt::Display for ExplorationStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} states, {} transitions, depth {}, {:.2?}, {:.2} MiB{}",
+            self.unique_states,
+            self.transitions,
+            self.max_depth,
+            self.duration,
+            self.stored_mib(),
+            if self.truncated { " (truncated)" } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_counts() {
+        let s = ExplorationStats {
+            unique_states: 10,
+            transitions: 20,
+            max_depth: 5,
+            duration: Duration::from_millis(3),
+            stored_bytes: 2048,
+            truncated: true,
+            max_queue_seen: 4,
+            quiescent_states: 1,
+            stuck_states: 0,
+        };
+        let text = s.to_string();
+        assert!(text.contains("10 states"));
+        assert!(text.contains("truncated"));
+    }
+
+    #[test]
+    fn rates_handle_zero_duration() {
+        let s = ExplorationStats::default();
+        assert_eq!(s.states_per_second(), 0.0);
+        assert_eq!(s.stored_mib(), 0.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Successor generation: all outcomes of running one machine from one
+//! configuration, across every resolution of its ghost `*` choices.
+
+use p_semantics::{Config, Engine, ExecOutcome, Granularity, MachineId, RunResult, Script};
+
+/// One successor: the configuration after running `machine` with choice
+/// script `choices`.
+#[derive(Debug, Clone)]
+pub(crate) struct Successor {
+    pub config: Config,
+    pub machine: MachineId,
+    pub choices: Vec<bool>,
+    pub result: RunResult,
+}
+
+/// Enumerates all atomic runs of `machine` from `config`: one successor
+/// per complete ghost-choice script. A run that requests a choice beyond
+/// its script is re-executed with the script extended both ways, so the
+/// enumeration is exhaustive.
+pub(crate) fn successors_for(
+    engine: &Engine<'_>,
+    config: &Config,
+    machine: MachineId,
+    granularity: Granularity,
+) -> Vec<Successor> {
+    let mut out = Vec::new();
+    // Depth-first over scripts; `false` is explored first for determinism.
+    let mut pending: Vec<Vec<bool>> = vec![Vec::new()];
+    while let Some(script) = pending.pop() {
+        let mut candidate = config.clone();
+        let mut source = Script::new(&script);
+        let result = engine.run_machine(&mut candidate, machine, &mut source, granularity);
+        match result.outcome {
+            ExecOutcome::NeedChoice => {
+                let mut t = script.clone();
+                t.push(true);
+                pending.push(t);
+                let mut f = script;
+                f.push(false);
+                pending.push(f);
+            }
+            _ => out.push(Successor {
+                config: candidate,
+                machine,
+                choices: script,
+                result,
+            }),
+        }
+    }
+    // Deterministic order regardless of the pending-stack discipline.
+    out.sort_by(|a, b| a.choices.cmp(&b.choices));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p_ast::{Expr, ProgramBuilder, Stmt, Ty};
+    use p_semantics::{lower, ForeignEnv, Value};
+
+    #[test]
+    fn enumerates_all_choice_combinations() {
+        // Two sequential `*` choices → 4 successors.
+        let mut b = ProgramBuilder::new();
+        let mut g = b.ghost_machine("G");
+        g.var("x", Ty::Int);
+        let x = g.sym("x");
+        g.state("S").entry(Stmt::block(vec![
+            Stmt::assign(x, Expr::int(0)),
+            Stmt::if_then(
+                Expr::nondet(),
+                Stmt::assign(x, Expr::binary(p_ast::BinOp::Add, Expr::name(x), Expr::int(1))),
+            ),
+            Stmt::if_then(
+                Expr::nondet(),
+                Stmt::assign(x, Expr::binary(p_ast::BinOp::Add, Expr::name(x), Expr::int(2))),
+            ),
+        ]));
+        g.finish();
+        let program = lower(&b.finish("G")).unwrap();
+        let engine = Engine::new(&program, ForeignEnv::empty());
+        let config = engine.initial_config();
+        let succs = successors_for(&engine, &config, MachineId(0), Granularity::Atomic);
+        assert_eq!(succs.len(), 4);
+        let mut values: Vec<i64> = succs
+            .iter()
+            .map(|s| {
+                s.config.machine(MachineId(0)).unwrap().locals[0]
+                    .as_int()
+                    .unwrap()
+            })
+            .collect();
+        values.sort();
+        assert_eq!(values, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn deterministic_machine_has_single_successor() {
+        let mut b = ProgramBuilder::new();
+        let mut m = b.machine("M");
+        m.var("x", Ty::Int);
+        let x = m.sym("x");
+        m.state("S").entry(Stmt::assign(x, Expr::int(9)));
+        m.finish();
+        let program = lower(&b.finish("M")).unwrap();
+        let engine = Engine::new(&program, ForeignEnv::empty());
+        let config = engine.initial_config();
+        let succs = successors_for(&engine, &config, MachineId(0), Granularity::Atomic);
+        assert_eq!(succs.len(), 1);
+        assert!(succs[0].choices.is_empty());
+        assert_eq!(
+            succs[0].config.machine(MachineId(0)).unwrap().locals[0],
+            Value::Int(9)
+        );
+    }
+
+    #[test]
+    fn original_config_is_untouched() {
+        let mut b = ProgramBuilder::new();
+        let mut g = b.ghost_machine("G");
+        g.var("x", Ty::Int);
+        let x = g.sym("x");
+        g.state("S")
+            .entry(Stmt::if_then(Expr::nondet(), Stmt::assign(x, Expr::int(1))));
+        g.finish();
+        let program = lower(&b.finish("G")).unwrap();
+        let engine = Engine::new(&program, ForeignEnv::empty());
+        let config = engine.initial_config();
+        let before = config.canonical_bytes();
+        let _ = successors_for(&engine, &config, MachineId(0), Granularity::Atomic);
+        assert_eq!(config.canonical_bytes(), before);
+    }
+}

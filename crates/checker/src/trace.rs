@@ -1,0 +1,114 @@
+//! Counterexample traces.
+
+use std::fmt;
+
+use p_semantics::{ExecOutcome, LoweredProgram, MachineId, PError, RunResult, YieldKind};
+
+/// One scheduler decision on a counterexample path: which machine ran and
+/// what its atomic run did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceStep {
+    /// The machine the scheduler ran.
+    pub machine: MachineId,
+    /// Human-readable summary of the run.
+    pub summary: String,
+    /// The ghost-choice script consumed by the run.
+    pub choices: Vec<bool>,
+}
+
+impl TraceStep {
+    /// Builds a step summary from a run result.
+    pub fn from_run(
+        program: &LoweredProgram,
+        machine: MachineId,
+        result: &RunResult,
+        choices: Vec<bool>,
+    ) -> TraceStep {
+        let summary = match &result.outcome {
+            ExecOutcome::Yield(YieldKind::Sent { to, event, enqueued }) => format!(
+                "sent {} to {}{}",
+                program.event_name(*event),
+                to,
+                if *enqueued { "" } else { " (duplicate, dropped)" }
+            ),
+            ExecOutcome::Yield(YieldKind::Created { id, ty }) => {
+                format!("created {} of type {}", id, program.machine_name(*ty))
+            }
+            ExecOutcome::Yield(YieldKind::Internal) => "internal step".to_owned(),
+            ExecOutcome::Blocked => "ran to quiescence".to_owned(),
+            ExecOutcome::Deleted => "deleted itself".to_owned(),
+            ExecOutcome::Error(e) => format!("ERROR: {e}"),
+            ExecOutcome::NeedChoice => "needs more choices (internal)".to_owned(),
+        };
+        TraceStep {
+            machine,
+            summary,
+            choices,
+        }
+    }
+}
+
+impl fmt::Display for TraceStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "machine {}: {}", self.machine, self.summary)?;
+        if !self.choices.is_empty() {
+            write!(f, " [choices: ")?;
+            for c in &self.choices {
+                write!(f, "{}", if *c { '1' } else { '0' })?;
+            }
+            write!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+/// A safety violation with the schedule that reaches it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counterexample {
+    /// The error transition taken.
+    pub error: PError,
+    /// Scheduler decisions from the initial configuration to the error.
+    pub trace: Vec<TraceStep>,
+}
+
+impl fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "error: {}", self.error)?;
+        writeln!(f, "trace ({} steps):", self.trace.len())?;
+        for (i, step) in self.trace.iter().enumerate() {
+            writeln!(f, "  {:>3}. {step}", i + 1)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p_semantics::ErrorKind;
+
+    #[test]
+    fn step_display_shows_choices() {
+        let step = TraceStep {
+            machine: MachineId(1),
+            summary: "ran to quiescence".into(),
+            choices: vec![true, false],
+        };
+        assert_eq!(step.to_string(), "machine #1: ran to quiescence [choices: 10]");
+    }
+
+    #[test]
+    fn counterexample_display_lists_steps() {
+        let cx = Counterexample {
+            error: PError::new(ErrorKind::AssertionFailure, MachineId(0)),
+            trace: vec![TraceStep {
+                machine: MachineId(0),
+                summary: "did things".into(),
+                choices: vec![],
+            }],
+        };
+        let text = cx.to_string();
+        assert!(text.contains("assertion failed"));
+        assert!(text.contains("1. machine #0"));
+    }
+}

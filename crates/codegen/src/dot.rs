@@ -1,0 +1,184 @@
+//! Graphviz DOT export of machine state diagrams.
+//!
+//! P began life with a visual programming interface — Figures 1 and 2 of
+//! the paper are machine diagrams. This module renders any machine (real
+//! or ghost) in the same visual vocabulary: simple edges for step
+//! transitions, double (dashed, here) edges for call transitions, action
+//! bindings as self-annotations, and the deferred set inside the state
+//! node.
+
+use std::fmt::Write as _;
+
+use p_ast::{MachineDecl, Program, TransitionKind};
+
+/// Renders machine `name` of `program` as a DOT digraph, or `None` if no
+/// such machine exists.
+///
+/// # Examples
+///
+/// ```
+/// let src = r#"
+///     event go;
+///     machine M {
+///         state A { on go goto B; }
+///         state B { }
+///     }
+///     main M();
+/// "#;
+/// let program = p_parser::parse(src).unwrap();
+/// let dot = p_codegen::machine_to_dot(&program, "M").unwrap();
+/// assert!(dot.contains("digraph M"));
+/// assert!(dot.contains("A -> B"));
+/// ```
+pub fn machine_to_dot(program: &Program, name: &str) -> Option<String> {
+    let machine = program.machine_named(name)?;
+    Some(render(program, machine))
+}
+
+/// Renders every machine of the program, concatenated (one digraph per
+/// machine, loadable as a multi-graph DOT file).
+pub fn program_to_dot(program: &Program) -> String {
+    program
+        .machines
+        .iter()
+        .map(|m| render(program, m))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn render(program: &Program, machine: &MachineDecl) -> String {
+    let name = |s| program.interner.resolve(s);
+    let mut out = String::new();
+    let title = name(machine.name);
+    let _ = writeln!(out, "digraph {title} {{");
+    let _ = writeln!(out, "    rankdir=TB;");
+    let _ = writeln!(
+        out,
+        "    label=\"{}{title}\";",
+        if machine.ghost { "ghost machine " } else { "machine " }
+    );
+    let _ = writeln!(out, "    node [shape=box, style=rounded];");
+
+    // An invisible entry arrow into the initial state, as in Figure 1.
+    if let Some(init) = machine.init_state() {
+        let _ = writeln!(out, "    __init [shape=point, label=\"\"];");
+        let _ = writeln!(out, "    __init -> {};", name(init.name));
+    }
+
+    for state in &machine.states {
+        let sname = name(state.name);
+        let mut label = sname.to_owned();
+        if !state.deferred.is_empty() {
+            let deferred: Vec<&str> = state.deferred.iter().map(|&e| name(e)).collect();
+            let _ = write!(label, "\\ndefer {{{}}}", deferred.join(", "));
+        }
+        if !state.postponed.is_empty() {
+            let postponed: Vec<&str> = state.postponed.iter().map(|&e| name(e)).collect();
+            let _ = write!(label, "\\npostpone {{{}}}", postponed.join(", "));
+        }
+        let _ = writeln!(out, "    {sname} [label=\"{label}\"];");
+    }
+
+    for t in &machine.transitions {
+        let style = match t.kind {
+            TransitionKind::Step => "solid",
+            // The paper draws call transitions as double edges; dashed +
+            // open arrowhead is the conventional DOT rendering.
+            TransitionKind::Call => "dashed",
+        };
+        let extra = match t.kind {
+            TransitionKind::Step => "",
+            TransitionKind::Call => ", arrowhead=empty, color=gray30",
+        };
+        let _ = writeln!(
+            out,
+            "    {} -> {} [label=\"{}\", style={style}{extra}];",
+            name(t.from),
+            name(t.to),
+            name(t.event)
+        );
+    }
+
+    for b in &machine.bindings {
+        let _ = writeln!(
+            out,
+            "    {0} -> {0} [label=\"{1} / {2}\", style=dotted];",
+            name(b.state),
+            name(b.event),
+            name(b.action)
+        );
+    }
+
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn elevator_like() -> Program {
+        p_parser::parse(
+            r#"
+            event OpenDoor;
+            event DoorOpened;
+            machine Elevator {
+                action Ignore { skip; }
+                state Closed {
+                    defer OpenDoor;
+                    postpone OpenDoor;
+                    on DoorOpened goto Opened;
+                }
+                state Opened {
+                    on OpenDoor push Closed;
+                    on DoorOpened do Ignore;
+                }
+            }
+            ghost machine Env { state S { } }
+            main Env();
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn renders_states_and_edge_kinds() {
+        let p = elevator_like();
+        let dot = machine_to_dot(&p, "Elevator").unwrap();
+        assert!(dot.contains("digraph Elevator {"));
+        assert!(dot.contains("Closed -> Opened [label=\"DoorOpened\", style=solid];"));
+        assert!(dot.contains("Opened -> Closed [label=\"OpenDoor\", style=dashed"));
+        assert!(dot.contains("Opened -> Opened [label=\"DoorOpened / Ignore\", style=dotted];"));
+        assert!(dot.contains("defer {OpenDoor}"));
+        assert!(dot.contains("postpone {OpenDoor}"));
+        assert!(dot.contains("__init -> Closed;"));
+    }
+
+    #[test]
+    fn ghost_machines_are_labeled() {
+        let p = elevator_like();
+        let dot = machine_to_dot(&p, "Env").unwrap();
+        assert!(dot.contains("label=\"ghost machine Env\""));
+    }
+
+    #[test]
+    fn unknown_machine_is_none() {
+        let p = elevator_like();
+        assert!(machine_to_dot(&p, "Nope").is_none());
+    }
+
+    #[test]
+    fn program_export_contains_every_machine() {
+        let p = elevator_like();
+        let dot = program_to_dot(&p);
+        assert!(dot.contains("digraph Elevator"));
+        assert!(dot.contains("digraph Env"));
+    }
+
+    #[test]
+    fn braces_balance() {
+        let p = elevator_like();
+        let dot = program_to_dot(&p);
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+    }
+}

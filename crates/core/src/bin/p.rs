@@ -1,0 +1,305 @@
+//! `p` — the command-line front end of the P toolchain.
+//!
+//! ```text
+//! p check FILE                      parse + static checks
+//! p fmt FILE                        print the normalized program
+//! p info FILE                       machines / states / transitions
+//! p verify FILE [--delay N] [--max-states N] [--fine]
+//! p liveness FILE                   bounded liveness check (§3.2)
+//! p run FILE MACHINE EVENT[:INT]... create a machine and feed it events
+//! p compile FILE [-o OUT.c]         generate the C translation unit (§4)
+//! p dot FILE [MACHINE] [-o OUT.dot] state-diagram export
+//! ```
+
+use std::fs;
+use std::process::ExitCode;
+
+use p_core::{CheckerOptions, Compiled, Value};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        return Err(usage());
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "check" => check(rest),
+        "fmt" => fmt(rest),
+        "info" => info(rest),
+        "verify" => verify(rest),
+        "liveness" => liveness(rest),
+        "run" => run_program(rest),
+        "compile" => compile(rest),
+        "dot" => dot(rest),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage: p <check|fmt|info|verify|liveness|run|compile|dot> FILE [options]\n\
+     \n\
+     p check FILE                      parse + static checks\n\
+     p fmt FILE                        print the normalized program\n\
+     p info FILE                       machines / states / transitions\n\
+     p verify FILE [--delay N] [--max-states N] [--fine]\n\
+     p liveness FILE                   bounded liveness check\n\
+     p run FILE MACHINE EVENT[:INT]... create a machine, feed it events\n\
+     p compile FILE [-o OUT.c]         generate C (section 4 layout)\n\
+     p dot FILE [MACHINE] [-o OUT.dot] state-diagram export"
+        .to_owned()
+}
+
+fn read_source(path: &str) -> Result<String, String> {
+    fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn load(path: &str) -> Result<(String, Compiled), String> {
+    let source = read_source(path)?;
+    let compiled = match Compiled::from_source(&source) {
+        Ok(c) => c,
+        Err(p_core::CompileError::Parse(e)) => {
+            return Err(format!("{path}:{}", e.render(&source)));
+        }
+        Err(e) => return Err(e.to_string()),
+    };
+    Ok((source, compiled))
+}
+
+fn check(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or_else(usage)?;
+    let (_, compiled) = load(path)?;
+    for w in compiled.warnings() {
+        println!("{w}");
+    }
+    println!(
+        "{path}: OK ({} machine(s), {} event(s), {} warning(s))",
+        compiled.program().machines.len(),
+        compiled.program().events.len(),
+        compiled.warnings().len()
+    );
+    Ok(())
+}
+
+fn fmt(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or_else(usage)?;
+    let (_, compiled) = load(path)?;
+    print!("{}", p_core::ast::print_program(compiled.program()));
+    Ok(())
+}
+
+fn info(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or_else(usage)?;
+    let (_, compiled) = load(path)?;
+    let p = compiled.program();
+    println!("{path}:");
+    println!("  events: {}", p.events.len());
+    println!(
+        "  machines: {} ({} ghost)",
+        p.machines.len(),
+        p.ghost_machines().count()
+    );
+    for m in &p.machines {
+        println!(
+            "    {}{}: {} states, {} transitions, {} actions, {} vars",
+            if m.ghost { "ghost " } else { "" },
+            p.name(m.name),
+            m.states.len(),
+            m.transition_count(),
+            m.actions.len(),
+            m.vars.len()
+        );
+    }
+    println!(
+        "  total: {} states, {} transitions",
+        p.total_states(),
+        p.total_transitions()
+    );
+    Ok(())
+}
+
+fn verify(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or_else(usage)?;
+    let (_, compiled) = load(path)?;
+
+    let mut delay: Option<usize> = None;
+    let mut options = CheckerOptions::default();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--delay" => {
+                delay = Some(parse_flag_value(args, &mut i, "--delay")?);
+            }
+            "--max-states" => {
+                options.max_states = parse_flag_value(args, &mut i, "--max-states")?;
+            }
+            "--fine" => {
+                options.granularity = p_core::semantics::Granularity::Fine;
+                i += 1;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+
+    let verifier = compiled.verifier().with_options(options);
+    let (_passed, stats, counterexample) = match delay {
+        None => {
+            let r = verifier.check_exhaustive();
+            (r.passed(), r.stats, r.counterexample)
+        }
+        Some(d) => {
+            let r = verifier.check_delay_bounded(d);
+            println!("delay bound {d}, {} scheduler node(s)", r.scheduler_nodes);
+            (
+                r.report.passed(),
+                r.report.stats,
+                r.report.counterexample,
+            )
+        }
+    };
+
+    println!("{stats}");
+    match counterexample {
+        None => {
+            println!("{path}: PASSED");
+            Ok(())
+        }
+        Some(cx) => {
+            println!("{path}: FAILED\n{cx}");
+            let replayed = compiled.verifier().replay(&cx).reproduced();
+            println!("replay: {}", if replayed { "reproduced" } else { "DIVERGED" });
+            Err("verification failed".to_owned())
+        }
+    }
+}
+
+fn parse_flag_value(args: &[String], i: &mut usize, flag: &str) -> Result<usize, String> {
+    let value = args
+        .get(*i + 1)
+        .ok_or_else(|| format!("{flag} needs a value"))?;
+    let parsed = value
+        .parse()
+        .map_err(|_| format!("{flag}: `{value}` is not a number"))?;
+    *i += 2;
+    Ok(parsed)
+}
+
+fn liveness(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or_else(usage)?;
+    let (_, compiled) = load(path)?;
+    let report = compiled.verify_liveness();
+    println!(
+        "{} state(s), complete = {}",
+        report.stats.unique_states, report.complete
+    );
+    if report.passed() {
+        println!("{path}: no liveness violations");
+        Ok(())
+    } else {
+        for v in &report.violations {
+            println!("violation: {v}");
+        }
+        Err(format!("{} liveness violation(s)", report.violations.len()))
+    }
+}
+
+fn run_program(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or_else(usage)?;
+    let machine = args
+        .get(1)
+        .ok_or("run needs a machine name".to_owned())?;
+    let (_, compiled) = load(path)?;
+    let runtime = compiled
+        .runtime()
+        .map_err(|e| e.to_string())?
+        .start();
+    let id = runtime
+        .create_machine(machine, &[])
+        .map_err(|e| e.to_string())?;
+    println!(
+        "created {machine} {id}, state = {}",
+        runtime.current_state(id).unwrap_or_default()
+    );
+    for spec in &args[2..] {
+        let (event, payload) = match spec.split_once(':') {
+            None => (spec.as_str(), Value::Null),
+            Some((e, v)) => (
+                e,
+                Value::Int(
+                    v.parse()
+                        .map_err(|_| format!("payload `{v}` is not an integer"))?,
+                ),
+            ),
+        };
+        runtime
+            .add_event(id, event, payload)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "  {spec:<24} -> state = {}, queue = {}",
+            runtime.current_state(id).unwrap_or_else(|| "<deleted>".into()),
+            runtime.queue_len(id).unwrap_or(0)
+        );
+    }
+    Ok(())
+}
+
+fn compile(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or_else(usage)?;
+    let (_, compiled) = load(path)?;
+    let out = compiled.emit_c().map_err(|e| e.to_string())?;
+    match output_flag(args)? {
+        Some(target) => {
+            fs::write(&target, &out.code).map_err(|e| format!("cannot write {target}: {e}"))?;
+            println!(
+                "wrote {target}: {} lines, {} functions, {} states",
+                out.stats.lines, out.stats.functions, out.stats.states
+            );
+        }
+        None => print!("{}", out.code),
+    }
+    Ok(())
+}
+
+fn dot(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or_else(usage)?;
+    let (_, compiled) = load(path)?;
+    // Optional machine name (any non-flag second argument).
+    let machine = args.get(1).filter(|a| !a.starts_with('-'));
+    let rendered = match machine {
+        Some(name) => p_core::codegen::machine_to_dot(compiled.program(), name)
+            .ok_or_else(|| format!("no machine named `{name}`"))?,
+        None => p_core::codegen::program_to_dot(compiled.program()),
+    };
+    match output_flag(args)? {
+        Some(target) => {
+            fs::write(&target, &rendered).map_err(|e| format!("cannot write {target}: {e}"))?;
+            println!("wrote {target}");
+        }
+        None => print!("{rendered}"),
+    }
+    Ok(())
+}
+
+fn output_flag(args: &[String]) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == "-o") {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .cloned()
+            .map(Some)
+            .ok_or("-o needs a path".to_owned()),
+    }
+}

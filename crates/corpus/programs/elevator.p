@@ -1,0 +1,253 @@
+// The elevator of Figures 1 and 2 of the paper: a real Elevator machine
+// driven by three ghost machines modeling the environment (User) and the
+// hardware (Door, Timer).
+//
+// The Elevator's control protocol reproduces the paper's structure:
+// explicit deferred sets (CloseDoor is deferred almost everywhere and
+// handled only in OkToClose), an Ignore action for repeated OpenDoor
+// presses, and the StoppingTimer / WaitingForTimer / ReturnState
+// subroutine entered through *call* transitions from Opened and OkToClose
+// and exited by raising StopTimerReturned.
+//
+// CloseDoor can legitimately starve while the user keeps the door open,
+// so it is annotated `postpone` in the states that defer it (§3.2's
+// refined liveness specification).
+
+// user -> elevator
+event OpenDoor;
+event CloseDoor;
+// elevator -> door
+event SendCmdToOpen;
+event SendCmdToClose;
+event SendCmdToStop;
+event SendCmdToReset;
+// door -> elevator
+event DoorOpened;
+event DoorClosed;
+event DoorStopped;
+event ObjectDetected;
+// elevator -> timer
+event StartTimer;
+event StopTimer;
+// timer -> elevator
+event TimerFired;
+event TimerStopped;
+// local events
+event unit;
+event StopTimerReturned;
+
+machine Elevator {
+    ghost var TimerV : id;
+    ghost var DoorV : id;
+
+    action Ignore { skip; }
+
+    state Init {
+        entry {
+            TimerV := new Timer(owner = this);
+            DoorV := new Door(owner = this);
+            raise(unit);
+        }
+        on unit goto Closed;
+    }
+
+    state Closed {
+        defer CloseDoor;
+        postpone CloseDoor;
+        on OpenDoor goto Opening;
+    }
+
+    state Opening {
+        defer CloseDoor;
+        postpone CloseDoor;
+        entry { send(DoorV, SendCmdToOpen); }
+        on OpenDoor do Ignore;
+        on DoorOpened goto Opened;
+    }
+
+    state Opened {
+        defer CloseDoor;
+        postpone CloseDoor;
+        entry {
+            send(DoorV, SendCmdToReset);
+            send(TimerV, StartTimer);
+        }
+        on TimerFired goto OkToClose;
+        on StopTimerReturned goto Opened;
+        on OpenDoor push StoppingTimer;
+    }
+
+    state OkToClose {
+        defer OpenDoor;
+        postpone OpenDoor;
+        entry { send(TimerV, StartTimer); }
+        on TimerFired goto Closing;
+        on StopTimerReturned goto Closing;
+        on CloseDoor push StoppingTimer;
+    }
+
+    state Closing {
+        defer CloseDoor;
+        postpone CloseDoor;
+        entry { send(DoorV, SendCmdToClose); }
+        on OpenDoor goto StoppingDoor;
+        on DoorClosed goto Closed;
+        on ObjectDetected goto Opening;
+    }
+
+    state StoppingDoor {
+        defer CloseDoor;
+        postpone CloseDoor;
+        entry { send(DoorV, SendCmdToStop); }
+        on OpenDoor do Ignore;
+        on DoorOpened goto Opened;
+        on DoorClosed goto Closed;
+        on DoorStopped goto Opening;
+        on ObjectDetected goto Opening;
+    }
+
+    // ---- subroutine: stop the timer, absorbing the fired/stopped race.
+    state StoppingTimer {
+        defer OpenDoor, CloseDoor, ObjectDetected;
+        postpone OpenDoor, CloseDoor, ObjectDetected;
+        entry { send(TimerV, StopTimer); }
+        on TimerFired goto WaitingForTimer;
+        on TimerStopped goto ReturnState;
+    }
+
+    state WaitingForTimer {
+        defer OpenDoor, CloseDoor, ObjectDetected;
+        postpone OpenDoor, CloseDoor, ObjectDetected;
+        on TimerStopped goto ReturnState;
+    }
+
+    state ReturnState {
+        entry { raise(StopTimerReturned); }
+    }
+}
+
+// ---- environment (ghost machines, Figure 2) --------------------------
+
+ghost machine User {
+    var elevator : id;
+    var budget : int;
+
+    state Init {
+        entry {
+            elevator := new Elevator();
+            raise(unit);
+        }
+        on unit goto Loop;
+    }
+
+    state Loop {
+        entry {
+            if (budget > 0) {
+                budget := budget - 1;
+                if (*) {
+                    send(elevator, OpenDoor);
+                } else {
+                    send(elevator, CloseDoor);
+                }
+                raise(unit);
+            }
+        }
+        on unit goto Loop;
+    }
+}
+
+ghost machine Door {
+    var owner : id;
+
+    action IgnoreCmd { skip; }
+
+    state WaitForCmd {
+        on SendCmdToReset do IgnoreCmd;
+        on SendCmdToStop do IgnoreCmd;
+        on SendCmdToOpen goto DoorOpening;
+        on SendCmdToClose goto DoorClosing;
+    }
+
+    state DoorOpening {
+        defer SendCmdToReset;
+        entry {
+            send(owner, DoorOpened);
+            raise(unit);
+        }
+        on unit goto WaitForCmd;
+    }
+
+    state DoorClosing {
+        defer SendCmdToReset;
+        entry {
+            if (*) {
+                send(owner, ObjectDetected);
+                raise(unit);
+            } else {
+                // Local phase marker (the event is only raised, never
+                // sent, so reusing StopTimerReturned as "half closed" is
+                // safe — the elevator never sees it from the door).
+                raise(StopTimerReturned);
+            }
+        }
+        on unit goto WaitForCmd;
+        on StopTimerReturned goto DoorClosingPhase2;
+    }
+
+    state DoorClosingPhase2 {
+        defer SendCmdToReset;
+        entry {
+            if (*) {
+                send(owner, DoorClosed);
+                raise(unit);
+            }
+        }
+        on unit goto WaitForCmd;
+        on SendCmdToStop goto SendDoorStopped;
+    }
+
+    state SendDoorStopped {
+        defer SendCmdToReset;
+        entry {
+            send(owner, DoorStopped);
+            raise(unit);
+        }
+        on unit goto WaitForCmd;
+    }
+}
+
+ghost machine Timer {
+    var owner : id;
+
+    state TimerIdle {
+        on StartTimer goto TimerStarted;
+        on StopTimer goto SendStopResp;
+    }
+
+    state TimerStarted {
+        entry {
+            if (*) { raise(unit); }
+        }
+        on unit goto TimerFiredState;
+        on StopTimer goto SendStopResp;
+    }
+
+    state TimerFiredState {
+        entry {
+            send(owner, TimerFired);
+        }
+        on StartTimer goto TimerStarted;
+        on StopTimer goto SendStopResp;
+    }
+
+    state SendStopResp {
+        entry {
+            send(owner, TimerStopped);
+            raise(unit);
+        }
+        on unit goto TimerIdle;
+        defer StartTimer;
+    }
+}
+
+main User(budget = 2);

@@ -1,0 +1,253 @@
+// A software implementation of German's cache coherence protocol — the
+// third benchmark of Figure 7 of the paper.
+//
+// A Home (directory) machine serializes coherence requests from two
+// Client caches. Shared grants may coexist; an exclusive grant requires
+// invalidating every sharer and the previous owner first. The coherence
+// invariant is checked by assertions in the Home machine: exclusive
+// ownership and sharers never coexist.
+//
+// The environment ghost machine creates the protocol machines and injects
+// a bounded number of DoShared/DoExcl commands into the clients.
+
+// environment -> client
+event DoShared;
+event DoExcl;
+// client -> home (payload: the requesting client)
+event ReqShared : id;
+event ReqExcl : id;
+// home -> client
+event GrantShared;
+event GrantExcl;
+event Invalidate;
+// client -> home (payload: the acknowledging client)
+event InvalidateAck : id;
+// local events
+event unit;
+event waitAck;
+event grantNow;
+
+machine Home {
+    var s1 : id;
+    var s2 : id;
+    var s1v : bool;
+    var s2v : bool;
+    var sharers : int;
+    var exclHeld : bool;
+    var exclOwner : id;
+    var reqClient : id;
+    var pendingInv : int;
+
+    action handleAck {
+        if (s1v) {
+            if (arg == s1) {
+                s1v := false;
+                sharers := sharers - 1;
+            }
+        }
+        if (s2v) {
+            if (arg == s2) {
+                s2v := false;
+                sharers := sharers - 1;
+            }
+        }
+        if (exclHeld) {
+            if (arg == exclOwner) {
+                exclHeld := false;
+            }
+        }
+        pendingInv := pendingInv - 1;
+        if (pendingInv == 0) {
+            raise(grantNow);
+        }
+    }
+
+    state HomeIdle {
+        entry {
+            assert(!(exclHeld && (sharers > 0)));
+            assert(sharers >= 0);
+        }
+        on ReqShared goto CheckShared;
+        on ReqExcl goto CheckExcl;
+    }
+
+    state CheckShared {
+        defer ReqShared, ReqExcl;
+        postpone ReqShared, ReqExcl;
+        entry {
+            reqClient := arg;
+            if (exclHeld) { // bug-seed-marker
+                send(exclOwner, Invalidate);
+                pendingInv := 1;
+                raise(waitAck);
+            } else {
+                raise(grantNow);
+            }
+        }
+        on waitAck goto WaitAckShared;
+        on grantNow goto DoGrantShared;
+    }
+
+    state WaitAckShared {
+        defer ReqShared, ReqExcl;
+        postpone ReqShared, ReqExcl;
+        on InvalidateAck do handleAck;
+        on grantNow goto DoGrantShared;
+    }
+
+    state DoGrantShared {
+        entry {
+            if (s1v) {
+                s2 := reqClient;
+                s2v := true;
+            } else {
+                s1 := reqClient;
+                s1v := true;
+            }
+            sharers := sharers + 1;
+            send(reqClient, GrantShared);
+            raise(unit);
+        }
+        on unit goto HomeIdle;
+    }
+
+    state CheckExcl {
+        defer ReqShared, ReqExcl;
+        postpone ReqShared, ReqExcl;
+        entry {
+            reqClient := arg;
+            pendingInv := 0;
+            if (exclHeld) {
+                send(exclOwner, Invalidate);
+                pendingInv := pendingInv + 1;
+            }
+            if (s1v) {
+                send(s1, Invalidate);
+                pendingInv := pendingInv + 1;
+            }
+            if (s2v) {
+                send(s2, Invalidate);
+                pendingInv := pendingInv + 1;
+            }
+            if (pendingInv == 0) {
+                raise(grantNow);
+            } else {
+                raise(waitAck);
+            }
+        }
+        on grantNow goto DoGrantExcl;
+        on waitAck goto WaitAckExcl;
+    }
+
+    state WaitAckExcl {
+        defer ReqShared, ReqExcl;
+        postpone ReqShared, ReqExcl;
+        on InvalidateAck do handleAck;
+        on grantNow goto DoGrantExcl;
+    }
+
+    state DoGrantExcl {
+        entry {
+            assert(sharers == 0);
+            assert(!exclHeld);
+            exclOwner := reqClient;
+            exclHeld := true;
+            send(reqClient, GrantExcl);
+            raise(unit);
+        }
+        on unit goto HomeIdle;
+    }
+}
+
+machine Client {
+    var home : id;
+
+    action ackInv {
+        send(home, InvalidateAck, this);
+    }
+
+    action ignoreCmd { skip; }
+
+    state Invalid {
+        on DoShared goto AskingShared;
+        on DoExcl goto AskingExcl;
+    }
+
+    state AskingShared {
+        defer DoShared, DoExcl;
+        postpone DoShared, DoExcl;
+        entry { send(home, ReqShared, this); }
+        on GrantShared goto SharedState;
+    }
+
+    state SharedState {
+        on Invalidate goto AckAndInvalid;
+        on DoExcl goto AskingExcl;
+        on DoShared do ignoreCmd;
+    }
+
+    state AskingExcl {
+        defer DoShared, DoExcl;
+        postpone DoShared, DoExcl;
+        entry { send(home, ReqExcl, this); }
+        on Invalidate do ackInv;
+        on GrantExcl goto ExclusiveState;
+    }
+
+    state ExclusiveState {
+        on Invalidate goto AckAndInvalid;
+        on DoShared do ignoreCmd;
+        on DoExcl do ignoreCmd;
+    }
+
+    state AckAndInvalid {
+        entry {
+            send(home, InvalidateAck, this);
+            raise(unit);
+        }
+        on unit goto Invalid;
+    }
+}
+
+ghost machine Env {
+    var h : id;
+    var c1 : id;
+    var c2 : id;
+    var budget : int;
+
+    state Init {
+        entry {
+            h := new Home(s1v = false, s2v = false, sharers = 0,
+                          exclHeld = false, pendingInv = 0);
+            c1 := new Client(home = h);
+            c2 := new Client(home = h);
+            raise(unit);
+        }
+        on unit goto Loop;
+    }
+
+    state Loop {
+        entry {
+            if (budget > 0) {
+                budget := budget - 1;
+                if (*) {
+                    if (*) {
+                        send(c1, DoShared);
+                    } else {
+                        send(c1, DoExcl);
+                    }
+                } else {
+                    if (*) {
+                        send(c2, DoShared);
+                    } else {
+                        send(c2, DoExcl);
+                    }
+                }
+                raise(unit);
+            }
+        }
+        on unit goto Loop;
+    }
+}
+
+main Env(budget = 2);

@@ -1,0 +1,66 @@
+// The quickstart program: a client and a server exchanging ping/pong a
+// bounded number of times, with an assertion tying the two counters
+// together.
+
+event ping : id;
+event pong;
+event unit;
+
+machine Client {
+    var server : id;
+    var sent : int;
+    var received : int;
+    var rounds : int;
+
+    state Init {
+        entry {
+            server := new Server();
+            sent := 0;
+            received := 0;
+            raise(unit);
+        }
+        on unit goto Sending;
+    }
+
+    state Sending {
+        entry {
+            if (sent < rounds) {
+                sent := sent + 1;
+                send(server, ping, this);
+            } else {
+                raise(unit);
+            }
+        }
+        on pong goto Counting;
+        on unit goto Done;
+    }
+
+    state Counting {
+        entry {
+            received := received + 1;
+            assert(received <= sent);
+            raise(unit);
+        }
+        on unit goto Sending;
+    }
+
+    state Done {
+        entry { assert(received == rounds); }
+        defer pong;
+    }
+}
+
+machine Server {
+    var last : id;
+
+    state Waiting {
+        on ping do reply;
+    }
+
+    action reply {
+        last := arg;
+        send(last, pong);
+    }
+}
+
+main Client(rounds = 3);

@@ -1,0 +1,343 @@
+// The switch-and-LED device driver of §4.1 of the paper: one real driver
+// machine (14 control states) and four ghost machines — the OS power
+// model, the application issuing I/O requests, the switch hardware and
+// the LED hardware.
+//
+// The driver serializes un-coordinated events from three sources: power
+// transitions from the OS, set-LED / get-switch requests from the
+// application, and switch-change interrupts from the hardware. Requests
+// arriving while the device is powered off or mid-transfer are explicitly
+// deferred (and `postpone`d, since a hostile environment can starve them
+// legitimately).
+
+// OS -> driver
+event DevicePowerUp;
+event DevicePowerDown;
+// app -> driver
+event IoctlSetLed : int;
+event IoctlGetSwitch;
+// driver -> app
+event IoctlComplete : int;
+event IoctlFailed;
+// driver -> switch hardware
+event ArmSwitch;
+event DisarmSwitch;
+// switch hardware -> driver
+event SwitchStateChange : int;
+event SwitchDisarmed;
+// driver -> LED hardware
+event LedTransfer : int;
+// LED hardware -> driver
+event TransferComplete;
+event TransferFailed;
+// wiring
+event WireDriver : id;
+// local events
+event unit;
+event fail;
+
+machine Driver {
+    var switchState : int;
+    var ledState : int;
+    var pendingLed : int;
+    var retries : int;
+    ghost var appV : id;
+    ghost var switchV : id;
+    ghost var ledV : id;
+
+    action cacheSwitch { switchState := arg; }
+
+    state DInit {
+        entry {
+            retries := 0;
+            raise(unit);
+        }
+        on unit goto PoweredOff;
+    }
+
+    state PoweredOff {
+        defer IoctlSetLed, IoctlGetSwitch;
+        postpone IoctlSetLed, IoctlGetSwitch;
+        on DevicePowerUp goto PoweringUp;
+    }
+
+    state PoweringUp {
+        defer IoctlSetLed, IoctlGetSwitch, DevicePowerDown;
+        postpone IoctlSetLed, IoctlGetSwitch, DevicePowerDown;
+        entry {
+            send(switchV, ArmSwitch);
+            raise(unit);
+        }
+        on unit goto WaitInitialSwitch;
+    }
+
+    state WaitInitialSwitch {
+        defer IoctlSetLed, IoctlGetSwitch, DevicePowerDown;
+        postpone IoctlSetLed, IoctlGetSwitch, DevicePowerDown;
+        on SwitchStateChange goto CacheInitial;
+    }
+
+    state CacheInitial {
+        entry {
+            switchState := arg;
+            raise(unit);
+        }
+        on unit goto Idle;
+    }
+
+    state Idle {
+        on SwitchStateChange do cacheSwitch;
+        on IoctlGetSwitch goto CompletingGet;
+        on IoctlSetLed goto StartingTransfer;
+        on DevicePowerDown goto Disarming;
+    }
+
+    state CompletingGet {
+        entry {
+            send(appV, IoctlComplete, switchState);
+            raise(unit);
+        }
+        on unit goto Idle;
+    }
+
+    state StartingTransfer {
+        entry {
+            pendingLed := arg;
+            send(ledV, LedTransfer, pendingLed);
+            raise(unit);
+        }
+        on unit goto Transferring;
+    }
+
+    state Transferring {
+        defer IoctlSetLed, IoctlGetSwitch, DevicePowerDown;
+        postpone IoctlSetLed, IoctlGetSwitch, DevicePowerDown;
+        defer SwitchStateChange; // bug-seed-marker
+        postpone SwitchStateChange;
+        on TransferComplete goto CompletingSet;
+        on TransferFailed goto RetryingTransfer;
+    }
+
+    state CompletingSet {
+        entry {
+            ledState := pendingLed;
+            retries := 0;
+            send(appV, IoctlComplete, ledState);
+            raise(unit);
+        }
+        on unit goto Idle;
+    }
+
+    state RetryingTransfer {
+        defer IoctlSetLed, IoctlGetSwitch, DevicePowerDown, SwitchStateChange;
+        postpone IoctlSetLed, IoctlGetSwitch, DevicePowerDown, SwitchStateChange;
+        entry {
+            retries := retries + 1;
+            if (retries > 1) {
+                raise(fail);
+            } else {
+                send(ledV, LedTransfer, pendingLed);
+                raise(unit);
+            }
+        }
+        on unit goto Transferring;
+        on fail goto FailingRequest;
+    }
+
+    state FailingRequest {
+        entry {
+            retries := 0;
+            send(appV, IoctlFailed);
+            raise(unit);
+        }
+        on unit goto Idle;
+    }
+
+    state Disarming {
+        defer IoctlSetLed, IoctlGetSwitch, DevicePowerUp;
+        postpone IoctlSetLed, IoctlGetSwitch, DevicePowerUp;
+        entry { send(switchV, DisarmSwitch); }
+        on SwitchStateChange do cacheSwitch;
+        on SwitchDisarmed goto PoweringDown;
+    }
+
+    state PoweringDown {
+        defer IoctlSetLed, IoctlGetSwitch, DevicePowerUp;
+        postpone IoctlSetLed, IoctlGetSwitch, DevicePowerUp;
+        entry { raise(unit); }
+        on unit goto PoweredOff;
+    }
+}
+
+// ---- environment (four ghost machines) -------------------------------
+
+ghost machine OsModel {
+    var sw : id;
+    var led : id;
+    var app : id;
+    var drv : id;
+    var powered : bool;
+    var budget : int;
+
+    state Init {
+        entry {
+            sw := new SwitchHw(flips = 1);
+            led := new LedHw();
+            app := new AppModel(budget = 2);
+            drv := new Driver(switchV = sw, ledV = led, appV = app);
+            send(sw, WireDriver, drv);
+            send(led, WireDriver, drv);
+            send(app, WireDriver, drv);
+            powered := false;
+            raise(unit);
+        }
+        on unit goto Loop;
+    }
+
+    state Loop {
+        entry {
+            if (budget > 0) {
+                budget := budget - 1;
+                if (powered) {
+                    send(drv, DevicePowerDown);
+                    powered := false;
+                } else {
+                    send(drv, DevicePowerUp);
+                    powered := true;
+                }
+                raise(unit);
+            }
+        }
+        on unit goto Loop;
+    }
+}
+
+ghost machine AppModel {
+    var drv : id;
+    var budget : int;
+
+    action noteCompletion { skip; }
+
+    state AInit {
+        // WireDriver doubles as the go signal: the app starts issuing
+        // requests only after the OS wired everything up. The driver's
+        // ghost appV is set through that same event.
+        on WireDriver goto Wire;
+    }
+
+    state Wire {
+        entry {
+            drv := arg;
+            send(drv, IoctlSetLed, 1);
+            raise(unit);
+        }
+        on unit goto ALoop;
+    }
+
+    state ALoop {
+        entry {
+            if (budget > 0) {
+                budget := budget - 1;
+                if (*) {
+                    send(drv, IoctlSetLed, budget);
+                } else {
+                    send(drv, IoctlGetSwitch);
+                }
+                raise(unit);
+            }
+        }
+        on unit goto ALoop;
+        on IoctlComplete do noteCompletion;
+        on IoctlFailed do noteCompletion;
+    }
+}
+
+ghost machine SwitchHw {
+    var driver : id;
+    var armed : bool;
+    var cur : int;
+    var flips : int;
+
+    state SwInit {
+        on WireDriver goto SwWire;
+    }
+
+    state SwWire {
+        entry {
+            driver := arg;
+            cur := 0;
+            raise(unit);
+        }
+        on unit goto SwIdle;
+    }
+
+    state SwIdle {
+        on ArmSwitch goto SwArming;
+        on DisarmSwitch goto SwAckDisarm;
+    }
+
+    state SwArming {
+        entry {
+            send(driver, SwitchStateChange, cur);
+            raise(unit);
+        }
+        on unit goto SwArmed;
+    }
+
+    state SwArmed {
+        entry {
+            if (flips > 0) {
+                if (*) {
+                    flips := flips - 1;
+                    cur := 1 - cur;
+                    send(driver, SwitchStateChange, cur);
+                    raise(unit);
+                }
+            }
+        }
+        on unit goto SwArmed;
+        on DisarmSwitch goto SwAckDisarm;
+    }
+
+    state SwAckDisarm {
+        entry {
+            send(driver, SwitchDisarmed);
+            raise(unit);
+        }
+        on unit goto SwIdle;
+    }
+}
+
+ghost machine LedHw {
+    var driver : id;
+
+    state LInit {
+        on WireDriver goto LWire;
+    }
+
+    state LWire {
+        entry {
+            driver := arg;
+            raise(unit);
+        }
+        on unit goto LIdle;
+    }
+
+    state LIdle {
+        on LedTransfer goto LWork;
+    }
+
+    state LWork {
+        entry {
+            if (*) {
+                send(driver, TransferComplete);
+            } else {
+                send(driver, TransferFailed);
+            }
+            raise(unit);
+        }
+        on unit goto LIdle;
+    }
+}
+
+main OsModel(budget = 2);

@@ -1,0 +1,309 @@
+// Scaled analog of the USB *device* state machine (DSM) of Figure 8 — the
+// largest machine of the paper's case study. The real DeviceSm tracks the
+// USB device lifecycle (detached → attached → powered → default →
+// addressed → configured, with suspend/resume, re-reset and detach at
+// inconvenient moments); a ghost HostModel drives it with a bounded,
+// phase-constrained but nondeterministic stimulus stream, mirroring how
+// the paper "carefully constrains the environment machines".
+
+// host -> device
+event Attach;
+event PowerOn;
+event BusReset;
+event SetAddress : int;
+event GetDescriptor;
+event SetConfiguration : int;
+event DataRequest;
+event Suspend;
+event Resume;
+event Detach;
+// device -> host
+event ResetComplete;
+event AddressAck : int;
+event DescriptorData : int;
+event ConfigAck : int;
+event DataResponse : int;
+event SuspendAck;
+event ResumeAck;
+event DetachAck;
+// local
+event unit;
+
+machine DeviceSm {
+    var addr : int;
+    var cfg : int;
+    var seq : int;
+    ghost var hostV : id;
+
+    // A real USB device STALLs control requests that are invalid in its
+    // current state; here that also absorbs strays created by the queue's
+    // duplicate-suppression rule (the host's phase tracking can drift when
+    // one of its commands is deduplicated away).
+    action stallIt { skip; }
+
+    state Detached {
+        on Attach goto Attached;
+        on PowerOn do stallIt;
+        on BusReset do stallIt;
+        on SetAddress do stallIt;
+        on GetDescriptor do stallIt;
+        on SetConfiguration do stallIt;
+        on DataRequest do stallIt;
+        on Suspend do stallIt;
+        on Resume do stallIt;
+        on Detach do stallIt;
+    }
+
+    state Attached {
+        on PowerOn goto Powered;
+        on Detach goto Cleanup;
+        on Attach do stallIt;
+        on BusReset do stallIt;
+        on SetAddress do stallIt;
+        on GetDescriptor do stallIt;
+        on SetConfiguration do stallIt;
+        on DataRequest do stallIt;
+        on Suspend do stallIt;
+        on Resume do stallIt;
+    }
+
+    state Powered {
+        on BusReset goto Resetting;
+        on Detach goto Cleanup;
+        on Attach do stallIt;
+        on PowerOn do stallIt;
+        on SetAddress do stallIt;
+        on GetDescriptor do stallIt;
+        on SetConfiguration do stallIt;
+        on DataRequest do stallIt;
+        on Suspend do stallIt;
+        on Resume do stallIt;
+    }
+
+    state Resetting {
+        entry {
+            addr := 0;
+            cfg := 0;
+            seq := 0;
+            send(hostV, ResetComplete);
+            raise(unit);
+        }
+        on unit goto DefaultState;
+    }
+
+    state DefaultState {
+        on SetAddress goto SettingAddress;
+        on GetDescriptor goto SendingDescriptorDefault;
+        on BusReset goto Resetting;
+        on Detach goto Cleanup;
+        on Attach do stallIt;
+        on PowerOn do stallIt;
+        on SetConfiguration do stallIt;
+        on DataRequest do stallIt;
+        on Suspend do stallIt;
+        on Resume do stallIt;
+    }
+
+    state SendingDescriptorDefault {
+        entry {
+            send(hostV, DescriptorData, 0);
+            raise(unit);
+        }
+        on unit goto DefaultState;
+    }
+
+    state SettingAddress {
+        entry {
+            addr := arg;
+            assert(addr > 0);
+            send(hostV, AddressAck, addr);
+            raise(unit);
+        }
+        on unit goto AddressState;
+    }
+
+    state AddressState {
+        on GetDescriptor goto SendingDescriptor;
+        on SetConfiguration goto Configuring;
+        on BusReset goto Resetting;
+        on Detach goto Cleanup;
+        on Attach do stallIt;
+        on PowerOn do stallIt;
+        on SetAddress do stallIt;
+        on DataRequest do stallIt;
+        on Suspend do stallIt;
+        on Resume do stallIt;
+    }
+
+    state SendingDescriptor {
+        entry {
+            send(hostV, DescriptorData, addr);
+            raise(unit);
+        }
+        on unit goto AddressState;
+    }
+
+    state Configuring {
+        entry {
+            cfg := arg;
+            assert(addr > 0);
+            assert(cfg > 0);
+            send(hostV, ConfigAck, cfg);
+            raise(unit);
+        }
+        on unit goto Configured;
+    }
+
+    state Configured {
+        on DataRequest goto ServicingData;
+        on GetDescriptor goto SendingDescriptorCfg;
+        on SetConfiguration goto Configuring;
+        on Suspend goto Suspending;
+        on BusReset goto Resetting;
+        on Detach goto Cleanup;
+        on Attach do stallIt;
+        on PowerOn do stallIt;
+        on SetAddress do stallIt;
+        on Resume do stallIt;
+    }
+
+    state SendingDescriptorCfg {
+        entry {
+            send(hostV, DescriptorData, cfg);
+            raise(unit);
+        }
+        on unit goto Configured;
+    }
+
+    state ServicingData {
+        entry {
+            seq := seq + 1;
+            send(hostV, DataResponse, seq);
+            raise(unit);
+        }
+        on unit goto Configured;
+    }
+
+    state Suspending {
+        entry {
+            send(hostV, SuspendAck);
+            raise(unit);
+        }
+        on unit goto Suspended;
+    }
+
+    state Suspended {
+        defer DataRequest, GetDescriptor, SetConfiguration;
+        postpone DataRequest, GetDescriptor, SetConfiguration;
+        on Resume goto Resuming;
+        on BusReset goto Resetting;
+        on Detach goto Cleanup;
+        on Attach do stallIt;
+        on PowerOn do stallIt;
+        on SetAddress do stallIt;
+        on Suspend do stallIt;
+    }
+
+    state Resuming {
+        entry {
+            send(hostV, ResumeAck);
+            raise(unit);
+        }
+        on unit goto Configured;
+    }
+
+    state Cleanup {
+        entry {
+            addr := 0;
+            cfg := 0;
+            send(hostV, DetachAck);
+            raise(unit);
+        }
+        on unit goto Detached;
+    }
+}
+
+ghost machine HostModel {
+    var dev : id;
+    var phase : int;
+    var budget : int;
+
+    action ack { skip; }
+
+    state HInit {
+        entry {
+            dev := new DeviceSm(hostV = this);
+            phase := 0;
+            raise(unit);
+        }
+        on unit goto HLoop;
+    }
+
+    state HLoop {
+        entry {
+            if (budget > 0) {
+                budget := budget - 1;
+                if (phase == 0) {
+                    send(dev, Attach);
+                    phase := 1;
+                } else { if (phase == 1) {
+                    send(dev, PowerOn);
+                    phase := 2;
+                } else { if (phase == 2) {
+                    send(dev, BusReset);
+                    phase := 3;
+                } else { if (phase == 3) {
+                    if (*) {
+                        send(dev, SetAddress, 5);
+                        phase := 4;
+                    } else {
+                        send(dev, BusReset);
+                    }
+                } else { if (phase == 4) {
+                    if (*) {
+                        send(dev, GetDescriptor);
+                    } else { if (*) {
+                        send(dev, SetConfiguration, 1);
+                        phase := 5;
+                    } else {
+                        send(dev, BusReset);
+                        phase := 3;
+                    } }
+                } else { if (phase == 5) {
+                    if (*) {
+                        send(dev, DataRequest);
+                    } else { if (*) {
+                        send(dev, Suspend);
+                        phase := 6;
+                    } else { if (*) {
+                        send(dev, BusReset);
+                        phase := 3;
+                    } else {
+                        send(dev, Detach);
+                        phase := 0;
+                    } } }
+                } else {
+                    if (*) {
+                        send(dev, Resume);
+                        phase := 5;
+                    } else {
+                        send(dev, BusReset);
+                        phase := 3;
+                    }
+                } } } } } }
+                raise(unit);
+            }
+        }
+        on unit goto HLoop;
+        on ResetComplete do ack;
+        on AddressAck do ack;
+        on DescriptorData do ack;
+        on ConfigAck do ack;
+        on DataResponse do ack;
+        on SuspendAck do ack;
+        on ResumeAck do ack;
+        on DetachAck do ack;
+    }
+}
+
+main HostModel(budget = 7);

@@ -1,0 +1,217 @@
+// Scaled analog of the USB *hub* state machine (HSM) of Figure 8: the
+// real HubSm manages hub start/stop and suspend/resume while forwarding
+// port status changes to the OS; ghost machines model the OS and one
+// downstream port.
+
+// OS -> hub
+event HubStart;
+event HubStop;
+event HubSuspend;
+event HubResume;
+// hub -> OS
+event HubNotification : int;
+event HubStarted;
+event HubStopped;
+event HubSuspendAck;
+event HubResumeAck;
+// hub -> port
+event EnablePortNotify;
+event DisablePortNotify;
+// port -> hub
+event PortStatusChange : int;
+event PortNotifyDisabled;
+// wiring + local
+event WirePort : id;
+event unit;
+
+machine HubSm {
+    var lastStatus : int;
+    ghost var osV : id;
+    ghost var portV : id;
+
+    action ignoreChange { skip; }
+
+    state HubOff {
+        on HubStart goto HubStarting;
+        // Stray power commands whose predecessors were deduplicated away.
+        on HubSuspend do ignoreChange;
+        on HubResume do ignoreChange;
+        on HubStop do ignoreChange;
+    }
+
+    state HubStarting {
+        defer HubSuspend, HubStop;
+        postpone HubSuspend, HubStop;
+        entry {
+            send(portV, EnablePortNotify);
+            send(osV, HubStarted);
+            raise(unit);
+        }
+        on unit goto HubReady;
+    }
+
+    state HubReady {
+        on PortStatusChange goto ForwardChange;
+        on HubSuspend goto HubSuspending;
+        on HubStop goto HubStopping;
+        on HubStart do ignoreChange;
+        on HubResume do ignoreChange;
+    }
+
+    state ForwardChange {
+        entry {
+            lastStatus := arg;
+            send(osV, HubNotification, lastStatus);
+            raise(unit);
+        }
+        on unit goto HubReady;
+    }
+
+    state HubSuspending {
+        entry {
+            send(osV, HubSuspendAck);
+            raise(unit);
+        }
+        on unit goto HubSuspended;
+    }
+
+    state HubSuspended {
+        defer PortStatusChange, HubStop;
+        postpone PortStatusChange, HubStop;
+        on HubResume goto HubResuming;
+        on HubSuspend do ignoreChange;
+        on HubStart do ignoreChange;
+    }
+
+    state HubResuming {
+        entry {
+            send(osV, HubResumeAck);
+            raise(unit);
+        }
+        on unit goto HubReady;
+    }
+
+    state HubStopping {
+        defer HubStart;
+        postpone HubStart;
+        entry { send(portV, DisablePortNotify); }
+        on PortStatusChange do ignoreChange;
+        on PortNotifyDisabled goto HubFinishStop;
+    }
+
+    state HubFinishStop {
+        defer HubStart;
+        postpone HubStart;
+        entry {
+            send(osV, HubStopped);
+            raise(unit);
+        }
+        on unit goto HubOff;
+    }
+}
+
+ghost machine OsHub {
+    var hub : id;
+    var port : id;
+    var phase : int; // 0 off, 1 ready, 2 suspended
+    var budget : int;
+
+    action note { skip; }
+
+    state OInit {
+        entry {
+            port := new PortSim(flips = 1);
+            hub := new HubSm(portV = port, osV = this);
+            send(port, WirePort, hub);
+            phase := 0;
+            raise(unit);
+        }
+        on unit goto OLoop;
+    }
+
+    state OLoop {
+        entry {
+            if (budget > 0) {
+                budget := budget - 1;
+                if (phase == 0) {
+                    send(hub, HubStart);
+                    phase := 1;
+                } else { if (phase == 1) {
+                    if (*) {
+                        send(hub, HubSuspend);
+                        phase := 2;
+                    } else {
+                        send(hub, HubStop);
+                        phase := 0;
+                    }
+                } else {
+                    send(hub, HubResume);
+                    phase := 1;
+                } }
+                raise(unit);
+            }
+        }
+        on unit goto OLoop;
+        on HubStarted do note;
+        on HubStopped do note;
+        on HubSuspendAck do note;
+        on HubResumeAck do note;
+        on HubNotification do note;
+    }
+}
+
+ghost machine PortSim {
+    var hub : id;
+    var enabled : bool;
+    var cur : int;
+    var flips : int;
+
+    state PInit {
+        on WirePort goto PWire;
+    }
+
+    state PWire {
+        entry {
+            hub := arg;
+            enabled := false;
+            cur := 0;
+            raise(unit);
+        }
+        on unit goto PLoop;
+    }
+
+    state PLoop {
+        entry {
+            if (enabled && (flips > 0)) {
+                if (*) {
+                    flips := flips - 1;
+                    cur := 1 - cur;
+                    send(hub, PortStatusChange, cur);
+                    raise(unit);
+                }
+            }
+        }
+        on unit goto PLoop;
+        on EnablePortNotify goto PEnabled;
+        on DisablePortNotify goto PDisabled;
+    }
+
+    state PEnabled {
+        entry {
+            enabled := true;
+            raise(unit);
+        }
+        on unit goto PLoop;
+    }
+
+    state PDisabled {
+        entry {
+            enabled := false;
+            send(hub, PortNotifyDisabled);
+            raise(unit);
+        }
+        on unit goto PLoop;
+    }
+}
+
+main OsHub(budget = 3);

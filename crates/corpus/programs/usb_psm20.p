@@ -1,0 +1,276 @@
+// Scaled analog of the USB 2.0 *port* state machine (PSM 2.0) of Figure 8.
+// Compared with the 3.0 port, the 2.0 port adds connect debouncing and an
+// explicit drive-reset handshake before the port is enabled, and models
+// babble/error disable. Driven by a reactive ghost hub controller and a
+// nondeterministic ghost bus.
+
+// hub -> port
+event SuspendPort;
+event ResumePort;
+event ResetPort;
+// port -> hub
+event PortEnabled;
+event PortSuspended;
+event PortResumed;
+event PortDisabled;
+event PortGone;
+event PortConnected;
+// bus hardware -> port
+event DeviceConnect;
+event Disconnect;
+event DebounceDone;
+event ResetDone;
+event ResumeDone;
+event BabbleError;
+// port -> bus hardware
+event StartDebounce;
+event DriveReset;
+event DriveResume;
+// wiring + local
+event WirePort : id;
+event unit;
+
+machine Psm20 {
+    var errorCount : int;
+    ghost var hubV : id;
+    ghost var hwV : id;
+
+    action ignoreIt { skip; }
+
+    state Disconnected2 {
+        on DeviceConnect goto Debouncing;
+        // A Disconnect whose matching connect was absorbed by the queue's
+        // duplicate suppression (the paper's anti-flooding rule) is stray.
+        on Disconnect do ignoreIt;
+        on DebounceDone do ignoreIt;
+        on ResetDone do ignoreIt;
+        on ResumeDone do ignoreIt;
+        on BabbleError do ignoreIt;
+    }
+
+    state Debouncing {
+        defer SuspendPort, ResumePort, ResetPort;
+        postpone SuspendPort, ResumePort, ResetPort;
+        entry {
+            errorCount := 0;
+            send(hwV, StartDebounce);
+        }
+        on DebounceDone goto NotifyConnected;
+        on BabbleError do ignoreIt;
+        on ResetDone do ignoreIt;
+        on ResumeDone do ignoreIt;
+        on Disconnect goto CleanupPort2;
+    }
+
+    state NotifyConnected {
+        entry {
+            send(hubV, PortConnected);
+            raise(unit);
+        }
+        on unit goto AwaitReset;
+    }
+
+    state AwaitReset {
+        defer SuspendPort, ResumePort;
+        postpone SuspendPort, ResumePort;
+        on ResetPort goto DrivingReset;
+        on BabbleError do ignoreIt;
+        // Stale hardware completions from a previous connect session.
+        on DebounceDone do ignoreIt;
+        on ResetDone do ignoreIt;
+        on ResumeDone do ignoreIt;
+        on Disconnect goto CleanupPort2;
+    }
+
+    state DrivingReset {
+        defer SuspendPort, ResumePort, ResetPort;
+        postpone SuspendPort, ResumePort, ResetPort;
+        entry { send(hwV, DriveReset); }
+        on ResetDone goto NotifyEnabled;
+        on BabbleError do ignoreIt;
+        on DebounceDone do ignoreIt;
+        on ResumeDone do ignoreIt;
+        on Disconnect goto CleanupPort2;
+    }
+
+    state NotifyEnabled {
+        entry {
+            send(hubV, PortEnabled);
+            raise(unit);
+        }
+        on unit goto Enabled2;
+    }
+
+    state Enabled2 {
+        on SuspendPort goto SuspendingPort;
+        on ResetPort goto DrivingReset;
+        on ResumePort do ignoreIt;
+        on BabbleError goto DisablingPort;
+        on DebounceDone do ignoreIt;
+        on ResetDone do ignoreIt;
+        on ResumeDone do ignoreIt;
+        on Disconnect goto CleanupPort2;
+    }
+
+    state SuspendingPort {
+        entry {
+            send(hubV, PortSuspended);
+            raise(unit);
+        }
+        on unit goto Suspended2;
+    }
+
+    state Suspended2 {
+        on ResumePort goto ResumingPort;
+        on ResetPort goto DrivingReset;
+        on BabbleError goto DisablingPort;
+        on DebounceDone do ignoreIt;
+        on ResetDone do ignoreIt;
+        on ResumeDone do ignoreIt;
+        on Disconnect goto CleanupPort2;
+    }
+
+    state ResumingPort {
+        defer SuspendPort, ResetPort;
+        postpone SuspendPort, ResetPort;
+        entry { send(hwV, DriveResume); }
+        on ResumeDone goto NotifyResumed;
+        on BabbleError goto DisablingPort;
+        on DebounceDone do ignoreIt;
+        on ResetDone do ignoreIt;
+        on Disconnect goto CleanupPort2;
+    }
+
+    state NotifyResumed {
+        entry {
+            send(hubV, PortResumed);
+            raise(unit);
+        }
+        on unit goto Enabled2;
+    }
+
+    state DisablingPort {
+        entry {
+            errorCount := errorCount + 1;
+            send(hubV, PortDisabled);
+            raise(unit);
+        }
+        on unit goto Disabled2;
+    }
+
+    state Disabled2 {
+        defer SuspendPort, ResumePort;
+        postpone SuspendPort, ResumePort;
+        on ResetPort goto DrivingReset;
+        on BabbleError do ignoreIt;
+        on DebounceDone do ignoreIt;
+        on ResetDone do ignoreIt;
+        on ResumeDone do ignoreIt;
+        on Disconnect goto CleanupPort2;
+    }
+
+    state CleanupPort2 {
+        entry {
+            send(hubV, PortGone);
+            raise(unit);
+        }
+        on unit goto Disconnected2;
+    }
+}
+
+ghost machine HubCtrl20 {
+    var port : id;
+    var hw : id;
+    var budget : int;
+
+    action settle { skip; }
+
+    action onConnected {
+        send(port, ResetPort);
+    }
+
+    action onEnabled {
+        if (*) {
+            send(port, SuspendPort);
+        }
+    }
+
+    action onSuspended {
+        send(port, ResumePort);
+    }
+
+    action onDisabled {
+        send(port, ResetPort);
+    }
+
+    state CInit {
+        entry {
+            hw := new BusHw(budget = budget);
+            port := new Psm20(hubV = this, hwV = hw);
+            send(hw, WirePort, port);
+        }
+        on PortConnected do onConnected;
+        on PortEnabled do onEnabled;
+        on PortSuspended do onSuspended;
+        on PortResumed do settle;
+        on PortDisabled do onDisabled;
+        on PortGone do settle;
+    }
+}
+
+ghost machine BusHw {
+    var port : id;
+    var connected : bool;
+    var budget : int;
+
+    action onDebounce {
+        send(port, DebounceDone);
+    }
+
+    action onReset {
+        send(port, ResetDone);
+    }
+
+    action onResume {
+        send(port, ResumeDone);
+    }
+
+    state BInit {
+        on WirePort goto BWire;
+    }
+
+    state BWire {
+        entry {
+            port := arg;
+            connected := false;
+            raise(unit);
+        }
+        on unit goto BLoop;
+    }
+
+    state BLoop {
+        entry {
+            if (budget > 0) {
+                budget := budget - 1;
+                if (connected) {
+                    if (*) {
+                        send(port, BabbleError);
+                    } else {
+                        send(port, Disconnect);
+                        connected := false;
+                    }
+                } else {
+                    send(port, DeviceConnect);
+                    connected := true;
+                }
+                raise(unit);
+            }
+        }
+        on unit goto BLoop;
+        on StartDebounce do onDebounce;
+        on DriveReset do onReset;
+        on DriveResume do onResume;
+    }
+}
+
+main HubCtrl20(budget = 4);

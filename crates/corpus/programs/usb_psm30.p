@@ -1,0 +1,236 @@
+// Scaled analog of the USB 3.0 *port* state machine (PSM 3.0) of Figure 8:
+// link training, U0 operation, U3 suspend/resume, error recovery and hot
+// reset, driven by a reactive ghost hub controller and a nondeterministic
+// ghost link partner.
+
+// hub -> port
+event SuspendPort;
+event ResumePort;
+event ResetPort;
+// port -> hub
+event PortUp;
+event PortSuspended;
+event PortResumed;
+event PortFailed;
+event PortGone;
+// link hardware -> port
+event DeviceConnect;
+event Disconnect;
+event LinkError;
+event TrainingDone;
+event TrainingFail;
+// port -> link hardware
+event StartTraining;
+event Retrain;
+// wiring + local
+event WirePort : id;
+event unit;
+
+machine Psm30 {
+    var retrainCount : int;
+    ghost var hubV : id;
+    ghost var hwV : id;
+
+    action ignoreIt { skip; }
+
+    state PortDisconnected {
+        on DeviceConnect goto Training;
+        on Disconnect do ignoreIt;
+        on TrainingDone do ignoreIt;
+        on TrainingFail do ignoreIt;
+        on LinkError do ignoreIt;
+    }
+
+    state Training {
+        defer SuspendPort, ResumePort, ResetPort;
+        postpone SuspendPort, ResumePort, ResetPort;
+        entry {
+            retrainCount := 0;
+            send(hwV, StartTraining);
+        }
+        on LinkError do ignoreIt;
+        on TrainingDone goto EnteringU0;
+        on TrainingFail goto RetryTraining;
+        on Disconnect goto CleanupPort;
+    }
+
+    state RetryTraining {
+        defer SuspendPort, ResumePort, ResetPort;
+        postpone SuspendPort, ResumePort, ResetPort;
+        entry {
+            retrainCount := retrainCount + 1;
+            if (retrainCount > 1) {
+                send(hubV, PortFailed);
+                raise(unit);
+            } else {
+                send(hwV, Retrain);
+            }
+        }
+        on unit goto PortError;
+        on LinkError do ignoreIt;
+        on TrainingDone goto EnteringU0;
+        on TrainingFail goto RetryTraining;
+        on Disconnect goto CleanupPort;
+    }
+
+    state EnteringU0 {
+        entry {
+            send(hubV, PortUp);
+            raise(unit);
+        }
+        on unit goto U0;
+    }
+
+    state U0 {
+        on LinkError goto Recovery;
+        on SuspendPort goto EnteringU3;
+        on ResetPort goto Training;
+        on Disconnect goto CleanupPort;
+        on ResumePort do ignoreIt;
+        // Stale training responses from a previous connect session.
+        on TrainingDone do ignoreIt;
+        on TrainingFail do ignoreIt;
+    }
+
+    state Recovery {
+        defer SuspendPort, ResumePort, ResetPort;
+        postpone SuspendPort, ResumePort, ResetPort;
+        entry {
+            send(hwV, Retrain);
+        }
+        on LinkError do ignoreIt;
+        on TrainingDone goto U0;
+        on TrainingFail goto RetryTraining;
+        on Disconnect goto CleanupPort;
+    }
+
+    state EnteringU3 {
+        entry {
+            send(hubV, PortSuspended);
+            raise(unit);
+        }
+        on unit goto U3;
+    }
+
+    state U3 {
+        on LinkError do ignoreIt;
+        on ResumePort goto ExitingU3;
+        on ResetPort goto Training;
+        on Disconnect goto CleanupPort;
+        on TrainingDone do ignoreIt;
+        on TrainingFail do ignoreIt;
+    }
+
+    state ExitingU3 {
+        entry {
+            send(hubV, PortResumed);
+            raise(unit);
+        }
+        on unit goto U0;
+    }
+
+    state PortError {
+        defer SuspendPort, ResumePort;
+        postpone SuspendPort, ResumePort;
+        on LinkError do ignoreIt;
+        on TrainingDone do ignoreIt;
+        on TrainingFail do ignoreIt;
+        on ResetPort goto Training;
+        on Disconnect goto CleanupPort;
+    }
+
+    state CleanupPort {
+        entry {
+            send(hubV, PortGone);
+            raise(unit);
+        }
+        on unit goto PortDisconnected;
+    }
+}
+
+ghost machine HubCtrl {
+    var port : id;
+    var hw : id;
+    var budget : int;
+
+    action settle { skip; }
+
+    action onUp {
+        if (*) {
+            send(port, SuspendPort);
+        }
+    }
+
+    action onSuspended {
+        send(port, ResumePort);
+    }
+
+    action onFailed {
+        send(port, ResetPort);
+    }
+
+    state CInit {
+        entry {
+            hw := new LinkHw(budget = budget);
+            port := new Psm30(hubV = this, hwV = hw);
+            send(hw, WirePort, port);
+        }
+        on PortUp do onUp;
+        on PortSuspended do onSuspended;
+        on PortResumed do settle;
+        on PortFailed do onFailed;
+        on PortGone do settle;
+    }
+}
+
+ghost machine LinkHw {
+    var port : id;
+    var connected : bool;
+    var budget : int;
+
+    action onTrainReq {
+        if (*) {
+            send(port, TrainingDone);
+        } else {
+            send(port, TrainingFail);
+        }
+    }
+
+    state LInit {
+        on WirePort goto LWire;
+    }
+
+    state LWire {
+        entry {
+            port := arg;
+            connected := false;
+            raise(unit);
+        }
+        on unit goto LLoop;
+    }
+
+    state LLoop {
+        entry {
+            if (budget > 0) {
+                budget := budget - 1;
+                if (connected) {
+                    if (*) {
+                        send(port, LinkError);
+                    } else {
+                        send(port, Disconnect);
+                        connected := false;
+                    }
+                } else {
+                    send(port, DeviceConnect);
+                    connected := true;
+                }
+                raise(unit);
+            }
+        }
+        on unit goto LLoop;
+        on StartTraining do onTrainReq;
+        on Retrain do onTrainReq;
+    }
+}
+
+main HubCtrl(budget = 3);

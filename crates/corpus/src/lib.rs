@@ -1,0 +1,203 @@
+//! The benchmark corpus: every P program used in the paper's evaluation,
+//! reconstructed from the paper's figures and descriptions.
+//!
+//! * [`ping_pong`] — the quickstart example;
+//! * [`elevator`] — Figures 1 and 2 (Elevator + User/Door/Timer ghosts);
+//! * [`switch_led`] — the switch-and-LED device driver of §4.1 (one real
+//!   driver machine, four ghost machines);
+//! * [`german`] — a software implementation of German's cache-coherence
+//!   protocol (the third benchmark of Figure 7);
+//! * [`usb_hsm`] / [`usb_psm30`] / [`usb_psm20`] / [`usb_dsm`] — scaled
+//!   analogs of the four USB 3.0 machines of Figure 8 (hub, 3.0 port,
+//!   2.0 port and device state machines);
+//! * `*_buggy` variants with seeded concurrency bugs, used for the
+//!   "bugs are found within a delay bound of 2" experiment of §5.
+//!
+//! All programs are stored as textual P source (`programs/*.p`) and
+//! parsed on demand; the environment machines take a *budget* parameter
+//! bounding how many stimuli they inject, which is the scaling knob for
+//! the exploration experiments.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use p_ast::Program;
+
+/// Source text of the ping-pong quickstart.
+pub const PING_PONG_SRC: &str = include_str!("../programs/ping_pong.p");
+/// Source text of the elevator (Figures 1–2).
+pub const ELEVATOR_SRC: &str = include_str!("../programs/elevator.p");
+/// Source text of the switch-and-LED driver (§4.1).
+pub const SWITCH_LED_SRC: &str = include_str!("../programs/switch_led.p");
+/// Source text of German's cache-coherence protocol (two clients).
+pub const GERMAN_SRC: &str = include_str!("../programs/german.p");
+/// Source text of German's protocol with three clients.
+pub const GERMAN3_SRC: &str = include_str!("../programs/german3.p");
+/// Source text of the USB hub state machine analog (Figure 8, HSM).
+pub const USB_HSM_SRC: &str = include_str!("../programs/usb_hsm.p");
+/// Source text of the USB 3.0 port state machine analog (Figure 8, PSM 3.0).
+pub const USB_PSM30_SRC: &str = include_str!("../programs/usb_psm30.p");
+/// Source text of the USB 2.0 port state machine analog (Figure 8, PSM 2.0).
+pub const USB_PSM20_SRC: &str = include_str!("../programs/usb_psm20.p");
+/// Source text of the USB device state machine analog (Figure 8, DSM).
+pub const USB_DSM_SRC: &str = include_str!("../programs/usb_dsm.p");
+
+fn parse(source: &str, what: &str) -> Program {
+    match p_parser::parse(source) {
+        Ok(p) => p,
+        Err(e) => panic!("corpus program {what} failed to parse: {}", e.render(source)),
+    }
+}
+
+/// Replaces the `budget = N` argument of the `main` declaration.
+fn with_budget(source: &str, budget: i64) -> String {
+    let Some(pos) = source.rfind("budget = ") else {
+        return source.to_owned();
+    };
+    let tail = &source[pos..];
+    let end = tail.find(')').expect("main initializer list is closed");
+    format!(
+        "{}budget = {budget}{}",
+        &source[..pos],
+        &source[pos + end..]
+    )
+}
+
+/// The ping-pong quickstart program.
+pub fn ping_pong() -> Program {
+    parse(PING_PONG_SRC, "ping_pong")
+}
+
+/// The elevator of Figures 1–2, with the default user budget.
+pub fn elevator() -> Program {
+    parse(ELEVATOR_SRC, "elevator")
+}
+
+/// The elevator with `budget` user stimuli (the Figure 7 scaling knob).
+pub fn elevator_with_budget(budget: i64) -> Program {
+    parse(&with_budget(ELEVATOR_SRC, budget), "elevator")
+}
+
+/// The elevator with a seeded bug: `Opening` no longer ignores repeated
+/// `OpenDoor` presses, so a second press while the door is opening is an
+/// unhandled event. Found at small delay bounds (§5).
+pub fn elevator_buggy() -> Program {
+    let src = ELEVATOR_SRC.replace(
+        "        on OpenDoor do Ignore;\n        on DoorOpened goto Opened;\n",
+        "        on DoorOpened goto Opened;\n",
+    );
+    assert_ne!(src, ELEVATOR_SRC, "bug seeding must change the program");
+    parse(&src, "elevator_buggy")
+}
+
+/// The switch-and-LED driver of §4.1, default stimulus budget.
+pub fn switch_led() -> Program {
+    parse(SWITCH_LED_SRC, "switch_led")
+}
+
+/// The switch-and-LED driver with `budget` OS/hardware stimuli.
+pub fn switch_led_with_budget(budget: i64) -> Program {
+    parse(&with_budget(SWITCH_LED_SRC, budget), "switch_led")
+}
+
+/// The switch-and-LED driver with a seeded bug: the driver forgets to
+/// defer `SwitchStateChange` while a LED transfer is in flight, so a
+/// switch flip racing the transfer is an unhandled event.
+pub fn switch_led_buggy() -> Program {
+    let src = SWITCH_LED_SRC.replace(
+        "        defer SwitchStateChange; // bug-seed-marker\n",
+        "",
+    );
+    assert_ne!(src, SWITCH_LED_SRC, "bug seeding must change the program");
+    parse(&src, "switch_led_buggy")
+}
+
+/// German's cache-coherence protocol with two clients.
+pub fn german() -> Program {
+    parse(GERMAN_SRC, "german")
+}
+
+/// German's protocol with `budget` client requests.
+pub fn german_with_budget(budget: i64) -> Program {
+    parse(&with_budget(GERMAN_SRC, budget), "german")
+}
+
+/// German's protocol with three clients (multi-sharer invalidation).
+pub fn german3() -> Program {
+    parse(GERMAN3_SRC, "german3")
+}
+
+/// Three-client German with `budget` requests.
+pub fn german3_with_budget(budget: i64) -> Program {
+    parse(&with_budget(GERMAN3_SRC, budget), "german3")
+}
+
+/// German's protocol with a seeded bug: the home node grants shared
+/// access without first invalidating the exclusive owner, so exclusive
+/// ownership and sharers coexist — caught by the coherence assertion.
+pub fn german_buggy() -> Program {
+    let src = GERMAN_SRC.replace(
+        "if (exclHeld) { // bug-seed-marker",
+        "if (false) {",
+    );
+    assert_ne!(src, GERMAN_SRC, "bug seeding must change the program");
+    parse(&src, "german_buggy")
+}
+
+/// The USB hub state machine analog (Figure 8, HSM).
+pub fn usb_hsm() -> Program {
+    parse(USB_HSM_SRC, "usb_hsm")
+}
+
+/// The USB 3.0 port state machine analog (Figure 8, PSM 3.0).
+pub fn usb_psm30() -> Program {
+    parse(USB_PSM30_SRC, "usb_psm30")
+}
+
+/// The USB 2.0 port state machine analog (Figure 8, PSM 2.0).
+pub fn usb_psm20() -> Program {
+    parse(USB_PSM20_SRC, "usb_psm20")
+}
+
+/// The USB device state machine analog (Figure 8, DSM).
+pub fn usb_dsm() -> Program {
+    parse(USB_DSM_SRC, "usb_dsm")
+}
+
+/// Every corpus program with its name (buggy variants excluded).
+pub fn all() -> Vec<(&'static str, Program)> {
+    vec![
+        ("ping_pong", ping_pong()),
+        ("elevator", elevator()),
+        ("switch_led", switch_led()),
+        ("german", german()),
+        ("german3", german3()),
+        ("usb_hsm", usb_hsm()),
+        ("usb_psm30", usb_psm30()),
+        ("usb_psm20", usb_psm20()),
+        ("usb_dsm", usb_dsm()),
+    ]
+}
+
+/// The three Figure 7 benchmarks with their buggy variants:
+/// `(name, correct, buggy)`.
+pub fn figure7_benchmarks() -> Vec<(&'static str, Program, Program)> {
+    vec![
+        ("elevator", elevator(), elevator_buggy()),
+        ("switch_led", switch_led(), switch_led_buggy()),
+        ("german", german(), german_buggy()),
+    ]
+}
+
+/// The four Figure 8 machines: `(name, program)`.
+pub fn figure8_machines() -> Vec<(&'static str, Program)> {
+    vec![
+        ("HSM", usb_hsm()),
+        ("PSM 3.0", usb_psm30()),
+        ("PSM 2.0", usb_psm20()),
+        ("DSM", usb_dsm()),
+    ]
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,197 @@
+//! Corpus validation: every program parses, checks, and verifies; every
+//! buggy variant is caught — within a delay bound of 2, as §5 claims.
+
+use p_checker::{CheckerOptions, Verifier};
+use p_semantics::lower;
+
+use super::*;
+
+fn verify_ok(program: &Program, name: &str) -> p_checker::Report {
+    p_typecheck::check(program).unwrap_or_else(|e| panic!("{name} failed checks: {e}"));
+    let lowered = lower(program).unwrap();
+    let report = Verifier::new(&lowered)
+        .with_options(CheckerOptions {
+            max_states: 500_000,
+            ..CheckerOptions::default()
+        })
+        .check_exhaustive();
+    if let Some(cx) = &report.counterexample {
+        panic!("{name} has a safety violation:\n{cx}");
+    }
+    assert!(report.complete, "{name} exploration truncated");
+    report
+}
+
+#[test]
+fn ping_pong_verifies() {
+    let r = verify_ok(&ping_pong(), "ping_pong");
+    assert!(r.stats.unique_states > 5);
+}
+
+#[test]
+fn elevator_verifies() {
+    let r = verify_ok(&elevator(), "elevator");
+    assert!(r.stats.unique_states > 50);
+}
+
+#[test]
+fn switch_led_verifies() {
+    let r = verify_ok(&switch_led(), "switch_led");
+    assert!(r.stats.unique_states > 50);
+}
+
+#[test]
+fn german_verifies() {
+    let r = verify_ok(&german(), "german");
+    assert!(r.stats.unique_states > 50);
+}
+
+#[test]
+fn german3_verifies_and_scales_past_german2() {
+    let r3 = verify_ok(&german3(), "german3");
+    let r2 = verify_ok(&german(), "german");
+    assert!(
+        r3.stats.unique_states > r2.stats.unique_states,
+        "3 clients must explore more: {} vs {}",
+        r3.stats.unique_states,
+        r2.stats.unique_states
+    );
+}
+
+#[test]
+fn usb_machines_verify() {
+    for (name, program) in figure8_machines() {
+        verify_ok(&program, name);
+    }
+}
+
+#[test]
+fn all_programs_typecheck() {
+    for (name, program) in all() {
+        p_typecheck::check(&program).unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
+
+#[test]
+fn buggy_variants_fail_exhaustive_search() {
+    for (name, _, buggy) in figure7_benchmarks() {
+        let lowered = lower(&buggy).unwrap();
+        let report = Verifier::new(&lowered).check_exhaustive();
+        assert!(
+            !report.passed(),
+            "{name} buggy variant was not caught by exhaustive search"
+        );
+    }
+}
+
+#[test]
+fn bugs_found_within_delay_bound_two() {
+    // The §5 empirical claim: "bugs are found within a delay bound of 2".
+    for (name, _, buggy) in figure7_benchmarks() {
+        let lowered = lower(&buggy).unwrap();
+        let verifier = Verifier::new(&lowered);
+        let found_at = (0..=2).find(|&d| {
+            !verifier.check_delay_bounded(d).report.passed()
+        });
+        assert!(
+            found_at.is_some(),
+            "{name} bug not found within delay bound 2"
+        );
+    }
+}
+
+#[test]
+fn correct_programs_pass_delay_bounded_checking() {
+    for (name, correct, _) in figure7_benchmarks() {
+        let lowered = lower(&correct).unwrap();
+        let verifier = Verifier::new(&lowered);
+        for d in 0..=2 {
+            let report = verifier.check_delay_bounded(d);
+            assert!(
+                report.report.passed(),
+                "{name} false positive at delay bound {d}: {:?}",
+                report.report.counterexample
+            );
+        }
+    }
+}
+
+#[test]
+fn elevator_budget_scales_state_space() {
+    let small = lower(&elevator_with_budget(1)).unwrap();
+    let large = lower(&elevator_with_budget(3)).unwrap();
+    let small_states = Verifier::new(&small).check_exhaustive().stats.unique_states;
+    let large_states = Verifier::new(&large).check_exhaustive().stats.unique_states;
+    assert!(
+        large_states > small_states,
+        "budget must scale exploration: {small_states} vs {large_states}"
+    );
+}
+
+#[test]
+fn machine_shapes_match_the_paper() {
+    // §4.1: the switch-and-LED P code has one driver machine with ~15
+    // states and ~23 transitions plus four ghost machines.
+    let p = switch_led();
+    assert_eq!(p.ghost_machines().count(), 4);
+    let driver = p.machine_named("Driver").unwrap();
+    assert!(
+        (12..=16).contains(&driver.states.len()),
+        "driver has {} states",
+        driver.states.len()
+    );
+    assert!(
+        driver.transition_count() >= 20,
+        "driver has {} transitions",
+        driver.transition_count()
+    );
+
+    // Figure 8 ordering: DSM is the largest machine, HSM the smallest.
+    let sizes: Vec<(String, usize)> = figure8_machines()
+        .iter()
+        .map(|(name, p)| {
+            let real = p.real_machines().next().unwrap();
+            (name.to_string(), real.states.len())
+        })
+        .collect();
+    let hsm = sizes.iter().find(|(n, _)| n == "HSM").unwrap().1;
+    let dsm = sizes.iter().find(|(n, _)| n == "DSM").unwrap().1;
+    assert!(dsm > hsm, "DSM ({dsm}) must be larger than HSM ({hsm})");
+}
+
+#[test]
+fn elevator_liveness_passes_with_postpone_annotations() {
+    let program = elevator_with_budget(1);
+    let lowered = lower(&program).unwrap();
+    let report = Verifier::new(&lowered).check_liveness();
+    let starved: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| matches!(v, p_checker::LivenessViolation::EventNeverDequeued { .. }))
+        .collect();
+    assert!(
+        starved.is_empty(),
+        "postponed events must not be flagged: {starved:?}"
+    );
+}
+
+#[test]
+fn budget_substitution_changes_main_only() {
+    let src = with_budget(ELEVATOR_SRC, 7);
+    assert!(src.contains("main User(budget = 7);"));
+    assert_eq!(src.matches("budget = 7").count(), 1);
+}
+
+#[test]
+fn programs_print_and_reparse() {
+    for (name, program) in all() {
+        let text = p_ast::print_program(&program);
+        let reparsed = p_parser::parse(&text)
+            .unwrap_or_else(|e| panic!("{name} failed to reparse: {e}"));
+        assert_eq!(
+            text,
+            p_ast::print_program(&reparsed),
+            "{name} print/parse/print not a fixpoint"
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! Parser diagnostics.
+
+use std::error::Error;
+use std::fmt;
+
+use p_ast::Span;
+
+/// An error produced while lexing or parsing P source text.
+///
+/// # Examples
+///
+/// ```
+/// let err = p_parser::parse("event ;").unwrap_err();
+/// assert!(err.to_string().contains("expected"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    message: String,
+    span: Span,
+}
+
+impl ParseError {
+    /// Creates an error at `span`.
+    pub fn new(message: String, span: Span) -> ParseError {
+        ParseError { message, span }
+    }
+
+    /// The error message (without location).
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// Where the error occurred.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+
+    /// Renders the error with `line:col` information resolved against the
+    /// original source.
+    pub fn render(&self, source: &str) -> String {
+        match self.span.line_col(source) {
+            Some((line, col)) => format!("{}:{}: {}", line, col, self.message),
+            None => self.message.clone(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.span.is_synthetic() {
+            write!(f, "{}", self.message)
+        } else {
+            write!(f, "at bytes {}: {}", self.span, self.message)
+        }
+    }
+}
+
+impl Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_resolves_line_and_column() {
+        let src = "event a;\nevent ;";
+        let err = ParseError::new("expected identifier".to_owned(), Span::new(15, 16));
+        assert_eq!(err.render(src), "2:7: expected identifier");
+    }
+
+    #[test]
+    fn display_without_source() {
+        let err = ParseError::new("boom".to_owned(), Span::new(3, 4));
+        assert_eq!(err.to_string(), "at bytes 3..4: boom");
+        let synth = ParseError::new("boom".to_owned(), Span::SYNTHETIC);
+        assert_eq!(synth.to_string(), "boom");
+    }
+}

@@ -1,0 +1,302 @@
+//! Lexical analysis for the textual P syntax.
+
+use p_ast::Span;
+
+use crate::ParseError;
+
+/// The kind of a lexical token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (keywords are recognized by the parser).
+    Ident,
+    /// An integer literal.
+    Int,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `:=`
+    Assign,
+    /// `=`
+    Eq,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*` (multiplication or nondeterministic choice, by position)
+    Star,
+    /// `/`
+    Slash,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Human-readable description used in error messages.
+    pub fn describe(self) -> &'static str {
+        match self {
+            TokenKind::Ident => "identifier",
+            TokenKind::Int => "integer literal",
+            TokenKind::LBrace => "`{`",
+            TokenKind::RBrace => "`}`",
+            TokenKind::LParen => "`(`",
+            TokenKind::RParen => "`)`",
+            TokenKind::Comma => "`,`",
+            TokenKind::Semi => "`;`",
+            TokenKind::Colon => "`:`",
+            TokenKind::Assign => "`:=`",
+            TokenKind::Eq => "`=`",
+            TokenKind::EqEq => "`==`",
+            TokenKind::Ne => "`!=`",
+            TokenKind::Lt => "`<`",
+            TokenKind::Le => "`<=`",
+            TokenKind::Gt => "`>`",
+            TokenKind::Ge => "`>=`",
+            TokenKind::Plus => "`+`",
+            TokenKind::Minus => "`-`",
+            TokenKind::Star => "`*`",
+            TokenKind::Slash => "`/`",
+            TokenKind::AndAnd => "`&&`",
+            TokenKind::OrOr => "`||`",
+            TokenKind::Bang => "`!`",
+            TokenKind::Eof => "end of input",
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// Byte range in the source.
+    pub span: Span,
+}
+
+impl Token {
+    /// The token's text within `source`.
+    pub fn text<'s>(&self, source: &'s str) -> &'s str {
+        &source[self.span.start as usize..self.span.end as usize]
+    }
+}
+
+/// Tokenizes `source`, producing a token stream terminated by
+/// [`TokenKind::Eof`].
+///
+/// # Errors
+///
+/// Returns an error on any byte that cannot start a token and on
+/// unterminated block comments.
+pub fn lex(source: &str) -> Result<Vec<Token>, ParseError> {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        let start = i;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                i += 1;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let mut j = i + 2;
+                loop {
+                    if j + 1 >= bytes.len() {
+                        return Err(ParseError::new(
+                            "unterminated block comment".to_owned(),
+                            Span::new(start, bytes.len()),
+                        ));
+                    }
+                    if bytes[j] == b'*' && bytes[j + 1] == b'/' {
+                        break;
+                    }
+                    j += 1;
+                }
+                i = j + 2;
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    span: Span::new(start, i),
+                });
+            }
+            b'0'..=b'9' => {
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Int,
+                    span: Span::new(start, i),
+                });
+            }
+            _ => {
+                let two = |a: u8, b2: u8| bytes[i] == a && bytes.get(i + 1) == Some(&b2);
+                let (kind, len) = if two(b':', b'=') {
+                    (TokenKind::Assign, 2)
+                } else if two(b'=', b'=') {
+                    (TokenKind::EqEq, 2)
+                } else if two(b'!', b'=') {
+                    (TokenKind::Ne, 2)
+                } else if two(b'<', b'=') {
+                    (TokenKind::Le, 2)
+                } else if two(b'>', b'=') {
+                    (TokenKind::Ge, 2)
+                } else if two(b'&', b'&') {
+                    (TokenKind::AndAnd, 2)
+                } else if two(b'|', b'|') {
+                    (TokenKind::OrOr, 2)
+                } else {
+                    let kind = match b {
+                        b'{' => TokenKind::LBrace,
+                        b'}' => TokenKind::RBrace,
+                        b'(' => TokenKind::LParen,
+                        b')' => TokenKind::RParen,
+                        b',' => TokenKind::Comma,
+                        b';' => TokenKind::Semi,
+                        b':' => TokenKind::Colon,
+                        b'=' => TokenKind::Eq,
+                        b'<' => TokenKind::Lt,
+                        b'>' => TokenKind::Gt,
+                        b'+' => TokenKind::Plus,
+                        b'-' => TokenKind::Minus,
+                        b'*' => TokenKind::Star,
+                        b'/' => TokenKind::Slash,
+                        b'!' => TokenKind::Bang,
+                        other => {
+                            return Err(ParseError::new(
+                                format!("unexpected character `{}`", other as char),
+                                Span::new(start, start + 1),
+                            ))
+                        }
+                    };
+                    (kind, 1)
+                };
+                i += len;
+                tokens.push(Token {
+                    kind,
+                    span: Span::new(start, i),
+                });
+            }
+        }
+    }
+
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        span: Span::new(bytes.len(), bytes.len()),
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_punctuation() {
+        assert_eq!(
+            kinds(":= == != <= >= && || { } ( ) , ; : = < > + - * / !"),
+            vec![
+                TokenKind::Assign,
+                TokenKind::EqEq,
+                TokenKind::Ne,
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::AndAnd,
+                TokenKind::OrOr,
+                TokenKind::LBrace,
+                TokenKind::RBrace,
+                TokenKind::LParen,
+                TokenKind::RParen,
+                TokenKind::Comma,
+                TokenKind::Semi,
+                TokenKind::Colon,
+                TokenKind::Eq,
+                TokenKind::Lt,
+                TokenKind::Gt,
+                TokenKind::Plus,
+                TokenKind::Minus,
+                TokenKind::Star,
+                TokenKind::Slash,
+                TokenKind::Bang,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_idents_and_ints() {
+        let src = "Elevator x_1 42";
+        let toks = lex(src).unwrap();
+        assert_eq!(toks[0].text(src), "Elevator");
+        assert_eq!(toks[1].text(src), "x_1");
+        assert_eq!(toks[2].kind, TokenKind::Int);
+        assert_eq!(toks[2].text(src), "42");
+    }
+
+    #[test]
+    fn skips_comments() {
+        assert_eq!(
+            kinds("a // line comment\nb /* block\ncomment */ c"),
+            vec![TokenKind::Ident, TokenKind::Ident, TokenKind::Ident, TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn rejects_unterminated_block_comment() {
+        assert!(lex("a /* never ends").is_err());
+    }
+
+    #[test]
+    fn rejects_stray_character() {
+        let err = lex("a # b").unwrap_err();
+        assert!(err.to_string().contains("unexpected character"));
+    }
+
+    #[test]
+    fn empty_input_is_just_eof() {
+        assert_eq!(kinds(""), vec![TokenKind::Eof]);
+    }
+}

@@ -1,0 +1,786 @@
+//! Recursive-descent parser for the textual P syntax.
+//!
+//! The grammar (a concrete rendering of Figure 3 plus the paper's sugar) is
+//! documented in the crate root.
+
+use p_ast::{
+    ActionBinding, ActionDecl, BinOp, EventDecl, Expr, ExprKind, ForeignFnDecl, ForeignParam,
+    Initializer, Interner, MachineDecl, MainDecl, Program, Span, StateDecl, Stmt, StmtKind,
+    Symbol, TransitionDecl, TransitionKind, Ty, UnOp, VarDecl,
+};
+
+use crate::lexer::{lex, Token, TokenKind};
+use crate::ParseError;
+
+/// Words that cannot be used as identifiers.
+const KEYWORDS: &[&str] = &[
+    "event", "machine", "ghost", "var", "action", "state", "defer", "postpone", "entry", "exit",
+    "on", "goto", "push", "do", "foreign", "fn", "main", "skip", "new", "delete", "send", "raise",
+    "leave", "return", "assert", "if", "else", "while", "call", "this", "msg", "arg", "null",
+    "true", "false", "void", "bool", "int", "byte", "id",
+];
+
+/// Parses a complete P program.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error encountered. Semantic
+/// validation (unknown names, type errors, ghost-erasure violations) is the
+/// job of `p-typecheck`, not the parser.
+pub fn parse(source: &str) -> Result<Program, ParseError> {
+    let tokens = lex(source)?;
+    let mut parser = Parser {
+        source,
+        tokens,
+        pos: 0,
+        interner: Interner::new(),
+    };
+    parser.program()
+}
+
+struct Parser<'s> {
+    source: &'s str,
+    tokens: Vec<Token>,
+    pos: usize,
+    interner: Interner,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Token {
+        self.tokens[self.pos]
+    }
+
+    fn peek2(&self) -> Token {
+        self.tokens[(self.pos + 1).min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos];
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn text(&self, t: Token) -> &str {
+        t.text(self.source)
+    }
+
+    /// Whether the current token is the identifier-keyword `kw`.
+    fn at_kw(&self, kw: &str) -> bool {
+        let t = self.peek();
+        t.kind == TokenKind::Ident && self.text(t) == kw
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<Token, ParseError> {
+        if self.at_kw(kw) {
+            Ok(self.bump())
+        } else {
+            let t = self.peek();
+            Err(self.err_at(t, &format!("expected keyword `{kw}`")))
+        }
+    }
+
+    fn eat(&mut self, kind: TokenKind) -> bool {
+        if self.peek().kind == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<Token, ParseError> {
+        if self.peek().kind == kind {
+            Ok(self.bump())
+        } else {
+            let t = self.peek();
+            Err(self.err_at(t, &format!("expected {}", kind.describe())))
+        }
+    }
+
+    fn err_at(&self, t: Token, what: &str) -> ParseError {
+        let found = if t.kind == TokenKind::Eof {
+            "end of input".to_owned()
+        } else {
+            format!("`{}`", self.text(t))
+        };
+        ParseError::new(format!("{what}, found {found}"), t.span)
+    }
+
+    /// Parses a non-keyword identifier and interns it.
+    fn name(&mut self) -> Result<(Symbol, Span), ParseError> {
+        let t = self.peek();
+        if t.kind != TokenKind::Ident {
+            return Err(self.err_at(t, "expected identifier"));
+        }
+        let text = self.text(t).to_owned();
+        if KEYWORDS.contains(&text.as_str()) {
+            return Err(self.err_at(t, "expected identifier (this word is reserved)"));
+        }
+        self.bump();
+        Ok((self.interner.intern(&text), t.span))
+    }
+
+    fn ty(&mut self) -> Result<Ty, ParseError> {
+        let t = self.peek();
+        if t.kind == TokenKind::Ident {
+            if let Some(ty) = Ty::from_keyword(self.text(t)) {
+                self.bump();
+                return Ok(ty);
+            }
+        }
+        Err(self.err_at(t, "expected type (void, bool, int, event, id)"))
+    }
+
+    // ----- program structure -------------------------------------------
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut events = Vec::new();
+        let mut machines = Vec::new();
+        let mut main = None;
+
+        loop {
+            let t = self.peek();
+            if t.kind == TokenKind::Eof {
+                break;
+            }
+            if self.at_kw("event") {
+                events.push(self.event_decl()?);
+            } else if self.at_kw("machine") || self.at_kw("ghost") {
+                machines.push(self.machine_decl()?);
+            } else if self.at_kw("main") {
+                if main.is_some() {
+                    return Err(self.err_at(t, "duplicate `main` declaration"));
+                }
+                main = Some(self.main_decl()?);
+            } else {
+                return Err(self.err_at(t, "expected `event`, `machine`, `ghost` or `main`"));
+            }
+        }
+
+        let main = main.ok_or_else(|| {
+            ParseError::new(
+                "program is missing its `main` declaration".to_owned(),
+                self.peek().span,
+            )
+        })?;
+        if machines.is_empty() {
+            return Err(ParseError::new(
+                "program declares no machines".to_owned(),
+                self.peek().span,
+            ));
+        }
+
+        Ok(Program {
+            events,
+            machines,
+            main,
+            interner: std::mem::take(&mut self.interner),
+        })
+    }
+
+    fn event_decl(&mut self) -> Result<EventDecl, ParseError> {
+        let start = self.expect_kw("event")?.span;
+        let (name, _) = self.name()?;
+        let payload = if self.eat(TokenKind::Colon) {
+            self.ty()?
+        } else {
+            Ty::Void
+        };
+        let end = self.expect(TokenKind::Semi)?.span;
+        Ok(EventDecl {
+            name,
+            payload,
+            span: start.merge(end),
+        })
+    }
+
+    fn main_decl(&mut self) -> Result<MainDecl, ParseError> {
+        let start = self.expect_kw("main")?.span;
+        let (machine, _) = self.name()?;
+        self.expect(TokenKind::LParen)?;
+        let inits = self.initializer_list()?;
+        self.expect(TokenKind::RParen)?;
+        let end = self.expect(TokenKind::Semi)?.span;
+        Ok(MainDecl {
+            machine,
+            inits,
+            span: start.merge(end),
+        })
+    }
+
+    fn initializer_list(&mut self) -> Result<Vec<Initializer>, ParseError> {
+        let mut inits = Vec::new();
+        if self.peek().kind == TokenKind::RParen {
+            return Ok(inits);
+        }
+        loop {
+            let (var, _) = self.name()?;
+            self.expect(TokenKind::Eq)?;
+            let value = self.expr()?;
+            inits.push(Initializer { var, value });
+            if !self.eat(TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(inits)
+    }
+
+    fn machine_decl(&mut self) -> Result<MachineDecl, ParseError> {
+        let ghost = self.eat_kw("ghost");
+        let start = self.expect_kw("machine")?.span;
+        let (name, _) = self.name()?;
+        self.expect(TokenKind::LBrace)?;
+
+        let mut decl = MachineDecl {
+            name,
+            ghost,
+            vars: Vec::new(),
+            actions: Vec::new(),
+            states: Vec::new(),
+            transitions: Vec::new(),
+            bindings: Vec::new(),
+            foreign: Vec::new(),
+            span: start,
+        };
+
+        loop {
+            let t = self.peek();
+            if t.kind == TokenKind::RBrace {
+                break;
+            }
+            if self.at_kw("var") || (self.at_kw("ghost") && self.text(self.peek2()) == "var") {
+                let ghost_var = self.eat_kw("ghost");
+                self.expect_kw("var")?;
+                loop {
+                    let (vname, vspan) = self.name()?;
+                    self.expect(TokenKind::Colon)?;
+                    let ty = self.ty()?;
+                    decl.vars.push(VarDecl {
+                        name: vname,
+                        ty,
+                        ghost: ghost_var,
+                        span: vspan,
+                    });
+                    if !self.eat(TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(TokenKind::Semi)?;
+            } else if self.at_kw("action") {
+                self.bump();
+                let (aname, aspan) = self.name()?;
+                let body = self.block()?;
+                decl.actions.push(ActionDecl {
+                    name: aname,
+                    body,
+                    span: aspan,
+                });
+            } else if self.at_kw("state") {
+                self.state_decl(&mut decl)?;
+            } else if self.at_kw("foreign") {
+                decl.foreign.push(self.foreign_decl()?);
+            } else {
+                return Err(self.err_at(
+                    t,
+                    "expected `var`, `ghost var`, `action`, `state`, `foreign` or `}`",
+                ));
+            }
+        }
+        let end = self.expect(TokenKind::RBrace)?.span;
+        decl.span = start.merge(end);
+        Ok(decl)
+    }
+
+    fn foreign_decl(&mut self) -> Result<ForeignFnDecl, ParseError> {
+        let start = self.expect_kw("foreign")?.span;
+        self.expect_kw("fn")?;
+        let (name, _) = self.name()?;
+        self.expect(TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if self.peek().kind != TokenKind::RParen {
+            loop {
+                // `name : type` (usable from a model body) or a bare type.
+                let t = self.peek();
+                let is_type_kw =
+                    t.kind == TokenKind::Ident && Ty::from_keyword(self.text(t)).is_some();
+                if is_type_kw {
+                    params.push(ForeignParam::unnamed(self.ty()?));
+                } else {
+                    let (pname, _) = self.name()?;
+                    self.expect(TokenKind::Colon)?;
+                    params.push(ForeignParam::named(pname, self.ty()?));
+                }
+                if !self.eat(TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        let ret = if self.eat(TokenKind::Colon) {
+            self.ty()?
+        } else {
+            Ty::Void
+        };
+        let (model_body, end) = if self.peek().kind == TokenKind::LBrace {
+            let body = self.block()?;
+            (Some(body), self.tokens[self.pos - 1].span)
+        } else {
+            (None, self.expect(TokenKind::Semi)?.span)
+        };
+        Ok(ForeignFnDecl {
+            name,
+            params,
+            ret,
+            model_body,
+            span: start.merge(end),
+        })
+    }
+
+    fn state_decl(&mut self, machine: &mut MachineDecl) -> Result<(), ParseError> {
+        let start = self.expect_kw("state")?.span;
+        let (name, _) = self.name()?;
+        self.expect(TokenKind::LBrace)?;
+
+        let mut state = StateDecl::empty(name);
+        state.span = start;
+
+        loop {
+            let t = self.peek();
+            if t.kind == TokenKind::RBrace {
+                break;
+            }
+            if self.at_kw("defer") {
+                self.bump();
+                state.deferred.extend(self.event_name_list()?);
+                self.expect(TokenKind::Semi)?;
+            } else if self.at_kw("postpone") {
+                self.bump();
+                state.postponed.extend(self.event_name_list()?);
+                self.expect(TokenKind::Semi)?;
+            } else if self.at_kw("entry") {
+                self.bump();
+                state.entry = self.block()?;
+            } else if self.at_kw("exit") {
+                self.bump();
+                state.exit = self.block()?;
+            } else if self.at_kw("on") {
+                let on_span = self.bump().span;
+                let (event, _) = self.name()?;
+                if self.eat_kw("goto") || self.eat_kw("push") {
+                    // Re-inspect which keyword we consumed.
+                    let consumed = self.tokens[self.pos - 1];
+                    let kind = if self.text(consumed) == "goto" {
+                        TransitionKind::Step
+                    } else {
+                        TransitionKind::Call
+                    };
+                    let (to, to_span) = self.name()?;
+                    self.expect(TokenKind::Semi)?;
+                    machine.transitions.push(TransitionDecl {
+                        kind,
+                        from: name,
+                        event,
+                        to,
+                        span: on_span.merge(to_span),
+                    });
+                } else if self.eat_kw("do") {
+                    let (action, a_span) = self.name()?;
+                    self.expect(TokenKind::Semi)?;
+                    machine.bindings.push(ActionBinding {
+                        state: name,
+                        event,
+                        action,
+                        span: on_span.merge(a_span),
+                    });
+                } else {
+                    let t = self.peek();
+                    return Err(self.err_at(t, "expected `goto`, `push` or `do`"));
+                }
+            } else {
+                return Err(self.err_at(
+                    t,
+                    "expected `defer`, `postpone`, `entry`, `exit`, `on` or `}`",
+                ));
+            }
+        }
+        let end = self.expect(TokenKind::RBrace)?.span;
+        state.span = start.merge(end);
+        machine.states.push(state);
+        Ok(())
+    }
+
+    fn event_name_list(&mut self) -> Result<Vec<Symbol>, ParseError> {
+        let mut names = Vec::new();
+        loop {
+            let (n, _) = self.name()?;
+            names.push(n);
+            if !self.eat(TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(names)
+    }
+
+    // ----- statements ---------------------------------------------------
+
+    fn block(&mut self) -> Result<Stmt, ParseError> {
+        let start = self.expect(TokenKind::LBrace)?.span;
+        let mut stmts = Vec::new();
+        while self.peek().kind != TokenKind::RBrace {
+            if self.peek().kind == TokenKind::Eof {
+                return Err(self.err_at(self.peek(), "expected `}`"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        let end = self.expect(TokenKind::RBrace)?.span;
+        Ok(Stmt::spanned(StmtKind::Block(stmts), start.merge(end)))
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        let t = self.peek();
+        if t.kind == TokenKind::LBrace {
+            return self.block();
+        }
+        if t.kind != TokenKind::Ident {
+            return Err(self.err_at(t, "expected statement"));
+        }
+        let start = t.span;
+        match self.text(t) {
+            "skip" => {
+                self.bump();
+                let end = self.expect(TokenKind::Semi)?.span;
+                Ok(Stmt::spanned(StmtKind::Skip, start.merge(end)))
+            }
+            "delete" => {
+                self.bump();
+                let end = self.expect(TokenKind::Semi)?.span;
+                Ok(Stmt::spanned(StmtKind::Delete, start.merge(end)))
+            }
+            "leave" => {
+                self.bump();
+                let end = self.expect(TokenKind::Semi)?.span;
+                Ok(Stmt::spanned(StmtKind::Leave, start.merge(end)))
+            }
+            "return" => {
+                self.bump();
+                let end = self.expect(TokenKind::Semi)?.span;
+                Ok(Stmt::spanned(StmtKind::Return, start.merge(end)))
+            }
+            "send" => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let target = self.expr()?;
+                self.expect(TokenKind::Comma)?;
+                let (event, _) = self.name()?;
+                let payload = if self.eat(TokenKind::Comma) {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                self.expect(TokenKind::RParen)?;
+                let end = self.expect(TokenKind::Semi)?.span;
+                Ok(Stmt::spanned(
+                    StmtKind::Send {
+                        target,
+                        event,
+                        payload,
+                    },
+                    start.merge(end),
+                ))
+            }
+            "raise" => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let (event, _) = self.name()?;
+                let payload = if self.eat(TokenKind::Comma) {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                self.expect(TokenKind::RParen)?;
+                let end = self.expect(TokenKind::Semi)?.span;
+                Ok(Stmt::spanned(
+                    StmtKind::Raise { event, payload },
+                    start.merge(end),
+                ))
+            }
+            "assert" => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                let end = self.expect(TokenKind::Semi)?.span;
+                Ok(Stmt::spanned(StmtKind::Assert(cond), start.merge(end)))
+            }
+            "if" => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                let then = self.block()?;
+                let els = if self.eat_kw("else") {
+                    if self.at_kw("if") {
+                        self.stmt()?
+                    } else {
+                        self.block()?
+                    }
+                } else {
+                    Stmt::block(Vec::new())
+                };
+                let span = start.merge(els.span);
+                Ok(Stmt::spanned(
+                    StmtKind::If {
+                        cond,
+                        then: Box::new(then),
+                        els: Box::new(els),
+                    },
+                    span,
+                ))
+            }
+            "while" => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                let body = self.block()?;
+                let span = start.merge(body.span);
+                Ok(Stmt::spanned(
+                    StmtKind::While {
+                        cond,
+                        body: Box::new(body),
+                    },
+                    span,
+                ))
+            }
+            "call" => {
+                self.bump();
+                let (state, _) = self.name()?;
+                let end = self.expect(TokenKind::Semi)?.span;
+                Ok(Stmt::spanned(StmtKind::CallState(state), start.merge(end)))
+            }
+            _ => self.assign_or_call_stmt(),
+        }
+    }
+
+    /// `x := ...;`, `x := new M(...);`, `x := f(...);` or `f(...);`
+    fn assign_or_call_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let (first, first_span) = self.name()?;
+        match self.peek().kind {
+            TokenKind::Assign => {
+                self.bump();
+                if self.at_kw("new") {
+                    self.bump();
+                    let (machine, _) = self.name()?;
+                    self.expect(TokenKind::LParen)?;
+                    let inits = self.initializer_list()?;
+                    self.expect(TokenKind::RParen)?;
+                    let end = self.expect(TokenKind::Semi)?.span;
+                    return Ok(Stmt::spanned(
+                        StmtKind::New {
+                            dst: first,
+                            machine,
+                            inits,
+                        },
+                        first_span.merge(end),
+                    ));
+                }
+                let value = self.expr()?;
+                let end = self.expect(TokenKind::Semi)?.span;
+                // Normalize a bare top-level call `x := f(a);` into the
+                // ForeignCall statement form so printing round-trips.
+                if let ExprKind::ForeignCall(func, args) = value.kind {
+                    return Ok(Stmt::spanned(
+                        StmtKind::ForeignCall {
+                            dst: Some(first),
+                            func,
+                            args,
+                        },
+                        first_span.merge(end),
+                    ));
+                }
+                Ok(Stmt::spanned(
+                    StmtKind::Assign {
+                        dst: first,
+                        value,
+                    },
+                    first_span.merge(end),
+                ))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let mut args = Vec::new();
+                if self.peek().kind != TokenKind::RParen {
+                    loop {
+                        args.push(self.expr()?);
+                        if !self.eat(TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(TokenKind::RParen)?;
+                let end = self.expect(TokenKind::Semi)?.span;
+                Ok(Stmt::spanned(
+                    StmtKind::ForeignCall {
+                        dst: None,
+                        func: first,
+                        args,
+                    },
+                    first_span.merge(end),
+                ))
+            }
+            _ => {
+                let t = self.peek();
+                Err(self.err_at(t, "expected `:=` or `(` after identifier"))
+            }
+        }
+    }
+
+    // ----- expressions ---------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.expr_bp(0)
+    }
+
+    /// Precedence-climbing expression parser; all binary operators are
+    /// left-associative.
+    fn expr_bp(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::OrOr => BinOp::Or,
+                TokenKind::AndAnd => BinOp::And,
+                TokenKind::EqEq => BinOp::Eq,
+                TokenKind::Ne => BinOp::Ne,
+                TokenKind::Lt => BinOp::Lt,
+                TokenKind::Le => BinOp::Le,
+                TokenKind::Gt => BinOp::Gt,
+                TokenKind::Ge => BinOp::Ge,
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                _ => break,
+            };
+            let prec = op.precedence();
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            let rhs = self.expr_bp(prec + 1)?;
+            let span = lhs.span.merge(rhs.span);
+            lhs = Expr::spanned(
+                ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
+                span,
+            );
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        let t = self.peek();
+        match t.kind {
+            TokenKind::Bang => {
+                self.bump();
+                let inner = self.unary()?;
+                let span = t.span.merge(inner.span);
+                Ok(Expr::spanned(
+                    ExprKind::Unary(UnOp::Not, Box::new(inner)),
+                    span,
+                ))
+            }
+            TokenKind::Minus => {
+                self.bump();
+                let inner = self.unary()?;
+                let span = t.span.merge(inner.span);
+                Ok(Expr::spanned(
+                    ExprKind::Unary(UnOp::Neg, Box::new(inner)),
+                    span,
+                ))
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        let t = self.peek();
+        match t.kind {
+            TokenKind::Int => {
+                self.bump();
+                let value: i64 = self.text(t).parse().map_err(|_| {
+                    self.err_at(t, "integer literal out of range")
+                })?;
+                Ok(Expr::spanned(ExprKind::Int(value), t.span))
+            }
+            TokenKind::Star => {
+                self.bump();
+                Ok(Expr::spanned(ExprKind::Nondet, t.span))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let inner = self.expr()?;
+                let end = self.expect(TokenKind::RParen)?.span;
+                Ok(Expr::spanned(inner.kind, t.span.merge(end)))
+            }
+            TokenKind::Ident => match self.text(t) {
+                "this" => {
+                    self.bump();
+                    Ok(Expr::spanned(ExprKind::This, t.span))
+                }
+                "msg" => {
+                    self.bump();
+                    Ok(Expr::spanned(ExprKind::Msg, t.span))
+                }
+                "arg" => {
+                    self.bump();
+                    Ok(Expr::spanned(ExprKind::Arg, t.span))
+                }
+                "null" => {
+                    self.bump();
+                    Ok(Expr::spanned(ExprKind::Null, t.span))
+                }
+                "true" => {
+                    self.bump();
+                    Ok(Expr::spanned(ExprKind::Bool(true), t.span))
+                }
+                "false" => {
+                    self.bump();
+                    Ok(Expr::spanned(ExprKind::Bool(false), t.span))
+                }
+                _ => {
+                    let (name, span) = self.name()?;
+                    if self.peek().kind == TokenKind::LParen {
+                        self.bump();
+                        let mut args = Vec::new();
+                        if self.peek().kind != TokenKind::RParen {
+                            loop {
+                                args.push(self.expr()?);
+                                if !self.eat(TokenKind::Comma) {
+                                    break;
+                                }
+                            }
+                        }
+                        let end = self.expect(TokenKind::RParen)?.span;
+                        Ok(Expr::spanned(
+                            ExprKind::ForeignCall(name, args),
+                            span.merge(end),
+                        ))
+                    } else {
+                        Ok(Expr::spanned(ExprKind::Name(name), span))
+                    }
+                }
+            },
+            _ => Err(self.err_at(t, "expected expression")),
+        }
+    }
+}

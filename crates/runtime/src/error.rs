@@ -1,0 +1,84 @@
+//! Runtime errors.
+
+use std::error::Error;
+use std::fmt;
+
+use p_semantics::PError;
+
+/// An error surfaced by the execution runtime.
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// The source program failed the static checks.
+    Check(p_typecheck::CheckErrors),
+    /// Erasure failed (no real machines).
+    Erase(p_typecheck::EraseError),
+    /// Lowering of the erased program failed.
+    Lower(p_semantics::LowerError),
+    /// A name passed to the runtime API does not exist in the (erased)
+    /// program.
+    UnknownName {
+        /// What kind of name was looked up ("machine", "event",
+        /// "variable").
+        kind: &'static str,
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// A machine id passed to the API is dead or never existed.
+    NoSuchMachine(p_semantics::MachineId),
+    /// A machine took an error transition while processing events.
+    Machine(PError),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Check(e) => write!(f, "program rejected by the checker: {e}"),
+            RuntimeError::Erase(e) => write!(f, "{e}"),
+            RuntimeError::Lower(e) => write!(f, "{e}"),
+            RuntimeError::UnknownName { kind, name } => {
+                write!(f, "unknown {kind} `{name}`")
+            }
+            RuntimeError::NoSuchMachine(id) => write!(f, "no such machine {id}"),
+            RuntimeError::Machine(e) => write!(f, "machine error: {e}"),
+        }
+    }
+}
+
+impl Error for RuntimeError {}
+
+impl From<p_typecheck::CheckErrors> for RuntimeError {
+    fn from(e: p_typecheck::CheckErrors) -> RuntimeError {
+        RuntimeError::Check(e)
+    }
+}
+
+impl From<p_typecheck::EraseError> for RuntimeError {
+    fn from(e: p_typecheck::EraseError) -> RuntimeError {
+        RuntimeError::Erase(e)
+    }
+}
+
+impl From<p_semantics::LowerError> for RuntimeError {
+    fn from(e: p_semantics::LowerError) -> RuntimeError {
+        RuntimeError::Lower(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p_semantics::{ErrorKind, MachineId};
+
+    #[test]
+    fn display_variants() {
+        let e = RuntimeError::UnknownName {
+            kind: "event",
+            name: "zap".into(),
+        };
+        assert_eq!(e.to_string(), "unknown event `zap`");
+        let e = RuntimeError::NoSuchMachine(MachineId(4));
+        assert!(e.to_string().contains("#4"));
+        let e = RuntimeError::Machine(PError::new(ErrorKind::AssertionFailure, MachineId(0)));
+        assert!(e.to_string().contains("assertion"));
+    }
+}

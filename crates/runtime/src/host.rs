@@ -1,0 +1,159 @@
+//! Interface code: the KMDF-skeleton analog of §4.
+//!
+//! The paper's interface code "mediates between the OS and the P code": on
+//! `EvtAddDevice` it creates the device's state machine with
+//! `SMCreateMachine`; OS callbacks (Plug-and-Play, power management) are
+//! translated into P events queued with `SMAddEvent`; `EvtRemoveDevice`
+//! results in a special `Delete` event that the machine must handle by
+//! cleaning up and executing `delete`.
+//!
+//! [`DriverHost`] simulates that skeleton over the simulated OS: each
+//! *device* is a machine instance, identified by an opaque
+//! [`DeviceHandle`].
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use p_semantics::{MachineId, Value};
+
+use crate::{Runtime, RuntimeError};
+
+/// An opaque handle the "OS" uses to refer to a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DeviceHandle(u32);
+
+/// A simulated KMDF driver host: creates device machines on device
+/// arrival, routes OS callbacks to events, and delivers the removal
+/// event on device departure.
+///
+/// # Examples
+///
+/// ```
+/// let src = r#"
+///     event PowerUp;
+///     event RemoveDevice;
+///     machine Device {
+///         state Off {
+///             on PowerUp goto On;
+///             on RemoveDevice goto Removing;
+///         }
+///         state On {
+///             on RemoveDevice goto Removing;
+///         }
+///         state Removing { entry { delete; } }
+///     }
+///     main Device();
+/// "#;
+/// let program = p_parser::parse(src).unwrap();
+/// let runtime = p_runtime::Runtime::builder(&program).unwrap().start();
+/// let host = p_runtime::DriverHost::new(runtime, "Device", "RemoveDevice");
+/// let dev = host.add_device(&[]).unwrap();
+/// host.os_event(dev, "PowerUp", p_semantics::Value::Null).unwrap();
+/// host.remove_device(dev).unwrap();
+/// assert!(!host.is_attached(dev));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DriverHost {
+    runtime: Runtime,
+    device_machine: String,
+    remove_event: String,
+    devices: Arc<Mutex<HashMap<DeviceHandle, MachineId>>>,
+    next_handle: Arc<AtomicU32>,
+}
+
+impl DriverHost {
+    /// Creates a host whose devices are instances of `device_machine` and
+    /// whose removal callback sends `remove_event` (the paper's `Delete`
+    /// event).
+    pub fn new(runtime: Runtime, device_machine: &str, remove_event: &str) -> DriverHost {
+        DriverHost {
+            runtime,
+            device_machine: device_machine.to_owned(),
+            remove_event: remove_event.to_owned(),
+            devices: Arc::new(Mutex::new(HashMap::new())),
+            next_handle: Arc::new(AtomicU32::new(0)),
+        }
+    }
+
+    /// The underlying runtime.
+    pub fn runtime(&self) -> &Runtime {
+        &self.runtime
+    }
+
+    /// `EvtAddDevice`: instantiates the device machine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors (unknown names, machine errors during
+    /// the entry statement).
+    pub fn add_device(&self, inits: &[(&str, Value)]) -> Result<DeviceHandle, RuntimeError> {
+        let id = self.runtime.create_machine(&self.device_machine, inits)?;
+        let handle = DeviceHandle(self.next_handle.fetch_add(1, Ordering::Relaxed));
+        self.devices.lock().insert(handle, id);
+        Ok(handle)
+    }
+
+    /// Translates an OS callback into a P event on the device's machine.
+    ///
+    /// # Errors
+    ///
+    /// Fails on detached handles, unknown events, or machine errors while
+    /// processing.
+    pub fn os_event(
+        &self,
+        device: DeviceHandle,
+        event: &str,
+        payload: Value,
+    ) -> Result<(), RuntimeError> {
+        let id = self.machine_of(device)?;
+        self.runtime.add_event(id, event, payload)
+    }
+
+    /// `EvtRemoveDevice`: sends the removal event; the machine is expected
+    /// to clean up and execute `delete` (§4). The handle is detached
+    /// afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Fails on detached handles or machine errors during removal
+    /// processing.
+    pub fn remove_device(&self, device: DeviceHandle) -> Result<(), RuntimeError> {
+        let id = self.machine_of(device)?;
+        self.runtime.add_event(id, &self.remove_event, Value::Null)?;
+        self.devices.lock().remove(&device);
+        Ok(())
+    }
+
+    /// Whether `device` is still attached (its machine may additionally
+    /// have deleted itself; see [`DriverHost::device_machine_alive`]).
+    pub fn is_attached(&self, device: DeviceHandle) -> bool {
+        self.devices.lock().contains_key(&device)
+    }
+
+    /// Whether the machine behind `device` is still alive.
+    pub fn device_machine_alive(&self, device: DeviceHandle) -> bool {
+        self.machine_of(device)
+            .map(|id| self.runtime.is_alive(id))
+            .unwrap_or(false)
+    }
+
+    /// The machine id behind a handle.
+    pub fn machine_of(&self, device: DeviceHandle) -> Result<MachineId, RuntimeError> {
+        self.devices
+            .lock()
+            .get(&device)
+            .copied()
+            .ok_or_else(|| RuntimeError::UnknownName {
+                kind: "device",
+                name: format!("{device:?}"),
+            })
+    }
+
+    /// Number of attached devices.
+    pub fn device_count(&self) -> usize {
+        self.devices.lock().len()
+    }
+}

@@ -1,0 +1,215 @@
+//! Asynchronous event injection: a background thread that drains a
+//! channel of events into the runtime.
+//!
+//! Windows calls into a driver from many contexts — application requests,
+//! interrupts, deferred procedure calls (§4). [`EventPump`] models those
+//! asynchronous sources: producers send [`Injection`]s from any thread;
+//! a dedicated pump thread delivers them through `SMAddEvent`
+//! (run-to-completion), exactly like interface code running on an OS
+//! worker thread.
+
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, Sender};
+
+use p_semantics::{MachineId, Value};
+
+use crate::{Runtime, RuntimeError};
+
+/// One event to deliver.
+#[derive(Debug, Clone)]
+pub struct Injection {
+    /// Target machine.
+    pub target: MachineId,
+    /// Event name.
+    pub event: String,
+    /// Payload.
+    pub payload: Value,
+}
+
+impl Injection {
+    /// Creates an injection.
+    pub fn new(target: MachineId, event: &str, payload: Value) -> Injection {
+        Injection {
+            target,
+            event: event.to_owned(),
+            payload,
+        }
+    }
+}
+
+/// A background event-delivery thread over a bounded channel.
+///
+/// # Examples
+///
+/// ```
+/// let src = r#"
+///     event inc;
+///     machine Counter {
+///         var n : int;
+///         state Run { on inc do bump; }
+///         action bump { n := n + 1; }
+///     }
+///     main Counter();
+/// "#;
+/// let program = p_parser::parse(src).unwrap();
+/// let runtime = p_runtime::Runtime::builder(&program).unwrap().start();
+/// let id = runtime.create_machine("Counter", &[("n", p_semantics::Value::Int(0))]).unwrap();
+///
+/// let pump = p_runtime::EventPump::start(runtime.clone(), 16);
+/// for _ in 0..10 {
+///     pump.inject(p_runtime::Injection::new(id, "inc", p_semantics::Value::Null)).unwrap();
+/// }
+/// pump.shutdown().unwrap();
+/// assert_eq!(runtime.read_var(id, "n"), Some(p_semantics::Value::Int(10)));
+/// ```
+#[derive(Debug)]
+pub struct EventPump {
+    sender: Option<Sender<Injection>>,
+    worker: Option<JoinHandle<Result<u64, RuntimeError>>>,
+}
+
+impl EventPump {
+    /// Spawns the pump thread with a channel of the given capacity.
+    pub fn start(runtime: Runtime, capacity: usize) -> EventPump {
+        let (sender, receiver) = bounded::<Injection>(capacity);
+        let worker = std::thread::spawn(move || {
+            let mut delivered = 0u64;
+            for injection in receiver {
+                runtime.add_event(injection.target, &injection.event, injection.payload)?;
+                delivered += 1;
+            }
+            Ok(delivered)
+        });
+        EventPump {
+            sender: Some(sender),
+            worker: Some(worker),
+        }
+    }
+
+    /// Queues one event for delivery (blocks when the channel is full —
+    /// backpressure from a slow driver, like a full DPC queue).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the pump thread has already stopped (e.g. after a machine
+    /// error).
+    pub fn inject(&self, injection: Injection) -> Result<(), RuntimeError> {
+        self.sender
+            .as_ref()
+            .expect("pump is live until shutdown")
+            .send(injection)
+            .map_err(|_| RuntimeError::UnknownName {
+                kind: "pump",
+                name: "event pump has stopped".to_owned(),
+            })
+    }
+
+    /// Closes the channel and waits for the pump to drain; returns the
+    /// number of events delivered.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first machine error the pump encountered.
+    pub fn shutdown(mut self) -> Result<u64, RuntimeError> {
+        self.sender.take(); // closes the channel; the worker drains and exits
+        let worker = self.worker.take().expect("shutdown called once");
+        match worker.join() {
+            Ok(result) => result,
+            Err(_) => Err(RuntimeError::UnknownName {
+                kind: "pump",
+                name: "pump thread panicked".to_owned(),
+            }),
+        }
+    }
+}
+
+impl Drop for EventPump {
+    fn drop(&mut self) {
+        // Closing the channel stops the worker; a dropped (not shut down)
+        // pump detaches its thread, which exits once the channel drains.
+        self.sender.take();
+        self.worker.take();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counter_runtime() -> (Runtime, MachineId) {
+        let src = r#"
+            event inc;
+            machine Counter {
+                var n : int;
+                state Run { on inc do bump; }
+                action bump { n := n + 1; }
+            }
+            main Counter();
+        "#;
+        let program = p_parser::parse(src).unwrap();
+        let runtime = Runtime::builder(&program).unwrap().start();
+        let id = runtime
+            .create_machine("Counter", &[("n", Value::Int(0))])
+            .unwrap();
+        (runtime, id)
+    }
+
+    #[test]
+    fn pump_delivers_in_order_and_drains_on_shutdown() {
+        let (runtime, id) = counter_runtime();
+        let pump = EventPump::start(runtime.clone(), 4);
+        for _ in 0..100 {
+            pump.inject(Injection::new(id, "inc", Value::Null)).unwrap();
+        }
+        let delivered = pump.shutdown().unwrap();
+        assert_eq!(delivered, 100);
+        assert_eq!(runtime.read_var(id, "n"), Some(Value::Int(100)));
+    }
+
+    #[test]
+    fn multiple_producers_one_pump() {
+        let (runtime, id) = counter_runtime();
+        let pump = std::sync::Arc::new(EventPump::start(runtime.clone(), 32));
+        let producers: Vec<_> = (0..4)
+            .map(|_| {
+                let pump = std::sync::Arc::clone(&pump);
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        pump.inject(Injection::new(id, "inc", Value::Null)).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        let pump = std::sync::Arc::into_inner(pump).expect("sole owner");
+        let delivered = pump.shutdown().unwrap();
+        assert_eq!(delivered, 200);
+        assert_eq!(runtime.read_var(id, "n"), Some(Value::Int(200)));
+    }
+
+    #[test]
+    fn pump_surfaces_machine_errors() {
+        let src = r#"
+            event boom;
+            machine M {
+                state S { on boom goto Bad; }
+                state Bad { entry { assert(false); } }
+            }
+            main M();
+        "#;
+        let program = p_parser::parse(src).unwrap();
+        let runtime = Runtime::builder(&program).unwrap().start();
+        let id = runtime.create_machine("M", &[]).unwrap();
+        let pump = EventPump::start(runtime, 4);
+        pump.inject(Injection::new(id, "boom", Value::Null)).unwrap();
+        match pump.shutdown() {
+            Err(RuntimeError::Machine(e)) => {
+                assert_eq!(e.kind, p_semantics::ErrorKind::AssertionFailure);
+            }
+            other => panic!("expected machine error, got {other:?}"),
+        }
+    }
+}

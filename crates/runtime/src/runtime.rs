@@ -1,0 +1,405 @@
+//! The execution runtime (§4 of the paper).
+//!
+//! The paper's runtime exposes three APIs to the interface code:
+//! `SMCreateMachine`, `SMAddEvent` and `SMGetContext`. This module exposes
+//! the same three operations as [`Runtime::create_machine`],
+//! [`Runtime::add_event`] and [`Runtime::with_context`], and reproduces
+//! the runtime's execution discipline:
+//!
+//! * ghost machines, variables and statements are **erased** before the
+//!   program is lowered to its table-driven form;
+//! * the calling thread processes events **run-to-completion**: an
+//!   `add_event` drives the target machine (and, transitively, every
+//!   machine it sends to, in causal order) until the system is quiescent —
+//!   Windows drivers "use calling threads to do all the work";
+//! * multiple host threads may call in concurrently; machine state is
+//!   protected by locking (the paper locks per machine instance; this
+//!   reproduction serializes on one configuration lock, which preserves
+//!   the observable run-to-completion semantics — see DESIGN.md).
+//!
+//! Foreign functions may carry per-machine *external memory*, mirroring
+//! the `void*` context of §4, via [`RuntimeBuilder::foreign_with_context`]
+//! and [`Runtime::set_context`].
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use p_ast::Program;
+use p_semantics::{
+    lower, Config, Engine, ExecOutcome, ForeignEnv, ForeignRegistry, Granularity,
+    LoweredProgram, MachineId, Value, YieldKind,
+};
+
+use crate::RuntimeError;
+
+type ContextMap = HashMap<MachineId, Box<dyn Any + Send>>;
+
+/// Configures and builds a [`Runtime`].
+///
+/// Created by [`Runtime::builder`]; statically checks and erases the
+/// program up front, then accepts foreign-function implementations.
+pub struct RuntimeBuilder {
+    program: LoweredProgram,
+    registry: ForeignRegistry,
+    contexts: Arc<Mutex<ContextMap>>,
+    fuel: usize,
+}
+
+impl std::fmt::Debug for RuntimeBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RuntimeBuilder")
+            .field("machines", &self.program.machines.len())
+            .finish()
+    }
+}
+
+impl RuntimeBuilder {
+    /// Registers a pure foreign function.
+    pub fn foreign<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: Fn(&[Value]) -> Value + Send + Sync + 'static,
+    {
+        self.registry.register(name, f);
+        self
+    }
+
+    /// Registers a foreign function with access to the calling machine's
+    /// external context of type `T` (the `void*` memory of §4).
+    ///
+    /// If the calling machine has no context, or its context has a
+    /// different type, the function receives `None`.
+    pub fn foreign_with_context<T, F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        T: Any + Send,
+        F: Fn(Option<&mut T>, &[Value]) -> Value + Send + Sync + 'static,
+    {
+        let contexts = Arc::clone(&self.contexts);
+        self.registry.register_with_self(name, move |caller, args| {
+            let mut map = contexts.lock();
+            let ctx = map.get_mut(&caller).and_then(|b| b.downcast_mut::<T>());
+            f(ctx, args)
+        });
+        self
+    }
+
+    /// Overrides the per-run small-step budget.
+    pub fn fuel(&mut self, fuel: usize) -> &mut Self {
+        self.fuel = fuel;
+        self
+    }
+
+    /// Builds the runtime. No machine is created yet — that is the
+    /// interface code's job (e.g. on `EvtAddDevice`).
+    pub fn start(self) -> Runtime {
+        let foreign = self.registry.resolve(&self.program);
+        Runtime {
+            inner: Arc::new(Inner {
+                program: self.program,
+                foreign,
+                contexts: self.contexts,
+                shared: Mutex::new(Shared {
+                    config: Config::default(),
+                    work: Vec::new(),
+                }),
+                fuel: self.fuel,
+                events_processed: AtomicU64::new(0),
+                runs_executed: AtomicU64::new(0),
+            }),
+        }
+    }
+}
+
+struct Shared {
+    config: Config,
+    /// Causal work stack: machines with pending work, top last.
+    work: Vec<MachineId>,
+}
+
+struct Inner {
+    program: LoweredProgram,
+    foreign: ForeignEnv,
+    contexts: Arc<Mutex<ContextMap>>,
+    shared: Mutex<Shared>,
+    fuel: usize,
+    events_processed: AtomicU64,
+    runs_executed: AtomicU64,
+}
+
+/// The P runtime: hosts machine instances of one erased program.
+///
+/// Cheap to clone (`Arc` inside); clones share the same instances.
+///
+/// # Examples
+///
+/// ```
+/// let src = r#"
+///     event inc;
+///     machine Counter {
+///         var n : int;
+///         state Run {
+///             on inc do bump;
+///         }
+///         action bump { n := n + 1; }
+///     }
+///     main Counter();
+/// "#;
+/// let program = p_parser::parse(src).unwrap();
+/// let runtime = p_runtime::Runtime::builder(&program).unwrap().start();
+/// let id = runtime
+///     .create_machine("Counter", &[("n", p_semantics::Value::Int(0))])
+///     .unwrap();
+/// runtime.add_event(id, "inc", p_semantics::Value::Null).unwrap();
+/// runtime.add_event(id, "inc", p_semantics::Value::Null).unwrap();
+/// assert_eq!(runtime.read_var(id, "n").unwrap(), p_semantics::Value::Int(2));
+/// ```
+#[derive(Clone)]
+pub struct Runtime {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("machines", &self.inner.program.machines.len())
+            .field(
+                "events_processed",
+                &self.inner.events_processed.load(Ordering::Relaxed),
+            )
+            .finish()
+    }
+}
+
+impl Runtime {
+    /// Checks `program`, erases its ghost parts (§3.3), lowers the result
+    /// and returns a builder for registering foreign functions.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the program is rejected by the static checker, has no
+    /// real machines, or does not lower.
+    pub fn builder(program: &Program) -> Result<RuntimeBuilder, RuntimeError> {
+        p_typecheck::check(program)?;
+        let erased = p_typecheck::erase(program)?;
+        let lowered = lower(&erased)?;
+        Ok(RuntimeBuilder {
+            program: lowered,
+            registry: ForeignRegistry::new(),
+            contexts: Arc::new(Mutex::new(HashMap::new())),
+            fuel: 1_000_000,
+        })
+    }
+
+    /// Builds a runtime directly from an already-erased, lowered program.
+    pub fn from_lowered(program: LoweredProgram) -> RuntimeBuilder {
+        RuntimeBuilder {
+            program,
+            registry: ForeignRegistry::new(),
+            contexts: Arc::new(Mutex::new(HashMap::new())),
+            fuel: 1_000_000,
+        }
+    }
+
+    /// The erased, lowered program this runtime executes.
+    pub fn program(&self) -> &LoweredProgram {
+        &self.inner.program
+    }
+
+    /// `SMCreateMachine`: creates an instance of machine type
+    /// `type_name`, initializing the named variables, and runs it (and any
+    /// machines it signals) to completion.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown machine or variable names, or if processing takes
+    /// an error transition.
+    pub fn create_machine(
+        &self,
+        type_name: &str,
+        inits: &[(&str, Value)],
+    ) -> Result<MachineId, RuntimeError> {
+        let program = &self.inner.program;
+        let ty = program
+            .machine_type_named(type_name)
+            .ok_or_else(|| RuntimeError::UnknownName {
+                kind: "machine",
+                name: type_name.to_owned(),
+            })?;
+        let mt = program.machine(ty);
+        let mut resolved = Vec::with_capacity(inits.len());
+        for (name, value) in inits {
+            let sym = program
+                .interner
+                .get(name)
+                .and_then(|s| mt.var_named(s))
+                .ok_or_else(|| RuntimeError::UnknownName {
+                    kind: "variable",
+                    name: (*name).to_owned(),
+                })?;
+            resolved.push((sym, *value));
+        }
+
+        let mut shared = self.inner.shared.lock();
+        let id = shared.config.allocate(program, ty);
+        let machine = shared.config.machine_mut(id).expect("just allocated");
+        for (var, value) in resolved {
+            machine.locals[var.0 as usize] = value;
+        }
+        shared.work.push(id);
+        self.drain(&mut shared)?;
+        Ok(id)
+    }
+
+    /// `SMAddEvent`: enqueues `event` (with `payload`) into machine `id`
+    /// and processes to completion on the calling thread.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown event names, dead machines, or if processing takes
+    /// an error transition.
+    pub fn add_event(
+        &self,
+        id: MachineId,
+        event: &str,
+        payload: Value,
+    ) -> Result<(), RuntimeError> {
+        let ev = self
+            .inner
+            .program
+            .event_id_named(event)
+            .ok_or_else(|| RuntimeError::UnknownName {
+                kind: "event",
+                name: event.to_owned(),
+            })?;
+        let mut shared = self.inner.shared.lock();
+        let machine = shared
+            .config
+            .machine_mut(id)
+            .ok_or(RuntimeError::NoSuchMachine(id))?;
+        machine.enqueue(ev, payload);
+        self.inner.events_processed.fetch_add(1, Ordering::Relaxed);
+        shared.work.push(id);
+        self.drain(&mut shared)?;
+        Ok(())
+    }
+
+    /// Runs the causal work stack to quiescence. Called with the
+    /// configuration lock held; this is the "run to completion on the
+    /// calling thread" discipline of §4. Foreign functions must not call
+    /// back into the runtime (the paper restricts them to their external
+    /// memory for the same reason).
+    fn drain(&self, shared: &mut Shared) -> Result<(), RuntimeError> {
+        let engine =
+            Engine::new(&self.inner.program, self.inner.foreign.clone()).with_fuel(self.inner.fuel);
+        {
+            while let Some(id) = shared.work.pop() {
+                if shared.config.machine(id).is_none()
+                    || !engine.enabled(&shared.config, id)
+                {
+                    continue;
+                }
+                // Erased programs contain no `*`; the closure is never
+                // called on checked inputs, and returning an arbitrary
+                // value keeps the runtime total if one slips through.
+                let mut no_choices = || false;
+                let run = engine.run_machine(
+                    &mut shared.config,
+                    id,
+                    &mut no_choices,
+                    Granularity::Atomic,
+                );
+                self.inner.runs_executed.fetch_add(1, Ordering::Relaxed);
+                match run.outcome {
+                    ExecOutcome::Yield(YieldKind::Sent { to, .. }) => {
+                        // Causal order: the receiver processes next, then
+                        // the sender resumes.
+                        shared.work.push(id);
+                        shared.work.push(to);
+                    }
+                    ExecOutcome::Yield(YieldKind::Created { id: new_id, .. }) => {
+                        shared.work.push(id);
+                        shared.work.push(new_id);
+                    }
+                    ExecOutcome::Yield(YieldKind::Internal) => {
+                        shared.work.push(id);
+                    }
+                    ExecOutcome::Blocked => {}
+                    ExecOutcome::Deleted => {
+                        self.inner.contexts.lock().remove(&id);
+                    }
+                    ExecOutcome::Error(e) => return Err(RuntimeError::Machine(e)),
+                    ExecOutcome::NeedChoice => {
+                        unreachable!("erased programs are deterministic")
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Attaches external memory to machine `id` (the per-machine `void*`
+    /// of §4), replacing any previous context.
+    pub fn set_context(&self, id: MachineId, context: Box<dyn Any + Send>) {
+        self.inner.contexts.lock().insert(id, context);
+    }
+
+    /// `SMGetContext`: runs `f` over machine `id`'s external memory.
+    ///
+    /// Returns `None` if the machine has no context or it has a different
+    /// type.
+    pub fn with_context<T: Any + Send, R>(
+        &self,
+        id: MachineId,
+        f: impl FnOnce(&mut T) -> R,
+    ) -> Option<R> {
+        let mut map = self.inner.contexts.lock();
+        map.get_mut(&id)?.downcast_mut::<T>().map(f)
+    }
+
+    /// Reads a machine variable by name (introspection for tests and
+    /// examples).
+    pub fn read_var(&self, id: MachineId, name: &str) -> Option<Value> {
+        let program = &self.inner.program;
+        let shared = self.inner.shared.lock();
+        let machine = shared.config.machine(id)?;
+        let mt = program.machine(machine.ty);
+        let var = program.interner.get(name).and_then(|s| mt.var_named(s))?;
+        Some(machine.locals[var.0 as usize])
+    }
+
+    /// The source name of machine `id`'s current control state.
+    pub fn current_state(&self, id: MachineId) -> Option<String> {
+        let program = &self.inner.program;
+        let shared = self.inner.shared.lock();
+        let machine = shared.config.machine(id)?;
+        Some(
+            program
+                .state_name(machine.ty, machine.current_state())
+                .to_owned(),
+        )
+    }
+
+    /// Whether machine `id` is alive.
+    pub fn is_alive(&self, id: MachineId) -> bool {
+        self.inner.shared.lock().config.machine(id).is_some()
+    }
+
+    /// Number of events delivered through [`Runtime::add_event`].
+    pub fn events_processed(&self) -> u64 {
+        self.inner.events_processed.load(Ordering::Relaxed)
+    }
+
+    /// Number of atomic machine runs executed.
+    pub fn runs_executed(&self) -> u64 {
+        self.inner.runs_executed.load(Ordering::Relaxed)
+    }
+
+    /// Queue length of machine `id` (introspection).
+    pub fn queue_len(&self, id: MachineId) -> Option<usize> {
+        let shared = self.inner.shared.lock();
+        Some(shared.config.machine(id)?.queue.len())
+    }
+}

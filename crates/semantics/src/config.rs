@@ -1,0 +1,457 @@
+//! Global and per-machine configurations.
+//!
+//! §3.1: a global configuration `M` maps machine identifiers to machine
+//! configurations `(σ, s, S, q)` — a call stack of (state, inherited
+//! handler map) pairs, a variable store, the statement remaining to be
+//! executed, and an input queue. This module represents those pieces in a
+//! form that is cheap to clone (for search branching) and to serialize
+//! (for explicit-state deduplication).
+
+use std::fmt;
+
+use crate::lower::{ActionId, EventId, LoweredProgram, MachineTypeId, StateId, StmtId};
+use crate::value::Value;
+
+/// Identifier of a dynamically created machine instance.
+///
+/// Instance ids are allocated densely in creation order, which makes runs
+/// deterministic given a schedule — a requirement for state hashing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MachineId(pub u32);
+
+impl fmt::Display for MachineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// An entry of the inherited handler map `a` carried on the call stack:
+/// ⊥ (no handler), `T` (deferred), or an action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Inherited {
+    /// ⊥ — no inherited handler.
+    #[default]
+    None,
+    /// `T` — the event is inherited as deferred.
+    Deferred,
+    /// An inherited action binding.
+    Action(ActionId),
+}
+
+impl Inherited {
+    fn encode(self, out: &mut Vec<u8>) {
+        match self {
+            Inherited::None => out.push(0),
+            Inherited::Deferred => out.push(1),
+            Inherited::Action(a) => {
+                out.push(2);
+                out.extend_from_slice(&a.0.to_le_bytes());
+            }
+        }
+    }
+}
+
+/// One instruction of a statement continuation.
+///
+/// The operational semantics presents statement execution with evaluation
+/// contexts `S[s]`; a continuation stack is the standard defunctionalized
+/// form of the same thing, and makes machine configurations first-class
+/// values that can be cloned and hashed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// Execute a statement.
+    Stmt(StmtId),
+    /// Resume a block at child index `.1`.
+    Seq(StmtId, u32),
+    /// Re-evaluate a `while` statement's condition.
+    Loop(StmtId),
+    /// Replace the top frame's state with the target and run its entry
+    /// statement (the tail of a step transition, after the exit ran).
+    EnterState(StateId),
+    /// Pop the top frame after a `return` (its exit already ran); restore
+    /// the frame's saved continuation if present.
+    PopViaReturn,
+    /// Pop the top frame because the pending event is unhandled there (its
+    /// exit already ran); the pending event is re-dispatched in the caller.
+    /// Popping the last frame is the *unhandled event* error.
+    PopUnhandled,
+}
+
+impl Instr {
+    fn encode(self, out: &mut Vec<u8>) {
+        match self {
+            Instr::Stmt(s) => {
+                out.push(0);
+                out.extend_from_slice(&s.0.to_le_bytes());
+            }
+            Instr::Seq(s, i) => {
+                out.push(1);
+                out.extend_from_slice(&s.0.to_le_bytes());
+                out.extend_from_slice(&i.to_le_bytes());
+            }
+            Instr::Loop(s) => {
+                out.push(2);
+                out.extend_from_slice(&s.0.to_le_bytes());
+            }
+            Instr::EnterState(s) => {
+                out.push(3);
+                out.extend_from_slice(&s.0.to_le_bytes());
+            }
+            Instr::PopViaReturn => out.push(4),
+            Instr::PopUnhandled => out.push(5),
+        }
+    }
+}
+
+/// A statement continuation: a stack of instructions, the last element
+/// being the next to execute.
+pub type Cont = Vec<Instr>;
+
+/// A call-stack frame `(n, a)` — a state plus the handler map inherited
+/// from callers — optionally carrying the continuation saved by a
+/// `call n;` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// The frame's control state.
+    pub state: StateId,
+    /// Inherited handler map, indexed by event id.
+    pub inherited: Vec<Inherited>,
+    /// Saved caller continuation (only for `call n;` statements).
+    pub resume: Option<Cont>,
+}
+
+impl Frame {
+    /// A frame with an empty inherited map (used for initial states).
+    pub fn initial(state: StateId, n_events: usize) -> Frame {
+        Frame {
+            state,
+            inherited: vec![Inherited::None; n_events],
+            resume: None,
+        }
+    }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.state.0.to_le_bytes());
+        for h in &self.inherited {
+            h.encode(out);
+        }
+        match &self.resume {
+            None => out.push(0),
+            Some(cont) => {
+                out.push(1);
+                out.extend_from_slice(&(cont.len() as u32).to_le_bytes());
+                for i in cont {
+                    i.encode(out);
+                }
+            }
+        }
+    }
+}
+
+/// The configuration of one live machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineState {
+    /// The machine's type.
+    pub ty: MachineTypeId,
+    /// Call stack; the last frame is the top.
+    pub stack: Vec<Frame>,
+    /// Local variable store, indexed by `VarId`.
+    pub locals: Vec<Value>,
+    /// The `msg` register — the most recently received event.
+    pub msg: Value,
+    /// The `arg` register — the payload of the most recently received
+    /// event.
+    pub arg: Value,
+    /// Remaining statement execution.
+    pub cont: Cont,
+    /// A raised event awaiting dispatch (the dynamic `raise(e, v)` of the
+    /// rules in Figure 5).
+    pub pending: Option<(EventId, Value)>,
+    /// The input queue.
+    pub queue: Vec<(EventId, Value)>,
+}
+
+impl MachineState {
+    /// The top call-stack frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stack is empty — machine execution ensures the stack
+    /// is only empty transiently inside a pop (where emptiness is the
+    /// unhandled-event error).
+    pub fn top(&self) -> &Frame {
+        self.stack.last().expect("machine call stack is empty")
+    }
+
+    /// The current control state (top of stack).
+    pub fn current_state(&self) -> StateId {
+        self.top().state
+    }
+
+    /// Appends `(event, payload)` to the queue using the paper's ⊕
+    /// operator: a no-op if an identical pair is already queued.
+    ///
+    /// Returns `true` if the event was actually enqueued.
+    pub fn enqueue(&mut self, event: EventId, payload: Value) -> bool {
+        if self.queue.iter().any(|&(e, v)| e == event && v == payload) {
+            return false;
+        }
+        self.queue.push((event, payload));
+        true
+    }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.ty.0.to_le_bytes());
+        out.extend_from_slice(&(self.stack.len() as u32).to_le_bytes());
+        for f in &self.stack {
+            f.encode(out);
+        }
+        out.extend_from_slice(&(self.locals.len() as u32).to_le_bytes());
+        for v in &self.locals {
+            v.encode(out);
+        }
+        self.msg.encode(out);
+        self.arg.encode(out);
+        out.extend_from_slice(&(self.cont.len() as u32).to_le_bytes());
+        for i in &self.cont {
+            i.encode(out);
+        }
+        match &self.pending {
+            None => out.push(0),
+            Some((e, v)) => {
+                out.push(1);
+                out.extend_from_slice(&e.0.to_le_bytes());
+                v.encode(out);
+            }
+        }
+        out.extend_from_slice(&(self.queue.len() as u32).to_le_bytes());
+        for (e, v) in &self.queue {
+            out.extend_from_slice(&e.0.to_le_bytes());
+            v.encode(out);
+        }
+    }
+}
+
+/// A global configuration: every machine created so far, with deleted
+/// machines remembered as `None` (so that sends to them are detected as
+/// errors, rule SEND-FAIL2).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Config {
+    machines: Vec<Option<MachineState>>,
+}
+
+impl Config {
+    /// Allocates a fresh machine of type `ty` with ⊥-initialized locals,
+    /// an initial frame, and the init state's entry statement as its
+    /// continuation. Returns the new id.
+    pub fn allocate(&mut self, program: &LoweredProgram, ty: MachineTypeId) -> MachineId {
+        let mt = program.machine(ty);
+        let n_events = program.event_count();
+        let init = mt.init_state();
+        let entry = mt.states[init.0 as usize].entry;
+        let state = MachineState {
+            ty,
+            stack: vec![Frame::initial(init, n_events)],
+            locals: vec![Value::Null; mt.vars.len()],
+            msg: Value::Null,
+            arg: Value::Null,
+            cont: vec![Instr::Stmt(entry)],
+            pending: None,
+            queue: Vec::new(),
+        };
+        self.machines.push(Some(state));
+        MachineId((self.machines.len() - 1) as u32)
+    }
+
+    /// Total machines ever created (including deleted ones).
+    pub fn created_count(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Ids of machines that are still alive.
+    pub fn live_ids(&self) -> impl Iterator<Item = MachineId> + '_ {
+        self.machines
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.is_some())
+            .map(|(i, _)| MachineId(i as u32))
+    }
+
+    /// Looks up a live machine.
+    pub fn machine(&self, id: MachineId) -> Option<&MachineState> {
+        self.machines.get(id.0 as usize).and_then(|m| m.as_ref())
+    }
+
+    /// Mutable lookup of a live machine.
+    pub fn machine_mut(&mut self, id: MachineId) -> Option<&mut MachineState> {
+        self.machines.get_mut(id.0 as usize).and_then(|m| m.as_mut())
+    }
+
+    /// Removes machine `id` (the `delete` statement). Its slot stays
+    /// reserved so later sends to it are errors.
+    pub fn delete(&mut self, id: MachineId) {
+        if let Some(slot) = self.machines.get_mut(id.0 as usize) {
+            *slot = None;
+        }
+    }
+
+    /// Whether machine `id` can take a step: it is live and is either
+    /// mid-execution, holding a raised event, or has a dequeuable event in
+    /// its queue (the `en(m)` predicate of §3.2).
+    pub fn enabled(&self, id: MachineId, program: &LoweredProgram) -> bool {
+        let Some(m) = self.machine(id) else {
+            return false;
+        };
+        if !m.cont.is_empty() || m.pending.is_some() {
+            return true;
+        }
+        self.dequeuable_index(m, program).is_some()
+    }
+
+    /// The queue index of the first event machine `m` could dequeue in its
+    /// current state, following the DEQUEUE rule: skip events that are
+    /// deferred (by the state or inherited) unless a transition or action
+    /// of the current state handles them.
+    pub fn dequeuable_index(
+        &self,
+        m: &MachineState,
+        program: &LoweredProgram,
+    ) -> Option<usize> {
+        let mt = program.machine(m.ty);
+        let frame = m.top();
+        let state = &mt.states[frame.state.0 as usize];
+        m.queue.iter().position(|&(e, _)| {
+            let i = e.0 as usize;
+            // t: handled directly by the current state.
+            if state.handles(e) {
+                return true;
+            }
+            // d': deferred here or inherited as deferred.
+            let deferred =
+                state.deferred.contains(e) || frame.inherited[i] == Inherited::Deferred;
+            !deferred
+        })
+    }
+
+    /// Serializes the configuration to a canonical byte string for
+    /// explicit-state deduplication.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(128);
+        out.extend_from_slice(&(self.machines.len() as u32).to_le_bytes());
+        for m in &self.machines {
+            match m {
+                None => out.push(0),
+                Some(state) => {
+                    out.push(1);
+                    state.encode(&mut out);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower;
+    use p_ast::{ProgramBuilder, Ty};
+
+    fn tiny_program() -> LoweredProgram {
+        let mut b = ProgramBuilder::new();
+        b.event("e");
+        b.event_with("d", Ty::Int);
+        let mut m = b.machine("M");
+        m.var("x", Ty::Int);
+        m.state("A").defer(&["d"]);
+        m.state("B");
+        m.step("A", "e", "B");
+        m.finish();
+        lower(&b.finish("M")).unwrap()
+    }
+
+    #[test]
+    fn allocate_sets_up_initial_machine() {
+        let p = tiny_program();
+        let mut c = Config::default();
+        let id = c.allocate(&p, p.main);
+        let m = c.machine(id).unwrap();
+        assert_eq!(m.stack.len(), 1);
+        assert_eq!(m.current_state(), StateId(0));
+        assert_eq!(m.locals, vec![Value::Null]);
+        assert_eq!(m.cont.len(), 1);
+        assert!(m.queue.is_empty());
+    }
+
+    #[test]
+    fn enqueue_deduplicates_identical_pairs() {
+        let p = tiny_program();
+        let mut c = Config::default();
+        let id = c.allocate(&p, p.main);
+        let m = c.machine_mut(id).unwrap();
+        let e = EventId(0);
+        assert!(m.enqueue(e, Value::Null));
+        assert!(!m.enqueue(e, Value::Null));
+        // Same event with a different payload is a distinct pair.
+        assert!(m.enqueue(e, Value::Int(1)));
+        assert!(m.enqueue(e, Value::Int(2)));
+        assert!(!m.enqueue(e, Value::Int(1)));
+        assert_eq!(m.queue.len(), 3);
+    }
+
+    #[test]
+    fn delete_leaves_tombstone() {
+        let p = tiny_program();
+        let mut c = Config::default();
+        let id = c.allocate(&p, p.main);
+        c.delete(id);
+        assert!(c.machine(id).is_none());
+        assert_eq!(c.created_count(), 1);
+        assert_eq!(c.live_ids().count(), 0);
+        // A new allocation gets a fresh id, not the tombstone's.
+        let id2 = c.allocate(&p, p.main);
+        assert_ne!(id, id2);
+    }
+
+    #[test]
+    fn dequeue_skips_deferred_events() {
+        let p = tiny_program();
+        let d = p.event_id_named("d").unwrap();
+        let e = p.event_id_named("e").unwrap();
+        let mut c = Config::default();
+        let id = c.allocate(&p, p.main);
+        {
+            let m = c.machine_mut(id).unwrap();
+            m.cont.clear(); // pretend entry finished
+            m.enqueue(d, Value::Int(1));
+            m.enqueue(e, Value::Null);
+        }
+        let m = c.machine(id).unwrap();
+        // `d` is deferred in state A, `e` has a transition: index 1.
+        assert_eq!(c.dequeuable_index(m, &p), Some(1));
+    }
+
+    #[test]
+    fn enabled_accounts_for_queue_and_cont() {
+        let p = tiny_program();
+        let d = p.event_id_named("d").unwrap();
+        let mut c = Config::default();
+        let id = c.allocate(&p, p.main);
+        assert!(c.enabled(id, &p)); // entry statement still to run
+        c.machine_mut(id).unwrap().cont.clear();
+        assert!(!c.enabled(id, &p)); // empty queue
+        c.machine_mut(id).unwrap().enqueue(d, Value::Null);
+        assert!(!c.enabled(id, &p)); // only a deferred event queued
+    }
+
+    #[test]
+    fn canonical_bytes_distinguish_configs() {
+        let p = tiny_program();
+        let mut c1 = Config::default();
+        let id = c1.allocate(&p, p.main);
+        let mut c2 = c1.clone();
+        assert_eq!(c1.canonical_bytes(), c2.canonical_bytes());
+        c2.machine_mut(id).unwrap().locals[0] = Value::Int(3);
+        assert_ne!(c1.canonical_bytes(), c2.canonical_bytes());
+    }
+}

@@ -1,0 +1,906 @@
+//! The execution engine: an interpreter for the operational semantics of
+//! Figures 4–6.
+//!
+//! The engine executes one machine at a time. Per the atomicity reduction
+//! of §5, a machine runs *atomically* until it reaches a scheduling point —
+//! a `send` or a `new` — or until it blocks waiting for an event, deletes
+//! itself, or errors. A fine-grained mode (every small step is a scheduling
+//! point) exists for the ablation experiment that validates the reduction.
+//!
+//! Nondeterministic `*` choices inside ghost machines are resolved through
+//! a caller-supplied choice source. The model checker passes a replayable
+//! script and re-executes with extended scripts to enumerate both branches;
+//! the simulator passes a random source.
+
+use crate::config::{Config, Frame, Inherited, Instr};
+use crate::error::{ErrorKind, PError};
+use crate::foreign::ForeignEnv;
+use crate::lower::{EventId, ExprId, FnId, LExpr, LStmt, LoweredProgram, MachineTypeId, StmtId};
+use crate::value::Value;
+use crate::MachineId;
+
+/// How a machine's atomic run ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecOutcome {
+    /// The machine reached a scheduling point and can continue later.
+    Yield(YieldKind),
+    /// The machine is waiting for an event it can dequeue.
+    Blocked,
+    /// The machine executed `delete` and no longer exists.
+    Deleted,
+    /// The machine took an error transition.
+    Error(PError),
+    /// The choice source was exhausted at a nondeterministic `*`.
+    ///
+    /// The configuration is left partially mutated; the caller must restore
+    /// it from a copy and re-run with a longer choice script.
+    NeedChoice,
+}
+
+/// The scheduling point a yielding machine stopped at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum YieldKind {
+    /// The machine sent `event` to `to`. `enqueued` is false when the ⊕
+    /// duplicate-suppression rule dropped the event.
+    Sent {
+        /// Receiver.
+        to: MachineId,
+        /// Event sent.
+        event: EventId,
+        /// Whether the queue actually grew.
+        enqueued: bool,
+    },
+    /// The machine created a new machine.
+    Created {
+        /// The new machine's id.
+        id: MachineId,
+        /// Its type.
+        ty: MachineTypeId,
+    },
+    /// Fine-grained mode only: an internal small step completed.
+    Internal,
+}
+
+/// Result of [`Engine::run_machine`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunResult {
+    /// How the run ended.
+    pub outcome: ExecOutcome,
+    /// Number of nondeterministic choices consumed.
+    pub choices_used: usize,
+    /// Number of small steps executed.
+    pub steps: usize,
+    /// Events dequeued from this machine's input queue during the run
+    /// (used by the liveness analysis in `p-checker`).
+    pub dequeued: Vec<EventId>,
+}
+
+/// Scheduling granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Granularity {
+    /// Context switches only after `send`/`new` (§5's atomicity
+    /// reduction). The default.
+    #[default]
+    Atomic,
+    /// Context switches after every small step (ablation baseline).
+    Fine,
+}
+
+/// A source of nondeterministic boolean choices.
+///
+/// `None` means the source is exhausted and the engine must abort with
+/// [`ExecOutcome::NeedChoice`].
+pub trait ChoiceSource {
+    /// Produces the next choice, or `None` if exhausted.
+    fn next_choice(&mut self) -> Option<bool>;
+}
+
+/// A finite, replayable choice script (used by the model checker).
+#[derive(Debug, Clone)]
+pub struct Script<'a> {
+    bits: &'a [bool],
+    used: usize,
+}
+
+impl<'a> Script<'a> {
+    /// Creates a script over `bits`.
+    pub fn new(bits: &'a [bool]) -> Script<'a> {
+        Script { bits, used: 0 }
+    }
+
+    /// Number of bits consumed so far.
+    pub fn used(&self) -> usize {
+        self.used
+    }
+}
+
+impl ChoiceSource for Script<'_> {
+    fn next_choice(&mut self) -> Option<bool> {
+        let bit = self.bits.get(self.used).copied();
+        if bit.is_some() {
+            self.used += 1;
+        }
+        bit
+    }
+}
+
+impl<F: FnMut() -> bool> ChoiceSource for F {
+    fn next_choice(&mut self) -> Option<bool> {
+        Some(self())
+    }
+}
+
+/// Interprets one lowered program.
+///
+/// # Examples
+///
+/// ```
+/// use p_ast::ProgramBuilder;
+/// use p_semantics::{lower, Engine, ForeignEnv};
+///
+/// let mut b = ProgramBuilder::new();
+/// b.event("go");
+/// let mut m = b.machine("M");
+/// m.state("Init").entry_raise("go");
+/// m.state("Done");
+/// m.step("Init", "go", "Done");
+/// m.finish();
+/// let program = lower(&b.finish("M")).unwrap();
+///
+/// let engine = Engine::new(&program, ForeignEnv::empty());
+/// let mut config = engine.initial_config();
+/// let id = config.live_ids().next().unwrap();
+/// let result = engine.run_machine(&mut config, id, &mut || false, Default::default());
+/// assert!(matches!(result.outcome, p_semantics::ExecOutcome::Blocked));
+/// ```
+#[derive(Debug)]
+pub struct Engine<'p> {
+    program: &'p LoweredProgram,
+    foreign: ForeignEnv,
+    fuel: usize,
+}
+
+/// Result of one small step (internal).
+enum SmallStep {
+    Continue,
+    Yield(YieldKind),
+    Blocked,
+    Deleted,
+    Error(ErrorKind),
+    NeedChoice,
+}
+
+/// Expression evaluation abort: the choice source ran dry.
+struct NeedChoiceMarker;
+
+impl<'p> Engine<'p> {
+    /// Creates an engine with the default fuel (100 000 small steps per
+    /// atomic run).
+    pub fn new(program: &'p LoweredProgram, foreign: ForeignEnv) -> Engine<'p> {
+        Engine {
+            program,
+            foreign,
+            fuel: 100_000,
+        }
+    }
+
+    /// Overrides the per-run small-step budget. Exceeding it produces
+    /// [`ErrorKind::FuelExhausted`] — the detector for machines that loop
+    /// privately forever (first liveness property, §3.2).
+    pub fn with_fuel(mut self, fuel: usize) -> Engine<'p> {
+        self.fuel = fuel;
+        self
+    }
+
+    /// The program being interpreted.
+    pub fn program(&self) -> &'p LoweredProgram {
+        self.program
+    }
+
+    /// Builds the initial configuration: one instance of the main machine
+    /// with its initializers applied, poised to run the entry statement of
+    /// its initial state.
+    pub fn initial_config(&self) -> Config {
+        let mut config = Config::default();
+        let id = config.allocate(self.program, self.program.main);
+        // Main initializers are constant expressions (the type checker
+        // rejects anything context-dependent); evaluate them in the fresh
+        // machine's own empty context.
+        let inits = self.program.main_inits.clone();
+        let mut values = Vec::new();
+        {
+            let m = config.machine(id).expect("just allocated");
+            // No choices are available here; the type checker rejects `*`
+            // in main initializers, and any that slips through becomes ⊥.
+            let mut empty = Script::new(&[]);
+            for (var, expr) in &inits {
+                let v = self
+                    .eval(m, id, *expr, &mut empty)
+                    .unwrap_or(Value::Null);
+                values.push((*var, v));
+            }
+        }
+        let m = config.machine_mut(id).expect("just allocated");
+        for (var, v) in values {
+            m.locals[var.0 as usize] = v;
+        }
+        config
+    }
+
+    /// Runs machine `id` until it yields, blocks, deletes itself, or
+    /// errors.
+    ///
+    /// On [`ExecOutcome::NeedChoice`] the configuration is left partially
+    /// mutated and must be discarded by the caller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a live machine.
+    pub fn run_machine(
+        &self,
+        config: &mut Config,
+        id: MachineId,
+        choices: &mut dyn ChoiceSource,
+        granularity: Granularity,
+    ) -> RunResult {
+        assert!(
+            config.machine(id).is_some(),
+            "run_machine called on dead machine {id}"
+        );
+        let mut counting = CountingChoices {
+            inner: choices,
+            used: 0,
+        };
+        let mut steps = 0;
+        let mut dequeued = Vec::new();
+        loop {
+            if steps >= self.fuel {
+                return RunResult {
+                    outcome: ExecOutcome::Error(PError::new(ErrorKind::FuelExhausted, id)),
+                    choices_used: counting.used,
+                    steps,
+                    dequeued,
+                };
+            }
+            steps += 1;
+            let step = self.small_step(config, id, &mut counting, &mut dequeued);
+            let outcome = match step {
+                SmallStep::Continue => {
+                    if granularity == Granularity::Fine {
+                        // Blocked/terminated conditions are detected on the
+                        // next entry, so a fine step is always resumable.
+                        Some(ExecOutcome::Yield(YieldKind::Internal))
+                    } else {
+                        None
+                    }
+                }
+                SmallStep::Yield(kind) => Some(ExecOutcome::Yield(kind)),
+                SmallStep::Blocked => Some(ExecOutcome::Blocked),
+                SmallStep::Deleted => Some(ExecOutcome::Deleted),
+                SmallStep::Error(kind) => {
+                    Some(ExecOutcome::Error(PError::new(kind, id)))
+                }
+                SmallStep::NeedChoice => Some(ExecOutcome::NeedChoice),
+            };
+            if let Some(outcome) = outcome {
+                return RunResult {
+                    outcome,
+                    choices_used: counting.used,
+                    steps,
+                    dequeued,
+                };
+            }
+        }
+    }
+
+    /// Executes one small step of machine `id`.
+    fn small_step(
+        &self,
+        config: &mut Config,
+        id: MachineId,
+        choices: &mut CountingChoices<'_>,
+        dequeued: &mut Vec<EventId>,
+    ) -> SmallStep {
+        // 1. Remaining statement execution.
+        let instr = {
+            let m = config.machine_mut(id).expect("machine vanished mid-run");
+            m.cont.pop()
+        };
+        if let Some(instr) = instr {
+            return self.exec_instr(config, id, instr, choices);
+        }
+
+        // 2. A raised event awaiting dispatch.
+        let pending = config.machine(id).expect("machine vanished").pending;
+        if let Some((event, value)) = pending {
+            return self.dispatch(config, id, event, value);
+        }
+
+        // 3. Waiting: try to dequeue (rule DEQUEUE).
+        let m = config.machine_mut(id).expect("machine vanished");
+        let mt = self.program.machine(m.ty);
+        let frame = m.top();
+        let state = &mt.states[frame.state.0 as usize];
+        let index = m.queue.iter().position(|&(e, _)| {
+            if state.handles(e) {
+                return true;
+            }
+            let deferred = state.deferred.contains(e)
+                || frame.inherited[e.0 as usize] == Inherited::Deferred;
+            !deferred
+        });
+        match index {
+            None => SmallStep::Blocked,
+            Some(i) => {
+                let (event, value) = m.queue.remove(i);
+                dequeued.push(event);
+                m.msg = Value::Event(event);
+                m.arg = value;
+                m.pending = Some((event, value));
+                SmallStep::Continue
+            }
+        }
+    }
+
+    /// Dispatches a raised event against the top frame: rules STEP,
+    /// CALL, ACTION, POP1 and the exit-statement insertion of
+    /// DEQUEUE/RAISE.
+    fn dispatch(
+        &self,
+        config: &mut Config,
+        id: MachineId,
+        event: EventId,
+        _value: Value,
+    ) -> SmallStep {
+        let m = config.machine_mut(id).expect("machine vanished");
+        let mt = self.program.machine(m.ty);
+        let frame_state;
+        let inherited_entry;
+        {
+            let frame = m.top();
+            frame_state = frame.state;
+            inherited_entry = frame.inherited[event.0 as usize];
+        }
+        let state = &mt.states[frame_state.0 as usize];
+        let e = event.0 as usize;
+
+        // STEP has the highest priority.
+        if let Some(target) = state.steps[e] {
+            m.pending = None;
+            m.cont.clear();
+            m.cont.push(Instr::EnterState(target));
+            m.cont.push(Instr::Stmt(state.exit));
+            return SmallStep::Continue;
+        }
+
+        // CALL: push (n', a') where a' inherits from the current state.
+        if let Some(target) = state.calls[e] {
+            m.pending = None;
+            let n_events = self.program.event_count();
+            let old = m.top().inherited.clone();
+            let mut inherited = Vec::with_capacity(n_events);
+            #[allow(clippy::needless_range_loop)] // x indexes four tables
+            for x in 0..n_events {
+                let ev = EventId(x as u32);
+                let entry = if state.steps[x].is_some() || state.calls[x].is_some() {
+                    Inherited::None
+                } else if let Some(a) = state.actions[x] {
+                    Inherited::Action(a)
+                } else if state.deferred.contains(ev) {
+                    Inherited::Deferred
+                } else {
+                    old[x]
+                };
+                inherited.push(entry);
+            }
+            let entry_stmt = mt.states[target.0 as usize].entry;
+            m.stack.push(Frame {
+                state: target,
+                inherited,
+                resume: None,
+            });
+            m.cont.clear();
+            m.cont.push(Instr::Stmt(entry_stmt));
+            return SmallStep::Continue;
+        }
+
+        // ACTION: a binding on the current state overrides an inherited
+        // action.
+        let action = state.actions[e].or(match inherited_entry {
+            Inherited::Action(a) => Some(a),
+            _ => None,
+        });
+        if let Some(action) = action {
+            m.pending = None;
+            let body = mt.actions[action.0 as usize].body;
+            m.cont.clear();
+            m.cont.push(Instr::Stmt(body));
+            return SmallStep::Continue;
+        }
+
+        // POP1: run the exit statement, then pop; the pending event stays
+        // and is re-dispatched in the caller.
+        m.cont.clear();
+        m.cont.push(Instr::PopUnhandled);
+        m.cont.push(Instr::Stmt(state.exit));
+        SmallStep::Continue
+    }
+
+    fn exec_instr(
+        &self,
+        config: &mut Config,
+        id: MachineId,
+        instr: Instr,
+        choices: &mut CountingChoices<'_>,
+    ) -> SmallStep {
+        match instr {
+            Instr::Stmt(sid) => {
+                // The code arena outlives the run; no clone needed.
+                let stmt = self.program.code.stmt(sid);
+                self.exec_stmt(config, id, sid, stmt, choices)
+            }
+            Instr::Seq(block, idx) => {
+                let LStmt::Block(children) = self.program.code.stmt(block) else {
+                    unreachable!("Seq instruction over a non-block statement");
+                };
+                let child = children.get(idx as usize).copied();
+                let m = config.machine_mut(id).expect("machine vanished");
+                if let Some(child) = child {
+                    m.cont.push(Instr::Seq(block, idx + 1));
+                    m.cont.push(Instr::Stmt(child));
+                }
+                SmallStep::Continue
+            }
+            Instr::Loop(while_stmt) => {
+                let m = config.machine_mut(id).expect("machine vanished");
+                m.cont.push(Instr::Stmt(while_stmt));
+                SmallStep::Continue
+            }
+            Instr::EnterState(target) => {
+                let m = config.machine_mut(id).expect("machine vanished");
+                let mt = self.program.machine(m.ty);
+                let entry = mt.states[target.0 as usize].entry;
+                m.stack.last_mut().expect("empty stack on enter").state = target;
+                m.cont.push(Instr::Stmt(entry));
+                SmallStep::Continue
+            }
+            Instr::PopViaReturn => {
+                let m = config.machine_mut(id).expect("machine vanished");
+                let frame = m.stack.pop().expect("return with empty stack");
+                if m.stack.is_empty() {
+                    return SmallStep::Error(ErrorKind::StackUnderflow);
+                }
+                if let Some(resume) = frame.resume {
+                    m.cont = resume;
+                }
+                SmallStep::Continue
+            }
+            Instr::PopUnhandled => {
+                let m = config.machine_mut(id).expect("machine vanished");
+                let pending_event = m
+                    .pending
+                    .map(|(e, _)| e)
+                    .expect("PopUnhandled without a pending event");
+                m.stack.pop().expect("pop with empty stack");
+                if m.stack.is_empty() {
+                    return SmallStep::Error(ErrorKind::UnhandledEvent {
+                        event: pending_event,
+                    });
+                }
+                SmallStep::Continue
+            }
+        }
+    }
+
+    fn exec_stmt(
+        &self,
+        config: &mut Config,
+        id: MachineId,
+        sid: crate::lower::StmtId,
+        stmt: &LStmt,
+        choices: &mut CountingChoices<'_>,
+    ) -> SmallStep {
+        macro_rules! eval {
+            ($expr:expr) => {{
+                let m = config.machine(id).expect("machine vanished");
+                match self.eval(m, id, $expr, choices) {
+                    Ok(v) => v,
+                    Err(NeedChoiceMarker) => return SmallStep::NeedChoice,
+                }
+            }};
+        }
+
+        match stmt {
+            LStmt::Skip => SmallStep::Continue,
+            LStmt::Assign(var, value) => {
+                let v = eval!(*value);
+                let m = config.machine_mut(id).expect("machine vanished");
+                m.locals[var.0 as usize] = v;
+                SmallStep::Continue
+            }
+            LStmt::New { dst, ty, inits } => {
+                let mut values = Vec::with_capacity(inits.len());
+                for (var, expr) in inits {
+                    values.push((*var, eval!(*expr)));
+                }
+                let new_id = config.allocate(self.program, *ty);
+                {
+                    let created = config.machine_mut(new_id).expect("just allocated");
+                    for (var, v) in values {
+                        created.locals[var.0 as usize] = v;
+                    }
+                }
+                let m = config.machine_mut(id).expect("machine vanished");
+                m.locals[dst.0 as usize] = Value::Machine(new_id);
+                SmallStep::Yield(YieldKind::Created {
+                    id: new_id,
+                    ty: *ty,
+                })
+            }
+            LStmt::Delete => {
+                config.delete(id);
+                SmallStep::Deleted
+            }
+            LStmt::Send {
+                target,
+                event,
+                payload,
+            } => {
+                let target_v = eval!(*target);
+                let payload_v = match payload {
+                    Some(p) => eval!(*p),
+                    None => Value::Null,
+                };
+                let Some(target_id) = target_v.as_machine() else {
+                    return SmallStep::Error(ErrorKind::SendToUndefined);
+                };
+                let Some(receiver) = config.machine_mut(target_id) else {
+                    return SmallStep::Error(ErrorKind::SendToDeleted { target: target_id });
+                };
+                let enqueued = receiver.enqueue(*event, payload_v);
+                SmallStep::Yield(YieldKind::Sent {
+                    to: target_id,
+                    event: *event,
+                    enqueued,
+                })
+            }
+            LStmt::Raise { event, payload } => {
+                let v = match payload {
+                    Some(p) => eval!(*p),
+                    None => Value::Null,
+                };
+                let m = config.machine_mut(id).expect("machine vanished");
+                m.msg = Value::Event(*event);
+                m.arg = v;
+                m.cont.clear();
+                m.pending = Some((*event, v));
+                SmallStep::Continue
+            }
+            LStmt::Leave => {
+                let m = config.machine_mut(id).expect("machine vanished");
+                m.cont.clear();
+                SmallStep::Continue
+            }
+            LStmt::Return => {
+                let m = config.machine_mut(id).expect("machine vanished");
+                let mt = self.program.machine(m.ty);
+                let exit = mt.states[m.current_state().0 as usize].exit;
+                m.cont.clear();
+                m.cont.push(Instr::PopViaReturn);
+                m.cont.push(Instr::Stmt(exit));
+                SmallStep::Continue
+            }
+            LStmt::Assert(cond) => match eval!(*cond) {
+                Value::Bool(true) => SmallStep::Continue,
+                Value::Bool(false) => SmallStep::Error(ErrorKind::AssertionFailure),
+                _ => SmallStep::Error(ErrorKind::AssertionUndefined),
+            },
+            LStmt::Block(_) => {
+                let m = config.machine_mut(id).expect("machine vanished");
+                m.cont.push(Instr::Seq(sid, 0));
+                SmallStep::Continue
+            }
+            LStmt::If { cond, then, els } => match eval!(*cond) {
+                Value::Bool(b) => {
+                    let branch = if b { *then } else { *els };
+                    let m = config.machine_mut(id).expect("machine vanished");
+                    m.cont.push(Instr::Stmt(branch));
+                    SmallStep::Continue
+                }
+                _ => SmallStep::Error(ErrorKind::UndefinedCondition),
+            },
+            LStmt::While { cond, body } => match eval!(*cond) {
+                Value::Bool(true) => {
+                    let m = config.machine_mut(id).expect("machine vanished");
+                    m.cont.push(Instr::Loop(sid));
+                    m.cont.push(Instr::Stmt(*body));
+                    SmallStep::Continue
+                }
+                Value::Bool(false) => SmallStep::Continue,
+                _ => SmallStep::Error(ErrorKind::UndefinedCondition),
+            },
+            LStmt::CallState(target) => {
+                let m = config.machine_mut(id).expect("machine vanished");
+                let mt = self.program.machine(m.ty);
+                let current = m.current_state();
+                let state = &mt.states[current.0 as usize];
+                let n_events = self.program.event_count();
+                let old = m.top().inherited.clone();
+                let mut inherited = Vec::with_capacity(n_events);
+                #[allow(clippy::needless_range_loop)] // x indexes four tables
+                for x in 0..n_events {
+                    let ev = EventId(x as u32);
+                    let entry = if state.steps[x].is_some() || state.calls[x].is_some() {
+                        Inherited::None
+                    } else if let Some(a) = state.actions[x] {
+                        Inherited::Action(a)
+                    } else if state.deferred.contains(ev) {
+                        Inherited::Deferred
+                    } else {
+                        old[x]
+                    };
+                    inherited.push(entry);
+                }
+                // The continuation after this statement becomes the saved
+                // resume point; it is restored when the callee returns.
+                let resume = std::mem::take(&mut m.cont);
+                let entry = mt.states[target.0 as usize].entry;
+                m.stack.push(Frame {
+                    state: *target,
+                    inherited,
+                    resume: Some(resume),
+                });
+                m.cont.push(Instr::Stmt(entry));
+                SmallStep::Continue
+            }
+            LStmt::Foreign { dst, func, args } => {
+                let mut arg_values = Vec::with_capacity(args.len());
+                for a in args {
+                    arg_values.push(eval!(*a));
+                }
+                let m = config.machine(id).expect("machine vanished");
+                let result = match self.call_foreign(m, id, *func, &arg_values, choices) {
+                    Ok(v) => v,
+                    Err(ModelAbort::NeedChoice) => return SmallStep::NeedChoice,
+                    Err(ModelAbort::Error(kind)) => return SmallStep::Error(kind),
+                };
+                if let Some(dst) = dst {
+                    let m = config.machine_mut(id).expect("machine vanished");
+                    m.locals[dst.0 as usize] = result;
+                }
+                SmallStep::Continue
+            }
+        }
+    }
+
+    /// Big-step expression evaluation (the paper's ⇓ relation) with ⊥
+    /// propagation and external resolution of `*`.
+    fn eval(
+        &self,
+        m: &crate::config::MachineState,
+        self_id: MachineId,
+        expr: ExprId,
+        choices: &mut dyn ChoiceSource,
+    ) -> Result<Value, NeedChoiceMarker> {
+        Ok(match self.program.code.expr(expr) {
+            LExpr::This => Value::Machine(self_id),
+            LExpr::Msg => m.msg,
+            LExpr::Arg => m.arg,
+            LExpr::Null => Value::Null,
+            LExpr::Bool(b) => Value::Bool(*b),
+            LExpr::Int(i) => Value::Int(*i),
+            LExpr::Var(v) => m.locals[v.0 as usize],
+            LExpr::Event(e) => Value::Event(*e),
+            LExpr::Nondet => Value::Bool(choices.next_choice().ok_or(NeedChoiceMarker)?),
+            LExpr::Unary(op, inner) => {
+                let v = self.eval(m, self_id, *inner, choices)?;
+                Value::unary(*op, &v)
+            }
+            LExpr::Binary(op, a, b) => {
+                // Note: both operands are always evaluated (no short
+                // circuit), matching the paper's strict operator semantics.
+                let va = self.eval(m, self_id, *a, choices)?;
+                let vb = self.eval(m, self_id, *b, choices)?;
+                Value::binary(*op, &va, &vb)
+            }
+            LExpr::Foreign(func, args) => {
+                let mut values = Vec::with_capacity(args.len());
+                for a in args {
+                    values.push(self.eval(m, self_id, *a, choices)?);
+                }
+                match self.call_foreign(m, self_id, *func, &values, choices) {
+                    Ok(v) => v,
+                    Err(ModelAbort::NeedChoice) => return Err(NeedChoiceMarker),
+                    // A failing assert inside a model body in expression
+                    // position surfaces as ⊥ — the enclosing statement's
+                    // dynamic checks then report the error; this keeps the
+                    // expression layer total, matching the paper's
+                    // ⊥-propagating discipline.
+                    Err(ModelAbort::Error(_)) => Value::Null,
+                }
+            }
+        })
+    }
+
+    /// The `en(m)` predicate: whether machine `id` can take a step.
+    pub fn enabled(&self, config: &Config, id: MachineId) -> bool {
+        config.enabled(id, self.program)
+    }
+
+    /// Ids of all enabled machines, in increasing id order.
+    pub fn enabled_machines(&self, config: &Config) -> Vec<MachineId> {
+        config
+            .live_ids()
+            .filter(|&id| self.enabled(config, id))
+            .collect()
+    }
+}
+
+/// Why a model-body interpretation stopped early.
+enum ModelAbort {
+    NeedChoice,
+    Error(ErrorKind),
+}
+
+impl Engine<'_> {
+    /// Calls a foreign function: a registered native implementation wins;
+    /// otherwise an erasable model body (§3) is interpreted; otherwise the
+    /// conservative ⊥ is returned.
+    fn call_foreign(
+        &self,
+        m: &crate::config::MachineState,
+        self_id: MachineId,
+        func: FnId,
+        args: &[Value],
+        choices: &mut dyn ChoiceSource,
+    ) -> Result<Value, ModelAbort> {
+        if self.foreign.has_impl(m.ty, func) {
+            return Ok(self.foreign.call(self_id, m.ty, func, args));
+        }
+        let mt = self.program.machine(m.ty);
+        let Some(model) = mt.foreign[func.0 as usize].model else {
+            return Ok(Value::Null);
+        };
+        // Extended frame: machine locals (read-only for well-checked
+        // programs), then parameters, then the `result` slot.
+        let mut locals = m.locals.clone();
+        locals.resize(model.param_base as usize, Value::Null);
+        for i in 0..model.param_count as usize {
+            locals.push(args.get(i).copied().unwrap_or(Value::Null));
+        }
+        locals.push(Value::Null); // result
+        let mut frame = ModelFrame {
+            locals,
+            msg: m.msg,
+            arg: m.arg,
+            self_id,
+            ty: m.ty,
+            fuel: 100_000,
+        };
+        self.model_stmt(&mut frame, model.body, choices)?;
+        Ok(frame.locals[model.result_slot as usize])
+    }
+
+    /// Big-step interpretation of a (statement-restricted) model body.
+    fn model_stmt(
+        &self,
+        frame: &mut ModelFrame,
+        stmt: StmtId,
+        choices: &mut dyn ChoiceSource,
+    ) -> Result<(), ModelAbort> {
+        if frame.fuel == 0 {
+            return Err(ModelAbort::Error(ErrorKind::FuelExhausted));
+        }
+        frame.fuel -= 1;
+        match self.program.code.stmt(stmt) {
+            LStmt::Skip => Ok(()),
+            LStmt::Assign(var, value) => {
+                let v = self.model_expr(frame, *value, choices)?;
+                frame.locals[var.0 as usize] = v;
+                Ok(())
+            }
+            LStmt::Assert(cond) => match self.model_expr(frame, *cond, choices)? {
+                Value::Bool(true) => Ok(()),
+                Value::Bool(false) => Err(ModelAbort::Error(ErrorKind::AssertionFailure)),
+                _ => Err(ModelAbort::Error(ErrorKind::AssertionUndefined)),
+            },
+            LStmt::Block(children) => {
+                for child in children.clone() {
+                    self.model_stmt(frame, child, choices)?;
+                }
+                Ok(())
+            }
+            LStmt::If { cond, then, els } => {
+                match self.model_expr(frame, *cond, choices)? {
+                    Value::Bool(true) => self.model_stmt(frame, *then, choices),
+                    Value::Bool(false) => self.model_stmt(frame, *els, choices),
+                    _ => Err(ModelAbort::Error(ErrorKind::UndefinedCondition)),
+                }
+            }
+            LStmt::While { cond, body } => loop {
+                if frame.fuel == 0 {
+                    return Err(ModelAbort::Error(ErrorKind::FuelExhausted));
+                }
+                frame.fuel -= 1;
+                match self.model_expr(frame, *cond, choices)? {
+                    Value::Bool(true) => self.model_stmt(frame, *body, choices)?,
+                    Value::Bool(false) => return Ok(()),
+                    _ => return Err(ModelAbort::Error(ErrorKind::UndefinedCondition)),
+                }
+            },
+            // The checker rejects every other form inside model bodies.
+            _ => Err(ModelAbort::Error(ErrorKind::UndefinedCondition)),
+        }
+    }
+
+    fn model_expr(
+        &self,
+        frame: &mut ModelFrame,
+        expr: ExprId,
+        choices: &mut dyn ChoiceSource,
+    ) -> Result<Value, ModelAbort> {
+        Ok(match self.program.code.expr(expr) {
+            LExpr::This => Value::Machine(frame.self_id),
+            LExpr::Msg => frame.msg,
+            LExpr::Arg => frame.arg,
+            LExpr::Null => Value::Null,
+            LExpr::Bool(b) => Value::Bool(*b),
+            LExpr::Int(i) => Value::Int(*i),
+            LExpr::Var(v) => frame
+                .locals
+                .get(v.0 as usize)
+                .copied()
+                .unwrap_or(Value::Null),
+            LExpr::Event(e) => Value::Event(*e),
+            LExpr::Nondet => Value::Bool(
+                choices.next_choice().ok_or(ModelAbort::NeedChoice)?,
+            ),
+            LExpr::Unary(op, inner) => {
+                let v = self.model_expr(frame, *inner, choices)?;
+                Value::unary(*op, &v)
+            }
+            LExpr::Binary(op, a, b) => {
+                let va = self.model_expr(frame, *a, choices)?;
+                let vb = self.model_expr(frame, *b, choices)?;
+                Value::binary(*op, &va, &vb)
+            }
+            // Nested foreign calls inside model bodies resolve through the
+            // native registry only (no recursive model interpretation).
+            LExpr::Foreign(func, args) => {
+                let mut values = Vec::with_capacity(args.len());
+                for a in args {
+                    values.push(self.model_expr(frame, *a, choices)?);
+                }
+                if self.foreign.has_impl(frame.ty, *func) {
+                    self.foreign.call(frame.self_id, frame.ty, *func, &values)
+                } else {
+                    Value::Null
+                }
+            }
+        })
+    }
+}
+
+struct ModelFrame {
+    locals: Vec<Value>,
+    msg: Value,
+    arg: Value,
+    self_id: MachineId,
+    ty: MachineTypeId,
+    fuel: usize,
+}
+
+struct CountingChoices<'a> {
+    inner: &'a mut dyn ChoiceSource,
+    used: usize,
+}
+
+impl ChoiceSource for CountingChoices<'_> {
+    fn next_choice(&mut self) -> Option<bool> {
+        let c = self.inner.next_choice();
+        if c.is_some() {
+            self.used += 1;
+        }
+        c
+    }
+}

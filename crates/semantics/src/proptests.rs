@@ -1,0 +1,144 @@
+//! Property-based tests over the execution engine.
+
+use proptest::prelude::*;
+
+use crate::{lower, Config, Engine, ExecOutcome, ForeignEnv, Granularity, MachineId, Script};
+
+/// A small two-machine program whose ghost driver makes `rounds` nondet
+/// choices, so runs are parameterized by a choice script.
+fn choosy_program(rounds: i64) -> crate::LoweredProgram {
+    let src = format!(
+        r#"
+        event a : int;
+        machine Sink {{
+            var total : int;
+            state S {{ on a do add; }}
+            action add {{ total := total + arg; }}
+        }}
+        ghost machine Env {{
+            var s : id;
+            var n : int;
+            state D {{
+                entry {{
+                    s := new Sink(total = 0);
+                    n := {rounds};
+                    while (n > 0) {{
+                        n := n - 1;
+                        if (*) {{
+                            send(s, a, n + 1);
+                        }}
+                    }}
+                }}
+            }}
+        }}
+        main Env();
+        "#
+    );
+    lower(&p_parser::parse(&src).unwrap()).unwrap()
+}
+
+/// Runs every enabled machine in ascending id order with the given choice
+/// bits until quiescence; returns the final canonical state.
+fn run_schedule(program: &crate::LoweredProgram, bits: &[bool]) -> Option<Vec<u8>> {
+    let engine = Engine::new(program, ForeignEnv::empty());
+    let mut config = engine.initial_config();
+    let mut script = Script::new(bits);
+    for _ in 0..1000 {
+        let enabled = engine.enabled_machines(&config);
+        let Some(&id) = enabled.first() else {
+            return Some(config.canonical_bytes());
+        };
+        let r = engine.run_machine(&mut config, id, &mut script, Granularity::Atomic);
+        match r.outcome {
+            ExecOutcome::NeedChoice => return None,
+            ExecOutcome::Error(_) => return Some(config.canonical_bytes()),
+            _ => {}
+        }
+    }
+    Some(config.canonical_bytes())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The engine is deterministic: the same program, schedule policy and
+    /// choice script always produce the identical canonical state.
+    #[test]
+    fn engine_is_deterministic(bits in proptest::collection::vec(any::<bool>(), 0..12)) {
+        let program = choosy_program(4);
+        let first = run_schedule(&program, &bits);
+        let second = run_schedule(&program, &bits);
+        prop_assert_eq!(first, second);
+    }
+
+    /// Extending a script beyond what a run consumes never changes the
+    /// outcome (scripts are consumed strictly left to right).
+    #[test]
+    fn unused_script_suffix_is_inert(
+        bits in proptest::collection::vec(any::<bool>(), 4..8),
+        suffix in proptest::collection::vec(any::<bool>(), 0..6),
+    ) {
+        let program = choosy_program(2);
+        let base = run_schedule(&program, &bits);
+        prop_assume!(base.is_some());
+        let mut extended = bits.clone();
+        extended.extend(suffix);
+        prop_assert_eq!(base, run_schedule(&program, &extended));
+    }
+
+    /// The sink's final total is exactly the sum selected by the true
+    /// bits — the engine faithfully routes payloads.
+    #[test]
+    fn payload_routing_matches_choices(bits in proptest::collection::vec(any::<bool>(), 3..=3)) {
+        let program = choosy_program(3);
+        let engine = Engine::new(&program, ForeignEnv::empty());
+        let mut config = engine.initial_config();
+        let mut script = Script::new(&bits);
+        for _ in 0..100 {
+            let enabled = engine.enabled_machines(&config);
+            let Some(&id) = enabled.first() else { break };
+            let r = engine.run_machine(&mut config, id, &mut script, Granularity::Atomic);
+            prop_assert!(!matches!(r.outcome, ExecOutcome::Error(_) | ExecOutcome::NeedChoice));
+        }
+        // Env counts n = 2,1,0 sending n+1 ∈ {3,2,1} when the bit is true.
+        let expected: i64 = bits
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| 3 - i as i64)
+            .sum();
+        let sink = MachineId(1);
+        let total = config.machine(sink).map(|m| m.locals[0]);
+        prop_assert_eq!(total, Some(crate::Value::Int(expected)));
+    }
+
+    /// Queues never hold duplicate (event, payload) pairs in any reachable
+    /// configuration.
+    #[test]
+    fn no_queue_duplicates_anywhere(bits in proptest::collection::vec(any::<bool>(), 0..10)) {
+        let program = choosy_program(4);
+        let engine = Engine::new(&program, ForeignEnv::empty());
+        let mut config = engine.initial_config();
+        let mut script = Script::new(&bits);
+        for _ in 0..200 {
+            check_no_dups(&config);
+            let enabled = engine.enabled_machines(&config);
+            let Some(&id) = enabled.first() else { break };
+            let r = engine.run_machine(&mut config, id, &mut script, Granularity::Atomic);
+            if matches!(r.outcome, ExecOutcome::NeedChoice) {
+                break;
+            }
+        }
+    }
+}
+
+fn check_no_dups(config: &Config) {
+    for id in config.live_ids() {
+        let m = config.machine(id).unwrap();
+        for (i, a) in m.queue.iter().enumerate() {
+            for b in &m.queue[i + 1..] {
+                assert_ne!(a, b, "duplicate queue entry at {id}");
+            }
+        }
+    }
+}

@@ -1,0 +1,1025 @@
+//! The static checker: well-formedness, the simple type system of §3.3,
+//! transition determinism, and the ghost-erasure rules.
+
+use std::collections::{HashMap, HashSet};
+
+use p_ast::{
+    Expr, ExprKind, Initializer, MachineDecl, Program, Span, Stmt, StmtKind, Symbol,
+    TransitionKind, Ty,
+};
+
+use crate::diag::{CheckErrors, Diagnostic, Severity};
+use crate::ghost::expr_is_tainted;
+
+/// Successful checker output.
+#[derive(Debug, Clone, Default)]
+pub struct CheckInfo {
+    /// Non-fatal findings (e.g. action bindings shadowed by transitions).
+    pub warnings: Vec<Diagnostic>,
+}
+
+/// The type of an expression: an exact P type, or `Any` for ⊥ and `arg`,
+/// which inhabit every type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ETy {
+    Exact(Ty),
+    Any,
+}
+
+impl ETy {
+    fn fits(self, expected: Ty) -> bool {
+        match self {
+            ETy::Any => true,
+            ETy::Exact(t) => expected.accepts(t),
+        }
+    }
+
+    fn same_as(self, other: ETy) -> bool {
+        match (self, other) {
+            (ETy::Any, _) | (_, ETy::Any) => true,
+            (ETy::Exact(a), ETy::Exact(b)) => a == b,
+        }
+    }
+}
+
+/// Where a statement occurs; some forms are restricted by position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StmtPos {
+    Entry,
+    /// Exit statements may not transfer control (`raise`, `return`,
+    /// `leave`, `call`): they run embedded inside a transition, and the
+    /// formal rules of Figure 5 assume they complete normally.
+    Exit,
+    Action,
+    /// Erasable model bodies of foreign functions: additionally may not
+    /// send, create or delete.
+    ModelBody,
+}
+
+/// Checks a program.
+///
+/// # Errors
+///
+/// Returns all diagnostics when at least one has error severity. The
+/// checks performed:
+///
+/// * name resolution and uniqueness for events, machines, states,
+///   variables, actions and foreign functions;
+/// * every machine has at least one state; transitions and bindings
+///   reference declared states, events and actions;
+/// * transition determinism: at most one outgoing transition (step or
+///   call) and at most one action binding per `(state, event)`;
+/// * the type system of Figure 3 over `void/bool/int/event/id` with ⊥
+///   (`null`) and `arg` inhabiting every type;
+/// * real machines are deterministic: no `*` outside ghost machines
+///   (§3.3 check 2);
+/// * ghost erasure (§3.3 check 3): ghost data never flows into real
+///   variables, real control flow, payloads of sends to real machines,
+///   raise payloads, or foreign-function arguments; `new` of a ghost
+///   machine must target a ghost variable and `new` of a real machine a
+///   real variable (the machine-identifier separation rule); asserts may
+///   read ghost data (they are erased);
+/// * exit statements do not transfer control; model bodies are erasable.
+pub fn check(program: &Program) -> Result<CheckInfo, CheckErrors> {
+    let mut checker = Checker::new(program);
+    checker.run();
+    let has_errors = checker
+        .diags
+        .iter()
+        .any(|d| d.severity == Severity::Error);
+    if has_errors {
+        Err(CheckErrors {
+            diagnostics: checker.diags,
+        })
+    } else {
+        Ok(CheckInfo {
+            warnings: checker.diags,
+        })
+    }
+}
+
+struct Checker<'p> {
+    program: &'p Program,
+    diags: Vec<Diagnostic>,
+    events: HashMap<Symbol, Ty>,
+    machine_ghost: HashMap<Symbol, bool>,
+    /// True while checking an erasable model body, where ghost
+    /// nondeterminism (`*`) is legal even inside real machines.
+    in_model_body: bool,
+}
+
+struct MachineCtx<'p> {
+    decl: &'p MachineDecl,
+    /// name → (type, ghost)
+    vars: HashMap<Symbol, (Ty, bool)>,
+    ghost_vars: HashSet<Symbol>,
+    states: HashSet<Symbol>,
+}
+
+impl<'p> Checker<'p> {
+    fn new(program: &'p Program) -> Checker<'p> {
+        Checker {
+            program,
+            diags: Vec::new(),
+            events: HashMap::new(),
+            machine_ghost: HashMap::new(),
+            in_model_body: false,
+        }
+    }
+
+    fn name(&self, s: Symbol) -> &str {
+        self.program.interner.resolve(s)
+    }
+
+    fn error(&mut self, message: String, span: Span) {
+        self.diags.push(Diagnostic::error(message, span));
+    }
+
+    fn warn(&mut self, message: String, span: Span) {
+        self.diags.push(Diagnostic::warning(message, span));
+    }
+
+    fn run(&mut self) {
+        // Global declarations.
+        for ev in &self.program.events {
+            if self.events.insert(ev.name, ev.payload).is_some() {
+                self.error(
+                    format!("duplicate event `{}`", self.name(ev.name)),
+                    ev.span,
+                );
+            }
+        }
+        for m in &self.program.machines {
+            if self.machine_ghost.insert(m.name, m.ghost).is_some() {
+                self.error(
+                    format!("duplicate machine `{}`", self.name(m.name)),
+                    m.span,
+                );
+            }
+        }
+
+        for m in &self.program.machines {
+            self.check_machine(m);
+        }
+        self.check_main();
+    }
+
+    fn machine_ctx(&mut self, decl: &'p MachineDecl) -> MachineCtx<'p> {
+        let mut vars = HashMap::new();
+        let mut ghost_vars = HashSet::new();
+        for v in &decl.vars {
+            if vars.insert(v.name, (v.ty, v.ghost)).is_some() {
+                self.error(
+                    format!(
+                        "duplicate variable `{}` in machine `{}`",
+                        self.name(v.name),
+                        self.name(decl.name)
+                    ),
+                    v.span,
+                );
+            }
+            // In a ghost machine every variable is effectively ghost, but
+            // taint is irrelevant there; track declared ghostness only.
+            if v.ghost {
+                ghost_vars.insert(v.name);
+            }
+        }
+        let mut states = HashSet::new();
+        for s in &decl.states {
+            if !states.insert(s.name) {
+                self.error(
+                    format!(
+                        "duplicate state `{}` in machine `{}`",
+                        self.name(s.name),
+                        self.name(decl.name)
+                    ),
+                    s.span,
+                );
+            }
+        }
+        MachineCtx {
+            decl,
+            vars,
+            ghost_vars,
+            states,
+        }
+    }
+
+    fn check_machine(&mut self, decl: &'p MachineDecl) {
+        if decl.states.is_empty() {
+            self.error(
+                format!("machine `{}` declares no states", self.name(decl.name)),
+                decl.span,
+            );
+            return;
+        }
+        let ctx = self.machine_ctx(decl);
+
+        // Duplicate action / foreign names.
+        let mut action_names = HashSet::new();
+        for a in &decl.actions {
+            if !action_names.insert(a.name) {
+                self.error(
+                    format!("duplicate action `{}`", self.name(a.name)),
+                    a.span,
+                );
+            }
+        }
+        let mut fn_names = HashSet::new();
+        for f in &decl.foreign {
+            if !fn_names.insert(f.name) {
+                self.error(
+                    format!("duplicate foreign function `{}`", self.name(f.name)),
+                    f.span,
+                );
+            }
+        }
+
+        // Transition determinism and reference validity.
+        let mut outgoing: HashMap<(Symbol, Symbol), TransitionKind> = HashMap::new();
+        for t in &decl.transitions {
+            if !ctx.states.contains(&t.from) {
+                self.error(
+                    format!("transition from undeclared state `{}`", self.name(t.from)),
+                    t.span,
+                );
+            }
+            if !ctx.states.contains(&t.to) {
+                self.error(
+                    format!("transition to undeclared state `{}`", self.name(t.to)),
+                    t.span,
+                );
+            }
+            if !self.events.contains_key(&t.event) {
+                self.error(
+                    format!("transition on undeclared event `{}`", self.name(t.event)),
+                    t.span,
+                );
+            }
+            if outgoing.insert((t.from, t.event), t.kind).is_some() {
+                self.error(
+                    format!(
+                        "nondeterministic transitions from state `{}` on event `{}`",
+                        self.name(t.from),
+                        self.name(t.event)
+                    ),
+                    t.span,
+                );
+            }
+        }
+        let mut bound: HashSet<(Symbol, Symbol)> = HashSet::new();
+        for b in &decl.bindings {
+            if !ctx.states.contains(&b.state) {
+                self.error(
+                    format!("binding on undeclared state `{}`", self.name(b.state)),
+                    b.span,
+                );
+            }
+            if !self.events.contains_key(&b.event) {
+                self.error(
+                    format!("binding on undeclared event `{}`", self.name(b.event)),
+                    b.span,
+                );
+            }
+            if !action_names.contains(&b.action) {
+                self.error(
+                    format!("binding to undeclared action `{}`", self.name(b.action)),
+                    b.span,
+                );
+            }
+            if !bound.insert((b.state, b.event)) {
+                self.error(
+                    format!(
+                        "multiple actions bound to state `{}` on event `{}`",
+                        self.name(b.state),
+                        self.name(b.event)
+                    ),
+                    b.span,
+                );
+            }
+            if outgoing.contains_key(&(b.state, b.event)) {
+                self.warn(
+                    format!(
+                        "action binding on state `{}` for event `{}` is shadowed by a transition",
+                        self.name(b.state),
+                        self.name(b.event)
+                    ),
+                    b.span,
+                );
+            }
+        }
+
+        // Deferred / postponed sets name declared events.
+        for s in &decl.states {
+            for &e in s.deferred.iter().chain(s.postponed.iter()) {
+                if !self.events.contains_key(&e) {
+                    self.error(
+                        format!(
+                            "state `{}` defers/postpones undeclared event `{}`",
+                            self.name(s.name),
+                            self.name(e)
+                        ),
+                        s.span,
+                    );
+                }
+            }
+        }
+
+        // Statement bodies.
+        for s in &decl.states {
+            self.check_stmt(&s.entry, &ctx, StmtPos::Entry);
+            self.check_stmt(&s.exit, &ctx, StmtPos::Exit);
+        }
+        for a in &decl.actions {
+            self.check_stmt(&a.body, &ctx, StmtPos::Action);
+        }
+        for f in &decl.foreign {
+            let Some(body) = &f.model_body else {
+                continue;
+            };
+            // The model body sees the machine's variables (read-only for
+            // real ones, ghost reads are fine since the body is erased),
+            // the named parameters, and the assignable `result`.
+            let mut model_ctx = MachineCtx {
+                decl: ctx.decl,
+                vars: ctx.vars.clone(),
+                ghost_vars: ctx.ghost_vars.clone(),
+                states: ctx.states.clone(),
+            };
+            let mut seen_params = HashSet::new();
+            for p in &f.params {
+                let Some(pname) = p.name else {
+                    continue;
+                };
+                if model_ctx.vars.contains_key(&pname) {
+                    self.error(
+                        format!(
+                            "parameter `{}` of foreign function `{}` shadows a variable",
+                            self.name(pname),
+                            self.name(f.name)
+                        ),
+                        f.span,
+                    );
+                }
+                if !seen_params.insert(pname) {
+                    self.error(
+                        format!(
+                            "duplicate parameter `{}` in foreign function `{}`",
+                            self.name(pname),
+                            self.name(f.name)
+                        ),
+                        f.span,
+                    );
+                }
+                model_ctx.vars.insert(pname, (p.ty, false));
+            }
+            let result_sym = self.program.interner.get("result");
+            if let Some(result_sym) = result_sym {
+                if let std::collections::hash_map::Entry::Vacant(e) = model_ctx.vars.entry(result_sym) {
+                    e.insert((f.ret, true));
+                    model_ctx.ghost_vars.insert(result_sym);
+                }
+            }
+            self.in_model_body = true;
+            self.check_stmt(body, &model_ctx, StmtPos::ModelBody);
+            self.in_model_body = false;
+        }
+    }
+
+    fn check_main(&mut self) {
+        let main = &self.program.main;
+        let Some(decl) = self.program.machine(main.machine) else {
+            self.error(
+                format!(
+                    "main declaration names undeclared machine `{}`",
+                    self.name(main.machine)
+                ),
+                main.span,
+            );
+            return;
+        };
+        for init in &main.inits {
+            let Some(var) = decl.var(init.var) else {
+                self.error(
+                    format!(
+                        "main initializer for unknown variable `{}`",
+                        self.name(init.var)
+                    ),
+                    main.span,
+                );
+                continue;
+            };
+            if !is_constant_expr(&init.value) {
+                self.error(
+                    format!(
+                        "main initializer for `{}` must be a constant expression",
+                        self.name(init.var)
+                    ),
+                    init.value.span,
+                );
+            }
+            if let Some(t) = constant_type(&init.value) {
+                if !t.fits(var.ty) {
+                    self.error(
+                        format!(
+                            "main initializer for `{}` has the wrong type (expected {})",
+                            self.name(init.var),
+                            var.ty
+                        ),
+                        init.value.span,
+                    );
+                }
+            }
+        }
+    }
+
+    // ----- statements ----------------------------------------------------
+
+    fn check_stmt(&mut self, s: &Stmt, ctx: &MachineCtx<'p>, pos: StmtPos) {
+        let ghost_machine = ctx.decl.ghost;
+        match &s.kind {
+            StmtKind::Skip => {}
+            StmtKind::Assign { dst, value } => {
+                let vt = self.check_expr(value, ctx);
+                let Some(&(dst_ty, dst_ghost)) = ctx.vars.get(dst) else {
+                    self.error(
+                        format!("assignment to undeclared variable `{}`", self.name(*dst)),
+                        s.span,
+                    );
+                    return;
+                };
+                if !vt.fits(dst_ty) {
+                    self.error(
+                        format!(
+                            "type mismatch: variable `{}` has type {}",
+                            self.name(*dst),
+                            dst_ty
+                        ),
+                        s.span,
+                    );
+                }
+                if pos == StmtPos::ModelBody {
+                    let result_sym = self.program.interner.get("result");
+                    if result_sym != Some(*dst) {
+                        self.error(
+                            "model bodies may only assign to `result`".to_owned(),
+                            s.span,
+                        );
+                    }
+                }
+                if !ghost_machine && !dst_ghost && expr_is_tainted(value, &ctx.ghost_vars) {
+                    self.error(
+                        format!(
+                            "ghost data flows into real variable `{}`",
+                            self.name(*dst)
+                        ),
+                        s.span,
+                    );
+                }
+            }
+            StmtKind::New {
+                dst,
+                machine,
+                inits,
+            } => {
+                if pos == StmtPos::ModelBody {
+                    self.error("model bodies may not create machines".to_owned(), s.span);
+                }
+                let Some(&target_ghost) = self.machine_ghost.get(machine) else {
+                    self.error(
+                        format!("new of undeclared machine `{}`", self.name(*machine)),
+                        s.span,
+                    );
+                    return;
+                };
+                let Some(&(dst_ty, dst_ghost)) = ctx.vars.get(dst) else {
+                    self.error(
+                        format!(
+                            "new result stored into undeclared variable `{}`",
+                            self.name(*dst)
+                        ),
+                        s.span,
+                    );
+                    return;
+                };
+                if dst_ty != Ty::Id {
+                    self.error(
+                        format!(
+                            "new result must be stored into a variable of type id, `{}` has type {}",
+                            self.name(*dst),
+                            dst_ty
+                        ),
+                        s.span,
+                    );
+                }
+                // Machine-identifier separation (§3.3): ghost machine ids
+                // live only in ghost variables, real ids only in real ones.
+                if !ghost_machine {
+                    if target_ghost && !dst_ghost {
+                        self.error(
+                            format!(
+                                "id of ghost machine `{}` stored into real variable `{}`",
+                                self.name(*machine),
+                                self.name(*dst)
+                            ),
+                            s.span,
+                        );
+                    }
+                    if !target_ghost && dst_ghost {
+                        self.error(
+                            format!(
+                                "id of real machine `{}` stored into ghost variable `{}` \
+                                 (the creation would be erased)",
+                                self.name(*machine),
+                                self.name(*dst)
+                            ),
+                            s.span,
+                        );
+                    }
+                }
+                self.check_inits(machine, inits, ctx, s.span, target_ghost);
+            }
+            StmtKind::Delete => {
+                if pos == StmtPos::ModelBody {
+                    self.error("model bodies may not delete machines".to_owned(), s.span);
+                }
+            }
+            StmtKind::Send {
+                target,
+                event,
+                payload,
+            } => {
+                if pos == StmtPos::ModelBody {
+                    self.error("model bodies may not send events".to_owned(), s.span);
+                }
+                let tt = self.check_expr(target, ctx);
+                if !tt.fits(Ty::Id) {
+                    self.error("send target must have type id".to_owned(), target.span);
+                }
+                let payload_ty = self.check_event_payload(*event, payload.as_ref(), ctx, s.span);
+                let _ = payload_ty;
+                if !ghost_machine {
+                    let target_tainted = expr_is_tainted(target, &ctx.ghost_vars);
+                    if !target_tainted {
+                        // A send that survives erasure: its payload must be
+                        // real data.
+                        if let Some(p) = payload {
+                            if expr_is_tainted(p, &ctx.ghost_vars) {
+                                self.error(
+                                    "ghost data flows into the payload of a send to a real machine"
+                                        .to_owned(),
+                                    p.span,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            StmtKind::Raise { event, payload } => {
+                if matches!(pos, StmtPos::Exit | StmtPos::ModelBody) {
+                    self.error(
+                        "raise is not allowed in exit statements or model bodies".to_owned(),
+                        s.span,
+                    );
+                }
+                self.check_event_payload(*event, payload.as_ref(), ctx, s.span);
+                if !ghost_machine {
+                    if let Some(p) = payload {
+                        if expr_is_tainted(p, &ctx.ghost_vars) {
+                            self.error(
+                                "ghost data flows into a raise payload".to_owned(),
+                                p.span,
+                            );
+                        }
+                    }
+                }
+            }
+            StmtKind::Leave => {
+                if matches!(pos, StmtPos::Exit | StmtPos::ModelBody) {
+                    self.error(
+                        "leave is not allowed in exit statements or model bodies".to_owned(),
+                        s.span,
+                    );
+                }
+            }
+            StmtKind::Return => {
+                if matches!(pos, StmtPos::Exit | StmtPos::ModelBody) {
+                    self.error(
+                        "return is not allowed in exit statements or model bodies".to_owned(),
+                        s.span,
+                    );
+                }
+            }
+            StmtKind::Assert(e) => {
+                let t = self.check_expr(e, ctx);
+                if !t.fits(Ty::Bool) {
+                    self.error("assert condition must be boolean".to_owned(), e.span);
+                }
+                // Asserts may read ghost data; they are erased if they do.
+            }
+            StmtKind::Block(stmts) => {
+                for st in stmts {
+                    self.check_stmt(st, ctx, pos);
+                }
+            }
+            StmtKind::If { cond, then, els } => {
+                let t = self.check_expr(cond, ctx);
+                if !t.fits(Ty::Bool) {
+                    self.error("if condition must be boolean".to_owned(), cond.span);
+                }
+                if !ghost_machine
+                    && pos != StmtPos::ModelBody
+                    && expr_is_tainted(cond, &ctx.ghost_vars)
+                {
+                    self.error(
+                        "ghost data controls real branching (if condition)".to_owned(),
+                        cond.span,
+                    );
+                }
+                self.check_stmt(then, ctx, pos);
+                self.check_stmt(els, ctx, pos);
+            }
+            StmtKind::While { cond, body } => {
+                let t = self.check_expr(cond, ctx);
+                if !t.fits(Ty::Bool) {
+                    self.error("while condition must be boolean".to_owned(), cond.span);
+                }
+                if !ghost_machine
+                    && pos != StmtPos::ModelBody
+                    && expr_is_tainted(cond, &ctx.ghost_vars)
+                {
+                    self.error(
+                        "ghost data controls real branching (while condition)".to_owned(),
+                        cond.span,
+                    );
+                }
+                self.check_stmt(body, ctx, pos);
+            }
+            StmtKind::CallState(state) => {
+                if matches!(pos, StmtPos::Exit | StmtPos::ModelBody) {
+                    self.error(
+                        "call is not allowed in exit statements or model bodies".to_owned(),
+                        s.span,
+                    );
+                }
+                if !ctx.states.contains(state) {
+                    self.error(
+                        format!("call of undeclared state `{}`", self.name(*state)),
+                        s.span,
+                    );
+                }
+            }
+            StmtKind::ForeignCall { dst, func, args } => {
+                let Some(f) = ctx.decl.foreign_fn(*func) else {
+                    self.error(
+                        format!(
+                            "call of undeclared foreign function `{}`",
+                            self.name(*func)
+                        ),
+                        s.span,
+                    );
+                    for a in args {
+                        self.check_expr(a, ctx);
+                    }
+                    return;
+                };
+                if args.len() != f.params.len() {
+                    self.error(
+                        format!(
+                            "foreign function `{}` expects {} argument(s), got {}",
+                            self.name(*func),
+                            f.params.len(),
+                            args.len()
+                        ),
+                        s.span,
+                    );
+                }
+                for (a, expected) in args.iter().zip(f.params.iter()) {
+                    let t = self.check_expr(a, ctx);
+                    if !t.fits(expected.ty) {
+                        self.error(
+                            format!(
+                                "argument to foreign function `{}` must have type {}",
+                                self.name(*func),
+                                expected.ty
+                            ),
+                            a.span,
+                        );
+                    }
+                    if !ghost_machine && expr_is_tainted(a, &ctx.ghost_vars) {
+                        self.error(
+                            "ghost data flows into a foreign-function argument".to_owned(),
+                            a.span,
+                        );
+                    }
+                }
+                if let Some(dst) = dst {
+                    match ctx.vars.get(dst) {
+                        None => self.error(
+                            format!(
+                                "foreign result stored into undeclared variable `{}`",
+                                self.name(*dst)
+                            ),
+                            s.span,
+                        ),
+                        Some(&(dst_ty, _)) => {
+                            if f.ret == Ty::Void {
+                                self.error(
+                                    format!(
+                                        "foreign function `{}` returns void",
+                                        self.name(*func)
+                                    ),
+                                    s.span,
+                                );
+                            } else if !dst_ty.accepts(f.ret) {
+                                self.error(
+                                    format!(
+                                        "foreign result type {} does not match variable `{}` of type {}",
+                                        f.ret,
+                                        self.name(*dst),
+                                        dst_ty
+                                    ),
+                                    s.span,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn check_inits(
+        &mut self,
+        machine: &Symbol,
+        inits: &[Initializer],
+        ctx: &MachineCtx<'p>,
+        span: Span,
+        target_ghost: bool,
+    ) {
+        let Some(target) = self.program.machine(*machine) else {
+            return;
+        };
+        let target_vars: HashMap<Symbol, (Ty, bool)> = target
+            .vars
+            .iter()
+            .map(|v| (v.name, (v.ty, v.ghost)))
+            .collect();
+        let mut seen = HashSet::new();
+        for init in inits {
+            if !seen.insert(init.var) {
+                self.error(
+                    format!("duplicate initializer for `{}`", self.name(init.var)),
+                    span,
+                );
+            }
+            let t = self.check_expr(&init.value, ctx);
+            match target_vars.get(&init.var) {
+                None => self.error(
+                    format!(
+                        "initializer for unknown variable `{}` of machine `{}`",
+                        self.name(init.var),
+                        self.name(*machine)
+                    ),
+                    span,
+                ),
+                Some(&(ty, _)) => {
+                    if !t.fits(ty) {
+                        self.error(
+                            format!(
+                                "initializer for `{}` must have type {}",
+                                self.name(init.var),
+                                ty
+                            ),
+                            init.value.span,
+                        );
+                    }
+                }
+            }
+            // Creating a real machine from a real machine: the creation
+            // survives erasure, so its initializers must be real data.
+            if !ctx.decl.ghost && !target_ghost && expr_is_tainted(&init.value, &ctx.ghost_vars)
+            {
+                self.error(
+                    format!(
+                        "ghost data flows into initializer `{}` of real machine `{}`",
+                        self.name(init.var),
+                        self.name(*machine)
+                    ),
+                    init.value.span,
+                );
+            }
+        }
+    }
+
+    fn check_event_payload(
+        &mut self,
+        event: Symbol,
+        payload: Option<&Expr>,
+        ctx: &MachineCtx<'p>,
+        span: Span,
+    ) -> Option<Ty> {
+        let Some(&payload_ty) = self.events.get(&event) else {
+            self.error(
+                format!("use of undeclared event `{}`", self.name(event)),
+                span,
+            );
+            if let Some(p) = payload {
+                self.check_expr(p, ctx);
+            }
+            return None;
+        };
+        match payload {
+            None => {}
+            Some(p) => {
+                let t = self.check_expr(p, ctx);
+                if payload_ty == Ty::Void {
+                    // `send(m, e, null)` is tolerated as the explicit form
+                    // of "no payload".
+                    if p.kind != ExprKind::Null {
+                        self.error(
+                            format!(
+                                "event `{}` carries no payload",
+                                self.name(event)
+                            ),
+                            p.span,
+                        );
+                    }
+                } else if !t.fits(payload_ty) {
+                    self.error(
+                        format!(
+                            "payload of event `{}` must have type {}",
+                            self.name(event),
+                            payload_ty
+                        ),
+                        p.span,
+                    );
+                }
+            }
+        }
+        Some(payload_ty)
+    }
+
+    // ----- expressions ----------------------------------------------------
+
+    fn check_expr(&mut self, e: &Expr, ctx: &MachineCtx<'p>) -> ETy {
+        match &e.kind {
+            ExprKind::This => ETy::Exact(Ty::Id),
+            ExprKind::Msg => ETy::Exact(Ty::Event),
+            ExprKind::Arg => ETy::Any,
+            ExprKind::Null => ETy::Any,
+            ExprKind::Bool(_) => ETy::Exact(Ty::Bool),
+            ExprKind::Int(_) => ETy::Exact(Ty::Int),
+            ExprKind::Nondet => {
+                if !ctx.decl.ghost && !self.in_model_body {
+                    self.error(
+                        "nondeterministic choice `*` is allowed only in ghost machines                          (and erasable model bodies)"
+                            .to_owned(),
+                        e.span,
+                    );
+                }
+                ETy::Exact(Ty::Bool)
+            }
+            ExprKind::Name(sym) => {
+                if let Some(&(ty, _)) = ctx.vars.get(sym) {
+                    ETy::Exact(ty)
+                } else if self.events.contains_key(sym) {
+                    ETy::Exact(Ty::Event)
+                } else {
+                    self.error(
+                        format!(
+                            "unresolved name `{}` (neither a variable nor an event)",
+                            self.name(*sym)
+                        ),
+                        e.span,
+                    );
+                    ETy::Any
+                }
+            }
+            ExprKind::Unary(op, inner) => {
+                let t = self.check_expr(inner, ctx);
+                let expected = match op {
+                    p_ast::UnOp::Not => Ty::Bool,
+                    p_ast::UnOp::Neg => Ty::Int,
+                };
+                if !t.fits(expected) {
+                    self.error(
+                        format!("operand of `{}` must have type {expected}", op.symbol()),
+                        inner.span,
+                    );
+                }
+                ETy::Exact(expected)
+            }
+            ExprKind::Binary(op, a, b) => {
+                let ta = self.check_expr(a, ctx);
+                let tb = self.check_expr(b, ctx);
+                if op.is_arithmetic() {
+                    if !ta.fits(Ty::Int) || !tb.fits(Ty::Int) {
+                        self.error(
+                            format!("operands of `{}` must have type int", op.symbol()),
+                            e.span,
+                        );
+                    }
+                    ETy::Exact(Ty::Int)
+                } else if op.is_logical() {
+                    if !ta.fits(Ty::Bool) || !tb.fits(Ty::Bool) {
+                        self.error(
+                            format!("operands of `{}` must have type bool", op.symbol()),
+                            e.span,
+                        );
+                    }
+                    ETy::Exact(Ty::Bool)
+                } else if matches!(op, p_ast::BinOp::Eq | p_ast::BinOp::Ne) {
+                    if !ta.same_as(tb) {
+                        self.error(
+                            format!(
+                                "operands of `{}` must have the same type",
+                                op.symbol()
+                            ),
+                            e.span,
+                        );
+                    }
+                    ETy::Exact(Ty::Bool)
+                } else {
+                    // Ordering comparisons.
+                    if !ta.fits(Ty::Int) || !tb.fits(Ty::Int) {
+                        self.error(
+                            format!("operands of `{}` must have type int", op.symbol()),
+                            e.span,
+                        );
+                    }
+                    ETy::Exact(Ty::Bool)
+                }
+            }
+            ExprKind::ForeignCall(func, args) => {
+                let Some(f) = ctx.decl.foreign_fn(*func) else {
+                    self.error(
+                        format!(
+                            "call of undeclared foreign function `{}`",
+                            self.name(*func)
+                        ),
+                        e.span,
+                    );
+                    for a in args {
+                        self.check_expr(a, ctx);
+                    }
+                    return ETy::Any;
+                };
+                let ret = f.ret;
+                let params = f.params.clone();
+                if args.len() != params.len() {
+                    self.error(
+                        format!(
+                            "foreign function `{}` expects {} argument(s), got {}",
+                            self.name(*func),
+                            params.len(),
+                            args.len()
+                        ),
+                        e.span,
+                    );
+                }
+                for (a, expected) in args.iter().zip(params.iter()) {
+                    let t = self.check_expr(a, ctx);
+                    if !t.fits(expected.ty) {
+                        self.error(
+                            format!(
+                                "argument to foreign function `{}` must have type {}",
+                                self.name(*func),
+                                expected.ty
+                            ),
+                            a.span,
+                        );
+                    }
+                    if !ctx.decl.ghost && expr_is_tainted(a, &ctx.ghost_vars) {
+                        self.error(
+                            "ghost data flows into a foreign-function argument".to_owned(),
+                            a.span,
+                        );
+                    }
+                }
+                ETy::Exact(ret)
+            }
+        }
+    }
+}
+
+/// Whether `e` is a constant expression (literals combined with
+/// operators) — the only form allowed in `main` initializers.
+fn is_constant_expr(e: &Expr) -> bool {
+    match &e.kind {
+        ExprKind::Null | ExprKind::Bool(_) | ExprKind::Int(_) => true,
+        ExprKind::Unary(_, inner) => is_constant_expr(inner),
+        ExprKind::Binary(_, a, b) => is_constant_expr(a) && is_constant_expr(b),
+        _ => false,
+    }
+}
+
+/// The type of a constant expression, if easily determined.
+fn constant_type(e: &Expr) -> Option<ETy> {
+    match &e.kind {
+        ExprKind::Null => Some(ETy::Any),
+        ExprKind::Bool(_) => Some(ETy::Exact(Ty::Bool)),
+        ExprKind::Int(_) => Some(ETy::Exact(Ty::Int)),
+        _ => None,
+    }
+}

@@ -1,0 +1,366 @@
+//! The erasure transform of §3.3: removes ghost machines, ghost variables
+//! and every statement that only exists for verification, producing the
+//! program that the compiler and runtime actually execute.
+//!
+//! The type system (see [`crate::check`]) guarantees that erasure is
+//! semantics-preserving for the real machines: ghost data never influences
+//! real variables, real control flow, or events delivered to real
+//! machines.
+
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+
+use p_ast::{
+    MachineDecl, MainDecl, Program, Span, StateDecl, Stmt, StmtKind, Symbol,
+};
+
+use crate::ghost::expr_is_tainted;
+
+/// Erasure failed because nothing would remain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EraseError {
+    message: String,
+}
+
+impl EraseError {
+    /// The error message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for EraseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "erasure failed: {}", self.message)
+    }
+}
+
+impl Error for EraseError {}
+
+/// Erases all ghost elements from `program`.
+///
+/// The result contains only real machines, with ghost variables and
+/// ghost-only statements removed and foreign model bodies dropped. If the
+/// program's `main` machine is ghost (the usual case for verification
+/// closures, where the environment drives the system), the erased
+/// program's `main` becomes the first real machine with no initializers —
+/// at execution time the host interface code decides what to instantiate
+/// (§4), so this is only a default.
+///
+/// # Errors
+///
+/// Fails if the program has no real machines.
+///
+/// # Examples
+///
+/// ```
+/// let src = r#"
+///     event ping;
+///     machine Real {
+///         ghost var env : id;
+///         state Init { entry { send(env, ping); } }
+///     }
+///     ghost machine Env { state Idle { } }
+///     main Env();
+/// "#;
+/// let program = p_parser::parse(src).unwrap();
+/// let erased = p_typecheck::erase(&program).unwrap();
+/// assert_eq!(erased.machines.len(), 1);
+/// assert!(erased.machines[0].vars.is_empty());
+/// ```
+pub fn erase(program: &Program) -> Result<Program, EraseError> {
+    let ghost_machines: HashSet<Symbol> = program
+        .machines
+        .iter()
+        .filter(|m| m.ghost)
+        .map(|m| m.name)
+        .collect();
+
+    let machines: Vec<MachineDecl> = program
+        .machines
+        .iter()
+        .filter(|m| !m.ghost)
+        .map(|m| erase_machine(m, &ghost_machines))
+        .collect();
+
+    if machines.is_empty() {
+        return Err(EraseError {
+            message: "program has no real machines".to_owned(),
+        });
+    }
+
+    let main = if ghost_machines.contains(&program.main.machine) {
+        MainDecl {
+            machine: machines[0].name,
+            inits: Vec::new(),
+            span: Span::SYNTHETIC,
+        }
+    } else {
+        let ghost_vars: HashSet<Symbol> = program
+            .machine(program.main.machine)
+            .map(|m| {
+                m.vars
+                    .iter()
+                    .filter(|v| v.ghost)
+                    .map(|v| v.name)
+                    .collect()
+            })
+            .unwrap_or_default();
+        MainDecl {
+            machine: program.main.machine,
+            inits: program
+                .main
+                .inits
+                .iter()
+                .filter(|i| !ghost_vars.contains(&i.var))
+                .cloned()
+                .collect(),
+            span: program.main.span,
+        }
+    };
+
+    Ok(Program {
+        events: program.events.clone(),
+        machines,
+        main,
+        interner: program.interner.clone(),
+    })
+}
+
+fn erase_machine(decl: &MachineDecl, ghost_machines: &HashSet<Symbol>) -> MachineDecl {
+    let ghost_vars: HashSet<Symbol> = decl
+        .vars
+        .iter()
+        .filter(|v| v.ghost)
+        .map(|v| v.name)
+        .collect();
+
+    let cx = EraseCtx {
+        ghost_vars: &ghost_vars,
+        ghost_machines,
+    };
+
+    MachineDecl {
+        name: decl.name,
+        ghost: false,
+        vars: decl.vars.iter().filter(|v| !v.ghost).cloned().collect(),
+        actions: decl
+            .actions
+            .iter()
+            .map(|a| p_ast::ActionDecl {
+                name: a.name,
+                body: erase_stmt(&a.body, &cx),
+                span: a.span,
+            })
+            .collect(),
+        states: decl
+            .states
+            .iter()
+            .map(|s| StateDecl {
+                name: s.name,
+                deferred: s.deferred.clone(),
+                postponed: s.postponed.clone(),
+                entry: erase_stmt(&s.entry, &cx),
+                exit: erase_stmt(&s.exit, &cx),
+                span: s.span,
+            })
+            .collect(),
+        transitions: decl.transitions.clone(),
+        bindings: decl.bindings.clone(),
+        foreign: decl
+            .foreign
+            .iter()
+            .map(|f| p_ast::ForeignFnDecl {
+                name: f.name,
+                params: f.params.clone(),
+                ret: f.ret,
+                model_body: None,
+                span: f.span,
+            })
+            .collect(),
+        span: decl.span,
+    }
+}
+
+struct EraseCtx<'a> {
+    ghost_vars: &'a HashSet<Symbol>,
+    ghost_machines: &'a HashSet<Symbol>,
+}
+
+/// Rewrites a statement, dropping ghost-only parts. Dropped statements
+/// become `skip`-free: blocks simply lose them.
+fn erase_stmt(s: &Stmt, cx: &EraseCtx<'_>) -> Stmt {
+    erase_stmt_opt(s, cx).unwrap_or_else(Stmt::skip)
+}
+
+fn erase_stmt_opt(s: &Stmt, cx: &EraseCtx<'_>) -> Option<Stmt> {
+    match &s.kind {
+        StmtKind::Assign { dst, .. } if cx.ghost_vars.contains(dst) => None,
+        StmtKind::New { machine, .. } if cx.ghost_machines.contains(machine) => None,
+        StmtKind::New {
+            dst,
+            machine,
+            inits,
+        } => {
+            // Creation of a real machine survives; initializers that target
+            // the created machine's ghost variables are dropped by the
+            // created machine's own erasure of its variable list, but the
+            // initializer entry itself must also go (the variable no longer
+            // exists). We cannot see the target's variables here, so keep
+            // the initializer list intact — the checker guarantees ghost
+            // vars of real machines are only initialized from ghost
+            // contexts, and lowering of the erased program resolves
+            // initializers against the erased variable list, failing loudly
+            // if one remains. In practice corpus programs initialize ghost
+            // vars inside ghost machines only.
+            Some(Stmt::spanned(
+                StmtKind::New {
+                    dst: *dst,
+                    machine: *machine,
+                    inits: inits.clone(),
+                },
+                s.span,
+            ))
+        }
+        StmtKind::Send { target, .. } if expr_is_tainted(target, cx.ghost_vars) => None,
+        StmtKind::Assert(e) if expr_is_tainted(e, cx.ghost_vars) => None,
+        StmtKind::ForeignCall { dst, func, args } => {
+            // A foreign call whose destination is ghost keeps its (real)
+            // side effect but loses the binding.
+            let dst = dst.filter(|d| !cx.ghost_vars.contains(d));
+            Some(Stmt::spanned(
+                StmtKind::ForeignCall {
+                    dst,
+                    func: *func,
+                    args: args.clone(),
+                },
+                s.span,
+            ))
+        }
+        StmtKind::Block(stmts) => {
+            let kept: Vec<Stmt> = stmts.iter().filter_map(|st| erase_stmt_opt(st, cx)).collect();
+            Some(Stmt::spanned(StmtKind::Block(kept), s.span))
+        }
+        StmtKind::If { cond, then, els } => Some(Stmt::spanned(
+            StmtKind::If {
+                cond: cond.clone(),
+                then: Box::new(erase_stmt(then, cx)),
+                els: Box::new(erase_stmt(els, cx)),
+            },
+            s.span,
+        )),
+        StmtKind::While { cond, body } => Some(Stmt::spanned(
+            StmtKind::While {
+                cond: cond.clone(),
+                body: Box::new(erase_stmt(body, cx)),
+            },
+            s.span,
+        )),
+        _ => Some(s.clone()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p_parser::parse;
+
+    const SRC: &str = r#"
+        event ping;
+        event done : int;
+
+        machine Driver {
+            var count : int;
+            ghost var env : id;
+            ghost var checkpoint : int;
+            state Init {
+                entry {
+                    count := 0;
+                    env := new Environment(owner = this);
+                    checkpoint := count;
+                    send(env, ping);
+                    assert(count == checkpoint);
+                    assert(count >= 0);
+                    count := count + 1;
+                }
+            }
+        }
+
+        ghost machine Environment {
+            var owner : id;
+            state Idle {
+                entry { if (*) { send(owner, ping); } }
+                on ping goto Idle;
+            }
+        }
+
+        main Environment();
+    "#;
+
+    #[test]
+    fn erases_ghost_machines_and_vars() {
+        let p = parse(SRC).unwrap();
+        crate::check(&p).unwrap();
+        let erased = erase(&p).unwrap();
+        assert_eq!(erased.machines.len(), 1);
+        let driver = &erased.machines[0];
+        assert_eq!(erased.name(driver.name), "Driver");
+        assert_eq!(driver.vars.len(), 1, "ghost vars removed");
+        assert!(!driver.ghost);
+    }
+
+    #[test]
+    fn erases_ghost_statements_but_keeps_real_ones() {
+        let p = parse(SRC).unwrap();
+        let erased = erase(&p).unwrap();
+        let driver = &erased.machines[0];
+        let entry = &driver.states[0].entry;
+        let text = p_ast::print_stmt(entry, &erased.interner);
+        assert!(text.contains("count := 0;"), "{text}");
+        assert!(text.contains("count := count + 1;"), "{text}");
+        assert!(text.contains("assert(count >= 0);"), "real assert kept");
+        assert!(!text.contains("env"), "ghost statements gone: {text}");
+        assert!(!text.contains("checkpoint"), "{text}");
+        assert!(!text.contains("new"), "{text}");
+    }
+
+    #[test]
+    fn ghost_main_replaced_by_first_real_machine() {
+        let p = parse(SRC).unwrap();
+        let erased = erase(&p).unwrap();
+        assert_eq!(erased.name(erased.main.machine), "Driver");
+    }
+
+    #[test]
+    fn real_main_kept() {
+        let src = r#"
+            machine M { var x : int; state S { } }
+            main M(x = 3);
+        "#;
+        let p = parse(src).unwrap();
+        let erased = erase(&p).unwrap();
+        assert_eq!(erased.name(erased.main.machine), "M");
+        assert_eq!(erased.main.inits.len(), 1);
+    }
+
+    #[test]
+    fn fails_without_real_machines() {
+        let src = r#"
+            ghost machine G { state S { } }
+            main G();
+        "#;
+        let p = parse(src).unwrap();
+        assert!(erase(&p).is_err());
+    }
+
+    #[test]
+    fn erased_program_parses_and_lowers() {
+        let p = parse(SRC).unwrap();
+        let erased = erase(&p).unwrap();
+        // The erased program is a valid P program end to end.
+        let text = p_ast::print_program(&erased);
+        let reparsed = p_parser::parse(&text).unwrap();
+        crate::check(&reparsed).unwrap();
+    }
+}

@@ -1,0 +1,495 @@
+//! Static checks for P programs: the simple type system of §3.3 of the
+//! paper, transition determinism, and the ghost-erasure discipline.
+//!
+//! The paper's type system "mostly does simple checks to make sure the
+//! machines, transitions, and statements are well-formed", with one
+//! non-trivial part: ghost machines, variables and events must be erasable
+//! at compilation without changing the semantics of real machines. This
+//! crate implements both the checks ([`check`]) and the erasure transform
+//! itself ([`erase`]).
+//!
+//! # Examples
+//!
+//! ```
+//! let src = r#"
+//!     event ping;
+//!     machine M {
+//!         var n : int;
+//!         state Init { entry { n := 1; } }
+//!     }
+//!     main M();
+//! "#;
+//! let program = p_parser::parse(src).unwrap();
+//! let info = p_typecheck::check(&program).unwrap();
+//! assert!(info.warnings.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod check;
+mod diag;
+mod erase;
+mod ghost;
+
+pub use check::{check, CheckInfo};
+pub use diag::{CheckErrors, Diagnostic, Severity};
+pub use erase::{erase, EraseError};
+pub use ghost::expr_is_tainted;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p_parser::parse;
+
+    fn errors_of(src: &str) -> Vec<String> {
+        match check(&parse(src).unwrap()) {
+            Ok(_) => Vec::new(),
+            Err(e) => e.errors().map(|d| d.message.clone()).collect(),
+        }
+    }
+
+    fn assert_error_containing(src: &str, needle: &str) {
+        let errs = errors_of(src);
+        assert!(
+            errs.iter().any(|e| e.contains(needle)),
+            "expected an error containing `{needle}`, got {errs:?}"
+        );
+    }
+
+    #[test]
+    fn accepts_wellformed_program() {
+        let src = r#"
+            event go;
+            event data : int;
+            machine M {
+                var x : int;
+                var peer : id;
+                action drop { skip; }
+                state A {
+                    defer data;
+                    entry { x := 1; raise(go); }
+                    exit { x := x + 1; }
+                    on go goto B;
+                }
+                state B {
+                    on data do drop;
+                    on go push A;
+                }
+            }
+            main M(x = 0);
+        "#;
+        assert!(errors_of(src).is_empty());
+    }
+
+    #[test]
+    fn rejects_duplicate_declarations() {
+        assert_error_containing(
+            "event e; event e; machine M { state S { } } main M();",
+            "duplicate event",
+        );
+        assert_error_containing(
+            "machine M { state S { } } machine M { state S { } } main M();",
+            "duplicate machine",
+        );
+        assert_error_containing(
+            "machine M { state S { } state S { } } main M();",
+            "duplicate state",
+        );
+        assert_error_containing(
+            "machine M { var x : int; var x : bool; state S { } } main M();",
+            "duplicate variable",
+        );
+    }
+
+    #[test]
+    fn rejects_nondeterministic_transitions() {
+        assert_error_containing(
+            r#"
+            event e;
+            machine M {
+                state A { on e goto B; on e push B; }
+                state B { }
+            }
+            main M();
+            "#,
+            "nondeterministic transitions",
+        );
+    }
+
+    #[test]
+    fn warns_on_shadowed_binding() {
+        let src = r#"
+            event e;
+            machine M {
+                action a { skip; }
+                state A { on e goto B; on e do a; }
+                state B { }
+            }
+            main M();
+        "#;
+        let info = check(&parse(src).unwrap()).unwrap();
+        assert_eq!(info.warnings.len(), 1);
+        assert!(info.warnings[0].message.contains("shadowed"));
+    }
+
+    #[test]
+    fn rejects_type_errors() {
+        assert_error_containing(
+            r#"
+            machine M { var x : int; state S { entry { x := true; } } }
+            main M();
+            "#,
+            "type mismatch",
+        );
+        assert_error_containing(
+            r#"
+            machine M { var b : bool; state S { entry { b := 1 + true; } } }
+            main M();
+            "#,
+            "must have type int",
+        );
+        assert_error_containing(
+            r#"
+            machine M { state S { entry { if (3) { skip; } } } }
+            main M();
+            "#,
+            "must be boolean",
+        );
+        assert_error_containing(
+            r#"
+            machine M { var x : int; state S { entry { assert(x); } } }
+            main M();
+            "#,
+            "must be boolean",
+        );
+    }
+
+    #[test]
+    fn null_inhabits_every_type() {
+        let src = r#"
+            event e : int;
+            machine M {
+                var x : int;
+                var p : id;
+                state S { entry { x := null; p := null; raise(e, null); } }
+            }
+            main M();
+        "#;
+        assert!(errors_of(src).is_empty());
+    }
+
+    #[test]
+    fn rejects_nondet_in_real_machine() {
+        assert_error_containing(
+            r#"
+            machine M { var b : bool; state S { entry { b := *; } } }
+            main M();
+            "#,
+            "only in ghost machines",
+        );
+    }
+
+    #[test]
+    fn allows_nondet_in_ghost_machine() {
+        let src = r#"
+            ghost machine G { var b : bool; state S { entry { b := *; } } }
+            main G();
+        "#;
+        assert!(errors_of(src).is_empty());
+    }
+
+    #[test]
+    fn rejects_ghost_flow_into_real_variable() {
+        assert_error_containing(
+            r#"
+            machine M {
+                var x : int;
+                ghost var g : int;
+                state S { entry { g := 1; x := g; } }
+            }
+            main M();
+            "#,
+            "ghost data flows into real variable",
+        );
+    }
+
+    #[test]
+    fn rejects_ghost_controlled_branching() {
+        assert_error_containing(
+            r#"
+            machine M {
+                ghost var g : int;
+                state S { entry { if (g == 1) { skip; } } }
+            }
+            main M();
+            "#,
+            "ghost data controls real branching",
+        );
+    }
+
+    #[test]
+    fn allows_ghost_in_assertions() {
+        let src = r#"
+            machine M {
+                var x : int;
+                ghost var g : int;
+                state S { entry { x := 1; g := x; assert(g == x); } }
+            }
+            main M();
+        "#;
+        assert!(errors_of(src).is_empty());
+    }
+
+    #[test]
+    fn machine_id_separation() {
+        assert_error_containing(
+            r#"
+            machine M {
+                var p : id;
+                state S { entry { p := new G(); } }
+            }
+            ghost machine G { state S { } }
+            main M();
+            "#,
+            "ghost machine `G` stored into real variable",
+        );
+        assert_error_containing(
+            r#"
+            machine M {
+                ghost var p : id;
+                state S { entry { p := new N(); } }
+            }
+            machine N { state S { } }
+            main M();
+            "#,
+            "real machine `N` stored into ghost variable",
+        );
+    }
+
+    #[test]
+    fn send_to_ghost_with_ghost_payload_is_fine() {
+        let src = r#"
+            event e : int;
+            machine M {
+                ghost var env : id;
+                ghost var g : int;
+                state S { entry { env := new G(); send(env, e, g); } }
+            }
+            ghost machine G { state S { defer e; } }
+            main M();
+        "#;
+        assert!(errors_of(src).is_empty());
+    }
+
+    #[test]
+    fn rejects_ghost_payload_to_real_machine() {
+        assert_error_containing(
+            r#"
+            event e : int;
+            machine M {
+                var peer : id;
+                ghost var g : int;
+                state S { entry { peer := new N(); send(peer, e, g); } }
+            }
+            machine N { state S { defer e; } }
+            main M();
+            "#,
+            "ghost data flows into the payload",
+        );
+    }
+
+    #[test]
+    fn rejects_control_transfer_in_exit() {
+        for bad in ["raise(e);", "return;", "leave;", "call S;"] {
+            let src = format!(
+                r#"
+                event e;
+                machine M {{
+                    state S {{ exit {{ {bad} }} }}
+                }}
+                main M();
+                "#
+            );
+            let errs = errors_of(&src);
+            assert!(
+                errs.iter().any(|m| m.contains("not allowed in exit")),
+                "for `{bad}`: {errs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_bad_payload_types() {
+        assert_error_containing(
+            r#"
+            event e : int;
+            machine M { state S { entry { raise(e, true); } } }
+            main M();
+            "#,
+            "payload of event `e` must have type int",
+        );
+        assert_error_containing(
+            r#"
+            event e;
+            machine M { state S { entry { raise(e, 3); } } }
+            main M();
+            "#,
+            "carries no payload",
+        );
+    }
+
+    #[test]
+    fn rejects_bad_main() {
+        assert_error_containing(
+            "machine M { state S { } } main M(x = 1);",
+            "unknown variable",
+        );
+        assert_error_containing(
+            "machine M { var x : int; state S { } } main M(x = true);",
+            "wrong type",
+        );
+    }
+
+    #[test]
+    fn checks_foreign_signatures() {
+        assert_error_containing(
+            r#"
+            machine M {
+                var x : int;
+                foreign fn f(int) : int;
+                state S { entry { x := f(1, 2); } }
+            }
+            main M();
+            "#,
+            "expects 1 argument",
+        );
+        assert_error_containing(
+            r#"
+            machine M {
+                var b : bool;
+                foreign fn f(int) : int;
+                state S { entry { b := f(1); } }
+            }
+            main M();
+            "#,
+            "does not match variable",
+        );
+        assert_error_containing(
+            r#"
+            machine M {
+                state S { entry { g(1); } }
+            }
+            main M();
+            "#,
+            "undeclared foreign function",
+        );
+    }
+
+    #[test]
+    fn model_body_restrictions() {
+        assert_error_containing(
+            r#"
+            event e;
+            machine M {
+                var x : int;
+                foreign fn f() : void { x := 1; }
+                state S { }
+            }
+            main M();
+            "#,
+            "model bodies may only assign to `result`",
+        );
+        assert_error_containing(
+            r#"
+            event e;
+            machine M {
+                var p : id;
+                foreign fn f() : void { send(p, e); }
+                state S { }
+            }
+            main M();
+            "#,
+            "model bodies may not send",
+        );
+    }
+
+    #[test]
+    fn ghost_machines_are_unrestricted() {
+        // Ghost machines may send to real machines, use `*`, and mix data
+        // freely — they are erased wholesale.
+        let src = r#"
+            event e : int;
+            machine Real { state S { defer e; } }
+            ghost machine Env {
+                var target : id;
+                var n : int;
+                state S {
+                    entry {
+                        target := new Real();
+                        n := 0;
+                        while (*) { n := n + 1; }
+                        send(target, e, n);
+                    }
+                }
+            }
+            main Env();
+        "#;
+        assert!(errors_of(src).is_empty());
+    }
+
+    #[test]
+    fn model_bodies_with_params_and_result_check() {
+        let src = r#"
+            machine M {
+                var x : int;
+                ghost var g : int;
+                foreign fn f(a : int, b : int) : int {
+                    result := a + b + g;
+                    if (result > 10) { result := 10; }
+                }
+                state S { entry { x := f(1, 2); } }
+            }
+            main M();
+        "#;
+        assert!(errors_of(src).is_empty(), "{:?}", errors_of(src));
+    }
+
+    #[test]
+    fn model_body_param_shadowing_rejected() {
+        assert_error_containing(
+            r#"
+            machine M {
+                var x : int;
+                foreign fn f(x : int) : int { result := x; }
+                state S { }
+            }
+            main M();
+            "#,
+            "shadows a variable",
+        );
+        assert_error_containing(
+            r#"
+            machine M {
+                foreign fn f(a : int, a : int) : int { result := a; }
+                state S { }
+            }
+            main M();
+            "#,
+            "duplicate parameter",
+        );
+    }
+
+    #[test]
+    fn reports_multiple_errors_at_once() {
+        let src = r#"
+            machine M {
+                var x : int;
+                state S { entry { x := true; y := 1; if (3) { skip; } } }
+            }
+            main M();
+        "#;
+        let errs = errors_of(src);
+        assert!(errs.len() >= 3, "got {errs:?}");
+    }
+}

@@ -1,0 +1,199 @@
+//! End-to-end tests of the `p` command-line tool.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn p_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_p"))
+}
+
+fn corpus_file(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../corpus/programs")
+        .join(name)
+}
+
+fn write_temp(name: &str, contents: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("p-cli-test-{name}"));
+    std::fs::write(&path, contents).unwrap();
+    path
+}
+
+fn stdout(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+fn stderr(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}
+
+#[test]
+fn check_accepts_corpus_program() {
+    let out = p_bin()
+        .args(["check", corpus_file("elevator.p").to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("OK"));
+}
+
+#[test]
+fn check_rejects_ill_typed_program() {
+    let path = write_temp(
+        "bad.p",
+        "machine M { var x : int; state S { entry { x := true; } } } main M();",
+    );
+    let out = p_bin()
+        .args(["check", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("type mismatch"));
+}
+
+#[test]
+fn verify_passes_and_fails_appropriately() {
+    let out = p_bin()
+        .args(["verify", corpus_file("ping_pong.p").to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("PASSED"));
+
+    let buggy = write_temp(
+        "buggy.p",
+        r#"
+        event hit;
+        machine T { state S { on hit goto Bad; } state Bad { entry { assert(false); } } }
+        ghost machine E {
+            var t : id;
+            state D { entry { t := new T(); send(t, hit); } }
+        }
+        main E();
+        "#,
+    );
+    let out = p_bin()
+        .args(["verify", buggy.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("FAILED"), "{text}");
+    assert!(text.contains("trace"), "{text}");
+    assert!(text.contains("replay: reproduced"), "{text}");
+}
+
+#[test]
+fn verify_delay_flag() {
+    let out = p_bin()
+        .args([
+            "verify",
+            corpus_file("elevator.p").to_str().unwrap(),
+            "--delay",
+            "1",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("delay bound 1"));
+}
+
+#[test]
+fn info_prints_shapes() {
+    let out = p_bin()
+        .args(["info", corpus_file("switch_led.p").to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("machines: 5 (4 ghost)"), "{text}");
+    assert!(text.contains("Driver: 14 states"), "{text}");
+}
+
+#[test]
+fn fmt_output_reparses() {
+    let out = p_bin()
+        .args(["fmt", corpus_file("german.p").to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let formatted = stdout(&out);
+    p_core::parser::parse(&formatted).expect("formatted output parses");
+}
+
+#[test]
+fn compile_writes_c() {
+    let target = std::env::temp_dir().join("p-cli-test-out.c");
+    let out = p_bin()
+        .args([
+            "compile",
+            corpus_file("ping_pong.p").to_str().unwrap(),
+            "-o",
+            target.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", stderr(&out));
+    let code = std::fs::read_to_string(&target).unwrap();
+    assert!(code.contains("PDriverDecl"));
+}
+
+#[test]
+fn dot_exports_machine_diagram() {
+    let out = p_bin()
+        .args([
+            "dot",
+            corpus_file("elevator.p").to_str().unwrap(),
+            "Elevator",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("digraph Elevator"));
+    assert!(text.contains("style=dashed"), "call transitions rendered: {text}");
+}
+
+#[test]
+fn run_drives_a_machine() {
+    let out = p_bin()
+        .args([
+            "run",
+            corpus_file("usb_dsm.p").to_str().unwrap(),
+            "DeviceSm",
+            "Attach",
+            "PowerOn",
+            "BusReset",
+            "SetAddress:5",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("state = AddressState"), "{text}");
+}
+
+#[test]
+fn liveness_flags_spinner() {
+    let spinner = write_temp(
+        "spin.p",
+        r#"
+        event tick;
+        machine S { state A { entry { send(this, tick); } on tick goto A; } }
+        main S();
+        "#,
+    );
+    let out = p_bin()
+        .args(["liveness", spinner.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(stdout(&out).contains("run forever"));
+}
+
+#[test]
+fn unknown_command_shows_usage() {
+    let out = p_bin().args(["bogus"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("usage:"));
+}

@@ -1,0 +1,59 @@
+//! Code generation over the whole corpus: every program produces a
+//! structurally sound C translation unit.
+
+use p_core::{corpus, Compiled};
+
+#[test]
+fn every_corpus_program_generates_balanced_c() {
+    for (name, program) in corpus::all() {
+        let compiled = Compiled::from_program(program).unwrap();
+        let out = compiled.emit_c().unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(
+            out.code.matches('{').count(),
+            out.code.matches('}').count(),
+            "{name}: unbalanced braces"
+        );
+        assert_eq!(
+            out.code.matches('(').count(),
+            out.code.matches(')').count(),
+            "{name}: unbalanced parentheses"
+        );
+        assert!(out.code.contains("const PDriverDecl p_driver"), "{name}");
+    }
+}
+
+#[test]
+fn generated_code_reflects_real_machines_only() {
+    let compiled = Compiled::from_program(corpus::elevator()).unwrap();
+    let out = compiled.emit_c().unwrap();
+    assert!(out.code.contains("P_MACHINE_Elevator"));
+    for ghost in ["User", "Door", "Timer"] {
+        assert!(
+            !out.code.contains(&format!("P_MACHINE_{ghost}")),
+            "ghost machine {ghost} leaked into generated code"
+        );
+    }
+    // Real transition targets of Figure 1 appear in the tables.
+    assert!(out.code.contains("P_STATE_Elevator_Opening"));
+    assert!(out.code.contains("P_STATE_Elevator_StoppingTimer"));
+    assert!(out.code.contains("P_TRANS_CALL"));
+}
+
+#[test]
+fn state_counts_match_source_counts() {
+    for (name, program) in corpus::all() {
+        let real_states: usize = program.real_machines().map(|m| m.states.len()).sum();
+        let compiled = Compiled::from_program(program).unwrap();
+        let out = compiled.emit_c().unwrap();
+        assert_eq!(out.stats.states, real_states, "{name}");
+    }
+}
+
+#[test]
+fn deferred_sets_become_tables() {
+    let compiled = Compiled::from_program(corpus::switch_led()).unwrap();
+    let out = compiled.emit_c().unwrap();
+    assert!(out.code.contains("Driver_Transferring_deferred"));
+    assert!(out.code.contains("P_EVENT_SwitchStateChange"));
+    assert!(out.code.contains("Driver_Transferring_postponed"));
+}

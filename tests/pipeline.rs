@@ -1,0 +1,101 @@
+//! Cross-crate integration: the full pipeline — parse, check, verify,
+//! erase, lower, generate C — over the complete benchmark corpus.
+
+use p_core::{corpus, Compiled};
+
+#[test]
+fn every_corpus_program_flows_through_the_whole_pipeline() {
+    for (name, program) in corpus::all() {
+        let compiled = Compiled::from_program(program)
+            .unwrap_or_else(|e| panic!("{name} failed to compile: {e}"));
+
+        // Checker warnings would indicate sloppy corpus programs.
+        assert!(
+            compiled.warnings().is_empty(),
+            "{name} has warnings: {:?}",
+            compiled.warnings()
+        );
+
+        // The delay-0 causal schedule must be clean for all of them.
+        let d0 = compiled.verify_delay_bounded(0);
+        assert!(
+            d0.report.passed(),
+            "{name} fails at delay bound 0: {:?}",
+            d0.report.counterexample
+        );
+
+        // Erasure must produce a valid program that lowers and generates.
+        let erased = p_core::typecheck::erase(compiled.program())
+            .unwrap_or_else(|e| panic!("{name} failed to erase: {e}"));
+        p_core::typecheck::check(&erased)
+            .unwrap_or_else(|e| panic!("{name} erased program fails checks: {e}"));
+        p_core::semantics::lower(&erased)
+            .unwrap_or_else(|e| panic!("{name} erased program fails lowering: {e}"));
+        let c = compiled
+            .emit_c()
+            .unwrap_or_else(|e| panic!("{name} failed codegen: {e}"));
+        assert!(c.stats.lines > 100, "{name} generated suspiciously little C");
+    }
+}
+
+#[test]
+fn erased_programs_have_no_ghosts() {
+    for (name, program) in corpus::all() {
+        let erased = p_core::typecheck::erase(&program).unwrap();
+        assert_eq!(
+            erased.ghost_machines().count(),
+            0,
+            "{name} kept ghost machines"
+        );
+        for m in &erased.machines {
+            assert!(
+                m.vars.iter().all(|v| !v.ghost),
+                "{name} kept ghost variables"
+            );
+        }
+    }
+}
+
+#[test]
+fn compiled_program_reports_paper_scale_shapes() {
+    // The switch-LED example of §4.1: "The P code is about 150 lines with
+    // one driver machine and four ghost machines. The driver machine has
+    // 15 states and 23 transitions."
+    let p = corpus::switch_led();
+    assert_eq!(p.real_machines().count(), 1);
+    assert_eq!(p.ghost_machines().count(), 4);
+    let driver = p.machine_named("Driver").unwrap();
+    assert!((12..=16).contains(&driver.states.len()));
+    assert!((20..=40).contains(&driver.transition_count()));
+}
+
+#[test]
+fn verifier_statistics_are_populated() {
+    let compiled = Compiled::from_program(corpus::ping_pong()).unwrap();
+    let report = compiled.verify();
+    assert!(report.passed());
+    assert!(report.complete);
+    assert!(report.stats.unique_states > 0);
+    assert!(report.stats.transitions >= report.stats.unique_states - 1);
+    assert!(report.stats.stored_bytes > 0);
+    assert!(report.stats.max_depth > 0);
+}
+
+#[test]
+fn exhaustive_and_random_agree_on_corpus_verdicts() {
+    for (name, program) in [
+        ("elevator", corpus::elevator()),
+        ("german", corpus::german()),
+    ] {
+        let compiled = Compiled::from_program(program).unwrap();
+        let random = compiled.verifier().check_random(7, 50, 200);
+        assert!(
+            random.passed(),
+            "{name}: random walk found a violation exhaustive search must also find"
+        );
+    }
+    // And on a buggy program random walks usually find the bug too.
+    let buggy = Compiled::from_program(corpus::german_buggy()).unwrap();
+    let random = buggy.verifier().check_random(7, 500, 400);
+    assert!(!random.passed(), "german bug should be findable randomly");
+}

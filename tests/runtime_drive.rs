@@ -1,0 +1,168 @@
+//! Driving erased corpus programs under the execution runtime — the "it
+//! actually runs as a driver" half of the paper, exercised end to end.
+
+use p_core::{corpus, Runtime, Value};
+
+#[test]
+fn german_protocol_runs_for_real() {
+    // Home and the two clients are all real machines; only the Env ghost
+    // is erased. The interface code (this test) plays the environment.
+    let program = corpus::german();
+    let runtime = Runtime::builder(&program).unwrap().start();
+
+    let home = runtime
+        .create_machine(
+            "Home",
+            &[
+                ("s1v", Value::Bool(false)),
+                ("s2v", Value::Bool(false)),
+                ("sharers", Value::Int(0)),
+                ("exclHeld", Value::Bool(false)),
+                ("pendingInv", Value::Int(0)),
+            ],
+        )
+        .unwrap();
+    let c1 = runtime
+        .create_machine("Client", &[("home", Value::Machine(home))])
+        .unwrap();
+    let c2 = runtime
+        .create_machine("Client", &[("home", Value::Machine(home))])
+        .unwrap();
+
+    // c1 takes the line shared; c2 joins.
+    runtime.add_event(c1, "DoShared", Value::Null).unwrap();
+    assert_eq!(runtime.current_state(c1).as_deref(), Some("SharedState"));
+    runtime.add_event(c2, "DoShared", Value::Null).unwrap();
+    assert_eq!(runtime.current_state(c2).as_deref(), Some("SharedState"));
+    assert_eq!(runtime.read_var(home, "sharers"), Some(Value::Int(2)));
+
+    // c1 upgrades to exclusive: both sharers are invalidated.
+    runtime.add_event(c1, "DoExcl", Value::Null).unwrap();
+    assert_eq!(runtime.current_state(c1).as_deref(), Some("ExclusiveState"));
+    assert_eq!(runtime.current_state(c2).as_deref(), Some("Invalid"));
+    assert_eq!(runtime.read_var(home, "sharers"), Some(Value::Int(0)));
+    assert_eq!(runtime.read_var(home, "exclHeld"), Some(Value::Bool(true)));
+
+    // c2 reads: the owner is downgraded.
+    runtime.add_event(c2, "DoShared", Value::Null).unwrap();
+    assert_eq!(runtime.current_state(c2).as_deref(), Some("SharedState"));
+    assert_eq!(runtime.read_var(home, "exclHeld"), Some(Value::Bool(false)));
+    assert_eq!(runtime.read_var(home, "sharers"), Some(Value::Int(1)));
+}
+
+#[test]
+fn usb_device_happy_path_runs() {
+    let program = corpus::usb_dsm();
+    let runtime = Runtime::builder(&program).unwrap().start();
+    let dev = runtime.create_machine("DeviceSm", &[]).unwrap();
+
+    let steps: &[(&str, Value, &str)] = &[
+        ("Attach", Value::Null, "Attached"),
+        ("PowerOn", Value::Null, "Powered"),
+        ("BusReset", Value::Null, "DefaultState"),
+        ("SetAddress", Value::Int(5), "AddressState"),
+        ("GetDescriptor", Value::Null, "AddressState"),
+        ("SetConfiguration", Value::Int(1), "Configured"),
+        ("DataRequest", Value::Null, "Configured"),
+        ("Suspend", Value::Null, "Suspended"),
+        ("Resume", Value::Null, "Configured"),
+        ("BusReset", Value::Null, "DefaultState"),
+        ("Detach", Value::Null, "Detached"),
+    ];
+    for (event, payload, expected_state) in steps {
+        runtime.add_event(dev, event, *payload).unwrap();
+        assert_eq!(
+            runtime.current_state(dev).as_deref(),
+            Some(*expected_state),
+            "after {event}"
+        );
+    }
+    assert_eq!(runtime.read_var(dev, "addr"), Some(Value::Int(0))); // reset by BusReset
+}
+
+#[test]
+fn elevator_reacts_to_button_presses() {
+    let program = corpus::elevator();
+    let runtime = Runtime::builder(&program).unwrap().start();
+    let lift = runtime.create_machine("Elevator", &[]).unwrap();
+    assert_eq!(runtime.current_state(lift).as_deref(), Some("Closed"));
+
+    runtime.add_event(lift, "OpenDoor", Value::Null).unwrap();
+    assert_eq!(runtime.current_state(lift).as_deref(), Some("Opening"));
+
+    // The door hardware (interface code here) reports the door opened.
+    runtime.add_event(lift, "DoorOpened", Value::Null).unwrap();
+    assert_eq!(runtime.current_state(lift).as_deref(), Some("Opened"));
+
+    // Dwell timer fires; the elevator is ready to close.
+    runtime.add_event(lift, "TimerFired", Value::Null).unwrap();
+    assert_eq!(runtime.current_state(lift).as_deref(), Some("OkToClose"));
+
+    // Second fire auto-closes; door reports closed.
+    runtime.add_event(lift, "TimerFired", Value::Null).unwrap();
+    assert_eq!(runtime.current_state(lift).as_deref(), Some("Closing"));
+    runtime.add_event(lift, "DoorClosed", Value::Null).unwrap();
+    assert_eq!(runtime.current_state(lift).as_deref(), Some("Closed"));
+}
+
+#[test]
+fn elevator_call_transition_subroutine_via_runtime() {
+    // Pressing OpenDoor while Opened enters the StoppingTimer subroutine
+    // (a call transition); the timer hardware's answer pops it back.
+    let program = corpus::elevator();
+    let runtime = Runtime::builder(&program).unwrap().start();
+    let lift = runtime.create_machine("Elevator", &[]).unwrap();
+    runtime.add_event(lift, "OpenDoor", Value::Null).unwrap();
+    runtime.add_event(lift, "DoorOpened", Value::Null).unwrap();
+    assert_eq!(runtime.current_state(lift).as_deref(), Some("Opened"));
+
+    runtime.add_event(lift, "OpenDoor", Value::Null).unwrap();
+    assert_eq!(
+        runtime.current_state(lift).as_deref(),
+        Some("StoppingTimer"),
+        "call transition pushed the subroutine"
+    );
+    runtime.add_event(lift, "TimerStopped", Value::Null).unwrap();
+    assert_eq!(
+        runtime.current_state(lift).as_deref(),
+        Some("Opened"),
+        "StopTimerReturned popped back to the caller"
+    );
+}
+
+#[test]
+fn switch_led_driver_full_power_cycle() {
+    let program = corpus::switch_led();
+    let runtime = Runtime::builder(&program).unwrap().start();
+    let drv = runtime.create_machine("Driver", &[]).unwrap();
+    assert_eq!(runtime.current_state(drv).as_deref(), Some("PoweredOff"));
+
+    runtime.add_event(drv, "DevicePowerUp", Value::Null).unwrap();
+    runtime
+        .add_event(drv, "SwitchStateChange", Value::Int(1))
+        .unwrap();
+    assert_eq!(runtime.current_state(drv).as_deref(), Some("Idle"));
+    assert_eq!(runtime.read_var(drv, "switchState"), Some(Value::Int(1)));
+
+    // A failed transfer is retried once, then completes.
+    runtime.add_event(drv, "IoctlSetLed", Value::Int(1)).unwrap();
+    runtime.add_event(drv, "TransferFailed", Value::Null).unwrap();
+    assert_eq!(runtime.current_state(drv).as_deref(), Some("Transferring"));
+    runtime.add_event(drv, "TransferComplete", Value::Null).unwrap();
+    assert_eq!(runtime.read_var(drv, "ledState"), Some(Value::Int(1)));
+
+    // Two failures exhaust the retry budget and fail the request.
+    runtime.add_event(drv, "IoctlSetLed", Value::Int(0)).unwrap();
+    runtime.add_event(drv, "TransferFailed", Value::Null).unwrap();
+    runtime.add_event(drv, "TransferFailed", Value::Null).unwrap();
+    assert_eq!(runtime.current_state(drv).as_deref(), Some("Idle"));
+    assert_eq!(
+        runtime.read_var(drv, "ledState"),
+        Some(Value::Int(1)),
+        "failed request leaves the LED unchanged"
+    );
+
+    runtime.add_event(drv, "DevicePowerDown", Value::Null).unwrap();
+    runtime.add_event(drv, "SwitchDisarmed", Value::Null).unwrap();
+    assert_eq!(runtime.current_state(drv).as_deref(), Some("PoweredOff"));
+}
