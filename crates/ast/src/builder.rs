@@ -35,9 +35,9 @@
 //! ```
 
 use crate::{
-    ActionBinding, ActionDecl, EventDecl, Expr, ForeignFnDecl, ForeignParam, Initializer,
-    Interner, MachineDecl, MainDecl, Program, Span, StateDecl, Stmt, Symbol, TransitionDecl,
-    TransitionKind, Ty, VarDecl,
+    ActionBinding, ActionDecl, EventDecl, Expr, ForeignFnDecl, ForeignParam, Initializer, Interner,
+    MachineDecl, MainDecl, Program, Span, StateDecl, Stmt, Symbol, TransitionDecl, TransitionKind,
+    Ty, VarDecl,
 };
 
 /// Incrementally builds a [`Program`].

@@ -342,7 +342,10 @@ impl Program {
 
     /// Total transitions + bindings across all machines.
     pub fn total_transitions(&self) -> usize {
-        self.machines.iter().map(MachineDecl::transition_count).sum()
+        self.machines
+            .iter()
+            .map(MachineDecl::transition_count)
+            .sum()
     }
 }
 

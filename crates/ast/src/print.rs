@@ -267,7 +267,12 @@ impl<'a> Printer<'a> {
                     if i > 0 {
                         text.push_str(", ");
                     }
-                    let _ = write!(text, "{} = {}", self.name(init.var), self.expr_str(&init.value));
+                    let _ = write!(
+                        text,
+                        "{} = {}",
+                        self.name(init.var),
+                        self.expr_str(&init.value)
+                    );
                 }
                 text.push_str(");");
                 self.line(&text);

@@ -85,9 +85,9 @@ impl Span {
         }
         let upto = &source[..self.start as usize];
         let line = upto.bytes().filter(|&b| b == b'\n').count() + 1;
-        let col = upto.rfind('\n').map_or(self.start as usize + 1, |nl| {
-            self.start as usize - nl
-        });
+        let col = upto
+            .rfind('\n')
+            .map_or(self.start as usize + 1, |nl| self.start as usize - nl);
         Some((line, col))
     }
 }

@@ -354,7 +354,11 @@ mod tests {
         let mut i = Interner::new();
         let x = i.intern("x");
         let e = i.intern("E");
-        let s = Stmt::send_with(Expr::this(), e, Expr::binary(BinOp::Add, Expr::int(1), Expr::name(x)));
+        let s = Stmt::send_with(
+            Expr::this(),
+            e,
+            Expr::binary(BinOp::Add, Expr::int(1), Expr::name(x)),
+        );
         let mut count = 0;
         s.for_each_expr(&mut |_| count += 1);
         assert_eq!(count, 2); // target + payload

@@ -108,10 +108,7 @@ impl HandwrittenDriver {
         // defer; repeat until quiescent.
         loop {
             let state = self.state();
-            let idx = self
-                .deferred
-                .iter()
-                .position(|e| !Self::defers(state, *e));
+            let idx = self.deferred.iter().position(|e| !Self::defers(state, *e));
             let Some(idx) = idx else {
                 return;
             };
@@ -130,12 +127,11 @@ impl HandwrittenDriver {
             State::Idle => false,
             State::Transferring => matches!(
                 event,
-                Event::SetLed(_)
-                    | Event::GetSwitch
-                    | Event::PowerDown
-                    | Event::SwitchChange(_)
+                Event::SetLed(_) | Event::GetSwitch | Event::PowerDown | Event::SwitchChange(_)
             ),
-            State::Disarming => matches!(event, Event::SetLed(_) | Event::GetSwitch | Event::PowerUp),
+            State::Disarming => {
+                matches!(event, Event::SetLed(_) | Event::GetSwitch | Event::PowerUp)
+            }
         }
     }
 
@@ -153,7 +149,8 @@ impl HandwrittenDriver {
             (State::WaitInitialSwitch, _) => {}
             (State::Idle, Event::SwitchChange(v)) => self.switch_state = v,
             (State::Idle, Event::GetSwitch) => {
-                self.completions.push(Completion::Complete(self.switch_state));
+                self.completions
+                    .push(Completion::Complete(self.switch_state));
             }
             (State::Idle, Event::SetLed(v)) => {
                 self.pending_led = v;

@@ -10,7 +10,10 @@ use p_bench::figures::bug_bounds;
 
 fn main() {
     println!("Minimum delay bound needed to find each seeded bug (§5)\n");
-    println!("{:<12} {:>12} {:>14}", "benchmark", "found at d", "trace length");
+    println!(
+        "{:<12} {:>12} {:>14}",
+        "benchmark", "found at d", "trace length"
+    );
     let mut worst = 0;
     for (name, found, trace_len) in bug_bounds(4) {
         match found {
@@ -23,6 +26,10 @@ fn main() {
     }
     println!(
         "\npaper claim: bugs found within delay bound 2 — {}",
-        if worst <= 2 { "REPRODUCED" } else { "NOT reproduced" }
+        if worst <= 2 {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
 }

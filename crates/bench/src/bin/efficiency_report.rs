@@ -18,7 +18,9 @@
 use std::time::{Duration, Instant};
 
 use p_bench::baseline::efficiency_script;
-use p_bench::figures::{drivers_agree, p_driver_feed, p_driver_runtime, run_handwritten, run_p_driver};
+use p_bench::figures::{
+    drivers_agree, p_driver_feed, p_driver_runtime, run_handwritten, run_p_driver,
+};
 
 fn main() {
     let rounds = 2_000;
@@ -48,7 +50,9 @@ fn main() {
     // Part 2: the paper's setup — 100 events/s with a 4 ms device access.
     let io = Duration::from_millis(4);
     let paced_events = 100;
-    println!("\npaced run: {paced_events} events at 100 events/s with {io:?} simulated device I/O:");
+    println!(
+        "\npaced run: {paced_events} events at 100 events/s with {io:?} simulated device I/O:"
+    );
 
     let (runtime, id) = p_driver_runtime();
     let paced_script = efficiency_script(paced_events / 2);

@@ -39,7 +39,11 @@ fn main() {
                 p.states * scale,
                 p.scheduler_nodes,
                 p.duration,
-                if p.states == full { "  <- full coverage" } else { "" }
+                if p.states == full {
+                    "  <- full coverage"
+                } else {
+                    ""
+                }
             );
         }
         let covered = series.iter().find(|p| p.states == full);

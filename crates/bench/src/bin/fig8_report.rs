@@ -34,7 +34,11 @@ fn main() {
          - explored-state counts do not track P-state counts (in the paper\n\
            the 196-state HSM explored the most configurations; environment\n\
            nondeterminism dominates): reproduced = {}",
-        if dsm.p_states > hsm.p_states { "yes" } else { "NO" },
+        if dsm.p_states > hsm.p_states {
+            "yes"
+        } else {
+            "NO"
+        },
         dsm.p_states,
         hsm.p_states,
         {

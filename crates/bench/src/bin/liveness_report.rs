@@ -24,7 +24,11 @@ fn main() {
         let report = compiled.verify_liveness();
         println!(
             "{name}: {} ({} states, complete = {})",
-            if report.passed() { "no violations" } else { "VIOLATIONS" },
+            if report.passed() {
+                "no violations"
+            } else {
+                "VIOLATIONS"
+            },
             report.stats.unique_states,
             report.complete
         );
@@ -54,7 +58,10 @@ fn main() {
         }
         main Env();
     "#;
-    for (name, src) in [("machine-runs-forever", spinner), ("event-starved", starved)] {
+    for (name, src) in [
+        ("machine-runs-forever", spinner),
+        ("event-starved", starved),
+    ] {
         let compiled = Compiled::from_source(src).unwrap();
         let report = compiled.verify_liveness();
         println!("{name}: {} violation(s)", report.violations.len());

@@ -23,8 +23,14 @@ pub struct Fig7Point {
 /// The three Figure 7 benchmarks, compiled.
 pub fn fig7_programs() -> Vec<(&'static str, Compiled)> {
     vec![
-        ("Elevator", Compiled::from_program(corpus::elevator()).unwrap()),
-        ("Switch-LED", Compiled::from_program(corpus::switch_led()).unwrap()),
+        (
+            "Elevator",
+            Compiled::from_program(corpus::elevator()).unwrap(),
+        ),
+        (
+            "Switch-LED",
+            Compiled::from_program(corpus::switch_led()).unwrap(),
+        ),
         ("German", Compiled::from_program(corpus::german()).unwrap()),
     ]
 }
@@ -118,8 +124,12 @@ pub fn fig8_rows() -> Vec<Fig8Row> {
 /// Builds the P-runtime switch-LED driver once (outside the timed region).
 pub fn p_driver_runtime() -> (Runtime, p_core::MachineId) {
     let program = corpus::switch_led();
-    let runtime = Runtime::builder(&program).expect("switch_led compiles").start();
-    let id = runtime.create_machine("Driver", &[]).expect("driver created");
+    let runtime = Runtime::builder(&program)
+        .expect("switch_led compiles")
+        .start();
+    let id = runtime
+        .create_machine("Driver", &[])
+        .expect("driver created");
     (runtime, id)
 }
 

@@ -124,9 +124,12 @@ impl Verifier<'_> {
             for r in 0..=max_rot {
                 let rotated = sched.rotated(r);
                 let &machine = rotated.stack.front().expect("normalized non-empty stack");
-                for succ in
-                    crate::succ::successors_for(&engine, &config, machine, self.options().granularity)
-                {
+                for succ in crate::succ::successors_for(
+                    &engine,
+                    &config,
+                    machine,
+                    self.options().granularity,
+                ) {
                     stats.transitions += 1;
                     let step = TraceStep::from_run(
                         self.program(),

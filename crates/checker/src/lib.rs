@@ -20,6 +20,10 @@
 //!   causal schedule the runtime executes, and increasing `d` adds
 //!   schedules that diverge from causal order in at most `d` places;
 //! * [`Verifier::check_random`] — seeded random walks;
+//! * [`Verifier::check_with_faults`] — exhaustive search plus a bounded
+//!   *environment-fault scheduler* that may drop, duplicate, or delay
+//!   queued events (this reproduction's robustness extension: budget 0
+//!   coincides with the fault-free search);
 //! * [`Verifier::check_liveness`] — a bounded check of the two liveness
 //!   properties of §3.2 (this reproduction's extension; the paper lists
 //!   liveness verification as future work).
@@ -54,6 +58,7 @@
 
 mod delay;
 mod explore;
+mod fault;
 mod liveness;
 mod random;
 mod replay;
@@ -63,6 +68,7 @@ mod trace;
 
 pub use delay::{DelayReport, SchedulerState};
 pub use explore::{CheckerOptions, Report, Verifier};
+pub use fault::{FaultDecision, FaultKind, FaultReport, FaultScheduler};
 pub use liveness::{LivenessReport, LivenessViolation};
 pub use replay::ReplayOutcome;
 pub use stats::ExplorationStats;

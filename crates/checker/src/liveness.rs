@@ -134,13 +134,7 @@ impl Verifier<'_> {
                 continue; // trivial SCC, no cycle
             }
 
-            self.check_scc(
-                &graph,
-                scc,
-                &internal,
-                &mut violations,
-                &mut seen,
-            );
+            self.check_scc(&graph, scc, &internal, &mut violations, &mut seen);
         }
 
         stats.duration = start.elapsed();
@@ -186,9 +180,7 @@ impl Verifier<'_> {
         // execution stays in this SCC and property 2 is vacuous here.
         let scheduled: HashSet<MachineId> = internal.iter().map(|(_, e)| e.machine).collect();
         for &m in &machines {
-            let enabled_everywhere = scc
-                .iter()
-                .all(|&n| engine.enabled(&graph.configs[n], m));
+            let enabled_everywhere = scc.iter().all(|&n| engine.enabled(&graph.configs[n], m));
             if enabled_everywhere && !scheduled.contains(&m) {
                 return; // unfair SCC
             }

@@ -47,12 +47,7 @@ impl Verifier<'_> {
                         recorded.push(bit);
                         bit
                     };
-                    engine.run_machine(
-                        &mut config,
-                        id,
-                        &mut chooser,
-                        self.options().granularity,
-                    )
+                    engine.run_machine(&mut config, id, &mut chooser, self.options().granularity)
                 };
                 stats.transitions += 1;
                 let step = TraceStep::from_run(self.program(), id, &result, recorded);

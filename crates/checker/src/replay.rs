@@ -9,6 +9,7 @@
 use p_semantics::{Config, ExecOutcome, PError, Script};
 
 use crate::explore::Verifier;
+use crate::fault::FaultScheduler;
 use crate::trace::{Counterexample, TraceStep};
 
 /// Outcome of replaying a counterexample.
@@ -52,6 +53,14 @@ impl Verifier<'_> {
             let TraceStep {
                 machine, choices, ..
             } = step;
+            // Fault steps re-apply the recorded queue tampering instead of
+            // running a machine; `apply` validates the queue still matches.
+            if let Some(decision) = &step.fault {
+                if let Err(reason) = FaultScheduler::apply(decision, &mut config) {
+                    return ReplayOutcome::Diverged { step: i, reason };
+                }
+                continue;
+            }
             if config.machine(*machine).is_none() {
                 return ReplayOutcome::Diverged {
                     step: i,
@@ -133,6 +142,12 @@ impl Verifier<'_> {
         let mut config = engine.initial_config();
         let steps = counterexample.trace.len();
         for step in counterexample.trace.iter().take(steps.saturating_sub(1)) {
+            if let Some(decision) = &step.fault {
+                if FaultScheduler::apply(decision, &mut config).is_err() {
+                    return None;
+                }
+                continue;
+            }
             let mut script = Script::new(&step.choices);
             let result = engine.run_machine(
                 &mut config,

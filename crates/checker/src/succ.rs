@@ -69,11 +69,17 @@ mod tests {
             Stmt::assign(x, Expr::int(0)),
             Stmt::if_then(
                 Expr::nondet(),
-                Stmt::assign(x, Expr::binary(p_ast::BinOp::Add, Expr::name(x), Expr::int(1))),
+                Stmt::assign(
+                    x,
+                    Expr::binary(p_ast::BinOp::Add, Expr::name(x), Expr::int(1)),
+                ),
             ),
             Stmt::if_then(
                 Expr::nondet(),
-                Stmt::assign(x, Expr::binary(p_ast::BinOp::Add, Expr::name(x), Expr::int(2))),
+                Stmt::assign(
+                    x,
+                    Expr::binary(p_ast::BinOp::Add, Expr::name(x), Expr::int(2)),
+                ),
             ),
         ]));
         g.finish();

@@ -71,7 +71,10 @@ fn delay_zero_is_causal_and_misses_the_race() {
 fn delay_one_finds_the_race() {
     let p = lowered(RACE);
     let report = Verifier::new(&p).check_delay_bounded(1);
-    let cx = report.report.counterexample.expect("d=1 must find the race");
+    let cx = report
+        .report
+        .counterexample
+        .expect("d=1 must find the race");
     assert_eq!(cx.error.kind, ErrorKind::AssertionFailure);
 }
 
@@ -113,7 +116,9 @@ fn high_delay_bound_matches_exhaustive_coverage() {
 fn random_walks_find_the_race() {
     let p = lowered(RACE);
     let report = Verifier::new(&p).check_random(42, 200, 64);
-    let cx = report.counterexample.expect("random walks should stumble on it");
+    let cx = report
+        .counterexample
+        .expect("random walks should stumble on it");
     assert_eq!(cx.error.kind, ErrorKind::AssertionFailure);
 }
 
@@ -256,10 +261,8 @@ const STARVATION: &str = r#"
 fn liveness_flags_forever_deferred_event() {
     let p = lowered(STARVATION);
     let report = Verifier::new(&p).check_liveness();
-    assert!(report
-        .violations
-        .iter()
-        .any(|v| matches!(
+    assert!(
+        report.violations.iter().any(|v| matches!(
             v,
             LivenessViolation::EventNeverDequeued { event_name, .. } if event_name == "work"
         )),

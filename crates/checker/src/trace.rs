@@ -4,16 +4,23 @@ use std::fmt;
 
 use p_semantics::{ExecOutcome, LoweredProgram, MachineId, PError, RunResult, YieldKind};
 
+use crate::fault::{FaultDecision, FaultKind};
+
 /// One scheduler decision on a counterexample path: which machine ran and
-/// what its atomic run did.
+/// what its atomic run did — or, for fault-injection steps, which
+/// environment fault was applied to its queue.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceStep {
-    /// The machine the scheduler ran.
+    /// The machine the scheduler ran (for fault steps: the machine whose
+    /// queue was tampered with).
     pub machine: MachineId,
     /// Human-readable summary of the run.
     pub summary: String,
-    /// The ghost-choice script consumed by the run.
+    /// The ghost-choice script consumed by the run (empty for faults).
     pub choices: Vec<bool>,
+    /// The environment fault this step applied, if it is a fault step
+    /// rather than a machine run.
+    pub fault: Option<FaultDecision>,
 }
 
 impl TraceStep {
@@ -25,11 +32,19 @@ impl TraceStep {
         choices: Vec<bool>,
     ) -> TraceStep {
         let summary = match &result.outcome {
-            ExecOutcome::Yield(YieldKind::Sent { to, event, enqueued }) => format!(
+            ExecOutcome::Yield(YieldKind::Sent {
+                to,
+                event,
+                enqueued,
+            }) => format!(
                 "sent {} to {}{}",
                 program.event_name(*event),
                 to,
-                if *enqueued { "" } else { " (duplicate, dropped)" }
+                if *enqueued {
+                    ""
+                } else {
+                    " (duplicate, dropped)"
+                }
             ),
             ExecOutcome::Yield(YieldKind::Created { id, ty }) => {
                 format!("created {} of type {}", id, program.machine_name(*ty))
@@ -44,6 +59,29 @@ impl TraceStep {
             machine,
             summary,
             choices,
+            fault: None,
+        }
+    }
+
+    /// Builds the step recording an injected environment fault.
+    pub fn from_fault(program: &LoweredProgram, decision: &FaultDecision) -> TraceStep {
+        let event = program.event_name(decision.event);
+        let summary = match decision.kind {
+            FaultKind::Drop => format!("FAULT: dropped {event} from queue[{}]", decision.index),
+            FaultKind::Dup => format!(
+                "FAULT: re-delivered {event} from queue[{}] (bypassing dedup)",
+                decision.index
+            ),
+            FaultKind::Delay => format!(
+                "FAULT: delayed {event} from queue[{}] to the back",
+                decision.index
+            ),
+        };
+        TraceStep {
+            machine: decision.machine,
+            summary,
+            choices: Vec::new(),
+            fault: Some(*decision),
         }
     }
 }
@@ -93,8 +131,12 @@ mod tests {
             machine: MachineId(1),
             summary: "ran to quiescence".into(),
             choices: vec![true, false],
+            fault: None,
         };
-        assert_eq!(step.to_string(), "machine #1: ran to quiescence [choices: 10]");
+        assert_eq!(
+            step.to_string(),
+            "machine #1: ran to quiescence [choices: 10]"
+        );
     }
 
     #[test]
@@ -105,6 +147,7 @@ mod tests {
                 machine: MachineId(0),
                 summary: "did things".into(),
                 choices: vec![],
+                fault: None,
             }],
         };
         let text = cx.to_string();

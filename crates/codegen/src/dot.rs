@@ -55,7 +55,11 @@ fn render(program: &Program, machine: &MachineDecl) -> String {
     let _ = writeln!(
         out,
         "    label=\"{}{title}\";",
-        if machine.ghost { "ghost machine " } else { "machine " }
+        if machine.ghost {
+            "ghost machine "
+        } else {
+            "machine "
+        }
     );
     let _ = writeln!(out, "    node [shape=box, style=rounded];");
 

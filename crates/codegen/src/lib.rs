@@ -23,7 +23,7 @@ mod dot;
 mod emit;
 
 pub use dot::{machine_to_dot, program_to_dot};
-pub use emit::{generate_c, generate_c_from_lowered, CodegenError, CodegenStats, COutput};
+pub use emit::{generate_c, generate_c_from_lowered, COutput, CodegenError, CodegenStats};
 
 #[cfg(test)]
 mod tests {
@@ -106,13 +106,24 @@ mod tests {
     #[test]
     fn emits_entry_exit_and_action_functions() {
         let out = output();
-        assert!(out.code.contains("static void Elevator_Init_entry(StateMachineContext *ctx)"));
-        assert!(out.code.contains("static void Elevator_Closed_exit(StateMachineContext *ctx)"));
-        assert!(out.code.contains("static void Elevator_action_Ignore(StateMachineContext *ctx)"));
+        assert!(out
+            .code
+            .contains("static void Elevator_Init_entry(StateMachineContext *ctx)"));
+        assert!(out
+            .code
+            .contains("static void Elevator_Closed_exit(StateMachineContext *ctx)"));
+        assert!(out
+            .code
+            .contains("static void Elevator_action_Ignore(StateMachineContext *ctx)"));
         // Statement translation.
-        assert!(out.code.contains("p_assign(ctx, ELEVATOR_VAR_floor, p_int(0));"));
+        assert!(out
+            .code
+            .contains("p_assign(ctx, ELEVATOR_VAR_floor, p_int(0));"));
         assert!(out.code.contains("p_raise(ctx, P_EVENT_unit, p_null());"));
-        assert!(out.code.contains("return;"), "raise must terminate the function");
+        assert!(
+            out.code.contains("return;"),
+            "raise must terminate the function"
+        );
     }
 
     #[test]

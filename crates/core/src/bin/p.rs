@@ -5,6 +5,7 @@
 //! p fmt FILE                        print the normalized program
 //! p info FILE                       machines / states / transitions
 //! p verify FILE [--delay N] [--max-states N] [--fine]
+//!              [--faults N] [--fault-kinds drop,dup,delay]
 //! p liveness FILE                   bounded liveness check (§3.2)
 //! p run FILE MACHINE EVENT[:INT]... create a machine and feed it events
 //! p compile FILE [-o OUT.c]         generate the C translation unit (§4)
@@ -56,6 +57,7 @@ fn usage() -> String {
      p fmt FILE                        print the normalized program\n\
      p info FILE                       machines / states / transitions\n\
      p verify FILE [--delay N] [--max-states N] [--fine]\n\
+                   [--faults N] [--fault-kinds drop,dup,delay]\n\
      p liveness FILE                   bounded liveness check\n\
      p run FILE MACHINE EVENT[:INT]... create a machine, feed it events\n\
      p compile FILE [-o OUT.c]         generate C (section 4 layout)\n\
@@ -136,12 +138,25 @@ fn verify(args: &[String]) -> Result<(), String> {
     let (_, compiled) = load(path)?;
 
     let mut delay: Option<usize> = None;
+    let mut faults: Option<usize> = None;
+    let mut fault_kinds: Vec<p_core::FaultKind> = Vec::new();
     let mut options = CheckerOptions::default();
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
             "--delay" => {
                 delay = Some(parse_flag_value(args, &mut i, "--delay")?);
+            }
+            "--faults" => {
+                faults = Some(parse_flag_value(args, &mut i, "--faults")?);
+            }
+            "--fault-kinds" => {
+                let list = args
+                    .get(i + 1)
+                    .ok_or("--fault-kinds needs a value".to_owned())?;
+                fault_kinds = p_core::FaultKind::parse_list(list)
+                    .map_err(|e| format!("--fault-kinds: {e}"))?;
+                i += 2;
             }
             "--max-states" => {
                 options.max_states = parse_flag_value(args, &mut i, "--max-states")?;
@@ -153,21 +168,37 @@ fn verify(args: &[String]) -> Result<(), String> {
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
+    if delay.is_some() && faults.is_some() {
+        return Err("--delay and --faults cannot be combined".to_owned());
+    }
+    if faults.is_none() && !fault_kinds.is_empty() {
+        return Err("--fault-kinds needs --faults N".to_owned());
+    }
 
     let verifier = compiled.verifier().with_options(options);
-    let (_passed, stats, counterexample) = match delay {
-        None => {
+    let (_passed, stats, counterexample) = match (delay, faults) {
+        (None, None) => {
             let r = verifier.check_exhaustive();
             (r.passed(), r.stats, r.counterexample)
         }
-        Some(d) => {
+        (Some(d), _) => {
             let r = verifier.check_delay_bounded(d);
             println!("delay bound {d}, {} scheduler node(s)", r.scheduler_nodes);
-            (
-                r.report.passed(),
-                r.report.stats,
-                r.report.counterexample,
-            )
+            (r.report.passed(), r.report.stats, r.report.counterexample)
+        }
+        (None, Some(budget)) => {
+            let r = verifier.check_with_faults(budget, &fault_kinds);
+            println!(
+                "fault budget {budget} ({}), {} fault node(s), {} injection(s) explored",
+                r.kinds
+                    .iter()
+                    .map(|k| k.tag())
+                    .collect::<Vec<_>>()
+                    .join(","),
+                r.fault_nodes,
+                r.fault_transitions
+            );
+            (r.report.passed(), r.report.stats, r.report.counterexample)
         }
     };
 
@@ -180,7 +211,10 @@ fn verify(args: &[String]) -> Result<(), String> {
         Some(cx) => {
             println!("{path}: FAILED\n{cx}");
             let replayed = compiled.verifier().replay(&cx).reproduced();
-            println!("replay: {}", if replayed { "reproduced" } else { "DIVERGED" });
+            println!(
+                "replay: {}",
+                if replayed { "reproduced" } else { "DIVERGED" }
+            );
             Err("verification failed".to_owned())
         }
     }
@@ -218,14 +252,9 @@ fn liveness(args: &[String]) -> Result<(), String> {
 
 fn run_program(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or_else(usage)?;
-    let machine = args
-        .get(1)
-        .ok_or("run needs a machine name".to_owned())?;
+    let machine = args.get(1).ok_or("run needs a machine name".to_owned())?;
     let (_, compiled) = load(path)?;
-    let runtime = compiled
-        .runtime()
-        .map_err(|e| e.to_string())?
-        .start();
+    let runtime = compiled.runtime().map_err(|e| e.to_string())?.start();
     let id = runtime
         .create_machine(machine, &[])
         .map_err(|e| e.to_string())?;
@@ -249,7 +278,9 @@ fn run_program(args: &[String]) -> Result<(), String> {
             .map_err(|e| e.to_string())?;
         println!(
             "  {spec:<24} -> state = {}, queue = {}",
-            runtime.current_state(id).unwrap_or_else(|| "<deleted>".into()),
+            runtime
+                .current_state(id)
+                .unwrap_or_else(|| "<deleted>".into()),
             runtime.queue_len(id).unwrap_or(0)
         );
     }

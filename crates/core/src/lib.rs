@@ -62,7 +62,9 @@ pub use p_semantics as semantics;
 pub use p_typecheck as typecheck;
 
 pub use p_ast::Program;
-pub use p_checker::{CheckerOptions, DelayReport, LivenessReport, Report, Verifier};
+pub use p_checker::{
+    CheckerOptions, DelayReport, FaultKind, FaultReport, LivenessReport, Report, Verifier,
+};
 pub use p_codegen::COutput;
 pub use p_runtime::{DriverHost, Runtime, RuntimeBuilder};
 pub use p_semantics::{ForeignRegistry, LoweredProgram, MachineId, Value};
@@ -162,6 +164,14 @@ impl Compiled {
         self.verifier().check_liveness()
     }
 
+    /// Systematic testing under environment-fault injection: the checker
+    /// may drop, duplicate, or delay queued events, at most `budget`
+    /// times per path (empty `kinds` = all fault kinds). Budget 0
+    /// coincides with [`Compiled::verify`].
+    pub fn verify_with_faults(&self, budget: usize, kinds: &[FaultKind]) -> FaultReport {
+        self.verifier().check_with_faults(budget, kinds)
+    }
+
     /// An execution runtime builder over the erased program (§4).
     ///
     /// # Errors
@@ -210,6 +220,20 @@ mod tests {
             Err(CompileError::Check(e)) => assert!(e.error_count() > 0),
             other => panic!("expected check error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn fault_injection_via_facade() {
+        let compiled = Compiled::from_source(p_corpus::LOSSY_LINK_SRC).unwrap();
+        assert!(compiled.verify_with_faults(0, &[]).report.passed());
+        let faulty = compiled.verify_with_faults(1, &[FaultKind::Drop]);
+        assert!(
+            !faulty.report.passed(),
+            "dropping cfg must break the handshake"
+        );
+        // The fault trace replays on a fresh verifier.
+        let cx = faulty.report.counterexample.unwrap();
+        assert!(compiled.verifier().replay(&cx).reproduced());
     }
 
     #[test]

@@ -1,0 +1,47 @@
+// A sink that must be configured before it accepts data, fed over a
+// link modeled as reliable FIFO by the semantics' queues. Fault-free
+// exploration passes: `cfg` is sent before any `data`, so the sink is
+// already in `Ready` whenever data arrives. A lossy environment breaks
+// it — if the `cfg` message is dropped or overtaken, `data` reaches
+// `WaitCfg`, which has no handler for it. The bug is found by
+// `p verify FILE --faults 1` and missed at `--faults 0`.
+
+event cfg : int;
+event data : int;
+
+machine Sink {
+    var seen : int;
+
+    state WaitCfg {
+        entry { seen := 0; }
+        on cfg goto Ready;
+    }
+
+    state Ready {
+        on data do take;
+        on cfg do ignore; // a re-delivered cfg is harmless
+    }
+
+    action take { seen := seen + 1; }
+    action ignore { }
+}
+
+ghost machine Link {
+    var sink : id;
+    var i : int;
+    var budget : int;
+
+    state Go {
+        entry {
+            sink := new Sink();
+            send(sink, cfg, 1);
+            i := 0;
+            while (i < budget) {
+                i := i + 1;
+                send(sink, data, i);
+            }
+        }
+    }
+}
+
+main Link(budget = 2);

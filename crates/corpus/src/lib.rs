@@ -11,7 +11,10 @@
 //!   analogs of the four USB 3.0 machines of Figure 8 (hub, 3.0 port,
 //!   2.0 port and device state machines);
 //! * `*_buggy` variants with seeded concurrency bugs, used for the
-//!   "bugs are found within a delay bound of 2" experiment of §5.
+//!   "bugs are found within a delay bound of 2" experiment of §5;
+//! * [`lossy_link`] — the fault-injection benchmark (this reproduction's
+//!   robustness extension): correct under reliable FIFO delivery, broken
+//!   when the environment drops or reorders its configuration message.
 //!
 //! All programs are stored as textual P source (`programs/*.p`) and
 //! parsed on demand; the environment machines take a *budget* parameter
@@ -41,11 +44,18 @@ pub const USB_PSM30_SRC: &str = include_str!("../programs/usb_psm30.p");
 pub const USB_PSM20_SRC: &str = include_str!("../programs/usb_psm20.p");
 /// Source text of the USB device state machine analog (Figure 8, DSM).
 pub const USB_DSM_SRC: &str = include_str!("../programs/usb_dsm.p");
+/// Source text of the lossy-link configuration handshake (the
+/// fault-injection benchmark: correct under reliable FIFO delivery,
+/// broken when the environment drops or reorders the `cfg` message).
+pub const LOSSY_LINK_SRC: &str = include_str!("../programs/lossy_link.p");
 
 fn parse(source: &str, what: &str) -> Program {
     match p_parser::parse(source) {
         Ok(p) => p,
-        Err(e) => panic!("corpus program {what} failed to parse: {}", e.render(source)),
+        Err(e) => panic!(
+            "corpus program {what} failed to parse: {}",
+            e.render(source)
+        ),
     }
 }
 
@@ -104,10 +114,7 @@ pub fn switch_led_with_budget(budget: i64) -> Program {
 /// defer `SwitchStateChange` while a LED transfer is in flight, so a
 /// switch flip racing the transfer is an unhandled event.
 pub fn switch_led_buggy() -> Program {
-    let src = SWITCH_LED_SRC.replace(
-        "        defer SwitchStateChange; // bug-seed-marker\n",
-        "",
-    );
+    let src = SWITCH_LED_SRC.replace("        defer SwitchStateChange; // bug-seed-marker\n", "");
     assert_ne!(src, SWITCH_LED_SRC, "bug seeding must change the program");
     parse(&src, "switch_led_buggy")
 }
@@ -136,10 +143,7 @@ pub fn german3_with_budget(budget: i64) -> Program {
 /// access without first invalidating the exclusive owner, so exclusive
 /// ownership and sharers coexist — caught by the coherence assertion.
 pub fn german_buggy() -> Program {
-    let src = GERMAN_SRC.replace(
-        "if (exclHeld) { // bug-seed-marker",
-        "if (false) {",
-    );
+    let src = GERMAN_SRC.replace("if (exclHeld) { // bug-seed-marker", "if (false) {");
     assert_ne!(src, GERMAN_SRC, "bug seeding must change the program");
     parse(&src, "german_buggy")
 }
@@ -164,6 +168,17 @@ pub fn usb_dsm() -> Program {
     parse(USB_DSM_SRC, "usb_dsm")
 }
 
+/// The lossy-link handshake: correct under reliable FIFO delivery,
+/// drop/reorder-sensitive under fault injection.
+pub fn lossy_link() -> Program {
+    parse(LOSSY_LINK_SRC, "lossy_link")
+}
+
+/// The lossy-link handshake with `budget` data messages.
+pub fn lossy_link_with_budget(budget: i64) -> Program {
+    parse(&with_budget(LOSSY_LINK_SRC, budget), "lossy_link")
+}
+
 /// Every corpus program with its name (buggy variants excluded).
 pub fn all() -> Vec<(&'static str, Program)> {
     vec![
@@ -176,6 +191,7 @@ pub fn all() -> Vec<(&'static str, Program)> {
         ("usb_psm30", usb_psm30()),
         ("usb_psm20", usb_psm20()),
         ("usb_dsm", usb_dsm()),
+        ("lossy_link", lossy_link()),
     ]
 }
 

@@ -66,6 +66,20 @@ fn usb_machines_verify() {
 }
 
 #[test]
+fn lossy_link_verifies_fault_free_but_breaks_under_faults() {
+    let program = lossy_link();
+    verify_ok(&program, "lossy_link");
+    let lowered = lower(&program).unwrap();
+    let verifier = Verifier::new(&lowered);
+    assert!(verifier.check_with_faults(0, &[]).report.passed());
+    let faulty = verifier.check_with_faults(1, &[]);
+    assert!(
+        !faulty.report.passed(),
+        "one environment fault must break the handshake"
+    );
+}
+
+#[test]
 fn all_programs_typecheck() {
     for (name, program) in all() {
         p_typecheck::check(&program).unwrap_or_else(|e| panic!("{name}: {e}"));
@@ -90,9 +104,7 @@ fn bugs_found_within_delay_bound_two() {
     for (name, _, buggy) in figure7_benchmarks() {
         let lowered = lower(&buggy).unwrap();
         let verifier = Verifier::new(&lowered);
-        let found_at = (0..=2).find(|&d| {
-            !verifier.check_delay_bounded(d).report.passed()
-        });
+        let found_at = (0..=2).find(|&d| !verifier.check_delay_bounded(d).report.passed());
         assert!(
             found_at.is_some(),
             "{name} bug not found within delay bound 2"
@@ -186,8 +198,8 @@ fn budget_substitution_changes_main_only() {
 fn programs_print_and_reparse() {
     for (name, program) in all() {
         let text = p_ast::print_program(&program);
-        let reparsed = p_parser::parse(&text)
-            .unwrap_or_else(|e| panic!("{name} failed to reparse: {e}"));
+        let reparsed =
+            p_parser::parse(&text).unwrap_or_else(|e| panic!("{name} failed to reparse: {e}"));
         assert_eq!(
             text,
             p_ast::print_program(&reparsed),

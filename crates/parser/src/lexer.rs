@@ -149,9 +149,7 @@ pub fn lex(source: &str) -> Result<Vec<Token>, ParseError> {
                 i = j + 2;
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 tokens.push(Token {
@@ -280,7 +278,12 @@ mod tests {
     fn skips_comments() {
         assert_eq!(
             kinds("a // line comment\nb /* block\ncomment */ c"),
-            vec![TokenKind::Ident, TokenKind::Ident, TokenKind::Ident, TokenKind::Eof]
+            vec![
+                TokenKind::Ident,
+                TokenKind::Ident,
+                TokenKind::Ident,
+                TokenKind::Eof
+            ]
         );
     }
 

@@ -403,7 +403,10 @@ mod tests {
         let stmts = m.states[0].entry.flatten();
         match &stmts[0].kind {
             StmtKind::Assign { value, .. } => {
-                assert!(matches!(value.kind, ExprKind::Binary(p_ast::BinOp::Add, _, _)));
+                assert!(matches!(
+                    value.kind,
+                    ExprKind::Binary(p_ast::BinOp::Add, _, _)
+                ));
             }
             other => panic!("expected assign, got {other:?}"),
         }

@@ -5,8 +5,8 @@
 
 use p_ast::{
     ActionBinding, ActionDecl, BinOp, EventDecl, Expr, ExprKind, ForeignFnDecl, ForeignParam,
-    Initializer, Interner, MachineDecl, MainDecl, Program, Span, StateDecl, Stmt, StmtKind,
-    Symbol, TransitionDecl, TransitionKind, Ty, UnOp, VarDecl,
+    Initializer, Interner, MachineDecl, MainDecl, Program, Span, StateDecl, Stmt, StmtKind, Symbol,
+    TransitionDecl, TransitionKind, Ty, UnOp, VarDecl,
 };
 
 use crate::lexer::{lex, Token, TokenKind};
@@ -610,10 +610,7 @@ impl Parser<'_> {
                     ));
                 }
                 Ok(Stmt::spanned(
-                    StmtKind::Assign {
-                        dst: first,
-                        value,
-                    },
+                    StmtKind::Assign { dst: first, value },
                     first_span.merge(end),
                 ))
             }
@@ -679,10 +676,7 @@ impl Parser<'_> {
             self.bump();
             let rhs = self.expr_bp(prec + 1)?;
             let span = lhs.span.merge(rhs.span);
-            lhs = Expr::spanned(
-                ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
-                span,
-            );
+            lhs = Expr::spanned(ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), span);
         }
         Ok(lhs)
     }
@@ -717,9 +711,10 @@ impl Parser<'_> {
         match t.kind {
             TokenKind::Int => {
                 self.bump();
-                let value: i64 = self.text(t).parse().map_err(|_| {
-                    self.err_at(t, "integer literal out of range")
-                })?;
+                let value: i64 = self
+                    .text(t)
+                    .parse()
+                    .map_err(|_| self.err_at(t, "integer literal out of range"))?;
                 Ok(Expr::spanned(ExprKind::Int(value), t.span))
             }
             TokenKind::Star => {

@@ -27,6 +27,21 @@ pub enum RuntimeError {
     NoSuchMachine(p_semantics::MachineId),
     /// A machine took an error transition while processing events.
     Machine(PError),
+    /// The machine was quarantined after a panic (typically in a foreign
+    /// function); it no longer accepts events, but the rest of the
+    /// runtime keeps going.
+    MachineQuarantined(p_semantics::MachineId),
+    /// The event pump's worker thread has exited; no further injections
+    /// can be delivered.
+    PumpStopped,
+    /// The event pump's worker thread panicked.
+    PumpPanicked,
+    /// The pump's bounded queue is full (under the `Fail` overflow
+    /// policy, or after a `try_inject` deadline expired).
+    QueueFull,
+    /// Graceful shutdown did not drain in-flight injections before its
+    /// deadline.
+    ShutdownTimeout,
 }
 
 impl fmt::Display for RuntimeError {
@@ -40,6 +55,18 @@ impl fmt::Display for RuntimeError {
             }
             RuntimeError::NoSuchMachine(id) => write!(f, "no such machine {id}"),
             RuntimeError::Machine(e) => write!(f, "machine error: {e}"),
+            RuntimeError::MachineQuarantined(id) => {
+                write!(f, "machine {id} is quarantined after a panic")
+            }
+            RuntimeError::PumpStopped => write!(f, "event pump has stopped"),
+            RuntimeError::PumpPanicked => write!(f, "event pump worker thread panicked"),
+            RuntimeError::QueueFull => write!(f, "event pump queue is full"),
+            RuntimeError::ShutdownTimeout => {
+                write!(
+                    f,
+                    "event pump shutdown deadline expired before the queue drained"
+                )
+            }
         }
     }
 }
@@ -80,5 +107,16 @@ mod tests {
         assert!(e.to_string().contains("#4"));
         let e = RuntimeError::Machine(PError::new(ErrorKind::AssertionFailure, MachineId(0)));
         assert!(e.to_string().contains("assertion"));
+        let e = RuntimeError::MachineQuarantined(MachineId(2));
+        assert!(e.to_string().contains("quarantined"));
+        assert_eq!(
+            RuntimeError::PumpStopped.to_string(),
+            "event pump has stopped"
+        );
+        assert!(RuntimeError::PumpPanicked.to_string().contains("panicked"));
+        assert!(RuntimeError::QueueFull.to_string().contains("full"));
+        assert!(RuntimeError::ShutdownTimeout
+            .to_string()
+            .contains("deadline"));
     }
 }

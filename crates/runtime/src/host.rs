@@ -122,7 +122,8 @@ impl DriverHost {
     /// processing.
     pub fn remove_device(&self, device: DeviceHandle) -> Result<(), RuntimeError> {
         let id = self.machine_of(device)?;
-        self.runtime.add_event(id, &self.remove_event, Value::Null)?;
+        self.runtime
+            .add_event(id, &self.remove_event, Value::Null)?;
         self.devices.lock().remove(&device);
         Ok(())
     }

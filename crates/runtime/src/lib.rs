@@ -29,8 +29,8 @@ mod runtime;
 
 pub use error::RuntimeError;
 pub use host::{DeviceHandle, DriverHost};
-pub use pump::{EventPump, Injection};
-pub use runtime::{Runtime, RuntimeBuilder};
+pub use pump::{EventPump, Injection, OverflowPolicy, PumpBuilder, PumpStats, RetryPolicy};
+pub use runtime::{MachineStats, MachineStatus, Runtime, RuntimeBuilder, RuntimeStats};
 
 #[cfg(test)]
 mod tests {
@@ -71,7 +71,10 @@ mod tests {
         let runtime = Runtime::builder(&program).unwrap().start();
         assert!(matches!(
             runtime.create_machine("Missing", &[]),
-            Err(RuntimeError::UnknownName { kind: "machine", .. })
+            Err(RuntimeError::UnknownName {
+                kind: "machine",
+                ..
+            })
         ));
         let id = runtime.create_machine("Counter", &[]).unwrap();
         assert!(matches!(
@@ -80,7 +83,10 @@ mod tests {
         ));
         assert!(matches!(
             runtime.create_machine("Counter", &[("missing", Value::Null)]),
-            Err(RuntimeError::UnknownName { kind: "variable", .. })
+            Err(RuntimeError::UnknownName {
+                kind: "variable",
+                ..
+            })
         ));
     }
 
@@ -266,7 +272,8 @@ mod tests {
         assert_eq!(host.device_count(), 2);
         host.os_event(d1, "PowerUp", Value::Null).unwrap();
         assert_eq!(
-            host.runtime().read_var(host.machine_of(d1).unwrap(), "powered"),
+            host.runtime()
+                .read_var(host.machine_of(d1).unwrap(), "powered"),
             Some(Value::Bool(true))
         );
         let m1 = host.machine_of(d1).unwrap();

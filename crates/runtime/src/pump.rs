@@ -7,10 +7,22 @@
 //! a dedicated pump thread delivers them through `SMAddEvent`
 //! (run-to-completion), exactly like interface code running on an OS
 //! worker thread.
+//!
+//! The pump has an explicit failure model. The bounded channel overflows
+//! according to a configurable [`OverflowPolicy`]; transient
+//! backpressure can be ridden out with [`EventPump::try_inject`]
+//! (deadline) or [`EventPump::inject_with_retry`] (exponential backoff
+//! via [`RetryPolicy`]). Machine errors do **not** kill the pump: the
+//! worker records the first failure, keeps delivering to healthy
+//! machines, and the error surfaces on [`EventPump::shutdown`].
 
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, Sender};
+use crossbeam::channel::{bounded, Sender, TrySendError};
+use parking_lot::Mutex;
 
 use p_semantics::{MachineId, Value};
 
@@ -34,6 +46,147 @@ impl Injection {
             target,
             event: event.to_owned(),
             payload,
+        }
+    }
+}
+
+/// What [`EventPump::inject`] does when the bounded channel is full.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OverflowPolicy {
+    /// Block the producer until space frees up (backpressure, like a
+    /// full DPC queue). The default.
+    #[default]
+    Block,
+    /// Drop the event being injected, count it in [`PumpStats`] and the
+    /// target machine's [`RuntimeStats`](crate::RuntimeStats) row, and
+    /// report success.
+    DropNewest,
+    /// Fail fast with [`RuntimeError::QueueFull`].
+    Fail,
+}
+
+/// Exponential-backoff schedule for [`EventPump::inject_with_retry`].
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Total send attempts before giving up with
+    /// [`RuntimeError::QueueFull`].
+    pub max_attempts: u32,
+    /// Delay after the first failed attempt; doubles per attempt.
+    pub base_delay: Duration,
+    /// Add up to +50% random jitter per delay, decorrelating producers
+    /// that fail in lockstep.
+    pub jitter: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 5,
+            base_delay: Duration::from_millis(1),
+            jitter: true,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before retry number `attempt` (0-based): the base
+    /// delay doubled per attempt, plus up to +50% jitter when enabled.
+    pub fn delay_for(&self, attempt: u32) -> Duration {
+        let backoff = self.base_delay * (1u32 << attempt.min(16));
+        if !self.jitter {
+            return backoff;
+        }
+        // Deterministic per-call jitter without a rand dependency: hash
+        // a process-wide counter (SplitMix64).
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER
+            .fetch_add(1, Ordering::Relaxed)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = n;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z ^= z >> 31;
+        let half = backoff.as_nanos() as u64 / 2;
+        backoff + Duration::from_nanos(if half == 0 { 0 } else { z % half })
+    }
+}
+
+/// Delivery counters for one pump (see [`EventPump::stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PumpStats {
+    /// Injections delivered into the runtime.
+    pub delivered: u64,
+    /// Injections the runtime rejected (machine halted, quarantined,
+    /// unknown event, …).
+    pub failed: u64,
+    /// Injections dropped by the [`OverflowPolicy::DropNewest`] policy.
+    pub dropped: u64,
+}
+
+/// State shared between producers, the worker thread and the pump handle.
+#[derive(Debug, Default)]
+struct PumpShared {
+    delivered: AtomicU64,
+    failed: AtomicU64,
+    dropped: AtomicU64,
+    /// Set by the worker when its delivery loop has exited.
+    done: AtomicBool,
+    first_error: Mutex<Option<RuntimeError>>,
+}
+
+/// Configures an [`EventPump`] (see [`EventPump::builder`]).
+#[derive(Debug)]
+pub struct PumpBuilder {
+    runtime: Runtime,
+    capacity: usize,
+    overflow: OverflowPolicy,
+}
+
+impl PumpBuilder {
+    /// Channel capacity (default 64).
+    pub fn capacity(mut self, capacity: usize) -> PumpBuilder {
+        self.capacity = capacity;
+        self
+    }
+
+    /// Overflow policy for [`EventPump::inject`] (default
+    /// [`OverflowPolicy::Block`]).
+    pub fn overflow(mut self, policy: OverflowPolicy) -> PumpBuilder {
+        self.overflow = policy;
+        self
+    }
+
+    /// Spawns the worker thread and returns the pump handle.
+    pub fn start(self) -> EventPump {
+        let (sender, receiver) = bounded::<Injection>(self.capacity);
+        let shared = Arc::new(PumpShared::default());
+        let worker_shared = Arc::clone(&shared);
+        let runtime = self.runtime.clone();
+        let worker = std::thread::spawn(move || {
+            for injection in receiver {
+                match runtime.add_event(injection.target, &injection.event, injection.payload) {
+                    Ok(()) => {
+                        worker_shared.delivered.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(e) => {
+                        // A failed machine must not stall delivery to the
+                        // healthy ones: remember the first error, keep
+                        // pumping.
+                        worker_shared.failed.fetch_add(1, Ordering::Relaxed);
+                        let mut slot = worker_shared.first_error.lock();
+                        if slot.is_none() {
+                            *slot = Some(e);
+                        }
+                    }
+                }
+            }
+            worker_shared.done.store(true, Ordering::Release);
+        });
+        EventPump {
+            sender: Some(sender),
+            worker: Some(worker),
+            shared,
+            runtime: self.runtime,
+            overflow: self.overflow,
         }
     }
 }
@@ -66,43 +219,113 @@ impl Injection {
 #[derive(Debug)]
 pub struct EventPump {
     sender: Option<Sender<Injection>>,
-    worker: Option<JoinHandle<Result<u64, RuntimeError>>>,
+    worker: Option<JoinHandle<()>>,
+    shared: Arc<PumpShared>,
+    runtime: Runtime,
+    overflow: OverflowPolicy,
 }
 
 impl EventPump {
-    /// Spawns the pump thread with a channel of the given capacity.
-    pub fn start(runtime: Runtime, capacity: usize) -> EventPump {
-        let (sender, receiver) = bounded::<Injection>(capacity);
-        let worker = std::thread::spawn(move || {
-            let mut delivered = 0u64;
-            for injection in receiver {
-                runtime.add_event(injection.target, &injection.event, injection.payload)?;
-                delivered += 1;
-            }
-            Ok(delivered)
-        });
-        EventPump {
-            sender: Some(sender),
-            worker: Some(worker),
+    /// Starts configuring a pump (capacity, overflow policy).
+    pub fn builder(runtime: Runtime) -> PumpBuilder {
+        PumpBuilder {
+            runtime,
+            capacity: 64,
+            overflow: OverflowPolicy::default(),
         }
     }
 
-    /// Queues one event for delivery (blocks when the channel is full —
-    /// backpressure from a slow driver, like a full DPC queue).
+    /// Spawns a pump with a channel of the given capacity and the default
+    /// [`OverflowPolicy::Block`] policy.
+    pub fn start(runtime: Runtime, capacity: usize) -> EventPump {
+        EventPump::builder(runtime).capacity(capacity).start()
+    }
+
+    fn sender(&self) -> &Sender<Injection> {
+        self.sender.as_ref().expect("pump is live until shutdown")
+    }
+
+    /// Queues one event for delivery. A full channel is handled per the
+    /// pump's [`OverflowPolicy`]: `Block` waits, `DropNewest` counts the
+    /// event as dropped and succeeds, `Fail` returns
+    /// [`RuntimeError::QueueFull`].
     ///
     /// # Errors
     ///
-    /// Fails if the pump thread has already stopped (e.g. after a machine
-    /// error).
+    /// [`RuntimeError::PumpStopped`] if the worker has exited;
+    /// [`RuntimeError::QueueFull`] under the `Fail` policy.
     pub fn inject(&self, injection: Injection) -> Result<(), RuntimeError> {
-        self.sender
-            .as_ref()
-            .expect("pump is live until shutdown")
-            .send(injection)
-            .map_err(|_| RuntimeError::UnknownName {
-                kind: "pump",
-                name: "event pump has stopped".to_owned(),
-            })
+        match self.overflow {
+            OverflowPolicy::Block => self
+                .sender()
+                .send(injection)
+                .map_err(|_| RuntimeError::PumpStopped),
+            OverflowPolicy::DropNewest => match self.sender().try_send(injection) {
+                Ok(()) => Ok(()),
+                Err(TrySendError::Full(injection)) => {
+                    self.shared.dropped.fetch_add(1, Ordering::Relaxed);
+                    self.runtime.note_dropped(injection.target);
+                    Ok(())
+                }
+                Err(TrySendError::Disconnected(_)) => Err(RuntimeError::PumpStopped),
+            },
+            OverflowPolicy::Fail => match self.sender().try_send(injection) {
+                Ok(()) => Ok(()),
+                Err(TrySendError::Full(_)) => Err(RuntimeError::QueueFull),
+                Err(TrySendError::Disconnected(_)) => Err(RuntimeError::PumpStopped),
+            },
+        }
+    }
+
+    /// Queues one event, waiting at most `deadline` for channel space.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::QueueFull`] if the deadline expires;
+    /// [`RuntimeError::PumpStopped`] if the worker has exited.
+    pub fn try_inject(&self, injection: Injection, deadline: Duration) -> Result<(), RuntimeError> {
+        match self.sender().send_timeout(injection, deadline) {
+            Ok(()) => Ok(()),
+            Err(e) if e.is_full() => Err(RuntimeError::QueueFull),
+            Err(_) => Err(RuntimeError::PumpStopped),
+        }
+    }
+
+    /// Queues one event, retrying transient [`RuntimeError::QueueFull`]
+    /// conditions with exponential backoff per `policy`.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::QueueFull`] once `policy.max_attempts` attempts
+    /// are exhausted; [`RuntimeError::PumpStopped`] if the worker exits.
+    pub fn inject_with_retry(
+        &self,
+        injection: Injection,
+        policy: &RetryPolicy,
+    ) -> Result<(), RuntimeError> {
+        let mut injection = injection;
+        for attempt in 0..policy.max_attempts.max(1) {
+            match self.sender().try_send(injection) {
+                Ok(()) => return Ok(()),
+                Err(TrySendError::Disconnected(_)) => return Err(RuntimeError::PumpStopped),
+                Err(TrySendError::Full(v)) => {
+                    injection = v;
+                    if attempt + 1 < policy.max_attempts {
+                        std::thread::sleep(policy.delay_for(attempt));
+                    }
+                }
+            }
+        }
+        Err(RuntimeError::QueueFull)
+    }
+
+    /// This pump's delivery counters.
+    pub fn stats(&self) -> PumpStats {
+        PumpStats {
+            delivered: self.shared.delivered.load(Ordering::Relaxed),
+            failed: self.shared.failed.load(Ordering::Relaxed),
+            dropped: self.shared.dropped.load(Ordering::Relaxed),
+        }
     }
 
     /// Closes the channel and waits for the pump to drain; returns the
@@ -110,26 +333,70 @@ impl EventPump {
     ///
     /// # Errors
     ///
-    /// Propagates the first machine error the pump encountered.
+    /// Propagates the first machine error the pump encountered, or
+    /// [`RuntimeError::PumpPanicked`] if the worker thread died.
     pub fn shutdown(mut self) -> Result<u64, RuntimeError> {
         self.sender.take(); // closes the channel; the worker drains and exits
         let worker = self.worker.take().expect("shutdown called once");
-        match worker.join() {
-            Ok(result) => result,
-            Err(_) => Err(RuntimeError::UnknownName {
-                kind: "pump",
-                name: "pump thread panicked".to_owned(),
-            }),
+        if worker.join().is_err() {
+            return Err(RuntimeError::PumpPanicked);
         }
+        if let Some(e) = self.shared.first_error.lock().take() {
+            return Err(e);
+        }
+        Ok(self.shared.delivered.load(Ordering::Relaxed))
+    }
+
+    /// Like [`EventPump::shutdown`], but waits at most `deadline` for
+    /// in-flight injections to drain.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::ShutdownTimeout`] if the queue does not drain in
+    /// time (the worker is detached and keeps draining in the
+    /// background); otherwise as [`EventPump::shutdown`].
+    pub fn shutdown_with_deadline(mut self, deadline: Duration) -> Result<u64, RuntimeError> {
+        self.sender.take();
+        let start = Instant::now();
+        while !self.shared.done.load(Ordering::Acquire) {
+            if start.elapsed() >= deadline {
+                self.worker.take(); // detach; it exits once the channel drains
+                return Err(RuntimeError::ShutdownTimeout);
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        let worker = self.worker.take().expect("shutdown called once");
+        if worker.join().is_err() {
+            return Err(RuntimeError::PumpPanicked);
+        }
+        if let Some(e) = self.shared.first_error.lock().take() {
+            return Err(e);
+        }
+        Ok(self.shared.delivered.load(Ordering::Relaxed))
     }
 }
 
 impl Drop for EventPump {
     fn drop(&mut self) {
-        // Closing the channel stops the worker; a dropped (not shut down)
-        // pump detaches its thread, which exits once the channel drains.
+        // Close the channel so the worker drains and exits, then give it
+        // a short grace period and join — a silently detached worker
+        // would leak the thread and lose any recorded machine error.
         self.sender.take();
-        self.worker.take();
+        let Some(worker) = self.worker.take() else {
+            return; // already shut down
+        };
+        let deadline = Instant::now() + Duration::from_millis(200);
+        while !self.shared.done.load(Ordering::Acquire) && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        if self.shared.done.load(Ordering::Acquire) {
+            let _ = worker.join();
+            if let Some(e) = self.shared.first_error.lock().take() {
+                eprintln!("EventPump dropped with an unobserved machine error: {e}");
+            }
+        }
+        // Not done within the grace period: detach. The worker still
+        // exits once the (closed) channel drains.
     }
 }
 
@@ -151,6 +418,32 @@ mod tests {
         let runtime = Runtime::builder(&program).unwrap().start();
         let id = runtime
             .create_machine("Counter", &[("n", Value::Int(0))])
+            .unwrap();
+        (runtime, id)
+    }
+
+    /// A runtime whose only action blocks in a foreign function for
+    /// `delay`, so the pump worker can be held busy deterministically.
+    fn slow_runtime(delay: Duration) -> (Runtime, MachineId) {
+        let src = r#"
+            event tick;
+            machine Slow {
+                var n : int;
+                foreign fn nap() : int;
+                state Run { on tick do bump; }
+                action bump { n := n + nap(); }
+            }
+            main Slow();
+        "#;
+        let program = p_parser::parse(src).unwrap();
+        let mut builder = Runtime::builder(&program).unwrap();
+        builder.foreign("nap", move |_args| {
+            std::thread::sleep(delay);
+            Value::Int(1)
+        });
+        let runtime = builder.start();
+        let id = runtime
+            .create_machine("Slow", &[("n", Value::Int(0))])
             .unwrap();
         (runtime, id)
     }
@@ -204,12 +497,166 @@ mod tests {
         let runtime = Runtime::builder(&program).unwrap().start();
         let id = runtime.create_machine("M", &[]).unwrap();
         let pump = EventPump::start(runtime, 4);
-        pump.inject(Injection::new(id, "boom", Value::Null)).unwrap();
+        pump.inject(Injection::new(id, "boom", Value::Null))
+            .unwrap();
         match pump.shutdown() {
             Err(RuntimeError::Machine(e)) => {
                 assert_eq!(e.kind, p_semantics::ErrorKind::AssertionFailure);
             }
             other => panic!("expected machine error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn drop_newest_drops_exactly_the_excess_and_stats_count_it() {
+        let (runtime, id) = slow_runtime(Duration::from_millis(300));
+        let pump = EventPump::builder(runtime.clone())
+            .capacity(1)
+            .overflow(OverflowPolicy::DropNewest)
+            .start();
+        // #1 occupies the worker (asleep in the foreign call); the rest
+        // race a full 1-slot buffer, so at least one must be dropped.
+        pump.inject(Injection::new(id, "tick", Value::Null))
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        for _ in 0..4 {
+            pump.inject(Injection::new(id, "tick", Value::Null))
+                .unwrap();
+        }
+        let dropped = pump.stats().dropped;
+        assert!(dropped >= 2, "expected at least two drops, got {dropped}");
+        let delivered = pump.shutdown().unwrap();
+        // Exactly the excess is dropped: every injection is either
+        // delivered or counted as dropped, never both, never lost.
+        assert_eq!(delivered + dropped, 5);
+        assert_eq!(
+            runtime.read_var(id, "n"),
+            Some(Value::Int(delivered as i64))
+        );
+        let rt_stats = runtime.stats();
+        assert_eq!(rt_stats.dropped, dropped);
+        let row = rt_stats
+            .machines
+            .iter()
+            .find(|m| m.machine == id)
+            .expect("target machine has a stats row");
+        assert_eq!(row.dropped, dropped);
+        assert_eq!(row.delivered, delivered);
+    }
+
+    #[test]
+    fn fail_policy_and_try_inject_report_queue_full() {
+        let (runtime, id) = slow_runtime(Duration::from_millis(300));
+        let pump = EventPump::builder(runtime)
+            .capacity(1)
+            .overflow(OverflowPolicy::Fail)
+            .start();
+        pump.inject(Injection::new(id, "tick", Value::Null))
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        // Fill the buffer to the brim (its exact in-flight boundary is a
+        // channel implementation detail), then expect fail-fast.
+        let mut full = false;
+        for _ in 0..5 {
+            match pump.inject(Injection::new(id, "tick", Value::Null)) {
+                Ok(()) => {}
+                Err(RuntimeError::QueueFull) => {
+                    full = true;
+                    break;
+                }
+                other => panic!("unexpected inject result: {other:?}"),
+            }
+        }
+        assert!(full, "a 1-slot pump must overflow within 5 injections");
+        assert!(matches!(
+            pump.try_inject(
+                Injection::new(id, "tick", Value::Null),
+                Duration::from_millis(10)
+            ),
+            Err(RuntimeError::QueueFull)
+        ));
+        pump.shutdown().unwrap();
+    }
+
+    #[test]
+    fn retry_rides_out_transient_backpressure() {
+        let (runtime, id) = slow_runtime(Duration::from_millis(100));
+        let pump = EventPump::builder(runtime.clone())
+            .capacity(1)
+            .overflow(OverflowPolicy::Fail)
+            .start();
+        pump.inject(Injection::new(id, "tick", Value::Null))
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        pump.inject(Injection::new(id, "tick", Value::Null))
+            .unwrap();
+        // The buffer is full now, but the worker frees it in ~80ms; a
+        // patient retry schedule must get through.
+        let policy = RetryPolicy {
+            max_attempts: 10,
+            base_delay: Duration::from_millis(5),
+            jitter: true,
+        };
+        pump.inject_with_retry(Injection::new(id, "tick", Value::Null), &policy)
+            .unwrap();
+        let delivered = pump.shutdown().unwrap();
+        assert_eq!(delivered, 3);
+        assert_eq!(runtime.read_var(id, "n"), Some(Value::Int(3)));
+    }
+
+    #[test]
+    fn shutdown_with_deadline_times_out_on_a_stuck_worker() {
+        let (runtime, id) = slow_runtime(Duration::from_millis(500));
+        let pump = EventPump::start(runtime, 4);
+        pump.inject(Injection::new(id, "tick", Value::Null))
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        match pump.shutdown_with_deadline(Duration::from_millis(50)) {
+            Err(RuntimeError::ShutdownTimeout) => {}
+            other => panic!("expected shutdown timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shutdown_with_deadline_drains_a_healthy_pump() {
+        let (runtime, id) = counter_runtime();
+        let pump = EventPump::start(runtime.clone(), 16);
+        for _ in 0..10 {
+            pump.inject(Injection::new(id, "inc", Value::Null)).unwrap();
+        }
+        let delivered = pump.shutdown_with_deadline(Duration::from_secs(5)).unwrap();
+        assert_eq!(delivered, 10);
+        assert_eq!(runtime.read_var(id, "n"), Some(Value::Int(10)));
+    }
+
+    #[test]
+    fn dropping_a_pump_joins_the_worker_and_drains() {
+        let (runtime, id) = counter_runtime();
+        {
+            let pump = EventPump::start(runtime.clone(), 16);
+            for _ in 0..20 {
+                pump.inject(Injection::new(id, "inc", Value::Null)).unwrap();
+            }
+            // No shutdown: Drop must still drain and join.
+        }
+        assert_eq!(runtime.read_var(id, "n"), Some(Value::Int(20)));
+    }
+
+    #[test]
+    fn retry_policy_backoff_grows_and_caps() {
+        let p = RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(2),
+            jitter: false,
+        };
+        assert_eq!(p.delay_for(0), Duration::from_millis(2));
+        assert_eq!(p.delay_for(1), Duration::from_millis(4));
+        assert_eq!(p.delay_for(3), Duration::from_millis(16));
+        let j = RetryPolicy {
+            jitter: true,
+            ..p.clone()
+        };
+        let d = j.delay_for(1);
+        assert!(d >= Duration::from_millis(4) && d < Duration::from_millis(6));
     }
 }

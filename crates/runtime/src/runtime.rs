@@ -23,6 +23,7 @@
 
 use std::any::Any;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -30,8 +31,8 @@ use parking_lot::Mutex;
 
 use p_ast::Program;
 use p_semantics::{
-    lower, Config, Engine, ExecOutcome, ForeignEnv, ForeignRegistry, Granularity,
-    LoweredProgram, MachineId, Value, YieldKind,
+    lower, Config, Engine, ExecOutcome, ForeignEnv, ForeignRegistry, Granularity, LoweredProgram,
+    MachineId, Value, YieldKind,
 };
 
 use crate::RuntimeError;
@@ -104,6 +105,7 @@ impl RuntimeBuilder {
                 shared: Mutex::new(Shared {
                     config: Config::default(),
                     work: Vec::new(),
+                    meta: HashMap::new(),
                 }),
                 fuel: self.fuel,
                 events_processed: AtomicU64::new(0),
@@ -113,10 +115,91 @@ impl RuntimeBuilder {
     }
 }
 
+/// Supervision status of one machine instance.
+///
+/// The paper's runtime halts the whole driver on an error; this
+/// reproduction supervises per machine so one misbehaving instance (or
+/// one panicking foreign function) cannot take the rest of the system
+/// down — see the "Fault model & supervision" section of DESIGN.md.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MachineStatus {
+    /// Processing events normally.
+    #[default]
+    Running,
+    /// Took a P error transition (assert failure, unhandled event, …);
+    /// sends to it return the recorded error.
+    Halted,
+    /// A panic escaped while the machine was running (typically from a
+    /// foreign function); sends to it return
+    /// [`RuntimeError::MachineQuarantined`].
+    Quarantined,
+}
+
+impl MachineStatus {
+    fn is_running(self) -> bool {
+        matches!(self, MachineStatus::Running)
+    }
+}
+
+/// Supervision metadata kept per machine instance.
+#[derive(Default)]
+struct MachineMeta {
+    status: MachineStatus,
+    delivered: u64,
+    dropped: u64,
+    error: Option<p_semantics::PError>,
+    fault: Option<String>,
+}
+
+/// Point-in-time snapshot of runtime counters (see [`Runtime::stats`]).
+#[derive(Clone, Debug)]
+pub struct RuntimeStats {
+    /// Events accepted through `add_event` (successful enqueues).
+    pub events_processed: u64,
+    /// Atomic machine runs executed.
+    pub runs_executed: u64,
+    /// Events delivered into machine queues, summed over machines.
+    pub delivered: u64,
+    /// Events dropped before delivery (pump overflow policy), summed.
+    pub dropped: u64,
+    /// Machines currently quarantined after a panic.
+    pub quarantined: usize,
+    /// Machines halted by a P error transition.
+    pub halted: usize,
+    /// Per-machine breakdown, sorted by machine id.
+    pub machines: Vec<MachineStats>,
+}
+
+/// Per-machine counters inside a [`RuntimeStats`] snapshot.
+#[derive(Clone, Debug)]
+pub struct MachineStats {
+    /// The machine instance.
+    pub machine: MachineId,
+    /// Its supervision status.
+    pub status: MachineStatus,
+    /// Events delivered into its queue.
+    pub delivered: u64,
+    /// Events dropped before reaching its queue.
+    pub dropped: u64,
+}
+
 struct Shared {
     config: Config,
     /// Causal work stack: machines with pending work, top last.
     work: Vec<MachineId>,
+    /// Supervision status and delivery counters, keyed by machine.
+    meta: HashMap<MachineId, MachineMeta>,
+}
+
+/// Renders a `catch_unwind` payload for the quarantine record.
+fn panic_message(payload: Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
 }
 
 struct Inner {
@@ -222,12 +305,13 @@ impl Runtime {
         inits: &[(&str, Value)],
     ) -> Result<MachineId, RuntimeError> {
         let program = &self.inner.program;
-        let ty = program
-            .machine_type_named(type_name)
-            .ok_or_else(|| RuntimeError::UnknownName {
-                kind: "machine",
-                name: type_name.to_owned(),
-            })?;
+        let ty =
+            program
+                .machine_type_named(type_name)
+                .ok_or_else(|| RuntimeError::UnknownName {
+                    kind: "machine",
+                    name: type_name.to_owned(),
+                })?;
         let mt = program.machine(ty);
         let mut resolved = Vec::with_capacity(inits.len());
         for (name, value) in inits {
@@ -248,6 +332,7 @@ impl Runtime {
         for (var, value) in resolved {
             machine.locals[var.0 as usize] = value;
         }
+        shared.meta.insert(id, MachineMeta::default());
         shared.work.push(id);
         self.drain(&mut shared)?;
         Ok(id)
@@ -258,29 +343,46 @@ impl Runtime {
     ///
     /// # Errors
     ///
-    /// Fails on unknown event names, dead machines, or if processing takes
-    /// an error transition.
+    /// Fails on unknown event names, dead machines, or if processing
+    /// takes an error transition. Sends to a quarantined machine return
+    /// [`RuntimeError::MachineQuarantined`]; sends to a halted machine
+    /// return the error that halted it. Neither disturbs other machines.
     pub fn add_event(
         &self,
         id: MachineId,
         event: &str,
         payload: Value,
     ) -> Result<(), RuntimeError> {
-        let ev = self
-            .inner
-            .program
-            .event_id_named(event)
-            .ok_or_else(|| RuntimeError::UnknownName {
-                kind: "event",
-                name: event.to_owned(),
-            })?;
+        let ev =
+            self.inner
+                .program
+                .event_id_named(event)
+                .ok_or_else(|| RuntimeError::UnknownName {
+                    kind: "event",
+                    name: event.to_owned(),
+                })?;
         let mut shared = self.inner.shared.lock();
+        match shared.meta.get(&id).map(|m| m.status) {
+            Some(MachineStatus::Quarantined) => {
+                return Err(RuntimeError::MachineQuarantined(id));
+            }
+            Some(MachineStatus::Halted) => {
+                let saved = shared
+                    .meta
+                    .get(&id)
+                    .and_then(|m| m.error.clone())
+                    .expect("halted machines record their error");
+                return Err(RuntimeError::Machine(saved));
+            }
+            _ => {}
+        }
         let machine = shared
             .config
             .machine_mut(id)
             .ok_or(RuntimeError::NoSuchMachine(id))?;
         machine.enqueue(ev, payload);
         self.inner.events_processed.fetch_add(1, Ordering::Relaxed);
+        shared.meta.entry(id).or_default().delivered += 1;
         shared.work.push(id);
         self.drain(&mut shared)?;
         Ok(())
@@ -291,53 +393,78 @@ impl Runtime {
     /// calling thread" discipline of §4. Foreign functions must not call
     /// back into the runtime (the paper restricts them to their external
     /// memory for the same reason).
+    ///
+    /// Every machine run executes under `catch_unwind`: a panic (from a
+    /// foreign function, or a defect in the engine itself) quarantines
+    /// the offending machine and the drain keeps going, so one failure
+    /// never poisons the shared configuration or stalls other machines.
+    /// The first failure observed is reported to the caller after the
+    /// stack is quiescent.
     fn drain(&self, shared: &mut Shared) -> Result<(), RuntimeError> {
         let engine =
             Engine::new(&self.inner.program, self.inner.foreign.clone()).with_fuel(self.inner.fuel);
-        {
-            while let Some(id) = shared.work.pop() {
-                if shared.config.machine(id).is_none()
-                    || !engine.enabled(&shared.config, id)
-                {
+        let Shared { config, work, meta } = shared;
+        let mut first_err: Option<RuntimeError> = None;
+        while let Some(id) = work.pop() {
+            if config.machine(id).is_none() || !engine.enabled(config, id) {
+                continue;
+            }
+            if !meta.entry(id).or_default().status.is_running() {
+                continue;
+            }
+            // Erased programs contain no `*`; the closure is never
+            // called on checked inputs, and returning an arbitrary
+            // value keeps the runtime total if one slips through.
+            let mut no_choices = || false;
+            let run = match catch_unwind(AssertUnwindSafe(|| {
+                engine.run_machine(config, id, &mut no_choices, Granularity::Atomic)
+            })) {
+                Ok(run) => run,
+                Err(payload) => {
+                    self.inner.runs_executed.fetch_add(1, Ordering::Relaxed);
+                    let m = meta.entry(id).or_default();
+                    m.status = MachineStatus::Quarantined;
+                    m.fault = Some(panic_message(payload));
+                    first_err.get_or_insert(RuntimeError::MachineQuarantined(id));
                     continue;
                 }
-                // Erased programs contain no `*`; the closure is never
-                // called on checked inputs, and returning an arbitrary
-                // value keeps the runtime total if one slips through.
-                let mut no_choices = || false;
-                let run = engine.run_machine(
-                    &mut shared.config,
-                    id,
-                    &mut no_choices,
-                    Granularity::Atomic,
-                );
-                self.inner.runs_executed.fetch_add(1, Ordering::Relaxed);
-                match run.outcome {
-                    ExecOutcome::Yield(YieldKind::Sent { to, .. }) => {
-                        // Causal order: the receiver processes next, then
-                        // the sender resumes.
-                        shared.work.push(id);
-                        shared.work.push(to);
-                    }
-                    ExecOutcome::Yield(YieldKind::Created { id: new_id, .. }) => {
-                        shared.work.push(id);
-                        shared.work.push(new_id);
-                    }
-                    ExecOutcome::Yield(YieldKind::Internal) => {
-                        shared.work.push(id);
-                    }
-                    ExecOutcome::Blocked => {}
-                    ExecOutcome::Deleted => {
-                        self.inner.contexts.lock().remove(&id);
-                    }
-                    ExecOutcome::Error(e) => return Err(RuntimeError::Machine(e)),
-                    ExecOutcome::NeedChoice => {
-                        unreachable!("erased programs are deterministic")
-                    }
+            };
+            self.inner.runs_executed.fetch_add(1, Ordering::Relaxed);
+            match run.outcome {
+                ExecOutcome::Yield(YieldKind::Sent { to, .. }) => {
+                    // Causal order: the receiver processes next, then
+                    // the sender resumes.
+                    work.push(id);
+                    work.push(to);
+                }
+                ExecOutcome::Yield(YieldKind::Created { id: new_id, .. }) => {
+                    meta.entry(new_id).or_default();
+                    work.push(id);
+                    work.push(new_id);
+                }
+                ExecOutcome::Yield(YieldKind::Internal) => {
+                    work.push(id);
+                }
+                ExecOutcome::Blocked => {}
+                ExecOutcome::Deleted => {
+                    meta.remove(&id);
+                    self.inner.contexts.lock().remove(&id);
+                }
+                ExecOutcome::Error(e) => {
+                    let m = meta.entry(id).or_default();
+                    m.status = MachineStatus::Halted;
+                    m.error = Some(e.clone());
+                    first_err.get_or_insert(RuntimeError::Machine(e));
+                }
+                ExecOutcome::NeedChoice => {
+                    unreachable!("erased programs are deterministic")
                 }
             }
         }
-        Ok(())
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     /// Attaches external memory to machine `id` (the per-machine `void*`
@@ -401,5 +528,58 @@ impl Runtime {
     pub fn queue_len(&self, id: MachineId) -> Option<usize> {
         let shared = self.inner.shared.lock();
         Some(shared.config.machine(id)?.queue.len())
+    }
+
+    /// Supervision status of machine `id`, or `None` if it was never
+    /// created (deleted machines are forgotten; halted and quarantined
+    /// ones are remembered).
+    pub fn machine_status(&self, id: MachineId) -> Option<MachineStatus> {
+        self.inner.shared.lock().meta.get(&id).map(|m| m.status)
+    }
+
+    /// The panic message that quarantined machine `id`, if any.
+    pub fn quarantine_reason(&self, id: MachineId) -> Option<String> {
+        self.inner
+            .shared
+            .lock()
+            .meta
+            .get(&id)
+            .and_then(|m| m.fault.clone())
+    }
+
+    /// Snapshot of the runtime's supervision counters.
+    pub fn stats(&self) -> RuntimeStats {
+        let shared = self.inner.shared.lock();
+        let mut machines: Vec<MachineStats> = shared
+            .meta
+            .iter()
+            .map(|(id, m)| MachineStats {
+                machine: *id,
+                status: m.status,
+                delivered: m.delivered,
+                dropped: m.dropped,
+            })
+            .collect();
+        machines.sort_by_key(|m| m.machine.0);
+        RuntimeStats {
+            events_processed: self.inner.events_processed.load(Ordering::Relaxed),
+            runs_executed: self.inner.runs_executed.load(Ordering::Relaxed),
+            delivered: machines.iter().map(|m| m.delivered).sum(),
+            dropped: machines.iter().map(|m| m.dropped).sum(),
+            quarantined: machines
+                .iter()
+                .filter(|m| m.status == MachineStatus::Quarantined)
+                .count(),
+            halted: machines
+                .iter()
+                .filter(|m| m.status == MachineStatus::Halted)
+                .count(),
+            machines,
+        }
+    }
+
+    /// Records an event dropped before delivery (pump overflow policy).
+    pub(crate) fn note_dropped(&self, id: MachineId) {
+        self.inner.shared.lock().meta.entry(id).or_default().dropped += 1;
     }
 }

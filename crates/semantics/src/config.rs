@@ -284,7 +284,9 @@ impl Config {
 
     /// Mutable lookup of a live machine.
     pub fn machine_mut(&mut self, id: MachineId) -> Option<&mut MachineState> {
-        self.machines.get_mut(id.0 as usize).and_then(|m| m.as_mut())
+        self.machines
+            .get_mut(id.0 as usize)
+            .and_then(|m| m.as_mut())
     }
 
     /// Removes machine `id` (the `delete` statement). Its slot stays
@@ -312,11 +314,7 @@ impl Config {
     /// current state, following the DEQUEUE rule: skip events that are
     /// deferred (by the state or inherited) unless a transition or action
     /// of the current state handles them.
-    pub fn dequeuable_index(
-        &self,
-        m: &MachineState,
-        program: &LoweredProgram,
-    ) -> Option<usize> {
+    pub fn dequeuable_index(&self, m: &MachineState, program: &LoweredProgram) -> Option<usize> {
         let mt = program.machine(m.ty);
         let frame = m.top();
         let state = &mt.states[frame.state.0 as usize];
@@ -327,8 +325,7 @@ impl Config {
                 return true;
             }
             // d': deferred here or inherited as deferred.
-            let deferred =
-                state.deferred.contains(e) || frame.inherited[i] == Inherited::Deferred;
+            let deferred = state.deferred.contains(e) || frame.inherited[i] == Inherited::Deferred;
             !deferred
         })
     }

@@ -91,11 +91,9 @@ impl fmt::Display for PError {
                 "machine {}: send to deleted machine {}",
                 self.machine, target
             ),
-            ErrorKind::UnhandledEvent { event } => write!(
-                f,
-                "machine {}: unhandled event #{}",
-                self.machine, event.0
-            ),
+            ErrorKind::UnhandledEvent { event } => {
+                write!(f, "machine {}: unhandled event #{}", self.machine, event.0)
+            }
             ErrorKind::UndefinedCondition => write!(
                 f,
                 "machine {}: branch condition evaluated to null",

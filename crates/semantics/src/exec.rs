@@ -214,9 +214,7 @@ impl<'p> Engine<'p> {
             // in main initializers, and any that slips through becomes ⊥.
             let mut empty = Script::new(&[]);
             for (var, expr) in &inits {
-                let v = self
-                    .eval(m, id, *expr, &mut empty)
-                    .unwrap_or(Value::Null);
+                let v = self.eval(m, id, *expr, &mut empty).unwrap_or(Value::Null);
                 values.push((*var, v));
             }
         }
@@ -277,9 +275,7 @@ impl<'p> Engine<'p> {
                 SmallStep::Yield(kind) => Some(ExecOutcome::Yield(kind)),
                 SmallStep::Blocked => Some(ExecOutcome::Blocked),
                 SmallStep::Deleted => Some(ExecOutcome::Deleted),
-                SmallStep::Error(kind) => {
-                    Some(ExecOutcome::Error(PError::new(kind, id)))
-                }
+                SmallStep::Error(kind) => Some(ExecOutcome::Error(PError::new(kind, id))),
                 SmallStep::NeedChoice => Some(ExecOutcome::NeedChoice),
             };
             if let Some(outcome) = outcome {
@@ -325,8 +321,8 @@ impl<'p> Engine<'p> {
             if state.handles(e) {
                 return true;
             }
-            let deferred = state.deferred.contains(e)
-                || frame.inherited[e.0 as usize] == Inherited::Deferred;
+            let deferred =
+                state.deferred.contains(e) || frame.inherited[e.0 as usize] == Inherited::Deferred;
             !deferred
         });
         match index {
@@ -810,13 +806,11 @@ impl Engine<'_> {
                 }
                 Ok(())
             }
-            LStmt::If { cond, then, els } => {
-                match self.model_expr(frame, *cond, choices)? {
-                    Value::Bool(true) => self.model_stmt(frame, *then, choices),
-                    Value::Bool(false) => self.model_stmt(frame, *els, choices),
-                    _ => Err(ModelAbort::Error(ErrorKind::UndefinedCondition)),
-                }
-            }
+            LStmt::If { cond, then, els } => match self.model_expr(frame, *cond, choices)? {
+                Value::Bool(true) => self.model_stmt(frame, *then, choices),
+                Value::Bool(false) => self.model_stmt(frame, *els, choices),
+                _ => Err(ModelAbort::Error(ErrorKind::UndefinedCondition)),
+            },
             LStmt::While { cond, body } => loop {
                 if frame.fuel == 0 {
                     return Err(ModelAbort::Error(ErrorKind::FuelExhausted));
@@ -852,9 +846,7 @@ impl Engine<'_> {
                 .copied()
                 .unwrap_or(Value::Null),
             LExpr::Event(e) => Value::Event(*e),
-            LExpr::Nondet => Value::Bool(
-                choices.next_choice().ok_or(ModelAbort::NeedChoice)?,
-            ),
+            LExpr::Nondet => Value::Bool(choices.next_choice().ok_or(ModelAbort::NeedChoice)?),
             LExpr::Unary(op, inner) => {
                 let v = self.model_expr(frame, *inner, choices)?;
                 Value::unary(*op, &v)

@@ -162,13 +162,7 @@ impl ForeignEnv {
     /// machine instance `caller`.
     ///
     /// Unresolved functions return ⊥.
-    pub fn call(
-        &self,
-        caller: MachineId,
-        ty: MachineTypeId,
-        func: FnId,
-        args: &[Value],
-    ) -> Value {
+    pub fn call(&self, caller: MachineId, ty: MachineTypeId, func: FnId, args: &[Value]) -> Value {
         self.tables
             .get(ty.0 as usize)
             .and_then(|t| t.get(func.0 as usize))
@@ -212,7 +206,10 @@ mod tests {
             Value::Int(42)
         );
         // Unregistered function conservatively returns ⊥.
-        assert_eq!(env.call(caller, MachineTypeId(0), FnId(1), &[]), Value::Null);
+        assert_eq!(
+            env.call(caller, MachineTypeId(0), FnId(1), &[]),
+            Value::Null
+        );
     }
 
     #[test]

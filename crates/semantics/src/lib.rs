@@ -66,9 +66,7 @@ mod tests;
 
 pub use config::{Config, Cont, Frame, Inherited, Instr, MachineId, MachineState};
 pub use error::{ErrorKind, PError};
-pub use exec::{
-    ChoiceSource, Engine, ExecOutcome, Granularity, RunResult, Script, YieldKind,
-};
+pub use exec::{ChoiceSource, Engine, ExecOutcome, Granularity, RunResult, Script, YieldKind};
 pub use foreign::{ForeignEnv, ForeignFn, ForeignRegistry};
 pub use lower::{
     lower, ActionId, EventId, LowerError, LoweredProgram, MachineTypeId, StateId, VarId,

@@ -12,8 +12,8 @@ use std::error::Error;
 use std::fmt;
 
 use p_ast::{
-    BinOp, Expr, ExprKind, Interner, MachineDecl, Program, Stmt, StmtKind, Symbol,
-    TransitionKind, Ty, UnOp,
+    BinOp, Expr, ExprKind, Interner, MachineDecl, Program, Stmt, StmtKind, Symbol, TransitionKind,
+    Ty, UnOp,
 };
 
 /// Index of an event declaration.
@@ -507,11 +507,7 @@ impl<'p> Lowering<'p> {
 
     fn run(mut self) -> Result<LoweredProgram, LowerError> {
         for (i, ev) in self.program.events.iter().enumerate() {
-            if self
-                .event_ids
-                .insert(ev.name, EventId(i as u32))
-                .is_some()
-            {
+            if self.event_ids.insert(ev.name, EventId(i as u32)).is_some() {
                 return Err(self.err(format!("duplicate event `{}`", self.name(ev.name))));
             }
         }
@@ -660,7 +656,10 @@ impl<'p> Lowering<'p> {
 
         for t in &decl.transitions {
             let from = *ctx.states.get(&t.from).ok_or_else(|| {
-                self.err(format!("transition from unknown state `{}`", self.name(t.from)))
+                self.err(format!(
+                    "transition from unknown state `{}`",
+                    self.name(t.from)
+                ))
             })?;
             let to = *ctx.states.get(&t.to).ok_or_else(|| {
                 self.err(format!("transition to unknown state `{}`", self.name(t.to)))
@@ -687,7 +686,10 @@ impl<'p> Lowering<'p> {
                 self.err(format!("binding on unknown state `{}`", self.name(b.state)))
             })?;
             let action = *action_ids.get(&b.action).ok_or_else(|| {
-                self.err(format!("binding to unknown action `{}`", self.name(b.action)))
+                self.err(format!(
+                    "binding to unknown action `{}`",
+                    self.name(b.action)
+                ))
             })?;
             let ev = self.event_id(b.event)?;
             let slot = &mut states[state_id.0 as usize].actions[ev.0 as usize];
@@ -713,15 +715,16 @@ impl<'p> Lowering<'p> {
                     let mut model_ctx = self.machine_ctx(decl)?;
                     for (i, p) in f.params.iter().enumerate() {
                         if let Some(pname) = p.name {
-                            model_ctx
-                                .vars
-                                .insert(pname, VarId(param_base + i as u32));
+                            model_ctx.vars.insert(pname, VarId(param_base + i as u32));
                         }
                     }
                     let result_slot = param_base + f.params.len() as u32;
                     let result_sym = self.program.interner.get("result");
                     if let Some(result_sym) = result_sym {
-                        model_ctx.vars.entry(result_sym).or_insert(VarId(result_slot));
+                        model_ctx
+                            .vars
+                            .entry(result_sym)
+                            .or_insert(VarId(result_slot));
                     }
                     let body = self.lower_stmt(body, &model_ctx)?;
                     Some(ModelInfo {
@@ -953,9 +956,7 @@ mod tests {
         let x = m.sym("x");
         let go = m.sym("go");
         m.action("bump", AStmt::assign(x, AExpr::int(1)));
-        m.state("A")
-            .defer(&["data"])
-            .entry(AStmt::raise(go));
+        m.state("A").defer(&["data"]).entry(AStmt::raise(go));
         m.state("B").postpone(&["go"]);
         m.step("A", "go", "B");
         m.call("B", "data", "A");

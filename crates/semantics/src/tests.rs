@@ -46,7 +46,10 @@ fn entry_statement_runs_and_machine_blocks() {
     let program = lower(&b.finish("M")).unwrap();
     let engine = Engine::new(&program, ForeignEnv::empty());
     let config = run_main_to_block(&engine);
-    assert_eq!(config.machine(MachineId(0)).unwrap().locals[0], Value::Int(41));
+    assert_eq!(
+        config.machine(MachineId(0)).unwrap().locals[0],
+        Value::Int(41)
+    );
 }
 
 #[test]
@@ -81,7 +84,10 @@ fn raise_takes_step_transition_and_runs_exit_entry() {
     let engine = Engine::new(&program, ForeignEnv::empty());
     let config = run_main_to_block(&engine);
     // 1 → exit: 12 → entry B: 123.
-    assert_eq!(config.machine(MachineId(0)).unwrap().locals[0], Value::Int(123));
+    assert_eq!(
+        config.machine(MachineId(0)).unwrap().locals[0],
+        Value::Int(123)
+    );
     assert_eq!(state_name(&engine, &config, MachineId(0)), "B");
 }
 
@@ -172,14 +178,15 @@ fn callee_inherits_deferred_and_actions_from_caller() {
     let enter = m.sym("enterSub");
     m.action(
         "count",
-        Stmt::assign(hits, Expr::binary(BinOp::Add, Expr::name(hits), Expr::int(1))),
+        Stmt::assign(
+            hits,
+            Expr::binary(BinOp::Add, Expr::name(hits), Expr::int(1)),
+        ),
     );
-    m.state("Main")
-        .defer(&["d"])
-        .entry(Stmt::block(vec![
-            Stmt::assign(hits, Expr::int(0)),
-            Stmt::raise(enter),
-        ]));
+    m.state("Main").defer(&["d"]).entry(Stmt::block(vec![
+        Stmt::assign(hits, Expr::int(0)),
+        Stmt::raise(enter),
+    ]));
     m.bind("Main", "a", "count");
     m.state("Sub");
     m.call("Main", "enterSub", "Sub");
@@ -201,7 +208,11 @@ fn callee_inherits_deferred_and_actions_from_caller() {
     let r = engine.run_machine(&mut config, MachineId(0), &mut choices, Granularity::Atomic);
     assert_eq!(r.outcome, ExecOutcome::Blocked);
     let machine = config.machine(MachineId(0)).unwrap();
-    assert_eq!(machine.locals[0], Value::Int(1), "inherited action ran once");
+    assert_eq!(
+        machine.locals[0],
+        Value::Int(1),
+        "inherited action ran once"
+    );
     assert_eq!(machine.stack.len(), 2, "action does not pop the callee");
     assert_eq!(machine.queue.len(), 1, "deferred event still queued");
 }
@@ -357,7 +368,10 @@ fn send_to_deleted_machine_is_an_error() {
     let mut choices = no_choices();
     // Main creates Victim.
     let r = engine.run_machine(&mut config, MachineId(0), &mut choices, Granularity::Atomic);
-    assert!(matches!(r.outcome, ExecOutcome::Yield(YieldKind::Created { .. })));
+    assert!(matches!(
+        r.outcome,
+        ExecOutcome::Yield(YieldKind::Created { .. })
+    ));
     // Victim deletes itself.
     let r = engine.run_machine(&mut config, MachineId(1), &mut choices, Granularity::Atomic);
     assert_eq!(r.outcome, ExecOutcome::Deleted);
@@ -423,7 +437,10 @@ fn call_statement_saves_and_resumes_continuation() {
     let engine = Engine::new(&program, ForeignEnv::empty());
     let config = run_main_to_block(&engine);
     // 1 → ×10 = 10 → +100 = 110.
-    assert_eq!(config.machine(MachineId(0)).unwrap().locals[0], Value::Int(110));
+    assert_eq!(
+        config.machine(MachineId(0)).unwrap().locals[0],
+        Value::Int(110)
+    );
     assert_eq!(config.machine(MachineId(0)).unwrap().stack.len(), 1);
 }
 
@@ -442,7 +459,10 @@ fn leave_jumps_to_event_loop() {
     let program = lower(&b.finish("M")).unwrap();
     let engine = Engine::new(&program, ForeignEnv::empty());
     let config = run_main_to_block(&engine);
-    assert_eq!(config.machine(MachineId(0)).unwrap().locals[0], Value::Int(1));
+    assert_eq!(
+        config.machine(MachineId(0)).unwrap().locals[0],
+        Value::Int(1)
+    );
 }
 
 #[test]
@@ -515,14 +535,20 @@ fn nondet_consumes_script_and_requests_more() {
     let r = engine.run_machine(&mut config, MachineId(0), &mut script, Granularity::Atomic);
     assert_eq!(r.outcome, ExecOutcome::Blocked);
     assert_eq!(r.choices_used, 1);
-    assert_eq!(config.machine(MachineId(0)).unwrap().locals[0], Value::Int(1));
+    assert_eq!(
+        config.machine(MachineId(0)).unwrap().locals[0],
+        Value::Int(1)
+    );
 
     // Script [false] → branch 2.
     let mut config = engine.initial_config();
     let mut script = Script::new(&[false]);
     let r = engine.run_machine(&mut config, MachineId(0), &mut script, Granularity::Atomic);
     assert_eq!(r.outcome, ExecOutcome::Blocked);
-    assert_eq!(config.machine(MachineId(0)).unwrap().locals[0], Value::Int(2));
+    assert_eq!(
+        config.machine(MachineId(0)).unwrap().locals[0],
+        Value::Int(2)
+    );
 }
 
 #[test]
@@ -544,7 +570,10 @@ fn foreign_function_called_with_values() {
     let env = reg.resolve(&program);
     let engine = Engine::new(&program, env);
     let config = run_main_to_block(&engine);
-    assert_eq!(config.machine(MachineId(0)).unwrap().locals[0], Value::Int(42));
+    assert_eq!(
+        config.machine(MachineId(0)).unwrap().locals[0],
+        Value::Int(42)
+    );
 }
 
 #[test]
@@ -603,7 +632,10 @@ fn fine_granularity_yields_every_step() {
         assert!(yields < 100, "too many yields");
     }
     assert!(yields >= 3, "expected several fine-grained yields");
-    assert_eq!(config.machine(MachineId(0)).unwrap().locals[0], Value::Int(2));
+    assert_eq!(
+        config.machine(MachineId(0)).unwrap().locals[0],
+        Value::Int(2)
+    );
 }
 
 #[test]
@@ -633,8 +665,7 @@ fn canonical_bytes_stable_across_identical_runs() {
     let mut m = b.machine("M");
     m.var("x", Ty::Int);
     let x = m.sym("x");
-    m.state("Init")
-        .entry(Stmt::assign(x, Expr::int(5)));
+    m.state("Init").entry(Stmt::assign(x, Expr::int(5)));
     m.finish();
     let program = lower(&b.finish("M")).unwrap();
     let engine = Engine::new(&program, ForeignEnv::empty());
@@ -661,7 +692,10 @@ fn model_body_interpreted_when_no_native_impl() {
     let program = lower(&parsed).unwrap();
     let engine = Engine::new(&program, ForeignEnv::empty());
     let config = run_main_to_block(&engine);
-    assert_eq!(config.machine(MachineId(0)).unwrap().locals[0], Value::Int(5));
+    assert_eq!(
+        config.machine(MachineId(0)).unwrap().locals[0],
+        Value::Int(5)
+    );
 }
 
 #[test]
@@ -684,7 +718,10 @@ fn native_impl_overrides_model_body() {
     let env = reg.resolve(&program);
     let engine = Engine::new(&program, env);
     let config = run_main_to_block(&engine);
-    assert_eq!(config.machine(MachineId(0)).unwrap().locals[0], Value::Int(300));
+    assert_eq!(
+        config.machine(MachineId(0)).unwrap().locals[0],
+        Value::Int(300)
+    );
 }
 
 #[test]
@@ -703,7 +740,10 @@ fn model_body_reads_machine_ghost_vars() {
     let engine = Engine::new(&program, ForeignEnv::empty());
     let config = run_main_to_block(&engine);
     // locals: x at 0, g at 1.
-    assert_eq!(config.machine(MachineId(0)).unwrap().locals[0], Value::Int(42));
+    assert_eq!(
+        config.machine(MachineId(0)).unwrap().locals[0],
+        Value::Int(42)
+    );
 }
 
 #[test]
@@ -768,5 +808,8 @@ fn model_body_while_loop_computes() {
     let program = lower(&parsed).unwrap();
     let engine = Engine::new(&program, ForeignEnv::empty());
     let config = run_main_to_block(&engine);
-    assert_eq!(config.machine(MachineId(0)).unwrap().locals[0], Value::Int(10));
+    assert_eq!(
+        config.machine(MachineId(0)).unwrap().locals[0],
+        Value::Int(10)
+    );
 }

@@ -103,24 +103,22 @@ impl Value {
         match op {
             BinOp::Eq => Value::Bool(a == b),
             BinOp::Ne => Value::Bool(a != b),
-            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
-                match (a.as_int(), b.as_int()) {
-                    (Some(x), Some(y)) => match op {
-                        BinOp::Add => Value::Int(x.wrapping_add(y)),
-                        BinOp::Sub => Value::Int(x.wrapping_sub(y)),
-                        BinOp::Mul => Value::Int(x.wrapping_mul(y)),
-                        BinOp::Div => {
-                            if y == 0 {
-                                Value::Null
-                            } else {
-                                Value::Int(x.wrapping_div(y))
-                            }
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => match (a.as_int(), b.as_int()) {
+                (Some(x), Some(y)) => match op {
+                    BinOp::Add => Value::Int(x.wrapping_add(y)),
+                    BinOp::Sub => Value::Int(x.wrapping_sub(y)),
+                    BinOp::Mul => Value::Int(x.wrapping_mul(y)),
+                    BinOp::Div => {
+                        if y == 0 {
+                            Value::Null
+                        } else {
+                            Value::Int(x.wrapping_div(y))
                         }
-                        _ => unreachable!(),
-                    },
-                    _ => Value::Null,
-                }
-            }
+                    }
+                    _ => unreachable!(),
+                },
+                _ => Value::Null,
+            },
             BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => match (a.as_int(), b.as_int()) {
                 (Some(x), Some(y)) => Value::Bool(match op {
                     BinOp::Lt => x < y,
@@ -231,7 +229,11 @@ mod tests {
     #[test]
     fn equality_across_kinds() {
         assert_eq!(
-            Value::binary(BinOp::Eq, &Value::Event(EventId(2)), &Value::Event(EventId(2))),
+            Value::binary(
+                BinOp::Eq,
+                &Value::Event(EventId(2)),
+                &Value::Event(EventId(2))
+            ),
             Value::Bool(true)
         );
         assert_eq!(
@@ -299,6 +301,9 @@ mod tests {
             Value::binary(BinOp::Add, &Value::Int(i64::MAX), &Value::Int(1)),
             Value::Int(i64::MIN)
         );
-        assert_eq!(Value::unary(UnOp::Neg, &Value::Int(i64::MIN)), Value::Int(i64::MIN));
+        assert_eq!(
+            Value::unary(UnOp::Neg, &Value::Int(i64::MIN)),
+            Value::Int(i64::MIN)
+        );
     }
 }

@@ -1,0 +1,216 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the bounded MPSC channel subset `p-runtime` uses, backed by
+//! `std::sync::mpsc::sync_channel`. Semantics match crossbeam where the
+//! workspace depends on them: `send` blocks when the buffer is full
+//! (backpressure), `try_send` fails fast with [`channel::TrySendError`],
+//! and dropping every sender closes the channel so receiver iteration
+//! terminates.
+
+/// Multi-producer single-consumer channels.
+pub mod channel {
+    use std::fmt;
+    use std::sync::mpsc;
+    use std::time::{Duration, Instant};
+
+    /// The sending half of a bounded channel. Cheap to clone.
+    pub struct Sender<T> {
+        inner: mpsc::SyncSender<T>,
+    }
+
+    /// The receiving half of a bounded channel.
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    /// The channel is disconnected; the unsent message is returned.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Why a `try_send`/`send_timeout` failed.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The buffer is full; the message is returned.
+        Full(T),
+        /// All receivers are gone; the message is returned.
+        Disconnected(T),
+    }
+
+    impl<T> TrySendError<T> {
+        /// Recovers the message that failed to send.
+        pub fn into_inner(self) -> T {
+            match self {
+                TrySendError::Full(v) | TrySendError::Disconnected(v) => v,
+            }
+        }
+
+        /// Whether the failure was a full buffer (a transient condition).
+        pub fn is_full(&self) -> bool {
+            matches!(self, TrySendError::Full(_))
+        }
+    }
+
+    /// Why a blocking `recv` failed.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Why a `recv_timeout` failed.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the deadline.
+        Timeout,
+        /// All senders are gone and the buffer is empty.
+        Disconnected,
+    }
+
+    /// Creates a bounded channel with buffer capacity `cap`.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `value`, blocking while the buffer is full.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+
+        /// Sends `value` without blocking.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            self.inner.try_send(value).map_err(|e| match e {
+                mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+            })
+        }
+
+        /// Sends `value`, blocking at most `timeout` while the buffer is
+        /// full.
+        pub fn send_timeout(&self, value: T, timeout: Duration) -> Result<(), TrySendError<T>> {
+            let deadline = Instant::now() + timeout;
+            let mut value = value;
+            loop {
+                match self.try_send(value) {
+                    Ok(()) => return Ok(()),
+                    Err(TrySendError::Disconnected(v)) => {
+                        return Err(TrySendError::Disconnected(v))
+                    }
+                    Err(TrySendError::Full(v)) => {
+                        if Instant::now() >= deadline {
+                            return Err(TrySendError::Full(v));
+                        }
+                        value = v;
+                        std::thread::sleep(Duration::from_micros(50));
+                    }
+                }
+            }
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives the next message, blocking until one arrives or every
+        /// sender is dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv().map_err(|_| RecvError)
+        }
+
+        /// Receives with a deadline.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.inner.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
+        }
+
+        /// A draining iterator that ends once the channel is closed and
+        /// empty.
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.inner.iter()
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::IntoIter<T>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.inner.into_iter()
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::Iter<'a, T>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.inner.iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, TrySendError};
+    use std::time::Duration;
+
+    #[test]
+    fn bounded_channel_round_trips_in_order() {
+        let (tx, rx) = bounded(4);
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let got: Vec<i32> = rx.into_iter().collect();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn try_send_reports_full_and_disconnected() {
+        let (tx, rx) = bounded(1);
+        tx.try_send(1).unwrap();
+        assert!(matches!(tx.try_send(2), Err(TrySendError::Full(2))));
+        drop(rx);
+        assert!(matches!(tx.try_send(3), Err(TrySendError::Disconnected(3))));
+    }
+
+    #[test]
+    fn send_timeout_expires_on_full_buffer() {
+        let (tx, _rx) = bounded(1);
+        tx.send(1).unwrap();
+        let err = tx.send_timeout(2, Duration::from_millis(10)).unwrap_err();
+        assert!(err.is_full());
+        assert_eq!(err.into_inner(), 2);
+    }
+
+    #[test]
+    fn receiver_iteration_ends_when_senders_drop() {
+        let (tx, rx) = bounded(8);
+        let t = std::thread::spawn(move || {
+            for i in 0..20 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<i32> = rx.iter().collect();
+        t.join().unwrap();
+        assert_eq!(got.len(), 20);
+    }
+}

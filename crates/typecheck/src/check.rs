@@ -83,10 +83,7 @@ enum StmtPos {
 pub fn check(program: &Program) -> Result<CheckInfo, CheckErrors> {
     let mut checker = Checker::new(program);
     checker.run();
-    let has_errors = checker
-        .diags
-        .iter()
-        .any(|d| d.severity == Severity::Error);
+    let has_errors = checker.diags.iter().any(|d| d.severity == Severity::Error);
     if has_errors {
         Err(CheckErrors {
             diagnostics: checker.diags,
@@ -143,18 +140,12 @@ impl<'p> Checker<'p> {
         // Global declarations.
         for ev in &self.program.events {
             if self.events.insert(ev.name, ev.payload).is_some() {
-                self.error(
-                    format!("duplicate event `{}`", self.name(ev.name)),
-                    ev.span,
-                );
+                self.error(format!("duplicate event `{}`", self.name(ev.name)), ev.span);
             }
         }
         for m in &self.program.machines {
             if self.machine_ghost.insert(m.name, m.ghost).is_some() {
-                self.error(
-                    format!("duplicate machine `{}`", self.name(m.name)),
-                    m.span,
-                );
+                self.error(format!("duplicate machine `{}`", self.name(m.name)), m.span);
             }
         }
 
@@ -219,10 +210,7 @@ impl<'p> Checker<'p> {
         let mut action_names = HashSet::new();
         for a in &decl.actions {
             if !action_names.insert(a.name) {
-                self.error(
-                    format!("duplicate action `{}`", self.name(a.name)),
-                    a.span,
-                );
+                self.error(format!("duplicate action `{}`", self.name(a.name)), a.span);
             }
         }
         let mut fn_names = HashSet::new();
@@ -375,7 +363,9 @@ impl<'p> Checker<'p> {
             }
             let result_sym = self.program.interner.get("result");
             if let Some(result_sym) = result_sym {
-                if let std::collections::hash_map::Entry::Vacant(e) = model_ctx.vars.entry(result_sym) {
+                if let std::collections::hash_map::Entry::Vacant(e) =
+                    model_ctx.vars.entry(result_sym)
+                {
                     e.insert((f.ret, true));
                     model_ctx.ghost_vars.insert(result_sym);
                 }
@@ -469,10 +459,7 @@ impl<'p> Checker<'p> {
                 }
                 if !ghost_machine && !dst_ghost && expr_is_tainted(value, &ctx.ghost_vars) {
                     self.error(
-                        format!(
-                            "ghost data flows into real variable `{}`",
-                            self.name(*dst)
-                        ),
+                        format!("ghost data flows into real variable `{}`", self.name(*dst)),
                         s.span,
                     );
                 }
@@ -586,10 +573,7 @@ impl<'p> Checker<'p> {
                 if !ghost_machine {
                     if let Some(p) = payload {
                         if expr_is_tainted(p, &ctx.ghost_vars) {
-                            self.error(
-                                "ghost data flows into a raise payload".to_owned(),
-                                p.span,
-                            );
+                            self.error("ghost data flows into a raise payload".to_owned(), p.span);
                         }
                     }
                 }
@@ -672,10 +656,7 @@ impl<'p> Checker<'p> {
             StmtKind::ForeignCall { dst, func, args } => {
                 let Some(f) = ctx.decl.foreign_fn(*func) else {
                     self.error(
-                        format!(
-                            "call of undeclared foreign function `{}`",
-                            self.name(*func)
-                        ),
+                        format!("call of undeclared foreign function `{}`", self.name(*func)),
                         s.span,
                     );
                     for a in args {
@@ -725,10 +706,7 @@ impl<'p> Checker<'p> {
                         Some(&(dst_ty, _)) => {
                             if f.ret == Ty::Void {
                                 self.error(
-                                    format!(
-                                        "foreign function `{}` returns void",
-                                        self.name(*func)
-                                    ),
+                                    format!("foreign function `{}` returns void", self.name(*func)),
                                     s.span,
                                 );
                             } else if !dst_ty.accepts(f.ret) {
@@ -798,8 +776,7 @@ impl<'p> Checker<'p> {
             }
             // Creating a real machine from a real machine: the creation
             // survives erasure, so its initializers must be real data.
-            if !ctx.decl.ghost && !target_ghost && expr_is_tainted(&init.value, &ctx.ghost_vars)
-            {
+            if !ctx.decl.ghost && !target_ghost && expr_is_tainted(&init.value, &ctx.ghost_vars) {
                 self.error(
                     format!(
                         "ghost data flows into initializer `{}` of real machine `{}`",
@@ -838,10 +815,7 @@ impl<'p> Checker<'p> {
                     // of "no payload".
                     if p.kind != ExprKind::Null {
                         self.error(
-                            format!(
-                                "event `{}` carries no payload",
-                                self.name(event)
-                            ),
+                            format!("event `{}` carries no payload", self.name(event)),
                             p.span,
                         );
                     }
@@ -932,10 +906,7 @@ impl<'p> Checker<'p> {
                 } else if matches!(op, p_ast::BinOp::Eq | p_ast::BinOp::Ne) {
                     if !ta.same_as(tb) {
                         self.error(
-                            format!(
-                                "operands of `{}` must have the same type",
-                                op.symbol()
-                            ),
+                            format!("operands of `{}` must have the same type", op.symbol()),
                             e.span,
                         );
                     }
@@ -954,10 +925,7 @@ impl<'p> Checker<'p> {
             ExprKind::ForeignCall(func, args) => {
                 let Some(f) = ctx.decl.foreign_fn(*func) else {
                     self.error(
-                        format!(
-                            "call of undeclared foreign function `{}`",
-                            self.name(*func)
-                        ),
+                        format!("call of undeclared foreign function `{}`", self.name(*func)),
                         e.span,
                     );
                     for a in args {

@@ -11,9 +11,7 @@ use std::collections::HashSet;
 use std::error::Error;
 use std::fmt;
 
-use p_ast::{
-    MachineDecl, MainDecl, Program, Span, StateDecl, Stmt, StmtKind, Symbol,
-};
+use p_ast::{MachineDecl, MainDecl, Program, Span, StateDecl, Stmt, StmtKind, Symbol};
 
 use crate::ghost::expr_is_tainted;
 
@@ -99,13 +97,7 @@ pub fn erase(program: &Program) -> Result<Program, EraseError> {
     } else {
         let ghost_vars: HashSet<Symbol> = program
             .machine(program.main.machine)
-            .map(|m| {
-                m.vars
-                    .iter()
-                    .filter(|v| v.ghost)
-                    .map(|v| v.name)
-                    .collect()
-            })
+            .map(|m| m.vars.iter().filter(|v| v.ghost).map(|v| v.name).collect())
             .unwrap_or_default();
         MainDecl {
             machine: program.main.machine,
@@ -239,7 +231,10 @@ fn erase_stmt_opt(s: &Stmt, cx: &EraseCtx<'_>) -> Option<Stmt> {
             ))
         }
         StmtKind::Block(stmts) => {
-            let kept: Vec<Stmt> = stmts.iter().filter_map(|st| erase_stmt_opt(st, cx)).collect();
+            let kept: Vec<Stmt> = stmts
+                .iter()
+                .filter_map(|st| erase_stmt_opt(st, cx))
+                .collect();
             Some(Stmt::spanned(StmtKind::Block(kept), s.span))
         }
         StmtKind::If { cond, then, els } => Some(Stmt::spanned(

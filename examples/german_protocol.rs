@@ -12,8 +12,18 @@ fn main() {
     let compiled = Compiled::from_program(corpus::german()).expect("german compiles");
     println!(
         "german: Home with {} states, Client with {} states",
-        compiled.program().machine_named("Home").unwrap().states.len(),
-        compiled.program().machine_named("Client").unwrap().states.len(),
+        compiled
+            .program()
+            .machine_named("Home")
+            .unwrap()
+            .states
+            .len(),
+        compiled
+            .program()
+            .machine_named("Client")
+            .unwrap()
+            .states
+            .len(),
     );
 
     let report = compiled.verify();

@@ -45,9 +45,11 @@ fn main() {
     "#;
 
     let compiled = Compiled::from_source(source).expect("program compiles");
-    println!("compiled: {} machine(s), {} event(s)",
+    println!(
+        "compiled: {} machine(s), {} event(s)",
         compiled.program().machines.len(),
-        compiled.program().events.len());
+        compiled.program().events.len()
+    );
 
     // 1. Systematic testing (§5): every schedule, every ghost choice.
     let report = compiled.verify();

@@ -9,8 +9,7 @@
 use p_core::{corpus, Compiled, Value};
 
 fn main() {
-    let compiled =
-        Compiled::from_program(corpus::switch_led()).expect("switch_led compiles");
+    let compiled = Compiled::from_program(corpus::switch_led()).expect("switch_led compiles");
     println!(
         "driver machine has {} states; {} ghost machines will be erased",
         compiled
@@ -24,13 +23,21 @@ fn main() {
 
     let runtime = compiled.runtime().expect("erases fine").start();
     let driver = runtime.create_machine("Driver", &[]).unwrap();
-    println!("created driver, state = {}", runtime.current_state(driver).unwrap());
+    println!(
+        "created driver, state = {}",
+        runtime.current_state(driver).unwrap()
+    );
 
     // The OS powers the device up. (Sends to ghost hardware were erased;
     // at real runtime the interface code would forward them. We inject
     // the hardware's answers the way interface code would.)
-    runtime.add_event(driver, "DevicePowerUp", Value::Null).unwrap();
-    println!("after DevicePowerUp: {}", runtime.current_state(driver).unwrap());
+    runtime
+        .add_event(driver, "DevicePowerUp", Value::Null)
+        .unwrap();
+    println!(
+        "after DevicePowerUp: {}",
+        runtime.current_state(driver).unwrap()
+    );
 
     // The switch hardware reports its initial state.
     runtime
@@ -43,9 +50,16 @@ fn main() {
     );
 
     // An application asks to set the LED; the transfer completes.
-    runtime.add_event(driver, "IoctlSetLed", Value::Int(1)).unwrap();
-    println!("during transfer: {}", runtime.current_state(driver).unwrap());
-    runtime.add_event(driver, "TransferComplete", Value::Null).unwrap();
+    runtime
+        .add_event(driver, "IoctlSetLed", Value::Int(1))
+        .unwrap();
+    println!(
+        "during transfer: {}",
+        runtime.current_state(driver).unwrap()
+    );
+    runtime
+        .add_event(driver, "TransferComplete", Value::Null)
+        .unwrap();
     println!(
         "after TransferComplete: {} (ledState = {})",
         runtime.current_state(driver).unwrap(),
@@ -53,7 +67,9 @@ fn main() {
     );
 
     // A switch interrupt races a second transfer: the driver defers it.
-    runtime.add_event(driver, "IoctlSetLed", Value::Int(0)).unwrap();
+    runtime
+        .add_event(driver, "IoctlSetLed", Value::Int(0))
+        .unwrap();
     runtime
         .add_event(driver, "SwitchStateChange", Value::Int(1))
         .unwrap();
@@ -61,16 +77,25 @@ fn main() {
         "interrupt during transfer deferred: queue length = {}",
         runtime.queue_len(driver).unwrap()
     );
-    runtime.add_event(driver, "TransferComplete", Value::Null).unwrap();
+    runtime
+        .add_event(driver, "TransferComplete", Value::Null)
+        .unwrap();
     println!(
         "after completion the deferred interrupt is handled: switchState = {}",
         runtime.read_var(driver, "switchState").unwrap()
     );
 
     // Power down: the driver disarms the switch and waits for the ack.
-    runtime.add_event(driver, "DevicePowerDown", Value::Null).unwrap();
-    runtime.add_event(driver, "SwitchDisarmed", Value::Null).unwrap();
-    println!("after power down: {}", runtime.current_state(driver).unwrap());
+    runtime
+        .add_event(driver, "DevicePowerDown", Value::Null)
+        .unwrap();
+    runtime
+        .add_event(driver, "SwitchDisarmed", Value::Null)
+        .unwrap();
+    println!(
+        "after power down: {}",
+        runtime.current_state(driver).unwrap()
+    );
 
     println!(
         "\nprocessed {} events in {} machine runs",

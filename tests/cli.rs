@@ -99,6 +99,75 @@ fn verify_delay_flag() {
 }
 
 #[test]
+fn verify_fault_flags() {
+    let lossy = corpus_file("lossy_link.p");
+    // Fault-free: the handshake is correct under FIFO delivery.
+    let out = p_bin()
+        .args(["verify", lossy.to_str().unwrap(), "--faults", "0"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("fault budget 0"), "{text}");
+    assert!(text.contains("PASSED"), "{text}");
+
+    // One dropped event finds the bug, with a replayable fault trace.
+    let out = p_bin()
+        .args([
+            "verify",
+            lossy.to_str().unwrap(),
+            "--faults",
+            "1",
+            "--fault-kinds",
+            "drop",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("fault budget 1 (drop)"), "{text}");
+    assert!(text.contains("FAILED"), "{text}");
+    assert!(text.contains("FAULT: dropped cfg"), "{text}");
+    assert!(text.contains("replay: reproduced"), "{text}");
+
+    // Flag validation.
+    let out = p_bin()
+        .args([
+            "verify",
+            lossy.to_str().unwrap(),
+            "--faults",
+            "1",
+            "--fault-kinds",
+            "corrupt",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("unknown fault kind"),
+        "{}",
+        stderr(&out)
+    );
+    let out = p_bin()
+        .args([
+            "verify",
+            lossy.to_str().unwrap(),
+            "--delay",
+            "1",
+            "--faults",
+            "1",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("cannot be combined"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+#[test]
 fn info_prints_shapes() {
     let out = p_bin()
         .args(["info", corpus_file("switch_led.p").to_str().unwrap()])
@@ -151,7 +220,10 @@ fn dot_exports_machine_diagram() {
     assert!(out.status.success());
     let text = stdout(&out);
     assert!(text.contains("digraph Elevator"));
-    assert!(text.contains("style=dashed"), "call transitions rendered: {text}");
+    assert!(
+        text.contains("style=dashed"),
+        "call transitions rendered: {text}"
+    );
 }
 
 #[test]

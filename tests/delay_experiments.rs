@@ -51,8 +51,7 @@ fn delay_zero_matches_runtime_schedule_count() {
     assert!(r1.report.passed());
     assert_eq!(r1.scheduler_nodes, r2.scheduler_nodes);
     assert_eq!(
-        r1.report.stats.unique_states,
-        r1.scheduler_nodes,
+        r1.report.stats.unique_states, r1.scheduler_nodes,
         "one schedule: every node is a distinct point on the single path"
     );
 }
@@ -67,9 +66,7 @@ fn delayed_coverage_dominates_depth_bounded_at_same_transition_budget() {
     let buggy = corpus::elevator_buggy();
     let compiled = Compiled::from_program(buggy).unwrap();
 
-    let shallow = compiled
-        .verifier()
-        .check_exhaustive_with_depth(6);
+    let shallow = compiled.verifier().check_exhaustive_with_depth(6);
     assert!(
         shallow.passed(),
         "the seeded bug needs more than 6 scheduler decisions"

@@ -84,11 +84,10 @@ fn run_closed() -> (Vec<(String, Value)>, (Value, Value), String) {
         let run = engine.run_machine(&mut config, id, &mut no_choices, Granularity::Atomic);
         match run.outcome {
             ExecOutcome::Yield(YieldKind::Sent { to, event, .. }) => {
-                let receiver_is_worker =
-                    config.machine(to).is_some_and(|m| m.ty == worker_ty);
-                let sender_is_ghost = lowered.machine(
-                    config.machine(id).expect("sender alive").ty,
-                ).ghost;
+                let receiver_is_worker = config.machine(to).is_some_and(|m| m.ty == worker_ty);
+                let sender_is_ghost = lowered
+                    .machine(config.machine(id).expect("sender alive").ty)
+                    .ghost;
                 if receiver_is_worker && sender_is_ghost {
                     // Record the ghost→real stimulus with its payload.
                     let payload = config
@@ -119,8 +118,12 @@ fn run_closed() -> (Vec<(String, Value)>, (Value, Value), String) {
         .expect("worker exists");
     let worker = config.machine(worker_id).unwrap();
     let mt = lowered.machine(worker_ty);
-    let total_var = mt.var_named(lowered.interner.get("total").unwrap()).unwrap();
-    let steps_var = mt.var_named(lowered.interner.get("steps").unwrap()).unwrap();
+    let total_var = mt
+        .var_named(lowered.interner.get("total").unwrap())
+        .unwrap();
+    let steps_var = mt
+        .var_named(lowered.interner.get("steps").unwrap())
+        .unwrap();
     let state = lowered
         .state_name(worker_ty, worker.current_state())
         .to_owned();
@@ -149,7 +152,10 @@ fn erased_worker_behaves_like_the_closed_one() {
 
     assert_eq!(runtime.read_var(worker, "total"), Some(closed_total));
     assert_eq!(runtime.read_var(worker, "steps"), Some(closed_steps));
-    assert_eq!(runtime.current_state(worker).as_deref(), Some(closed_state.as_str()));
+    assert_eq!(
+        runtime.current_state(worker).as_deref(),
+        Some(closed_state.as_str())
+    );
 }
 
 #[test]

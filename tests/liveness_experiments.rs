@@ -94,10 +94,10 @@ fn postpone_annotation_documents_accepted_starvation() {
         main Env();
         "#,
     );
-    assert!(!report.violations.iter().any(|v| matches!(
-        v,
-        LivenessViolation::EventNeverDequeued { .. }
-    )));
+    assert!(!report
+        .violations
+        .iter()
+        .any(|v| matches!(v, LivenessViolation::EventNeverDequeued { .. })));
 }
 
 #[test]

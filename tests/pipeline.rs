@@ -34,7 +34,10 @@ fn every_corpus_program_flows_through_the_whole_pipeline() {
         let c = compiled
             .emit_c()
             .unwrap_or_else(|e| panic!("{name} failed codegen: {e}"));
-        assert!(c.stats.lines > 100, "{name} generated suspiciously little C");
+        assert!(
+            c.stats.lines > 100,
+            "{name} generated suspiciously little C"
+        );
     }
 }
 

@@ -29,12 +29,9 @@ fn arb_spec() -> impl Strategy<Value = ProgSpec> {
                 (0..n_states, 0..n_events, 0..n_states, any::<bool>()),
                 0..6,
             );
-            let deferred =
-                proptest::collection::vec((0..n_states, 0..n_events), 0..4);
-            let entries = proptest::collection::vec(
-                proptest::option::of(-100i64..100),
-                n_states..=n_states,
-            );
+            let deferred = proptest::collection::vec((0..n_states, 0..n_events), 0..4);
+            let entries =
+                proptest::collection::vec(proptest::option::of(-100i64..100), n_states..=n_states);
             (
                 Just(n_events),
                 Just(n_states),
@@ -84,11 +81,8 @@ fn build_program(spec: &ProgSpec) -> Program {
         } else {
             sb.defer(&deferred_refs)
         };
-        match spec.entries.get(s).copied().flatten() {
-            Some(v) => {
-                sb.entry(Stmt::assign(x, Expr::int(v)));
-            }
-            None => {}
+        if let Some(v) = spec.entries.get(s).copied().flatten() {
+            sb.entry(Stmt::assign(x, Expr::int(v)));
         }
     }
     for (from, ev, to, is_call) in &transitions {

@@ -122,7 +122,9 @@ fn elevator_call_transition_subroutine_via_runtime() {
         Some("StoppingTimer"),
         "call transition pushed the subroutine"
     );
-    runtime.add_event(lift, "TimerStopped", Value::Null).unwrap();
+    runtime
+        .add_event(lift, "TimerStopped", Value::Null)
+        .unwrap();
     assert_eq!(
         runtime.current_state(lift).as_deref(),
         Some("Opened"),
@@ -137,7 +139,9 @@ fn switch_led_driver_full_power_cycle() {
     let drv = runtime.create_machine("Driver", &[]).unwrap();
     assert_eq!(runtime.current_state(drv).as_deref(), Some("PoweredOff"));
 
-    runtime.add_event(drv, "DevicePowerUp", Value::Null).unwrap();
+    runtime
+        .add_event(drv, "DevicePowerUp", Value::Null)
+        .unwrap();
     runtime
         .add_event(drv, "SwitchStateChange", Value::Int(1))
         .unwrap();
@@ -145,16 +149,28 @@ fn switch_led_driver_full_power_cycle() {
     assert_eq!(runtime.read_var(drv, "switchState"), Some(Value::Int(1)));
 
     // A failed transfer is retried once, then completes.
-    runtime.add_event(drv, "IoctlSetLed", Value::Int(1)).unwrap();
-    runtime.add_event(drv, "TransferFailed", Value::Null).unwrap();
+    runtime
+        .add_event(drv, "IoctlSetLed", Value::Int(1))
+        .unwrap();
+    runtime
+        .add_event(drv, "TransferFailed", Value::Null)
+        .unwrap();
     assert_eq!(runtime.current_state(drv).as_deref(), Some("Transferring"));
-    runtime.add_event(drv, "TransferComplete", Value::Null).unwrap();
+    runtime
+        .add_event(drv, "TransferComplete", Value::Null)
+        .unwrap();
     assert_eq!(runtime.read_var(drv, "ledState"), Some(Value::Int(1)));
 
     // Two failures exhaust the retry budget and fail the request.
-    runtime.add_event(drv, "IoctlSetLed", Value::Int(0)).unwrap();
-    runtime.add_event(drv, "TransferFailed", Value::Null).unwrap();
-    runtime.add_event(drv, "TransferFailed", Value::Null).unwrap();
+    runtime
+        .add_event(drv, "IoctlSetLed", Value::Int(0))
+        .unwrap();
+    runtime
+        .add_event(drv, "TransferFailed", Value::Null)
+        .unwrap();
+    runtime
+        .add_event(drv, "TransferFailed", Value::Null)
+        .unwrap();
     assert_eq!(runtime.current_state(drv).as_deref(), Some("Idle"));
     assert_eq!(
         runtime.read_var(drv, "ledState"),
@@ -162,7 +178,11 @@ fn switch_led_driver_full_power_cycle() {
         "failed request leaves the LED unchanged"
     );
 
-    runtime.add_event(drv, "DevicePowerDown", Value::Null).unwrap();
-    runtime.add_event(drv, "SwitchDisarmed", Value::Null).unwrap();
+    runtime
+        .add_event(drv, "DevicePowerDown", Value::Null)
+        .unwrap();
+    runtime
+        .add_event(drv, "SwitchDisarmed", Value::Null)
+        .unwrap();
     assert_eq!(runtime.current_state(drv).as_deref(), Some("PoweredOff"));
 }
