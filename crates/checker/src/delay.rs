@@ -14,12 +14,14 @@
 //! the explored schedule is exactly the causal one the P runtime executes
 //! (§5); as `d → ∞` all schedules are covered.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 use std::time::Instant;
 
 use p_semantics::{Config, Engine, ExecOutcome, MachineId, YieldKind};
 
-use crate::explore::{hash_bytes, initial_machine, reconstruct, Report, Verifier};
+use crate::engine::{Admit, BoundedSet, ParentMap};
+use crate::explore::{initial_machine, Report, Verifier};
+use crate::fingerprint::Fingerprint;
 use crate::stats::ExplorationStats;
 use crate::trace::{Counterexample, TraceStep};
 
@@ -95,20 +97,22 @@ impl Verifier<'_> {
         let init = engine.initial_config();
         let init_sched = SchedulerState::initial();
 
-        let mut config_states: HashSet<u64> = HashSet::new();
+        let mut config_states = BoundedSet::new(self.options().max_states);
         let init_bytes = init.canonical_bytes();
-        config_states.insert(hash_bytes(&init_bytes));
-        stats.stored_bytes += init_bytes.len();
+        config_states.admit(Fingerprint::of(&init_bytes), init_bytes.len());
 
-        let mut node_seen: HashSet<u64> = HashSet::new();
-        let init_node_hash = node_hash(&init_bytes, &init_sched);
-        node_seen.insert(init_node_hash);
+        // Scheduler nodes are a bounded configuration space times a
+        // finite scheduler annotation; the configuration bound above
+        // already caps them.
+        let mut node_seen = BoundedSet::unbounded();
+        let init_node_fp = node_fingerprint(&init_bytes, &init_sched);
+        node_seen.admit(init_node_fp, 0);
 
-        let mut parents: HashMap<u64, (u64, TraceStep)> = HashMap::new();
-        let mut stack: Vec<(Config, SchedulerState, u64, usize)> =
-            vec![(init, init_sched, init_node_hash, 0)];
+        let mut parents = ParentMap::new();
+        let mut stack: Vec<(Config, SchedulerState, Fingerprint, usize)> =
+            vec![(init, init_sched, init_node_fp, 0)];
 
-        while let Some((config, mut sched, nhash, depth)) = stack.pop() {
+        while let Some((config, mut sched, nfp, depth)) = stack.pop() {
             stats.max_depth = stats.max_depth.max(depth);
             if depth >= self.options().max_depth {
                 stats.truncated = true;
@@ -140,10 +144,11 @@ impl Verifier<'_> {
                     let mut next_sched = rotated.clone();
                     match &succ.result.outcome {
                         ExecOutcome::Error(e) => {
-                            let mut trace = reconstruct(&parents, nhash);
+                            let mut trace = parents.reconstruct(nfp);
                             trace.push(step);
                             stats.duration = start.elapsed();
                             stats.unique_states = config_states.len();
+                            stats.stored_bytes = config_states.stored_bytes();
                             return DelayReport {
                                 report: Report {
                                     counterexample: Some(Counterexample {
@@ -182,20 +187,18 @@ impl Verifier<'_> {
                     }
 
                     let bytes = succ.config.canonical_bytes();
-                    let chash = hash_bytes(&bytes);
-                    if config_states.insert(chash) {
-                        stats.stored_bytes += bytes.len();
-                        if config_states.len() > self.options().max_states {
-                            stats.truncated = true;
-                        }
-                    }
-                    if stats.truncated {
+                    // Bound check BEFORE marking visited: a successor
+                    // dropped by `max_states` stays unvisited and
+                    // uncounted instead of being hidden forever.
+                    if config_states.admit(Fingerprint::of(&bytes), bytes.len()) == Admit::OverBound
+                    {
+                        stats.truncated = true;
                         continue;
                     }
-                    let nh = node_hash(&bytes, &next_sched);
-                    if node_seen.insert(nh) {
-                        parents.insert(nh, (nhash, step));
-                        stack.push((succ.config, next_sched, nh, depth + 1));
+                    let nfp2 = node_fingerprint(&bytes, &next_sched);
+                    if node_seen.admit(nfp2, 0) == Admit::New {
+                        parents.record(nfp2, nfp, step);
+                        stack.push((succ.config, next_sched, nfp2, depth + 1));
                     }
                 }
             }
@@ -203,6 +206,7 @@ impl Verifier<'_> {
 
         stats.duration = start.elapsed();
         stats.unique_states = config_states.len();
+        stats.stored_bytes = config_states.stored_bytes();
         DelayReport {
             report: Report {
                 counterexample: None,
@@ -215,10 +219,10 @@ impl Verifier<'_> {
     }
 }
 
-fn node_hash(config_bytes: &[u8], sched: &SchedulerState) -> u64 {
+fn node_fingerprint(config_bytes: &[u8], sched: &SchedulerState) -> Fingerprint {
     let mut bytes = config_bytes.to_vec();
     sched.encode(&mut bytes);
-    hash_bytes(&bytes)
+    Fingerprint::of(&bytes)
 }
 
 #[cfg(test)]

@@ -1,0 +1,441 @@
+//! The exploration engine: the frontier/visited/parents bookkeeping
+//! shared by every search strategy, in two flavors — single-threaded
+//! tables for the sequential explorers, and a sharded concurrent table
+//! plus a work-stealing frontier for the parallel engine.
+//!
+//! Two soundness rules are centralized here so no explorer can get them
+//! wrong again:
+//!
+//! * states are keyed by the collision-safe 128-bit [`Fingerprint`],
+//!   never by a 64-bit hash (a 64-bit collision silently prunes a
+//!   distinct state *and* corrupts trace reconstruction);
+//! * the `max_states` bound is checked **before** a state is marked
+//!   visited — a state dropped for exceeding the bound must not be
+//!   remembered as explored, and `unique_states`/`stored_bytes` must
+//!   count exactly the states actually retained.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::fingerprint::Fingerprint;
+use crate::trace::TraceStep;
+
+/// Outcome of offering a state to a visited set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Admit {
+    /// Fresh state, now retained; the caller should expand it.
+    New,
+    /// Already visited; skip.
+    Seen,
+    /// The state bound is full. The state is **not** marked visited and
+    /// not counted — the exploration is truncated, not misled.
+    OverBound,
+}
+
+/// A visited set with a state bound, counting only retained states.
+#[derive(Debug)]
+pub(crate) struct BoundedSet {
+    seen: HashSet<Fingerprint>,
+    stored_bytes: usize,
+    max: usize,
+}
+
+impl BoundedSet {
+    /// An empty set admitting at most `max` states (at least one, so the
+    /// initial state is always representable).
+    pub(crate) fn new(max: usize) -> BoundedSet {
+        BoundedSet {
+            seen: HashSet::new(),
+            stored_bytes: 0,
+            max: max.max(1),
+        }
+    }
+
+    /// An unbounded set (for node spaces whose size is already bounded
+    /// by a bounded configuration space times a finite annotation).
+    pub(crate) fn unbounded() -> BoundedSet {
+        BoundedSet::new(usize::MAX)
+    }
+
+    /// Offers a state; `bytes_len` is the length of its canonical
+    /// encoding, accounted only when the state is retained.
+    pub(crate) fn admit(&mut self, fp: Fingerprint, bytes_len: usize) -> Admit {
+        if self.seen.contains(&fp) {
+            return Admit::Seen;
+        }
+        if self.seen.len() >= self.max {
+            return Admit::OverBound;
+        }
+        self.seen.insert(fp);
+        self.stored_bytes += bytes_len;
+        Admit::New
+    }
+
+    /// Whether `fp` is retained as visited.
+    #[cfg(test)]
+    pub(crate) fn contains(&self, fp: Fingerprint) -> bool {
+        self.seen.contains(&fp)
+    }
+
+    /// Retained states.
+    pub(crate) fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Canonical-encoding bytes of the retained states.
+    pub(crate) fn stored_bytes(&self) -> usize {
+        self.stored_bytes
+    }
+}
+
+/// `child → (parent, step)` edges for counterexample reconstruction,
+/// keyed by fingerprint.
+#[derive(Debug, Default)]
+pub(crate) struct ParentMap {
+    map: HashMap<Fingerprint, (Fingerprint, TraceStep)>,
+}
+
+impl ParentMap {
+    pub(crate) fn new() -> ParentMap {
+        ParentMap::default()
+    }
+
+    /// Records how `child` was first reached.
+    pub(crate) fn record(&mut self, child: Fingerprint, parent: Fingerprint, step: TraceStep) {
+        self.map.insert(child, (parent, step));
+    }
+
+    /// Walks the parent edges from the initial state to `state`.
+    pub(crate) fn reconstruct(&self, mut state: Fingerprint) -> Vec<TraceStep> {
+        let mut steps = Vec::new();
+        while let Some((parent, step)) = self.map.get(&state) {
+            steps.push(step.clone());
+            state = *parent;
+        }
+        steps.reverse();
+        steps
+    }
+}
+
+/// Shard count of [`SharedTable`]. 64 shards keep lock contention low
+/// for any plausible worker count while costing only 64 mutexes.
+const SHARDS: usize = 64;
+
+/// The concurrent visited set + parent map of the parallel engine:
+/// sharded by fingerprint prefix, one mutex per shard, with global
+/// retained-state accounting kept in atomics so the `max_states` bound
+/// holds across shards.
+#[derive(Debug)]
+pub(crate) struct SharedTable {
+    shards: Vec<Mutex<Shard>>,
+    unique: AtomicUsize,
+    stored: AtomicUsize,
+    truncated: AtomicBool,
+    max: usize,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    visited: HashSet<Fingerprint>,
+    parents: HashMap<Fingerprint, (Fingerprint, TraceStep)>,
+}
+
+impl SharedTable {
+    /// An empty table admitting at most `max` states.
+    pub(crate) fn new(max: usize) -> SharedTable {
+        SharedTable {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            unique: AtomicUsize::new(0),
+            stored: AtomicUsize::new(0),
+            truncated: AtomicBool::new(false),
+            max: max.max(1),
+        }
+    }
+
+    /// Admits the initial state (no parent edge).
+    pub(crate) fn admit_root(&self, fp: Fingerprint, bytes_len: usize) {
+        let mut shard = self.shards[fp.shard(SHARDS)].lock();
+        shard.visited.insert(fp);
+        self.unique.fetch_add(1, Ordering::SeqCst);
+        self.stored.fetch_add(bytes_len, Ordering::Relaxed);
+    }
+
+    /// Offers a successor reached from `parent` by `step`. Exactly one
+    /// concurrent caller gets [`Admit::New`] for a given fingerprint and
+    /// must expand it; its parent edge is recorded before `New` is
+    /// returned, so any later error below this state reconstructs a
+    /// complete trace.
+    pub(crate) fn admit(
+        &self,
+        fp: Fingerprint,
+        bytes_len: usize,
+        parent: Fingerprint,
+        step: TraceStep,
+    ) -> Admit {
+        let mut shard = self.shards[fp.shard(SHARDS)].lock();
+        if shard.visited.contains(&fp) {
+            return Admit::Seen;
+        }
+        // Reserve a slot under the global bound; undo on overflow. The
+        // shard lock is held, so a concurrent duplicate of *this* state
+        // cannot slip in between the check and the insert.
+        let reserved = self.unique.fetch_add(1, Ordering::SeqCst);
+        if reserved >= self.max {
+            self.unique.fetch_sub(1, Ordering::SeqCst);
+            self.truncated.store(true, Ordering::SeqCst);
+            return Admit::OverBound;
+        }
+        shard.visited.insert(fp);
+        shard.parents.insert(fp, (parent, step));
+        self.stored.fetch_add(bytes_len, Ordering::Relaxed);
+        Admit::New
+    }
+
+    /// Retained states across all shards.
+    pub(crate) fn unique(&self) -> usize {
+        self.unique.load(Ordering::SeqCst)
+    }
+
+    /// Canonical-encoding bytes of the retained states.
+    pub(crate) fn stored_bytes(&self) -> usize {
+        self.stored.load(Ordering::SeqCst)
+    }
+
+    /// Whether the state bound dropped any state.
+    pub(crate) fn truncated(&self) -> bool {
+        self.truncated.load(Ordering::SeqCst)
+    }
+
+    /// Walks the parent edges from the initial state to `state`. Call
+    /// after the workers have quiesced; locks one shard per edge.
+    pub(crate) fn reconstruct(&self, mut state: Fingerprint) -> Vec<TraceStep> {
+        let mut steps = Vec::new();
+        loop {
+            let shard = self.shards[state.shard(SHARDS)].lock();
+            match shard.parents.get(&state) {
+                None => break,
+                Some((parent, step)) => {
+                    steps.push(step.clone());
+                    state = *parent;
+                }
+            }
+        }
+        steps.reverse();
+        steps
+    }
+}
+
+/// The parallel work queue: one deque per worker plus work stealing.
+/// Workers push and pop depth-first on their own deque (cache-friendly,
+/// like the sequential DFS) and steal the *oldest* entry of another
+/// worker's deque when idle — oldest entries sit closest to the root and
+/// tend to head the largest unexplored subtrees.
+#[derive(Debug)]
+pub(crate) struct Frontier<T> {
+    queues: Vec<Mutex<VecDeque<T>>>,
+    /// Tasks queued or currently being expanded. The exploration is done
+    /// when this reaches zero: nothing queued, nothing in flight.
+    pending: AtomicUsize,
+    stop: AtomicBool,
+}
+
+impl<T> Frontier<T> {
+    /// A frontier for `workers` workers, seeded with the root task.
+    pub(crate) fn new(workers: usize, root: T) -> Frontier<T> {
+        let queues: Vec<Mutex<VecDeque<T>>> = (0..workers.max(1))
+            .map(|_| Mutex::new(VecDeque::new()))
+            .collect();
+        queues[0].lock().push_back(root);
+        Frontier {
+            queues,
+            pending: AtomicUsize::new(1),
+            stop: AtomicBool::new(false),
+        }
+    }
+
+    /// Enqueues a task on `worker`'s own deque.
+    pub(crate) fn push(&self, worker: usize, task: T) {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        self.queues[worker].lock().push_back(task);
+    }
+
+    /// Takes the next task for `worker`: its own newest entry, else a
+    /// steal, else wait for in-flight work to produce some. Returns
+    /// `None` when the exploration is finished or stopping.
+    pub(crate) fn next(&self, worker: usize) -> Option<T> {
+        loop {
+            if self.stop.load(Ordering::SeqCst) {
+                return None;
+            }
+            if let Some(task) = self.queues[worker].lock().pop_back() {
+                return Some(task);
+            }
+            for offset in 1..self.queues.len() {
+                let victim = (worker + offset) % self.queues.len();
+                if let Some(task) = self.queues[victim].lock().pop_front() {
+                    return Some(task);
+                }
+            }
+            if self.pending.load(Ordering::SeqCst) == 0 {
+                return None;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Marks one previously [`Frontier::next`]-ed task fully expanded.
+    pub(crate) fn task_done(&self) {
+        self.pending.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// First-counterexample-wins shutdown: all workers drain on their
+    /// next [`Frontier::next`] call.
+    pub(crate) fn request_stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown was requested.
+    #[cfg(test)]
+    pub(crate) fn stopping(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p_semantics::MachineId;
+
+    fn fp(n: u32) -> Fingerprint {
+        Fingerprint::of(&n.to_le_bytes())
+    }
+
+    fn step(tag: &str) -> TraceStep {
+        TraceStep {
+            machine: MachineId(0),
+            summary: tag.to_owned(),
+            choices: Vec::new(),
+            fault: None,
+        }
+    }
+
+    #[test]
+    fn bounded_set_admits_counts_and_dedups() {
+        let mut set = BoundedSet::new(10);
+        assert_eq!(set.admit(fp(1), 4), Admit::New);
+        assert_eq!(set.admit(fp(1), 4), Admit::Seen);
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.stored_bytes(), 4);
+    }
+
+    /// Regression for the `max_states` truncation bug: a state dropped
+    /// for exceeding the bound must NOT be marked visited (the old code
+    /// inserted the hash before the bound check, permanently hiding the
+    /// state), and must not be counted in `unique_states`/`stored_bytes`.
+    #[test]
+    fn over_bound_state_is_not_poisoned_as_visited() {
+        let mut set = BoundedSet::new(2);
+        assert_eq!(set.admit(fp(1), 10), Admit::New);
+        assert_eq!(set.admit(fp(2), 10), Admit::New);
+        assert_eq!(set.admit(fp(3), 10), Admit::OverBound);
+        assert!(!set.contains(fp(3)), "dropped state must stay unvisited");
+        assert_eq!(set.len(), 2, "only retained states are counted");
+        assert_eq!(set.stored_bytes(), 20, "dropped bytes are not accounted");
+        // Duplicates of retained states still dedup at the full bound.
+        assert_eq!(set.admit(fp(2), 10), Admit::Seen);
+    }
+
+    #[test]
+    fn parent_map_reconstructs_in_root_to_leaf_order() {
+        let mut parents = ParentMap::new();
+        parents.record(fp(2), fp(1), step("a"));
+        parents.record(fp(3), fp(2), step("b"));
+        let trace = parents.reconstruct(fp(3));
+        let summaries: Vec<&str> = trace.iter().map(|s| s.summary.as_str()).collect();
+        assert_eq!(summaries, ["a", "b"]);
+        assert!(parents.reconstruct(fp(1)).is_empty());
+    }
+
+    #[test]
+    fn shared_table_enforces_bound_without_poisoning() {
+        let table = SharedTable::new(2);
+        table.admit_root(fp(0), 8);
+        assert_eq!(table.admit(fp(1), 8, fp(0), step("a")), Admit::New);
+        assert_eq!(table.admit(fp(2), 8, fp(0), step("b")), Admit::OverBound);
+        assert!(table.truncated());
+        assert_eq!(table.unique(), 2);
+        assert_eq!(table.stored_bytes(), 16);
+        // The dropped state was not marked visited.
+        assert_eq!(table.admit(fp(2), 8, fp(1), step("c")), Admit::OverBound);
+        // Retained states still dedup.
+        assert_eq!(table.admit(fp(1), 8, fp(0), step("a")), Admit::Seen);
+    }
+
+    #[test]
+    fn shared_table_admits_exactly_once_across_threads() {
+        let table = SharedTable::new(usize::MAX);
+        table.admit_root(fp(0), 0);
+        let wins = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for n in 1..500u32 {
+                        if table.admit(fp(n), 1, fp(0), step("s")) == Admit::New {
+                            wins.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(wins.load(Ordering::SeqCst), 499);
+        assert_eq!(table.unique(), 500);
+        assert_eq!(table.stored_bytes(), 499);
+    }
+
+    #[test]
+    fn shared_table_reconstructs_traces() {
+        let table = SharedTable::new(usize::MAX);
+        table.admit_root(fp(0), 0);
+        table.admit(fp(1), 0, fp(0), step("a"));
+        table.admit(fp(2), 0, fp(1), step("b"));
+        let trace = table.reconstruct(fp(2));
+        let summaries: Vec<&str> = trace.iter().map(|s| s.summary.as_str()).collect();
+        assert_eq!(summaries, ["a", "b"]);
+    }
+
+    #[test]
+    fn frontier_drains_and_terminates() {
+        let frontier: Frontier<u32> = Frontier::new(2, 0);
+        let seen = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for w in 0..2 {
+                let (frontier, seen) = (&frontier, &seen);
+                scope.spawn(move || {
+                    while let Some(task) = frontier.next(w) {
+                        seen.lock().push(task);
+                        if task < 10 {
+                            frontier.push(w, task * 2 + 1);
+                            frontier.push(w, task * 2 + 2);
+                        }
+                        frontier.task_done();
+                    }
+                });
+            }
+        });
+        // Binary tree rooted at 0 (children 2n+1, 2n+2), expanded only
+        // for n < 10: exactly the nodes 0..=20 get visited.
+        let mut tasks = seen.into_inner();
+        tasks.sort_unstable();
+        assert_eq!(tasks, (0..=20).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn frontier_stop_drains_workers() {
+        let frontier: Frontier<u32> = Frontier::new(1, 7);
+        frontier.request_stop();
+        assert!(frontier.stopping());
+        assert_eq!(frontier.next(0), None);
+    }
+}

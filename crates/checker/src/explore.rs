@@ -1,15 +1,24 @@
 //! Exhaustive explicit-state search (the Zing-substrate analog) and the
 //! option/report types shared by all strategies.
+//!
+//! Two engines cover the exhaustive strategy: a sequential depth-first
+//! search, and a parallel work-stealing search over a sharded visited
+//! set ([`Verifier::check_exhaustive_parallel`]). Both deduplicate
+//! states by collision-safe 128-bit [`Fingerprint`]s and agree on
+//! `unique_states` and the verdict; only the particular counterexample
+//! trace may differ under parallelism (first violation found wins).
 
-use std::collections::hash_map::DefaultHasher;
-use std::collections::{HashMap, HashSet};
-use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
+use parking_lot::Mutex;
+
 use p_semantics::{
-    Config, Engine, ExecOutcome, ForeignEnv, Granularity, LoweredProgram, MachineId,
+    Config, Engine, ExecOutcome, ForeignEnv, Granularity, LoweredProgram, MachineId, PError,
 };
 
+use crate::engine::{Admit, BoundedSet, Frontier, ParentMap, SharedTable};
+use crate::fingerprint::Fingerprint;
 use crate::stats::ExplorationStats;
 use crate::succ::successors_for;
 use crate::trace::{Counterexample, TraceStep};
@@ -27,6 +36,10 @@ pub struct CheckerOptions {
     pub granularity: Granularity,
     /// Small-step budget per atomic run (detects private divergence).
     pub fuel: usize,
+    /// Worker threads for the exhaustive search. `0` or `1` selects the
+    /// sequential depth-first engine; `n > 1` selects the parallel
+    /// work-stealing engine with `n` workers.
+    pub jobs: usize,
 }
 
 impl Default for CheckerOptions {
@@ -36,6 +49,7 @@ impl Default for CheckerOptions {
             max_depth: 1_000_000,
             granularity: Granularity::Atomic,
             fuel: 100_000,
+            jobs: 1,
         }
     }
 }
@@ -139,31 +153,55 @@ impl<'p> Verifier<'p> {
         .check_exhaustive()
     }
 
-    /// Exhaustive depth-first search over all schedules and ghost choices,
+    /// Exhaustive search over all schedules and ghost choices,
     /// deduplicating states, up to the configured bounds.
     ///
     /// This enumerates *all* interleavings at send/create scheduling
     /// points — the baseline the delay-bounded scheduler is measured
-    /// against.
+    /// against. With [`CheckerOptions::jobs`] `> 1` the parallel
+    /// work-stealing engine is used; otherwise a sequential depth-first
+    /// search.
     pub fn check_exhaustive(&self) -> Report {
+        if self.options.jobs > 1 {
+            self.check_parallel(self.options.jobs)
+        } else {
+            self.check_sequential()
+        }
+    }
+
+    /// Exhaustive search with `jobs` worker threads over a sharded
+    /// visited set (work-stealing expansion, first-counterexample-wins
+    /// shutdown). `jobs <= 1` falls back to the sequential engine.
+    ///
+    /// For a complete (non-truncated) run, `unique_states`, the
+    /// verdict, and `transitions` are independent of `jobs`; the
+    /// specific counterexample returned for a buggy program may differ
+    /// between runs, but is always valid and replayable.
+    pub fn check_exhaustive_parallel(&self, jobs: usize) -> Report {
+        if jobs > 1 {
+            self.check_parallel(jobs)
+        } else {
+            self.check_sequential()
+        }
+    }
+
+    /// Sequential depth-first engine.
+    fn check_sequential(&self) -> Report {
         let engine = self.engine();
         let start = Instant::now();
         let mut stats = ExplorationStats::default();
 
         let init = engine.initial_config();
         let init_bytes = init.canonical_bytes();
-        let init_hash = hash_bytes(&init_bytes);
-        stats.stored_bytes += init_bytes.len();
-        stats.unique_states = 1;
+        let init_fp = Fingerprint::of(&init_bytes);
 
-        // parent[state] = (parent state, step taken to get here)
-        let mut parents: HashMap<u64, (u64, TraceStep)> = HashMap::new();
-        let mut visited: HashSet<u64> = HashSet::new();
-        visited.insert(init_hash);
+        let mut visited = BoundedSet::new(self.options.max_states);
+        visited.admit(init_fp, init_bytes.len());
+        let mut parents = ParentMap::new();
 
-        let mut stack: Vec<(Config, u64, usize)> = vec![(init, init_hash, 0)];
+        let mut stack: Vec<(Config, Fingerprint, usize)> = vec![(init, init_fp, 0)];
 
-        while let Some((config, hash, depth)) = stack.pop() {
+        while let Some((config, fp, depth)) = stack.pop() {
             stats.max_depth = stats.max_depth.max(depth);
             if depth >= self.options.max_depth {
                 stats.truncated = true;
@@ -180,8 +218,10 @@ impl<'p> Verifier<'p> {
                         succ.choices.clone(),
                     );
                     if let ExecOutcome::Error(e) = &succ.result.outcome {
-                        let mut trace = reconstruct(&parents, hash);
+                        let mut trace = parents.reconstruct(fp);
                         trace.push(step);
+                        stats.unique_states = visited.len();
+                        stats.stored_bytes = visited.stored_bytes();
                         stats.duration = start.elapsed();
                         return Report {
                             counterexample: Some(Counterexample {
@@ -193,27 +233,134 @@ impl<'p> Verifier<'p> {
                         };
                     }
                     let bytes = succ.config.canonical_bytes();
-                    let h = hash_bytes(&bytes);
-                    if visited.insert(h) {
-                        if stats.unique_states >= self.options.max_states {
-                            stats.truncated = true;
-                            continue;
+                    let succ_fp = Fingerprint::of(&bytes);
+                    match visited.admit(succ_fp, bytes.len()) {
+                        Admit::New => {
+                            parents.record(succ_fp, fp, step);
+                            stack.push((succ.config, succ_fp, depth + 1));
                         }
-                        stats.unique_states += 1;
-                        stats.stored_bytes += bytes.len();
-                        parents.insert(h, (hash, step));
-                        stack.push((succ.config, h, depth + 1));
+                        Admit::Seen => {}
+                        Admit::OverBound => stats.truncated = true,
                     }
                 }
             }
         }
 
+        stats.unique_states = visited.len();
+        stats.stored_bytes = visited.stored_bytes();
         stats.duration = start.elapsed();
         Report {
             counterexample: None,
             complete: !stats.truncated,
             stats,
         }
+    }
+
+    /// Parallel work-stealing engine (see DESIGN.md §9).
+    fn check_parallel(&self, jobs: usize) -> Report {
+        let start = Instant::now();
+
+        let init = self.engine().initial_config();
+        let init_bytes = init.canonical_bytes();
+        let init_fp = Fingerprint::of(&init_bytes);
+
+        let table = SharedTable::new(self.options.max_states);
+        table.admit_root(init_fp, init_bytes.len());
+        let frontier: Frontier<(Config, Fingerprint, usize)> =
+            Frontier::new(jobs, (init, init_fp, 0));
+        // First violation wins: (parent fingerprint, final step, error).
+        let first_error: Mutex<Option<(Fingerprint, TraceStep, PError)>> = Mutex::new(None);
+        let depth_truncated = AtomicBool::new(false);
+
+        let mut stats = std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..jobs)
+                .map(|w| {
+                    let frontier = &frontier;
+                    let table = &table;
+                    let first_error = &first_error;
+                    let depth_truncated = &depth_truncated;
+                    scope.spawn(move || {
+                        self.expand_worker(w, frontier, table, first_error, depth_truncated)
+                    })
+                })
+                .collect();
+            let mut stats = ExplorationStats::default();
+            for handle in workers {
+                stats.merge(&handle.join().expect("exploration worker panicked"));
+            }
+            stats
+        });
+
+        stats.unique_states = table.unique();
+        stats.stored_bytes = table.stored_bytes();
+        stats.truncated |= table.truncated() || depth_truncated.load(Ordering::SeqCst);
+        stats.duration = start.elapsed();
+
+        let counterexample = first_error.lock().take().map(|(parent_fp, step, error)| {
+            // Workers have joined; the shared parents map is quiescent
+            // and holds a complete root path for every admitted state.
+            let mut trace = table.reconstruct(parent_fp);
+            trace.push(step);
+            Counterexample { error, trace }
+        });
+        let complete = counterexample.is_none() && !stats.truncated;
+        Report {
+            counterexample,
+            stats,
+            complete,
+        }
+    }
+
+    /// One parallel worker: expand tasks until the frontier drains or a
+    /// violation stops the search. Returns the worker-local stats
+    /// (state/byte counts stay zero — the shared table owns those).
+    fn expand_worker(
+        &self,
+        worker: usize,
+        frontier: &Frontier<(Config, Fingerprint, usize)>,
+        table: &SharedTable,
+        first_error: &Mutex<Option<(Fingerprint, TraceStep, PError)>>,
+        depth_truncated: &AtomicBool,
+    ) -> ExplorationStats {
+        let engine = self.engine();
+        let mut stats = ExplorationStats::default();
+        'tasks: while let Some((config, fp, depth)) = frontier.next(worker) {
+            stats.max_depth = stats.max_depth.max(depth);
+            if depth >= self.options.max_depth {
+                depth_truncated.store(true, Ordering::SeqCst);
+                frontier.task_done();
+                continue;
+            }
+            self.note_diagnostics(&engine, &config, &mut stats);
+            for id in engine.enabled_machines(&config) {
+                for succ in successors_for(&engine, &config, id, self.options.granularity) {
+                    stats.transitions += 1;
+                    let step = TraceStep::from_run(
+                        self.program,
+                        succ.machine,
+                        &succ.result,
+                        succ.choices.clone(),
+                    );
+                    if let ExecOutcome::Error(e) = &succ.result.outcome {
+                        let mut slot = first_error.lock();
+                        if slot.is_none() {
+                            *slot = Some((fp, step, e.clone()));
+                        }
+                        drop(slot);
+                        frontier.request_stop();
+                        frontier.task_done();
+                        break 'tasks;
+                    }
+                    let bytes = succ.config.canonical_bytes();
+                    let succ_fp = Fingerprint::of(&bytes);
+                    if table.admit(succ_fp, bytes.len(), fp, step) == Admit::New {
+                        frontier.push(worker, (succ.config, succ_fp, depth + 1));
+                    }
+                }
+            }
+            frontier.task_done();
+        }
+        stats
     }
 }
 
@@ -240,27 +387,6 @@ impl Verifier<'_> {
             }
         }
     }
-}
-
-/// Hashes a canonical state encoding.
-pub(crate) fn hash_bytes(bytes: &[u8]) -> u64 {
-    let mut h = DefaultHasher::new();
-    bytes.hash(&mut h);
-    h.finish()
-}
-
-/// Walks the parent map from the initial state to `state`.
-pub(crate) fn reconstruct(
-    parents: &HashMap<u64, (u64, TraceStep)>,
-    mut state: u64,
-) -> Vec<TraceStep> {
-    let mut steps = Vec::new();
-    while let Some((parent, step)) = parents.get(&state) {
-        steps.push(step.clone());
-        state = *parent;
-    }
-    steps.reverse();
-    steps
 }
 
 /// Convenience: the id of the initial machine in a fresh configuration

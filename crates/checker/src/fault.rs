@@ -13,13 +13,14 @@
 //! the robustness coverage while keeping the explored space finite, and
 //! budget 0 degenerates to the fault-free search.
 
-use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::time::Instant;
 
 use p_semantics::{Config, EventId, ExecOutcome, MachineId};
 
-use crate::explore::{hash_bytes, reconstruct, Report, Verifier};
+use crate::engine::{Admit, BoundedSet, ParentMap};
+use crate::explore::{Report, Verifier};
+use crate::fingerprint::Fingerprint;
 use crate::stats::ExplorationStats;
 use crate::trace::{Counterexample, TraceStep};
 
@@ -234,25 +235,26 @@ impl Verifier<'_> {
         let init = engine.initial_config();
         let init_bytes = init.canonical_bytes();
 
-        let mut config_states: HashSet<u64> = HashSet::new();
-        config_states.insert(hash_bytes(&init_bytes));
-        stats.stored_bytes += init_bytes.len();
+        let mut config_states = BoundedSet::new(self.options().max_states);
+        config_states.admit(Fingerprint::of(&init_bytes), init_bytes.len());
 
-        let mut node_seen: HashSet<u64> = HashSet::new();
-        let init_node = node_hash(&init_bytes, 0);
-        node_seen.insert(init_node);
+        // Node space = bounded configurations × budget+1 fault counts.
+        let mut node_seen = BoundedSet::unbounded();
+        let init_node = node_fingerprint(&init_bytes, 0);
+        node_seen.admit(init_node, 0);
 
-        let mut parents: HashMap<u64, (u64, TraceStep)> = HashMap::new();
-        // (configuration, faults used, node hash, depth)
-        let mut stack: Vec<(Config, usize, u64, usize)> = vec![(init, 0, init_node, 0)];
+        let mut parents = ParentMap::new();
+        // (configuration, faults used, node fingerprint, depth)
+        let mut stack: Vec<(Config, usize, Fingerprint, usize)> = vec![(init, 0, init_node, 0)];
 
         let finish = |stats: &mut ExplorationStats,
                       counterexample: Option<Counterexample>,
-                      node_seen: &HashSet<u64>,
-                      config_states: &HashSet<u64>,
+                      node_seen: &BoundedSet,
+                      config_states: &BoundedSet,
                       fault_transitions: usize| {
             stats.duration = start.elapsed();
             stats.unique_states = config_states.len();
+            stats.stored_bytes = config_states.stored_bytes();
             let complete = counterexample.is_none() && !stats.truncated;
             FaultReport {
                 report: Report {
@@ -267,7 +269,7 @@ impl Verifier<'_> {
             }
         };
 
-        while let Some((config, used, nhash, depth)) = stack.pop() {
+        while let Some((config, used, nfp, depth)) = stack.pop() {
             stats.max_depth = stats.max_depth.max(depth);
             if depth >= self.options().max_depth {
                 stats.truncated = true;
@@ -288,7 +290,7 @@ impl Verifier<'_> {
                         succ.choices.clone(),
                     );
                     if let ExecOutcome::Error(e) = &succ.result.outcome {
-                        let mut trace = reconstruct(&parents, nhash);
+                        let mut trace = parents.reconstruct(nfp);
                         trace.push(step);
                         return finish(
                             &mut stats,
@@ -302,19 +304,16 @@ impl Verifier<'_> {
                         );
                     }
                     let bytes = succ.config.canonical_bytes();
-                    if config_states.insert(hash_bytes(&bytes)) {
-                        stats.stored_bytes += bytes.len();
-                        if config_states.len() > self.options().max_states {
-                            stats.truncated = true;
-                        }
-                    }
-                    if stats.truncated {
+                    // Bound check BEFORE marking visited (see engine.rs).
+                    if config_states.admit(Fingerprint::of(&bytes), bytes.len()) == Admit::OverBound
+                    {
+                        stats.truncated = true;
                         continue;
                     }
-                    let nh = node_hash(&bytes, used);
-                    if node_seen.insert(nh) {
-                        parents.insert(nh, (nhash, step));
-                        stack.push((succ.config, used, nh, depth + 1));
+                    let nfp2 = node_fingerprint(&bytes, used);
+                    if node_seen.admit(nfp2, 0) == Admit::New {
+                        parents.record(nfp2, nfp, step);
+                        stack.push((succ.config, used, nfp2, depth + 1));
                     }
                 }
             }
@@ -329,19 +328,14 @@ impl Verifier<'_> {
                     .expect("enumerated fault applies to its own configuration");
                 let step = TraceStep::from_fault(self.program(), &decision);
                 let bytes = faulted.canonical_bytes();
-                if config_states.insert(hash_bytes(&bytes)) {
-                    stats.stored_bytes += bytes.len();
-                    if config_states.len() > self.options().max_states {
-                        stats.truncated = true;
-                    }
-                }
-                if stats.truncated {
+                if config_states.admit(Fingerprint::of(&bytes), bytes.len()) == Admit::OverBound {
+                    stats.truncated = true;
                     continue;
                 }
-                let nh = node_hash(&bytes, used + 1);
-                if node_seen.insert(nh) {
-                    parents.insert(nh, (nhash, step));
-                    stack.push((faulted, used + 1, nh, depth + 1));
+                let nfp2 = node_fingerprint(&bytes, used + 1);
+                if node_seen.admit(nfp2, 0) == Admit::New {
+                    parents.record(nfp2, nfp, step);
+                    stack.push((faulted, used + 1, nfp2, depth + 1));
                 }
             }
         }
@@ -356,10 +350,10 @@ impl Verifier<'_> {
     }
 }
 
-fn node_hash(config_bytes: &[u8], used: usize) -> u64 {
+fn node_fingerprint(config_bytes: &[u8], used: usize) -> Fingerprint {
     let mut bytes = config_bytes.to_vec();
     bytes.extend_from_slice(&(used as u64).to_le_bytes());
-    hash_bytes(&bytes)
+    Fingerprint::of(&bytes)
 }
 
 #[cfg(test)]

@@ -15,6 +15,9 @@
 //!
 //! * [`Verifier::check_exhaustive`] — full depth-first search (with depth
 //!   and state bounds);
+//! * [`Verifier::check_exhaustive_parallel`] — the same search with N
+//!   work-stealing worker threads over a sharded visited set; same
+//!   `unique_states` and verdict as the sequential engine;
 //! * [`Verifier::check_delay_bounded`] — the paper's novel *delay-bounded
 //!   causal scheduler* (§5): with budget `d = 0` it explores exactly the
 //!   causal schedule the runtime executes, and increasing `d` adds
@@ -57,8 +60,10 @@
 #![warn(missing_debug_implementations)]
 
 mod delay;
+mod engine;
 mod explore;
 mod fault;
+mod fingerprint;
 mod liveness;
 mod random;
 mod replay;
@@ -69,6 +74,7 @@ mod trace;
 pub use delay::{DelayReport, SchedulerState};
 pub use explore::{CheckerOptions, Report, Verifier};
 pub use fault::{FaultDecision, FaultKind, FaultReport, FaultScheduler};
+pub use fingerprint::Fingerprint;
 pub use liveness::{LivenessReport, LivenessViolation};
 pub use replay::ReplayOutcome;
 pub use stats::ExplorationStats;

@@ -26,7 +26,8 @@ use std::time::Instant;
 
 use p_semantics::{Config, EventId, ExecOutcome, MachineId};
 
-use crate::explore::{hash_bytes, Verifier};
+use crate::explore::Verifier;
+use crate::fingerprint::Fingerprint;
 use crate::stats::ExplorationStats;
 use crate::succ::successors_for;
 
@@ -247,8 +248,8 @@ impl Verifier<'_> {
 
         let init = engine.initial_config();
         let init_bytes = init.canonical_bytes();
-        let mut index: HashMap<u64, usize> = HashMap::new();
-        index.insert(hash_bytes(&init_bytes), 0);
+        let mut index: HashMap<Fingerprint, usize> = HashMap::new();
+        index.insert(Fingerprint::of(&init_bytes), 0);
         stats.stored_bytes += init_bytes.len();
 
         let mut graph = Graph {
@@ -270,7 +271,7 @@ impl Verifier<'_> {
                         continue; // terminal for liveness purposes
                     }
                     let bytes = succ.config.canonical_bytes();
-                    let h = hash_bytes(&bytes);
+                    let h = Fingerprint::of(&bytes);
                     let to = match index.get(&h) {
                         Some(&i) => i,
                         None => {

@@ -9,7 +9,8 @@ use rand::{Rng, SeedableRng};
 
 use p_semantics::ExecOutcome;
 
-use crate::explore::{hash_bytes, Report, Verifier};
+use crate::explore::{Report, Verifier};
+use crate::fingerprint::Fingerprint;
 use crate::stats::ExplorationStats;
 use crate::trace::{Counterexample, TraceStep};
 
@@ -31,7 +32,7 @@ impl Verifier<'_> {
         for _ in 0..walks {
             let mut config = engine.initial_config();
             let mut trace: Vec<TraceStep> = Vec::new();
-            seen.insert(hash_bytes(&config.canonical_bytes()));
+            seen.insert(Fingerprint::of(&config.canonical_bytes()));
 
             for depth in 0..max_steps {
                 stats.max_depth = stats.max_depth.max(depth);
@@ -64,7 +65,7 @@ impl Verifier<'_> {
                         complete: false,
                     };
                 }
-                seen.insert(hash_bytes(&config.canonical_bytes()));
+                seen.insert(Fingerprint::of(&config.canonical_bytes()));
             }
         }
 

@@ -40,6 +40,23 @@ impl ExplorationStats {
         self.stored_bytes as f64 / (1024.0 * 1024.0)
     }
 
+    /// Folds another worker's statistics into this one (parallel
+    /// engine): additive counters sum, path/queue maxima take the max,
+    /// truncation flags OR. `unique_states`/`stored_bytes` sum too, but
+    /// parallel workers report those as zero — the shared visited table
+    /// owns the authoritative counts, assigned after the merge.
+    pub fn merge(&mut self, other: &ExplorationStats) {
+        self.unique_states += other.unique_states;
+        self.transitions += other.transitions;
+        self.stored_bytes += other.stored_bytes;
+        self.quiescent_states += other.quiescent_states;
+        self.stuck_states += other.stuck_states;
+        self.max_depth = self.max_depth.max(other.max_depth);
+        self.max_queue_seen = self.max_queue_seen.max(other.max_queue_seen);
+        self.duration = self.duration.max(other.duration);
+        self.truncated |= other.truncated;
+    }
+
     /// States visited per second.
     pub fn states_per_second(&self) -> f64 {
         let secs = self.duration.as_secs_f64();
@@ -86,6 +103,40 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("10 states"));
         assert!(text.contains("truncated"));
+    }
+
+    #[test]
+    fn merge_sums_counters_and_maxes_maxima() {
+        let mut a = ExplorationStats {
+            unique_states: 0,
+            transitions: 7,
+            max_depth: 3,
+            duration: Duration::from_millis(5),
+            stored_bytes: 0,
+            truncated: false,
+            max_queue_seen: 2,
+            quiescent_states: 1,
+            stuck_states: 0,
+        };
+        let b = ExplorationStats {
+            unique_states: 0,
+            transitions: 5,
+            max_depth: 9,
+            duration: Duration::from_millis(2),
+            stored_bytes: 0,
+            truncated: true,
+            max_queue_seen: 1,
+            quiescent_states: 2,
+            stuck_states: 1,
+        };
+        a.merge(&b);
+        assert_eq!(a.transitions, 12);
+        assert_eq!(a.max_depth, 9);
+        assert_eq!(a.max_queue_seen, 2);
+        assert_eq!(a.quiescent_states, 3);
+        assert_eq!(a.stuck_states, 1);
+        assert_eq!(a.duration, Duration::from_millis(5));
+        assert!(a.truncated);
     }
 
     #[test]

@@ -424,6 +424,149 @@ fn clean_termination_is_quiescent_but_not_stuck() {
 }
 
 #[test]
+fn parallel_agrees_with_sequential_on_buggy_program() {
+    let p = lowered(RACE);
+    let verifier = Verifier::new(&p);
+    let sequential = verifier.check_exhaustive();
+    for jobs in [2, 4] {
+        let parallel = verifier.check_exhaustive_parallel(jobs);
+        assert_eq!(sequential.passed(), parallel.passed(), "jobs={jobs}");
+        let cx = parallel.counterexample.expect("race found in parallel");
+        assert_eq!(cx.error.kind, ErrorKind::AssertionFailure);
+        // Whichever worker won, its trace must replay to the same error.
+        assert!(
+            verifier.replay(&cx).reproduced(),
+            "parallel trace must replay (jobs={jobs}): {cx}"
+        );
+    }
+}
+
+#[test]
+fn parallel_agrees_with_sequential_on_passing_program() {
+    let src = RACE.replace("assert(arg == 1)", "assert(arg > 0)");
+    let p = lowered(&src);
+    let verifier = Verifier::new(&p);
+    let sequential = verifier.check_exhaustive();
+    assert!(sequential.passed() && sequential.complete);
+    for jobs in [2, 4] {
+        let parallel = verifier.check_exhaustive_parallel(jobs);
+        assert!(parallel.passed() && parallel.complete, "jobs={jobs}");
+        assert_eq!(
+            sequential.stats.unique_states, parallel.stats.unique_states,
+            "jobs={jobs}"
+        );
+        assert_eq!(
+            sequential.stats.transitions, parallel.stats.transitions,
+            "complete runs expand every state exactly once (jobs={jobs})"
+        );
+        assert_eq!(sequential.stats.stored_bytes, parallel.stats.stored_bytes);
+    }
+}
+
+#[test]
+fn options_jobs_selects_the_parallel_engine() {
+    let src = RACE.replace("assert(arg == 1)", "assert(arg > 0)");
+    let p = lowered(&src);
+    let sequential = Verifier::new(&p).check_exhaustive();
+    let via_options = Verifier::new(&p)
+        .with_options(CheckerOptions {
+            jobs: 4,
+            ..CheckerOptions::default()
+        })
+        .check_exhaustive();
+    assert!(via_options.passed() && via_options.complete);
+    assert_eq!(
+        sequential.stats.unique_states,
+        via_options.stats.unique_states
+    );
+}
+
+#[test]
+fn parallel_respects_state_bound_without_poisoning() {
+    let src = r#"
+        event tick : int;
+        machine Clock {
+            var n : int;
+            state Run {
+                entry {
+                    n := n + 1;
+                    send(this, tick, n);
+                }
+                on tick goto Run;
+            }
+        }
+        main Clock(n = 0);
+    "#;
+    let p = lowered(src);
+    let options = CheckerOptions {
+        max_states: 50,
+        ..CheckerOptions::default()
+    };
+    let verifier = Verifier::new(&p).with_options(options);
+    let sequential = verifier.check_exhaustive();
+    assert!(sequential.stats.truncated);
+    assert!(
+        sequential.stats.unique_states <= 50,
+        "retained-state count must respect the bound: {}",
+        sequential.stats.unique_states
+    );
+    let parallel = verifier.check_exhaustive_parallel(4);
+    assert!(parallel.passed());
+    assert!(!parallel.complete);
+    assert!(parallel.stats.truncated);
+    assert!(parallel.stats.unique_states <= 50);
+}
+
+/// The collision-regression test of the fingerprint switch: enumerate
+/// the reachable configurations by their full canonical encodings (no
+/// hashing at all) and check that the fingerprint-deduplicated search
+/// retains exactly as many states — a 64-bit-style silent merge of
+/// distinct canonical byte strings would make the counts diverge.
+#[test]
+fn fingerprints_never_merge_distinct_canonical_bytes() {
+    use std::collections::HashSet;
+
+    let src = RACE.replace("assert(arg == 1)", "assert(arg > 0)");
+    let p = lowered(&src);
+    let verifier = Verifier::new(&p);
+    let engine = crate::Verifier::new(&p).engine();
+
+    let mut by_bytes: HashSet<Vec<u8>> = HashSet::new();
+    let mut by_fingerprint: HashSet<crate::Fingerprint> = HashSet::new();
+    let init = engine.initial_config();
+    by_bytes.insert(init.canonical_bytes());
+    by_fingerprint.insert(crate::Fingerprint::of(&init.canonical_bytes()));
+    let mut stack = vec![init];
+    while let Some(config) = stack.pop() {
+        for id in engine.enabled_machines(&config) {
+            for succ in
+                crate::succ::successors_for(&engine, &config, id, p_semantics::Granularity::Atomic)
+            {
+                if matches!(succ.result.outcome, p_semantics::ExecOutcome::Error(_)) {
+                    continue;
+                }
+                let bytes = succ.config.canonical_bytes();
+                by_fingerprint.insert(crate::Fingerprint::of(&bytes));
+                if by_bytes.insert(bytes) {
+                    stack.push(succ.config);
+                }
+            }
+        }
+    }
+    assert_eq!(
+        by_bytes.len(),
+        by_fingerprint.len(),
+        "distinct canonical encodings must have distinct fingerprints"
+    );
+    let report = verifier.check_exhaustive();
+    assert_eq!(
+        report.stats.unique_states,
+        by_bytes.len(),
+        "the fingerprint-deduplicated search must retain every distinct state"
+    );
+}
+
+#[test]
 fn replayed_delay_traces_match_recorded_length() {
     let p = lowered(RACE);
     let verifier = Verifier::new(&p);

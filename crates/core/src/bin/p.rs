@@ -4,7 +4,7 @@
 //! p check FILE                      parse + static checks
 //! p fmt FILE                        print the normalized program
 //! p info FILE                       machines / states / transitions
-//! p verify FILE [--delay N] [--max-states N] [--fine]
+//! p verify FILE [--delay N] [--max-states N] [--fine] [--jobs N]
 //!              [--faults N] [--fault-kinds drop,dup,delay]
 //! p liveness FILE                   bounded liveness check (§3.2)
 //! p run FILE MACHINE EVENT[:INT]... create a machine and feed it events
@@ -56,7 +56,7 @@ fn usage() -> String {
      p check FILE                      parse + static checks\n\
      p fmt FILE                        print the normalized program\n\
      p info FILE                       machines / states / transitions\n\
-     p verify FILE [--delay N] [--max-states N] [--fine]\n\
+     p verify FILE [--delay N] [--max-states N] [--fine] [--jobs N]\n\
                    [--faults N] [--fault-kinds drop,dup,delay]\n\
      p liveness FILE                   bounded liveness check\n\
      p run FILE MACHINE EVENT[:INT]... create a machine, feed it events\n\
@@ -165,11 +165,22 @@ fn verify(args: &[String]) -> Result<(), String> {
                 options.granularity = p_core::semantics::Granularity::Fine;
                 i += 1;
             }
+            "--jobs" => {
+                options.jobs = parse_flag_value(args, &mut i, "--jobs")?;
+                if options.jobs == 0 {
+                    return Err("--jobs must be at least 1".to_owned());
+                }
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
     if delay.is_some() && faults.is_some() {
         return Err("--delay and --faults cannot be combined".to_owned());
+    }
+    if options.jobs > 1 && (delay.is_some() || faults.is_some()) {
+        return Err(
+            "--jobs applies to the exhaustive search only (not --delay/--faults)".to_owned(),
+        );
     }
     if faults.is_none() && !fault_kinds.is_empty() {
         return Err("--fault-kinds needs --faults N".to_owned());

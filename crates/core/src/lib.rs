@@ -154,6 +154,14 @@ impl Compiled {
         self.verifier().check_exhaustive()
     }
 
+    /// Exhaustive systematic testing with `jobs` parallel worker
+    /// threads over a sharded visited set. Explores the same states and
+    /// returns the same verdict as [`Compiled::verify`]; `jobs <= 1`
+    /// runs the sequential engine.
+    pub fn verify_parallel(&self, jobs: usize) -> Report {
+        self.verifier().check_exhaustive_parallel(jobs)
+    }
+
     /// Delay-bounded systematic testing with the causal scheduler (§5).
     pub fn verify_delay_bounded(&self, delay_bound: usize) -> DelayReport {
         self.verifier().check_delay_bounded(delay_bound)

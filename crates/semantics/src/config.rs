@@ -332,6 +332,24 @@ impl Config {
 
     /// Serializes the configuration to a canonical byte string for
     /// explicit-state deduplication.
+    ///
+    /// # Stability contract
+    ///
+    /// The checker fingerprints this encoding and shares the
+    /// fingerprints across worker threads, so the encoding must be a
+    /// pure function of the configuration's semantic content:
+    ///
+    /// * **injective** — semantically distinct configurations (machine
+    ///   states, locals, queue contents *and order*, call stacks) must
+    ///   encode to distinct byte strings, and equal configurations to
+    ///   equal byte strings;
+    /// * **deterministic** — independent of thread, process, iteration
+    ///   order of any internal map, or allocation history beyond the
+    ///   machine-id space itself.
+    ///
+    /// Changing the encoding is safe (fingerprints are never persisted
+    /// across runs) but breaking either property silently unsounds the
+    /// visited-set deduplication in every exploration strategy.
     pub fn canonical_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(128);
         out.extend_from_slice(&(self.machines.len() as u32).to_le_bytes());
@@ -450,5 +468,28 @@ mod tests {
         assert_eq!(c1.canonical_bytes(), c2.canonical_bytes());
         c2.machine_mut(id).unwrap().locals[0] = Value::Int(3);
         assert_ne!(c1.canonical_bytes(), c2.canonical_bytes());
+    }
+
+    /// The stability contract: queue *order* is semantic content (FIFO
+    /// dequeue), so two configurations differing only in the order of
+    /// queued events must encode differently — and re-encoding the same
+    /// configuration is bit-identical.
+    #[test]
+    fn canonical_bytes_distinguish_queue_order() {
+        let p = tiny_program();
+        let mut c1 = Config::default();
+        let id = c1.allocate(&p, p.main);
+        let mut c2 = c1.clone();
+        c1.machine_mut(id).unwrap().enqueue(EventId(0), Value::Null);
+        c1.machine_mut(id)
+            .unwrap()
+            .enqueue(EventId(1), Value::Int(1));
+        c2.machine_mut(id)
+            .unwrap()
+            .enqueue(EventId(1), Value::Int(1));
+        c2.machine_mut(id).unwrap().enqueue(EventId(0), Value::Null);
+        assert_ne!(c1.canonical_bytes(), c2.canonical_bytes());
+        assert_eq!(c1.canonical_bytes(), c1.canonical_bytes());
+        assert_eq!(c1.canonical_bytes(), c1.clone().canonical_bytes());
     }
 }

@@ -1,0 +1,93 @@
+//! Integration checks of the parallel exploration engine: for every
+//! corpus program, `jobs = 1` and `jobs = N` must agree on the verdict,
+//! the retained-state count, and (for buggy programs) produce a
+//! counterexample that replays — the checker's answer is a function of
+//! the program, not of the worker count.
+
+use p_core::{corpus, CheckerOptions, Compiled};
+
+/// Every corpus program, compiled (their committed budgets keep full
+/// exhaustive verification fast enough for CI).
+fn verification_corpus() -> Vec<(&'static str, Compiled)> {
+    corpus::all()
+        .into_iter()
+        .map(|(name, program)| {
+            (
+                name,
+                Compiled::from_program(program).expect("corpus program compiles"),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn corpus_agrees_across_job_counts() {
+    for (name, compiled) in verification_corpus() {
+        let sequential = compiled.verify();
+        for jobs in [2, 4] {
+            let parallel = compiled.verify_parallel(jobs);
+            assert_eq!(
+                sequential.passed(),
+                parallel.passed(),
+                "{name}: verdict diverged at jobs={jobs}"
+            );
+            assert_eq!(
+                sequential.complete, parallel.complete,
+                "{name}: completeness diverged at jobs={jobs}"
+            );
+            if sequential.complete {
+                assert_eq!(
+                    sequential.stats.unique_states, parallel.stats.unique_states,
+                    "{name}: state count diverged at jobs={jobs}"
+                );
+                assert_eq!(
+                    sequential.stats.transitions, parallel.stats.transitions,
+                    "{name}: transition count diverged at jobs={jobs}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn buggy_benchmarks_fail_in_parallel_with_replayable_traces() {
+    for (name, _correct, buggy) in corpus::figure7_benchmarks() {
+        let compiled = Compiled::from_program(buggy).expect("buggy corpus program compiles");
+        let report = compiled.verify_parallel(4);
+        let cx = report
+            .counterexample
+            .unwrap_or_else(|| panic!("{name}: seeded bug must be found in parallel"));
+        assert!(
+            compiled.verifier().replay(&cx).reproduced(),
+            "{name}: parallel counterexample must replay deterministically"
+        );
+    }
+}
+
+#[test]
+fn parallel_state_bound_is_respected() {
+    let compiled = Compiled::from_program(corpus::german3()).unwrap();
+    let options = CheckerOptions {
+        max_states: 200,
+        jobs: 4,
+        ..CheckerOptions::default()
+    };
+    let report = compiled.verifier().with_options(options).check_exhaustive();
+    assert!(report.stats.truncated);
+    assert!(!report.complete);
+    assert!(
+        report.stats.unique_states <= 200,
+        "retained {} states past the bound",
+        report.stats.unique_states
+    );
+}
+
+#[test]
+fn jobs_one_through_options_matches_plain_verify() {
+    let compiled = Compiled::from_program(corpus::ping_pong()).unwrap();
+    let plain = compiled.verify();
+    let one = compiled.verify_parallel(1);
+    assert_eq!(plain.passed(), one.passed());
+    assert_eq!(plain.stats.unique_states, one.stats.unique_states);
+    assert_eq!(plain.stats.transitions, one.stats.transitions);
+}
