@@ -1,0 +1,69 @@
+//! Criterion micro-benchmarks for the allocation-light state
+//! representation: copy-on-write config cloning and the incremental
+//! digest against its from-scratch and hash-the-canonical-bytes
+//! baselines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use p_core::corpus;
+use p_semantics::hash::fingerprint128;
+use p_semantics::{lower, Config, Engine, ForeignEnv, Granularity};
+
+/// A mid-exploration german3 configuration: the initial state advanced
+/// by a few atomic runs so queues and frames are populated.
+fn warm_config(engine: &Engine<'_>) -> Config {
+    let mut config = engine.initial_config();
+    for _ in 0..6 {
+        let Some(id) = engine.enabled_machines(&config).into_iter().next() else {
+            break;
+        };
+        engine.run_machine(&mut config, id, &mut || false, Granularity::Atomic);
+    }
+    config
+}
+
+fn bench_state_ops(c: &mut Criterion) {
+    let program = lower(&corpus::german3()).unwrap();
+    let engine = Engine::new(&program, ForeignEnv::empty());
+    let mut group = c.benchmark_group("state_ops");
+
+    // O(#machines) refcount bumps — what every successor branch pays.
+    group.bench_function("config-clone", |b| {
+        let config = warm_config(&engine);
+        b.iter(|| config.clone())
+    });
+
+    // The checker's hot path: clone, mutate one machine, re-digest. Only
+    // the mutated machine's slot is re-encoded and re-hashed.
+    group.bench_function("digest-incremental", |b| {
+        let mut base = warm_config(&engine);
+        base.digest(); // warm the per-slot cache
+        let id = engine
+            .enabled_machines(&base)
+            .into_iter()
+            .next()
+            .expect("german3 never quiesces this early");
+        b.iter(|| {
+            let mut next = base.clone();
+            engine.run_machine(&mut next, id, &mut || false, Granularity::Atomic);
+            next.digest()
+        })
+    });
+
+    // Baseline 1: every slot re-encoded and re-hashed from scratch.
+    group.bench_function("digest-uncached", |b| {
+        let config = warm_config(&engine);
+        b.iter(|| config.digest_uncached())
+    });
+
+    // Baseline 2: the pre-CoW scheme — materialize the full canonical
+    // encoding and hash it in one pass.
+    group.bench_function("canonical-bytes-hash", |b| {
+        let config = warm_config(&engine);
+        b.iter(|| fingerprint128(&config.canonical_bytes()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_state_ops);
+criterion_main!(benches);

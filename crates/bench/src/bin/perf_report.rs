@@ -1,0 +1,79 @@
+//! Checker-throughput report: exhaustive verification of every corpus
+//! program, printed as a table and written to `BENCH_checker.json`
+//! (states/sec, unique states, peak stored bytes, and the sleep-set POR
+//! comparison per program).
+//!
+//! Each program is explored twice — plain and with `--por` — and the two
+//! runs are asserted to agree on verdict and unique states, so the JSON
+//! doubles as a POR-soundness witness for the numbers it reports.
+//!
+//! ```sh
+//! cargo run --release -p p-bench --bin perf_report [OUT.json]
+//! ```
+//!
+//! With no argument the JSON goes to `BENCH_checker.json` in the current
+//! directory.
+
+use std::fmt::Write as _;
+
+use p_bench::figures::perf_rows;
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_checker.json".to_owned());
+
+    println!("Checker throughput — exhaustive exploration, sequential engine\n");
+    println!(
+        "{:<12} {:>8} {:>12} {:>11} {:>12} {:>11} {:>12} {:>10}",
+        "program",
+        "states",
+        "transitions",
+        "time",
+        "states/sec",
+        "bytes/st",
+        "por-trans",
+        "por-time"
+    );
+
+    let rows = perf_rows();
+    let mut json = String::from("{\n  \"programs\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        println!(
+            "{:<12} {:>8} {:>12} {:>10.1?} {:>12.0} {:>11.1} {:>12} {:>9.1?}",
+            row.name,
+            row.states,
+            row.transitions,
+            row.duration,
+            row.states_per_sec(),
+            row.bytes_per_state(),
+            row.por_transitions,
+            row.por_duration,
+        );
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"states\": {}, \"transitions\": {}, \
+             \"seconds\": {:.6}, \"states_per_sec\": {:.1}, \
+             \"stored_bytes\": {}, \"bytes_per_state\": {:.1}, \
+             \"passed\": {}, \"por\": {{\"transitions\": {}, \"seconds\": {:.6}}}}}{}",
+            row.name,
+            row.states,
+            row.transitions,
+            row.duration.as_secs_f64(),
+            row.states_per_sec(),
+            row.stored_bytes,
+            row.bytes_per_state(),
+            row.passed,
+            row.por_transitions,
+            row.por_duration.as_secs_f64(),
+            if i + 1 < rows.len() { "," } else { "" },
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!(
+        "\nWrote {out_path}; POR agreed with full exploration on verdict and states for all {} program(s).",
+        rows.len()
+    );
+}

@@ -300,6 +300,85 @@ pub fn ablation_rows() -> Vec<AblationRow> {
         .collect()
 }
 
+/// One row of the checker-throughput report (`perf_report` /
+/// `BENCH_checker.json`): exhaustive exploration cost of one corpus
+/// program, with and without sleep-set partial-order reduction.
+#[derive(Debug, Clone)]
+pub struct PerfRow {
+    /// Program name (corpus key).
+    pub name: &'static str,
+    /// Unique configurations explored.
+    pub states: usize,
+    /// Transitions executed (full exploration).
+    pub transitions: usize,
+    /// Full-exploration wall time.
+    pub duration: Duration,
+    /// Peak bytes of canonical state encodings stored.
+    pub stored_bytes: usize,
+    /// Whether the program verified.
+    pub passed: bool,
+    /// Transitions executed under `--por`.
+    pub por_transitions: usize,
+    /// Wall time under `--por`.
+    pub por_duration: Duration,
+}
+
+impl PerfRow {
+    /// States visited per second of full exploration.
+    pub fn states_per_sec(&self) -> f64 {
+        self.states as f64 / self.duration.as_secs_f64().max(1e-9)
+    }
+
+    /// Stored bytes per unique state.
+    pub fn bytes_per_state(&self) -> f64 {
+        self.stored_bytes as f64 / (self.states as f64).max(1.0)
+    }
+}
+
+/// Explores every `corpus::all()` program exhaustively (sequential
+/// engine), once plain and once with sleep-set POR, asserting the two
+/// agree on verdict and unique states (POR prunes transitions, never
+/// states).
+pub fn perf_rows() -> Vec<PerfRow> {
+    corpus::all()
+        .into_iter()
+        .map(|(name, program)| {
+            let compiled = Compiled::from_program(program).unwrap();
+            let full = compiled.verify();
+            let por = compiled
+                .verifier()
+                .with_options(CheckerOptions {
+                    por: true,
+                    ..CheckerOptions::default()
+                })
+                .check_exhaustive();
+            assert_eq!(
+                full.passed(),
+                por.passed(),
+                "{name}: POR changed the verdict"
+            );
+            assert_eq!(
+                full.stats.unique_states, por.stats.unique_states,
+                "{name}: POR changed the state count"
+            );
+            assert!(
+                por.stats.transitions <= full.stats.transitions,
+                "{name}: POR added transitions"
+            );
+            PerfRow {
+                name,
+                states: full.stats.unique_states,
+                transitions: full.stats.transitions,
+                duration: full.stats.duration,
+                stored_bytes: full.stats.stored_bytes,
+                passed: full.passed(),
+                por_transitions: por.stats.transitions,
+                por_duration: por.stats.duration,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -94,18 +94,18 @@ impl Verifier<'_> {
         let start = Instant::now();
         let mut stats = ExplorationStats::default();
 
-        let init = engine.initial_config();
+        let mut init = engine.initial_config();
         let init_sched = SchedulerState::initial();
 
         let mut config_states = BoundedSet::new(self.options().max_states);
-        let init_bytes = init.canonical_bytes();
-        config_states.admit(Fingerprint::of(&init_bytes), init_bytes.len());
+        let (init_digest, init_len) = init.digest_and_len();
+        config_states.admit(Fingerprint::from_u128(init_digest), init_len);
 
         // Scheduler nodes are a bounded configuration space times a
         // finite scheduler annotation; the configuration bound above
         // already caps them.
         let mut node_seen = BoundedSet::unbounded();
-        let init_node_fp = node_fingerprint(&init_bytes, &init_sched);
+        let init_node_fp = node_fingerprint(init_digest, &init_sched);
         node_seen.admit(init_node_fp, 0);
 
         let mut parents = ParentMap::new();
@@ -118,7 +118,8 @@ impl Verifier<'_> {
                 stats.truncated = true;
                 continue;
             }
-            self.note_diagnostics(&engine, &config, &mut stats);
+            let enabled = engine.enabled_machines(&config);
+            self.note_diagnostics(&config, &enabled, &mut stats);
             sched.normalize(&engine, &config);
             if sched.stack.is_empty() {
                 continue; // quiescent
@@ -128,33 +129,37 @@ impl Verifier<'_> {
             for r in 0..=max_rot {
                 let rotated = sched.rotated(r);
                 let &machine = rotated.stack.front().expect("normalized non-empty stack");
-                for succ in crate::succ::successors_for(
+                for mut succ in crate::succ::successors_for(
                     &engine,
                     &config,
                     machine,
                     self.options().granularity,
                 ) {
                     stats.transitions += 1;
-                    let step = TraceStep::from_run(
-                        self.program(),
-                        succ.machine,
-                        &succ.result,
-                        succ.choices.clone(),
-                    );
+                    // Parent edges store compact step seeds; only an
+                    // error path renders human-readable summaries.
+                    let seed = |succ: &mut crate::succ::Successor| {
+                        let choices = std::mem::take(&mut succ.choices);
+                        crate::trace::StepSeed::from_run(succ.machine, &succ.result, choices)
+                    };
                     let mut next_sched = rotated.clone();
                     match &succ.result.outcome {
                         ExecOutcome::Error(e) => {
-                            let mut trace = parents.reconstruct(nfp);
-                            trace.push(step);
+                            let error = e.clone();
+                            let mut trace = parents.reconstruct(nfp, self.program());
+                            let choices = std::mem::take(&mut succ.choices);
+                            trace.push(TraceStep::from_run(
+                                self.program(),
+                                succ.machine,
+                                &succ.result,
+                                choices,
+                            ));
                             stats.duration = start.elapsed();
                             stats.unique_states = config_states.len();
                             stats.stored_bytes = config_states.stored_bytes();
                             return DelayReport {
                                 report: Report {
-                                    counterexample: Some(Counterexample {
-                                        error: e.clone(),
-                                        trace,
-                                    }),
+                                    counterexample: Some(Counterexample { error, trace }),
                                     stats,
                                     complete: false,
                                 },
@@ -186,18 +191,18 @@ impl Verifier<'_> {
                         }
                     }
 
-                    let bytes = succ.config.canonical_bytes();
+                    let (digest, len) = succ.config.digest_and_len();
                     // Bound check BEFORE marking visited: a successor
                     // dropped by `max_states` stays unvisited and
                     // uncounted instead of being hidden forever.
-                    if config_states.admit(Fingerprint::of(&bytes), bytes.len()) == Admit::OverBound
+                    if config_states.admit(Fingerprint::from_u128(digest), len) == Admit::OverBound
                     {
                         stats.truncated = true;
                         continue;
                     }
-                    let nfp2 = node_fingerprint(&bytes, &next_sched);
+                    let nfp2 = node_fingerprint(digest, &next_sched);
                     if node_seen.admit(nfp2, 0) == Admit::New {
-                        parents.record(nfp2, nfp, step);
+                        parents.record(nfp2, nfp, seed(&mut succ));
                         stack.push((succ.config, next_sched, nfp2, depth + 1));
                     }
                 }
@@ -219,8 +224,14 @@ impl Verifier<'_> {
     }
 }
 
-fn node_fingerprint(config_bytes: &[u8], sched: &SchedulerState) -> Fingerprint {
-    let mut bytes = config_bytes.to_vec();
+/// Fingerprints a (configuration, scheduler) node by hashing the
+/// configuration's 128-bit digest together with the scheduler encoding —
+/// the digest stands in for the canonical bytes (it is a collision-safe
+/// function of them), so the node key costs 16 bytes plus the scheduler
+/// annotation instead of a full re-encoding of the configuration.
+fn node_fingerprint(config_digest: u128, sched: &SchedulerState) -> Fingerprint {
+    let mut bytes = Vec::with_capacity(16 + 2 + sched.stack.len() * 4);
+    bytes.extend_from_slice(&config_digest.to_le_bytes());
     sched.encode(&mut bytes);
     Fingerprint::of(&bytes)
 }

@@ -14,13 +14,14 @@
 //!   remembered as explored, and `unique_states`/`stored_bytes` must
 //!   count exactly the states actually retained.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use parking_lot::Mutex;
 
-use crate::fingerprint::Fingerprint;
-use crate::trace::TraceStep;
+use crate::fingerprint::{Fingerprint, FpHashMap, FpHashSet};
+use crate::por::SleepSet;
+use crate::trace::{StepSeed, TraceStep};
 
 /// Outcome of offering a state to a visited set.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,10 +35,39 @@ pub(crate) enum Admit {
     OverBound,
 }
 
+/// Outcome of offering a state *with a sleep set* to a visited set
+/// (partial-order-reduced exploration).
+///
+/// With sleep sets, "visited" is not binary: a state explored with sleep
+/// set `S` had the runs of machines in `S` pruned, so a later visit with
+/// an incomparable sleep set may still owe the state some transitions.
+/// The classical sound rule (Godefroid): skip the revisit iff the stored
+/// sleep set is a **subset** of the new one (everything the new visit
+/// would explore, an earlier visit already did); otherwise re-explore
+/// with the **intersection** and store it. The stored set strictly
+/// shrinks on every re-exploration, so each state is re-expanded at most
+/// 64 times and termination is preserved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AdmitSleep {
+    /// Fresh state, now retained; expand it with the offered sleep set.
+    New,
+    /// Already explored with a sleep set ⊆ the offered one; skip.
+    Covered,
+    /// Already explored, but only with an incomparable sleep set:
+    /// re-expand with the carried (intersected) sleep set. The state is
+    /// *not* re-counted; diagnostics for it were already noted.
+    Widen(SleepSet),
+    /// The state bound is full (see [`Admit::OverBound`]).
+    OverBound,
+}
+
 /// A visited set with a state bound, counting only retained states.
 #[derive(Debug)]
 pub(crate) struct BoundedSet {
-    seen: HashSet<Fingerprint>,
+    seen: FpHashSet,
+    /// Sleep set each state was last explored with. Absent entry = empty
+    /// sleep set (fully explored) — the common case stays out of the map.
+    sleeps: FpHashMap<SleepSet>,
     stored_bytes: usize,
     max: usize,
 }
@@ -47,7 +77,8 @@ impl BoundedSet {
     /// initial state is always representable).
     pub(crate) fn new(max: usize) -> BoundedSet {
         BoundedSet {
-            seen: HashSet::new(),
+            seen: FpHashSet::default(),
+            sleeps: FpHashMap::default(),
             stored_bytes: 0,
             max: max.max(1),
         }
@@ -62,15 +93,54 @@ impl BoundedSet {
     /// Offers a state; `bytes_len` is the length of its canonical
     /// encoding, accounted only when the state is retained.
     pub(crate) fn admit(&mut self, fp: Fingerprint, bytes_len: usize) -> Admit {
-        if self.seen.contains(&fp) {
-            return Admit::Seen;
-        }
+        // Below the bound (the overwhelmingly common case) a single
+        // `insert` answers New-vs-Seen in one lookup. At the bound, fall
+        // back to `contains` so a dropped state is never marked visited.
         if self.seen.len() >= self.max {
+            if self.seen.contains(&fp) {
+                return Admit::Seen;
+            }
             return Admit::OverBound;
         }
-        self.seen.insert(fp);
-        self.stored_bytes += bytes_len;
-        Admit::New
+        if self.seen.insert(fp) {
+            self.stored_bytes += bytes_len;
+            Admit::New
+        } else {
+            Admit::Seen
+        }
+    }
+
+    /// Sleep-set-aware [`BoundedSet::admit`]; see [`AdmitSleep`] for the
+    /// revisit rule.
+    pub(crate) fn admit_sleep(
+        &mut self,
+        fp: Fingerprint,
+        bytes_len: usize,
+        sleep: SleepSet,
+    ) -> AdmitSleep {
+        // Mirror [`BoundedSet::admit`]: one lookup below the bound.
+        if self.seen.len() < self.max {
+            if self.seen.insert(fp) {
+                if sleep != SleepSet::empty() {
+                    self.sleeps.insert(fp, sleep);
+                }
+                self.stored_bytes += bytes_len;
+                return AdmitSleep::New;
+            }
+        } else if !self.seen.contains(&fp) {
+            return AdmitSleep::OverBound;
+        }
+        let old = self.sleeps.get(&fp).copied().unwrap_or_default();
+        if old.is_subset_of(sleep) {
+            return AdmitSleep::Covered;
+        }
+        let widened = old.intersect(sleep);
+        if widened == SleepSet::empty() {
+            self.sleeps.remove(&fp);
+        } else {
+            self.sleeps.insert(fp, widened);
+        }
+        AdmitSleep::Widen(widened)
     }
 
     /// Whether `fp` is retained as visited.
@@ -94,7 +164,7 @@ impl BoundedSet {
 /// keyed by fingerprint.
 #[derive(Debug, Default)]
 pub(crate) struct ParentMap {
-    map: HashMap<Fingerprint, (Fingerprint, TraceStep)>,
+    map: FpHashMap<(Fingerprint, StepSeed)>,
 }
 
 impl ParentMap {
@@ -103,15 +173,20 @@ impl ParentMap {
     }
 
     /// Records how `child` was first reached.
-    pub(crate) fn record(&mut self, child: Fingerprint, parent: Fingerprint, step: TraceStep) {
+    pub(crate) fn record(&mut self, child: Fingerprint, parent: Fingerprint, step: StepSeed) {
         self.map.insert(child, (parent, step));
     }
 
-    /// Walks the parent edges from the initial state to `state`.
-    pub(crate) fn reconstruct(&self, mut state: Fingerprint) -> Vec<TraceStep> {
+    /// Walks the parent edges from the initial state to `state`,
+    /// rendering the stored seeds into human-readable steps.
+    pub(crate) fn reconstruct(
+        &self,
+        mut state: Fingerprint,
+        program: &p_semantics::LoweredProgram,
+    ) -> Vec<TraceStep> {
         let mut steps = Vec::new();
         while let Some((parent, step)) = self.map.get(&state) {
-            steps.push(step.clone());
+            steps.push(step.render(program));
             state = *parent;
         }
         steps.reverse();
@@ -138,8 +213,10 @@ pub(crate) struct SharedTable {
 
 #[derive(Debug, Default)]
 struct Shard {
-    visited: HashSet<Fingerprint>,
-    parents: HashMap<Fingerprint, (Fingerprint, TraceStep)>,
+    visited: FpHashSet,
+    parents: FpHashMap<(Fingerprint, StepSeed)>,
+    /// Sleep set each state was last explored with (absent = empty).
+    sleeps: FpHashMap<SleepSet>,
 }
 
 impl SharedTable {
@@ -162,17 +239,19 @@ impl SharedTable {
         self.stored.fetch_add(bytes_len, Ordering::Relaxed);
     }
 
-    /// Offers a successor reached from `parent` by `step`. Exactly one
-    /// concurrent caller gets [`Admit::New`] for a given fingerprint and
-    /// must expand it; its parent edge is recorded before `New` is
-    /// returned, so any later error below this state reconstructs a
-    /// complete trace.
+    /// Offers a successor reached from `parent` by the step `step()`
+    /// builds. Exactly one concurrent caller gets [`Admit::New`] for a
+    /// given fingerprint and must expand it; its parent edge is recorded
+    /// before `New` is returned, so any later error below this state
+    /// reconstructs a complete trace. `step` is a closure so the step
+    /// construction (which moves the choice script) is skipped entirely
+    /// on the `Seen` fast path — the overwhelming majority of offers.
     pub(crate) fn admit(
         &self,
         fp: Fingerprint,
         bytes_len: usize,
         parent: Fingerprint,
-        step: TraceStep,
+        step: impl FnOnce() -> StepSeed,
     ) -> Admit {
         let mut shard = self.shards[fp.shard(SHARDS)].lock();
         if shard.visited.contains(&fp) {
@@ -188,9 +267,50 @@ impl SharedTable {
             return Admit::OverBound;
         }
         shard.visited.insert(fp);
-        shard.parents.insert(fp, (parent, step));
+        shard.parents.insert(fp, (parent, step()));
         self.stored.fetch_add(bytes_len, Ordering::Relaxed);
         Admit::New
+    }
+
+    /// Sleep-set-aware [`SharedTable::admit`]; see [`AdmitSleep`] for
+    /// the revisit rule. The whole decision happens under the shard
+    /// lock, so concurrent offers of the same state serialize and the
+    /// stored sleep set only ever shrinks.
+    pub(crate) fn admit_sleep(
+        &self,
+        fp: Fingerprint,
+        bytes_len: usize,
+        sleep: SleepSet,
+        parent: Fingerprint,
+        step: impl FnOnce() -> StepSeed,
+    ) -> AdmitSleep {
+        let mut shard = self.shards[fp.shard(SHARDS)].lock();
+        if shard.visited.contains(&fp) {
+            let old = shard.sleeps.get(&fp).copied().unwrap_or_default();
+            if old.is_subset_of(sleep) {
+                return AdmitSleep::Covered;
+            }
+            let widened = old.intersect(sleep);
+            if widened == SleepSet::empty() {
+                shard.sleeps.remove(&fp);
+            } else {
+                shard.sleeps.insert(fp, widened);
+            }
+            return AdmitSleep::Widen(widened);
+        }
+        let reserved = self.unique.fetch_add(1, Ordering::SeqCst);
+        if reserved >= self.max {
+            self.unique.fetch_sub(1, Ordering::SeqCst);
+            self.truncated.store(true, Ordering::SeqCst);
+            return AdmitSleep::OverBound;
+        }
+        shard.visited.insert(fp);
+        shard.parents.insert(fp, (parent, step()));
+        if sleep != SleepSet::empty() {
+            shard.sleeps.insert(fp, sleep);
+        }
+        self.stored.fetch_add(bytes_len, Ordering::Relaxed);
+        AdmitSleep::New
     }
 
     /// Retained states across all shards.
@@ -208,16 +328,21 @@ impl SharedTable {
         self.truncated.load(Ordering::SeqCst)
     }
 
-    /// Walks the parent edges from the initial state to `state`. Call
-    /// after the workers have quiesced; locks one shard per edge.
-    pub(crate) fn reconstruct(&self, mut state: Fingerprint) -> Vec<TraceStep> {
+    /// Walks the parent edges from the initial state to `state`,
+    /// rendering the stored seeds. Call after the workers have quiesced;
+    /// locks one shard per edge.
+    pub(crate) fn reconstruct(
+        &self,
+        mut state: Fingerprint,
+        program: &p_semantics::LoweredProgram,
+    ) -> Vec<TraceStep> {
         let mut steps = Vec::new();
         loop {
             let shard = self.shards[state.shard(SHARDS)].lock();
             match shard.parents.get(&state) {
                 None => break,
                 Some((parent, step)) => {
-                    steps.push(step.clone());
+                    steps.push(step.render(program));
                     state = *parent;
                 }
             }
@@ -312,13 +437,21 @@ mod tests {
         Fingerprint::of(&n.to_le_bytes())
     }
 
-    fn step(tag: &str) -> TraceStep {
-        TraceStep {
-            machine: MachineId(0),
-            summary: tag.to_owned(),
-            choices: Vec::new(),
-            fault: None,
-        }
+    /// A distinguishable parent edge: a quiescent run of machine `n`.
+    /// Rendered steps are told apart by their machine id.
+    fn step(n: u32) -> StepSeed {
+        StepSeed::test_blocked(MachineId(n))
+    }
+
+    /// Any program works for rendering machine-run steps; reconstruction
+    /// only needs names for event/machine-type lookups, which quiescent
+    /// runs never perform.
+    fn program() -> p_semantics::LoweredProgram {
+        let mut b = p_ast::ProgramBuilder::new();
+        let mut m = b.machine("M");
+        m.state("S").entry(p_ast::Stmt::block(vec![]));
+        m.finish();
+        p_semantics::lower(&b.finish("M")).unwrap()
     }
 
     #[test]
@@ -347,30 +480,108 @@ mod tests {
         assert_eq!(set.admit(fp(2), 10), Admit::Seen);
     }
 
+    fn sleep(ids: &[u32]) -> SleepSet {
+        let mut s = SleepSet::empty();
+        for &i in ids {
+            s.insert(MachineId(i));
+        }
+        s
+    }
+
+    /// The sleep-set revisit rule: covered iff stored ⊆ offered, else
+    /// widen to the intersection; the stored set strictly shrinks until
+    /// the state counts as fully explored.
+    #[test]
+    fn bounded_set_sleep_covered_and_widen() {
+        let mut set = BoundedSet::new(10);
+        assert_eq!(set.admit_sleep(fp(1), 4, sleep(&[1, 2])), AdmitSleep::New);
+        assert_eq!(
+            set.admit_sleep(fp(1), 4, sleep(&[1, 2])),
+            AdmitSleep::Covered
+        );
+        // Stored {1,2} ⊄ offered {1}: re-explore with the intersection.
+        assert_eq!(
+            set.admit_sleep(fp(1), 4, sleep(&[1])),
+            AdmitSleep::Widen(sleep(&[1]))
+        );
+        // Stored {1} ⊄ offered {3}: widen to ∅ — fully explored.
+        assert_eq!(
+            set.admit_sleep(fp(1), 4, sleep(&[3])),
+            AdmitSleep::Widen(SleepSet::empty())
+        );
+        assert_eq!(
+            set.admit_sleep(fp(1), 4, sleep(&[7])),
+            AdmitSleep::Covered,
+            "empty stored sleep covers every offer"
+        );
+        // The state is retained and counted exactly once throughout.
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.stored_bytes(), 4);
+        // The bound still holds for fresh states.
+        let mut tiny = BoundedSet::new(1);
+        assert_eq!(tiny.admit_sleep(fp(1), 4, sleep(&[])), AdmitSleep::New);
+        assert_eq!(
+            tiny.admit_sleep(fp(2), 4, sleep(&[])),
+            AdmitSleep::OverBound
+        );
+    }
+
+    #[test]
+    fn shared_table_sleep_covered_and_widen() {
+        let table = SharedTable::new(usize::MAX);
+        table.admit_root(fp(0), 0);
+        // Roots are stored with an empty sleep set: always covered.
+        assert_eq!(
+            table.admit_sleep(fp(0), 0, sleep(&[5]), fp(0), || step(9)),
+            AdmitSleep::Covered
+        );
+        assert_eq!(
+            table.admit_sleep(fp(1), 8, sleep(&[1, 2]), fp(0), || step(1)),
+            AdmitSleep::New
+        );
+        assert_eq!(
+            table.admit_sleep(fp(1), 8, sleep(&[2, 3]), fp(0), || step(1)),
+            AdmitSleep::Widen(sleep(&[2]))
+        );
+        assert_eq!(
+            table.admit_sleep(fp(1), 8, sleep(&[2, 4]), fp(0), || step(1)),
+            AdmitSleep::Covered
+        );
+        // Widening never re-counts the state.
+        assert_eq!(table.unique(), 2);
+        assert_eq!(table.stored_bytes(), 8);
+        // Parent edges recorded on first admit survive widening.
+        let trace = table.reconstruct(fp(1), &program());
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace[0].machine, MachineId(1));
+        assert_eq!(trace[0].summary, "ran to quiescence");
+    }
+
     #[test]
     fn parent_map_reconstructs_in_root_to_leaf_order() {
         let mut parents = ParentMap::new();
-        parents.record(fp(2), fp(1), step("a"));
-        parents.record(fp(3), fp(2), step("b"));
-        let trace = parents.reconstruct(fp(3));
-        let summaries: Vec<&str> = trace.iter().map(|s| s.summary.as_str()).collect();
-        assert_eq!(summaries, ["a", "b"]);
-        assert!(parents.reconstruct(fp(1)).is_empty());
+        parents.record(fp(2), fp(1), step(1));
+        parents.record(fp(3), fp(2), step(2));
+        let prog = program();
+        let trace = parents.reconstruct(fp(3), &prog);
+        let machines: Vec<MachineId> = trace.iter().map(|s| s.machine).collect();
+        assert_eq!(machines, [MachineId(1), MachineId(2)]);
+        assert!(parents.reconstruct(fp(1), &prog).is_empty());
     }
 
     #[test]
     fn shared_table_enforces_bound_without_poisoning() {
         let table = SharedTable::new(2);
         table.admit_root(fp(0), 8);
-        assert_eq!(table.admit(fp(1), 8, fp(0), step("a")), Admit::New);
-        assert_eq!(table.admit(fp(2), 8, fp(0), step("b")), Admit::OverBound);
+        assert_eq!(table.admit(fp(1), 8, fp(0), || step(1)), Admit::New);
+        assert_eq!(table.admit(fp(2), 8, fp(0), || step(2)), Admit::OverBound);
         assert!(table.truncated());
         assert_eq!(table.unique(), 2);
         assert_eq!(table.stored_bytes(), 16);
         // The dropped state was not marked visited.
-        assert_eq!(table.admit(fp(2), 8, fp(1), step("c")), Admit::OverBound);
+        assert_eq!(table.admit(fp(2), 8, fp(1), || step(3)), Admit::OverBound);
         // Retained states still dedup.
-        assert_eq!(table.admit(fp(1), 8, fp(0), step("a")), Admit::Seen);
+        assert_eq!(table.admit(fp(1), 8, fp(0), || step(1)), Admit::Seen);
     }
 
     #[test]
@@ -382,7 +593,7 @@ mod tests {
             for _ in 0..4 {
                 scope.spawn(|| {
                     for n in 1..500u32 {
-                        if table.admit(fp(n), 1, fp(0), step("s")) == Admit::New {
+                        if table.admit(fp(n), 1, fp(0), || step(0)) == Admit::New {
                             wins.fetch_add(1, Ordering::SeqCst);
                         }
                     }
@@ -398,11 +609,11 @@ mod tests {
     fn shared_table_reconstructs_traces() {
         let table = SharedTable::new(usize::MAX);
         table.admit_root(fp(0), 0);
-        table.admit(fp(1), 0, fp(0), step("a"));
-        table.admit(fp(2), 0, fp(1), step("b"));
-        let trace = table.reconstruct(fp(2));
-        let summaries: Vec<&str> = trace.iter().map(|s| s.summary.as_str()).collect();
-        assert_eq!(summaries, ["a", "b"]);
+        table.admit(fp(1), 0, fp(0), || step(1));
+        table.admit(fp(2), 0, fp(1), || step(2));
+        let trace = table.reconstruct(fp(2), &program());
+        let machines: Vec<MachineId> = trace.iter().map(|s| s.machine).collect();
+        assert_eq!(machines, [MachineId(1), MachineId(2)]);
     }
 
     #[test]

@@ -17,10 +17,10 @@ use p_semantics::{
     Config, Engine, ExecOutcome, ForeignEnv, Granularity, LoweredProgram, MachineId, PError,
 };
 
-use crate::engine::{Admit, BoundedSet, Frontier, ParentMap, SharedTable};
+use crate::engine::{Admit, AdmitSleep, BoundedSet, Frontier, ParentMap, SharedTable};
 use crate::fingerprint::Fingerprint;
+use crate::por::{Por, SleepSet};
 use crate::stats::ExplorationStats;
-use crate::succ::successors_for;
 use crate::trace::{Counterexample, TraceStep};
 
 /// Bounds and knobs for exploration.
@@ -40,6 +40,15 @@ pub struct CheckerOptions {
     /// sequential depth-first engine; `n > 1` selects the parallel
     /// work-stealing engine with `n` workers.
     pub jobs: usize,
+    /// Sleep-set partial-order reduction for the exhaustive engines
+    /// (sequential and parallel). Sound for safety: it prunes redundant
+    /// *transitions* between independent machine runs, never states —
+    /// every reachable state (and hence every reachable error) is still
+    /// visited, so the verdict and `unique_states` match the unreduced
+    /// search; only `transitions` shrinks. Ignored by the delay-bounded,
+    /// fault, liveness and random strategies, whose node spaces are
+    /// schedule-annotated. See DESIGN.md §10.
+    pub por: bool,
 }
 
 impl Default for CheckerOptions {
@@ -50,6 +59,7 @@ impl Default for CheckerOptions {
             granularity: Granularity::Atomic,
             fuel: 100_000,
             jobs: 1,
+            por: false,
         }
     }
 }
@@ -190,58 +200,121 @@ impl<'p> Verifier<'p> {
         let engine = self.engine();
         let start = Instant::now();
         let mut stats = ExplorationStats::default();
+        let por = self.options.por.then(|| Por::new(self.program));
 
-        let init = engine.initial_config();
-        let init_bytes = init.canonical_bytes();
-        let init_fp = Fingerprint::of(&init_bytes);
+        let mut init = engine.initial_config();
+        let (init_digest, init_len) = init.digest_and_len();
+        let init_fp = Fingerprint::from_u128(init_digest);
 
         let mut visited = BoundedSet::new(self.options.max_states);
-        visited.admit(init_fp, init_bytes.len());
+        visited.admit(init_fp, init_len);
         let mut parents = ParentMap::new();
 
-        let mut stack: Vec<(Config, Fingerprint, usize)> = vec![(init, init_fp, 0)];
+        // Stack entries carry the sleep set the state is to be expanded
+        // with and whether this is its first visit (`fresh`); with POR
+        // off, the sleep set stays empty and every visit is fresh.
+        let mut stack: Vec<(Config, Fingerprint, usize, SleepSet, bool)> =
+            vec![(init, init_fp, 0, SleepSet::empty(), true)];
+        let mut succs = Vec::new();
 
-        while let Some((config, fp, depth)) = stack.pop() {
+        while let Some((config, fp, depth, sleep, fresh)) = stack.pop() {
             stats.max_depth = stats.max_depth.max(depth);
             if depth >= self.options.max_depth {
                 stats.truncated = true;
                 continue;
             }
-            self.note_diagnostics(&engine, &config, &mut stats);
-            for id in engine.enabled_machines(&config) {
-                for succ in successors_for(&engine, &config, id, self.options.granularity) {
+            let enabled = engine.enabled_machines(&config);
+            if fresh {
+                // Diagnostics are per-state; a sleep-widening revisit
+                // must not double-count quiescence or queue peaks.
+                self.note_diagnostics(&config, &enabled, &mut stats);
+            }
+            // Machines explored at this state go to sleep for the ones
+            // after them (their interleavings are covered below the
+            // earlier siblings); `enabled_machines` returns ascending
+            // ids, so the accumulation order is deterministic.
+            let mut cur_sleep = sleep;
+            for id in enabled {
+                if cur_sleep.contains(id) {
+                    continue;
+                }
+                crate::succ::successors_into(
+                    &engine,
+                    &config,
+                    id,
+                    self.options.granularity,
+                    &mut succs,
+                );
+                for mut succ in succs.drain(..) {
                     stats.transitions += 1;
-                    let step = TraceStep::from_run(
-                        self.program,
-                        succ.machine,
-                        &succ.result,
-                        succ.choices.clone(),
-                    );
+                    // Parent edges store compact step seeds; only an
+                    // error path renders human-readable summaries.
+                    let seed = |succ: &mut crate::succ::Successor| {
+                        let choices = std::mem::take(&mut succ.choices);
+                        crate::trace::StepSeed::from_run(succ.machine, &succ.result, choices)
+                    };
                     if let ExecOutcome::Error(e) = &succ.result.outcome {
-                        let mut trace = parents.reconstruct(fp);
-                        trace.push(step);
+                        let error = e.clone();
+                        let mut trace = parents.reconstruct(fp, self.program);
+                        let choices = std::mem::take(&mut succ.choices);
+                        trace.push(TraceStep::from_run(
+                            self.program,
+                            succ.machine,
+                            &succ.result,
+                            choices,
+                        ));
                         stats.unique_states = visited.len();
                         stats.stored_bytes = visited.stored_bytes();
                         stats.duration = start.elapsed();
                         return Report {
-                            counterexample: Some(Counterexample {
-                                error: e.clone(),
-                                trace,
-                            }),
+                            counterexample: Some(Counterexample { error, trace }),
                             stats,
                             complete: false,
                         };
                     }
-                    let bytes = succ.config.canonical_bytes();
-                    let succ_fp = Fingerprint::of(&bytes);
-                    match visited.admit(succ_fp, bytes.len()) {
-                        Admit::New => {
-                            parents.record(succ_fp, fp, step);
-                            stack.push((succ.config, succ_fp, depth + 1));
+                    let (succ_digest, succ_len) = succ.config.digest_and_len();
+                    let succ_fp = Fingerprint::from_u128(succ_digest);
+                    match &por {
+                        None => match visited.admit(succ_fp, succ_len) {
+                            Admit::New => {
+                                parents.record(succ_fp, fp, seed(&mut succ));
+                                stack.push((
+                                    succ.config,
+                                    succ_fp,
+                                    depth + 1,
+                                    SleepSet::empty(),
+                                    true,
+                                ));
+                            }
+                            Admit::Seen => {}
+                            Admit::OverBound => stats.truncated = true,
+                        },
+                        Some(por) => {
+                            let taken = por.run_footprint(id, &succ.result);
+                            let child_sleep = por.filter_sleep(&config, cur_sleep, &taken);
+                            match visited.admit_sleep(succ_fp, succ_len, child_sleep) {
+                                AdmitSleep::New => {
+                                    let seed = seed(&mut succ);
+                                    parents.record(succ_fp, fp, seed);
+                                    stack.push((
+                                        succ.config,
+                                        succ_fp,
+                                        depth + 1,
+                                        child_sleep,
+                                        true,
+                                    ));
+                                }
+                                AdmitSleep::Covered => {}
+                                AdmitSleep::Widen(widened) => {
+                                    stack.push((succ.config, succ_fp, depth + 1, widened, false));
+                                }
+                                AdmitSleep::OverBound => stats.truncated = true,
+                            }
                         }
-                        Admit::Seen => {}
-                        Admit::OverBound => stats.truncated = true,
                     }
+                }
+                if por.is_some() {
+                    cur_sleep.insert(id);
                 }
             }
         }
@@ -260,14 +333,14 @@ impl<'p> Verifier<'p> {
     fn check_parallel(&self, jobs: usize) -> Report {
         let start = Instant::now();
 
-        let init = self.engine().initial_config();
-        let init_bytes = init.canonical_bytes();
-        let init_fp = Fingerprint::of(&init_bytes);
+        let mut init = self.engine().initial_config();
+        let (init_digest, init_len) = init.digest_and_len();
+        let init_fp = Fingerprint::from_u128(init_digest);
 
         let table = SharedTable::new(self.options.max_states);
-        table.admit_root(init_fp, init_bytes.len());
-        let frontier: Frontier<(Config, Fingerprint, usize)> =
-            Frontier::new(jobs, (init, init_fp, 0));
+        table.admit_root(init_fp, init_len);
+        let frontier: Frontier<Task> =
+            Frontier::new(jobs, (init, init_fp, 0, SleepSet::empty(), true));
         // First violation wins: (parent fingerprint, final step, error).
         let first_error: Mutex<Option<(Fingerprint, TraceStep, PError)>> = Mutex::new(None);
         let depth_truncated = AtomicBool::new(false);
@@ -299,7 +372,7 @@ impl<'p> Verifier<'p> {
         let counterexample = first_error.lock().take().map(|(parent_fp, step, error)| {
             // Workers have joined; the shared parents map is quiescent
             // and holds a complete root path for every admitted state.
-            let mut trace = table.reconstruct(parent_fp);
+            let mut trace = table.reconstruct(parent_fp, self.program);
             trace.push(step);
             Counterexample { error, trace }
         });
@@ -317,31 +390,44 @@ impl<'p> Verifier<'p> {
     fn expand_worker(
         &self,
         worker: usize,
-        frontier: &Frontier<(Config, Fingerprint, usize)>,
+        frontier: &Frontier<Task>,
         table: &SharedTable,
         first_error: &Mutex<Option<(Fingerprint, TraceStep, PError)>>,
         depth_truncated: &AtomicBool,
     ) -> ExplorationStats {
         let engine = self.engine();
         let mut stats = ExplorationStats::default();
-        'tasks: while let Some((config, fp, depth)) = frontier.next(worker) {
+        let por = self.options.por.then(|| Por::new(self.program));
+        let mut succs = Vec::new();
+        'tasks: while let Some((config, fp, depth, sleep, fresh)) = frontier.next(worker) {
             stats.max_depth = stats.max_depth.max(depth);
             if depth >= self.options.max_depth {
                 depth_truncated.store(true, Ordering::SeqCst);
                 frontier.task_done();
                 continue;
             }
-            self.note_diagnostics(&engine, &config, &mut stats);
-            for id in engine.enabled_machines(&config) {
-                for succ in successors_for(&engine, &config, id, self.options.granularity) {
+            let enabled = engine.enabled_machines(&config);
+            if fresh {
+                self.note_diagnostics(&config, &enabled, &mut stats);
+            }
+            let mut cur_sleep = sleep;
+            for id in enabled {
+                if cur_sleep.contains(id) {
+                    continue;
+                }
+                crate::succ::successors_into(
+                    &engine,
+                    &config,
+                    id,
+                    self.options.granularity,
+                    &mut succs,
+                );
+                for mut succ in succs.drain(..) {
                     stats.transitions += 1;
-                    let step = TraceStep::from_run(
-                        self.program,
-                        succ.machine,
-                        &succ.result,
-                        succ.choices.clone(),
-                    );
                     if let ExecOutcome::Error(e) = &succ.result.outcome {
+                        let choices = std::mem::take(&mut succ.choices);
+                        let step =
+                            TraceStep::from_run(self.program, succ.machine, &succ.result, choices);
                         let mut slot = first_error.lock();
                         if slot.is_none() {
                             *slot = Some((fp, step, e.clone()));
@@ -351,11 +437,40 @@ impl<'p> Verifier<'p> {
                         frontier.task_done();
                         break 'tasks;
                     }
-                    let bytes = succ.config.canonical_bytes();
-                    let succ_fp = Fingerprint::of(&bytes);
-                    if table.admit(succ_fp, bytes.len(), fp, step) == Admit::New {
-                        frontier.push(worker, (succ.config, succ_fp, depth + 1));
+                    let (succ_digest, succ_len) = succ.config.digest_and_len();
+                    let succ_fp = Fingerprint::from_u128(succ_digest);
+                    let choices = &mut succ.choices;
+                    let result = &succ.result;
+                    let step =
+                        || crate::trace::StepSeed::from_run(id, result, std::mem::take(choices));
+                    match &por {
+                        None => {
+                            if table.admit(succ_fp, succ_len, fp, step) == Admit::New {
+                                frontier.push(
+                                    worker,
+                                    (succ.config, succ_fp, depth + 1, SleepSet::empty(), true),
+                                );
+                            }
+                        }
+                        Some(por) => {
+                            let taken = por.run_footprint(id, result);
+                            let child_sleep = por.filter_sleep(&config, cur_sleep, &taken);
+                            match table.admit_sleep(succ_fp, succ_len, child_sleep, fp, step) {
+                                AdmitSleep::New => frontier.push(
+                                    worker,
+                                    (succ.config, succ_fp, depth + 1, child_sleep, true),
+                                ),
+                                AdmitSleep::Covered | AdmitSleep::OverBound => {}
+                                AdmitSleep::Widen(widened) => frontier.push(
+                                    worker,
+                                    (succ.config, succ_fp, depth + 1, widened, false),
+                                ),
+                            }
+                        }
                     }
+                }
+                if por.is_some() {
+                    cur_sleep.insert(id);
                 }
             }
             frontier.task_done();
@@ -364,13 +479,19 @@ impl<'p> Verifier<'p> {
     }
 }
 
+/// A unit of parallel work: the state, its fingerprint and depth, the
+/// sleep set to expand it with, and whether this is its first visit.
+type Task = (Config, Fingerprint, usize, SleepSet, bool);
+
 impl Verifier<'_> {
     /// Records queue-length and quiescence diagnostics for one visited
-    /// configuration.
+    /// configuration. `enabled` is the precomputed
+    /// [`Engine::enabled_machines`] list for `config`, so expansion and
+    /// diagnostics share one enabledness scan per state.
     pub(crate) fn note_diagnostics(
         &self,
-        engine: &Engine<'_>,
         config: &Config,
+        enabled: &[MachineId],
         stats: &mut ExplorationStats,
     ) {
         let mut pending = 0usize;
@@ -380,7 +501,7 @@ impl Verifier<'_> {
                 pending += m.queue.len();
             }
         }
-        if engine.enabled_machines(config).is_empty() {
+        if enabled.is_empty() {
             stats.quiescent_states += 1;
             if pending > 0 {
                 stats.stuck_states += 1;

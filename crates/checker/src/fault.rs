@@ -232,15 +232,15 @@ impl Verifier<'_> {
         let mut stats = ExplorationStats::default();
         let mut fault_transitions = 0usize;
 
-        let init = engine.initial_config();
-        let init_bytes = init.canonical_bytes();
+        let mut init = engine.initial_config();
+        let (init_digest, init_len) = init.digest_and_len();
 
         let mut config_states = BoundedSet::new(self.options().max_states);
-        config_states.admit(Fingerprint::of(&init_bytes), init_bytes.len());
+        config_states.admit(Fingerprint::from_u128(init_digest), init_len);
 
         // Node space = bounded configurations × budget+1 fault counts.
         let mut node_seen = BoundedSet::unbounded();
-        let init_node = node_fingerprint(&init_bytes, 0);
+        let init_node = node_fingerprint(init_digest, 0);
         node_seen.admit(init_node, 0);
 
         let mut parents = ParentMap::new();
@@ -275,44 +275,49 @@ impl Verifier<'_> {
                 stats.truncated = true;
                 continue;
             }
-            self.note_diagnostics(&engine, &config, &mut stats);
+            let enabled = engine.enabled_machines(&config);
+            self.note_diagnostics(&config, &enabled, &mut stats);
 
             // Machine transitions (fault count unchanged).
-            for id in engine.enabled_machines(&config) {
-                for succ in
+            for id in enabled {
+                for mut succ in
                     crate::succ::successors_for(&engine, &config, id, self.options().granularity)
                 {
                     stats.transitions += 1;
-                    let step = TraceStep::from_run(
-                        self.program(),
-                        succ.machine,
-                        &succ.result,
-                        succ.choices.clone(),
-                    );
+                    // Parent edges store compact step seeds; only an
+                    // error path renders human-readable summaries.
+                    let seed = |succ: &mut crate::succ::Successor| {
+                        let choices = std::mem::take(&mut succ.choices);
+                        crate::trace::StepSeed::from_run(succ.machine, &succ.result, choices)
+                    };
                     if let ExecOutcome::Error(e) = &succ.result.outcome {
-                        let mut trace = parents.reconstruct(nfp);
-                        trace.push(step);
+                        let error = e.clone();
+                        let mut trace = parents.reconstruct(nfp, self.program());
+                        let choices = std::mem::take(&mut succ.choices);
+                        trace.push(TraceStep::from_run(
+                            self.program(),
+                            succ.machine,
+                            &succ.result,
+                            choices,
+                        ));
                         return finish(
                             &mut stats,
-                            Some(Counterexample {
-                                error: e.clone(),
-                                trace,
-                            }),
+                            Some(Counterexample { error, trace }),
                             &node_seen,
                             &config_states,
                             fault_transitions,
                         );
                     }
-                    let bytes = succ.config.canonical_bytes();
+                    let (digest, len) = succ.config.digest_and_len();
                     // Bound check BEFORE marking visited (see engine.rs).
-                    if config_states.admit(Fingerprint::of(&bytes), bytes.len()) == Admit::OverBound
+                    if config_states.admit(Fingerprint::from_u128(digest), len) == Admit::OverBound
                     {
                         stats.truncated = true;
                         continue;
                     }
-                    let nfp2 = node_fingerprint(&bytes, used);
+                    let nfp2 = node_fingerprint(digest, used);
                     if node_seen.admit(nfp2, 0) == Admit::New {
-                        parents.record(nfp2, nfp, step);
+                        parents.record(nfp2, nfp, seed(&mut succ));
                         stack.push((succ.config, used, nfp2, depth + 1));
                     }
                 }
@@ -326,15 +331,14 @@ impl Verifier<'_> {
                 let mut faulted = config.clone();
                 FaultScheduler::apply(&decision, &mut faulted)
                     .expect("enumerated fault applies to its own configuration");
-                let step = TraceStep::from_fault(self.program(), &decision);
-                let bytes = faulted.canonical_bytes();
-                if config_states.admit(Fingerprint::of(&bytes), bytes.len()) == Admit::OverBound {
+                let (digest, len) = faulted.digest_and_len();
+                if config_states.admit(Fingerprint::from_u128(digest), len) == Admit::OverBound {
                     stats.truncated = true;
                     continue;
                 }
-                let nfp2 = node_fingerprint(&bytes, used + 1);
+                let nfp2 = node_fingerprint(digest, used + 1);
                 if node_seen.admit(nfp2, 0) == Admit::New {
-                    parents.record(nfp2, nfp, step);
+                    parents.record(nfp2, nfp, crate::trace::StepSeed::from_fault(&decision));
                     stack.push((faulted, used + 1, nfp2, depth + 1));
                 }
             }
@@ -350,9 +354,13 @@ impl Verifier<'_> {
     }
 }
 
-fn node_fingerprint(config_bytes: &[u8], used: usize) -> Fingerprint {
-    let mut bytes = config_bytes.to_vec();
-    bytes.extend_from_slice(&(used as u64).to_le_bytes());
+/// Fingerprints a (configuration, faults-used) node from the
+/// configuration's 128-bit incremental digest — 24 bytes hashed per node
+/// instead of a full canonical re-encoding.
+fn node_fingerprint(config_digest: u128, used: usize) -> Fingerprint {
+    let mut bytes = [0u8; 24];
+    bytes[..16].copy_from_slice(&config_digest.to_le_bytes());
+    bytes[16..].copy_from_slice(&(used as u64).to_le_bytes());
     Fingerprint::of(&bytes)
 }
 

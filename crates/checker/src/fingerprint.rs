@@ -12,19 +12,21 @@
 //! flip, which is the usual explicit-state-checker standard (cf. SPIN's
 //! hash-compaction analysis).
 //!
-//! The hash is SipHash-2-4 with the 128-bit output extension, keyed with
-//! fixed constants so fingerprints are stable across threads, runs and
-//! processes — parallel workers, replay tooling and persisted reports
-//! all agree on a state's identity. (`std`'s `DefaultHasher` guarantees
-//! neither algorithm nor cross-run stability.)
+//! The hash is SipHash-2-4 with the 128-bit output extension and a
+//! fixed key ([`p_semantics::hash`], where the implementation and its
+//! reference vectors live), so fingerprints are stable across threads,
+//! runs and processes — parallel workers, replay tooling and persisted
+//! reports all agree on a state's identity.
+//!
+//! Since the copy-on-write configuration refactor, the usual way to
+//! fingerprint a configuration is [`Fingerprint::from_u128`] over
+//! [`p_semantics::Config::digest`], which re-hashes only the machine
+//! that just ran; [`Fingerprint::of`] hashes raw bytes and remains for
+//! composite node keys (scheduler or fault annotations) and tests.
 
 use std::fmt;
 
-/// Fixed SipHash key. Any fixed key works; fingerprints only need to be
-/// deterministic, not adversary-proof — P programs do not choose their
-/// own state encodings adaptively.
-const KEY0: u64 = 0x0706_0504_0302_0100;
-const KEY1: u64 = 0x0f0e_0d0c_0b0a_0908;
+use p_semantics::hash::fingerprint128;
 
 /// A 128-bit state fingerprint, used as the visited-set and parent-map
 /// key by every exploration strategy.
@@ -34,7 +36,13 @@ pub struct Fingerprint(u128);
 impl Fingerprint {
     /// Fingerprints a canonical state encoding.
     pub fn of(bytes: &[u8]) -> Fingerprint {
-        Fingerprint(siphash_2_4_128(KEY0, KEY1, bytes))
+        Fingerprint(fingerprint128(bytes))
+    }
+
+    /// Wraps an already-computed 128-bit digest (the incremental
+    /// [`p_semantics::Config::digest`]).
+    pub fn from_u128(digest: u128) -> Fingerprint {
+        Fingerprint(digest)
     }
 
     /// The raw 128-bit value.
@@ -51,6 +59,38 @@ impl Fingerprint {
     }
 }
 
+/// Hash-map hasher for [`Fingerprint`] keys: the fingerprint is already
+/// a uniform SipHash-2-4-128 output, so re-hashing it with the standard
+/// library's SipHash-1-3 is pure overhead. This hasher passes the low 64
+/// bits through unchanged — the same trust in SipHash uniformity the
+/// shard router ([`Fingerprint::shard`]) already relies on (it uses the
+/// *high* bits, so shard choice and bucket choice stay independent).
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct FpHasher(u64);
+
+impl std::hash::Hasher for FpHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("FpHasher only accepts Fingerprint keys (write_u128)");
+    }
+
+    fn write_u128(&mut self, n: u128) {
+        self.0 = n as u64;
+    }
+}
+
+/// `BuildHasher` for [`FpHasher`].
+pub(crate) type FpBuildHasher = std::hash::BuildHasherDefault<FpHasher>;
+
+/// A `HashMap` keyed by fingerprints, skipping the redundant re-hash.
+pub(crate) type FpHashMap<V> = std::collections::HashMap<Fingerprint, V, FpBuildHasher>;
+
+/// A `HashSet` of fingerprints, skipping the redundant re-hash.
+pub(crate) type FpHashSet = std::collections::HashSet<Fingerprint, FpBuildHasher>;
+
 impl fmt::Debug for Fingerprint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Fingerprint({self})")
@@ -63,117 +103,21 @@ impl fmt::Display for Fingerprint {
     }
 }
 
-#[inline]
-fn sip_rounds(v: &mut [u64; 4], n: usize) {
-    for _ in 0..n {
-        v[0] = v[0].wrapping_add(v[1]);
-        v[1] = v[1].rotate_left(13);
-        v[1] ^= v[0];
-        v[0] = v[0].rotate_left(32);
-        v[2] = v[2].wrapping_add(v[3]);
-        v[3] = v[3].rotate_left(16);
-        v[3] ^= v[2];
-        v[0] = v[0].wrapping_add(v[3]);
-        v[3] = v[3].rotate_left(21);
-        v[3] ^= v[0];
-        v[2] = v[2].wrapping_add(v[1]);
-        v[1] = v[1].rotate_left(17);
-        v[1] ^= v[2];
-        v[2] = v[2].rotate_left(32);
-    }
-}
-
-/// SipHash-2-4 with the 128-bit output extension (the `SipHash-128` of
-/// the reference implementation): the low word is the standard 64-bit
-/// digest computed with the `0xee` initialization/finalization tweaks,
-/// the high word comes from four extra rounds after XORing `0xdd` into
-/// `v1`.
-fn siphash_2_4_128(k0: u64, k1: u64, data: &[u8]) -> u128 {
-    let mut v = [
-        k0 ^ 0x736f_6d65_7073_6575, // "somepseu"
-        k1 ^ 0x646f_7261_6e64_6f6d, // "dorandom"
-        k0 ^ 0x6c79_6765_6e65_7261, // "lygenera"
-        k1 ^ 0x7465_6462_7974_6573, // "tedbytes"
-    ];
-    v[1] ^= 0xee;
-
-    let mut chunks = data.chunks_exact(8);
-    for chunk in &mut chunks {
-        let m = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
-        v[3] ^= m;
-        sip_rounds(&mut v, 2);
-        v[0] ^= m;
-    }
-    let rest = chunks.remainder();
-    let mut last = [0u8; 8];
-    last[..rest.len()].copy_from_slice(rest);
-    last[7] = data.len() as u8;
-    let m = u64::from_le_bytes(last);
-    v[3] ^= m;
-    sip_rounds(&mut v, 2);
-    v[0] ^= m;
-
-    v[2] ^= 0xee;
-    sip_rounds(&mut v, 4);
-    let lo = v[0] ^ v[1] ^ v[2] ^ v[3];
-    v[1] ^= 0xdd;
-    sip_rounds(&mut v, 4);
-    let hi = v[0] ^ v[1] ^ v[2] ^ v[3];
-    (lo as u128) | ((hi as u128) << 64)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::collections::HashSet;
 
-    /// The digest as the reference implementation's 16 output bytes
-    /// (low word little-endian first, then the high word).
-    fn digest_bytes(data: &[u8]) -> [u8; 16] {
-        let d = siphash_2_4_128(KEY0, KEY1, data);
-        let mut out = [0u8; 16];
-        out[..8].copy_from_slice(&(d as u64).to_le_bytes());
-        out[8..].copy_from_slice(&((d >> 64) as u64).to_le_bytes());
-        out
-    }
-
-    #[test]
-    fn reference_test_vectors() {
-        // `vectors_sip128` of the SipHash reference implementation
-        // (github.com/veorq/SipHash): key 000102…0f, input 00 01 02 …
-        // of increasing length.
-        let expected: [[u8; 16]; 4] = [
-            [
-                0xa3, 0x81, 0x7f, 0x04, 0xba, 0x25, 0xa8, 0xe6, 0x6d, 0xf6, 0x72, 0x14, 0xc7, 0x55,
-                0x02, 0x93,
-            ],
-            [
-                0xda, 0x87, 0xc1, 0xd8, 0x6b, 0x99, 0xaf, 0x44, 0x34, 0x76, 0x59, 0x11, 0x9b, 0x22,
-                0xfc, 0x45,
-            ],
-            [
-                0x81, 0x77, 0x22, 0x8d, 0xa4, 0xa4, 0x5d, 0xc7, 0xfc, 0xa3, 0x8b, 0xde, 0xf6, 0x0a,
-                0xff, 0xe4,
-            ],
-            [
-                0x9c, 0x70, 0xb6, 0x0c, 0x52, 0x67, 0xa9, 0x4e, 0x5f, 0x33, 0xb6, 0xb0, 0x29, 0x85,
-                0xed, 0x51,
-            ],
-        ];
-        let input: Vec<u8> = (0..4).collect();
-        for (len, want) in expected.iter().enumerate() {
-            assert_eq!(
-                &digest_bytes(&input[..len]),
-                want,
-                "SipHash-2-4-128 vector for input length {len}"
-            );
-        }
-    }
-
     #[test]
     fn deterministic_across_calls() {
         let data = b"the same bytes fingerprint identically";
         assert_eq!(Fingerprint::of(data), Fingerprint::of(data));
+    }
+
+    #[test]
+    fn from_u128_round_trips() {
+        let fp = Fingerprint::of(b"probe");
+        assert_eq!(Fingerprint::from_u128(fp.as_u128()), fp);
     }
 
     #[test]
@@ -189,16 +133,6 @@ mod tests {
             }
         }
         assert_eq!(seen.len(), 1 + 256 + 256 * 256);
-    }
-
-    #[test]
-    fn length_extension_is_distinguished() {
-        // Trailing zero bytes must change the digest (the length byte in
-        // the final block guards the padding).
-        assert_ne!(Fingerprint::of(&[0]), Fingerprint::of(&[0, 0]));
-        assert_ne!(Fingerprint::of(&[]), Fingerprint::of(&[0]));
-        // And an 8-byte boundary does not fuse with its neighbor.
-        assert_ne!(Fingerprint::of(&[1; 8]), Fingerprint::of(&[1; 9]));
     }
 
     #[test]

@@ -14,7 +14,9 @@
 //! Strategies:
 //!
 //! * [`Verifier::check_exhaustive`] — full depth-first search (with depth
-//!   and state bounds);
+//!   and state bounds), optionally with sleep-set partial-order reduction
+//!   ([`CheckerOptions::por`]): same states and verdict, fewer redundant
+//!   transitions between independent machine runs;
 //! * [`Verifier::check_exhaustive_parallel`] — the same search with N
 //!   work-stealing worker threads over a sharded visited set; same
 //!   `unique_states` and verdict as the sequential engine;
@@ -65,6 +67,7 @@ mod explore;
 mod fault;
 mod fingerprint;
 mod liveness;
+mod por;
 mod random;
 mod replay;
 mod stats;

@@ -246,11 +246,11 @@ impl Verifier<'_> {
         let engine = self.engine();
         let mut stats = ExplorationStats::default();
 
-        let init = engine.initial_config();
-        let init_bytes = init.canonical_bytes();
+        let mut init = engine.initial_config();
         let mut index: HashMap<Fingerprint, usize> = HashMap::new();
-        index.insert(Fingerprint::of(&init_bytes), 0);
-        stats.stored_bytes += init_bytes.len();
+        let (init_digest, init_len) = init.digest_and_len();
+        index.insert(Fingerprint::from_u128(init_digest), 0);
+        stats.stored_bytes += init_len;
 
         let mut graph = Graph {
             configs: vec![init],
@@ -265,19 +265,18 @@ impl Verifier<'_> {
             }
             let config = graph.configs[n].clone();
             for id in engine.enabled_machines(&config) {
-                for succ in successors_for(&engine, &config, id, self.options().granularity) {
+                for mut succ in successors_for(&engine, &config, id, self.options().granularity) {
                     stats.transitions += 1;
                     if matches!(succ.result.outcome, ExecOutcome::Error(_)) {
                         continue; // terminal for liveness purposes
                     }
-                    let bytes = succ.config.canonical_bytes();
-                    let h = Fingerprint::of(&bytes);
+                    let h = Fingerprint::from_u128(succ.config.digest());
                     let to = match index.get(&h) {
                         Some(&i) => i,
                         None => {
                             let i = graph.configs.len();
                             index.insert(h, i);
-                            stats.stored_bytes += bytes.len();
+                            stats.stored_bytes += succ.config.encoded_len();
                             graph.configs.push(succ.config);
                             graph.edges.push(Vec::new());
                             worklist.push(i);

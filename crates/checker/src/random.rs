@@ -32,7 +32,7 @@ impl Verifier<'_> {
         for _ in 0..walks {
             let mut config = engine.initial_config();
             let mut trace: Vec<TraceStep> = Vec::new();
-            seen.insert(Fingerprint::of(&config.canonical_bytes()));
+            seen.insert(Fingerprint::from_u128(config.digest()));
 
             for depth in 0..max_steps {
                 stats.max_depth = stats.max_depth.max(depth);
@@ -65,7 +65,7 @@ impl Verifier<'_> {
                         complete: false,
                     };
                 }
-                seen.insert(Fingerprint::of(&config.canonical_bytes()));
+                seen.insert(Fingerprint::from_u128(config.digest()));
             }
         }
 

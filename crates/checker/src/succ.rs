@@ -1,7 +1,7 @@
 //! Successor generation: all outcomes of running one machine from one
 //! configuration, across every resolution of its ghost `*` choices.
 
-use p_semantics::{Config, Engine, ExecOutcome, Granularity, MachineId, RunResult, Script};
+use p_semantics::{ChoiceSource, Config, Engine, ExecOutcome, Granularity, MachineId, RunResult};
 
 /// One successor: the configuration after running `machine` with choice
 /// script `choices`.
@@ -13,10 +13,39 @@ pub(crate) struct Successor {
     pub result: RunResult,
 }
 
+/// A choice script that never exhausts: past its recorded bits it
+/// answers `false` and keeps counting. A run driven by it always
+/// completes, and `used` afterwards tells how long the *actual* script
+/// was — the recorded prefix plus implicit `false`s.
+struct PaddedScript<'a> {
+    bits: &'a [bool],
+    used: usize,
+}
+
+impl ChoiceSource for PaddedScript<'_> {
+    fn next_choice(&mut self) -> Option<bool> {
+        let bit = self.bits.get(self.used).copied().unwrap_or(false);
+        self.used += 1;
+        Some(bit)
+    }
+}
+
 /// Enumerates all atomic runs of `machine` from `config`: one successor
-/// per complete ghost-choice script. A run that requests a choice beyond
-/// its script is re-executed with the script extended both ways, so the
-/// enumeration is exhaustive.
+/// per complete ghost-choice script.
+///
+/// The enumeration backtracks over a single reusable script buffer
+/// instead of keeping a worklist of cloned scripts. Each run is driven
+/// by a [`PaddedScript`] — `false` past the end of the buffer — so a run
+/// that hits fresh choice points completes in that same execution
+/// (descending into the all-`false` subtree) instead of aborting with
+/// `NeedChoice` and re-running; the buffer is then extended to the bits
+/// actually consumed. Backtracking pops trailing `true`s and flips the
+/// last `false` to `true`. Determinism makes this sound: two runs from
+/// the same configuration consume identical prefixes, so the flipped bit
+/// is reached again, and `used` only ever grows past the buffer. The
+/// enumeration thus costs exactly one `run_machine`, one config clone
+/// and one script allocation per successor, and emits in lexicographic
+/// (`false < true`) order.
 pub(crate) fn successors_for(
     engine: &Engine<'_>,
     config: &Config,
@@ -24,32 +53,55 @@ pub(crate) fn successors_for(
     granularity: Granularity,
 ) -> Vec<Successor> {
     let mut out = Vec::new();
-    // Depth-first over scripts; `false` is explored first for determinism.
-    let mut pending: Vec<Vec<bool>> = vec![Vec::new()];
-    while let Some(script) = pending.pop() {
+    successors_into(engine, config, machine, granularity, &mut out);
+    out
+}
+
+/// [`successors_for`] into a caller-owned buffer, so the per-state
+/// expansion loops can reuse one allocation across the whole search.
+pub(crate) fn successors_into(
+    engine: &Engine<'_>,
+    config: &Config,
+    machine: MachineId,
+    granularity: Granularity,
+    out: &mut Vec<Successor>,
+) {
+    let mut script: Vec<bool> = Vec::new();
+    loop {
         let mut candidate = config.clone();
-        let mut source = Script::new(&script);
+        let mut source = PaddedScript {
+            bits: &script,
+            used: 0,
+        };
         let result = engine.run_machine(&mut candidate, machine, &mut source, granularity);
-        match result.outcome {
-            ExecOutcome::NeedChoice => {
-                let mut t = script.clone();
-                t.push(true);
-                pending.push(t);
-                let mut f = script;
-                f.push(false);
-                pending.push(f);
+        let used = source.used;
+        debug_assert!(
+            !matches!(result.outcome, ExecOutcome::NeedChoice),
+            "a padded script never exhausts"
+        );
+        debug_assert!(
+            used >= script.len(),
+            "prefix replay must consume the script"
+        );
+        script.resize(used, false);
+        out.push(Successor {
+            config: candidate,
+            machine,
+            choices: script.clone(),
+            result,
+        });
+        // Backtrack to the next unexplored branch.
+        loop {
+            match script.pop() {
+                None => return,
+                Some(false) => {
+                    script.push(true);
+                    break;
+                }
+                Some(true) => {}
             }
-            _ => out.push(Successor {
-                config: candidate,
-                machine,
-                choices: script,
-                result,
-            }),
         }
     }
-    // Deterministic order regardless of the pending-stack discipline.
-    out.sort_by(|a, b| a.choices.cmp(&b.choices));
-    out
 }
 
 #[cfg(test)]
@@ -88,6 +140,11 @@ mod tests {
         let config = engine.initial_config();
         let succs = successors_for(&engine, &config, MachineId(0), Granularity::Atomic);
         assert_eq!(succs.len(), 4);
+        // Deterministic lexicographic emission, no post-sort needed.
+        assert!(
+            succs.windows(2).all(|w| w[0].choices < w[1].choices),
+            "successors must come out in script order"
+        );
         let mut values: Vec<i64> = succs
             .iter()
             .map(|s| {

@@ -577,3 +577,154 @@ fn replayed_delay_traces_match_recorded_length() {
     // And the last-good prefix is reachable.
     assert!(verifier.replay_to_last_good(&cx).is_some());
 }
+
+/// Two workers that, once kicked off by Env, only ever self-send: their
+/// runs are pairwise independent, so sleep sets can prune the redundant
+/// interleavings between them while visiting every state.
+const INDEPENDENT_WORKERS: &str = r#"
+    event go;
+
+    machine Worker {
+        var n : int;
+        state Idle {
+            entry { n := 0; }
+            on go goto Work;
+        }
+        state Work {
+            entry {
+                n := n + 1;
+                if (n < 4) { send(this, go); }
+            }
+            on go goto Work;
+        }
+    }
+
+    ghost machine Env {
+        var a : id;
+        var b : id;
+        state E {
+            entry {
+                a := new Worker();
+                b := new Worker();
+                send(a, go);
+                send(b, go);
+            }
+            defer go;
+        }
+    }
+
+    main Env();
+"#;
+
+fn por_options() -> CheckerOptions {
+    CheckerOptions {
+        por: true,
+        ..CheckerOptions::default()
+    }
+}
+
+#[test]
+fn por_visits_every_state_with_fewer_transitions() {
+    let p = lowered(INDEPENDENT_WORKERS);
+    let full = Verifier::new(&p).check_exhaustive();
+    let reduced = Verifier::new(&p)
+        .with_options(por_options())
+        .check_exhaustive();
+    assert!(full.passed() && full.complete);
+    assert!(reduced.passed() && reduced.complete);
+    // Sleep sets prune transitions, never states.
+    assert_eq!(full.stats.unique_states, reduced.stats.unique_states);
+    assert_eq!(full.stats.stored_bytes, reduced.stats.stored_bytes);
+    assert!(
+        reduced.stats.transitions < full.stats.transitions,
+        "independent workers must yield an actual reduction: {} !< {}",
+        reduced.stats.transitions,
+        full.stats.transitions
+    );
+    // Diagnostics are per-state and must not drift under re-visits.
+    assert_eq!(full.stats.quiescent_states, reduced.stats.quiescent_states);
+    assert_eq!(full.stats.stuck_states, reduced.stats.stuck_states);
+}
+
+#[test]
+fn por_agrees_with_full_exploration_on_racy_program() {
+    // RACE's senders share the boss, so their sends are dependent — but
+    // a sender's trailing "finish the entry after the send" run touches
+    // only the sender itself and may legitimately be slept. States must
+    // match exactly; transitions may only shrink.
+    let src = RACE.replace("assert(arg == 1)", "assert(arg > 0)");
+    let p = lowered(&src);
+    let full = Verifier::new(&p).check_exhaustive();
+    let reduced = Verifier::new(&p)
+        .with_options(por_options())
+        .check_exhaustive();
+    assert!(full.passed() && full.complete && reduced.passed() && reduced.complete);
+    assert_eq!(full.stats.unique_states, reduced.stats.unique_states);
+    assert!(reduced.stats.transitions <= full.stats.transitions);
+}
+
+#[test]
+fn por_is_exact_when_only_one_machine_is_ever_enabled() {
+    // A single self-driving machine has no independence to exploit: the
+    // reduced search must coincide with the full one transition for
+    // transition.
+    let src = r#"
+        event tick;
+        machine Solo {
+            var n : int;
+            state Init {
+                entry { n := 0; send(this, tick); }
+                on tick goto S;
+            }
+            state S {
+                entry {
+                    n := n + 1;
+                    if (n < 5) { send(this, tick); }
+                }
+                on tick goto S;
+            }
+        }
+        main Solo();
+    "#;
+    let p = lowered(src);
+    let full = Verifier::new(&p).check_exhaustive();
+    let reduced = Verifier::new(&p)
+        .with_options(por_options())
+        .check_exhaustive();
+    assert!(full.passed() && full.complete && reduced.passed() && reduced.complete);
+    assert_eq!(full.stats.unique_states, reduced.stats.unique_states);
+    assert_eq!(full.stats.transitions, reduced.stats.transitions);
+}
+
+#[test]
+fn por_preserves_the_race_and_its_trace_replays() {
+    let p = lowered(RACE);
+    let verifier = Verifier::new(&p).with_options(por_options());
+    let report = verifier.check_exhaustive();
+    let cx = report
+        .counterexample
+        .expect("race must survive the reduction");
+    assert_eq!(cx.error.kind, ErrorKind::AssertionFailure);
+    assert!(verifier.replay(&cx).reproduced(), "{cx}");
+}
+
+#[test]
+fn por_parallel_matches_por_sequential() {
+    let p = lowered(INDEPENDENT_WORKERS);
+    let sequential = Verifier::new(&p)
+        .with_options(por_options())
+        .check_exhaustive();
+    for jobs in [2, 4] {
+        let options = CheckerOptions {
+            jobs,
+            ..por_options()
+        };
+        let parallel = Verifier::new(&p).with_options(options).check_exhaustive();
+        assert!(parallel.passed() && parallel.complete, "jobs={jobs}");
+        assert_eq!(
+            sequential.stats.unique_states, parallel.stats.unique_states,
+            "jobs={jobs}"
+        );
+        assert_eq!(sequential.stats.stored_bytes, parallel.stats.stored_bytes);
+    }
+}

@@ -2,7 +2,9 @@
 
 use std::fmt;
 
-use p_semantics::{ExecOutcome, LoweredProgram, MachineId, PError, RunResult, YieldKind};
+use p_semantics::{
+    EventId, ExecOutcome, LoweredProgram, MachineId, MachineTypeId, PError, RunResult, YieldKind,
+};
 
 use crate::fault::{FaultDecision, FaultKind};
 
@@ -82,6 +84,127 @@ impl TraceStep {
             summary,
             choices: Vec::new(),
             fault: Some(*decision),
+        }
+    }
+}
+
+/// Allocation-light record of how a state was first reached, stored per
+/// visited state in the parent maps. Rendering the human-readable
+/// [`TraceStep`] allocates a formatted summary string; a passing
+/// exploration records hundreds of thousands of these and renders none,
+/// so the maps keep this compact seed and [`StepSeed::render`] runs only
+/// along the single reconstructed counterexample path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct StepSeed {
+    machine: MachineId,
+    kind: StepKind,
+    choices: Vec<bool>,
+}
+
+/// What the recorded atomic run (or fault injection) did — the
+/// summary-relevant projection of [`ExecOutcome`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StepKind {
+    Sent {
+        to: MachineId,
+        event: EventId,
+        enqueued: bool,
+    },
+    Created {
+        id: MachineId,
+        ty: MachineTypeId,
+    },
+    Internal,
+    Blocked,
+    Deleted,
+    Fault(FaultDecision),
+}
+
+impl StepSeed {
+    /// Captures a non-error run result. Error and `NeedChoice` outcomes
+    /// never enter a parent map — the search returns (or retries) before
+    /// recording them — and are rendered eagerly via
+    /// [`TraceStep::from_run`] instead.
+    pub(crate) fn from_run(machine: MachineId, result: &RunResult, choices: Vec<bool>) -> StepSeed {
+        let kind = match &result.outcome {
+            ExecOutcome::Yield(YieldKind::Sent {
+                to,
+                event,
+                enqueued,
+            }) => StepKind::Sent {
+                to: *to,
+                event: *event,
+                enqueued: *enqueued,
+            },
+            ExecOutcome::Yield(YieldKind::Created { id, ty }) => {
+                StepKind::Created { id: *id, ty: *ty }
+            }
+            ExecOutcome::Yield(YieldKind::Internal) => StepKind::Internal,
+            ExecOutcome::Blocked => StepKind::Blocked,
+            ExecOutcome::Deleted => StepKind::Deleted,
+            ExecOutcome::Error(_) | ExecOutcome::NeedChoice => {
+                unreachable!("error/incomplete runs are never recorded as parent edges")
+            }
+        };
+        StepSeed {
+            machine,
+            kind,
+            choices,
+        }
+    }
+
+    /// A minimal seed for table tests: a quiescent run of `machine`,
+    /// distinguishable by machine id after rendering.
+    #[cfg(test)]
+    pub(crate) fn test_blocked(machine: MachineId) -> StepSeed {
+        StepSeed {
+            machine,
+            kind: StepKind::Blocked,
+            choices: Vec::new(),
+        }
+    }
+
+    /// Captures an injected environment fault.
+    pub(crate) fn from_fault(decision: &FaultDecision) -> StepSeed {
+        StepSeed {
+            machine: decision.machine,
+            kind: StepKind::Fault(*decision),
+            choices: Vec::new(),
+        }
+    }
+
+    /// Renders the human-readable step. Summaries match what
+    /// [`TraceStep::from_run`]/[`TraceStep::from_fault`] produce for the
+    /// same outcome.
+    pub(crate) fn render(&self, program: &LoweredProgram) -> TraceStep {
+        let summary = match self.kind {
+            StepKind::Sent {
+                to,
+                event,
+                enqueued,
+            } => format!(
+                "sent {} to {}{}",
+                program.event_name(event),
+                to,
+                if enqueued {
+                    ""
+                } else {
+                    " (duplicate, dropped)"
+                }
+            ),
+            StepKind::Created { id, ty } => {
+                format!("created {} of type {}", id, program.machine_name(ty))
+            }
+            StepKind::Internal => "internal step".to_owned(),
+            StepKind::Blocked => "ran to quiescence".to_owned(),
+            StepKind::Deleted => "deleted itself".to_owned(),
+            StepKind::Fault(decision) => return TraceStep::from_fault(program, &decision),
+        };
+        TraceStep {
+            machine: self.machine,
+            summary,
+            choices: self.choices.clone(),
+            fault: None,
         }
     }
 }

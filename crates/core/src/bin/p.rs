@@ -4,7 +4,7 @@
 //! p check FILE                      parse + static checks
 //! p fmt FILE                        print the normalized program
 //! p info FILE                       machines / states / transitions
-//! p verify FILE [--delay N] [--max-states N] [--fine] [--jobs N]
+//! p verify FILE [--delay N] [--max-states N] [--fine] [--jobs N] [--por]
 //!              [--faults N] [--fault-kinds drop,dup,delay]
 //! p liveness FILE                   bounded liveness check (§3.2)
 //! p run FILE MACHINE EVENT[:INT]... create a machine and feed it events
@@ -56,7 +56,7 @@ fn usage() -> String {
      p check FILE                      parse + static checks\n\
      p fmt FILE                        print the normalized program\n\
      p info FILE                       machines / states / transitions\n\
-     p verify FILE [--delay N] [--max-states N] [--fine] [--jobs N]\n\
+     p verify FILE [--delay N] [--max-states N] [--fine] [--jobs N] [--por]\n\
                    [--faults N] [--fault-kinds drop,dup,delay]\n\
      p liveness FILE                   bounded liveness check\n\
      p run FILE MACHINE EVENT[:INT]... create a machine, feed it events\n\
@@ -171,6 +171,10 @@ fn verify(args: &[String]) -> Result<(), String> {
                     return Err("--jobs must be at least 1".to_owned());
                 }
             }
+            "--por" => {
+                options.por = true;
+                i += 1;
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -184,6 +188,11 @@ fn verify(args: &[String]) -> Result<(), String> {
     }
     if faults.is_none() && !fault_kinds.is_empty() {
         return Err("--fault-kinds needs --faults N".to_owned());
+    }
+    if options.por && (delay.is_some() || faults.is_some()) {
+        return Err(
+            "--por applies to the exhaustive search only (not --delay/--faults)".to_owned(),
+        );
     }
 
     let verifier = compiled.verifier().with_options(options);

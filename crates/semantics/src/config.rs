@@ -6,8 +6,35 @@
 //! executed, and an input queue. This module represents those pieces in a
 //! form that is cheap to clone (for search branching) and to serialize
 //! (for explicit-state deduplication).
+//!
+//! Two representation choices make exploration cost proportional to what
+//! a step actually changes rather than to the whole configuration:
+//!
+//! * **copy-on-write machines** — each machine lives behind an
+//!   [`Arc`], so cloning a configuration for a search branch is
+//!   O(#machines) refcount bumps and the first mutation of a machine
+//!   after a branch ([`Arc::make_mut`] inside [`Config::machine_mut`])
+//!   copies only that one machine;
+//! * **incremental digests** — each slot caches the 128-bit SipHash of
+//!   its canonical encoding (plus the encoding's length), invalidated
+//!   only when that machine is touched, so fingerprinting a successor
+//!   re-hashes one machine instead of re-encoding the world
+//!   ([`Config::digest`]).
 
+use std::cell::RefCell;
 use std::fmt;
+use std::sync::Arc;
+
+use crate::hash::fingerprint128;
+
+thread_local! {
+    /// Scratch buffer for the digest hot path: one machine encoding
+    /// buffer per thread, reused across the millions of transitions an
+    /// exploration hashes, so the per-transition digest never allocates.
+    /// Thread-local (not per-`Config`) so it is not dragged through
+    /// `Clone`/`PartialEq` and stays sound across threads.
+    static SLOT_SCRATCH: RefCell<Vec<u8>> = RefCell::new(Vec::with_capacity(256));
+}
 
 use crate::lower::{ActionId, EventId, LoweredProgram, MachineTypeId, StateId, StmtId};
 use crate::value::Value;
@@ -235,9 +262,25 @@ impl MachineState {
 /// A global configuration: every machine created so far, with deleted
 /// machines remembered as `None` (so that sends to them are detected as
 /// errors, rule SEND-FAIL2).
-#[derive(Debug, Clone, PartialEq, Default)]
+///
+/// Machines are stored behind [`Arc`]s and mutated copy-on-write via
+/// [`Config::machine_mut`]; equality and the canonical encoding are
+/// functions of the machine contents only (the digest cache is ignored).
+#[derive(Debug, Clone, Default)]
 pub struct Config {
-    machines: Vec<Option<MachineState>>,
+    machines: Vec<Option<Arc<MachineState>>>,
+    /// Per-slot digest cache: the 128-bit hash of the slot's canonical
+    /// encoding and that encoding's byte length. `None` after the slot
+    /// was mutated (or never hashed). Kept in lock-step with `machines`.
+    digests: Vec<Option<(u128, u32)>>,
+}
+
+impl PartialEq for Config {
+    fn eq(&self, other: &Config) -> bool {
+        // The digest cache is derived data; two configurations are equal
+        // iff their machines are.
+        self.machines == other.machines
+    }
 }
 
 impl Config {
@@ -259,7 +302,8 @@ impl Config {
             pending: None,
             queue: Vec::new(),
         };
-        self.machines.push(Some(state));
+        self.machines.push(Some(Arc::new(state)));
+        self.digests.push(None);
         MachineId((self.machines.len() - 1) as u32)
     }
 
@@ -279,14 +323,39 @@ impl Config {
 
     /// Looks up a live machine.
     pub fn machine(&self, id: MachineId) -> Option<&MachineState> {
-        self.machines.get(id.0 as usize).and_then(|m| m.as_ref())
+        self.machines.get(id.0 as usize).and_then(|m| m.as_deref())
     }
 
-    /// Mutable lookup of a live machine.
+    /// Mutable lookup of a live machine. Copy-on-write: if the machine is
+    /// shared with another configuration (a search sibling), only this
+    /// one machine is cloned — everything else stays shared. The slot's
+    /// cached digest is invalidated.
     pub fn machine_mut(&mut self, id: MachineId) -> Option<&mut MachineState> {
-        self.machines
-            .get_mut(id.0 as usize)
-            .and_then(|m| m.as_mut())
+        let i = id.0 as usize;
+        let slot = self.machines.get_mut(i)?.as_mut()?;
+        self.digests[i] = None;
+        Some(Arc::make_mut(slot))
+    }
+
+    /// Takes machine `id` out of its slot for the duration of an atomic
+    /// run, leaving a temporary tombstone and invalidating the cached
+    /// digest. [`Engine::run_machine`] pairs this with
+    /// [`Config::restore_machine`] so the interpreter's small-step loop
+    /// works on a direct `&mut MachineState` instead of re-resolving the
+    /// slot (bounds check, liveness check, `Arc::make_mut`) on every
+    /// step. While taken, the running machine is invisible to slot
+    /// lookups — the interpreter special-cases self-sends.
+    pub(crate) fn take_machine(&mut self, id: MachineId) -> Option<Arc<MachineState>> {
+        let i = id.0 as usize;
+        let taken = self.machines.get_mut(i)?.take()?;
+        self.digests[i] = None;
+        Some(taken)
+    }
+
+    /// Puts a machine taken with [`Config::take_machine`] back into its
+    /// slot. The digest stays invalidated — the run mutated the state.
+    pub(crate) fn restore_machine(&mut self, id: MachineId, state: Arc<MachineState>) {
+        self.machines[id.0 as usize] = Some(state);
     }
 
     /// Removes machine `id` (the `delete` statement). Its slot stays
@@ -294,6 +363,7 @@ impl Config {
     pub fn delete(&mut self, id: MachineId) {
         if let Some(slot) = self.machines.get_mut(id.0 as usize) {
             *slot = None;
+            self.digests[id.0 as usize] = None;
         }
     }
 
@@ -363,6 +433,116 @@ impl Config {
             }
         }
         out
+    }
+
+    /// The slot digest and encoded length of slot `i`, computed from
+    /// scratch. Tombstones digest their tag byte alone so a deleted slot
+    /// is distinguished from every live one.
+    fn slot_digest(slot: &Option<Arc<MachineState>>) -> (u128, u32) {
+        match slot {
+            None => (fingerprint128(&[0]), 0),
+            Some(state) => SLOT_SCRATCH.with(|buf| {
+                let mut bytes = buf.borrow_mut();
+                bytes.clear();
+                bytes.push(1);
+                state.encode(&mut bytes);
+                (fingerprint128(&bytes), (bytes.len() - 1) as u32)
+            }),
+        }
+    }
+
+    /// Fills every missing entry of the digest cache.
+    fn fill_digests(&mut self) {
+        for (i, cached) in self.digests.iter_mut().enumerate() {
+            if cached.is_none() {
+                *cached = Some(Config::slot_digest(&self.machines[i]));
+            }
+        }
+    }
+
+    /// Combines per-slot digests into the global one: an order-sensitive
+    /// polynomial fold over the digest sequence,
+    /// `acc = acc·P + hᵢ (mod 2¹²⁸)`, seeded with the slot count.
+    ///
+    /// `P` is odd, so every power of `P` is invertible mod 2¹²⁸ and two
+    /// sequences of the same length collide only when the (nonzero)
+    /// difference polynomial vanishes — for slot digests that are
+    /// already uniform SipHash outputs this is the same ~2⁻¹²⁸ event as
+    /// a direct hash collision. Tombstones fold a fixed tag so a deleted
+    /// slot is distinguished from every live one, and the count seed
+    /// separates sequences of different lengths. This replaces
+    /// re-hashing a count·17-byte concatenation per transition with
+    /// ~`count` multiplications.
+    fn combine_digests(digests: impl Iterator<Item = (bool, u128)>, count: usize) -> u128 {
+        const P: u128 = 0x9e37_79b9_7f4a_7c15_f39c_c060_5ced_c835;
+        const TOMBSTONE: u128 = 0x5851_f42d_4c95_7f2d_1405_7b7e_f767_814f;
+        let mut acc = (count as u128).wrapping_mul(P);
+        for (live, digest) in digests {
+            let h = if live { digest } else { TOMBSTONE };
+            acc = acc.wrapping_mul(P).wrapping_add(h);
+        }
+        // Final avalanche so trailing-slot edits disperse into the high
+        // bits (the parallel engine routes shards by them).
+        acc ^= acc >> 71;
+        acc = acc.wrapping_mul(P);
+        acc ^ (acc >> 64)
+    }
+
+    /// The configuration's 128-bit state digest, computed incrementally:
+    /// only machines mutated since the last call are re-encoded and
+    /// re-hashed; untouched machines reuse their cached digests.
+    ///
+    /// The digest obeys the same stability contract as
+    /// [`Config::canonical_bytes`] — equal for equal configurations,
+    /// distinct for distinct ones (up to 128-bit hash collisions),
+    /// deterministic across threads, runs and processes.
+    pub fn digest(&mut self) -> u128 {
+        self.digest_and_len().0
+    }
+
+    /// [`Config::digest`] and [`Config::encoded_len`] from one pass over
+    /// the (filled) per-slot cache — the explorers need both per
+    /// transition.
+    pub fn digest_and_len(&mut self) -> (u128, usize) {
+        self.fill_digests();
+        let digest = Config::combine_digests(
+            self.digests
+                .iter()
+                .zip(&self.machines)
+                .map(|(d, m)| (m.is_some(), d.expect("cache filled").0)),
+            self.machines.len(),
+        );
+        let len = 4 + self
+            .digests
+            .iter()
+            .map(|d| 1 + d.expect("cache filled").1 as usize)
+            .sum::<usize>();
+        (digest, len)
+    }
+
+    /// The digest computed entirely from scratch, ignoring (and not
+    /// touching) the cache. Used by tests and debug assertions to prove
+    /// the incremental path agrees with a cold recomputation.
+    pub fn digest_uncached(&self) -> u128 {
+        Config::combine_digests(
+            self.machines
+                .iter()
+                .map(|m| (m.is_some(), Config::slot_digest(m).0)),
+            self.machines.len(),
+        )
+    }
+
+    /// The length of [`Config::canonical_bytes`] without materializing
+    /// it, from the same per-slot cache as [`Config::digest`]. The
+    /// checker accounts this as the stored-bytes statistic (the memory
+    /// column of Figure 8).
+    pub fn encoded_len(&mut self) -> usize {
+        self.fill_digests();
+        4 + self
+            .digests
+            .iter()
+            .map(|d| 1 + d.expect("cache filled").1 as usize)
+            .sum::<usize>()
     }
 }
 
@@ -491,5 +671,86 @@ mod tests {
         assert_ne!(c1.canonical_bytes(), c2.canonical_bytes());
         assert_eq!(c1.canonical_bytes(), c1.canonical_bytes());
         assert_eq!(c1.canonical_bytes(), c1.clone().canonical_bytes());
+    }
+
+    /// The incremental digest must agree with a cold recomputation at
+    /// every point of a mutate/clone/delete history, and distinguish the
+    /// same configurations the canonical encoding distinguishes.
+    #[test]
+    fn digest_incremental_matches_uncached() {
+        let p = tiny_program();
+        let mut c = Config::default();
+        let id = c.allocate(&p, p.main);
+        assert_eq!(c.digest(), c.digest_uncached());
+
+        // A branch clone shares machines; mutating one branch must not
+        // disturb the other (copy-on-write) and both digests must track.
+        let mut branch = c.clone();
+        branch.machine_mut(id).unwrap().locals[0] = Value::Int(7);
+        assert_eq!(branch.digest(), branch.digest_uncached());
+        assert_eq!(c.digest(), c.digest_uncached());
+        assert_ne!(c.digest(), branch.digest());
+        assert_eq!(c.machine(id).unwrap().locals[0], Value::Null);
+
+        // Enqueue through the cache-invalidating accessor.
+        c.machine_mut(id).unwrap().enqueue(EventId(0), Value::Null);
+        assert_eq!(c.digest(), c.digest_uncached());
+
+        // Allocation and deletion both reshape the slot vector.
+        let id2 = c.allocate(&p, p.main);
+        assert_eq!(c.digest(), c.digest_uncached());
+        c.delete(id2);
+        assert_eq!(c.digest(), c.digest_uncached());
+
+        // A tombstone is not the same as the machine never existing.
+        let mut fresh = Config::default();
+        fresh.allocate(&p, p.main);
+        fresh
+            .machine_mut(MachineId(0))
+            .unwrap()
+            .enqueue(EventId(0), Value::Null);
+        assert_ne!(c.digest(), fresh.digest());
+    }
+
+    /// Digest equality must coincide with canonical-encoding equality.
+    #[test]
+    fn digest_tracks_canonical_bytes() {
+        let p = tiny_program();
+        let mut c1 = Config::default();
+        let id = c1.allocate(&p, p.main);
+        let mut c2 = c1.clone();
+        assert_eq!(c1.digest(), c2.digest());
+        c2.machine_mut(id).unwrap().locals[0] = Value::Int(3);
+        assert_ne!(c1.canonical_bytes(), c2.canonical_bytes());
+        assert_ne!(c1.digest(), c2.digest());
+    }
+
+    /// `encoded_len` equals the materialized canonical encoding's length
+    /// (the stored-bytes statistic must not drift from the old
+    /// accounting).
+    #[test]
+    fn encoded_len_matches_canonical_bytes_len() {
+        let p = tiny_program();
+        let mut c = Config::default();
+        let id = c.allocate(&p, p.main);
+        assert_eq!(c.encoded_len(), c.canonical_bytes().len());
+        c.machine_mut(id)
+            .unwrap()
+            .enqueue(EventId(1), Value::Int(4));
+        c.allocate(&p, p.main);
+        assert_eq!(c.encoded_len(), c.canonical_bytes().len());
+        c.delete(id);
+        assert_eq!(c.encoded_len(), c.canonical_bytes().len());
+    }
+
+    /// The digest cache must never leak into equality.
+    #[test]
+    fn equality_ignores_digest_cache() {
+        let p = tiny_program();
+        let mut a = Config::default();
+        a.allocate(&p, p.main);
+        let b = a.clone();
+        let _ = a.digest(); // fill a's cache only
+        assert_eq!(a, b);
     }
 }

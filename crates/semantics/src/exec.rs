@@ -12,7 +12,7 @@
 //! script and re-executes with extended scripts to enumerate both branches;
 //! the simulator passes a random source.
 
-use crate::config::{Config, Frame, Inherited, Instr};
+use crate::config::{Config, Frame, Inherited, Instr, MachineState};
 use crate::error::{ErrorKind, PError};
 use crate::foreign::ForeignEnv;
 use crate::lower::{EventId, ExprId, FnId, LExpr, LStmt, LoweredProgram, MachineTypeId, StmtId};
@@ -241,79 +241,82 @@ impl<'p> Engine<'p> {
         choices: &mut dyn ChoiceSource,
         granularity: Granularity,
     ) -> RunResult {
-        assert!(
-            config.machine(id).is_some(),
-            "run_machine called on dead machine {id}"
-        );
+        // Take the running machine out of its slot for the whole run: the
+        // copy-on-write clone happens exactly once here, and every small
+        // step then works on a direct `&mut MachineState` instead of
+        // re-resolving the slot (bounds + liveness check, refcount
+        // inspection, digest invalidation) two or three times per step.
+        // While taken, the slot is a tombstone; `exec_stmt` special-cases
+        // sends to the running machine itself.
+        let Some(mut taken) = config.take_machine(id) else {
+            panic!("run_machine called on dead machine {id}");
+        };
         let mut counting = CountingChoices {
             inner: choices,
             used: 0,
         };
         let mut steps = 0;
         let mut dequeued = Vec::new();
-        loop {
-            if steps >= self.fuel {
-                return RunResult {
-                    outcome: ExecOutcome::Error(PError::new(ErrorKind::FuelExhausted, id)),
-                    choices_used: counting.used,
-                    steps,
-                    dequeued,
-                };
-            }
-            steps += 1;
-            let step = self.small_step(config, id, &mut counting, &mut dequeued);
-            let outcome = match step {
-                SmallStep::Continue => {
-                    if granularity == Granularity::Fine {
-                        // Blocked/terminated conditions are detected on the
-                        // next entry, so a fine step is always resumable.
-                        Some(ExecOutcome::Yield(YieldKind::Internal))
-                    } else {
-                        None
-                    }
+        let outcome = {
+            let m = std::sync::Arc::make_mut(&mut taken);
+            loop {
+                if steps >= self.fuel {
+                    break ExecOutcome::Error(PError::new(ErrorKind::FuelExhausted, id));
                 }
-                SmallStep::Yield(kind) => Some(ExecOutcome::Yield(kind)),
-                SmallStep::Blocked => Some(ExecOutcome::Blocked),
-                SmallStep::Deleted => Some(ExecOutcome::Deleted),
-                SmallStep::Error(kind) => Some(ExecOutcome::Error(PError::new(kind, id))),
-                SmallStep::NeedChoice => Some(ExecOutcome::NeedChoice),
-            };
-            if let Some(outcome) = outcome {
-                return RunResult {
-                    outcome,
-                    choices_used: counting.used,
-                    steps,
-                    dequeued,
-                };
+                steps += 1;
+                let step = self.small_step(config, m, id, &mut counting, &mut dequeued);
+                match step {
+                    SmallStep::Continue => {
+                        if granularity == Granularity::Fine {
+                            // Blocked/terminated conditions are detected on
+                            // the next entry, so a fine step is always
+                            // resumable.
+                            break ExecOutcome::Yield(YieldKind::Internal);
+                        }
+                    }
+                    SmallStep::Yield(kind) => break ExecOutcome::Yield(kind),
+                    SmallStep::Blocked => break ExecOutcome::Blocked,
+                    SmallStep::Deleted => break ExecOutcome::Deleted,
+                    SmallStep::Error(kind) => break ExecOutcome::Error(PError::new(kind, id)),
+                    SmallStep::NeedChoice => break ExecOutcome::NeedChoice,
+                }
             }
+        };
+        if !matches!(outcome, ExecOutcome::Deleted) {
+            // A deleted machine leaves its tombstone in place (the
+            // `delete` statement); every other outcome puts the mutated
+            // state back.
+            config.restore_machine(id, taken);
+        }
+        RunResult {
+            outcome,
+            choices_used: counting.used,
+            steps,
+            dequeued,
         }
     }
 
-    /// Executes one small step of machine `id`.
+    /// Executes one small step of machine `id`, already taken out of
+    /// `config` as `m`.
     fn small_step(
         &self,
         config: &mut Config,
+        m: &mut MachineState,
         id: MachineId,
         choices: &mut CountingChoices<'_>,
         dequeued: &mut Vec<EventId>,
     ) -> SmallStep {
         // 1. Remaining statement execution.
-        let instr = {
-            let m = config.machine_mut(id).expect("machine vanished mid-run");
-            m.cont.pop()
-        };
-        if let Some(instr) = instr {
-            return self.exec_instr(config, id, instr, choices);
+        if let Some(instr) = m.cont.pop() {
+            return self.exec_instr(config, m, id, instr, choices);
         }
 
         // 2. A raised event awaiting dispatch.
-        let pending = config.machine(id).expect("machine vanished").pending;
-        if let Some((event, value)) = pending {
-            return self.dispatch(config, id, event, value);
+        if let Some((event, _value)) = m.pending {
+            return self.dispatch(m, event);
         }
 
         // 3. Waiting: try to dequeue (rule DEQUEUE).
-        let m = config.machine_mut(id).expect("machine vanished");
         let mt = self.program.machine(m.ty);
         let frame = m.top();
         let state = &mt.states[frame.state.0 as usize];
@@ -341,14 +344,7 @@ impl<'p> Engine<'p> {
     /// Dispatches a raised event against the top frame: rules STEP,
     /// CALL, ACTION, POP1 and the exit-statement insertion of
     /// DEQUEUE/RAISE.
-    fn dispatch(
-        &self,
-        config: &mut Config,
-        id: MachineId,
-        event: EventId,
-        _value: Value,
-    ) -> SmallStep {
-        let m = config.machine_mut(id).expect("machine vanished");
+    fn dispatch(&self, m: &mut MachineState, event: EventId) -> SmallStep {
         let mt = self.program.machine(m.ty);
         let frame_state;
         let inherited_entry;
@@ -425,6 +421,7 @@ impl<'p> Engine<'p> {
     fn exec_instr(
         &self,
         config: &mut Config,
+        m: &mut MachineState,
         id: MachineId,
         instr: Instr,
         choices: &mut CountingChoices<'_>,
@@ -433,27 +430,23 @@ impl<'p> Engine<'p> {
             Instr::Stmt(sid) => {
                 // The code arena outlives the run; no clone needed.
                 let stmt = self.program.code.stmt(sid);
-                self.exec_stmt(config, id, sid, stmt, choices)
+                self.exec_stmt(config, m, id, sid, stmt, choices)
             }
             Instr::Seq(block, idx) => {
                 let LStmt::Block(children) = self.program.code.stmt(block) else {
                     unreachable!("Seq instruction over a non-block statement");
                 };
-                let child = children.get(idx as usize).copied();
-                let m = config.machine_mut(id).expect("machine vanished");
-                if let Some(child) = child {
+                if let Some(child) = children.get(idx as usize).copied() {
                     m.cont.push(Instr::Seq(block, idx + 1));
                     m.cont.push(Instr::Stmt(child));
                 }
                 SmallStep::Continue
             }
             Instr::Loop(while_stmt) => {
-                let m = config.machine_mut(id).expect("machine vanished");
                 m.cont.push(Instr::Stmt(while_stmt));
                 SmallStep::Continue
             }
             Instr::EnterState(target) => {
-                let m = config.machine_mut(id).expect("machine vanished");
                 let mt = self.program.machine(m.ty);
                 let entry = mt.states[target.0 as usize].entry;
                 m.stack.last_mut().expect("empty stack on enter").state = target;
@@ -461,7 +454,6 @@ impl<'p> Engine<'p> {
                 SmallStep::Continue
             }
             Instr::PopViaReturn => {
-                let m = config.machine_mut(id).expect("machine vanished");
                 let frame = m.stack.pop().expect("return with empty stack");
                 if m.stack.is_empty() {
                     return SmallStep::Error(ErrorKind::StackUnderflow);
@@ -472,7 +464,6 @@ impl<'p> Engine<'p> {
                 SmallStep::Continue
             }
             Instr::PopUnhandled => {
-                let m = config.machine_mut(id).expect("machine vanished");
                 let pending_event = m
                     .pending
                     .map(|(e, _)| e)
@@ -491,6 +482,7 @@ impl<'p> Engine<'p> {
     fn exec_stmt(
         &self,
         config: &mut Config,
+        m: &mut MachineState,
         id: MachineId,
         sid: crate::lower::StmtId,
         stmt: &LStmt,
@@ -498,7 +490,6 @@ impl<'p> Engine<'p> {
     ) -> SmallStep {
         macro_rules! eval {
             ($expr:expr) => {{
-                let m = config.machine(id).expect("machine vanished");
                 match self.eval(m, id, $expr, choices) {
                     Ok(v) => v,
                     Err(NeedChoiceMarker) => return SmallStep::NeedChoice,
@@ -510,7 +501,6 @@ impl<'p> Engine<'p> {
             LStmt::Skip => SmallStep::Continue,
             LStmt::Assign(var, value) => {
                 let v = eval!(*value);
-                let m = config.machine_mut(id).expect("machine vanished");
                 m.locals[var.0 as usize] = v;
                 SmallStep::Continue
             }
@@ -526,7 +516,6 @@ impl<'p> Engine<'p> {
                         created.locals[var.0 as usize] = v;
                     }
                 }
-                let m = config.machine_mut(id).expect("machine vanished");
                 m.locals[dst.0 as usize] = Value::Machine(new_id);
                 SmallStep::Yield(YieldKind::Created {
                     id: new_id,
@@ -534,7 +523,9 @@ impl<'p> Engine<'p> {
                 })
             }
             LStmt::Delete => {
-                config.delete(id);
+                // The running machine was taken out of its slot by
+                // `run_machine`, which leaves the tombstone in place on a
+                // `Deleted` outcome — nothing to remove here.
                 SmallStep::Deleted
             }
             LStmt::Send {
@@ -550,8 +541,17 @@ impl<'p> Engine<'p> {
                 let Some(target_id) = target_v.as_machine() else {
                     return SmallStep::Error(ErrorKind::SendToUndefined);
                 };
-                let Some(receiver) = config.machine_mut(target_id) else {
-                    return SmallStep::Error(ErrorKind::SendToDeleted { target: target_id });
+                // The running machine's slot is a tombstone while it
+                // runs; a self-send must not read it.
+                let receiver = if target_id == id {
+                    &mut *m
+                } else {
+                    match config.machine_mut(target_id) {
+                        Some(r) => r,
+                        None => {
+                            return SmallStep::Error(ErrorKind::SendToDeleted { target: target_id })
+                        }
+                    }
                 };
                 let enqueued = receiver.enqueue(*event, payload_v);
                 SmallStep::Yield(YieldKind::Sent {
@@ -565,7 +565,6 @@ impl<'p> Engine<'p> {
                     Some(p) => eval!(*p),
                     None => Value::Null,
                 };
-                let m = config.machine_mut(id).expect("machine vanished");
                 m.msg = Value::Event(*event);
                 m.arg = v;
                 m.cont.clear();
@@ -573,12 +572,10 @@ impl<'p> Engine<'p> {
                 SmallStep::Continue
             }
             LStmt::Leave => {
-                let m = config.machine_mut(id).expect("machine vanished");
                 m.cont.clear();
                 SmallStep::Continue
             }
             LStmt::Return => {
-                let m = config.machine_mut(id).expect("machine vanished");
                 let mt = self.program.machine(m.ty);
                 let exit = mt.states[m.current_state().0 as usize].exit;
                 m.cont.clear();
@@ -592,14 +589,12 @@ impl<'p> Engine<'p> {
                 _ => SmallStep::Error(ErrorKind::AssertionUndefined),
             },
             LStmt::Block(_) => {
-                let m = config.machine_mut(id).expect("machine vanished");
                 m.cont.push(Instr::Seq(sid, 0));
                 SmallStep::Continue
             }
             LStmt::If { cond, then, els } => match eval!(*cond) {
                 Value::Bool(b) => {
                     let branch = if b { *then } else { *els };
-                    let m = config.machine_mut(id).expect("machine vanished");
                     m.cont.push(Instr::Stmt(branch));
                     SmallStep::Continue
                 }
@@ -607,7 +602,6 @@ impl<'p> Engine<'p> {
             },
             LStmt::While { cond, body } => match eval!(*cond) {
                 Value::Bool(true) => {
-                    let m = config.machine_mut(id).expect("machine vanished");
                     m.cont.push(Instr::Loop(sid));
                     m.cont.push(Instr::Stmt(*body));
                     SmallStep::Continue
@@ -616,7 +610,6 @@ impl<'p> Engine<'p> {
                 _ => SmallStep::Error(ErrorKind::UndefinedCondition),
             },
             LStmt::CallState(target) => {
-                let m = config.machine_mut(id).expect("machine vanished");
                 let mt = self.program.machine(m.ty);
                 let current = m.current_state();
                 let state = &mt.states[current.0 as usize];
@@ -654,14 +647,12 @@ impl<'p> Engine<'p> {
                 for a in args {
                     arg_values.push(eval!(*a));
                 }
-                let m = config.machine(id).expect("machine vanished");
                 let result = match self.call_foreign(m, id, *func, &arg_values, choices) {
                     Ok(v) => v,
                     Err(ModelAbort::NeedChoice) => return SmallStep::NeedChoice,
                     Err(ModelAbort::Error(kind)) => return SmallStep::Error(kind),
                 };
                 if let Some(dst) = dst {
-                    let m = config.machine_mut(id).expect("machine vanished");
                     m.locals[dst.0 as usize] = result;
                 }
                 SmallStep::Continue
@@ -673,7 +664,7 @@ impl<'p> Engine<'p> {
     /// propagation and external resolution of `*`.
     fn eval(
         &self,
-        m: &crate::config::MachineState,
+        m: &MachineState,
         self_id: MachineId,
         expr: ExprId,
         choices: &mut dyn ChoiceSource,
@@ -744,7 +735,7 @@ impl Engine<'_> {
     /// conservative ⊥ is returned.
     fn call_foreign(
         &self,
-        m: &crate::config::MachineState,
+        m: &MachineState,
         self_id: MachineId,
         func: FnId,
         args: &[Value],

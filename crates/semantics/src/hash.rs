@@ -1,0 +1,147 @@
+//! SipHash-2-4 with the 128-bit output extension — the hash behind both
+//! the per-machine digests cached in [`crate::Config`] and the checker's
+//! global state fingerprints.
+//!
+//! The function lives in `p-semantics` (rather than `p-checker`, where
+//! the fingerprint type is defined) because the incremental digest
+//! scheme caches per-machine hashes *inside* the configuration: a
+//! machine's digest is computed right next to the encoding it hashes,
+//! and the checker only combines the cached digests.
+//!
+//! The key is fixed so digests are stable across threads, runs and
+//! processes — parallel workers, replay tooling and persisted reports
+//! all agree on a state's identity. (`std`'s `DefaultHasher` guarantees
+//! neither algorithm nor cross-run stability.) Determinism is all that
+//! is needed; P programs do not choose their own state encodings
+//! adversarially.
+
+/// Fixed SipHash key, low word. Equals the reference implementation's
+/// test key `00 01 02 … 0f` read little-endian, so the published
+/// `vectors_sip128` vectors apply directly.
+pub const KEY0: u64 = 0x0706_0504_0302_0100;
+/// Fixed SipHash key, high word.
+pub const KEY1: u64 = 0x0f0e_0d0c_0b0a_0908;
+
+/// Hashes `data` with the fixed key — the digest used for per-machine
+/// digests and state fingerprints.
+#[inline]
+pub fn fingerprint128(data: &[u8]) -> u128 {
+    siphash_2_4_128(KEY0, KEY1, data)
+}
+
+#[inline]
+fn sip_rounds(v: &mut [u64; 4], n: usize) {
+    for _ in 0..n {
+        v[0] = v[0].wrapping_add(v[1]);
+        v[1] = v[1].rotate_left(13);
+        v[1] ^= v[0];
+        v[0] = v[0].rotate_left(32);
+        v[2] = v[2].wrapping_add(v[3]);
+        v[3] = v[3].rotate_left(16);
+        v[3] ^= v[2];
+        v[0] = v[0].wrapping_add(v[3]);
+        v[3] = v[3].rotate_left(21);
+        v[3] ^= v[0];
+        v[2] = v[2].wrapping_add(v[1]);
+        v[1] = v[1].rotate_left(17);
+        v[1] ^= v[2];
+        v[2] = v[2].rotate_left(32);
+    }
+}
+
+/// SipHash-2-4 with the 128-bit output extension (the `SipHash-128` of
+/// the reference implementation): the low word is the standard 64-bit
+/// digest computed with the `0xee` initialization/finalization tweaks,
+/// the high word comes from four extra rounds after XORing `0xdd` into
+/// `v1`.
+pub fn siphash_2_4_128(k0: u64, k1: u64, data: &[u8]) -> u128 {
+    let mut v = [
+        k0 ^ 0x736f_6d65_7073_6575, // "somepseu"
+        k1 ^ 0x646f_7261_6e64_6f6d, // "dorandom"
+        k0 ^ 0x6c79_6765_6e65_7261, // "lygenera"
+        k1 ^ 0x7465_6462_7974_6573, // "tedbytes"
+    ];
+    v[1] ^= 0xee;
+
+    let mut chunks = data.chunks_exact(8);
+    for chunk in &mut chunks {
+        let m = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        v[3] ^= m;
+        sip_rounds(&mut v, 2);
+        v[0] ^= m;
+    }
+    let rest = chunks.remainder();
+    let mut last = [0u8; 8];
+    last[..rest.len()].copy_from_slice(rest);
+    last[7] = data.len() as u8;
+    let m = u64::from_le_bytes(last);
+    v[3] ^= m;
+    sip_rounds(&mut v, 2);
+    v[0] ^= m;
+
+    v[2] ^= 0xee;
+    sip_rounds(&mut v, 4);
+    let lo = v[0] ^ v[1] ^ v[2] ^ v[3];
+    v[1] ^= 0xdd;
+    sip_rounds(&mut v, 4);
+    let hi = v[0] ^ v[1] ^ v[2] ^ v[3];
+    (lo as u128) | ((hi as u128) << 64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The digest as the reference implementation's 16 output bytes
+    /// (low word little-endian first, then the high word).
+    fn digest_bytes(data: &[u8]) -> [u8; 16] {
+        let d = fingerprint128(data);
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&(d as u64).to_le_bytes());
+        out[8..].copy_from_slice(&((d >> 64) as u64).to_le_bytes());
+        out
+    }
+
+    #[test]
+    fn reference_test_vectors() {
+        // `vectors_sip128` of the SipHash reference implementation
+        // (github.com/veorq/SipHash): key 000102…0f, input 00 01 02 …
+        // of increasing length.
+        let expected: [[u8; 16]; 4] = [
+            [
+                0xa3, 0x81, 0x7f, 0x04, 0xba, 0x25, 0xa8, 0xe6, 0x6d, 0xf6, 0x72, 0x14, 0xc7, 0x55,
+                0x02, 0x93,
+            ],
+            [
+                0xda, 0x87, 0xc1, 0xd8, 0x6b, 0x99, 0xaf, 0x44, 0x34, 0x76, 0x59, 0x11, 0x9b, 0x22,
+                0xfc, 0x45,
+            ],
+            [
+                0x81, 0x77, 0x22, 0x8d, 0xa4, 0xa4, 0x5d, 0xc7, 0xfc, 0xa3, 0x8b, 0xde, 0xf6, 0x0a,
+                0xff, 0xe4,
+            ],
+            [
+                0x9c, 0x70, 0xb6, 0x0c, 0x52, 0x67, 0xa9, 0x4e, 0x5f, 0x33, 0xb6, 0xb0, 0x29, 0x85,
+                0xed, 0x51,
+            ],
+        ];
+        let input: Vec<u8> = (0..4).collect();
+        for (len, want) in expected.iter().enumerate() {
+            assert_eq!(
+                &digest_bytes(&input[..len]),
+                want,
+                "SipHash-2-4-128 vector for input length {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn length_extension_is_distinguished() {
+        // Trailing zero bytes must change the digest (the length byte in
+        // the final block guards the padding).
+        assert_ne!(fingerprint128(&[0]), fingerprint128(&[0, 0]));
+        assert_ne!(fingerprint128(&[]), fingerprint128(&[0]));
+        // And an 8-byte boundary does not fuse with its neighbor.
+        assert_ne!(fingerprint128(&[1; 8]), fingerprint128(&[1; 9]));
+    }
+}

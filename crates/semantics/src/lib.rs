@@ -56,6 +56,7 @@ mod config;
 mod error;
 mod exec;
 mod foreign;
+pub mod hash;
 pub mod lower;
 mod value;
 

@@ -112,6 +112,58 @@ proptest! {
         prop_assert_eq!(total, Some(crate::Value::Int(expected)));
     }
 
+    /// The incremental digest tracks the canonical encoding exactly:
+    /// along a random mutation walk, two configurations digest equal iff
+    /// their canonical byte encodings are equal, and the incremental
+    /// (cached) digest always agrees with a from-scratch recomputation.
+    #[test]
+    fn digest_equal_iff_canonical_bytes_equal(
+        bits_a in proptest::collection::vec(any::<bool>(), 0..10),
+        bits_b in proptest::collection::vec(any::<bool>(), 0..10),
+        steps_a in 0usize..6,
+        steps_b in 0usize..6,
+    ) {
+        let program = choosy_program(4);
+        let a = walk(&program, &bits_a, steps_a);
+        let b = walk(&program, &bits_b, steps_b);
+        let (mut a, mut b) = match (a, b) {
+            (Some(a), Some(b)) => (a, b),
+            _ => return Ok(()),
+        };
+        prop_assert_eq!(a.digest(), a.digest_uncached());
+        prop_assert_eq!(b.digest(), b.digest_uncached());
+        prop_assert_eq!(a.encoded_len(), a.canonical_bytes().len());
+        let bytes_equal = a.canonical_bytes() == b.canonical_bytes();
+        let digests_equal = a.digest() == b.digest();
+        prop_assert_eq!(bytes_equal, digests_equal);
+    }
+
+    /// The per-slot digest cache survives arbitrary interleavings of
+    /// mutation and digest queries: re-digesting after every single run
+    /// matches digesting only at the end.
+    #[test]
+    fn incremental_digest_matches_uncached_along_walks(
+        bits in proptest::collection::vec(any::<bool>(), 0..12),
+        queries in proptest::collection::vec(any::<bool>(), 8..=8),
+    ) {
+        let program = choosy_program(4);
+        let engine = Engine::new(&program, ForeignEnv::empty());
+        let mut config = engine.initial_config();
+        let mut script = Script::new(&bits);
+        for &query in &queries {
+            if query {
+                prop_assert_eq!(config.digest(), config.digest_uncached());
+            }
+            let enabled = engine.enabled_machines(&config);
+            let Some(&id) = enabled.first() else { break };
+            let r = engine.run_machine(&mut config, id, &mut script, Granularity::Atomic);
+            if matches!(r.outcome, ExecOutcome::NeedChoice) {
+                return Ok(());
+            }
+        }
+        prop_assert_eq!(config.digest(), config.digest_uncached());
+    }
+
     /// Queues never hold duplicate (event, payload) pairs in any reachable
     /// configuration.
     #[test]
@@ -130,6 +182,24 @@ proptest! {
             }
         }
     }
+}
+
+/// Advances the initial configuration by up to `steps` atomic runs
+/// (lowest enabled machine first) under `bits`; `None` if the script
+/// runs dry.
+fn walk(program: &crate::LoweredProgram, bits: &[bool], steps: usize) -> Option<Config> {
+    let engine = Engine::new(program, ForeignEnv::empty());
+    let mut config = engine.initial_config();
+    let mut script = Script::new(bits);
+    for _ in 0..steps {
+        let enabled = engine.enabled_machines(&config);
+        let Some(&id) = enabled.first() else { break };
+        let r = engine.run_machine(&mut config, id, &mut script, Granularity::Atomic);
+        if matches!(r.outcome, ExecOutcome::NeedChoice) {
+            return None;
+        }
+    }
+    Some(config)
 }
 
 fn check_no_dups(config: &Config) {
