@@ -7,6 +7,11 @@
 //! runs are asserted to agree on verdict and unique states, so the JSON
 //! doubles as a POR-soundness witness for the numbers it reports.
 //!
+//! The rows are [`p_core::telemetry::ExplorationMetrics`] — the same
+//! schema `p verify --profile` embeds in profile JSON — wrapped in a
+//! [`p_core::telemetry::BenchReport`], which is what the CI
+//! `telemetry_gate` parses back to compare throughput.
+//!
 //! ```sh
 //! cargo run --release -p p-bench --bin perf_report [OUT.json]
 //! ```
@@ -14,9 +19,8 @@
 //! With no argument the JSON goes to `BENCH_checker.json` in the current
 //! directory.
 
-use std::fmt::Write as _;
-
 use p_bench::figures::perf_rows;
+use p_core::telemetry::BenchReport;
 
 fn main() {
     let out_path = std::env::args()
@@ -25,55 +29,40 @@ fn main() {
 
     println!("Checker throughput — exhaustive exploration, sequential engine\n");
     println!(
-        "{:<12} {:>8} {:>12} {:>11} {:>12} {:>11} {:>12} {:>10}",
+        "{:<12} {:<10} {:>8} {:>12} {:>10} {:>12} {:>11} {:>10} {:>12}",
         "program",
+        "mode",
         "states",
         "transitions",
         "time",
         "states/sec",
         "bytes/st",
-        "por-trans",
-        "por-time"
+        "dedup",
+        "sleep-pruned"
     );
 
-    let rows = perf_rows();
-    let mut json = String::from("{\n  \"programs\": [\n");
-    for (i, row) in rows.iter().enumerate() {
+    let report = BenchReport {
+        programs: perf_rows(),
+    };
+    for row in &report.programs {
         println!(
-            "{:<12} {:>8} {:>12} {:>10.1?} {:>12.0} {:>11.1} {:>12} {:>9.1?}",
+            "{:<12} {:<10} {:>8} {:>12} {:>9.1}ms {:>12.0} {:>11.1} {:>10} {:>12}",
             row.name,
+            row.mode,
             row.states,
             row.transitions,
-            row.duration,
+            row.seconds * 1e3,
             row.states_per_sec(),
             row.bytes_per_state(),
-            row.por_transitions,
-            row.por_duration,
-        );
-        let _ = writeln!(
-            json,
-            "    {{\"name\": \"{}\", \"states\": {}, \"transitions\": {}, \
-             \"seconds\": {:.6}, \"states_per_sec\": {:.1}, \
-             \"stored_bytes\": {}, \"bytes_per_state\": {:.1}, \
-             \"passed\": {}, \"por\": {{\"transitions\": {}, \"seconds\": {:.6}}}}}{}",
-            row.name,
-            row.states,
-            row.transitions,
-            row.duration.as_secs_f64(),
-            row.states_per_sec(),
-            row.stored_bytes,
-            row.bytes_per_state(),
-            row.passed,
-            row.por_transitions,
-            row.por_duration.as_secs_f64(),
-            if i + 1 < rows.len() { "," } else { "" },
+            row.dedup_hits,
+            row.sleep_pruned,
         );
     }
-    json.push_str("  ]\n}\n");
 
+    let json = report.to_json().render_pretty();
     std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     println!(
         "\nWrote {out_path}; POR agreed with full exploration on verdict and states for all {} program(s).",
-        rows.len()
+        report.programs.len() / 2
     );
 }

@@ -1,0 +1,97 @@
+//! CI overhead gate: compares a fresh `perf_report` run against the
+//! committed `BENCH_checker.json` and fails (exit 1) if median checker
+//! throughput regressed by more than the threshold.
+//!
+//! ```sh
+//! telemetry_gate FRESH.json BASELINE.json [--threshold 0.10] [--mode exhaustive]
+//! ```
+//!
+//! Both files are [`BenchReport`] JSON. The comparison is on the median
+//! `states_per_sec` across rows of the given mode (median, not mean, so
+//! one slow CI outlier program cannot flip the verdict). The CI job runs
+//! `perf_report` twice — with the `telemetry` feature (default) and with
+//! `--no-default-features` — and gates both against the committed
+//! baseline, which is what enforces the "hooks compiled in but disabled
+//! cost < 10%" budget.
+//!
+//! Absolute wall-clock on shared CI runners is noisy; the threshold is a
+//! guard against order-of-magnitude mistakes (accidentally enabled
+//! sinks, hooks in the hot loop), not a microbenchmark.
+
+use std::process::ExitCode;
+
+use p_core::telemetry::json::JsonValue;
+use p_core::telemetry::BenchReport;
+
+fn load(path: &str) -> Result<BenchReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let value = JsonValue::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    BenchReport::from_json(&value).ok_or_else(|| format!("{path}: not a bench report"))
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<&String> = Vec::new();
+    let mut threshold = 0.10_f64;
+    let mut mode = "exhaustive".to_owned();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threshold" => {
+                let value = args.get(i + 1).ok_or("--threshold needs a value")?;
+                threshold = value
+                    .parse()
+                    .map_err(|_| format!("--threshold: `{value}` is not a number"))?;
+                i += 2;
+            }
+            "--mode" => {
+                mode = args.get(i + 1).ok_or("--mode needs a value")?.clone();
+                i += 2;
+            }
+            other if other.starts_with("--") => return Err(format!("unknown flag `{other}`")),
+            _ => {
+                paths.push(&args[i]);
+                i += 1;
+            }
+        }
+    }
+    let [fresh_path, baseline_path] = paths.as_slice() else {
+        return Err(
+            "usage: telemetry_gate FRESH.json BASELINE.json [--threshold F] [--mode M]".to_owned(),
+        );
+    };
+
+    let fresh = load(fresh_path)?;
+    let baseline = load(baseline_path)?;
+    let fresh_median = fresh
+        .median_states_per_sec(Some(&mode))
+        .ok_or_else(|| format!("{fresh_path}: no `{mode}` rows"))?;
+    let baseline_median = baseline
+        .median_states_per_sec(Some(&mode))
+        .ok_or_else(|| format!("{baseline_path}: no `{mode}` rows"))?;
+
+    let ratio = fresh_median / baseline_median;
+    println!(
+        "mode {mode}: fresh median {fresh_median:.0} states/s, baseline {baseline_median:.0} states/s, ratio {ratio:.3} (floor {:.3})",
+        1.0 - threshold
+    );
+    if ratio < 1.0 - threshold {
+        return Err(format!(
+            "throughput regression: median {mode} states/sec dropped {:.1}% (> {:.0}% allowed)",
+            (1.0 - ratio) * 100.0,
+            threshold * 100.0
+        ));
+    }
+    println!("OK: within the {:.0}% budget", threshold * 100.0);
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("telemetry_gate: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

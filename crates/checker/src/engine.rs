@@ -160,6 +160,72 @@ impl BoundedSet {
     }
 }
 
+/// Shared additive totals for the parallel engine.
+///
+/// Workers keep cheap thread-local [`crate::ExplorationStats`] and
+/// *flush deltas* here — once per expanded task and unconditionally on
+/// exit — so the final totals are exact regardless of how a worker
+/// leaves its loop (frontier drained, counterexample found elsewhere,
+/// or the worker found the violation itself and broke out mid-task).
+/// Reading these during the run gives monotone, slightly-stale values
+/// suitable for progress snapshots.
+#[derive(Debug, Default)]
+pub(crate) struct SharedCounters {
+    transitions: AtomicUsize,
+    dedup_hits: AtomicUsize,
+    sleep_pruned: AtomicUsize,
+    quiescent_states: AtomicUsize,
+    stuck_states: AtomicUsize,
+    max_depth: AtomicUsize,
+    max_queue_seen: AtomicUsize,
+}
+
+impl SharedCounters {
+    /// Folds the delta between a worker's current local stats and the
+    /// portion it already flushed into the shared totals, then advances
+    /// the flushed watermark. Additive counters add their delta; maxima
+    /// race via `fetch_max`.
+    pub(crate) fn flush(
+        &self,
+        local: &crate::ExplorationStats,
+        flushed: &mut crate::ExplorationStats,
+    ) {
+        let add = |cell: &AtomicUsize, now: usize, before: usize| {
+            if now > before {
+                cell.fetch_add(now - before, Ordering::Relaxed);
+            }
+        };
+        add(&self.transitions, local.transitions, flushed.transitions);
+        add(&self.dedup_hits, local.dedup_hits, flushed.dedup_hits);
+        add(&self.sleep_pruned, local.sleep_pruned, flushed.sleep_pruned);
+        add(
+            &self.quiescent_states,
+            local.quiescent_states,
+            flushed.quiescent_states,
+        );
+        add(&self.stuck_states, local.stuck_states, flushed.stuck_states);
+        self.max_depth.fetch_max(local.max_depth, Ordering::Relaxed);
+        self.max_queue_seen
+            .fetch_max(local.max_queue_seen, Ordering::Relaxed);
+        *flushed = local.clone();
+    }
+
+    /// The flushed totals as an [`crate::ExplorationStats`] skeleton
+    /// (state/byte counts and duration are owned elsewhere).
+    pub(crate) fn totals(&self) -> crate::ExplorationStats {
+        crate::ExplorationStats {
+            transitions: self.transitions.load(Ordering::Relaxed),
+            dedup_hits: self.dedup_hits.load(Ordering::Relaxed),
+            sleep_pruned: self.sleep_pruned.load(Ordering::Relaxed),
+            quiescent_states: self.quiescent_states.load(Ordering::Relaxed),
+            stuck_states: self.stuck_states.load(Ordering::Relaxed),
+            max_depth: self.max_depth.load(Ordering::Relaxed),
+            max_queue_seen: self.max_queue_seen.load(Ordering::Relaxed),
+            ..crate::ExplorationStats::default()
+        }
+    }
+}
+
 /// `child → (parent, step)` edges for counterexample reconstruction,
 /// keyed by fingerprint.
 #[derive(Debug, Default)]
@@ -413,6 +479,12 @@ impl<T> Frontier<T> {
     /// Marks one previously [`Frontier::next`]-ed task fully expanded.
     pub(crate) fn task_done(&self) {
         self.pending.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Tasks queued or in flight — the parallel frontier-size gauge.
+    #[cfg(feature = "telemetry")]
+    pub(crate) fn pending(&self) -> usize {
+        self.pending.load(Ordering::SeqCst)
     }
 
     /// First-counterexample-wins shutdown: all workers drain on their

@@ -17,11 +17,20 @@ use p_semantics::{
     Config, Engine, ExecOutcome, ForeignEnv, Granularity, LoweredProgram, MachineId, PError,
 };
 
-use crate::engine::{Admit, AdmitSleep, BoundedSet, Frontier, ParentMap, SharedTable};
+use p_telemetry::Telemetry;
+
+use crate::engine::{
+    Admit, AdmitSleep, BoundedSet, Frontier, ParentMap, SharedCounters, SharedTable,
+};
 use crate::fingerprint::Fingerprint;
 use crate::por::{Por, SleepSet};
 use crate::stats::ExplorationStats;
 use crate::trace::{Counterexample, TraceStep};
+
+/// How often the exploration loops offer a progress snapshot to the
+/// telemetry layer (further throttled there by wall-clock interval).
+#[cfg(feature = "telemetry")]
+const SNAPSHOT_EVERY_TASKS: usize = 256;
 
 /// Bounds and knobs for exploration.
 #[derive(Debug, Clone)]
@@ -108,6 +117,7 @@ pub struct Verifier<'p> {
     program: &'p LoweredProgram,
     foreign: ForeignEnv,
     options: CheckerOptions,
+    telemetry: Telemetry,
 }
 
 impl<'p> Verifier<'p> {
@@ -117,6 +127,7 @@ impl<'p> Verifier<'p> {
             program,
             foreign: ForeignEnv::empty(),
             options: CheckerOptions::default(),
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -131,6 +142,22 @@ impl<'p> Verifier<'p> {
     pub fn with_options(mut self, options: CheckerOptions) -> Verifier<'p> {
         self.options = options;
         self
+    }
+
+    /// Attaches a telemetry handle. The exhaustive engines then record
+    /// periodic [`p_telemetry::ExplorationSnapshot`]s (states/sec,
+    /// frontier size, dedup hit rate, POR prunes, depth) through it and
+    /// drive its progress meter. A disabled handle (the default) makes
+    /// every hook a single predictable branch; with the `telemetry`
+    /// cargo feature off, the hook sites are compiled out entirely.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Verifier<'p> {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The attached telemetry handle (disabled unless set).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The options in effect.
@@ -159,6 +186,7 @@ impl<'p> Verifier<'p> {
             program: self.program,
             foreign: self.foreign.clone(),
             options,
+            telemetry: self.telemetry.clone(),
         }
         .check_exhaustive()
     }
@@ -216,8 +244,21 @@ impl<'p> Verifier<'p> {
         let mut stack: Vec<(Config, Fingerprint, usize, SleepSet, bool)> =
             vec![(init, init_fp, 0, SleepSet::empty(), true)];
         let mut succs = Vec::new();
+        #[cfg(feature = "telemetry")]
+        let mut tasks_since_snapshot = 0usize;
 
         while let Some((config, fp, depth, sleep, fresh)) = stack.pop() {
+            #[cfg(feature = "telemetry")]
+            {
+                tasks_since_snapshot += 1;
+                if tasks_since_snapshot >= SNAPSHOT_EVERY_TASKS {
+                    tasks_since_snapshot = 0;
+                    let (states, frontier) = (visited.len(), stack.len());
+                    self.telemetry.maybe_snapshot(0, |elapsed| {
+                        snapshot_from(&stats, states, frontier, 1, elapsed)
+                    });
+                }
+            }
             stats.max_depth = stats.max_depth.max(depth);
             if depth >= self.options.max_depth {
                 stats.truncated = true;
@@ -236,6 +277,7 @@ impl<'p> Verifier<'p> {
             let mut cur_sleep = sleep;
             for id in enabled {
                 if cur_sleep.contains(id) {
+                    stats.sleep_pruned += 1;
                     continue;
                 }
                 crate::succ::successors_into(
@@ -266,6 +308,8 @@ impl<'p> Verifier<'p> {
                         stats.unique_states = visited.len();
                         stats.stored_bytes = visited.stored_bytes();
                         stats.duration = start.elapsed();
+                        #[cfg(feature = "telemetry")]
+                        self.final_snapshot(&stats, stack.len(), 1);
                         return Report {
                             counterexample: Some(Counterexample { error, trace }),
                             stats,
@@ -286,7 +330,7 @@ impl<'p> Verifier<'p> {
                                     true,
                                 ));
                             }
-                            Admit::Seen => {}
+                            Admit::Seen => stats.dedup_hits += 1,
                             Admit::OverBound => stats.truncated = true,
                         },
                         Some(por) => {
@@ -304,7 +348,7 @@ impl<'p> Verifier<'p> {
                                         true,
                                     ));
                                 }
-                                AdmitSleep::Covered => {}
+                                AdmitSleep::Covered => stats.dedup_hits += 1,
                                 AdmitSleep::Widen(widened) => {
                                     stack.push((succ.config, succ_fp, depth + 1, widened, false));
                                 }
@@ -322,11 +366,22 @@ impl<'p> Verifier<'p> {
         stats.unique_states = visited.len();
         stats.stored_bytes = visited.stored_bytes();
         stats.duration = start.elapsed();
+        #[cfg(feature = "telemetry")]
+        self.final_snapshot(&stats, 0, 1);
         Report {
             counterexample: None,
             complete: !stats.truncated,
             stats,
         }
+    }
+
+    /// Records the end-of-run snapshot and closes the progress line.
+    #[cfg(feature = "telemetry")]
+    fn final_snapshot(&self, stats: &ExplorationStats, frontier: usize, workers: u64) {
+        self.telemetry.snapshot_now(0, |elapsed| {
+            snapshot_from(stats, stats.unique_states, frontier, workers, elapsed)
+        });
+        self.telemetry.finish_progress();
     }
 
     /// Parallel work-stealing engine (see DESIGN.md §9).
@@ -345,29 +400,56 @@ impl<'p> Verifier<'p> {
         let first_error: Mutex<Option<(Fingerprint, TraceStep, PError)>> = Mutex::new(None);
         let depth_truncated = AtomicBool::new(false);
 
-        let mut stats = std::thread::scope(|scope| {
+        let counters = SharedCounters::default();
+        let worker_tasks: Vec<u64> = std::thread::scope(|scope| {
             let workers: Vec<_> = (0..jobs)
                 .map(|w| {
                     let frontier = &frontier;
                     let table = &table;
                     let first_error = &first_error;
                     let depth_truncated = &depth_truncated;
+                    let counters = &counters;
                     scope.spawn(move || {
-                        self.expand_worker(w, frontier, table, first_error, depth_truncated)
+                        self.expand_worker(
+                            w,
+                            jobs,
+                            frontier,
+                            table,
+                            first_error,
+                            depth_truncated,
+                            counters,
+                        )
                     })
                 })
                 .collect();
-            let mut stats = ExplorationStats::default();
-            for handle in workers {
-                stats.merge(&handle.join().expect("exploration worker panicked"));
-            }
-            stats
+            workers
+                .into_iter()
+                .map(|handle| handle.join().expect("exploration worker panicked"))
+                .collect()
         });
+
+        // Final totals come exclusively from the shared counters (every
+        // worker flushes its remaining delta on exit, including the
+        // `break 'tasks` counterexample path) and the shared table —
+        // never from re-merging worker-local stats, so nothing can be
+        // counted twice and an aborted run still reports exact totals.
+        let mut stats = counters.totals();
+        #[cfg(feature = "telemetry")]
+        if let Some(metrics) = self.telemetry.metrics() {
+            let utilization = metrics.histogram("checker.worker.tasks");
+            for &tasks in &worker_tasks {
+                utilization.observe(tasks);
+            }
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = worker_tasks;
 
         stats.unique_states = table.unique();
         stats.stored_bytes = table.stored_bytes();
         stats.truncated |= table.truncated() || depth_truncated.load(Ordering::SeqCst);
         stats.duration = start.elapsed();
+        #[cfg(feature = "telemetry")]
+        self.final_snapshot(&stats, frontier.pending(), jobs as u64);
 
         let counterexample = first_error.lock().take().map(|(parent_fp, step, error)| {
             // Workers have joined; the shared parents map is quiescent
@@ -385,21 +467,32 @@ impl<'p> Verifier<'p> {
     }
 
     /// One parallel worker: expand tasks until the frontier drains or a
-    /// violation stops the search. Returns the worker-local stats
-    /// (state/byte counts stay zero — the shared table owns those).
+    /// violation stops the search. Keeps thread-local stats and flushes
+    /// deltas to the shared [`SharedCounters`] after every expanded task
+    /// and unconditionally on exit, so the shared totals are exact on
+    /// every exit path. Returns the number of tasks this worker expanded
+    /// (the per-worker utilization sample).
+    #[allow(clippy::too_many_arguments)]
     fn expand_worker(
         &self,
         worker: usize,
+        jobs: usize,
         frontier: &Frontier<Task>,
         table: &SharedTable,
         first_error: &Mutex<Option<(Fingerprint, TraceStep, PError)>>,
         depth_truncated: &AtomicBool,
-    ) -> ExplorationStats {
+        counters: &SharedCounters,
+    ) -> u64 {
         let engine = self.engine();
         let mut stats = ExplorationStats::default();
+        let mut flushed = ExplorationStats::default();
+        let mut tasks = 0u64;
+        #[cfg(not(feature = "telemetry"))]
+        let _ = jobs;
         let por = self.options.por.then(|| Por::new(self.program));
         let mut succs = Vec::new();
         'tasks: while let Some((config, fp, depth, sleep, fresh)) = frontier.next(worker) {
+            tasks += 1;
             stats.max_depth = stats.max_depth.max(depth);
             if depth >= self.options.max_depth {
                 depth_truncated.store(true, Ordering::SeqCst);
@@ -413,6 +506,7 @@ impl<'p> Verifier<'p> {
             let mut cur_sleep = sleep;
             for id in enabled {
                 if cur_sleep.contains(id) {
+                    stats.sleep_pruned += 1;
                     continue;
                 }
                 crate::succ::successors_into(
@@ -444,14 +538,14 @@ impl<'p> Verifier<'p> {
                     let step =
                         || crate::trace::StepSeed::from_run(id, result, std::mem::take(choices));
                     match &por {
-                        None => {
-                            if table.admit(succ_fp, succ_len, fp, step) == Admit::New {
-                                frontier.push(
-                                    worker,
-                                    (succ.config, succ_fp, depth + 1, SleepSet::empty(), true),
-                                );
-                            }
-                        }
+                        None => match table.admit(succ_fp, succ_len, fp, step) {
+                            Admit::New => frontier.push(
+                                worker,
+                                (succ.config, succ_fp, depth + 1, SleepSet::empty(), true),
+                            ),
+                            Admit::Seen => stats.dedup_hits += 1,
+                            Admit::OverBound => {}
+                        },
                         Some(por) => {
                             let taken = por.run_footprint(id, result);
                             let child_sleep = por.filter_sleep(&config, cur_sleep, &taken);
@@ -460,7 +554,8 @@ impl<'p> Verifier<'p> {
                                     worker,
                                     (succ.config, succ_fp, depth + 1, child_sleep, true),
                                 ),
-                                AdmitSleep::Covered | AdmitSleep::OverBound => {}
+                                AdmitSleep::Covered => stats.dedup_hits += 1,
+                                AdmitSleep::OverBound => {}
                                 AdmitSleep::Widen(widened) => frontier.push(
                                     worker,
                                     (succ.config, succ_fp, depth + 1, widened, false),
@@ -474,8 +569,24 @@ impl<'p> Verifier<'p> {
                 }
             }
             frontier.task_done();
+            counters.flush(&stats, &mut flushed);
+            #[cfg(feature = "telemetry")]
+            if tasks.is_multiple_of(SNAPSHOT_EVERY_TASKS as u64) {
+                self.telemetry.maybe_snapshot(worker as u32, |elapsed| {
+                    let mut totals = counters.totals();
+                    totals.unique_states = table.unique();
+                    snapshot_from(
+                        &totals,
+                        totals.unique_states,
+                        frontier.pending(),
+                        jobs as u64,
+                        elapsed,
+                    )
+                });
+            }
         }
-        stats
+        counters.flush(&stats, &mut flushed);
+        tasks
     }
 }
 
@@ -514,4 +625,27 @@ impl Verifier<'_> {
 /// (always the first allocated).
 pub(crate) fn initial_machine() -> MachineId {
     MachineId(0)
+}
+
+/// Builds a telemetry snapshot from running exploration totals.
+/// `states` is passed separately because the sequential engine reads it
+/// from the visited set (stats.unique_states is only filled at the end).
+#[cfg(feature = "telemetry")]
+fn snapshot_from(
+    stats: &ExplorationStats,
+    states: usize,
+    frontier: usize,
+    workers: u64,
+    elapsed_micros: u64,
+) -> p_telemetry::ExplorationSnapshot {
+    p_telemetry::ExplorationSnapshot {
+        elapsed_micros,
+        states: states as u64,
+        transitions: stats.transitions as u64,
+        frontier: frontier as u64,
+        dedup_hits: stats.dedup_hits as u64,
+        sleep_pruned: stats.sleep_pruned as u64,
+        max_depth: stats.max_depth as u64,
+        workers,
+    }
 }

@@ -32,6 +32,13 @@ pub struct ExplorationStats {
     /// pending event is deferred) — potential lost-work states, the
     /// safety-level shadow of the second liveness property.
     pub stuck_states: usize,
+    /// Transitions whose successor was already in the visited set — the
+    /// dedup hit count. `dedup_hits / transitions` is the share of
+    /// exploration effort spent re-deriving known states.
+    pub dedup_hits: usize,
+    /// Machine runs skipped by sleep-set POR (counted per skipped
+    /// enabled machine at a state, zero with POR off).
+    pub sleep_pruned: usize,
 }
 
 impl ExplorationStats {
@@ -51,6 +58,8 @@ impl ExplorationStats {
         self.stored_bytes += other.stored_bytes;
         self.quiescent_states += other.quiescent_states;
         self.stuck_states += other.stuck_states;
+        self.dedup_hits += other.dedup_hits;
+        self.sleep_pruned += other.sleep_pruned;
         self.max_depth = self.max_depth.max(other.max_depth);
         self.max_queue_seen = self.max_queue_seen.max(other.max_queue_seen);
         self.duration = self.duration.max(other.duration);
@@ -99,6 +108,8 @@ mod tests {
             max_queue_seen: 4,
             quiescent_states: 1,
             stuck_states: 0,
+            dedup_hits: 6,
+            sleep_pruned: 2,
         };
         let text = s.to_string();
         assert!(text.contains("10 states"));
@@ -117,6 +128,8 @@ mod tests {
             max_queue_seen: 2,
             quiescent_states: 1,
             stuck_states: 0,
+            dedup_hits: 4,
+            sleep_pruned: 1,
         };
         let b = ExplorationStats {
             unique_states: 0,
@@ -128,9 +141,13 @@ mod tests {
             max_queue_seen: 1,
             quiescent_states: 2,
             stuck_states: 1,
+            dedup_hits: 3,
+            sleep_pruned: 2,
         };
         a.merge(&b);
         assert_eq!(a.transitions, 12);
+        assert_eq!(a.dedup_hits, 7);
+        assert_eq!(a.sleep_pruned, 3);
         assert_eq!(a.max_depth, 9);
         assert_eq!(a.max_queue_seen, 2);
         assert_eq!(a.quiescent_states, 3);

@@ -6,8 +6,10 @@
 //! p info FILE                       machines / states / transitions
 //! p verify FILE [--delay N] [--max-states N] [--fine] [--jobs N] [--por]
 //!              [--faults N] [--fault-kinds drop,dup,delay]
+//!              [--profile OUT.json] [--progress]
 //! p liveness FILE                   bounded liveness check (§3.2)
 //! p run FILE MACHINE EVENT[:INT]... create a machine and feed it events
+//!       [--stats] [--trace OUT.json] [--metrics OUT.json]
 //! p compile FILE [-o OUT.c]         generate the C translation unit (§4)
 //! p dot FILE [MACHINE] [-o OUT.dot] state-diagram export
 //! ```
@@ -58,8 +60,10 @@ fn usage() -> String {
      p info FILE                       machines / states / transitions\n\
      p verify FILE [--delay N] [--max-states N] [--fine] [--jobs N] [--por]\n\
                    [--faults N] [--fault-kinds drop,dup,delay]\n\
+                   [--profile OUT.json] [--progress]\n\
      p liveness FILE                   bounded liveness check\n\
      p run FILE MACHINE EVENT[:INT]... create a machine, feed it events\n\
+           [--stats] [--trace OUT.json] [--metrics OUT.json]\n\
      p compile FILE [-o OUT.c]         generate C (section 4 layout)\n\
      p dot FILE [MACHINE] [-o OUT.dot] state-diagram export"
         .to_owned()
@@ -140,12 +144,21 @@ fn verify(args: &[String]) -> Result<(), String> {
     let mut delay: Option<usize> = None;
     let mut faults: Option<usize> = None;
     let mut fault_kinds: Vec<p_core::FaultKind> = Vec::new();
+    let mut profile: Option<String> = None;
+    let mut progress = false;
     let mut options = CheckerOptions::default();
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
             "--delay" => {
                 delay = Some(parse_flag_value(args, &mut i, "--delay")?);
+            }
+            "--profile" => {
+                profile = Some(parse_flag_path(args, &mut i, "--profile")?);
+            }
+            "--progress" => {
+                progress = true;
+                i += 1;
             }
             "--faults" => {
                 faults = Some(parse_flag_value(args, &mut i, "--faults")?);
@@ -194,17 +207,44 @@ fn verify(args: &[String]) -> Result<(), String> {
             "--por applies to the exhaustive search only (not --delay/--faults)".to_owned(),
         );
     }
+    if (profile.is_some() || progress) && (delay.is_some() || faults.is_some()) {
+        return Err(
+            "--profile/--progress apply to the exhaustive search only (not --delay/--faults)"
+                .to_owned(),
+        );
+    }
 
-    let verifier = compiled.verifier().with_options(options);
-    let (_passed, stats, counterexample) = match (delay, faults) {
+    let (telemetry, ring) = if profile.is_some() || progress {
+        let mut builder = p_core::Telemetry::builder();
+        if progress {
+            builder = builder.progress(std::time::Duration::from_millis(100));
+        }
+        let (t, ring) = builder.build();
+        (t, ring)
+    } else {
+        (p_core::Telemetry::disabled(), None)
+    };
+
+    let mode = checker_mode(&options);
+    let workers = options.jobs.max(1) as u64;
+    let verifier = compiled
+        .verifier()
+        .with_options(options)
+        .with_telemetry(telemetry.clone());
+    let (passed, stats, counterexample, complete) = match (delay, faults) {
         (None, None) => {
             let r = verifier.check_exhaustive();
-            (r.passed(), r.stats, r.counterexample)
+            (r.passed(), r.stats, r.counterexample, r.complete)
         }
         (Some(d), _) => {
             let r = verifier.check_delay_bounded(d);
             println!("delay bound {d}, {} scheduler node(s)", r.scheduler_nodes);
-            (r.report.passed(), r.report.stats, r.report.counterexample)
+            (
+                r.report.passed(),
+                r.report.stats,
+                r.report.counterexample,
+                r.report.complete,
+            )
         }
         (None, Some(budget)) => {
             let r = verifier.check_with_faults(budget, &fault_kinds);
@@ -218,9 +258,29 @@ fn verify(args: &[String]) -> Result<(), String> {
                 r.fault_nodes,
                 r.fault_transitions
             );
-            (r.report.passed(), r.report.stats, r.report.counterexample)
+            (
+                r.report.passed(),
+                r.report.stats,
+                r.report.counterexample,
+                r.report.complete,
+            )
         }
     };
+
+    if let Some(target) = &profile {
+        write_profile(
+            target,
+            path,
+            mode,
+            workers,
+            &telemetry,
+            ring.as_deref(),
+            &stats,
+            passed,
+            complete,
+        )?;
+        println!("wrote {target}");
+    }
 
     println!("{stats}");
     match counterexample {
@@ -251,6 +311,97 @@ fn parse_flag_value(args: &[String], i: &mut usize, flag: &str) -> Result<usize,
     Ok(parsed)
 }
 
+fn parse_flag_path(args: &[String], i: &mut usize, flag: &str) -> Result<String, String> {
+    let value = args
+        .get(*i + 1)
+        .ok_or_else(|| format!("{flag} needs a path"))?
+        .clone();
+    *i += 2;
+    Ok(value)
+}
+
+/// The `mode` tag stamped into profile/bench rows for this option set.
+fn checker_mode(options: &CheckerOptions) -> &'static str {
+    match (options.por, options.jobs > 1) {
+        (true, _) => "por",
+        (false, true) => "parallel",
+        (false, false) => "exhaustive",
+    }
+}
+
+/// Bare file name without the extension, for labeling profile rows.
+fn file_stem(path: &str) -> String {
+    std::path::Path::new(path)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.to_owned())
+}
+
+fn stats_to_metrics(
+    name: &str,
+    mode: &str,
+    stats: &p_core::checker::ExplorationStats,
+    workers: u64,
+    passed: bool,
+    complete: bool,
+) -> p_core::telemetry::ExplorationMetrics {
+    p_core::telemetry::ExplorationMetrics {
+        name: name.to_owned(),
+        mode: mode.to_owned(),
+        states: stats.unique_states as u64,
+        transitions: stats.transitions as u64,
+        seconds: stats.duration.as_secs_f64(),
+        stored_bytes: stats.stored_bytes as u64,
+        max_depth: stats.max_depth as u64,
+        dedup_hits: stats.dedup_hits as u64,
+        sleep_pruned: stats.sleep_pruned as u64,
+        workers,
+        passed,
+        complete,
+    }
+}
+
+/// Writes the `--profile` document: a Chrome-loadable trace with the
+/// exploration snapshots, the metrics report, and the final metrics row
+/// riding along as extra top-level keys.
+#[allow(clippy::too_many_arguments)]
+fn write_profile(
+    target: &str,
+    source_path: &str,
+    mode: &str,
+    workers: u64,
+    telemetry: &p_core::Telemetry,
+    ring: Option<&p_core::telemetry::RingRecorder>,
+    stats: &p_core::checker::ExplorationStats,
+    passed: bool,
+    complete: bool,
+) -> Result<(), String> {
+    use p_core::telemetry::json::{num, str as jstr};
+    let records = ring
+        .map(p_core::telemetry::RingRecorder::drain)
+        .unwrap_or_default();
+    let metrics = stats_to_metrics(
+        &file_stem(source_path),
+        mode,
+        stats,
+        workers,
+        passed,
+        complete,
+    );
+    let doc = p_core::telemetry::chrome::chrome_document(
+        &records,
+        telemetry
+            .metrics()
+            .map(p_core::telemetry::MetricsRegistry::report),
+        vec![
+            ("exploration", metrics.to_json()),
+            ("source", jstr(source_path)),
+            ("dropped_records", num(telemetry.dropped_records() as f64)),
+        ],
+    );
+    fs::write(target, doc.render_pretty()).map_err(|e| format!("cannot write {target}: {e}"))
+}
+
 fn liveness(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or_else(usage)?;
     let (_, compiled) = load(path)?;
@@ -271,10 +422,49 @@ fn liveness(args: &[String]) -> Result<(), String> {
 }
 
 fn run_program(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or_else(usage)?;
-    let machine = args.get(1).ok_or("run needs a machine name".to_owned())?;
+    let mut stats = false;
+    let mut trace: Option<String> = None;
+    let mut metrics: Option<String> = None;
+    let mut positional: Vec<&String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--stats" => {
+                stats = true;
+                i += 1;
+            }
+            "--trace" => {
+                trace = Some(parse_flag_path(args, &mut i, "--trace")?);
+            }
+            "--metrics" => {
+                metrics = Some(parse_flag_path(args, &mut i, "--metrics")?);
+            }
+            other if other.starts_with("--") => return Err(format!("unknown flag `{other}`")),
+            _ => {
+                positional.push(&args[i]);
+                i += 1;
+            }
+        }
+    }
+    let path = positional.first().copied().ok_or_else(usage)?;
+    let machine = positional
+        .get(1)
+        .copied()
+        .ok_or("run needs a machine name".to_owned())?;
     let (_, compiled) = load(path)?;
-    let runtime = compiled.runtime().map_err(|e| e.to_string())?.start();
+
+    let (telemetry, ring) = if trace.is_some() || metrics.is_some() {
+        let (t, ring) = p_core::Telemetry::builder().build();
+        (t, ring)
+    } else {
+        (p_core::Telemetry::disabled(), None)
+    };
+    let runtime = {
+        let mut builder = compiled.runtime().map_err(|e| e.to_string())?;
+        builder.telemetry(telemetry.clone());
+        builder.start()
+    };
+
     let id = runtime
         .create_machine(machine, &[])
         .map_err(|e| e.to_string())?;
@@ -282,7 +472,7 @@ fn run_program(args: &[String]) -> Result<(), String> {
         "created {machine} {id}, state = {}",
         runtime.current_state(id).unwrap_or_default()
     );
-    for spec in &args[2..] {
+    for spec in &positional[2..] {
         let (event, payload) = match spec.split_once(':') {
             None => (spec.as_str(), Value::Null),
             Some((e, v)) => (
@@ -303,6 +493,38 @@ fn run_program(args: &[String]) -> Result<(), String> {
                 .unwrap_or_else(|| "<deleted>".into()),
             runtime.queue_len(id).unwrap_or(0)
         );
+    }
+
+    if stats {
+        println!("{}", runtime.stats().to_json().render_pretty());
+    }
+    let metrics_report = telemetry
+        .metrics()
+        .map(p_core::telemetry::MetricsRegistry::report);
+    if let Some(target) = &trace {
+        use p_core::telemetry::json::{num, str as jstr};
+        let records = ring
+            .as_deref()
+            .map(p_core::telemetry::RingRecorder::drain)
+            .unwrap_or_default();
+        let doc = p_core::telemetry::chrome::chrome_document(
+            &records,
+            metrics_report.clone(),
+            vec![
+                ("source", jstr(path)),
+                ("stats", runtime.stats().to_json()),
+                ("dropped_records", num(telemetry.dropped_records() as f64)),
+            ],
+        );
+        fs::write(target, doc.render_pretty())
+            .map_err(|e| format!("cannot write {target}: {e}"))?;
+        println!("wrote {target}");
+    }
+    if let Some(target) = &metrics {
+        let report = metrics_report.unwrap_or_else(|| p_core::telemetry::json::obj(vec![]));
+        fs::write(target, report.render_pretty())
+            .map_err(|e| format!("cannot write {target}: {e}"))?;
+        println!("wrote {target}");
     }
     Ok(())
 }

@@ -14,6 +14,7 @@
 //! | execution runtime | [`runtime`] | §4 |
 //! | C code generation | [`codegen`] | §4 |
 //! | benchmark corpus | [`corpus`] | §2, §4.1, §5, §6 |
+//! | tracing + profiling | [`telemetry`] | §6 (measurement) |
 //!
 //! # Examples
 //!
@@ -59,6 +60,7 @@ pub use p_corpus as corpus;
 pub use p_parser as parser;
 pub use p_runtime as runtime;
 pub use p_semantics as semantics;
+pub use p_telemetry as telemetry;
 pub use p_typecheck as typecheck;
 
 pub use p_ast::Program;
@@ -68,6 +70,7 @@ pub use p_checker::{
 pub use p_codegen::COutput;
 pub use p_runtime::{DriverHost, Runtime, RuntimeBuilder};
 pub use p_semantics::{ForeignRegistry, LoweredProgram, MachineId, Value};
+pub use p_telemetry::Telemetry;
 
 /// Any failure along the compilation pipeline.
 #[derive(Debug)]

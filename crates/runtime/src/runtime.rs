@@ -34,6 +34,7 @@ use p_semantics::{
     lower, Config, Engine, ExecOutcome, ForeignEnv, ForeignRegistry, Granularity, LoweredProgram,
     MachineId, Value, YieldKind,
 };
+use p_telemetry::Telemetry;
 
 use crate::RuntimeError;
 
@@ -48,6 +49,7 @@ pub struct RuntimeBuilder {
     registry: ForeignRegistry,
     contexts: Arc<Mutex<ContextMap>>,
     fuel: usize,
+    telemetry: Telemetry,
 }
 
 impl std::fmt::Debug for RuntimeBuilder {
@@ -93,6 +95,17 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Attaches a telemetry handle. The runtime then records per-machine
+    /// spans for atomic runs, instants for send/raise/dequeue/defer/
+    /// halt/quarantine, and queue-depth gauges through it. A disabled
+    /// handle (the default) reduces every hook to one predictable
+    /// branch; building `p-runtime` without its `telemetry` feature
+    /// removes the hook sites entirely.
+    pub fn telemetry(&mut self, telemetry: Telemetry) -> &mut Self {
+        self.telemetry = telemetry;
+        self
+    }
+
     /// Builds the runtime. No machine is created yet — that is the
     /// interface code's job (e.g. on `EvtAddDevice`).
     pub fn start(self) -> Runtime {
@@ -110,6 +123,7 @@ impl RuntimeBuilder {
                 fuel: self.fuel,
                 events_processed: AtomicU64::new(0),
                 runs_executed: AtomicU64::new(0),
+                telemetry: self.telemetry,
             }),
         }
     }
@@ -183,6 +197,47 @@ pub struct MachineStats {
     pub dropped: u64,
 }
 
+impl MachineStatus {
+    /// Stable lowercase name used in JSON output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MachineStatus::Running => "running",
+            MachineStatus::Halted => "halted",
+            MachineStatus::Quarantined => "quarantined",
+        }
+    }
+}
+
+impl RuntimeStats {
+    /// Serializes the snapshot as JSON (the `p run --stats` payload),
+    /// including per-machine supervision status.
+    pub fn to_json(&self) -> p_telemetry::json::JsonValue {
+        use p_telemetry::json::{num, obj, str as jstr, JsonValue};
+        let machines = JsonValue::Arr(
+            self.machines
+                .iter()
+                .map(|m| {
+                    obj(vec![
+                        ("machine", num(f64::from(m.machine.0))),
+                        ("status", jstr(m.status.as_str())),
+                        ("delivered", num(m.delivered as f64)),
+                        ("dropped", num(m.dropped as f64)),
+                    ])
+                })
+                .collect(),
+        );
+        obj(vec![
+            ("events_processed", num(self.events_processed as f64)),
+            ("runs_executed", num(self.runs_executed as f64)),
+            ("delivered", num(self.delivered as f64)),
+            ("dropped", num(self.dropped as f64)),
+            ("quarantined", num(self.quarantined as f64)),
+            ("halted", num(self.halted as f64)),
+            ("machines", machines),
+        ])
+    }
+}
+
 struct Shared {
     config: Config,
     /// Causal work stack: machines with pending work, top last.
@@ -210,6 +265,7 @@ struct Inner {
     fuel: usize,
     events_processed: AtomicU64,
     runs_executed: AtomicU64,
+    telemetry: Telemetry,
 }
 
 /// The P runtime: hosts machine instances of one erased program.
@@ -273,6 +329,7 @@ impl Runtime {
             registry: ForeignRegistry::new(),
             contexts: Arc::new(Mutex::new(HashMap::new())),
             fuel: 1_000_000,
+            telemetry: Telemetry::disabled(),
         })
     }
 
@@ -283,6 +340,7 @@ impl Runtime {
             registry: ForeignRegistry::new(),
             contexts: Arc::new(Mutex::new(HashMap::new())),
             fuel: 1_000_000,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -383,6 +441,13 @@ impl Runtime {
         machine.enqueue(ev, payload);
         self.inner.events_processed.fetch_add(1, Ordering::Relaxed);
         shared.meta.entry(id).or_default().delivered += 1;
+        #[cfg(feature = "telemetry")]
+        {
+            let program = &self.inner.program;
+            self.inner.telemetry.instant(id.0, "inject", || {
+                vec![("event", program.event_name(ev).into())]
+            });
+        }
         shared.work.push(id);
         self.drain(&mut shared)?;
         Ok(())
@@ -401,8 +466,15 @@ impl Runtime {
     /// The first failure observed is reported to the caller after the
     /// stack is quiescent.
     fn drain(&self, shared: &mut Shared) -> Result<(), RuntimeError> {
-        let engine =
+        #[allow(unused_mut)]
+        let mut engine =
             Engine::new(&self.inner.program, self.inner.foreign.clone()).with_fuel(self.inner.fuel);
+        #[cfg(feature = "telemetry")]
+        {
+            // Extended run logs (raise/defer events) cost an allocation
+            // per occurrence; only pay for them when tracing.
+            engine = engine.with_event_log(self.inner.telemetry.enabled());
+        }
         let Shared { config, work, meta } = shared;
         let mut first_err: Option<RuntimeError> = None;
         while let Some(id) = work.pop() {
@@ -411,6 +483,14 @@ impl Runtime {
             }
             if !meta.entry(id).or_default().status.is_running() {
                 continue;
+            }
+            #[cfg(feature = "telemetry")]
+            {
+                let program = &self.inner.program;
+                let ty = config.machine(id).expect("checked live above").ty;
+                self.inner.telemetry.span_begin(id.0, "run", || {
+                    vec![("machine", program.machine_name(ty).into())]
+                });
             }
             // Erased programs contain no `*`; the closure is never
             // called on checked inputs, and returning an arbitrary
@@ -425,11 +505,24 @@ impl Runtime {
                     let m = meta.entry(id).or_default();
                     m.status = MachineStatus::Quarantined;
                     m.fault = Some(panic_message(payload));
+                    #[cfg(feature = "telemetry")]
+                    {
+                        let reason = m.fault.as_deref().unwrap_or("");
+                        self.inner
+                            .telemetry
+                            .instant(id.0, "quarantine", || vec![("reason", reason.into())]);
+                        self.inner.telemetry.span_end(id.0, "run");
+                        if let Some(metrics) = self.inner.telemetry.metrics() {
+                            metrics.counter("runtime.quarantines").inc();
+                        }
+                    }
                     first_err.get_or_insert(RuntimeError::MachineQuarantined(id));
                     continue;
                 }
             };
             self.inner.runs_executed.fetch_add(1, Ordering::Relaxed);
+            #[cfg(feature = "telemetry")]
+            self.trace_run(id, config, &run);
             match run.outcome {
                 ExecOutcome::Yield(YieldKind::Sent { to, .. }) => {
                     // Causal order: the receiver processes next, then
@@ -581,5 +674,110 @@ impl Runtime {
     /// Records an event dropped before delivery (pump overflow policy).
     pub(crate) fn note_dropped(&self, id: MachineId) {
         self.inner.shared.lock().meta.entry(id).or_default().dropped += 1;
+        #[cfg(feature = "telemetry")]
+        {
+            self.inner.telemetry.instant(id.0, "drop", Vec::new);
+            if let Some(metrics) = self.inner.telemetry.metrics() {
+                metrics.counter("runtime.events.dropped").inc();
+            }
+        }
+    }
+
+    /// The telemetry handle this runtime records through (disabled
+    /// unless one was attached via [`RuntimeBuilder::telemetry`]).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.inner.telemetry
+    }
+
+    /// Emits the trace records for one completed atomic run: the
+    /// machine's events in run order, the closing span, a queue-depth
+    /// gauge, and the aggregate counters/histograms.
+    #[cfg(feature = "telemetry")]
+    fn trace_run(&self, id: MachineId, config: &Config, run: &p_semantics::RunResult) {
+        let telemetry = &self.inner.telemetry;
+        if !telemetry.enabled() {
+            return;
+        }
+        let program = &self.inner.program;
+        let tid = id.0;
+        for &ev in &run.dequeued {
+            telemetry.instant(tid, "dequeue", || {
+                vec![("event", program.event_name(ev).into())]
+            });
+        }
+        for &ev in &run.deferred {
+            telemetry.instant(tid, "defer", || {
+                vec![("event", program.event_name(ev).into())]
+            });
+        }
+        for &ev in &run.raised {
+            telemetry.instant(tid, "raise", || {
+                vec![("event", program.event_name(ev).into())]
+            });
+        }
+        match &run.outcome {
+            ExecOutcome::Yield(YieldKind::Sent {
+                to,
+                event,
+                enqueued,
+            }) => {
+                telemetry.instant(tid, "send", || {
+                    vec![
+                        ("event", program.event_name(*event).into()),
+                        ("to", u64::from(to.0).into()),
+                        ("enqueued", i64::from(*enqueued).into()),
+                    ]
+                });
+            }
+            ExecOutcome::Yield(YieldKind::Created { id: new_id, ty }) => {
+                telemetry.instant(tid, "create", || {
+                    vec![
+                        ("machine", program.machine_name(*ty).into()),
+                        ("id", u64::from(new_id.0).into()),
+                    ]
+                });
+            }
+            ExecOutcome::Error(e) => {
+                let summary = e.to_string();
+                telemetry.instant(tid, "halt", || vec![("error", summary.into())]);
+            }
+            _ => {}
+        }
+        telemetry.span_end(tid, "run");
+        if let Some(m) = config.machine(id) {
+            telemetry.gauge(tid, "queue_depth", m.queue.len() as i64);
+        }
+        if let Some(metrics) = telemetry.metrics() {
+            metrics.counter("runtime.runs").inc();
+            metrics
+                .histogram("runtime.run.steps")
+                .observe(run.steps as u64);
+            metrics
+                .counter("runtime.events.dequeued")
+                .add(run.dequeued.len() as u64);
+            metrics
+                .counter("runtime.events.deferred")
+                .add(run.deferred.len() as u64);
+            metrics
+                .counter("runtime.events.raised")
+                .add(run.raised.len() as u64);
+            match &run.outcome {
+                ExecOutcome::Yield(YieldKind::Sent { .. }) => {
+                    metrics.counter("runtime.events.sent").inc();
+                }
+                ExecOutcome::Yield(YieldKind::Created { .. }) => {
+                    metrics.counter("runtime.machines.created").inc();
+                }
+                ExecOutcome::Error(_) => {
+                    metrics.counter("runtime.halts").inc();
+                }
+                _ => {}
+            }
+            if let Some(m) = config.machine(id) {
+                metrics
+                    .gauge("runtime.queue.depth")
+                    .set(m.queue.len() as u64);
+            }
+        }
     }
 }

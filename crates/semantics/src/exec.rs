@@ -73,6 +73,13 @@ pub struct RunResult {
     /// Events dequeued from this machine's input queue during the run
     /// (used by the liveness analysis in `p-checker`).
     pub dequeued: Vec<EventId>,
+    /// Events the machine `raise`d during the run. Recorded only when
+    /// the engine was built [`Engine::with_event_log`]; empty otherwise
+    /// so the checker's hot path pays no extra allocation.
+    pub raised: Vec<EventId>,
+    /// Queued events skipped as deferred while picking the event to
+    /// dequeue. Recorded only under [`Engine::with_event_log`].
+    pub deferred: Vec<EventId>,
 }
 
 /// Scheduling granularity.
@@ -158,6 +165,18 @@ pub struct Engine<'p> {
     program: &'p LoweredProgram,
     foreign: ForeignEnv,
     fuel: usize,
+    event_log: bool,
+}
+
+/// What one atomic run observed (internal accumulator for
+/// [`RunResult`]'s event lists).
+struct RunLog {
+    dequeued: Vec<EventId>,
+    raised: Vec<EventId>,
+    deferred: Vec<EventId>,
+    /// Record `raised`/`deferred` too? (`dequeued` is always kept — the
+    /// liveness analysis depends on it.)
+    extended: bool,
 }
 
 /// Result of one small step (internal).
@@ -181,7 +200,16 @@ impl<'p> Engine<'p> {
             program,
             foreign,
             fuel: 100_000,
+            event_log: false,
         }
+    }
+
+    /// Also records `raise`d and deferred events in [`RunResult`] (the
+    /// runtime's tracing wants them; the model checker leaves this off
+    /// to keep atomic runs allocation-light).
+    pub fn with_event_log(mut self, on: bool) -> Engine<'p> {
+        self.event_log = on;
+        self
     }
 
     /// Overrides the per-run small-step budget. Exceeding it produces
@@ -256,7 +284,12 @@ impl<'p> Engine<'p> {
             used: 0,
         };
         let mut steps = 0;
-        let mut dequeued = Vec::new();
+        let mut log = RunLog {
+            dequeued: Vec::new(),
+            raised: Vec::new(),
+            deferred: Vec::new(),
+            extended: self.event_log,
+        };
         let outcome = {
             let m = std::sync::Arc::make_mut(&mut taken);
             loop {
@@ -264,7 +297,7 @@ impl<'p> Engine<'p> {
                     break ExecOutcome::Error(PError::new(ErrorKind::FuelExhausted, id));
                 }
                 steps += 1;
-                let step = self.small_step(config, m, id, &mut counting, &mut dequeued);
+                let step = self.small_step(config, m, id, &mut counting, &mut log);
                 match step {
                     SmallStep::Continue => {
                         if granularity == Granularity::Fine {
@@ -292,7 +325,9 @@ impl<'p> Engine<'p> {
             outcome,
             choices_used: counting.used,
             steps,
-            dequeued,
+            dequeued: log.dequeued,
+            raised: log.raised,
+            deferred: log.deferred,
         }
     }
 
@@ -304,11 +339,11 @@ impl<'p> Engine<'p> {
         m: &mut MachineState,
         id: MachineId,
         choices: &mut CountingChoices<'_>,
-        dequeued: &mut Vec<EventId>,
+        log: &mut RunLog,
     ) -> SmallStep {
         // 1. Remaining statement execution.
         if let Some(instr) = m.cont.pop() {
-            return self.exec_instr(config, m, id, instr, choices);
+            return self.exec_instr(config, m, id, instr, choices, log);
         }
 
         // 2. A raised event awaiting dispatch.
@@ -331,8 +366,15 @@ impl<'p> Engine<'p> {
         match index {
             None => SmallStep::Blocked,
             Some(i) => {
+                if log.extended {
+                    // Everything the scan passed over was skipped as
+                    // deferred (handled events stop the scan).
+                    for &(skipped, _) in &m.queue[..i] {
+                        log.deferred.push(skipped);
+                    }
+                }
                 let (event, value) = m.queue.remove(i);
-                dequeued.push(event);
+                log.dequeued.push(event);
                 m.msg = Value::Event(event);
                 m.arg = value;
                 m.pending = Some((event, value));
@@ -425,12 +467,13 @@ impl<'p> Engine<'p> {
         id: MachineId,
         instr: Instr,
         choices: &mut CountingChoices<'_>,
+        log: &mut RunLog,
     ) -> SmallStep {
         match instr {
             Instr::Stmt(sid) => {
                 // The code arena outlives the run; no clone needed.
                 let stmt = self.program.code.stmt(sid);
-                self.exec_stmt(config, m, id, sid, stmt, choices)
+                self.exec_stmt(config, m, id, sid, stmt, choices, log)
             }
             Instr::Seq(block, idx) => {
                 let LStmt::Block(children) = self.program.code.stmt(block) else {
@@ -479,6 +522,7 @@ impl<'p> Engine<'p> {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn exec_stmt(
         &self,
         config: &mut Config,
@@ -487,6 +531,7 @@ impl<'p> Engine<'p> {
         sid: crate::lower::StmtId,
         stmt: &LStmt,
         choices: &mut CountingChoices<'_>,
+        log: &mut RunLog,
     ) -> SmallStep {
         macro_rules! eval {
             ($expr:expr) => {{
@@ -565,6 +610,9 @@ impl<'p> Engine<'p> {
                     Some(p) => eval!(*p),
                     None => Value::Null,
                 };
+                if log.extended {
+                    log.raised.push(*event);
+                }
                 m.msg = Value::Event(*event);
                 m.arg = v;
                 m.cont.clear();

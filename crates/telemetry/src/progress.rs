@@ -1,0 +1,86 @@
+//! Live progress reporting for long explorations.
+//!
+//! Prints a single overwriting stderr line at a fixed interval:
+//!
+//! ```text
+//! [verify] 1.2s  84211 states  312940 trans  frontier 5718  dedup 61%  depth 23  70k states/s
+//! ```
+//!
+//! Printing is driven by whoever records snapshots (no timer thread):
+//! `maybe_print` is rate-limited internally, so callers can invoke it
+//! as often as they like.
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use crate::record::ExplorationSnapshot;
+
+/// An interval-throttled stderr progress line.
+pub struct Progress {
+    interval_micros: u64,
+    last_print: AtomicU64,
+    printed: AtomicU64,
+}
+
+impl Progress {
+    /// Creates a meter printing at most once per `interval`.
+    pub fn new(interval: Duration) -> Self {
+        Progress {
+            interval_micros: interval.as_micros().max(1) as u64,
+            last_print: AtomicU64::new(0),
+            printed: AtomicU64::new(0),
+        }
+    }
+
+    /// Prints the snapshot if the interval has elapsed since the last
+    /// print. Thread-safe; concurrent callers race benignly (at most
+    /// one extra line).
+    pub fn maybe_print(&self, snap: &ExplorationSnapshot) {
+        let last = self.last_print.load(Ordering::Relaxed);
+        let now = snap.elapsed_micros;
+        if now < last.saturating_add(self.interval_micros) {
+            return;
+        }
+        if self
+            .last_print
+            .compare_exchange(last, now, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            self.print(snap);
+        }
+    }
+
+    /// Prints unconditionally (used for the final snapshot).
+    pub fn print(&self, snap: &ExplorationSnapshot) {
+        self.printed.fetch_add(1, Ordering::Relaxed);
+        let secs = snap.elapsed_micros as f64 / 1e6;
+        let rate = snap.states_per_sec();
+        let rate_text = if rate >= 1000.0 {
+            format!("{:.0}k states/s", rate / 1000.0)
+        } else {
+            format!("{rate:.0} states/s")
+        };
+        let mut err = std::io::stderr().lock();
+        let _ = write!(
+            err,
+            "\r[verify] {secs:.1}s  {} states  {} trans  frontier {}  dedup {:.0}%  depth {}  {rate_text}\x1b[K",
+            snap.states,
+            snap.transitions,
+            snap.frontier,
+            snap.dedup_rate() * 100.0,
+            snap.max_depth,
+        );
+        let _ = err.flush();
+    }
+
+    /// Terminates the overwriting line with a newline, if anything was
+    /// printed. Call once when the run finishes.
+    pub fn finish(&self) {
+        if self.printed.load(Ordering::Relaxed) > 0 {
+            let mut err = std::io::stderr().lock();
+            let _ = writeln!(err);
+            let _ = err.flush();
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! A lock-free bounded recorder.
+//!
+//! Writers claim a slot index with one `fetch_add`; indices past the
+//! capacity are counted as drops (drop-newest — the head of the trace
+//! is preserved, which is what you want when a run blows the budget:
+//! the interesting ramp-up is at the start). Each slot carries its own
+//! `ready` flag so a reader never observes a half-written record.
+//!
+//! Draining is intended after quiescence (the run has finished), but is
+//! safe at any time: slots still being written are simply skipped.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+use crate::record::Record;
+use crate::sink::TelemetrySink;
+
+struct Slot {
+    ready: AtomicBool,
+    value: UnsafeCell<Option<Record>>,
+}
+
+// Safety: a slot's `value` is written exactly once, by the unique
+// claimant of its index (claim indices from `fetch_add` are never
+// reused), and only read after `ready` is observed `true` with Acquire
+// ordering, which synchronizes with the writer's Release store.
+unsafe impl Sync for Slot {}
+
+/// A bounded, lock-free, multi-producer record buffer.
+pub struct RingRecorder {
+    slots: Box<[Slot]>,
+    claimed: AtomicUsize,
+    dropped: AtomicU64,
+}
+
+impl RingRecorder {
+    /// Creates a recorder holding at most `capacity` records.
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        let slots = (0..capacity)
+            .map(|_| Slot {
+                ready: AtomicBool::new(false),
+                value: UnsafeCell::new(None),
+            })
+            .collect();
+        RingRecorder {
+            slots,
+            claimed: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum number of records the recorder retains.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of records stored so far (saturating at capacity).
+    pub fn len(&self) -> usize {
+        self.claimed.load(Ordering::Acquire).min(self.slots.len())
+    }
+
+    /// Whether no record has been stored yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Takes the stored records in claim order, resetting the buffer.
+    ///
+    /// Call after the instrumented run has quiesced; concurrent writers
+    /// racing with a drain lose their slot (skipped, not torn).
+    pub fn drain(&self) -> Vec<Record> {
+        let claimed = self.claimed.load(Ordering::Acquire).min(self.slots.len());
+        let mut out = Vec::with_capacity(claimed);
+        for slot in &self.slots[..claimed] {
+            if slot.ready.swap(false, Ordering::AcqRel) {
+                // Safety: `ready` was true, so the writer's Release
+                // store happened-before this Acquire; swapping it false
+                // gives this thread exclusive take access.
+                if let Some(record) = unsafe { (*slot.value.get()).take() } {
+                    out.push(record);
+                }
+            }
+        }
+        self.claimed.store(0, Ordering::Release);
+        out
+    }
+}
+
+impl TelemetrySink for RingRecorder {
+    fn record(&self, record: Record) {
+        let index = self.claimed.fetch_add(1, Ordering::AcqRel);
+        if let Some(slot) = self.slots.get(index) {
+            // Safety: `index` was claimed uniquely by this call; no other
+            // writer touches this slot, and readers wait for `ready`.
+            unsafe {
+                *slot.value.get() = Some(record);
+            }
+            slot.ready.store(true, Ordering::Release);
+        } else {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            // Park the counter below the overflow point so repeated
+            // drops don't walk it toward wraparound.
+            let _ = self.claimed.compare_exchange(
+                index + 1,
+                self.slots.len(),
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            );
+        }
+    }
+
+    fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RecordKind;
+
+    fn gauge(value: i64) -> Record {
+        Record {
+            ts_micros: value as u64,
+            tid: 0,
+            kind: RecordKind::Gauge { name: "g", value },
+        }
+    }
+
+    #[test]
+    fn stores_in_claim_order_and_resets() {
+        let ring = RingRecorder::new(8);
+        for i in 0..5 {
+            ring.record(gauge(i));
+        }
+        let drained = ring.drain();
+        assert_eq!(drained.len(), 5);
+        for (i, r) in drained.iter().enumerate() {
+            assert_eq!(r.ts_micros, i as u64);
+        }
+        assert!(ring.drain().is_empty());
+        ring.record(gauge(9));
+        assert_eq!(ring.drain().len(), 1);
+    }
+
+    #[test]
+    fn drops_newest_when_full() {
+        let ring = RingRecorder::new(3);
+        for i in 0..10 {
+            ring.record(gauge(i));
+        }
+        assert_eq!(ring.dropped(), 7);
+        let drained = ring.drain();
+        assert_eq!(drained.len(), 3);
+        assert_eq!(drained[0].ts_micros, 0);
+        assert_eq!(drained[2].ts_micros, 2);
+    }
+
+    #[test]
+    fn concurrent_writers_lose_nothing_within_capacity() {
+        use std::sync::Arc;
+        let ring = Arc::new(RingRecorder::new(4096));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let ring = Arc::clone(&ring);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000 {
+                    ring.record(gauge(t * 1000 + i));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let drained = ring.drain();
+        assert_eq!(drained.len(), 4000);
+        assert_eq!(ring.dropped(), 0);
+        let mut seen: Vec<i64> = drained
+            .iter()
+            .map(|r| match r.kind {
+                RecordKind::Gauge { value, .. } => value,
+                _ => unreachable!(),
+            })
+            .collect();
+        seen.sort_unstable();
+        assert!(seen.iter().enumerate().all(|(i, v)| *v == i as i64));
+    }
+}

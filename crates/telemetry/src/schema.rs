@@ -1,0 +1,217 @@
+//! The shared exploration-metrics schema.
+//!
+//! One struct, three consumers: `p verify --profile` embeds it in the
+//! profile JSON, `crates/bench`'s `perf_report` writes `BENCH_checker.json`
+//! rows from it, and the CI `telemetry_gate` parses those rows back to
+//! compare throughput. Keeping them on one schema is what lets the
+//! overhead gate diff a fresh run against the committed benchmark file.
+
+use crate::json::{num, obj, str as jstr, JsonValue};
+
+/// Final metrics for one exploration run of one program.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExplorationMetrics {
+    /// Program name (corpus key or file stem).
+    pub name: String,
+    /// Exploration mode tag: `"exhaustive"`, `"por"`, `"parallel"`, ...
+    pub mode: String,
+    /// Unique states admitted.
+    pub states: u64,
+    /// Transitions executed.
+    pub transitions: u64,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Bytes retained in the visited table.
+    pub stored_bytes: u64,
+    /// Deepest configuration reached.
+    pub max_depth: u64,
+    /// Transitions that re-reached a visited state.
+    pub dedup_hits: u64,
+    /// Transitions pruned by sleep-set POR.
+    pub sleep_pruned: u64,
+    /// Worker count used (1 = sequential).
+    pub workers: u64,
+    /// Whether the safety verdict was "no counterexample".
+    pub passed: bool,
+    /// Whether the state space was fully explored (no bound hit).
+    pub complete: bool,
+}
+
+impl ExplorationMetrics {
+    /// States per second.
+    pub fn states_per_sec(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.states as f64 / self.seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Average retained bytes per unique state.
+    pub fn bytes_per_state(&self) -> f64 {
+        if self.states > 0 {
+            self.stored_bytes as f64 / self.states as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Serializes to a JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        obj(vec![
+            ("name", jstr(&self.name)),
+            ("mode", jstr(&self.mode)),
+            ("states", num(self.states as f64)),
+            ("transitions", num(self.transitions as f64)),
+            ("seconds", num(self.seconds)),
+            ("states_per_sec", num(self.states_per_sec())),
+            ("stored_bytes", num(self.stored_bytes as f64)),
+            ("bytes_per_state", num(self.bytes_per_state())),
+            ("max_depth", num(self.max_depth as f64)),
+            ("dedup_hits", num(self.dedup_hits as f64)),
+            ("sleep_pruned", num(self.sleep_pruned as f64)),
+            ("workers", num(self.workers as f64)),
+            ("passed", JsonValue::Bool(self.passed)),
+            ("complete", JsonValue::Bool(self.complete)),
+        ])
+    }
+
+    /// Deserializes from a JSON object produced by [`Self::to_json`].
+    ///
+    /// Derived fields (`states_per_sec`, `bytes_per_state`) are
+    /// recomputed, not trusted. Missing optional fields default to
+    /// zero so older `BENCH_checker.json` rows still parse.
+    pub fn from_json(value: &JsonValue) -> Option<ExplorationMetrics> {
+        let field = |k: &str| value.get(k).and_then(JsonValue::as_u64).unwrap_or(0);
+        Some(ExplorationMetrics {
+            name: value.get("name")?.as_str()?.to_owned(),
+            mode: value
+                .get("mode")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("exhaustive")
+                .to_owned(),
+            states: value.get("states")?.as_u64()?,
+            transitions: value.get("transitions")?.as_u64()?,
+            seconds: value.get("seconds")?.as_f64()?,
+            stored_bytes: field("stored_bytes"),
+            max_depth: field("max_depth"),
+            dedup_hits: field("dedup_hits"),
+            sleep_pruned: field("sleep_pruned"),
+            workers: field("workers").max(1),
+            passed: value
+                .get("passed")
+                .and_then(JsonValue::as_bool)
+                .unwrap_or(true),
+            complete: value
+                .get("complete")
+                .and_then(JsonValue::as_bool)
+                .unwrap_or(true),
+        })
+    }
+}
+
+/// A benchmark report: schema wrapper over a list of metrics rows.
+///
+/// This is the exact on-disk shape of `BENCH_checker.json`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BenchReport {
+    /// One row per (program, mode) measurement.
+    pub programs: Vec<ExplorationMetrics>,
+}
+
+impl BenchReport {
+    /// Serializes the report (pretty, for committing to the repo).
+    pub fn to_json(&self) -> JsonValue {
+        obj(vec![
+            ("schema", jstr("p-bench-v2")),
+            (
+                "programs",
+                JsonValue::Arr(
+                    self.programs
+                        .iter()
+                        .map(ExplorationMetrics::to_json)
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parses a report; tolerates the v1 layout (no `schema`/`mode`).
+    pub fn from_json(value: &JsonValue) -> Option<BenchReport> {
+        let rows = value.get("programs")?.as_array()?;
+        let programs = rows
+            .iter()
+            .filter_map(ExplorationMetrics::from_json)
+            .collect();
+        Some(BenchReport { programs })
+    }
+
+    /// Median `states_per_sec` across rows matching `mode` (all rows if
+    /// `mode` is `None`). Returns `None` with no matching rows.
+    pub fn median_states_per_sec(&self, mode: Option<&str>) -> Option<f64> {
+        let mut rates: Vec<f64> = self
+            .programs
+            .iter()
+            .filter(|r| mode.is_none_or(|m| r.mode == m))
+            .map(ExplorationMetrics::states_per_sec)
+            .filter(|r| r.is_finite() && *r > 0.0)
+            .collect();
+        if rates.is_empty() {
+            return None;
+        }
+        rates.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        Some(rates[rates.len() / 2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(name: &str, states: u64, seconds: f64) -> ExplorationMetrics {
+        ExplorationMetrics {
+            name: name.to_owned(),
+            mode: "exhaustive".to_owned(),
+            states,
+            transitions: states * 3,
+            seconds,
+            stored_bytes: states * 40,
+            max_depth: 12,
+            dedup_hits: states,
+            sleep_pruned: 0,
+            workers: 1,
+            passed: true,
+            complete: true,
+        }
+    }
+
+    #[test]
+    fn metrics_round_trip() {
+        let m = row("german3", 46657, 0.04);
+        let back = ExplorationMetrics::from_json(&m.to_json()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn report_round_trip_and_median() {
+        let report = BenchReport {
+            programs: vec![row("a", 100, 1.0), row("b", 300, 1.0), row("c", 200, 1.0)],
+        };
+        let text = report.to_json().render_pretty();
+        let back = BenchReport::from_json(&JsonValue::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(back.median_states_per_sec(Some("exhaustive")), Some(200.0));
+        assert_eq!(back.median_states_per_sec(Some("por")), None);
+    }
+
+    #[test]
+    fn tolerates_v1_rows() {
+        let v1 = r#"{"programs":[{"name":"x","states":10,"transitions":20,"seconds":0.5,
+            "states_per_sec":20.0,"stored_bytes":400,"bytes_per_state":40.0,"passed":true}]}"#;
+        let report = BenchReport::from_json(&JsonValue::parse(v1).unwrap()).unwrap();
+        assert_eq!(report.programs.len(), 1);
+        assert_eq!(report.programs[0].mode, "exhaustive");
+        assert_eq!(report.programs[0].workers, 1);
+        assert!((report.programs[0].states_per_sec() - 20.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,32 @@
+//! The sink trait and trivial sinks.
+
+use crate::record::Record;
+
+/// A consumer of telemetry records.
+///
+/// Implementations must be cheap and non-blocking: sinks are called
+/// from the runtime's drain loop and the checker's hot loop (behind an
+/// `enabled()` branch). The built-in implementations are [`NullSink`]
+/// (drop everything) and [`crate::RingRecorder`] (bounded lock-free
+/// buffer, drained after the run).
+pub trait TelemetrySink: Send + Sync {
+    /// Consumes one record.
+    fn record(&self, record: Record);
+
+    /// Number of records dropped due to capacity limits, if the sink
+    /// bounds its storage.
+    fn dropped(&self) -> u64 {
+        0
+    }
+}
+
+/// A sink that discards every record.
+///
+/// Useful when only aggregate metrics (counters/histograms) are wanted
+/// and per-event records would be wasted work.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TelemetrySink for NullSink {
+    fn record(&self, _record: Record) {}
+}

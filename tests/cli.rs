@@ -99,6 +99,40 @@ fn verify_delay_flag() {
 }
 
 #[test]
+fn telemetry_flags_validate_their_inputs() {
+    let program = corpus_file("ping_pong.p");
+    // --profile/--progress are exhaustive-search-only knobs.
+    let out = p_bin()
+        .args([
+            "verify",
+            program.to_str().unwrap(),
+            "--delay",
+            "1",
+            "--progress",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("--profile/--progress"),
+        "{}",
+        stderr(&out)
+    );
+
+    // A path-taking flag without its path is rejected.
+    let out = p_bin()
+        .args(["run", program.to_str().unwrap(), "Client", "--trace"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("--trace needs a path"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+#[test]
 fn verify_fault_flags() {
     let lossy = corpus_file("lossy_link.p");
     // Fault-free: the handshake is correct under FIFO delivery.

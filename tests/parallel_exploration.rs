@@ -82,6 +82,74 @@ fn parallel_state_bound_is_respected() {
     );
 }
 
+/// A buggy program whose exploration is a single chain (the frontier
+/// never holds more than one configuration): the driver's entry run is
+/// the only choice at depth 0, and afterwards only the chain machine is
+/// enabled, consuming one queued event per atomic run until the assert
+/// trips. Because no interleaving choice exists, every worker count must
+/// explore exactly the same prefix before aborting on the
+/// counterexample — so the final counters must agree *exactly*, even
+/// though the parallel engine stops mid-flight. This pins the
+/// worker-local counter flush: totals are built from flushed deltas, and
+/// an abort path that skipped a flush would undercount (or a re-merge
+/// would double-count).
+const SINGLE_CHAIN_BUGGY_SRC: &str = r#"
+    event step;
+    machine Chain {
+        var n : int;
+        state Run { on step do bump; }
+        action bump {
+            n := n + 1;
+            assert(n < 6);
+        }
+    }
+    ghost machine Driver {
+        var c : id;
+        state Init {
+            entry {
+                c := new Chain();
+                send(c, step);
+                send(c, step);
+                send(c, step);
+                send(c, step);
+                send(c, step);
+                send(c, step);
+            }
+        }
+    }
+    main Driver();
+"#;
+
+#[test]
+fn aborted_search_counters_match_sequential_exactly() {
+    let compiled = Compiled::from_source(SINGLE_CHAIN_BUGGY_SRC).unwrap();
+    let sequential = compiled.verify();
+    assert!(
+        !sequential.passed(),
+        "the chain must trip its assert at n = 6"
+    );
+    for jobs in [2, 4] {
+        let parallel = compiled.verify_parallel(jobs);
+        assert!(!parallel.passed(), "jobs={jobs}: verdict diverged");
+        assert_eq!(
+            sequential.stats.unique_states, parallel.stats.unique_states,
+            "jobs={jobs}: unique_states diverged on the aborted run"
+        );
+        assert_eq!(
+            sequential.stats.transitions, parallel.stats.transitions,
+            "jobs={jobs}: transitions diverged on the aborted run"
+        );
+        assert_eq!(
+            sequential.stats.dedup_hits, parallel.stats.dedup_hits,
+            "jobs={jobs}: dedup_hits diverged on the aborted run"
+        );
+        assert_eq!(
+            sequential.stats.max_depth, parallel.stats.max_depth,
+            "jobs={jobs}: max_depth diverged on the aborted run"
+        );
+    }
+}
+
 #[test]
 fn jobs_one_through_options_matches_plain_verify() {
     let compiled = Compiled::from_program(corpus::ping_pong()).unwrap();
