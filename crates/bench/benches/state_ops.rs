@@ -49,6 +49,45 @@ fn bench_state_ops(c: &mut Criterion) {
         })
     });
 
+    // The per-run cost the explorers pay with the dequeue log on (the
+    // default, for replay-grade traces) vs off (what the exhaustive
+    // engines request): off must not allocate the per-run `dequeued`
+    // vector at all.
+    group.bench_function("run-machine-dequeue-log-on", |b| {
+        let base = warm_config(&engine);
+        let id = engine
+            .enabled_machines(&base)
+            .into_iter()
+            .next()
+            .expect("german3 never quiesces this early");
+        b.iter(|| {
+            let mut next = base.clone();
+            engine.run_machine(&mut next, id, &mut || false, Granularity::Atomic)
+        })
+    });
+    group.bench_function("run-machine-dequeue-log-off", |b| {
+        let quiet = Engine::new(&program, ForeignEnv::empty()).with_dequeue_log(false);
+        let base = warm_config(&quiet);
+        let id = quiet
+            .enabled_machines(&base)
+            .into_iter()
+            .next()
+            .expect("german3 never quiesces this early");
+        b.iter(|| {
+            let mut next = base.clone();
+            quiet.run_machine(&mut next, id, &mut || false, Granularity::Atomic)
+        })
+    });
+
+    // The symmetry layer's cost per fresh state: canonical renumbering
+    // of a mid-exploration german3 configuration (three interchangeable
+    // clients), against the concrete incremental digest it replaces.
+    group.bench_function("canonical-digest", |b| {
+        let mut base = warm_config(&engine);
+        base.digest(); // warm the per-slot cache
+        b.iter(|| p_semantics::canonical_digest(&mut base))
+    });
+
     // Baseline 1: every slot re-encoded and re-hashed from scratch.
     group.bench_function("digest-uncached", |b| {
         let config = warm_config(&engine);

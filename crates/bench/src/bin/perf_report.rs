@@ -1,11 +1,13 @@
 //! Checker-throughput report: exhaustive verification of every corpus
 //! program, printed as a table and written to `BENCH_checker.json`
 //! (states/sec, unique states, peak stored bytes, and the sleep-set POR
-//! comparison per program).
+//! and symmetry-reduction comparisons per program).
 //!
-//! Each program is explored twice — plain and with `--por` — and the two
-//! runs are asserted to agree on verdict and unique states, so the JSON
-//! doubles as a POR-soundness witness for the numbers it reports.
+//! Each program is explored four times — plain, `--por`, `--symmetry`,
+//! and `--por --symmetry` — and the runs are asserted to agree on the
+//! verdict, with POR preserving unique states exactly and symmetry never
+//! increasing them, so the JSON doubles as a reduction-soundness witness
+//! for the numbers it reports.
 //!
 //! The rows are [`p_core::telemetry::ExplorationMetrics`] — the same
 //! schema `p verify --profile` embeds in profile JSON — wrapped in a
@@ -29,7 +31,7 @@ fn main() {
 
     println!("Checker throughput — exhaustive exploration, sequential engine\n");
     println!(
-        "{:<12} {:<10} {:>8} {:>12} {:>10} {:>12} {:>11} {:>10} {:>12}",
+        "{:<12} {:<14} {:>8} {:>12} {:>10} {:>12} {:>11} {:>10} {:>12} {:>9}",
         "program",
         "mode",
         "states",
@@ -38,7 +40,8 @@ fn main() {
         "states/sec",
         "bytes/st",
         "dedup",
-        "sleep-pruned"
+        "sleep-pruned",
+        "merges"
     );
 
     let report = BenchReport {
@@ -46,7 +49,7 @@ fn main() {
     };
     for row in &report.programs {
         println!(
-            "{:<12} {:<10} {:>8} {:>12} {:>9.1}ms {:>12.0} {:>11.1} {:>10} {:>12}",
+            "{:<12} {:<14} {:>8} {:>12} {:>9.1}ms {:>12.0} {:>11.1} {:>10} {:>12} {:>9}",
             row.name,
             row.mode,
             row.states,
@@ -56,13 +59,14 @@ fn main() {
             row.bytes_per_state(),
             row.dedup_hits,
             row.sleep_pruned,
+            row.symmetry_merges,
         );
     }
 
     let json = report.to_json().render_pretty();
     std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     println!(
-        "\nWrote {out_path}; POR agreed with full exploration on verdict and states for all {} program(s).",
-        report.programs.len() / 2
+        "\nWrote {out_path}; POR and symmetry agreed with full exploration on the verdict for all {} program(s).",
+        report.programs.len() / 4
     );
 }

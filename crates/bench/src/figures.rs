@@ -319,6 +319,7 @@ pub fn report_to_metrics(
         max_depth: report.stats.max_depth as u64,
         dedup_hits: report.stats.dedup_hits as u64,
         sleep_pruned: report.stats.sleep_pruned as u64,
+        symmetry_merges: report.stats.symmetry_merges as u64,
         workers,
         passed: report.passed(),
         complete: report.complete,
@@ -344,25 +345,34 @@ fn best_of_three(run: impl Fn() -> p_core::Report) -> p_core::Report {
 }
 
 /// Explores every `corpus::all()` program exhaustively (sequential
-/// engine), once plain and once with sleep-set POR, asserting the two
-/// agree on verdict and unique states (POR prunes transitions, never
-/// states). Returns two rows per program, tagged `"exhaustive"` and
-/// `"por"`, in the shared [`ExplorationMetrics`] schema. Each
-/// measurement is the fastest of three runs.
+/// engine) in four modes — plain, sleep-set POR, symmetry reduction,
+/// and POR+symmetry — asserting all four agree on the verdict, that POR
+/// preserves the unique-state count exactly (it prunes transitions,
+/// never states), and that symmetry never *increases* it (it merges
+/// id-permuted duplicates). Returns four rows per program, tagged
+/// `"exhaustive"`, `"por"`, `"symmetry"` and `"por+symmetry"`, in the
+/// shared [`ExplorationMetrics`] schema. Each measurement is the
+/// fastest of three runs.
 pub fn perf_rows() -> Vec<ExplorationMetrics> {
+    let run_mode = |compiled: &Compiled, por: bool, symmetry: bool| {
+        best_of_three(|| {
+            compiled
+                .verifier()
+                .with_options(CheckerOptions {
+                    por,
+                    symmetry,
+                    ..CheckerOptions::default()
+                })
+                .check_exhaustive()
+        })
+    };
     let mut rows = Vec::new();
     for (name, program) in corpus::all() {
         let compiled = Compiled::from_program(program).unwrap();
         let full = best_of_three(|| compiled.verify());
-        let por = best_of_three(|| {
-            compiled
-                .verifier()
-                .with_options(CheckerOptions {
-                    por: true,
-                    ..CheckerOptions::default()
-                })
-                .check_exhaustive()
-        });
+        let por = run_mode(&compiled, true, false);
+        let sym = run_mode(&compiled, false, true);
+        let por_sym = run_mode(&compiled, true, true);
         assert_eq!(
             full.passed(),
             por.passed(),
@@ -376,8 +386,21 @@ pub fn perf_rows() -> Vec<ExplorationMetrics> {
             por.stats.transitions <= full.stats.transitions,
             "{name}: POR added transitions"
         );
+        for (mode, report) in [("symmetry", &sym), ("por+symmetry", &por_sym)] {
+            assert_eq!(
+                full.passed(),
+                report.passed(),
+                "{name}: {mode} changed the verdict"
+            );
+            assert!(
+                report.stats.unique_states <= full.stats.unique_states,
+                "{name}: {mode} increased the state count"
+            );
+        }
         rows.push(report_to_metrics(name, "exhaustive", 1, &full));
         rows.push(report_to_metrics(name, "por", 1, &por));
+        rows.push(report_to_metrics(name, "symmetry", 1, &sym));
+        rows.push(report_to_metrics(name, "por+symmetry", 1, &por_sym));
     }
     rows
 }

@@ -61,6 +61,64 @@ pub(crate) enum AdmitSleep {
     OverBound,
 }
 
+/// [`Admit`] for symmetry-reduced exploration, where the visited set is
+/// keyed by *canonical* fingerprints while traces and tasks stay
+/// concrete. `merged` distinguishes a re-derivation of the exact stored
+/// state from a merge with a symmetric sibling (a different concrete
+/// state in the same orbit) — the quantity `symmetry_merges` counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AdmitSym {
+    /// Fresh orbit, now retained; expand this concrete representative.
+    New,
+    /// The orbit was already visited.
+    Seen {
+        /// Whether the stored representative is a *different* concrete
+        /// state (a genuine symmetry merge, not a plain dedup).
+        merged: bool,
+    },
+    /// The state bound is full (see [`Admit::OverBound`]).
+    OverBound,
+}
+
+/// [`AdmitSleep`] for symmetry-reduced POR exploration.
+///
+/// Sleep sets name concrete machine ids, but the visited set is keyed
+/// per orbit, so the classical subset/intersection rule only applies
+/// when the offer's concrete state *is* the stored representative. For
+/// a symmetric sibling the permutation relating the two is unknown
+/// here, and the only sleep set invariant under every permutation is ∅:
+///
+/// * stored sleep = ∅ — the representative was fully explored, and by
+///   symmetry so is every sibling: `Covered`;
+/// * stored sleep ≠ ∅ — the representative's expansion pruned some
+///   machines; the sibling must be re-expanded with ∅, and ∅ becomes
+///   the stored sleep (`Widen`). The stored set still only ever
+///   shrinks, so termination is preserved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AdmitSleepSym {
+    /// Fresh orbit; expand this concrete representative with the
+    /// offered sleep set.
+    New,
+    /// Covered by an earlier exploration of the orbit.
+    Covered {
+        /// Whether coverage came from a symmetric sibling.
+        merged: bool,
+    },
+    /// Re-expand with `sleep`. When `merged`, the offer's concrete
+    /// state differs from the stored representative and `sleep` is ∅;
+    /// the caller must ensure the concrete state has a parent edge
+    /// before expanding it (its orbit's edge belongs to the
+    /// representative).
+    Widen {
+        /// The sleep set to re-expand with (now also stored).
+        sleep: SleepSet,
+        /// Whether this revisit crossed to a symmetric sibling.
+        merged: bool,
+    },
+    /// The state bound is full (see [`Admit::OverBound`]).
+    OverBound,
+}
+
 /// A visited set with a state bound, counting only retained states.
 #[derive(Debug)]
 pub(crate) struct BoundedSet {
@@ -68,6 +126,9 @@ pub(crate) struct BoundedSet {
     /// Sleep set each state was last explored with. Absent entry = empty
     /// sleep set (fully explored) — the common case stays out of the map.
     sleeps: FpHashMap<SleepSet>,
+    /// Concrete representative first admitted for each canonical key
+    /// (symmetry mode only; empty otherwise).
+    reps: FpHashMap<Fingerprint>,
     stored_bytes: usize,
     max: usize,
 }
@@ -79,6 +140,7 @@ impl BoundedSet {
         BoundedSet {
             seen: FpHashSet::default(),
             sleeps: FpHashMap::default(),
+            reps: FpHashMap::default(),
             stored_bytes: 0,
             max: max.max(1),
         }
@@ -143,6 +205,78 @@ impl BoundedSet {
         AdmitSleep::Widen(widened)
     }
 
+    /// Symmetry-reduced [`BoundedSet::admit`]: the visited set is keyed
+    /// by the canonical fingerprint `key`, and the first `concrete`
+    /// fingerprint admitted for a key is remembered as the orbit's
+    /// representative so later offers can tell plain dedups from
+    /// symmetry merges.
+    pub(crate) fn admit_sym(
+        &mut self,
+        key: Fingerprint,
+        concrete: Fingerprint,
+        bytes_len: usize,
+    ) -> AdmitSym {
+        match self.admit(key, bytes_len) {
+            Admit::New => {
+                self.reps.insert(key, concrete);
+                AdmitSym::New
+            }
+            Admit::Seen => AdmitSym::Seen {
+                merged: self.reps.get(&key) != Some(&concrete),
+            },
+            Admit::OverBound => AdmitSym::OverBound,
+        }
+    }
+
+    /// Symmetry-reduced [`BoundedSet::admit_sleep`]; see
+    /// [`AdmitSleepSym`] for the revisit rule.
+    pub(crate) fn admit_sleep_sym(
+        &mut self,
+        key: Fingerprint,
+        concrete: Fingerprint,
+        bytes_len: usize,
+        sleep: SleepSet,
+    ) -> AdmitSleepSym {
+        if self.seen.len() < self.max {
+            if self.seen.insert(key) {
+                self.reps.insert(key, concrete);
+                if sleep != SleepSet::empty() {
+                    self.sleeps.insert(key, sleep);
+                }
+                self.stored_bytes += bytes_len;
+                return AdmitSleepSym::New;
+            }
+        } else if !self.seen.contains(&key) {
+            return AdmitSleepSym::OverBound;
+        }
+        let old = self.sleeps.get(&key).copied().unwrap_or_default();
+        if self.reps.get(&key) == Some(&concrete) {
+            // Same concrete state: the classical Godefroid rule.
+            if old.is_subset_of(sleep) {
+                return AdmitSleepSym::Covered { merged: false };
+            }
+            let widened = old.intersect(sleep);
+            if widened == SleepSet::empty() {
+                self.sleeps.remove(&key);
+            } else {
+                self.sleeps.insert(key, widened);
+            }
+            return AdmitSleepSym::Widen {
+                sleep: widened,
+                merged: false,
+            };
+        }
+        // Symmetric sibling: only ∅ is permutation-invariant.
+        if old == SleepSet::empty() {
+            return AdmitSleepSym::Covered { merged: true };
+        }
+        self.sleeps.remove(&key);
+        AdmitSleepSym::Widen {
+            sleep: SleepSet::empty(),
+            merged: true,
+        }
+    }
+
     /// Whether `fp` is retained as visited.
     #[cfg(test)]
     pub(crate) fn contains(&self, fp: Fingerprint) -> bool {
@@ -176,6 +310,7 @@ pub(crate) struct SharedCounters {
     sleep_pruned: AtomicUsize,
     quiescent_states: AtomicUsize,
     stuck_states: AtomicUsize,
+    symmetry_merges: AtomicUsize,
     max_depth: AtomicUsize,
     max_queue_seen: AtomicUsize,
 }
@@ -204,6 +339,11 @@ impl SharedCounters {
             flushed.quiescent_states,
         );
         add(&self.stuck_states, local.stuck_states, flushed.stuck_states);
+        add(
+            &self.symmetry_merges,
+            local.symmetry_merges,
+            flushed.symmetry_merges,
+        );
         self.max_depth.fetch_max(local.max_depth, Ordering::Relaxed);
         self.max_queue_seen
             .fetch_max(local.max_queue_seen, Ordering::Relaxed);
@@ -219,6 +359,7 @@ impl SharedCounters {
             sleep_pruned: self.sleep_pruned.load(Ordering::Relaxed),
             quiescent_states: self.quiescent_states.load(Ordering::Relaxed),
             stuck_states: self.stuck_states.load(Ordering::Relaxed),
+            symmetry_merges: self.symmetry_merges.load(Ordering::Relaxed),
             max_depth: self.max_depth.load(Ordering::Relaxed),
             max_queue_seen: self.max_queue_seen.load(Ordering::Relaxed),
             ..crate::ExplorationStats::default()
@@ -241,6 +382,20 @@ impl ParentMap {
     /// Records how `child` was first reached.
     pub(crate) fn record(&mut self, child: Fingerprint, parent: Fingerprint, step: StepSeed) {
         self.map.insert(child, (parent, step));
+    }
+
+    /// Records an edge only if `child` has none yet. Used by the
+    /// symmetry engine when it re-expands a concrete sibling of an
+    /// already-visited orbit: keeping the *first* edge preserves the
+    /// acyclicity invariant (a child's recorded parent was admitted
+    /// strictly earlier), which a later overwrite could break.
+    pub(crate) fn record_if_absent(
+        &mut self,
+        child: Fingerprint,
+        parent: Fingerprint,
+        step: impl FnOnce() -> StepSeed,
+    ) {
+        self.map.entry(child).or_insert_with(|| (parent, step()));
     }
 
     /// Walks the parent edges from the initial state to `state`,
@@ -283,6 +438,8 @@ struct Shard {
     parents: FpHashMap<(Fingerprint, StepSeed)>,
     /// Sleep set each state was last explored with (absent = empty).
     sleeps: FpHashMap<SleepSet>,
+    /// Concrete representative per canonical key (symmetry mode only).
+    reps: FpHashMap<Fingerprint>,
 }
 
 impl SharedTable {
@@ -301,6 +458,16 @@ impl SharedTable {
     pub(crate) fn admit_root(&self, fp: Fingerprint, bytes_len: usize) {
         let mut shard = self.shards[fp.shard(SHARDS)].lock();
         shard.visited.insert(fp);
+        self.unique.fetch_add(1, Ordering::SeqCst);
+        self.stored.fetch_add(bytes_len, Ordering::Relaxed);
+    }
+
+    /// [`SharedTable::admit_root`] keyed canonically, remembering the
+    /// initial state's concrete fingerprint as its orbit representative.
+    pub(crate) fn admit_root_sym(&self, key: Fingerprint, concrete: Fingerprint, bytes_len: usize) {
+        let mut shard = self.shards[key.shard(SHARDS)].lock();
+        shard.visited.insert(key);
+        shard.reps.insert(key, concrete);
         self.unique.fetch_add(1, Ordering::SeqCst);
         self.stored.fetch_add(bytes_len, Ordering::Relaxed);
     }
@@ -377,6 +544,113 @@ impl SharedTable {
         }
         self.stored.fetch_add(bytes_len, Ordering::Relaxed);
         AdmitSleep::New
+    }
+
+    /// Symmetry-reduced [`SharedTable::admit`]: the visited set is keyed
+    /// by the canonical fingerprint `key`; parent edges stay keyed by
+    /// *concrete* fingerprints (they live in the concrete fingerprint's
+    /// shard, taken after the key shard is released — the two locks are
+    /// never nested, so there is no deadlock). The winner's edge is
+    /// recorded before `New` returns, so any task ever pushed has a
+    /// fully reconstructible trace.
+    pub(crate) fn admit_sym(
+        &self,
+        key: Fingerprint,
+        concrete: Fingerprint,
+        bytes_len: usize,
+        parent: Fingerprint,
+        step: impl FnOnce() -> StepSeed,
+    ) -> AdmitSym {
+        {
+            let mut shard = self.shards[key.shard(SHARDS)].lock();
+            if shard.visited.contains(&key) {
+                return AdmitSym::Seen {
+                    merged: shard.reps.get(&key) != Some(&concrete),
+                };
+            }
+            let reserved = self.unique.fetch_add(1, Ordering::SeqCst);
+            if reserved >= self.max {
+                self.unique.fetch_sub(1, Ordering::SeqCst);
+                self.truncated.store(true, Ordering::SeqCst);
+                return AdmitSym::OverBound;
+            }
+            shard.visited.insert(key);
+            shard.reps.insert(key, concrete);
+            self.stored.fetch_add(bytes_len, Ordering::Relaxed);
+        }
+        let mut shard = self.shards[concrete.shard(SHARDS)].lock();
+        shard
+            .parents
+            .entry(concrete)
+            .or_insert_with(|| (parent, step()));
+        AdmitSym::New
+    }
+
+    /// Symmetry-reduced [`SharedTable::admit_sleep`]; the revisit rule
+    /// of [`AdmitSleepSym`], decided entirely under the key shard's
+    /// lock. `New` and sibling-`Widen` outcomes additionally record a
+    /// parent edge for the concrete state (first edge wins) before
+    /// returning, under the concrete fingerprint's shard lock.
+    pub(crate) fn admit_sleep_sym(
+        &self,
+        key: Fingerprint,
+        concrete: Fingerprint,
+        bytes_len: usize,
+        sleep: SleepSet,
+        parent: Fingerprint,
+        step: impl FnOnce() -> StepSeed,
+    ) -> AdmitSleepSym {
+        let outcome = {
+            let mut shard = self.shards[key.shard(SHARDS)].lock();
+            if shard.visited.contains(&key) {
+                let old = shard.sleeps.get(&key).copied().unwrap_or_default();
+                if shard.reps.get(&key) == Some(&concrete) {
+                    // Same concrete state: the classical rule.
+                    if old.is_subset_of(sleep) {
+                        return AdmitSleepSym::Covered { merged: false };
+                    }
+                    let widened = old.intersect(sleep);
+                    if widened == SleepSet::empty() {
+                        shard.sleeps.remove(&key);
+                    } else {
+                        shard.sleeps.insert(key, widened);
+                    }
+                    return AdmitSleepSym::Widen {
+                        sleep: widened,
+                        merged: false,
+                    };
+                }
+                // Symmetric sibling: ∅ is the only invariant sleep set.
+                if old == SleepSet::empty() {
+                    return AdmitSleepSym::Covered { merged: true };
+                }
+                shard.sleeps.remove(&key);
+                AdmitSleepSym::Widen {
+                    sleep: SleepSet::empty(),
+                    merged: true,
+                }
+            } else {
+                let reserved = self.unique.fetch_add(1, Ordering::SeqCst);
+                if reserved >= self.max {
+                    self.unique.fetch_sub(1, Ordering::SeqCst);
+                    self.truncated.store(true, Ordering::SeqCst);
+                    return AdmitSleepSym::OverBound;
+                }
+                shard.visited.insert(key);
+                shard.reps.insert(key, concrete);
+                if sleep != SleepSet::empty() {
+                    shard.sleeps.insert(key, sleep);
+                }
+                self.stored.fetch_add(bytes_len, Ordering::Relaxed);
+                AdmitSleepSym::New
+            }
+        };
+        let mut shard = self.shards[concrete.shard(SHARDS)].lock();
+        shard
+            .parents
+            .entry(concrete)
+            .or_insert_with(|| (parent, step()));
+        outcome
     }
 
     /// Retained states across all shards.
@@ -627,6 +901,126 @@ mod tests {
         assert_eq!(trace.len(), 1);
         assert_eq!(trace[0].machine, MachineId(1));
         assert_eq!(trace[0].summary, "ran to quiescence");
+    }
+
+    /// Symmetry-mode admits: the first concrete state of an orbit is the
+    /// representative; re-offers of it are plain dedups, offers of a
+    /// different concrete sibling are merges.
+    #[test]
+    fn bounded_set_admit_sym_tells_merges_from_dedups() {
+        let mut set = BoundedSet::new(10);
+        // Orbit keyed fp(100); representative fp(1).
+        assert_eq!(set.admit_sym(fp(100), fp(1), 4), AdmitSym::New);
+        assert_eq!(
+            set.admit_sym(fp(100), fp(1), 4),
+            AdmitSym::Seen { merged: false }
+        );
+        assert_eq!(
+            set.admit_sym(fp(100), fp(2), 4),
+            AdmitSym::Seen { merged: true }
+        );
+        assert_eq!(set.len(), 1, "one orbit, one counted state");
+        // The bound applies per orbit.
+        let mut tiny = BoundedSet::new(1);
+        assert_eq!(tiny.admit_sym(fp(100), fp(1), 4), AdmitSym::New);
+        assert_eq!(tiny.admit_sym(fp(200), fp(2), 4), AdmitSym::OverBound);
+        assert_eq!(
+            tiny.admit_sym(fp(100), fp(3), 4),
+            AdmitSym::Seen { merged: true }
+        );
+    }
+
+    /// The symmetry×POR revisit rule: the classical subset/intersection
+    /// rule for the representative itself; for a symmetric sibling,
+    /// covered iff the stored sleep is ∅, else one re-expansion with ∅.
+    #[test]
+    fn bounded_set_admit_sleep_sym_sibling_rule() {
+        let mut set = BoundedSet::new(10);
+        assert_eq!(
+            set.admit_sleep_sym(fp(100), fp(1), 4, sleep(&[1, 2])),
+            AdmitSleepSym::New
+        );
+        // Representative: classical widening still applies.
+        assert_eq!(
+            set.admit_sleep_sym(fp(100), fp(1), 4, sleep(&[2, 3])),
+            AdmitSleepSym::Widen {
+                sleep: sleep(&[2]),
+                merged: false
+            }
+        );
+        // Sibling with stored sleep {2} ≠ ∅: re-expand once with ∅.
+        assert_eq!(
+            set.admit_sleep_sym(fp(100), fp(9), 4, sleep(&[1])),
+            AdmitSleepSym::Widen {
+                sleep: SleepSet::empty(),
+                merged: true
+            }
+        );
+        // Orbit now fully explored: every offer (sibling or not) covers.
+        assert_eq!(
+            set.admit_sleep_sym(fp(100), fp(9), 4, sleep(&[5])),
+            AdmitSleepSym::Covered { merged: true }
+        );
+        assert_eq!(
+            set.admit_sleep_sym(fp(100), fp(1), 4, sleep(&[5])),
+            AdmitSleepSym::Covered { merged: false }
+        );
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn shared_table_admit_sym_records_concrete_parent_edges() {
+        let table = SharedTable::new(usize::MAX);
+        table.admit_root_sym(fp(100), fp(0), 0);
+        // New orbit reached from concrete fp(0) by step 1.
+        assert_eq!(
+            table.admit_sym(fp(200), fp(1), 8, fp(0), || step(1)),
+            AdmitSym::New
+        );
+        assert_eq!(
+            table.admit_sym(fp(200), fp(1), 8, fp(0), || step(7)),
+            AdmitSym::Seen { merged: false }
+        );
+        assert_eq!(
+            table.admit_sym(fp(200), fp(2), 8, fp(0), || step(7)),
+            AdmitSym::Seen { merged: true }
+        );
+        assert_eq!(table.unique(), 2);
+        assert_eq!(table.stored_bytes(), 8);
+        // The trace walks *concrete* fingerprints.
+        let trace = table.reconstruct(fp(1), &program());
+        let machines: Vec<MachineId> = trace.iter().map(|s| s.machine).collect();
+        assert_eq!(machines, [MachineId(1)]);
+        assert!(table.reconstruct(fp(2), &program()).is_empty());
+    }
+
+    #[test]
+    fn shared_table_admit_sleep_sym_sibling_gets_an_edge() {
+        let table = SharedTable::new(usize::MAX);
+        table.admit_root_sym(fp(100), fp(0), 0);
+        assert_eq!(
+            table.admit_sleep_sym(fp(200), fp(1), 8, sleep(&[3]), fp(0), || step(1)),
+            AdmitSleepSym::New
+        );
+        // Sibling fp(2) while stored sleep {3} ≠ ∅: widen to ∅ and
+        // record the sibling's own parent edge so its re-expansion is
+        // traceable.
+        assert_eq!(
+            table.admit_sleep_sym(fp(200), fp(2), 8, sleep(&[4]), fp(1), || step(2)),
+            AdmitSleepSym::Widen {
+                sleep: SleepSet::empty(),
+                merged: true
+            }
+        );
+        let trace = table.reconstruct(fp(2), &program());
+        let machines: Vec<MachineId> = trace.iter().map(|s| s.machine).collect();
+        assert_eq!(machines, [MachineId(1), MachineId(2)]);
+        // Fully explored orbit covers everything thereafter.
+        assert_eq!(
+            table.admit_sleep_sym(fp(200), fp(3), 8, sleep(&[6]), fp(0), || step(3)),
+            AdmitSleepSym::Covered { merged: true }
+        );
+        assert_eq!(table.unique(), 2, "siblings never re-count the orbit");
     }
 
     #[test]

@@ -14,15 +14,17 @@ use std::time::Instant;
 use parking_lot::Mutex;
 
 use p_semantics::{
-    Config, Engine, ExecOutcome, ForeignEnv, Granularity, LoweredProgram, MachineId, PError,
+    canonical_digest, Config, Engine, ExecOutcome, ForeignEnv, Granularity, LoweredProgram,
+    MachineId, PError,
 };
 
 use p_telemetry::Telemetry;
 
 use crate::engine::{
-    Admit, AdmitSleep, BoundedSet, Frontier, ParentMap, SharedCounters, SharedTable,
+    Admit, AdmitSleep, AdmitSleepSym, AdmitSym, BoundedSet, Frontier, ParentMap, SharedCounters,
+    SharedTable,
 };
-use crate::fingerprint::Fingerprint;
+use crate::fingerprint::{Fingerprint, FpHashMap};
 use crate::por::{Por, SleepSet};
 use crate::stats::ExplorationStats;
 use crate::trace::{Counterexample, TraceStep};
@@ -58,6 +60,19 @@ pub struct CheckerOptions {
     /// fault, liveness and random strategies, whose node spaces are
     /// schedule-annotated. See DESIGN.md §10.
     pub por: bool,
+    /// Symmetry reduction for the exhaustive engines (sequential and
+    /// parallel): the visited set is keyed by a canonical fingerprint
+    /// invariant under permutations of same-type machine ids
+    /// ([`p_semantics::canonical_digest`]), so up to `k!` symmetric
+    /// duplicates per group of `k` interchangeable machines collapse
+    /// into one stored state. Sound for safety — two states merge only
+    /// if an id permutation maps one exactly onto the other, so they
+    /// have isomorphic futures and identical verdicts; exploration and
+    /// counterexample traces stay concrete. `unique_states` counts
+    /// orbits (canonical classes) in this mode. Composes with
+    /// [`CheckerOptions::por`]; ignored by the delay-bounded, fault,
+    /// liveness and random strategies. See DESIGN.md §12.
+    pub symmetry: bool,
 }
 
 impl Default for CheckerOptions {
@@ -69,6 +84,7 @@ impl Default for CheckerOptions {
             fuel: 100_000,
             jobs: 1,
             por: false,
+            symmetry: false,
         }
     }
 }
@@ -225,17 +241,25 @@ impl<'p> Verifier<'p> {
 
     /// Sequential depth-first engine.
     fn check_sequential(&self) -> Report {
-        let engine = self.engine();
+        // The safety search never reads `RunResult::dequeued`; skip the
+        // per-run allocation.
+        let engine = self.engine().with_dequeue_log(false);
         let start = Instant::now();
         let mut stats = ExplorationStats::default();
         let por = self.options.por.then(|| Por::new(self.program));
+        let symmetry = self.options.symmetry;
 
         let mut init = engine.initial_config();
         let (init_digest, init_len) = init.digest_and_len();
         let init_fp = Fingerprint::from_u128(init_digest);
 
         let mut visited = BoundedSet::new(self.options.max_states);
-        visited.admit(init_fp, init_len);
+        if symmetry {
+            let init_key = Fingerprint::from_u128(canonical_digest(&mut init));
+            visited.admit_sym(init_key, init_fp, init_len);
+        } else {
+            visited.admit(init_fp, init_len);
+        }
         let mut parents = ParentMap::new();
 
         // Stack entries carry the sleep set the state is to be expanded
@@ -244,6 +268,10 @@ impl<'p> Verifier<'p> {
         let mut stack: Vec<(Config, Fingerprint, usize, SleepSet, bool)> =
             vec![(init, init_fp, 0, SleepSet::empty(), true)];
         let mut succs = Vec::new();
+        // Concrete-fingerprint → canonical-key memo: most successors are
+        // revisits of a concrete state already canonicalized, and
+        // canonicalization costs far more than a hash lookup.
+        let mut canon_cache: FpHashMap<Fingerprint> = FpHashMap::default();
         #[cfg(feature = "telemetry")]
         let mut tasks_since_snapshot = 0usize;
 
@@ -318,26 +346,63 @@ impl<'p> Verifier<'p> {
                     }
                     let (succ_digest, succ_len) = succ.config.digest_and_len();
                     let succ_fp = Fingerprint::from_u128(succ_digest);
+                    // With symmetry on, the visited set is keyed by the
+                    // canonical fingerprint; everything else (parent
+                    // edges, stack tasks, traces) stays concrete.
+                    let succ_key = symmetry.then(|| {
+                        *canon_cache.entry(succ_fp).or_insert_with(|| {
+                            Fingerprint::from_u128(canonical_digest(&mut succ.config))
+                        })
+                    });
                     match &por {
-                        None => match visited.admit(succ_fp, succ_len) {
-                            Admit::New => {
-                                parents.record(succ_fp, fp, seed(&mut succ));
-                                stack.push((
-                                    succ.config,
-                                    succ_fp,
-                                    depth + 1,
-                                    SleepSet::empty(),
-                                    true,
-                                ));
+                        None => {
+                            let admitted = match succ_key {
+                                Some(key) => match visited.admit_sym(key, succ_fp, succ_len) {
+                                    AdmitSym::New => Admit::New,
+                                    AdmitSym::Seen { merged } => {
+                                        if merged {
+                                            stats.symmetry_merges += 1;
+                                        }
+                                        Admit::Seen
+                                    }
+                                    AdmitSym::OverBound => Admit::OverBound,
+                                },
+                                None => visited.admit(succ_fp, succ_len),
+                            };
+                            match admitted {
+                                Admit::New => {
+                                    parents.record(succ_fp, fp, seed(&mut succ));
+                                    stack.push((
+                                        succ.config,
+                                        succ_fp,
+                                        depth + 1,
+                                        SleepSet::empty(),
+                                        true,
+                                    ));
+                                }
+                                Admit::Seen => stats.dedup_hits += 1,
+                                Admit::OverBound => stats.truncated = true,
                             }
-                            Admit::Seen => stats.dedup_hits += 1,
-                            Admit::OverBound => stats.truncated = true,
-                        },
+                        }
                         Some(por) => {
                             let taken = por.run_footprint(id, &succ.result);
                             let child_sleep = por.filter_sleep(&config, cur_sleep, &taken);
-                            match visited.admit_sleep(succ_fp, succ_len, child_sleep) {
-                                AdmitSleep::New => {
+                            let admitted = match succ_key {
+                                Some(key) => {
+                                    visited.admit_sleep_sym(key, succ_fp, succ_len, child_sleep)
+                                }
+                                None => match visited.admit_sleep(succ_fp, succ_len, child_sleep) {
+                                    AdmitSleep::New => AdmitSleepSym::New,
+                                    AdmitSleep::Covered => AdmitSleepSym::Covered { merged: false },
+                                    AdmitSleep::Widen(sleep) => AdmitSleepSym::Widen {
+                                        sleep,
+                                        merged: false,
+                                    },
+                                    AdmitSleep::OverBound => AdmitSleepSym::OverBound,
+                                },
+                            };
+                            match admitted {
+                                AdmitSleepSym::New => {
                                     let seed = seed(&mut succ);
                                     parents.record(succ_fp, fp, seed);
                                     stack.push((
@@ -348,11 +413,24 @@ impl<'p> Verifier<'p> {
                                         true,
                                     ));
                                 }
-                                AdmitSleep::Covered => stats.dedup_hits += 1,
-                                AdmitSleep::Widen(widened) => {
-                                    stack.push((succ.config, succ_fp, depth + 1, widened, false));
+                                AdmitSleepSym::Covered { merged } => {
+                                    stats.dedup_hits += 1;
+                                    if merged {
+                                        stats.symmetry_merges += 1;
+                                    }
                                 }
-                                AdmitSleep::OverBound => stats.truncated = true,
+                                AdmitSleepSym::Widen { sleep, merged } => {
+                                    if merged {
+                                        // A sibling re-expansion needs its
+                                        // own (first-wins) parent edge: the
+                                        // orbit's edge belongs to the
+                                        // representative's concrete state.
+                                        stats.symmetry_merges += 1;
+                                        parents.record_if_absent(succ_fp, fp, || seed(&mut succ));
+                                    }
+                                    stack.push((succ.config, succ_fp, depth + 1, sleep, false));
+                                }
+                                AdmitSleepSym::OverBound => stats.truncated = true,
                             }
                         }
                     }
@@ -393,7 +471,12 @@ impl<'p> Verifier<'p> {
         let init_fp = Fingerprint::from_u128(init_digest);
 
         let table = SharedTable::new(self.options.max_states);
-        table.admit_root(init_fp, init_len);
+        if self.options.symmetry {
+            let init_key = Fingerprint::from_u128(canonical_digest(&mut init));
+            table.admit_root_sym(init_key, init_fp, init_len);
+        } else {
+            table.admit_root(init_fp, init_len);
+        }
         let frontier: Frontier<Task> =
             Frontier::new(jobs, (init, init_fp, 0, SleepSet::empty(), true));
         // First violation wins: (parent fingerprint, final step, error).
@@ -483,14 +566,19 @@ impl<'p> Verifier<'p> {
         depth_truncated: &AtomicBool,
         counters: &SharedCounters,
     ) -> u64 {
-        let engine = self.engine();
+        let engine = self.engine().with_dequeue_log(false);
         let mut stats = ExplorationStats::default();
         let mut flushed = ExplorationStats::default();
         let mut tasks = 0u64;
         #[cfg(not(feature = "telemetry"))]
         let _ = jobs;
         let por = self.options.por.then(|| Por::new(self.program));
+        let symmetry = self.options.symmetry;
         let mut succs = Vec::new();
+        // Per-worker concrete → canonical memo (see `check_sequential`).
+        // Workers may canonicalize a state another worker has already
+        // seen, but never the same state twice themselves.
+        let mut canon_cache: FpHashMap<Fingerprint> = FpHashMap::default();
         'tasks: while let Some((config, fp, depth, sleep, fresh)) = frontier.next(worker) {
             tasks += 1;
             stats.max_depth = stats.max_depth.max(depth);
@@ -533,33 +621,94 @@ impl<'p> Verifier<'p> {
                     }
                     let (succ_digest, succ_len) = succ.config.digest_and_len();
                     let succ_fp = Fingerprint::from_u128(succ_digest);
+                    let succ_key = symmetry.then(|| {
+                        *canon_cache.entry(succ_fp).or_insert_with(|| {
+                            Fingerprint::from_u128(canonical_digest(&mut succ.config))
+                        })
+                    });
                     let choices = &mut succ.choices;
                     let result = &succ.result;
                     let step =
                         || crate::trace::StepSeed::from_run(id, result, std::mem::take(choices));
                     match &por {
-                        None => match table.admit(succ_fp, succ_len, fp, step) {
-                            Admit::New => frontier.push(
-                                worker,
-                                (succ.config, succ_fp, depth + 1, SleepSet::empty(), true),
-                            ),
-                            Admit::Seen => stats.dedup_hits += 1,
-                            Admit::OverBound => {}
-                        },
+                        None => {
+                            let admitted = match succ_key {
+                                Some(key) => {
+                                    match table.admit_sym(key, succ_fp, succ_len, fp, step) {
+                                        AdmitSym::New => Admit::New,
+                                        AdmitSym::Seen { merged } => {
+                                            if merged {
+                                                stats.symmetry_merges += 1;
+                                            }
+                                            Admit::Seen
+                                        }
+                                        AdmitSym::OverBound => Admit::OverBound,
+                                    }
+                                }
+                                None => table.admit(succ_fp, succ_len, fp, step),
+                            };
+                            match admitted {
+                                Admit::New => frontier.push(
+                                    worker,
+                                    (succ.config, succ_fp, depth + 1, SleepSet::empty(), true),
+                                ),
+                                Admit::Seen => stats.dedup_hits += 1,
+                                Admit::OverBound => {}
+                            }
+                        }
                         Some(por) => {
                             let taken = por.run_footprint(id, result);
                             let child_sleep = por.filter_sleep(&config, cur_sleep, &taken);
-                            match table.admit_sleep(succ_fp, succ_len, child_sleep, fp, step) {
-                                AdmitSleep::New => frontier.push(
+                            let admitted = match succ_key {
+                                Some(key) => table.admit_sleep_sym(
+                                    key,
+                                    succ_fp,
+                                    succ_len,
+                                    child_sleep,
+                                    fp,
+                                    step,
+                                ),
+                                None => {
+                                    match table.admit_sleep(
+                                        succ_fp,
+                                        succ_len,
+                                        child_sleep,
+                                        fp,
+                                        step,
+                                    ) {
+                                        AdmitSleep::New => AdmitSleepSym::New,
+                                        AdmitSleep::Covered => {
+                                            AdmitSleepSym::Covered { merged: false }
+                                        }
+                                        AdmitSleep::Widen(sleep) => AdmitSleepSym::Widen {
+                                            sleep,
+                                            merged: false,
+                                        },
+                                        AdmitSleep::OverBound => AdmitSleepSym::OverBound,
+                                    }
+                                }
+                            };
+                            match admitted {
+                                AdmitSleepSym::New => frontier.push(
                                     worker,
                                     (succ.config, succ_fp, depth + 1, child_sleep, true),
                                 ),
-                                AdmitSleep::Covered => stats.dedup_hits += 1,
-                                AdmitSleep::OverBound => {}
-                                AdmitSleep::Widen(widened) => frontier.push(
-                                    worker,
-                                    (succ.config, succ_fp, depth + 1, widened, false),
-                                ),
+                                AdmitSleepSym::Covered { merged } => {
+                                    stats.dedup_hits += 1;
+                                    if merged {
+                                        stats.symmetry_merges += 1;
+                                    }
+                                }
+                                AdmitSleepSym::OverBound => {}
+                                AdmitSleepSym::Widen { sleep, merged } => {
+                                    if merged {
+                                        stats.symmetry_merges += 1;
+                                    }
+                                    frontier.push(
+                                        worker,
+                                        (succ.config, succ_fp, depth + 1, sleep, false),
+                                    );
+                                }
                             }
                         }
                     }
@@ -645,6 +794,7 @@ fn snapshot_from(
         frontier: frontier as u64,
         dedup_hits: stats.dedup_hits as u64,
         sleep_pruned: stats.sleep_pruned as u64,
+        symmetry_merges: stats.symmetry_merges as u64,
         max_depth: stats.max_depth as u64,
         workers,
     }

@@ -148,6 +148,51 @@ mod tests {
     }
 
     #[test]
+    fn canonical_digest_reference_vectors() {
+        // Pins the symmetry-reduced digest of a fixed three-machine ring
+        // so the canonical encoding cannot drift silently: sequential
+        // and parallel engines (and a resumed process) must assign the
+        // same canonical key to the same orbit. A deliberate encoding
+        // revision should update the constant alongside its changelog
+        // entry.
+        use p_ast::{ProgramBuilder, Ty};
+        use p_semantics::{canonical_digest, lower, Config, Value};
+
+        let mut b = ProgramBuilder::new();
+        b.event_with("ping", Ty::Id);
+        let mut m = b.machine("M");
+        m.var("peer", Ty::Id);
+        m.var("n", Ty::Int);
+        m.state("A");
+        m.finish();
+        let p = lower(&b.finish("M")).unwrap();
+
+        let mut c = Config::default();
+        let ids: Vec<_> = (0..3).map(|_| c.allocate(&p, p.main)).collect();
+        for i in 0..3 {
+            c.machine_mut(ids[i]).unwrap().locals[0] = Value::Machine(ids[(i + 1) % 3]);
+        }
+        // One distinguished machine, so rotating the ring moves concrete
+        // content (the orbit has three distinct members).
+        c.machine_mut(ids[0]).unwrap().locals[1] = Value::Int(7);
+        let canonical = Fingerprint::from_u128(canonical_digest(&mut c));
+
+        // Every rotation of the ring is a distinct concrete state in the
+        // same orbit: concrete fingerprints differ, canonical key agrees.
+        let mut sym = c.apply_permutation(&[1, 2, 0]);
+        assert_ne!(
+            Fingerprint::from_u128(sym.digest()),
+            Fingerprint::from_u128(c.digest())
+        );
+        assert_eq!(
+            Fingerprint::from_u128(canonical_digest(&mut sym)),
+            canonical
+        );
+
+        assert_eq!(canonical.to_string(), "4eccf7e05d3f8d19cf006e2b35ef03c6");
+    }
+
+    #[test]
     fn shard_uses_prefix_and_stays_in_range() {
         for i in 0..1000u32 {
             let fp = Fingerprint::of(&i.to_le_bytes());

@@ -39,6 +39,10 @@ pub struct ExplorationStats {
     /// Machine runs skipped by sleep-set POR (counted per skipped
     /// enabled machine at a state, zero with POR off).
     pub sleep_pruned: usize,
+    /// Successors merged with a *symmetric* (id-permuted) visited state
+    /// rather than an identical one — the extra dedup the canonical
+    /// fingerprint buys (zero with symmetry reduction off).
+    pub symmetry_merges: usize,
 }
 
 impl ExplorationStats {
@@ -60,6 +64,7 @@ impl ExplorationStats {
         self.stuck_states += other.stuck_states;
         self.dedup_hits += other.dedup_hits;
         self.sleep_pruned += other.sleep_pruned;
+        self.symmetry_merges += other.symmetry_merges;
         self.max_depth = self.max_depth.max(other.max_depth);
         self.max_queue_seen = self.max_queue_seen.max(other.max_queue_seen);
         self.duration = self.duration.max(other.duration);
@@ -110,6 +115,7 @@ mod tests {
             stuck_states: 0,
             dedup_hits: 6,
             sleep_pruned: 2,
+            symmetry_merges: 0,
         };
         let text = s.to_string();
         assert!(text.contains("10 states"));
@@ -130,6 +136,7 @@ mod tests {
             stuck_states: 0,
             dedup_hits: 4,
             sleep_pruned: 1,
+            symmetry_merges: 2,
         };
         let b = ExplorationStats {
             unique_states: 0,
@@ -143,11 +150,13 @@ mod tests {
             stuck_states: 1,
             dedup_hits: 3,
             sleep_pruned: 2,
+            symmetry_merges: 5,
         };
         a.merge(&b);
         assert_eq!(a.transitions, 12);
         assert_eq!(a.dedup_hits, 7);
         assert_eq!(a.sleep_pruned, 3);
+        assert_eq!(a.symmetry_merges, 7);
         assert_eq!(a.max_depth, 9);
         assert_eq!(a.max_queue_seen, 2);
         assert_eq!(a.quiescent_states, 3);

@@ -5,7 +5,7 @@
 //! p fmt FILE                        print the normalized program
 //! p info FILE                       machines / states / transitions
 //! p verify FILE [--delay N] [--max-states N] [--fine] [--jobs N] [--por]
-//!              [--faults N] [--fault-kinds drop,dup,delay]
+//!              [--symmetry] [--faults N] [--fault-kinds drop,dup,delay]
 //!              [--profile OUT.json] [--progress]
 //! p liveness FILE                   bounded liveness check (§3.2)
 //! p run FILE MACHINE EVENT[:INT]... create a machine and feed it events
@@ -59,7 +59,7 @@ fn usage() -> String {
      p fmt FILE                        print the normalized program\n\
      p info FILE                       machines / states / transitions\n\
      p verify FILE [--delay N] [--max-states N] [--fine] [--jobs N] [--por]\n\
-                   [--faults N] [--fault-kinds drop,dup,delay]\n\
+                   [--symmetry] [--faults N] [--fault-kinds drop,dup,delay]\n\
                    [--profile OUT.json] [--progress]\n\
      p liveness FILE                   bounded liveness check\n\
      p run FILE MACHINE EVENT[:INT]... create a machine, feed it events\n\
@@ -188,6 +188,10 @@ fn verify(args: &[String]) -> Result<(), String> {
                 options.por = true;
                 i += 1;
             }
+            "--symmetry" => {
+                options.symmetry = true;
+                i += 1;
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -205,6 +209,11 @@ fn verify(args: &[String]) -> Result<(), String> {
     if options.por && (delay.is_some() || faults.is_some()) {
         return Err(
             "--por applies to the exhaustive search only (not --delay/--faults)".to_owned(),
+        );
+    }
+    if options.symmetry && (delay.is_some() || faults.is_some()) {
+        return Err(
+            "--symmetry applies to the exhaustive search only (not --delay/--faults)".to_owned(),
         );
     }
     if (profile.is_some() || progress) && (delay.is_some() || faults.is_some()) {
@@ -322,10 +331,12 @@ fn parse_flag_path(args: &[String], i: &mut usize, flag: &str) -> Result<String,
 
 /// The `mode` tag stamped into profile/bench rows for this option set.
 fn checker_mode(options: &CheckerOptions) -> &'static str {
-    match (options.por, options.jobs > 1) {
-        (true, _) => "por",
-        (false, true) => "parallel",
-        (false, false) => "exhaustive",
+    match (options.por, options.symmetry, options.jobs > 1) {
+        (true, true, _) => "por+symmetry",
+        (false, true, _) => "symmetry",
+        (true, false, _) => "por",
+        (false, false, true) => "parallel",
+        (false, false, false) => "exhaustive",
     }
 }
 
@@ -355,6 +366,7 @@ fn stats_to_metrics(
         max_depth: stats.max_depth as u64,
         dedup_hits: stats.dedup_hits as u64,
         sleep_pruned: stats.sleep_pruned as u64,
+        symmetry_merges: stats.symmetry_merges as u64,
         workers,
         passed,
         complete,

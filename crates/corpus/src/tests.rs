@@ -188,6 +188,39 @@ fn elevator_liveness_passes_with_postpone_annotations() {
 }
 
 #[test]
+fn german_family_generator_matches_checked_in_files() {
+    let families: [(&str, usize, i64, &str); 3] = [
+        ("programs/german3.p", 3, GERMAN3_BUDGET, GERMAN3_SRC),
+        ("programs/german4.p", 4, GERMAN4_BUDGET, GERMAN4_SRC),
+        ("programs/german5.p", 5, GERMAN5_BUDGET, GERMAN5_SRC),
+    ];
+    for (path, clients, budget, checked_in) in families {
+        let generated = german_family_src(clients, budget);
+        if std::env::var_os("CORPUS_REGEN").is_some() {
+            let target = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(path);
+            std::fs::write(&target, &generated)
+                .unwrap_or_else(|e| panic!("cannot regenerate {path}: {e}"));
+            continue;
+        }
+        assert_eq!(
+            generated, checked_in,
+            "{path} is stale; regenerate with CORPUS_REGEN=1 cargo test -p p-corpus"
+        );
+    }
+}
+
+#[test]
+fn german_family_scales_with_client_count() {
+    let states = |p: &Program, name: &str| verify_ok(p, name).stats.unique_states;
+    let g3 = states(&german3(), "german3");
+    let g4 = states(&german4(), "german4");
+    assert!(
+        g4 > g3,
+        "four clients must explore more: {g4} vs {g3} states"
+    );
+}
+
+#[test]
 fn budget_substitution_changes_main_only() {
     let src = with_budget(ELEVATOR_SRC, 7);
     assert!(src.contains("main User(budget = 7);"));

@@ -1,0 +1,589 @@
+//! Symmetry-reduced configuration fingerprints.
+//!
+//! P machine ids are opaque: created by `new`, compared only for
+//! equality, used as send targets. Consistently renumbering the machines
+//! of one type — moving slot contents *and* rewriting every
+//! `Value::Machine` reference through the same bijection — therefore
+//! yields a behaviorally equivalent configuration: every enabled
+//! transition of one is an enabled transition of the other with
+//! renamed participants, and every safety verdict coincides. The
+//! explicit-state checker can exploit this by deduplicating on a
+//! *canonical* fingerprint that is invariant under such renumberings,
+//! storing one representative per orbit instead of up to `k!` symmetric
+//! duplicates per group of `k` interchangeable machines.
+//!
+//! # Algorithm
+//!
+//! [`canonical_digest`] picks the canonical renumbering by partition
+//! refinement (the classic colour-refinement scheme of graph
+//! canonizers, specialized to this encoding):
+//!
+//! 1. **Group** live slots by [`MachineTypeId`]; only groups of ≥ 2
+//!    members admit any symmetry. Tombstones and singleton types are
+//!    *fixed*: they keep their concrete slot index throughout.
+//! 2. **Refine**: maintain a partition of the grouped slots into
+//!    classes, initially one class per group. Each round hashes every
+//!    member under a *code map* that replaces machine-id references
+//!    with their referent's class code (fixed slots code as their own
+//!    index, the member itself as a reserved `SELF` marker), then
+//!    splits each class by digest, ordering the subclasses by digest
+//!    value. Codes, and hence digests, are functions of
+//!    permutation-invariant data only, so symmetric configurations
+//!    refine identically. The loop stops at a fixpoint; each non-final
+//!    round strictly grows the class count, so it terminates.
+//! 3. **Enumerate**: classes still holding ≥ 2 members are genuinely
+//!    ambiguous at this invariant's resolution. The cartesian product
+//!    of their member orderings is enumerated up to
+//!    [`MAX_CANDIDATES`]; oversized classes are frozen at their
+//!    current order (sound — it only costs merges). Every candidate
+//!    induces a full renumbering: each group's members, concatenated
+//!    in class order, are assigned the group's own sorted slot
+//!    indices, so the renumbering is type-preserving and fixes the
+//!    slot-count layout.
+//! 4. **Select**: every candidate renumbering is digested — the same
+//!    order-sensitive polynomial fold over per-slot digests as
+//!    [`Config::digest`], with slots taken in their renamed positions
+//!    and each slot hashed with its references rewritten — and the
+//!    numerically smallest candidate digest is the canonical digest.
+//!
+//! # Performance
+//!
+//! The function runs once per fresh concrete state (the explorers memo
+//! concrete fingerprint → canonical key), so its constants matter. The
+//! whole working set lives in reusable thread-local scratch, and every
+//! per-slot hash — refinement member digests and final renamed slot
+//! digests alike — goes through a direct-mapped cache keyed by the
+//! slot's concrete digest plus a digest of the code map in force.
+//! Machine-local states recur across an exploration far more often
+//! than whole configurations do, so most canonicalizations reduce to
+//! cache probes and one polynomial fold. Configurations with no
+//! symmetry group at all short-circuit to the incremental concrete
+//! digest (a singleton orbit needs no renumbering), making
+//! `--symmetry` near-free for programs without interchangeable
+//! machines.
+//!
+//! # Soundness
+//!
+//! A candidate digest is the concrete-digest fold of the renamed
+//! configuration, so — up to the ~2⁻¹²⁸ collision probability shared
+//! with all state hashing here — two configurations get the same
+//! canonical digest only if some type-preserving permutation maps one
+//! exactly onto the other. Isomorphic configurations refine to
+//! corresponding classes and enumerate pairwise-equal candidate sets,
+//! so the minimum is orbit-invariant. The refinement heuristic and the
+//! candidate cap only affect *which* representative is chosen — a
+//! missed merge explores a duplicate orbit, never skips a reachable
+//! behavior — so checker verdicts are unchanged. Conversely the digest
+//! is invariant under [`Config::apply_permutation`] whenever the full
+//! candidate set is enumerated (the property-based tests exercise
+//! exactly this).
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+use crate::config::{Config, MachineState};
+use crate::hash::fingerprint128;
+
+/// Code for "the machine being hashed" in refinement rounds, so a
+/// machine that references itself is distinguished from one that
+/// references a class sibling.
+const SELF_CODE: u32 = u32::MAX;
+
+/// Cache marker for final renamed-slot digests (which carry the live
+/// tag byte, mirroring [`Config::digest`]'s per-slot hashing), distinct
+/// from every refinement member marker (a slot index).
+const FINAL_MARK: u32 = u32::MAX - 1;
+
+/// Upper bound on candidate renumberings tried in step 3. Residual
+/// ambiguity after refinement is rare and small; classes that would
+/// blow this budget are frozen instead (fewer merges, same verdicts).
+const MAX_CANDIDATES: usize = 1024;
+
+/// Entries in the direct-mapped per-slot digest cache (~0.9 MiB per
+/// exploration thread). Collisions overwrite; a miss only costs the
+/// re-encode it would have saved.
+const CACHE_ENTRIES: usize = 1 << 14;
+
+/// One direct-mapped cache line: a per-slot renamed digest keyed by the
+/// slot's concrete digest, the code map in force, and the self/final
+/// marker. The stored value is a pure function of the key (up to the
+/// global 128-bit-collision assumption), so hits, misses and evictions
+/// can never change a result — only its cost.
+#[derive(Clone, Copy)]
+struct CacheEntry {
+    slot_digest: u128,
+    map_sig: u128,
+    mark: u32,
+    value: u128,
+}
+
+/// Reusable working set for [`canonical_digest`]. The function runs once
+/// per fresh concrete state of a symmetry-reduced exploration — millions
+/// of calls — so everything the common (unambiguous) path touches lives
+/// here and is reused; only the rare residual-ambiguity path allocates.
+#[derive(Default)]
+struct Scratch {
+    /// Per-slot encoding buffer for digest-cache misses.
+    member: Vec<u8>,
+    /// Byte view of a code map, for signing it.
+    sig_buf: Vec<u8>,
+    /// Refinement code map: slot → class code (fixed slots: own index).
+    map: Vec<u32>,
+    /// Candidate renumbering: slot → canonical position.
+    rename: Vec<u32>,
+    /// Inverse of `rename`: canonical position → slot.
+    placed: Vec<u32>,
+    /// Live (type, slot) pairs, sorted, for grouping.
+    grouped: Vec<(u32, u32)>,
+    /// Canonical position pool: the grouped slots in (type, slot) order —
+    /// each group's members land on that group's own sorted indices.
+    pools: Vec<u32>,
+    /// Current member order, type-segregated; refinement permutes within
+    /// class ranges only.
+    order: Vec<u32>,
+    /// Current classes as `[start, end)` ranges into `order`.
+    bounds: Vec<(u32, u32)>,
+    /// Next round's class ranges.
+    next_bounds: Vec<(u32, u32)>,
+    /// (digest, slot) pairs while splitting one class.
+    keyed: Vec<(u128, u32)>,
+    /// The direct-mapped per-slot digest cache (lazily sized).
+    cache: Vec<Option<CacheEntry>>,
+}
+
+thread_local! {
+    static CANON_SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::default());
+}
+
+/// Digest of a code map, shared by every member hashed under it.
+fn map_sig(map: &[u32], buf: &mut Vec<u8>) -> u128 {
+    buf.clear();
+    for &x in map {
+        buf.extend_from_slice(&x.to_le_bytes());
+    }
+    fingerprint128(buf)
+}
+
+/// The digest of one machine encoded under code map `map`, through the
+/// direct-mapped cache. `mark` is the hashed member's own slot index
+/// during refinement (its map entry holds [`SELF_CODE`]) or
+/// [`FINAL_MARK`] for a final renamed-slot digest, which additionally
+/// carries the live tag byte so it matches the per-slot hashing of
+/// [`Config::digest`] exactly.
+#[allow(clippy::too_many_arguments)]
+fn renamed_digest(
+    cache: &mut Vec<Option<CacheEntry>>,
+    buf: &mut Vec<u8>,
+    state: &MachineState,
+    slot_digest: u128,
+    sig: u128,
+    mark: u32,
+    map: &[u32],
+) -> u128 {
+    if cache.is_empty() {
+        cache.resize(CACHE_ENTRIES, None);
+    }
+    let idx = (slot_digest ^ (slot_digest >> 64) ^ sig ^ (sig >> 64) ^ mark as u128) as usize
+        & (CACHE_ENTRIES - 1);
+    if let Some(e) = &cache[idx] {
+        if e.slot_digest == slot_digest && e.map_sig == sig && e.mark == mark {
+            return e.value;
+        }
+    }
+    buf.clear();
+    if mark == FINAL_MARK {
+        buf.push(1);
+    }
+    state.encode_renamed(buf, map);
+    let value = fingerprint128(buf);
+    cache[idx] = Some(CacheEntry {
+        slot_digest,
+        map_sig: sig,
+        mark,
+        value,
+    });
+    value
+}
+
+/// All orderings of `items` (plain Heap's algorithm; class sizes here
+/// are ≤ 6 by the candidate cap).
+fn permutations(items: &[u32]) -> Vec<Vec<u32>> {
+    let mut out = Vec::new();
+    let mut work = items.to_vec();
+    fn heap(k: usize, work: &mut [u32], out: &mut Vec<Vec<u32>>) {
+        if k <= 1 {
+            out.push(work.to_vec());
+            return;
+        }
+        for i in 0..k {
+            heap(k - 1, work, out);
+            if k.is_multiple_of(2) {
+                work.swap(i, k - 1);
+            } else {
+                work.swap(0, k - 1);
+            }
+        }
+    }
+    heap(work.len(), &mut work, &mut out);
+    out
+}
+
+/// The symmetry-reduced 128-bit fingerprint of a configuration:
+/// invariant under type-preserving machine-id permutations (see the
+/// module docs for algorithm and soundness), equal only for
+/// configurations some such permutation maps onto each other.
+///
+/// This is strictly coarser than [`Config::digest`] — which is what
+/// the checker keys sleep sets and counterexample traces by — and
+/// strictly sound for visited-set deduplication.
+pub fn canonical_digest(config: &mut Config) -> u128 {
+    CANON_SCRATCH.with(|scratch| canonical_digest_with(config, &mut scratch.borrow_mut()))
+}
+
+fn canonical_digest_with(config: &mut Config, scratch: &mut Scratch) -> u128 {
+    let Scratch {
+        member,
+        sig_buf,
+        map,
+        rename,
+        placed,
+        grouped,
+        pools,
+        order,
+        bounds,
+        next_bounds,
+        keyed,
+        cache,
+    } = scratch;
+    let (slots, digests) = config.slots_and_digests();
+    let n = slots.len();
+    let slot_digest = |i: usize| digests[i].expect("digest cache filled").0;
+
+    // 1. Group live slots by type; singleton types and tombstones are
+    //    fixed points of every candidate renumbering. `order` holds the
+    //    grouped slots type-segregated, one initial class per type.
+    grouped.clear();
+    for (i, slot) in slots.iter().enumerate() {
+        if let Some(state) = slot {
+            grouped.push((state.ty.0, i as u32));
+        }
+    }
+    grouped.sort_unstable();
+    order.clear();
+    bounds.clear();
+    let mut i = 0;
+    while i < grouped.len() {
+        let ty = grouped[i].0;
+        let mut j = i + 1;
+        while j < grouped.len() && grouped[j].0 == ty {
+            j += 1;
+        }
+        if j - i >= 2 {
+            let start = order.len() as u32;
+            order.extend(grouped[i..j].iter().map(|&(_, slot)| slot));
+            bounds.push((start, order.len() as u32));
+        }
+        i = j;
+    }
+    // The canonical position pool: refinement permutes `order` within
+    // type segments only, so position `j` of the segment layout always
+    // belongs to the same group — member `order[j]` is renamed to
+    // `pools[j]`, keeping the renumbering type-preserving.
+    pools.clear();
+    pools.extend_from_slice(order);
+
+    if bounds.is_empty() {
+        // No symmetry to exploit: the orbit is a singleton, and its
+        // canonical digest is the (incrementally cached) concrete one.
+        return Config::combine_digests(
+            slots
+                .iter()
+                .zip(digests)
+                .map(|(m, d)| (m.is_some(), d.expect("digest cache filled").0)),
+            n,
+        );
+    }
+
+    rename.clear();
+    rename.extend(0..n as u32);
+
+    // 2. Partition refinement to a fixpoint. Classes are ordered
+    //    invariantly: initial order by type id, subclasses by digest.
+    loop {
+        map.clear();
+        map.extend(0..n as u32);
+        for (c, &(start, end)) in bounds.iter().enumerate() {
+            for &m in &order[start as usize..end as usize] {
+                map[m as usize] = n as u32 + c as u32;
+            }
+        }
+        let round_sig = map_sig(map, sig_buf);
+        next_bounds.clear();
+        let mut split = false;
+        for &(start, end) in bounds.iter() {
+            if end - start == 1 {
+                next_bounds.push((start, end));
+                continue;
+            }
+            keyed.clear();
+            for &m in &order[start as usize..end as usize] {
+                let saved = map[m as usize];
+                map[m as usize] = SELF_CODE;
+                let state = slots[m as usize]
+                    .as_deref()
+                    .expect("grouped slots are live");
+                let digest = renamed_digest(
+                    cache,
+                    member,
+                    state,
+                    slot_digest(m as usize),
+                    round_sig,
+                    m,
+                    map,
+                );
+                keyed.push((digest, m));
+                map[m as usize] = saved;
+            }
+            keyed.sort_unstable();
+            let mut sub_start = start;
+            for (k, &(digest, m)) in keyed.iter().enumerate() {
+                order[start as usize + k] = m;
+                if k > 0 && digest != keyed[k - 1].0 {
+                    next_bounds.push((sub_start, start + k as u32));
+                    sub_start = start + k as u32;
+                    split = true;
+                }
+            }
+            next_bounds.push((sub_start, end));
+        }
+        std::mem::swap(bounds, next_bounds);
+        if !split {
+            break;
+        }
+    }
+
+    // Base renumbering: member `order[j]` → position `pools[j]` (fixed
+    // slots keep their identity entries from above).
+    for (j, &m) in order.iter().enumerate() {
+        rename[m as usize] = pools[j];
+    }
+
+    // 3. Enumerate orderings of the residually ambiguous classes,
+    //    freezing the largest ones if the product exceeds the cap. The
+    //    common case — refinement separated everything — needs exactly
+    //    one candidate and allocates nothing.
+    let class_len = |c: usize| (bounds[c].1 - bounds[c].0) as usize;
+    let mut ambiguous: Vec<usize> = (0..bounds.len()).filter(|&c| class_len(c) >= 2).collect();
+    if ambiguous.is_empty() {
+        return candidate_digest(slots, digests, rename, placed, cache, member, sig_buf);
+    }
+    loop {
+        let mut product: usize = 1;
+        for &c in &ambiguous {
+            product = product.saturating_mul((1..=class_len(c)).product());
+        }
+        if product <= MAX_CANDIDATES {
+            break;
+        }
+        let largest = (0..ambiguous.len())
+            .max_by_key(|&k| class_len(ambiguous[k]))
+            .expect("nonempty while over cap");
+        ambiguous.remove(largest);
+    }
+    let orderings: Vec<Vec<Vec<u32>>> = ambiguous
+        .iter()
+        .map(|&c| permutations(&order[bounds[c].0 as usize..bounds[c].1 as usize]))
+        .collect();
+
+    // 4. Try every candidate; the numerically smallest candidate digest
+    //    wins. Each round rewrites exactly the ambiguous classes'
+    //    entries of `rename` (a candidate permutes a class's members
+    //    over the same position range), so the base entries stay valid
+    //    throughout.
+    let mut best: Option<u128> = None;
+    let mut odometer = vec![0usize; ambiguous.len()];
+    loop {
+        for (k, &c) in ambiguous.iter().enumerate() {
+            let start = bounds[c].0 as usize;
+            for (t, &m) in orderings[k][odometer[k]].iter().enumerate() {
+                rename[m as usize] = pools[start + t];
+            }
+        }
+        let digest = candidate_digest(slots, digests, rename, placed, cache, member, sig_buf);
+        best = Some(best.map_or(digest, |b| b.min(digest)));
+        // Advance the odometer over candidate orderings.
+        let mut k = 0;
+        loop {
+            if k == odometer.len() {
+                return best.expect("at least one candidate");
+            }
+            odometer[k] += 1;
+            if odometer[k] < orderings[k].len() {
+                break;
+            }
+            odometer[k] = 0;
+            k += 1;
+        }
+    }
+}
+
+/// One candidate's digest: the [`Config::digest`] polynomial fold over
+/// per-slot digests taken in renamed (canonical) order, each slot
+/// hashed with its id references rewritten through `rename`. Equal for
+/// two candidates exactly when the renamed configurations are equal (up
+/// to hash collisions), which is what makes the minimum over candidates
+/// a sound orbit key.
+fn candidate_digest(
+    slots: &[Option<Arc<MachineState>>],
+    digests: &[Option<(u128, u32)>],
+    rename: &[u32],
+    placed: &mut Vec<u32>,
+    cache: &mut Vec<Option<CacheEntry>>,
+    member: &mut Vec<u8>,
+    sig_buf: &mut Vec<u8>,
+) -> u128 {
+    let n = slots.len();
+    let sig = map_sig(rename, sig_buf);
+    placed.clear();
+    placed.extend(0..n as u32);
+    for (i, &p) in rename.iter().enumerate() {
+        placed[p as usize] = i as u32;
+    }
+    Config::combine_digests(
+        (0..n).map(|p| {
+            let src = placed[p] as usize;
+            match &slots[src] {
+                None => (false, 0),
+                Some(state) => {
+                    let slot_digest = digests[src].expect("digest cache filled").0;
+                    (
+                        true,
+                        renamed_digest(cache, member, state, slot_digest, sig, FINAL_MARK, rename),
+                    )
+                }
+            }
+        }),
+        n,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::{lower, EventId};
+    use crate::value::Value;
+    use crate::MachineId;
+    use p_ast::{ProgramBuilder, Ty};
+    use std::collections::BTreeSet;
+
+    /// One machine type with an id-typed local, an int local, and a
+    /// deferrable event — enough structure to build symmetric twins.
+    fn program() -> crate::lower::LoweredProgram {
+        let mut b = ProgramBuilder::new();
+        b.event_with("ping", Ty::Id);
+        let mut m = b.machine("M");
+        m.var("peer", Ty::Id);
+        m.var("n", Ty::Int);
+        m.state("A");
+        m.finish();
+        lower(&b.finish("M")).unwrap()
+    }
+
+    fn fresh(k: usize) -> (crate::lower::LoweredProgram, Config, Vec<MachineId>) {
+        let p = program();
+        let mut c = Config::default();
+        let ids: Vec<MachineId> = (0..k).map(|_| c.allocate(&p, p.main)).collect();
+        (p, c, ids)
+    }
+
+    #[test]
+    fn singleton_orbit_fast_path_matches_concrete_digest() {
+        // A lone machine admits no symmetry, so the canonical digest
+        // short-circuits to the concrete incremental one.
+        let (_, mut c, ids) = fresh(1);
+        c.machine_mut(ids[0]).unwrap().locals[1] = Value::Int(7);
+        let concrete = c.digest();
+        assert_eq!(canonical_digest(&mut c), concrete);
+    }
+
+    #[test]
+    fn digest_invariant_under_swap() {
+        // Two machines of one type referencing each other, with equal
+        // content up to the id swap.
+        let (_, mut c, ids) = fresh(3);
+        // Slot 0 is the "home": references both peers — fixed? No: all
+        // three are the same type; make slot 0 differ by content so it
+        // refines away from the pair.
+        c.machine_mut(ids[0]).unwrap().locals[1] = Value::Int(99);
+        c.machine_mut(ids[0]).unwrap().locals[0] = Value::Machine(ids[1]);
+        c.machine_mut(ids[1]).unwrap().locals[0] = Value::Machine(ids[0]);
+        c.machine_mut(ids[2]).unwrap().locals[0] = Value::Machine(ids[0]);
+        // Swap ids[1] and ids[2]: a type-preserving permutation.
+        let perm = vec![0, 2, 1];
+        let mut sym = c.apply_permutation(&perm);
+        assert_ne!(c.digest(), sym.digest(), "concrete digests differ");
+        assert_eq!(canonical_digest(&mut c), canonical_digest(&mut sym));
+    }
+
+    #[test]
+    fn digest_distinguishes_content() {
+        let (_, mut c, ids) = fresh(2);
+        let mut d = c.clone();
+        c.machine_mut(ids[0]).unwrap().locals[1] = Value::Int(1);
+        d.machine_mut(ids[0]).unwrap().locals[1] = Value::Int(2);
+        assert_ne!(canonical_digest(&mut c), canonical_digest(&mut d));
+    }
+
+    #[test]
+    fn digest_distinguishes_reference_structure() {
+        // a→b, b→a  vs  a→a, b→b: same multiset of slot contents under
+        // the class-collapsed view, different orbit.
+        let (_, mut c, ids) = fresh(2);
+        let mut d = c.clone();
+        c.machine_mut(ids[0]).unwrap().locals[0] = Value::Machine(ids[1]);
+        c.machine_mut(ids[1]).unwrap().locals[0] = Value::Machine(ids[0]);
+        d.machine_mut(ids[0]).unwrap().locals[0] = Value::Machine(ids[0]);
+        d.machine_mut(ids[1]).unwrap().locals[0] = Value::Machine(ids[1]);
+        assert_ne!(canonical_digest(&mut c), canonical_digest(&mut d));
+    }
+
+    #[test]
+    fn digest_invariant_across_all_permutations_of_four() {
+        // Four same-type machines in a ring via queue payloads; every
+        // rotation/reflection must canonicalize identically.
+        let (_, mut c, ids) = fresh(4);
+        for i in 0..4 {
+            let next = ids[(i + 1) % 4];
+            c.machine_mut(ids[i])
+                .unwrap()
+                .enqueue(EventId(0), Value::Machine(next));
+        }
+        let base = canonical_digest(&mut c);
+        let mut distinct_concrete = BTreeSet::new();
+        for perm in permutations(&[0, 1, 2, 3]) {
+            let mut sym = c.apply_permutation(&perm);
+            distinct_concrete.insert(sym.digest());
+            assert_eq!(canonical_digest(&mut sym), base, "perm {perm:?}");
+        }
+        // The orbit is genuinely nontrivial: many concrete states, one
+        // canonical digest.
+        assert!(distinct_concrete.len() > 1);
+    }
+
+    #[test]
+    fn tombstones_pin_their_slots() {
+        let (p, mut c, ids) = fresh(3);
+        c.delete(ids[1]);
+        let _ = p;
+        // Remaining pair {0, 2} still symmetric; swapping them (with the
+        // tombstone fixed) preserves the digest.
+        let mut sym = c.apply_permutation(&[2, 1, 0]);
+        assert_eq!(canonical_digest(&mut c), canonical_digest(&mut sym));
+        // But a tombstone is not a live machine.
+        let mut live = Config::default();
+        for _ in 0..3 {
+            live.allocate(&p, p.main);
+        }
+        assert_ne!(canonical_digest(&mut c), canonical_digest(&mut live));
+    }
+}

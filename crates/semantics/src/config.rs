@@ -257,6 +257,44 @@ impl MachineState {
             v.encode(out);
         }
     }
+
+    /// [`MachineState::encode`] with every machine-id *reference*
+    /// rewritten through `map` (see [`Value::encode_renamed`]). Machine
+    /// ids occur only inside [`Value`]s — locals, the `msg`/`arg`
+    /// registers, the pending payload, and queue payloads — so those are
+    /// the exact positions that differ from the plain encoding; frames
+    /// and continuations contain no ids. The output length is identical
+    /// to the plain encoding's (every id is a fixed-width `u32`).
+    pub(crate) fn encode_renamed(&self, out: &mut Vec<u8>, map: &[u32]) {
+        out.extend_from_slice(&self.ty.0.to_le_bytes());
+        out.extend_from_slice(&(self.stack.len() as u32).to_le_bytes());
+        for f in &self.stack {
+            f.encode(out);
+        }
+        out.extend_from_slice(&(self.locals.len() as u32).to_le_bytes());
+        for v in &self.locals {
+            v.encode_renamed(out, map);
+        }
+        self.msg.encode_renamed(out, map);
+        self.arg.encode_renamed(out, map);
+        out.extend_from_slice(&(self.cont.len() as u32).to_le_bytes());
+        for i in &self.cont {
+            i.encode(out);
+        }
+        match &self.pending {
+            None => out.push(0),
+            Some((e, v)) => {
+                out.push(1);
+                out.extend_from_slice(&e.0.to_le_bytes());
+                v.encode_renamed(out, map);
+            }
+        }
+        out.extend_from_slice(&(self.queue.len() as u32).to_le_bytes());
+        for (e, v) in &self.queue {
+            out.extend_from_slice(&e.0.to_le_bytes());
+            v.encode_renamed(out, map);
+        }
+    }
 }
 
 /// A global configuration: every machine created so far, with deleted
@@ -473,7 +511,10 @@ impl Config {
     /// separates sequences of different lengths. This replaces
     /// re-hashing a count·17-byte concatenation per transition with
     /// ~`count` multiplications.
-    fn combine_digests(digests: impl Iterator<Item = (bool, u128)>, count: usize) -> u128 {
+    pub(crate) fn combine_digests(
+        digests: impl Iterator<Item = (bool, u128)>,
+        count: usize,
+    ) -> u128 {
         const P: u128 = 0x9e37_79b9_7f4a_7c15_f39c_c060_5ced_c835;
         const TOMBSTONE: u128 = 0x5851_f42d_4c95_7f2d_1405_7b7e_f767_814f;
         let mut acc = (count as u128).wrapping_mul(P);
@@ -543,6 +584,62 @@ impl Config {
             .iter()
             .map(|d| 1 + d.expect("cache filled").1 as usize)
             .sum::<usize>()
+    }
+
+    /// The raw slot vector alongside the (filled) per-slot digest cache,
+    /// for the canonicalization layer: canonical renumbering keys its
+    /// per-slot memo by the concrete slot digest, so it wants both in
+    /// one borrow.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn slots_and_digests(
+        &mut self,
+    ) -> (&[Option<Arc<MachineState>>], &[Option<(u128, u32)>]) {
+        self.fill_digests();
+        (&self.machines, &self.digests)
+    }
+
+    /// Relabels machine ids through the bijection `perm` (`perm[i]` is
+    /// the new slot index of old slot `i`): slot contents move to their
+    /// new indices and every `Value::Machine` reference stored in any
+    /// machine is rewritten through `perm`. The caller must pass a
+    /// permutation of `0..created_count()` that is *type-preserving* on
+    /// live slots and fixes tombstones, or the result is not
+    /// behaviorally equivalent.
+    ///
+    /// This is the specification the symmetry-reduced fingerprint is
+    /// tested against: `canonical_digest` must be invariant under every
+    /// such relabeling.
+    pub fn apply_permutation(&self, perm: &[u32]) -> Config {
+        assert_eq!(perm.len(), self.machines.len(), "permutation arity");
+        let mut machines: Vec<Option<Arc<MachineState>>> = vec![None; self.machines.len()];
+        for (i, slot) in self.machines.iter().enumerate() {
+            let Some(state) = slot else {
+                assert_eq!(perm[i] as usize, i, "tombstones must stay fixed");
+                continue;
+            };
+            let mut renamed = MachineState::clone(state);
+            let rewrite = |v: &mut Value| {
+                if let Value::Machine(m) = v {
+                    *m = MachineId(perm[m.0 as usize]);
+                }
+            };
+            renamed.locals.iter_mut().for_each(rewrite);
+            rewrite(&mut renamed.msg);
+            rewrite(&mut renamed.arg);
+            if let Some((_, v)) = &mut renamed.pending {
+                rewrite(v);
+            }
+            for (_, v) in &mut renamed.queue {
+                rewrite(v);
+            }
+            let target = &mut machines[perm[i] as usize];
+            assert!(target.is_none(), "perm is not a bijection");
+            *target = Some(Arc::new(renamed));
+        }
+        Config {
+            digests: vec![None; machines.len()],
+            machines,
+        }
     }
 }
 

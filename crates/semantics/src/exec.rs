@@ -71,7 +71,10 @@ pub struct RunResult {
     /// Number of small steps executed.
     pub steps: usize,
     /// Events dequeued from this machine's input queue during the run
-    /// (used by the liveness analysis in `p-checker`).
+    /// (used by the liveness analysis in `p-checker`). Recorded by
+    /// default; callers that never read it (the safety checker's hot
+    /// path) can switch it off with [`Engine::with_dequeue_log`] to
+    /// avoid the per-run allocation.
     pub dequeued: Vec<EventId>,
     /// Events the machine `raise`d during the run. Recorded only when
     /// the engine was built [`Engine::with_event_log`]; empty otherwise
@@ -166,6 +169,7 @@ pub struct Engine<'p> {
     foreign: ForeignEnv,
     fuel: usize,
     event_log: bool,
+    dequeue_log: bool,
 }
 
 /// What one atomic run observed (internal accumulator for
@@ -174,8 +178,10 @@ struct RunLog {
     dequeued: Vec<EventId>,
     raised: Vec<EventId>,
     deferred: Vec<EventId>,
-    /// Record `raised`/`deferred` too? (`dequeued` is always kept — the
-    /// liveness analysis depends on it.)
+    /// Record `dequeued`? (On by default — the liveness analysis and the
+    /// runtime depend on it; the safety checker turns it off.)
+    dequeue: bool,
+    /// Record `raised`/`deferred` too?
     extended: bool,
 }
 
@@ -201,6 +207,7 @@ impl<'p> Engine<'p> {
             foreign,
             fuel: 100_000,
             event_log: false,
+            dequeue_log: true,
         }
     }
 
@@ -209,6 +216,15 @@ impl<'p> Engine<'p> {
     /// to keep atomic runs allocation-light).
     pub fn with_event_log(mut self, on: bool) -> Engine<'p> {
         self.event_log = on;
+        self
+    }
+
+    /// Records dequeued events in [`RunResult::dequeued`] (on by
+    /// default). The safety checker's exhaustive engines switch this off:
+    /// they never read the list, and skipping it saves one `Vec`
+    /// allocation per atomic run on the exploration hot path.
+    pub fn with_dequeue_log(mut self, on: bool) -> Engine<'p> {
+        self.dequeue_log = on;
         self
     }
 
@@ -288,6 +304,7 @@ impl<'p> Engine<'p> {
             dequeued: Vec::new(),
             raised: Vec::new(),
             deferred: Vec::new(),
+            dequeue: self.dequeue_log,
             extended: self.event_log,
         };
         let outcome = {
@@ -374,7 +391,9 @@ impl<'p> Engine<'p> {
                     }
                 }
                 let (event, value) = m.queue.remove(i);
-                log.dequeued.push(event);
+                if log.dequeue {
+                    log.dequeued.push(event);
+                }
                 m.msg = Value::Event(event);
                 m.arg = value;
                 m.pending = Some((event, value));

@@ -52,6 +52,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod canon;
 mod config;
 mod error;
 mod exec;
@@ -65,6 +66,7 @@ mod proptests;
 #[cfg(test)]
 mod tests;
 
+pub use canon::canonical_digest;
 pub use config::{Config, Cont, Frame, Inherited, Instr, MachineId, MachineState};
 pub use error::{ErrorKind, PError};
 pub use exec::{ChoiceSource, Engine, ExecOutcome, Granularity, RunResult, Script, YieldKind};

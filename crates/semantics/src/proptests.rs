@@ -164,6 +164,36 @@ proptest! {
         prop_assert_eq!(config.digest(), config.digest_uncached());
     }
 
+    /// The canonical (symmetry-reduced) digest is invariant under every
+    /// permutation of the interchangeable `Sink` machines, at every
+    /// reachable configuration — the soundness contract of
+    /// `canonical_digest`.
+    #[test]
+    fn canonical_digest_invariant_under_sink_permutation(
+        bits in proptest::collection::vec(any::<bool>(), 0..12),
+        steps in 0usize..8,
+        perm_idx in 0usize..6,
+    ) {
+        let program = symmetric_sinks_program(4);
+        let Some(config) = walk(&program, &bits, steps) else { return Ok(()) };
+        // Env is slot 0; the three Sinks (when created) are slots 1–3.
+        const PERMS: [[u32; 3]; 6] = [
+            [1, 2, 3], [1, 3, 2], [2, 1, 3], [2, 3, 1], [3, 1, 2], [3, 2, 1],
+        ];
+        let n = config.created_count();
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        if n >= 4 {
+            perm[1..4].copy_from_slice(&PERMS[perm_idx]);
+        }
+        let mut sym = config.apply_permutation(&perm);
+        let mut config = config;
+        prop_assert_eq!(crate::canonical_digest(&mut config), crate::canonical_digest(&mut sym));
+        // And the concrete digest of the permuted configuration still
+        // matches its own canonical bytes (apply_permutation produces a
+        // well-formed configuration).
+        prop_assert_eq!(sym.digest_uncached(), sym.clone().digest());
+    }
+
     /// Queues never hold duplicate (event, payload) pairs in any reachable
     /// configuration.
     #[test]
@@ -182,6 +212,50 @@ proptest! {
             }
         }
     }
+}
+
+/// Like [`choosy_program`], but the driver spreads its sends over three
+/// interchangeable `Sink` machines — the orbit structure the symmetry
+/// proptest permutes.
+fn symmetric_sinks_program(rounds: i64) -> crate::LoweredProgram {
+    let src = format!(
+        r#"
+        event a : int;
+        machine Sink {{
+            var total : int;
+            state S {{ on a do add; }}
+            action add {{ total := total + arg; }}
+        }}
+        ghost machine Env {{
+            var s1 : id;
+            var s2 : id;
+            var s3 : id;
+            var n : int;
+            state D {{
+                entry {{
+                    s1 := new Sink(total = 0);
+                    s2 := new Sink(total = 0);
+                    s3 := new Sink(total = 0);
+                    n := {rounds};
+                    while (n > 0) {{
+                        n := n - 1;
+                        if (*) {{
+                            send(s1, a, n);
+                        }} else {{
+                            if (*) {{
+                                send(s2, a, n);
+                            }} else {{
+                                send(s3, a, n);
+                            }}
+                        }}
+                    }}
+                }}
+            }}
+        }}
+        main Env();
+        "#
+    );
+    lower(&p_parser::parse(&src).unwrap()).unwrap()
 }
 
 /// Advances the initial configuration by up to `steps` atomic runs

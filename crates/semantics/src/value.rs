@@ -140,6 +140,22 @@ impl Value {
         }
     }
 
+    /// Serializes the value as [`Value::encode`] does, but with machine
+    /// ids rewritten through `map` (ids beyond `map`'s length pass
+    /// through unchanged). This is the primitive the canonicalization
+    /// layer uses to hash a configuration under a candidate renumbering
+    /// without materializing the renamed configuration.
+    pub(crate) fn encode_renamed(&self, out: &mut Vec<u8>, map: &[u32]) {
+        match self {
+            Value::Machine(m) => {
+                out.push(4);
+                let renamed = map.get(m.0 as usize).copied().unwrap_or(m.0);
+                out.extend_from_slice(&renamed.to_le_bytes());
+            }
+            other => other.encode(out),
+        }
+    }
+
     /// Serializes the value into `out` for configuration hashing.
     pub(crate) fn encode(&self, out: &mut Vec<u8>) {
         match self {

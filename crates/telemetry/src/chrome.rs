@@ -53,6 +53,7 @@ fn snapshot_counters(snap: &ExplorationSnapshot, tid: u32) -> JsonValue {
                 ("frontier", num(snap.frontier as f64)),
                 ("dedup_hits", num(snap.dedup_hits as f64)),
                 ("sleep_pruned", num(snap.sleep_pruned as f64)),
+                ("symmetry_merges", num(snap.symmetry_merges as f64)),
                 ("max_depth", num(snap.max_depth as f64)),
                 ("workers", num(snap.workers as f64)),
                 ("states_per_sec", num(snap.states_per_sec())),

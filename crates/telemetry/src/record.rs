@@ -72,6 +72,8 @@ pub struct ExplorationSnapshot {
     pub dedup_hits: u64,
     /// Transitions skipped by sleep-set POR.
     pub sleep_pruned: u64,
+    /// Successors merged with a symmetric (id-permuted) visited state.
+    pub symmetry_merges: u64,
     /// Deepest configuration reached so far.
     pub max_depth: u64,
     /// Worker count (1 for the sequential engine).

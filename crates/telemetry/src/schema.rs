@@ -29,6 +29,8 @@ pub struct ExplorationMetrics {
     pub dedup_hits: u64,
     /// Transitions pruned by sleep-set POR.
     pub sleep_pruned: u64,
+    /// Successors merged with a symmetric (id-permuted) visited state.
+    pub symmetry_merges: u64,
     /// Worker count used (1 = sequential).
     pub workers: u64,
     /// Whether the safety verdict was "no counterexample".
@@ -70,6 +72,7 @@ impl ExplorationMetrics {
             ("max_depth", num(self.max_depth as f64)),
             ("dedup_hits", num(self.dedup_hits as f64)),
             ("sleep_pruned", num(self.sleep_pruned as f64)),
+            ("symmetry_merges", num(self.symmetry_merges as f64)),
             ("workers", num(self.workers as f64)),
             ("passed", JsonValue::Bool(self.passed)),
             ("complete", JsonValue::Bool(self.complete)),
@@ -97,6 +100,7 @@ impl ExplorationMetrics {
             max_depth: field("max_depth"),
             dedup_hits: field("dedup_hits"),
             sleep_pruned: field("sleep_pruned"),
+            symmetry_merges: field("symmetry_merges"),
             workers: field("workers").max(1),
             passed: value
                 .get("passed")
@@ -179,6 +183,7 @@ mod tests {
             max_depth: 12,
             dedup_hits: states,
             sleep_pruned: 0,
+            symmetry_merges: 0,
             workers: 1,
             passed: true,
             complete: true,

@@ -99,6 +99,58 @@ fn verify_delay_flag() {
 }
 
 #[test]
+fn verify_symmetry_flag() {
+    // german3 has three interchangeable clients: --symmetry must agree
+    // on the verdict while retaining strictly fewer states.
+    let file = corpus_file("german3.p");
+    let states = |out: &Output| {
+        stdout(out)
+            .split(" states")
+            .next()
+            .unwrap()
+            .trim()
+            .parse::<u64>()
+            .unwrap()
+    };
+    let plain = p_bin()
+        .args(["verify", file.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let sym = p_bin()
+        .args(["verify", file.to_str().unwrap(), "--symmetry"])
+        .output()
+        .unwrap();
+    assert!(plain.status.success(), "{}", stderr(&plain));
+    assert!(sym.status.success(), "{}", stderr(&sym));
+    assert!(stdout(&sym).contains("PASSED"));
+    assert!(
+        states(&sym) < states(&plain),
+        "symmetry must merge client orbits: {} vs {}",
+        states(&sym),
+        states(&plain)
+    );
+
+    // A symmetry-reduced visited set only keys the exhaustive search;
+    // the scheduling strategies reject the flag.
+    let out = p_bin()
+        .args([
+            "verify",
+            file.to_str().unwrap(),
+            "--symmetry",
+            "--delay",
+            "1",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("--symmetry applies to the exhaustive search only"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+#[test]
 fn telemetry_flags_validate_their_inputs() {
     let program = corpus_file("ping_pong.p");
     // --profile/--progress are exhaustive-search-only knobs.

@@ -1,0 +1,133 @@
+//! Symmetry reduction must be invisible to the checker's answer: for
+//! every corpus program — buggy variants included — `--symmetry` on and
+//! off agree on the verdict, alone, combined with `--por`, and on the
+//! parallel engine. Symmetry may only *merge* states (never invent or
+//! lose reachable behavior), counterexamples stay concrete and replay
+//! deterministically, and on the German-protocol family the merge is
+//! required to actually happen.
+
+use p_core::{corpus, CheckerOptions, Compiled};
+
+fn sym_options(por: bool, jobs: usize) -> CheckerOptions {
+    CheckerOptions {
+        symmetry: true,
+        por,
+        jobs,
+        ..CheckerOptions::default()
+    }
+}
+
+/// Every passing corpus program: `--symmetry` (alone and with `--por`)
+/// must preserve the verdict, never retain more states than the full
+/// exploration, and POR on top of symmetry must not change the retained
+/// orbit count. The German family has interchangeable clients by
+/// construction, so there symmetry must strictly reduce.
+#[test]
+fn corpus_agrees_with_and_without_symmetry() {
+    for (name, program) in corpus::all() {
+        let compiled = Compiled::from_program(program).expect("corpus program compiles");
+        let full = compiled.verify();
+        let sym = compiled
+            .verifier()
+            .with_options(sym_options(false, 1))
+            .check_exhaustive();
+        let sym_por = compiled
+            .verifier()
+            .with_options(sym_options(true, 1))
+            .check_exhaustive();
+        for (mode, run) in [("--symmetry", &sym), ("--symmetry --por", &sym_por)] {
+            assert_eq!(
+                full.passed(),
+                run.passed(),
+                "{name}: verdict diverged under {mode}"
+            );
+            assert_eq!(
+                full.complete, run.complete,
+                "{name}: completeness diverged under {mode}"
+            );
+        }
+        if full.complete {
+            assert!(
+                sym.stats.unique_states <= full.stats.unique_states,
+                "{name}: symmetry retained more states ({} > {})",
+                sym.stats.unique_states,
+                full.stats.unique_states
+            );
+            assert_eq!(
+                sym.stats.unique_states, sym_por.stats.unique_states,
+                "{name}: POR changed the orbit count under symmetry"
+            );
+            if name.starts_with("german") && name != "german" {
+                assert!(
+                    sym.stats.unique_states < full.stats.unique_states,
+                    "{name}: interchangeable clients must merge ({} vs {})",
+                    sym.stats.unique_states,
+                    full.stats.unique_states
+                );
+                assert!(
+                    sym.stats.symmetry_merges > 0,
+                    "{name}: no symmetry merges recorded"
+                );
+            }
+        }
+    }
+}
+
+/// Seeded bugs stay reachable under symmetry, and the counterexamples
+/// are concrete: they replay deterministically on the unreduced
+/// semantics, with or without POR stacked on top.
+#[test]
+fn buggy_benchmarks_fail_under_symmetry_with_replayable_traces() {
+    for (name, _correct, buggy) in corpus::figure7_benchmarks() {
+        let compiled = Compiled::from_program(buggy).expect("buggy corpus program compiles");
+        for (mode, por) in [("--symmetry", false), ("--symmetry --por", true)] {
+            let run = compiled
+                .verifier()
+                .with_options(sym_options(por, 1))
+                .check_exhaustive();
+            assert!(!run.passed(), "{name}: {mode} hid the seeded bug");
+            let cx = run
+                .counterexample
+                .unwrap_or_else(|| panic!("{name}: {mode} run produced no counterexample"));
+            assert!(
+                compiled.verifier().replay(&cx).reproduced(),
+                "{name}: {mode} counterexample must replay deterministically"
+            );
+        }
+    }
+}
+
+/// Symmetry composes with the parallel engine: verdict and retained
+/// orbit count match the sequential symmetry run on every corpus
+/// program. (Transition and merge counts are not compared — which
+/// concrete representative reaches an orbit first depends on worker
+/// scheduling.)
+#[test]
+fn symmetry_agrees_across_job_counts() {
+    for (name, program) in corpus::all() {
+        let compiled = Compiled::from_program(program).expect("corpus program compiles");
+        let sequential = compiled
+            .verifier()
+            .with_options(sym_options(false, 1))
+            .check_exhaustive();
+        let parallel = compiled
+            .verifier()
+            .with_options(sym_options(false, 4))
+            .check_exhaustive_parallel(4);
+        assert_eq!(
+            sequential.passed(),
+            parallel.passed(),
+            "{name}: verdict diverged under parallel symmetry"
+        );
+        assert_eq!(
+            sequential.complete, parallel.complete,
+            "{name}: completeness diverged under parallel symmetry"
+        );
+        if sequential.complete {
+            assert_eq!(
+                sequential.stats.unique_states, parallel.stats.unique_states,
+                "{name}: orbit count diverged under parallel symmetry"
+            );
+        }
+    }
+}
