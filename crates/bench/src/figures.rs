@@ -321,6 +321,9 @@ pub fn report_to_metrics(
         sleep_pruned: report.stats.sleep_pruned as u64,
         symmetry_merges: report.stats.symmetry_merges as u64,
         workers,
+        spilled_states: report.stats.spilled_states as u64,
+        spill_bytes: report.stats.spill_bytes,
+        cold_hits: report.stats.cold_hits,
         passed: report.passed(),
         complete: report.complete,
     }

@@ -162,6 +162,7 @@ impl Verifier<'_> {
                                     counterexample: Some(Counterexample { error, trace }),
                                     stats,
                                     complete: false,
+                                    interrupted: false,
                                 },
                                 delay_bound,
                                 scheduler_nodes: node_seen.len(),
@@ -216,6 +217,7 @@ impl Verifier<'_> {
             report: Report {
                 counterexample: None,
                 complete: !stats.truncated,
+                interrupted: false,
                 stats,
             },
             delay_bound,

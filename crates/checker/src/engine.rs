@@ -15,13 +15,18 @@
 //!   count exactly the states actually retained.
 
 use std::collections::VecDeque;
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use parking_lot::Mutex;
 
+use crate::checkpoint::{ParentRecord, VisitedEntry};
+use crate::error::CheckerError;
 use crate::fingerprint::{Fingerprint, FpHashMap, FpHashSet};
 use crate::por::SleepSet;
+use crate::store::{RunStore, SpillCounters};
 use crate::trace::{StepSeed, TraceStep};
+use crate::wire;
 
 /// Outcome of offering a state to a visited set.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -294,6 +299,579 @@ impl BoundedSet {
     }
 }
 
+/// Byte budget the hot visited tier may hold before spilling, for a
+/// `--mem-limit` of `mem_limit` bytes. States vary widely in canonical
+/// size (a handful of machines vs. hundreds), so the trigger compares
+/// actual `stored_bytes` against this budget rather than counting
+/// states. A quarter of the limit goes to the hot tier; the rest covers
+/// the structures that stay RAM-resident across spills (sleep sets,
+/// parent edges between spills, bloom filters, run indexes) plus the
+/// frontier itself. The floor keeps tiny limits from degenerating into
+/// a spill per handful of states.
+pub(crate) fn hot_budget_for(mem_limit: usize) -> usize {
+    (mem_limit / 4).max(64 << 10)
+}
+
+/// Hot-tier edge cap for a parent map sharing that `--mem-limit`, from
+/// the same quarter-of-the-limit budget: parent edges are fixed-size
+/// (two fingerprints plus a [`StepSeed`], ~64 bytes with hash-table
+/// overhead), so a count cap is exact for them.
+pub(crate) fn parent_cap_for(hot_budget: usize) -> usize {
+    (hot_budget / 64).max(1024)
+}
+
+/// Spill payload for a symmetry-mode visited key: the orbit's concrete
+/// representative.
+fn encode_rep_payload(rep: Option<Fingerprint>) -> Vec<u8> {
+    match rep {
+        None => Vec::new(),
+        Some(rep) => rep.as_u128().to_le_bytes().to_vec(),
+    }
+}
+
+fn corrupt_spill(what: &str) -> CheckerError {
+    CheckerError::CheckpointFormat(format!("corrupt {what} spill record"))
+}
+
+fn decode_rep_payload(payload: &[u8]) -> Result<Option<Fingerprint>, CheckerError> {
+    if payload.is_empty() {
+        return Ok(None);
+    }
+    let mut buf = payload;
+    let rep = wire::read_u128(&mut buf).ok_or_else(|| corrupt_spill("visited"))?;
+    if !buf.is_empty() {
+        return Err(corrupt_spill("visited"));
+    }
+    Ok(Some(Fingerprint::from_u128(rep)))
+}
+
+/// Spill payload for a parent record: parent fingerprint + encoded
+/// [`StepSeed`].
+fn encode_parent_payload(parent: Fingerprint, seed: &StepSeed) -> Vec<u8> {
+    let mut out = parent.as_u128().to_le_bytes().to_vec();
+    seed.encode(&mut out);
+    out
+}
+
+fn decode_parent_payload(payload: &[u8]) -> Result<(Fingerprint, StepSeed), CheckerError> {
+    let mut buf = payload;
+    let parent = wire::read_u128(&mut buf).ok_or_else(|| corrupt_spill("parent"))?;
+    let seed = StepSeed::decode(&mut buf).ok_or_else(|| corrupt_spill("parent"))?;
+    if !buf.is_empty() {
+        return Err(corrupt_spill("parent"));
+    }
+    Ok((Fingerprint::from_u128(parent), seed))
+}
+
+/// The disk-backed cold half of a [`TieredSet`].
+#[derive(Debug)]
+struct ColdSet {
+    store: RunStore,
+    /// Spill once the hot tier's `stored_bytes` reaches this.
+    hot_budget: usize,
+    /// Canonical-encoding length per *hot* fingerprint, so spilling can
+    /// subtract the spilled share from `stored_bytes` and keep it an
+    /// honest RAM figure.
+    lens: FpHashMap<u32>,
+}
+
+/// A [`BoundedSet`] with an optional disk-spilled cold tier — the
+/// sequential engine's visited set under `--mem-limit`.
+///
+/// The hot tier holds at most `hot_budget` bytes of canonical state
+/// encodings; when it fills, every hot fingerprint (with its symmetry
+/// representative, if any) is drained into the [`RunStore`] and the hot
+/// tier restarts empty. Sleep
+/// sets stay RAM-resident: they are keyed by fingerprint in the hot
+/// `sleeps` map whether or not the fingerprint itself has been spilled,
+/// so the POR revisit rule (absent entry = fully explored) keeps working
+/// for cold states. The `max_states` bound spans both tiers.
+///
+/// Without a cold tier every operation is infallible and delegates to
+/// [`BoundedSet`] unchanged.
+#[derive(Debug)]
+pub(crate) struct TieredSet {
+    hot: BoundedSet,
+    cold: Option<ColdSet>,
+}
+
+impl TieredSet {
+    /// A RAM-only set (no spilling; operations never fail).
+    pub(crate) fn new(max: usize) -> TieredSet {
+        TieredSet {
+            hot: BoundedSet::new(max),
+            cold: None,
+        }
+    }
+
+    /// A tiered set spilling to `dir` whenever the hot tier reaches
+    /// `hot_budget` bytes.
+    pub(crate) fn with_spill(
+        max: usize,
+        dir: &Path,
+        hot_budget: usize,
+    ) -> Result<TieredSet, CheckerError> {
+        Ok(TieredSet {
+            hot: BoundedSet::new(max),
+            cold: Some(ColdSet {
+                store: RunStore::create(dir, "visited")?,
+                hot_budget: hot_budget.max(1),
+                lens: FpHashMap::default(),
+            }),
+        })
+    }
+
+    /// Retained states across both tiers.
+    pub(crate) fn len(&self) -> usize {
+        self.hot.seen.len()
+            + self
+                .cold
+                .as_ref()
+                .map_or(0, |c| c.store.counters.records as usize)
+    }
+
+    /// Canonical-encoding bytes of the *hot* (RAM-resident) states.
+    pub(crate) fn stored_bytes(&self) -> usize {
+        self.hot.stored_bytes
+    }
+
+    /// Spill activity of the cold tier (zeroed without one).
+    pub(crate) fn spill_counters(&self) -> SpillCounters {
+        self.cold
+            .as_ref()
+            .map_or(SpillCounters::default(), |c| c.store.counters)
+    }
+
+    /// Marks a fresh fingerprint hot, with its encoding length for the
+    /// RAM accounting, then spills if the hot tier filled up.
+    fn insert_hot(&mut self, fp: Fingerprint, bytes_len: usize) -> Result<(), CheckerError> {
+        self.hot.seen.insert(fp);
+        self.hot.stored_bytes += bytes_len;
+        if let Some(cold) = self.cold.as_mut() {
+            cold.lens.insert(fp, bytes_len as u32);
+            if self.hot.stored_bytes >= cold.hot_budget {
+                self.spill_hot()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Drains the entire hot tier into the cold store. Sleep sets stay
+    /// in RAM (see the type docs); representatives travel as payloads.
+    fn spill_hot(&mut self) -> Result<(), CheckerError> {
+        let cold = self.cold.as_mut().expect("spill without a cold tier");
+        let mut batch = Vec::with_capacity(self.hot.seen.len());
+        for fp in self.hot.seen.drain() {
+            let payload = encode_rep_payload(self.hot.reps.remove(&fp));
+            let len = cold.lens.remove(&fp).unwrap_or(0) as usize;
+            self.hot.stored_bytes = self.hot.stored_bytes.saturating_sub(len);
+            batch.push((fp.as_u128(), payload));
+        }
+        cold.store.spill(batch)
+    }
+
+    /// Whether `key` is visited in the cold tier, with its stored
+    /// representative (symmetry mode).
+    fn cold_lookup(
+        &mut self,
+        key: Fingerprint,
+    ) -> Result<Option<Option<Fingerprint>>, CheckerError> {
+        let Some(cold) = self.cold.as_mut() else {
+            return Ok(None);
+        };
+        match cold.store.get(key.as_u128())? {
+            None => Ok(None),
+            Some(payload) => Ok(Some(decode_rep_payload(&payload)?)),
+        }
+    }
+
+    /// [`BoundedSet::admit`] across both tiers.
+    pub(crate) fn admit(
+        &mut self,
+        fp: Fingerprint,
+        bytes_len: usize,
+    ) -> Result<Admit, CheckerError> {
+        if self.cold.is_none() {
+            return Ok(self.hot.admit(fp, bytes_len));
+        }
+        if self.hot.seen.contains(&fp) || self.cold_lookup(fp)?.is_some() {
+            return Ok(Admit::Seen);
+        }
+        if self.len() >= self.hot.max {
+            return Ok(Admit::OverBound);
+        }
+        self.insert_hot(fp, bytes_len)?;
+        Ok(Admit::New)
+    }
+
+    /// [`BoundedSet::admit_sleep`] across both tiers.
+    pub(crate) fn admit_sleep(
+        &mut self,
+        fp: Fingerprint,
+        bytes_len: usize,
+        sleep: SleepSet,
+    ) -> Result<AdmitSleep, CheckerError> {
+        if self.cold.is_none() {
+            return Ok(self.hot.admit_sleep(fp, bytes_len, sleep));
+        }
+        let visited = self.hot.seen.contains(&fp) || self.cold_lookup(fp)?.is_some();
+        if !visited {
+            if self.len() >= self.hot.max {
+                return Ok(AdmitSleep::OverBound);
+            }
+            if sleep != SleepSet::empty() {
+                self.hot.sleeps.insert(fp, sleep);
+            }
+            self.insert_hot(fp, bytes_len)?;
+            return Ok(AdmitSleep::New);
+        }
+        // The revisit rule runs on the RAM-resident sleeps map whether
+        // the fingerprint is hot or cold.
+        let old = self.hot.sleeps.get(&fp).copied().unwrap_or_default();
+        if old.is_subset_of(sleep) {
+            return Ok(AdmitSleep::Covered);
+        }
+        let widened = old.intersect(sleep);
+        if widened == SleepSet::empty() {
+            self.hot.sleeps.remove(&fp);
+        } else {
+            self.hot.sleeps.insert(fp, widened);
+        }
+        Ok(AdmitSleep::Widen(widened))
+    }
+
+    /// [`BoundedSet::admit_sym`] across both tiers.
+    pub(crate) fn admit_sym(
+        &mut self,
+        key: Fingerprint,
+        concrete: Fingerprint,
+        bytes_len: usize,
+    ) -> Result<AdmitSym, CheckerError> {
+        if self.cold.is_none() {
+            return Ok(self.hot.admit_sym(key, concrete, bytes_len));
+        }
+        if self.hot.seen.contains(&key) {
+            return Ok(AdmitSym::Seen {
+                merged: self.hot.reps.get(&key) != Some(&concrete),
+            });
+        }
+        if let Some(rep) = self.cold_lookup(key)? {
+            return Ok(AdmitSym::Seen {
+                merged: rep != Some(concrete),
+            });
+        }
+        if self.len() >= self.hot.max {
+            return Ok(AdmitSym::OverBound);
+        }
+        self.hot.reps.insert(key, concrete);
+        self.insert_hot(key, bytes_len)?;
+        Ok(AdmitSym::New)
+    }
+
+    /// [`BoundedSet::admit_sleep_sym`] across both tiers.
+    pub(crate) fn admit_sleep_sym(
+        &mut self,
+        key: Fingerprint,
+        concrete: Fingerprint,
+        bytes_len: usize,
+        sleep: SleepSet,
+    ) -> Result<AdmitSleepSym, CheckerError> {
+        if self.cold.is_none() {
+            return Ok(self.hot.admit_sleep_sym(key, concrete, bytes_len, sleep));
+        }
+        let rep = if self.hot.seen.contains(&key) {
+            Some(self.hot.reps.get(&key).copied())
+        } else {
+            self.cold_lookup(key)?
+        };
+        let Some(rep) = rep else {
+            // Fresh orbit.
+            if self.len() >= self.hot.max {
+                return Ok(AdmitSleepSym::OverBound);
+            }
+            self.hot.reps.insert(key, concrete);
+            if sleep != SleepSet::empty() {
+                self.hot.sleeps.insert(key, sleep);
+            }
+            self.insert_hot(key, bytes_len)?;
+            return Ok(AdmitSleepSym::New);
+        };
+        let old = self.hot.sleeps.get(&key).copied().unwrap_or_default();
+        if rep == Some(concrete) {
+            // Same concrete state: the classical rule.
+            if old.is_subset_of(sleep) {
+                return Ok(AdmitSleepSym::Covered { merged: false });
+            }
+            let widened = old.intersect(sleep);
+            if widened == SleepSet::empty() {
+                self.hot.sleeps.remove(&key);
+            } else {
+                self.hot.sleeps.insert(key, widened);
+            }
+            return Ok(AdmitSleepSym::Widen {
+                sleep: widened,
+                merged: false,
+            });
+        }
+        // Symmetric sibling: only ∅ is permutation-invariant.
+        if old == SleepSet::empty() {
+            return Ok(AdmitSleepSym::Covered { merged: true });
+        }
+        self.hot.sleeps.remove(&key);
+        Ok(AdmitSleepSym::Widen {
+            sleep: SleepSet::empty(),
+            merged: true,
+        })
+    }
+
+    /// Every visited entry (hot then cold) for checkpointing. Sleep
+    /// sets come from the RAM-resident map for both tiers.
+    pub(crate) fn snapshot(&self) -> Result<Vec<VisitedEntry>, CheckerError> {
+        let mut out = Vec::with_capacity(self.len());
+        for &fp in &self.hot.seen {
+            out.push(VisitedEntry {
+                fp: fp.as_u128(),
+                sleep: self.hot.sleeps.get(&fp).map_or(0, |s| s.0),
+                rep: self.hot.reps.get(&fp).map(|r| r.as_u128()),
+            });
+        }
+        if let Some(cold) = &self.cold {
+            for (key, payload) in cold.store.iter_all()? {
+                let fp = Fingerprint::from_u128(key);
+                out.push(VisitedEntry {
+                    fp: key,
+                    sleep: self.hot.sleeps.get(&fp).map_or(0, |s| s.0),
+                    rep: decode_rep_payload(&payload)?.map(|r| r.as_u128()),
+                });
+            }
+        }
+        Ok(out)
+    }
+
+    /// Rebuilds a set from checkpointed entries. Without spilling the
+    /// entries become the hot tier and `stored_bytes` restores the
+    /// checkpointed figure; with spilling every restored fingerprint
+    /// goes straight to disk (their encoding lengths are no longer
+    /// known, so the hot tier restarts empty and RAM-honest at zero).
+    pub(crate) fn restore(
+        max: usize,
+        spill: Option<(&Path, usize)>,
+        entries: &[VisitedEntry],
+        stored_bytes: usize,
+    ) -> Result<TieredSet, CheckerError> {
+        let mut set = match spill {
+            None => TieredSet::new(max),
+            Some((dir, hot_cap)) => TieredSet::with_spill(max, dir, hot_cap)?,
+        };
+        match set.cold.as_mut() {
+            None => {
+                for e in entries {
+                    let fp = Fingerprint::from_u128(e.fp);
+                    set.hot.seen.insert(fp);
+                    if e.sleep != 0 {
+                        set.hot.sleeps.insert(fp, SleepSet(e.sleep));
+                    }
+                    if let Some(rep) = e.rep {
+                        set.hot.reps.insert(fp, Fingerprint::from_u128(rep));
+                    }
+                }
+                set.hot.stored_bytes = stored_bytes;
+            }
+            Some(cold) => {
+                let mut batch = Vec::with_capacity(entries.len());
+                for e in entries {
+                    if e.sleep != 0 {
+                        set.hot
+                            .sleeps
+                            .insert(Fingerprint::from_u128(e.fp), SleepSet(e.sleep));
+                    }
+                    batch.push((e.fp, encode_rep_payload(e.rep.map(Fingerprint::from_u128))));
+                }
+                cold.store.spill(batch)?;
+            }
+        }
+        Ok(set)
+    }
+}
+
+/// The disk-backed cold half of a [`TieredParents`].
+#[derive(Debug)]
+struct ColdParents {
+    store: RunStore,
+    hot_cap: usize,
+}
+
+/// A [`ParentMap`] with an optional disk-spilled cold tier, mirroring
+/// [`TieredSet`]: under `--mem-limit` parent edges spill alongside the
+/// visited fingerprints so counterexample reconstruction stays concrete
+/// however deep the spilled history runs.
+#[derive(Debug)]
+pub(crate) struct TieredParents {
+    hot: ParentMap,
+    cold: Option<ColdParents>,
+}
+
+impl TieredParents {
+    /// A RAM-only parent map (operations never fail).
+    pub(crate) fn new() -> TieredParents {
+        TieredParents {
+            hot: ParentMap::new(),
+            cold: None,
+        }
+    }
+
+    /// A tiered map spilling to `dir` at `hot_cap` RAM-resident edges.
+    pub(crate) fn with_spill(dir: &Path, hot_cap: usize) -> Result<TieredParents, CheckerError> {
+        Ok(TieredParents {
+            hot: ParentMap::new(),
+            cold: Some(ColdParents {
+                store: RunStore::create(dir, "parents")?,
+                hot_cap: hot_cap.max(1),
+            }),
+        })
+    }
+
+    /// Spill activity of the cold tier (zeroed without one).
+    pub(crate) fn spill_counters(&self) -> SpillCounters {
+        self.cold
+            .as_ref()
+            .map_or(SpillCounters::default(), |c| c.store.counters)
+    }
+
+    fn maybe_spill(&mut self) -> Result<(), CheckerError> {
+        let Some(cold) = self.cold.as_mut() else {
+            return Ok(());
+        };
+        if self.hot.map.len() < cold.hot_cap {
+            return Ok(());
+        }
+        let batch = self
+            .hot
+            .map
+            .drain()
+            .map(|(child, (parent, seed))| (child.as_u128(), encode_parent_payload(parent, &seed)))
+            .collect();
+        cold.store.spill(batch)
+    }
+
+    /// Records how `child` was first reached. `child` must be fresh
+    /// (just admitted), so no cold-tier duplicate check is needed.
+    pub(crate) fn record(
+        &mut self,
+        child: Fingerprint,
+        parent: Fingerprint,
+        step: StepSeed,
+    ) -> Result<(), CheckerError> {
+        self.hot.record(child, parent, step);
+        self.maybe_spill()
+    }
+
+    /// [`ParentMap::record_if_absent`] across both tiers (first edge
+    /// wins even if the first edge has been spilled).
+    pub(crate) fn record_if_absent(
+        &mut self,
+        child: Fingerprint,
+        parent: Fingerprint,
+        step: impl FnOnce() -> StepSeed,
+    ) -> Result<(), CheckerError> {
+        if self.cold.is_none() {
+            self.hot.record_if_absent(child, parent, step);
+            return Ok(());
+        }
+        if self.hot.map.contains_key(&child) {
+            return Ok(());
+        }
+        if let Some(cold) = self.cold.as_mut() {
+            if cold.store.contains(child.as_u128())? {
+                return Ok(());
+            }
+        }
+        self.hot.record(child, parent, step());
+        self.maybe_spill()
+    }
+
+    /// Walks the parent edges from the initial state to `state` across
+    /// both tiers, rendering the stored seeds.
+    pub(crate) fn reconstruct(
+        &mut self,
+        mut state: Fingerprint,
+        program: &p_semantics::LoweredProgram,
+    ) -> Result<Vec<TraceStep>, CheckerError> {
+        let mut steps = Vec::new();
+        loop {
+            if let Some((parent, step)) = self.hot.map.get(&state) {
+                steps.push(step.render(program));
+                state = *parent;
+                continue;
+            }
+            let Some(cold) = self.cold.as_mut() else {
+                break;
+            };
+            let Some(payload) = cold.store.get(state.as_u128())? else {
+                break;
+            };
+            let (parent, seed) = decode_parent_payload(&payload)?;
+            steps.push(seed.render(program));
+            state = parent;
+        }
+        steps.reverse();
+        Ok(steps)
+    }
+
+    /// Every `(child, parent, seed)` record (hot then cold) for
+    /// checkpointing.
+    pub(crate) fn snapshot(&self) -> Result<Vec<ParentRecord>, CheckerError> {
+        let mut out = Vec::with_capacity(self.hot.map.len());
+        for (child, (parent, seed)) in &self.hot.map {
+            out.push((child.as_u128(), parent.as_u128(), seed.clone()));
+        }
+        if let Some(cold) = &self.cold {
+            for (child, payload) in cold.store.iter_all()? {
+                let (parent, seed) = decode_parent_payload(&payload)?;
+                out.push((child, parent.as_u128(), seed));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Rebuilds a map from checkpointed records (all into RAM without
+    /// spilling, all onto disk with it — mirroring
+    /// [`TieredSet::restore`]).
+    pub(crate) fn restore(
+        spill: Option<(&Path, usize)>,
+        records: Vec<ParentRecord>,
+    ) -> Result<TieredParents, CheckerError> {
+        let mut parents = match spill {
+            None => TieredParents::new(),
+            Some((dir, hot_cap)) => TieredParents::with_spill(dir, hot_cap)?,
+        };
+        match parents.cold.as_mut() {
+            None => {
+                for (child, parent, seed) in records {
+                    parents.hot.record(
+                        Fingerprint::from_u128(child),
+                        Fingerprint::from_u128(parent),
+                        seed,
+                    );
+                }
+            }
+            Some(cold) => {
+                let batch = records
+                    .into_iter()
+                    .map(|(child, parent, seed)| {
+                        (
+                            child,
+                            encode_parent_payload(Fingerprint::from_u128(parent), &seed),
+                        )
+                    })
+                    .collect();
+                cold.store.spill(batch)?;
+            }
+        }
+        Ok(parents)
+    }
+}
+
 /// Shared additive totals for the parallel engine.
 ///
 /// Workers keep cheap thread-local [`crate::ExplorationStats`] and
@@ -430,6 +1008,28 @@ pub(crate) struct SharedTable {
     stored: AtomicUsize,
     truncated: AtomicBool,
     max: usize,
+    /// Disk-spilled cold tier (`--mem-limit` only).
+    cold: Option<SharedCold>,
+    /// Fingerprints across all shards' hot `visited` sets; compared
+    /// against the hot cap to trigger spills. Only maintained when a
+    /// cold tier exists.
+    hot_count: AtomicUsize,
+}
+
+/// The cold tier of a [`SharedTable`]. Lock order is `shard(s) → store
+/// mutexes`, everywhere: admits hold one shard lock and may briefly
+/// take a store mutex under it; the spiller takes *every* shard lock
+/// (ascending) and only then the store mutexes, so a spill is atomic
+/// with respect to every admit and no cycle exists.
+#[derive(Debug)]
+struct SharedCold {
+    visited: Mutex<RunStore>,
+    parents: Mutex<RunStore>,
+    /// Spill once the table's hot `stored` bytes reach this.
+    hot_budget: usize,
+    /// Serializes spillers (`try_lock`: losers skip — the winner is
+    /// already draining the hot tier they noticed was full).
+    spilling: Mutex<()>,
 }
 
 #[derive(Debug, Default)]
@@ -437,9 +1037,13 @@ struct Shard {
     visited: FpHashSet,
     parents: FpHashMap<(Fingerprint, StepSeed)>,
     /// Sleep set each state was last explored with (absent = empty).
+    /// Stays RAM-resident across spills, like [`TieredSet`]'s.
     sleeps: FpHashMap<SleepSet>,
     /// Concrete representative per canonical key (symmetry mode only).
     reps: FpHashMap<Fingerprint>,
+    /// Encoding length per hot fingerprint (cold tier only), so spills
+    /// keep `stored_bytes` an honest RAM figure.
+    lens: FpHashMap<u32>,
 }
 
 impl SharedTable {
@@ -451,6 +1055,170 @@ impl SharedTable {
             stored: AtomicUsize::new(0),
             truncated: AtomicBool::new(false),
             max: max.max(1),
+            cold: None,
+            hot_count: AtomicUsize::new(0),
+        }
+    }
+
+    /// An empty table spilling to `dir` whenever the hot tier reaches
+    /// `hot_budget` bytes.
+    pub(crate) fn with_spill(
+        max: usize,
+        dir: &Path,
+        hot_budget: usize,
+    ) -> Result<SharedTable, CheckerError> {
+        let mut table = SharedTable::new(max);
+        table.cold = Some(SharedCold {
+            visited: Mutex::new(RunStore::create(dir, "visited")?),
+            parents: Mutex::new(RunStore::create(dir, "parents")?),
+            hot_budget: hot_budget.max(1),
+            spilling: Mutex::new(()),
+        });
+        Ok(table)
+    }
+
+    /// Rebuilds a table from checkpointed entries (see
+    /// [`TieredSet::restore`] for the tier placement rules).
+    pub(crate) fn restore(
+        max: usize,
+        spill: Option<(&Path, usize)>,
+        entries: &[VisitedEntry],
+        parents: Vec<ParentRecord>,
+        stored_bytes: usize,
+    ) -> Result<SharedTable, CheckerError> {
+        let table = match spill {
+            None => SharedTable::new(max),
+            Some((dir, hot_cap)) => SharedTable::with_spill(max, dir, hot_cap)?,
+        };
+        table.unique.store(entries.len(), Ordering::SeqCst);
+        match &table.cold {
+            None => {
+                for e in entries {
+                    let fp = Fingerprint::from_u128(e.fp);
+                    let mut shard = table.shards[fp.shard(SHARDS)].lock();
+                    shard.visited.insert(fp);
+                    if e.sleep != 0 {
+                        shard.sleeps.insert(fp, SleepSet(e.sleep));
+                    }
+                    if let Some(rep) = e.rep {
+                        shard.reps.insert(fp, Fingerprint::from_u128(rep));
+                    }
+                }
+                for (child, parent, seed) in parents {
+                    let child = Fingerprint::from_u128(child);
+                    let mut shard = table.shards[child.shard(SHARDS)].lock();
+                    shard
+                        .parents
+                        .insert(child, (Fingerprint::from_u128(parent), seed));
+                }
+                table.stored.store(stored_bytes, Ordering::SeqCst);
+            }
+            Some(cold) => {
+                let mut batch = Vec::with_capacity(entries.len());
+                for e in entries {
+                    let fp = Fingerprint::from_u128(e.fp);
+                    if e.sleep != 0 {
+                        let mut shard = table.shards[fp.shard(SHARDS)].lock();
+                        shard.sleeps.insert(fp, SleepSet(e.sleep));
+                    }
+                    batch.push((e.fp, encode_rep_payload(e.rep.map(Fingerprint::from_u128))));
+                }
+                cold.visited.lock().spill(batch)?;
+                let parent_batch = parents
+                    .into_iter()
+                    .map(|(child, parent, seed)| {
+                        (
+                            child,
+                            encode_parent_payload(Fingerprint::from_u128(parent), &seed),
+                        )
+                    })
+                    .collect();
+                cold.parents.lock().spill(parent_batch)?;
+            }
+        }
+        Ok(table)
+    }
+
+    /// Spill activity: `(spilled_states, spill_bytes, cold_hits)`,
+    /// zeroed without a cold tier. `spill_bytes` and `cold_hits` cover
+    /// the visited and parent stores; `spilled_states` counts visited
+    /// fingerprints only.
+    pub(crate) fn spill_stats(&self) -> (usize, u64, u64) {
+        match &self.cold {
+            None => (0, 0, 0),
+            Some(cold) => {
+                let v = cold.visited.lock().counters;
+                let p = cold.parents.lock().counters;
+                (
+                    v.records as usize,
+                    v.bytes_written + p.bytes_written,
+                    v.hits + p.hits,
+                )
+            }
+        }
+    }
+
+    /// Stop-the-world spill: when the hot tier is over its cap, take
+    /// every shard lock (ascending — the same order prevents deadlock
+    /// with admits, which hold exactly one), drain all hot fingerprints,
+    /// representatives and parent edges, and write them to the cold
+    /// store while still holding the shard locks, so no admit can
+    /// observe a drained-but-not-yet-spilled fingerprint as unvisited.
+    fn maybe_spill(&self) -> Result<(), CheckerError> {
+        let Some(cold) = &self.cold else {
+            return Ok(());
+        };
+        if self.stored.load(Ordering::Relaxed) < cold.hot_budget {
+            return Ok(());
+        }
+        let Some(_guard) = cold.spilling.try_lock() else {
+            return Ok(());
+        };
+        if self.stored.load(Ordering::Relaxed) < cold.hot_budget {
+            return Ok(());
+        }
+        let mut shards: Vec<_> = self.shards.iter().map(|s| s.lock()).collect();
+        let mut visited_batch = Vec::with_capacity(self.hot_count.load(Ordering::Relaxed));
+        let mut parent_batch = Vec::new();
+        let mut freed = 0usize;
+        for shard in shards.iter_mut() {
+            let fps: Vec<Fingerprint> = shard.visited.drain().collect();
+            for fp in fps {
+                let payload = encode_rep_payload(shard.reps.remove(&fp));
+                freed += shard.lens.remove(&fp).unwrap_or(0) as usize;
+                visited_batch.push((fp.as_u128(), payload));
+            }
+            for (child, (parent, seed)) in shard.parents.drain() {
+                parent_batch.push((child.as_u128(), encode_parent_payload(parent, &seed)));
+            }
+        }
+        self.hot_count.store(0, Ordering::Relaxed);
+        let freed = freed.min(self.stored.load(Ordering::SeqCst));
+        self.stored.fetch_sub(freed, Ordering::SeqCst);
+        cold.visited.lock().spill(visited_batch)?;
+        cold.parents.lock().spill(parent_batch)?;
+        Ok(())
+    }
+
+    /// Hot-tier bookkeeping for one freshly inserted fingerprint.
+    fn note_hot_insert(&self, shard: &mut Shard, fp: Fingerprint, bytes_len: usize) {
+        self.stored.fetch_add(bytes_len, Ordering::Relaxed);
+        if self.cold.is_some() {
+            shard.lens.insert(fp, bytes_len as u32);
+            self.hot_count.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether `fp` is visited in the cold tier; must be called with
+    /// `fp`'s shard lock held (spills take all shard locks, so holding
+    /// one makes the hot-miss + cold-miss check atomic).
+    fn cold_visited(&self, fp: Fingerprint) -> Result<Option<Option<Fingerprint>>, CheckerError> {
+        let Some(cold) = &self.cold else {
+            return Ok(None);
+        };
+        match cold.visited.lock().get(fp.as_u128())? {
+            None => Ok(None),
+            Some(payload) => Ok(Some(decode_rep_payload(&payload)?)),
         }
     }
 
@@ -459,7 +1227,7 @@ impl SharedTable {
         let mut shard = self.shards[fp.shard(SHARDS)].lock();
         shard.visited.insert(fp);
         self.unique.fetch_add(1, Ordering::SeqCst);
-        self.stored.fetch_add(bytes_len, Ordering::Relaxed);
+        self.note_hot_insert(&mut shard, fp, bytes_len);
     }
 
     /// [`SharedTable::admit_root`] keyed canonically, remembering the
@@ -469,7 +1237,7 @@ impl SharedTable {
         shard.visited.insert(key);
         shard.reps.insert(key, concrete);
         self.unique.fetch_add(1, Ordering::SeqCst);
-        self.stored.fetch_add(bytes_len, Ordering::Relaxed);
+        self.note_hot_insert(&mut shard, key, bytes_len);
     }
 
     /// Offers a successor reached from `parent` by the step `step()`
@@ -485,24 +1253,32 @@ impl SharedTable {
         bytes_len: usize,
         parent: Fingerprint,
         step: impl FnOnce() -> StepSeed,
-    ) -> Admit {
-        let mut shard = self.shards[fp.shard(SHARDS)].lock();
-        if shard.visited.contains(&fp) {
-            return Admit::Seen;
+    ) -> Result<Admit, CheckerError> {
+        {
+            let mut shard = self.shards[fp.shard(SHARDS)].lock();
+            if shard.visited.contains(&fp) {
+                return Ok(Admit::Seen);
+            }
+            if self.cold_visited(fp)?.is_some() {
+                return Ok(Admit::Seen);
+            }
+            // Reserve a slot under the global bound; undo on overflow.
+            // The shard lock is held, so a concurrent duplicate of
+            // *this* state cannot slip in between the check and the
+            // insert (spills take every shard lock, so the cold check
+            // above is covered too).
+            let reserved = self.unique.fetch_add(1, Ordering::SeqCst);
+            if reserved >= self.max {
+                self.unique.fetch_sub(1, Ordering::SeqCst);
+                self.truncated.store(true, Ordering::SeqCst);
+                return Ok(Admit::OverBound);
+            }
+            shard.visited.insert(fp);
+            shard.parents.insert(fp, (parent, step()));
+            self.note_hot_insert(&mut shard, fp, bytes_len);
         }
-        // Reserve a slot under the global bound; undo on overflow. The
-        // shard lock is held, so a concurrent duplicate of *this* state
-        // cannot slip in between the check and the insert.
-        let reserved = self.unique.fetch_add(1, Ordering::SeqCst);
-        if reserved >= self.max {
-            self.unique.fetch_sub(1, Ordering::SeqCst);
-            self.truncated.store(true, Ordering::SeqCst);
-            return Admit::OverBound;
-        }
-        shard.visited.insert(fp);
-        shard.parents.insert(fp, (parent, step()));
-        self.stored.fetch_add(bytes_len, Ordering::Relaxed);
-        Admit::New
+        self.maybe_spill()?;
+        Ok(Admit::New)
     }
 
     /// Sleep-set-aware [`SharedTable::admit`]; see [`AdmitSleep`] for
@@ -516,34 +1292,40 @@ impl SharedTable {
         sleep: SleepSet,
         parent: Fingerprint,
         step: impl FnOnce() -> StepSeed,
-    ) -> AdmitSleep {
-        let mut shard = self.shards[fp.shard(SHARDS)].lock();
-        if shard.visited.contains(&fp) {
-            let old = shard.sleeps.get(&fp).copied().unwrap_or_default();
-            if old.is_subset_of(sleep) {
-                return AdmitSleep::Covered;
+    ) -> Result<AdmitSleep, CheckerError> {
+        {
+            let mut shard = self.shards[fp.shard(SHARDS)].lock();
+            let visited = shard.visited.contains(&fp) || self.cold_visited(fp)?.is_some();
+            if visited {
+                // The revisit rule runs on the shard's RAM-resident
+                // sleeps map whether the fingerprint is hot or cold.
+                let old = shard.sleeps.get(&fp).copied().unwrap_or_default();
+                if old.is_subset_of(sleep) {
+                    return Ok(AdmitSleep::Covered);
+                }
+                let widened = old.intersect(sleep);
+                if widened == SleepSet::empty() {
+                    shard.sleeps.remove(&fp);
+                } else {
+                    shard.sleeps.insert(fp, widened);
+                }
+                return Ok(AdmitSleep::Widen(widened));
             }
-            let widened = old.intersect(sleep);
-            if widened == SleepSet::empty() {
-                shard.sleeps.remove(&fp);
-            } else {
-                shard.sleeps.insert(fp, widened);
+            let reserved = self.unique.fetch_add(1, Ordering::SeqCst);
+            if reserved >= self.max {
+                self.unique.fetch_sub(1, Ordering::SeqCst);
+                self.truncated.store(true, Ordering::SeqCst);
+                return Ok(AdmitSleep::OverBound);
             }
-            return AdmitSleep::Widen(widened);
+            shard.visited.insert(fp);
+            shard.parents.insert(fp, (parent, step()));
+            if sleep != SleepSet::empty() {
+                shard.sleeps.insert(fp, sleep);
+            }
+            self.note_hot_insert(&mut shard, fp, bytes_len);
         }
-        let reserved = self.unique.fetch_add(1, Ordering::SeqCst);
-        if reserved >= self.max {
-            self.unique.fetch_sub(1, Ordering::SeqCst);
-            self.truncated.store(true, Ordering::SeqCst);
-            return AdmitSleep::OverBound;
-        }
-        shard.visited.insert(fp);
-        shard.parents.insert(fp, (parent, step()));
-        if sleep != SleepSet::empty() {
-            shard.sleeps.insert(fp, sleep);
-        }
-        self.stored.fetch_add(bytes_len, Ordering::Relaxed);
-        AdmitSleep::New
+        self.maybe_spill()?;
+        Ok(AdmitSleep::New)
     }
 
     /// Symmetry-reduced [`SharedTable::admit`]: the visited set is keyed
@@ -560,30 +1342,54 @@ impl SharedTable {
         bytes_len: usize,
         parent: Fingerprint,
         step: impl FnOnce() -> StepSeed,
-    ) -> AdmitSym {
+    ) -> Result<AdmitSym, CheckerError> {
         {
             let mut shard = self.shards[key.shard(SHARDS)].lock();
             if shard.visited.contains(&key) {
-                return AdmitSym::Seen {
+                return Ok(AdmitSym::Seen {
                     merged: shard.reps.get(&key) != Some(&concrete),
-                };
+                });
+            }
+            if let Some(rep) = self.cold_visited(key)? {
+                return Ok(AdmitSym::Seen {
+                    merged: rep != Some(concrete),
+                });
             }
             let reserved = self.unique.fetch_add(1, Ordering::SeqCst);
             if reserved >= self.max {
                 self.unique.fetch_sub(1, Ordering::SeqCst);
                 self.truncated.store(true, Ordering::SeqCst);
-                return AdmitSym::OverBound;
+                return Ok(AdmitSym::OverBound);
             }
             shard.visited.insert(key);
             shard.reps.insert(key, concrete);
-            self.stored.fetch_add(bytes_len, Ordering::Relaxed);
+            self.note_hot_insert(&mut shard, key, bytes_len);
         }
+        self.record_parent_edge(concrete, parent, step)?;
+        self.maybe_spill()?;
+        Ok(AdmitSym::New)
+    }
+
+    /// First-edge-wins parent record for `concrete`, across both tiers.
+    /// Holds the concrete fingerprint's shard lock through the cold
+    /// check (spills take every shard lock, so the check is atomic).
+    fn record_parent_edge(
+        &self,
+        concrete: Fingerprint,
+        parent: Fingerprint,
+        step: impl FnOnce() -> StepSeed,
+    ) -> Result<(), CheckerError> {
         let mut shard = self.shards[concrete.shard(SHARDS)].lock();
-        shard
-            .parents
-            .entry(concrete)
-            .or_insert_with(|| (parent, step()));
-        AdmitSym::New
+        if shard.parents.contains_key(&concrete) {
+            return Ok(());
+        }
+        if let Some(cold) = &self.cold {
+            if cold.parents.lock().contains(concrete.as_u128())? {
+                return Ok(());
+            }
+        }
+        shard.parents.insert(concrete, (parent, step()));
+        Ok(())
     }
 
     /// Symmetry-reduced [`SharedTable::admit_sleep`]; the revisit rule
@@ -599,15 +1405,20 @@ impl SharedTable {
         sleep: SleepSet,
         parent: Fingerprint,
         step: impl FnOnce() -> StepSeed,
-    ) -> AdmitSleepSym {
+    ) -> Result<AdmitSleepSym, CheckerError> {
         let outcome = {
             let mut shard = self.shards[key.shard(SHARDS)].lock();
-            if shard.visited.contains(&key) {
+            let rep = if shard.visited.contains(&key) {
+                Some(shard.reps.get(&key).copied())
+            } else {
+                self.cold_visited(key)?
+            };
+            if let Some(rep) = rep {
                 let old = shard.sleeps.get(&key).copied().unwrap_or_default();
-                if shard.reps.get(&key) == Some(&concrete) {
+                if rep == Some(concrete) {
                     // Same concrete state: the classical rule.
                     if old.is_subset_of(sleep) {
-                        return AdmitSleepSym::Covered { merged: false };
+                        return Ok(AdmitSleepSym::Covered { merged: false });
                     }
                     let widened = old.intersect(sleep);
                     if widened == SleepSet::empty() {
@@ -615,14 +1426,14 @@ impl SharedTable {
                     } else {
                         shard.sleeps.insert(key, widened);
                     }
-                    return AdmitSleepSym::Widen {
+                    return Ok(AdmitSleepSym::Widen {
                         sleep: widened,
                         merged: false,
-                    };
+                    });
                 }
                 // Symmetric sibling: ∅ is the only invariant sleep set.
                 if old == SleepSet::empty() {
-                    return AdmitSleepSym::Covered { merged: true };
+                    return Ok(AdmitSleepSym::Covered { merged: true });
                 }
                 shard.sleeps.remove(&key);
                 AdmitSleepSym::Widen {
@@ -634,23 +1445,20 @@ impl SharedTable {
                 if reserved >= self.max {
                     self.unique.fetch_sub(1, Ordering::SeqCst);
                     self.truncated.store(true, Ordering::SeqCst);
-                    return AdmitSleepSym::OverBound;
+                    return Ok(AdmitSleepSym::OverBound);
                 }
                 shard.visited.insert(key);
                 shard.reps.insert(key, concrete);
                 if sleep != SleepSet::empty() {
                     shard.sleeps.insert(key, sleep);
                 }
-                self.stored.fetch_add(bytes_len, Ordering::Relaxed);
+                self.note_hot_insert(&mut shard, key, bytes_len);
                 AdmitSleepSym::New
             }
         };
-        let mut shard = self.shards[concrete.shard(SHARDS)].lock();
-        shard
-            .parents
-            .entry(concrete)
-            .or_insert_with(|| (parent, step()));
-        outcome
+        self.record_parent_edge(concrete, parent, step)?;
+        self.maybe_spill()?;
+        Ok(outcome)
     }
 
     /// Retained states across all shards.
@@ -668,27 +1476,80 @@ impl SharedTable {
         self.truncated.load(Ordering::SeqCst)
     }
 
-    /// Walks the parent edges from the initial state to `state`,
-    /// rendering the stored seeds. Call after the workers have quiesced;
-    /// locks one shard per edge.
+    /// Walks the parent edges from the initial state to `state` across
+    /// both tiers, rendering the stored seeds. Call after the workers
+    /// have quiesced; locks one shard per edge.
     pub(crate) fn reconstruct(
         &self,
         mut state: Fingerprint,
         program: &p_semantics::LoweredProgram,
-    ) -> Vec<TraceStep> {
+    ) -> Result<Vec<TraceStep>, CheckerError> {
         let mut steps = Vec::new();
         loop {
-            let shard = self.shards[state.shard(SHARDS)].lock();
-            match shard.parents.get(&state) {
-                None => break,
-                Some((parent, step)) => {
+            {
+                let shard = self.shards[state.shard(SHARDS)].lock();
+                if let Some((parent, step)) = shard.parents.get(&state) {
                     steps.push(step.render(program));
                     state = *parent;
+                    continue;
                 }
             }
+            let Some(cold) = &self.cold else {
+                break;
+            };
+            let Some(payload) = cold.parents.lock().get(state.as_u128())? else {
+                break;
+            };
+            let (parent, seed) = decode_parent_payload(&payload)?;
+            steps.push(seed.render(program));
+            state = parent;
         }
         steps.reverse();
-        steps
+        Ok(steps)
+    }
+
+    /// Every visited entry and parent record (hot then cold) for
+    /// checkpointing. Call only while the workers are quiescent (at the
+    /// checkpoint rendezvous or after joining).
+    pub(crate) fn snapshot(&self) -> Result<(Vec<VisitedEntry>, Vec<ParentRecord>), CheckerError> {
+        let mut visited = Vec::with_capacity(self.unique());
+        let mut parents = Vec::new();
+        // Sleep sets stay in the shards even for spilled fingerprints;
+        // collect them all first so cold entries can look theirs up.
+        let mut sleeps: FpHashMap<u64> = FpHashMap::default();
+        for shard in &self.shards {
+            let shard = shard.lock();
+            for (&fp, s) in &shard.sleeps {
+                sleeps.insert(fp, s.0);
+            }
+            for &fp in &shard.visited {
+                visited.push(VisitedEntry {
+                    fp: fp.as_u128(),
+                    sleep: shard.sleeps.get(&fp).map_or(0, |s| s.0),
+                    rep: shard.reps.get(&fp).map(|r| r.as_u128()),
+                });
+            }
+            for (child, (parent, seed)) in &shard.parents {
+                parents.push((child.as_u128(), parent.as_u128(), seed.clone()));
+            }
+        }
+        if let Some(cold) = &self.cold {
+            for (key, payload) in cold.visited.lock().iter_all()? {
+                visited.push(VisitedEntry {
+                    fp: key,
+                    sleep: sleeps
+                        .get(&Fingerprint::from_u128(key))
+                        .copied()
+                        .unwrap_or(0),
+                    rep: decode_rep_payload(&payload)?.map(|r| r.as_u128()),
+                });
+            }
+            for (child, payload) in cold.parents.lock().iter_all()? {
+                let (parent, seed) = decode_parent_payload(&payload)?;
+                parents.push((child, parent.as_u128(), seed));
+            }
+        }
+        Ok((visited, parents))
     }
 }
 
@@ -704,19 +1565,40 @@ pub(crate) struct Frontier<T> {
     /// when this reaches zero: nothing queued, nothing in flight.
     pending: AtomicUsize,
     stop: AtomicBool,
+    /// Checkpoint rendezvous: when set, workers park in
+    /// [`Frontier::next`] instead of taking tasks, until cleared.
+    pause: AtomicBool,
+    /// Workers currently parked at the rendezvous.
+    parked: AtomicUsize,
+    /// Workers still running their task loop ([`Frontier::retire`]d
+    /// workers neither take tasks nor park, so the rendezvous leader
+    /// must not wait for them).
+    active: AtomicUsize,
 }
 
 impl<T> Frontier<T> {
     /// A frontier for `workers` workers, seeded with the root task.
     pub(crate) fn new(workers: usize, root: T) -> Frontier<T> {
-        let queues: Vec<Mutex<VecDeque<T>>> = (0..workers.max(1))
-            .map(|_| Mutex::new(VecDeque::new()))
-            .collect();
-        queues[0].lock().push_back(root);
+        Frontier::from_tasks(workers, vec![root])
+    }
+
+    /// A frontier for `workers` workers, seeded with `tasks` dealt
+    /// round-robin across the per-worker deques (checkpoint resume).
+    pub(crate) fn from_tasks(workers: usize, tasks: Vec<T>) -> Frontier<T> {
+        let workers = workers.max(1);
+        let queues: Vec<Mutex<VecDeque<T>>> =
+            (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+        let pending = tasks.len();
+        for (i, task) in tasks.into_iter().enumerate() {
+            queues[i % workers].lock().push_back(task);
+        }
         Frontier {
             queues,
-            pending: AtomicUsize::new(1),
+            pending: AtomicUsize::new(pending),
             stop: AtomicBool::new(false),
+            pause: AtomicBool::new(false),
+            parked: AtomicUsize::new(0),
+            active: AtomicUsize::new(workers),
         }
     }
 
@@ -734,6 +1616,17 @@ impl<T> Frontier<T> {
             if self.stop.load(Ordering::SeqCst) {
                 return None;
             }
+            // Park *before* the pending check: a rendezvous must catch
+            // idle workers too, and they must stay parked (not exit)
+            // until the leader finishes serializing the queues.
+            if self.pause.load(Ordering::SeqCst) {
+                self.parked.fetch_add(1, Ordering::SeqCst);
+                while self.pause.load(Ordering::SeqCst) && !self.stop.load(Ordering::SeqCst) {
+                    std::thread::yield_now();
+                }
+                self.parked.fetch_sub(1, Ordering::SeqCst);
+                continue;
+            }
             if let Some(task) = self.queues[worker].lock().pop_back() {
                 return Some(task);
             }
@@ -750,6 +1643,33 @@ impl<T> Frontier<T> {
         }
     }
 
+    /// Marks the calling worker done for good (its loop is exiting);
+    /// the rendezvous leader stops waiting for it.
+    pub(crate) fn retire(&self) {
+        self.active.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Starts a rendezvous: workers park at their next
+    /// [`Frontier::next`] call until [`Frontier::resume`].
+    pub(crate) fn pause_workers(&self) {
+        self.pause.store(true, Ordering::SeqCst);
+    }
+
+    /// Blocks until every non-retired worker but the caller is parked
+    /// (the caller is the rendezvous leader). With the workers parked
+    /// the queues are quiescent and `pending` counts exactly the queued
+    /// tasks — nothing is in flight.
+    pub(crate) fn await_rendezvous(&self) {
+        while self.parked.load(Ordering::SeqCst) + 1 < self.active.load(Ordering::SeqCst) {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Ends the rendezvous; parked workers resume taking tasks.
+    pub(crate) fn resume_workers(&self) {
+        self.pause.store(false, Ordering::SeqCst);
+    }
+
     /// Marks one previously [`Frontier::next`]-ed task fully expanded.
     pub(crate) fn task_done(&self) {
         self.pending.fetch_sub(1, Ordering::SeqCst);
@@ -759,6 +1679,20 @@ impl<T> Frontier<T> {
     #[cfg(feature = "telemetry")]
     pub(crate) fn pending(&self) -> usize {
         self.pending.load(Ordering::SeqCst)
+    }
+
+    /// Clones every queued task (per-worker deques front-to-back) for
+    /// checkpointing. Call only at a rendezvous, when nothing is in
+    /// flight.
+    pub(crate) fn snapshot_tasks(&self) -> Vec<T>
+    where
+        T: Clone,
+    {
+        let mut tasks = Vec::new();
+        for queue in &self.queues {
+            tasks.extend(queue.lock().iter().cloned());
+        }
+        tasks
     }
 
     /// First-counterexample-wins shutdown: all workers drain on their
@@ -878,26 +1812,34 @@ mod tests {
         table.admit_root(fp(0), 0);
         // Roots are stored with an empty sleep set: always covered.
         assert_eq!(
-            table.admit_sleep(fp(0), 0, sleep(&[5]), fp(0), || step(9)),
+            table
+                .admit_sleep(fp(0), 0, sleep(&[5]), fp(0), || step(9))
+                .unwrap(),
             AdmitSleep::Covered
         );
         assert_eq!(
-            table.admit_sleep(fp(1), 8, sleep(&[1, 2]), fp(0), || step(1)),
+            table
+                .admit_sleep(fp(1), 8, sleep(&[1, 2]), fp(0), || step(1))
+                .unwrap(),
             AdmitSleep::New
         );
         assert_eq!(
-            table.admit_sleep(fp(1), 8, sleep(&[2, 3]), fp(0), || step(1)),
+            table
+                .admit_sleep(fp(1), 8, sleep(&[2, 3]), fp(0), || step(1))
+                .unwrap(),
             AdmitSleep::Widen(sleep(&[2]))
         );
         assert_eq!(
-            table.admit_sleep(fp(1), 8, sleep(&[2, 4]), fp(0), || step(1)),
+            table
+                .admit_sleep(fp(1), 8, sleep(&[2, 4]), fp(0), || step(1))
+                .unwrap(),
             AdmitSleep::Covered
         );
         // Widening never re-counts the state.
         assert_eq!(table.unique(), 2);
         assert_eq!(table.stored_bytes(), 8);
         // Parent edges recorded on first admit survive widening.
-        let trace = table.reconstruct(fp(1), &program());
+        let trace = table.reconstruct(fp(1), &program()).unwrap();
         assert_eq!(trace.len(), 1);
         assert_eq!(trace[0].machine, MachineId(1));
         assert_eq!(trace[0].summary, "ran to quiescence");
@@ -974,24 +1916,30 @@ mod tests {
         table.admit_root_sym(fp(100), fp(0), 0);
         // New orbit reached from concrete fp(0) by step 1.
         assert_eq!(
-            table.admit_sym(fp(200), fp(1), 8, fp(0), || step(1)),
+            table
+                .admit_sym(fp(200), fp(1), 8, fp(0), || step(1))
+                .unwrap(),
             AdmitSym::New
         );
         assert_eq!(
-            table.admit_sym(fp(200), fp(1), 8, fp(0), || step(7)),
+            table
+                .admit_sym(fp(200), fp(1), 8, fp(0), || step(7))
+                .unwrap(),
             AdmitSym::Seen { merged: false }
         );
         assert_eq!(
-            table.admit_sym(fp(200), fp(2), 8, fp(0), || step(7)),
+            table
+                .admit_sym(fp(200), fp(2), 8, fp(0), || step(7))
+                .unwrap(),
             AdmitSym::Seen { merged: true }
         );
         assert_eq!(table.unique(), 2);
         assert_eq!(table.stored_bytes(), 8);
         // The trace walks *concrete* fingerprints.
-        let trace = table.reconstruct(fp(1), &program());
+        let trace = table.reconstruct(fp(1), &program()).unwrap();
         let machines: Vec<MachineId> = trace.iter().map(|s| s.machine).collect();
         assert_eq!(machines, [MachineId(1)]);
-        assert!(table.reconstruct(fp(2), &program()).is_empty());
+        assert!(table.reconstruct(fp(2), &program()).unwrap().is_empty());
     }
 
     #[test]
@@ -999,25 +1947,31 @@ mod tests {
         let table = SharedTable::new(usize::MAX);
         table.admit_root_sym(fp(100), fp(0), 0);
         assert_eq!(
-            table.admit_sleep_sym(fp(200), fp(1), 8, sleep(&[3]), fp(0), || step(1)),
+            table
+                .admit_sleep_sym(fp(200), fp(1), 8, sleep(&[3]), fp(0), || step(1))
+                .unwrap(),
             AdmitSleepSym::New
         );
         // Sibling fp(2) while stored sleep {3} ≠ ∅: widen to ∅ and
         // record the sibling's own parent edge so its re-expansion is
         // traceable.
         assert_eq!(
-            table.admit_sleep_sym(fp(200), fp(2), 8, sleep(&[4]), fp(1), || step(2)),
+            table
+                .admit_sleep_sym(fp(200), fp(2), 8, sleep(&[4]), fp(1), || step(2))
+                .unwrap(),
             AdmitSleepSym::Widen {
                 sleep: SleepSet::empty(),
                 merged: true
             }
         );
-        let trace = table.reconstruct(fp(2), &program());
+        let trace = table.reconstruct(fp(2), &program()).unwrap();
         let machines: Vec<MachineId> = trace.iter().map(|s| s.machine).collect();
         assert_eq!(machines, [MachineId(1), MachineId(2)]);
         // Fully explored orbit covers everything thereafter.
         assert_eq!(
-            table.admit_sleep_sym(fp(200), fp(3), 8, sleep(&[6]), fp(0), || step(3)),
+            table
+                .admit_sleep_sym(fp(200), fp(3), 8, sleep(&[6]), fp(0), || step(3))
+                .unwrap(),
             AdmitSleepSym::Covered { merged: true }
         );
         assert_eq!(table.unique(), 2, "siblings never re-count the orbit");
@@ -1039,15 +1993,27 @@ mod tests {
     fn shared_table_enforces_bound_without_poisoning() {
         let table = SharedTable::new(2);
         table.admit_root(fp(0), 8);
-        assert_eq!(table.admit(fp(1), 8, fp(0), || step(1)), Admit::New);
-        assert_eq!(table.admit(fp(2), 8, fp(0), || step(2)), Admit::OverBound);
+        assert_eq!(
+            table.admit(fp(1), 8, fp(0), || step(1)).unwrap(),
+            Admit::New
+        );
+        assert_eq!(
+            table.admit(fp(2), 8, fp(0), || step(2)).unwrap(),
+            Admit::OverBound
+        );
         assert!(table.truncated());
         assert_eq!(table.unique(), 2);
         assert_eq!(table.stored_bytes(), 16);
         // The dropped state was not marked visited.
-        assert_eq!(table.admit(fp(2), 8, fp(1), || step(3)), Admit::OverBound);
+        assert_eq!(
+            table.admit(fp(2), 8, fp(1), || step(3)).unwrap(),
+            Admit::OverBound
+        );
         // Retained states still dedup.
-        assert_eq!(table.admit(fp(1), 8, fp(0), || step(1)), Admit::Seen);
+        assert_eq!(
+            table.admit(fp(1), 8, fp(0), || step(1)).unwrap(),
+            Admit::Seen
+        );
     }
 
     #[test]
@@ -1059,7 +2025,7 @@ mod tests {
             for _ in 0..4 {
                 scope.spawn(|| {
                     for n in 1..500u32 {
-                        if table.admit(fp(n), 1, fp(0), || step(0)) == Admit::New {
+                        if table.admit(fp(n), 1, fp(0), || step(0)).unwrap() == Admit::New {
                             wins.fetch_add(1, Ordering::SeqCst);
                         }
                     }
@@ -1075,9 +2041,9 @@ mod tests {
     fn shared_table_reconstructs_traces() {
         let table = SharedTable::new(usize::MAX);
         table.admit_root(fp(0), 0);
-        table.admit(fp(1), 0, fp(0), || step(1));
-        table.admit(fp(2), 0, fp(1), || step(2));
-        let trace = table.reconstruct(fp(2), &program());
+        table.admit(fp(1), 0, fp(0), || step(1)).unwrap();
+        table.admit(fp(2), 0, fp(1), || step(2)).unwrap();
+        let trace = table.reconstruct(fp(2), &program()).unwrap();
         let machines: Vec<MachineId> = trace.iter().map(|s| s.machine).collect();
         assert_eq!(machines, [MachineId(1), MachineId(2)]);
     }
@@ -1114,5 +2080,280 @@ mod tests {
         frontier.request_stop();
         assert!(frontier.stopping());
         assert_eq!(frontier.next(0), None);
+    }
+
+    fn temp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("p-engine-test-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn tiered_set_dedups_across_spill() {
+        let dir = temp_dir("tiered-dedup");
+        let mut set = TieredSet::with_spill(usize::MAX, &dir, 4).unwrap();
+        for n in 0..20u32 {
+            assert_eq!(set.admit(fp(n), 8).unwrap(), Admit::New);
+        }
+        assert!(
+            set.spill_counters().records >= 16,
+            "hot cap 4 must have spilled most of 20 states"
+        );
+        assert_eq!(set.len(), 20);
+        // Every state — hot or cold — still dedups exactly.
+        for n in 0..20u32 {
+            assert_eq!(set.admit(fp(n), 8).unwrap(), Admit::Seen);
+        }
+        assert_eq!(set.len(), 20);
+        // RAM accounting covers only the hot tier.
+        assert!(set.stored_bytes() <= 4 * 8, "spilled bytes must be freed");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tiered_set_respects_bound_across_tiers() {
+        let dir = temp_dir("tiered-bound");
+        let mut set = TieredSet::with_spill(6, &dir, 2).unwrap();
+        for n in 0..6u32 {
+            assert_eq!(set.admit(fp(n), 1).unwrap(), Admit::New);
+        }
+        // max_states counts both tiers, not just the (nearly empty) hot one.
+        assert_eq!(set.admit(fp(99), 1).unwrap(), Admit::OverBound);
+        assert_eq!(set.len(), 6);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tiered_set_symmetry_rep_survives_spill() {
+        let dir = temp_dir("tiered-sym");
+        let mut set = TieredSet::with_spill(usize::MAX, &dir, 2).unwrap();
+        assert_eq!(
+            set.admit_sym(fp(100), fp(1), 8).unwrap(),
+            AdmitSym::New,
+            "first concrete state of the orbit wins"
+        );
+        // Force the orbit key onto disk.
+        for n in 0..8u32 {
+            set.admit(fp(n), 8).unwrap();
+        }
+        assert_eq!(
+            set.admit_sym(fp(100), fp(1), 8).unwrap(),
+            AdmitSym::Seen { merged: false },
+            "the representative itself is not a merge, even spilled"
+        );
+        assert_eq!(
+            set.admit_sym(fp(100), fp(2), 8).unwrap(),
+            AdmitSym::Seen { merged: true },
+            "a symmetric sibling merges against the spilled representative"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tiered_set_sleep_rule_runs_on_cold_states() {
+        let dir = temp_dir("tiered-sleep");
+        let mut set = TieredSet::with_spill(usize::MAX, &dir, 2).unwrap();
+        assert_eq!(
+            set.admit_sleep(fp(1), 8, sleep(&[1, 2])).unwrap(),
+            AdmitSleep::New
+        );
+        for n in 10..18u32 {
+            set.admit(fp(n), 8).unwrap();
+        }
+        assert!(set.spill_counters().records > 0);
+        // fp(1) now lives on disk but its sleep set stayed in RAM: the
+        // POR revisit rule must still widen, not re-admit.
+        assert_eq!(
+            set.admit_sleep(fp(1), 8, sleep(&[2, 3])).unwrap(),
+            AdmitSleep::Widen(sleep(&[2]))
+        );
+        assert_eq!(
+            set.admit_sleep(fp(1), 8, sleep(&[2, 4])).unwrap(),
+            AdmitSleep::Covered
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tiered_parents_reconstruct_across_spill() {
+        let dir = temp_dir("tiered-parents");
+        let mut parents = TieredParents::with_spill(&dir, 2).unwrap();
+        for n in 1..10u32 {
+            parents.record(fp(n), fp(n - 1), step(n)).unwrap();
+        }
+        assert!(
+            parents.spill_counters().records >= 6,
+            "hot cap 2 must spill most of the chain"
+        );
+        let trace = parents.reconstruct(fp(9), &program()).unwrap();
+        let machines: Vec<MachineId> = trace.iter().map(|s| s.machine).collect();
+        let expected: Vec<MachineId> = (1..10).map(MachineId).collect();
+        assert_eq!(machines, expected, "edges across both tiers, in order");
+        // First edge wins across tiers: fp(5)'s edge is on disk.
+        parents.record_if_absent(fp(5), fp(0), || step(99)).unwrap();
+        let trace = parents.reconstruct(fp(5), &program()).unwrap();
+        assert_eq!(trace.len(), 5, "spilled edge was not overwritten");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tiered_set_snapshot_restore_round_trips() {
+        let dir = temp_dir("tiered-snapshot");
+        let mut set = TieredSet::with_spill(usize::MAX, &dir, 3).unwrap();
+        set.admit_sleep(fp(1), 8, sleep(&[1])).unwrap();
+        set.admit_sym(fp(100), fp(2), 8).unwrap();
+        for n in 10..16u32 {
+            set.admit(fp(n), 8).unwrap();
+        }
+        let mut entries = set.snapshot().unwrap();
+        assert_eq!(entries.len(), set.len());
+        entries.sort_by_key(|e| e.fp);
+
+        // Restore RAM-only: everything becomes hot again.
+        let mut ram = TieredSet::restore(usize::MAX, None, &entries, 64).unwrap();
+        assert_eq!(ram.len(), entries.len());
+        assert_eq!(ram.stored_bytes(), 64);
+        assert_eq!(ram.admit(fp(10), 8).unwrap(), Admit::Seen);
+        assert_eq!(
+            ram.admit_sleep(fp(1), 8, sleep(&[1])).unwrap(),
+            AdmitSleep::Covered,
+            "sleep sets survive the round trip"
+        );
+        assert_eq!(
+            ram.admit_sym(fp(100), fp(3), 8).unwrap(),
+            AdmitSym::Seen { merged: true },
+            "representatives survive the round trip"
+        );
+
+        // Restore with spilling: everything lands cold, same behavior.
+        let dir2 = temp_dir("tiered-snapshot-2");
+        let mut cold = TieredSet::restore(usize::MAX, Some((&dir2, 4)), &entries, 64).unwrap();
+        assert_eq!(cold.len(), entries.len());
+        assert_eq!(
+            cold.stored_bytes(),
+            0,
+            "restored-to-disk states hold no RAM"
+        );
+        assert_eq!(cold.admit(fp(10), 8).unwrap(), Admit::Seen);
+        assert_eq!(
+            cold.admit_sleep(fp(1), 8, sleep(&[1])).unwrap(),
+            AdmitSleep::Covered
+        );
+        assert_eq!(
+            cold.admit_sym(fp(100), fp(3), 8).unwrap(),
+            AdmitSym::Seen { merged: true }
+        );
+        let mut re = cold.snapshot().unwrap();
+        re.sort_by_key(|e| e.fp);
+        assert_eq!(re, entries, "snapshot → restore → snapshot is lossless");
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&dir2);
+    }
+
+    #[test]
+    fn shared_table_spills_and_stays_exact_across_threads() {
+        let dir = temp_dir("shared-spill");
+        let table = SharedTable::with_spill(usize::MAX, &dir, 64).unwrap();
+        table.admit_root(fp(0), 1);
+        let wins = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let (table, wins) = (&table, &wins);
+                scope.spawn(move || {
+                    for n in 1..500u32 {
+                        if table.admit(fp(n), 1, fp(0), || step(n)).unwrap() == Admit::New {
+                            wins.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            wins.load(Ordering::SeqCst),
+            499,
+            "exactly-once across spills"
+        );
+        assert_eq!(table.unique(), 500);
+        let (spilled, bytes, _hits) = table.spill_stats();
+        assert!(spilled >= 400, "hot cap 64 must have spilled: {spilled}");
+        assert!(bytes > 0);
+        // Parent edges spilled alongside: traces stay reconstructible.
+        let trace = table.reconstruct(fp(499), &program()).unwrap();
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace[0].machine, MachineId(499));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shared_table_snapshot_restore_round_trips() {
+        let dir = temp_dir("shared-snapshot");
+        let table = SharedTable::with_spill(usize::MAX, &dir, 4).unwrap();
+        table.admit_root(fp(0), 1);
+        for n in 1..12u32 {
+            table.admit(fp(n), 1, fp(n - 1), || step(n)).unwrap();
+        }
+        let (mut visited, mut parents) = table.snapshot().unwrap();
+        visited.sort_by_key(|e| e.fp);
+        parents.sort_by_key(|&(child, _, _)| child);
+        assert_eq!(visited.len(), 12);
+        assert_eq!(parents.len(), 11);
+
+        let restored =
+            SharedTable::restore(usize::MAX, None, &visited, parents.clone(), 12).unwrap();
+        assert_eq!(restored.unique(), 12);
+        assert_eq!(restored.stored_bytes(), 12);
+        assert_eq!(
+            restored.admit(fp(5), 1, fp(0), || step(99)).unwrap(),
+            Admit::Seen
+        );
+        let trace = restored.reconstruct(fp(11), &program()).unwrap();
+        assert_eq!(trace.len(), 11, "full chain survives a RAM restore");
+
+        let dir2 = temp_dir("shared-snapshot-2");
+        let respilled =
+            SharedTable::restore(usize::MAX, Some((&dir2, 4)), &visited, parents, 12).unwrap();
+        assert_eq!(respilled.unique(), 12);
+        assert_eq!(respilled.stored_bytes(), 0);
+        assert_eq!(
+            respilled.admit(fp(5), 1, fp(0), || step(99)).unwrap(),
+            Admit::Seen
+        );
+        let trace = respilled.reconstruct(fp(11), &program()).unwrap();
+        assert_eq!(trace.len(), 11, "full chain survives a disk restore");
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&dir2);
+    }
+
+    #[test]
+    fn frontier_rendezvous_parks_workers_and_resumes() {
+        let frontier: Frontier<u32> = Frontier::from_tasks(3, vec![1, 2, 3, 4, 5]);
+        let processed = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            // Two follower workers; the test thread acts as the leader.
+            for w in 0..2 {
+                let (frontier, processed) = (&frontier, &processed);
+                scope.spawn(move || {
+                    while let Some(_task) = frontier.next(w) {
+                        processed.fetch_add(1, Ordering::SeqCst);
+                        frontier.task_done();
+                    }
+                    frontier.retire();
+                });
+            }
+            frontier.pause_workers();
+            frontier.await_rendezvous();
+            // Parked workers are not taking tasks: the snapshot is
+            // consistent with `pending`.
+            let snapshot = frontier.snapshot_tasks();
+            assert_eq!(
+                snapshot.len() + processed.load(Ordering::SeqCst),
+                5,
+                "every task is either processed or still queued"
+            );
+            frontier.resume_workers();
+            frontier.retire(); // the leader takes no tasks
+        });
+        assert_eq!(processed.load(Ordering::SeqCst), 5);
+        assert_eq!(frontier.snapshot_tasks().len(), 0);
     }
 }

@@ -7,9 +7,19 @@
 //! states by collision-safe 128-bit [`Fingerprint`]s and agree on
 //! `unique_states` and the verdict; only the particular counterexample
 //! trace may differ under parallelism (first violation found wins).
+//!
+//! Both engines optionally run *crash-safe* and *memory-bounded* (see
+//! DESIGN.md §13): [`CheckerOptions::checkpoint`] periodically persists
+//! the entire search state so a killed run resumes via
+//! [`CheckerOptions::resume`], and [`CheckerOptions::mem_limit`] spills
+//! the visited set and parent map to disk once their RAM share exceeds
+//! the budget.
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::time::Instant;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
@@ -20,10 +30,12 @@ use p_semantics::{
 
 use p_telemetry::Telemetry;
 
+use crate::checkpoint::{self, CheckpointData, CheckpointPolicy, TaskEntry};
 use crate::engine::{
-    Admit, AdmitSleep, AdmitSleepSym, AdmitSym, BoundedSet, Frontier, ParentMap, SharedCounters,
-    SharedTable,
+    hot_budget_for, parent_cap_for, Admit, AdmitSleep, AdmitSleepSym, AdmitSym, Frontier,
+    SharedCounters, SharedTable, TieredParents, TieredSet,
 };
+use crate::error::CheckerError;
 use crate::fingerprint::{Fingerprint, FpHashMap};
 use crate::por::{Por, SleepSet};
 use crate::stats::ExplorationStats;
@@ -73,6 +85,29 @@ pub struct CheckerOptions {
     /// [`CheckerOptions::por`]; ignored by the delay-bounded, fault,
     /// liveness and random strategies. See DESIGN.md §12.
     pub symmetry: bool,
+    /// Periodic crash-safe checkpointing for the exhaustive engines;
+    /// `None` (the default) disables it. The checkpoint is
+    /// engine-agnostic: a run checkpointed under `jobs = 4` resumes
+    /// under `jobs = 1` and vice versa. See DESIGN.md §13.
+    pub checkpoint: Option<CheckpointPolicy>,
+    /// Resume a previously checkpointed exhaustive run from this
+    /// directory. The checkpoint's config digest must match the current
+    /// program and semantic options, else the run fails with
+    /// [`CheckerError::CheckpointMismatch`]. Combine with
+    /// [`CheckerOptions::checkpoint`] (typically the same directory) to
+    /// keep checkpointing while resumed.
+    pub resume: Option<PathBuf>,
+    /// Approximate RAM budget (bytes) for the exhaustive engines'
+    /// visited set. When the hot (RAM) tier outgrows it, fingerprints
+    /// and parent records spill to sorted disk runs with a bloom-filter
+    /// front; the verdict, `unique_states` and traces are unaffected.
+    /// `None` (the default) keeps everything in RAM.
+    pub mem_limit: Option<usize>,
+    /// Cooperative interruption (SIGINT/SIGTERM): when the flag turns
+    /// true the exhaustive engines stop at the next state boundary,
+    /// write a final checkpoint if [`CheckerOptions::checkpoint`] is
+    /// set, and return with [`Report::interrupted`].
+    pub interrupt: Option<Arc<AtomicBool>>,
 }
 
 impl Default for CheckerOptions {
@@ -85,6 +120,10 @@ impl Default for CheckerOptions {
             jobs: 1,
             por: false,
             symmetry: false,
+            checkpoint: None,
+            resume: None,
+            mem_limit: None,
+            interrupt: None,
         }
     }
 }
@@ -99,6 +138,11 @@ pub struct Report {
     /// Whether the reachable state space was fully covered (within the
     /// strategy's own bound, e.g. the delay budget).
     pub complete: bool,
+    /// True when the run stopped early on [`CheckerOptions::interrupt`]
+    /// or [`CheckpointPolicy::abort_after_states`] (after writing a
+    /// final checkpoint, if configured). Always false for a violation
+    /// or a completed search.
+    pub interrupted: bool,
 }
 
 impl Report {
@@ -215,11 +259,29 @@ impl<'p> Verifier<'p> {
     /// against. With [`CheckerOptions::jobs`] `> 1` the parallel
     /// work-stealing engine is used; otherwise a sequential depth-first
     /// search.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the search fails with a [`CheckerError`]. That can only
+    /// happen with the fallible options set
+    /// ([`CheckerOptions::checkpoint`], [`CheckerOptions::resume`],
+    /// [`CheckerOptions::mem_limit`]) — the in-RAM search is infallible.
+    /// Use [`Verifier::try_check_exhaustive`] to handle those errors.
     pub fn check_exhaustive(&self) -> Report {
+        self.try_check_exhaustive()
+            .expect("in-RAM exhaustive search cannot fail; use try_check_exhaustive with checkpoint/resume/mem-limit options")
+    }
+
+    /// [`Verifier::check_exhaustive`], surfacing I/O and checkpoint
+    /// errors instead of panicking. The `Err` cases are all rooted in
+    /// the fallible options: checkpoint directory I/O, a corrupt or
+    /// mismatched checkpoint on resume, or spill-store I/O under a
+    /// memory limit.
+    pub fn try_check_exhaustive(&self) -> Result<Report, CheckerError> {
         if self.options.jobs > 1 {
-            self.check_parallel(self.options.jobs)
+            self.try_check_parallel(self.options.jobs)
         } else {
-            self.check_sequential()
+            self.try_check_sequential()
         }
     }
 
@@ -231,42 +293,117 @@ impl<'p> Verifier<'p> {
     /// verdict, and `transitions` are independent of `jobs`; the
     /// specific counterexample returned for a buggy program may differ
     /// between runs, but is always valid and replayable.
+    ///
+    /// # Panics
+    ///
+    /// As [`Verifier::check_exhaustive`]: only the fallible options can
+    /// make the search fail.
     pub fn check_exhaustive_parallel(&self, jobs: usize) -> Report {
-        if jobs > 1 {
-            self.check_parallel(jobs)
+        let report = if jobs > 1 {
+            self.try_check_parallel(jobs)
         } else {
-            self.check_sequential()
+            self.try_check_sequential()
+        };
+        report.expect("in-RAM exhaustive search cannot fail; use try_check_exhaustive with checkpoint/resume/mem-limit options")
+    }
+
+    /// Digest of everything a checkpoint must agree on to be resumable:
+    /// the lowered program and the semantics-relevant options. `jobs`
+    /// and the robustness options themselves are deliberately excluded —
+    /// a checkpoint taken under one worker count, memory limit or
+    /// checkpoint cadence is valid under another.
+    fn config_digest(&self) -> u128 {
+        use std::fmt::Write as _;
+        // NB: field by field, not `{:?}` of the whole program — the
+        // interner's lookup map is a HashMap whose Debug order differs
+        // between processes, and resume compares digests across runs.
+        let p = self.program;
+        let mut desc = format!(
+            "{:?}|{:?}|{:?}|{:?}|{:?}",
+            p.events, p.machines, p.code, p.main, p.main_inits
+        );
+        for (_, name) in p.interner.iter() {
+            let _ = write!(desc, "|{name}");
         }
+        let o = &self.options;
+        let _ = write!(
+            desc,
+            "|max_states={}|max_depth={}|granularity={:?}|fuel={}|por={}|symmetry={}",
+            o.max_states, o.max_depth, o.granularity, o.fuel, o.por, o.symmetry
+        );
+        Fingerprint::of(desc.as_bytes()).as_u128()
     }
 
     /// Sequential depth-first engine.
-    fn check_sequential(&self) -> Report {
+    fn try_check_sequential(&self) -> Result<Report, CheckerError> {
         // The safety search never reads `RunResult::dequeued`; skip the
         // per-run allocation.
         let engine = self.engine().with_dequeue_log(false);
         let start = Instant::now();
-        let mut stats = ExplorationStats::default();
-        let por = self.options.por.then(|| Por::new(self.program));
-        let symmetry = self.options.symmetry;
+        let options = &self.options;
+        let digest = self.config_digest();
+        let spill = SpillDir::prepare(options)?;
+        let spill_cfg = spill_config(options, &spill);
+        let por = options.por.then(|| Por::new(self.program));
+        let symmetry = options.symmetry;
 
-        let mut init = engine.initial_config();
-        let (init_digest, init_len) = init.digest_and_len();
-        let init_fp = Fingerprint::from_u128(init_digest);
+        let resumed = match &options.resume {
+            Some(dir) => Some(checkpoint::load(dir, digest)?),
+            None => None,
+        };
 
-        let mut visited = BoundedSet::new(self.options.max_states);
-        if symmetry {
-            let init_key = Fingerprint::from_u128(canonical_digest(&mut init));
-            visited.admit_sym(init_key, init_fp, init_len);
-        } else {
-            visited.admit(init_fp, init_len);
+        let mut stats;
+        let mut base_duration = Duration::ZERO;
+        let mut visited;
+        let mut parents;
+        let mut stack: Vec<Task>;
+        match resumed {
+            None => {
+                let mut init = engine.initial_config();
+                let (init_digest, init_len) = init.digest_and_len();
+                let init_fp = Fingerprint::from_u128(init_digest);
+                visited = match spill_cfg {
+                    None => TieredSet::new(options.max_states),
+                    Some((dir, cap)) => TieredSet::with_spill(options.max_states, dir, cap)?,
+                };
+                if symmetry {
+                    let init_key = Fingerprint::from_u128(canonical_digest(&mut init));
+                    visited.admit_sym(init_key, init_fp, init_len)?;
+                } else {
+                    visited.admit(init_fp, init_len)?;
+                }
+                parents = match parent_spill_config(options, &spill) {
+                    None => TieredParents::new(),
+                    Some((dir, cap)) => TieredParents::with_spill(dir, cap)?,
+                };
+                stats = ExplorationStats::default();
+                stack = vec![(init, init_fp, 0, SleepSet::empty(), true)];
+            }
+            Some(ckpt) => {
+                visited = TieredSet::restore(
+                    options.max_states,
+                    spill_cfg,
+                    &ckpt.visited,
+                    ckpt.stats.stored_bytes,
+                )?;
+                parents =
+                    TieredParents::restore(parent_spill_config(options, &spill), ckpt.parents)?;
+                stack = decode_frontier(&ckpt.frontier, self.program)?;
+                stats = ckpt.stats;
+                base_duration = stats.duration;
+                // Spill counters describe *this process's* I/O activity;
+                // the finalized figures come from the live stores.
+                stats.spilled_states = 0;
+                stats.spill_bytes = 0;
+                stats.cold_hits = 0;
+            }
         }
-        let mut parents = ParentMap::new();
 
+        let policy = options.checkpoint.as_ref();
+        let mut last_ckpt = visited.len();
         // Stack entries carry the sleep set the state is to be expanded
         // with and whether this is its first visit (`fresh`); with POR
         // off, the sleep set stays empty and every visit is fresh.
-        let mut stack: Vec<(Config, Fingerprint, usize, SleepSet, bool)> =
-            vec![(init, init_fp, 0, SleepSet::empty(), true)];
         let mut succs = Vec::new();
         // Concrete-fingerprint → canonical-key memo: most successors are
         // revisits of a concrete state already canonicalized, and
@@ -275,12 +412,55 @@ impl<'p> Verifier<'p> {
         #[cfg(feature = "telemetry")]
         let mut tasks_since_snapshot = 0usize;
 
-        while let Some((config, fp, depth, sleep, fresh)) = stack.pop() {
+        loop {
+            // Control point, taken *before* popping so a checkpoint here
+            // captures the complete frontier.
+            let interrupt_hit = options
+                .interrupt
+                .as_ref()
+                .is_some_and(|flag| flag.load(Ordering::SeqCst));
+            let abort_hit = policy
+                .and_then(|p| p.abort_after_states)
+                .is_some_and(|n| visited.len() >= n);
+            if let Some(policy) = policy {
+                if interrupt_hit || abort_hit || visited.len() >= last_ckpt + policy.every_states {
+                    let mut ckpt_stats = stats.clone();
+                    ckpt_stats.unique_states = visited.len();
+                    ckpt_stats.stored_bytes = visited.stored_bytes();
+                    ckpt_stats.duration = base_duration + start.elapsed();
+                    ckpt_stats.spilled_states = 0;
+                    ckpt_stats.spill_bytes = 0;
+                    ckpt_stats.cold_hits = 0;
+                    let data = CheckpointData {
+                        stats: ckpt_stats,
+                        visited: visited.snapshot()?,
+                        parents: parents.snapshot()?,
+                        frontier: encode_frontier(&stack),
+                    };
+                    checkpoint::write(&policy.dir, digest, &data)?;
+                    last_ckpt = visited.len();
+                }
+            }
+            if interrupt_hit || abort_hit {
+                finalize_sequential(&mut stats, &visited, &parents, base_duration, start);
+                #[cfg(feature = "telemetry")]
+                self.final_snapshot(&stats, stack.len(), 1);
+                return Ok(Report {
+                    counterexample: None,
+                    stats,
+                    complete: false,
+                    interrupted: true,
+                });
+            }
+            let Some((config, fp, depth, sleep, fresh)) = stack.pop() else {
+                break;
+            };
             #[cfg(feature = "telemetry")]
             {
                 tasks_since_snapshot += 1;
                 if tasks_since_snapshot >= SNAPSHOT_EVERY_TASKS {
                     tasks_since_snapshot = 0;
+                    stats.spilled_states = visited.spill_counters().records as usize;
                     let (states, frontier) = (visited.len(), stack.len());
                     self.telemetry.maybe_snapshot(0, |elapsed| {
                         snapshot_from(&stats, states, frontier, 1, elapsed)
@@ -325,7 +505,7 @@ impl<'p> Verifier<'p> {
                     };
                     if let ExecOutcome::Error(e) = &succ.result.outcome {
                         let error = e.clone();
-                        let mut trace = parents.reconstruct(fp, self.program);
+                        let mut trace = parents.reconstruct(fp, self.program)?;
                         let choices = std::mem::take(&mut succ.choices);
                         trace.push(TraceStep::from_run(
                             self.program,
@@ -333,16 +513,15 @@ impl<'p> Verifier<'p> {
                             &succ.result,
                             choices,
                         ));
-                        stats.unique_states = visited.len();
-                        stats.stored_bytes = visited.stored_bytes();
-                        stats.duration = start.elapsed();
+                        finalize_sequential(&mut stats, &visited, &parents, base_duration, start);
                         #[cfg(feature = "telemetry")]
                         self.final_snapshot(&stats, stack.len(), 1);
-                        return Report {
+                        return Ok(Report {
                             counterexample: Some(Counterexample { error, trace }),
                             stats,
                             complete: false,
-                        };
+                            interrupted: false,
+                        });
                     }
                     let (succ_digest, succ_len) = succ.config.digest_and_len();
                     let succ_fp = Fingerprint::from_u128(succ_digest);
@@ -357,7 +536,7 @@ impl<'p> Verifier<'p> {
                     match &por {
                         None => {
                             let admitted = match succ_key {
-                                Some(key) => match visited.admit_sym(key, succ_fp, succ_len) {
+                                Some(key) => match visited.admit_sym(key, succ_fp, succ_len)? {
                                     AdmitSym::New => Admit::New,
                                     AdmitSym::Seen { merged } => {
                                         if merged {
@@ -367,11 +546,11 @@ impl<'p> Verifier<'p> {
                                     }
                                     AdmitSym::OverBound => Admit::OverBound,
                                 },
-                                None => visited.admit(succ_fp, succ_len),
+                                None => visited.admit(succ_fp, succ_len)?,
                             };
                             match admitted {
                                 Admit::New => {
-                                    parents.record(succ_fp, fp, seed(&mut succ));
+                                    parents.record(succ_fp, fp, seed(&mut succ))?;
                                     stack.push((
                                         succ.config,
                                         succ_fp,
@@ -389,22 +568,26 @@ impl<'p> Verifier<'p> {
                             let child_sleep = por.filter_sleep(&config, cur_sleep, &taken);
                             let admitted = match succ_key {
                                 Some(key) => {
-                                    visited.admit_sleep_sym(key, succ_fp, succ_len, child_sleep)
+                                    visited.admit_sleep_sym(key, succ_fp, succ_len, child_sleep)?
                                 }
-                                None => match visited.admit_sleep(succ_fp, succ_len, child_sleep) {
-                                    AdmitSleep::New => AdmitSleepSym::New,
-                                    AdmitSleep::Covered => AdmitSleepSym::Covered { merged: false },
-                                    AdmitSleep::Widen(sleep) => AdmitSleepSym::Widen {
-                                        sleep,
-                                        merged: false,
-                                    },
-                                    AdmitSleep::OverBound => AdmitSleepSym::OverBound,
-                                },
+                                None => {
+                                    match visited.admit_sleep(succ_fp, succ_len, child_sleep)? {
+                                        AdmitSleep::New => AdmitSleepSym::New,
+                                        AdmitSleep::Covered => {
+                                            AdmitSleepSym::Covered { merged: false }
+                                        }
+                                        AdmitSleep::Widen(sleep) => AdmitSleepSym::Widen {
+                                            sleep,
+                                            merged: false,
+                                        },
+                                        AdmitSleep::OverBound => AdmitSleepSym::OverBound,
+                                    }
+                                }
                             };
                             match admitted {
                                 AdmitSleepSym::New => {
                                     let seed = seed(&mut succ);
-                                    parents.record(succ_fp, fp, seed);
+                                    parents.record(succ_fp, fp, seed)?;
                                     stack.push((
                                         succ.config,
                                         succ_fp,
@@ -426,7 +609,8 @@ impl<'p> Verifier<'p> {
                                         // orbit's edge belongs to the
                                         // representative's concrete state.
                                         stats.symmetry_merges += 1;
-                                        parents.record_if_absent(succ_fp, fp, || seed(&mut succ));
+                                        parents
+                                            .record_if_absent(succ_fp, fp, || seed(&mut succ))?;
                                     }
                                     stack.push((succ.config, succ_fp, depth + 1, sleep, false));
                                 }
@@ -441,16 +625,15 @@ impl<'p> Verifier<'p> {
             }
         }
 
-        stats.unique_states = visited.len();
-        stats.stored_bytes = visited.stored_bytes();
-        stats.duration = start.elapsed();
+        finalize_sequential(&mut stats, &visited, &parents, base_duration, start);
         #[cfg(feature = "telemetry")]
         self.final_snapshot(&stats, 0, 1);
-        Report {
+        Ok(Report {
             counterexample: None,
             complete: !stats.truncated,
             stats,
-        }
+            interrupted: false,
+        })
     }
 
     /// Records the end-of-run snapshot and closes the progress line.
@@ -463,28 +646,79 @@ impl<'p> Verifier<'p> {
     }
 
     /// Parallel work-stealing engine (see DESIGN.md §9).
-    fn check_parallel(&self, jobs: usize) -> Report {
+    fn try_check_parallel(&self, jobs: usize) -> Result<Report, CheckerError> {
         let start = Instant::now();
+        let options = &self.options;
+        let digest = self.config_digest();
+        let spill = SpillDir::prepare(options)?;
+        let spill_cfg = spill_config(options, &spill);
 
-        let mut init = self.engine().initial_config();
-        let (init_digest, init_len) = init.digest_and_len();
-        let init_fp = Fingerprint::from_u128(init_digest);
+        let resumed = match &options.resume {
+            Some(dir) => Some(checkpoint::load(dir, digest)?),
+            None => None,
+        };
 
-        let table = SharedTable::new(self.options.max_states);
-        if self.options.symmetry {
-            let init_key = Fingerprint::from_u128(canonical_digest(&mut init));
-            table.admit_root_sym(init_key, init_fp, init_len);
-        } else {
-            table.admit_root(init_fp, init_len);
-        }
-        let frontier: Frontier<Task> =
-            Frontier::new(jobs, (init, init_fp, 0, SleepSet::empty(), true));
+        let counters = SharedCounters::default();
+        let mut base_duration = Duration::ZERO;
+        let mut base_truncated = false;
+        let (table, frontier) = match resumed {
+            None => {
+                let table = match spill_cfg {
+                    None => SharedTable::new(options.max_states),
+                    Some((dir, cap)) => SharedTable::with_spill(options.max_states, dir, cap)?,
+                };
+                let mut init = self.engine().initial_config();
+                let (init_digest, init_len) = init.digest_and_len();
+                let init_fp = Fingerprint::from_u128(init_digest);
+                if options.symmetry {
+                    let init_key = Fingerprint::from_u128(canonical_digest(&mut init));
+                    table.admit_root_sym(init_key, init_fp, init_len);
+                } else {
+                    table.admit_root(init_fp, init_len);
+                }
+                let frontier: Frontier<Task> =
+                    Frontier::new(jobs, (init, init_fp, 0, SleepSet::empty(), true));
+                (table, frontier)
+            }
+            Some(ckpt) => {
+                let table = SharedTable::restore(
+                    options.max_states,
+                    spill_cfg,
+                    &ckpt.visited,
+                    ckpt.parents,
+                    ckpt.stats.stored_bytes,
+                )?;
+                let tasks = decode_frontier(&ckpt.frontier, self.program)?;
+                let mut base = ckpt.stats;
+                base_duration = base.duration;
+                base_truncated = base.truncated;
+                base.unique_states = 0;
+                base.stored_bytes = 0;
+                // Preload the cumulative exploration counters; spill
+                // counters stay per-process (`flush` never moves them).
+                counters.flush(&base, &mut ExplorationStats::default());
+                (table, Frontier::from_tasks(jobs, tasks))
+            }
+        };
+
+        let ctl = ParallelControl {
+            policy: options.checkpoint.as_ref(),
+            interrupt: options.interrupt.clone(),
+            digest,
+            base_duration,
+            base_truncated,
+            start,
+            claimed: AtomicBool::new(false),
+            last_ckpt: AtomicUsize::new(table.unique()),
+            error: Mutex::new(None),
+            interrupted: AtomicBool::new(false),
+        };
+
         // First violation wins: (parent fingerprint, final step, error).
         let first_error: Mutex<Option<(Fingerprint, TraceStep, PError)>> = Mutex::new(None);
         let depth_truncated = AtomicBool::new(false);
 
-        let counters = SharedCounters::default();
-        let worker_tasks: Vec<u64> = std::thread::scope(|scope| {
+        let (worker_tasks, panic_msg) = std::thread::scope(|scope| {
             let workers: Vec<_> = (0..jobs)
                 .map(|w| {
                     let frontier = &frontier;
@@ -492,6 +726,7 @@ impl<'p> Verifier<'p> {
                     let first_error = &first_error;
                     let depth_truncated = &depth_truncated;
                     let counters = &counters;
+                    let ctl = &ctl;
                     scope.spawn(move || {
                         self.expand_worker(
                             w,
@@ -501,15 +736,34 @@ impl<'p> Verifier<'p> {
                             first_error,
                             depth_truncated,
                             counters,
+                            ctl,
                         )
                     })
                 })
                 .collect();
-            workers
-                .into_iter()
-                .map(|handle| handle.join().expect("exploration worker panicked"))
-                .collect()
+            let mut worker_tasks = Vec::with_capacity(jobs);
+            let mut panic_msg: Option<String> = None;
+            for handle in workers {
+                match handle.join() {
+                    Ok(tasks) => worker_tasks.push(tasks),
+                    Err(payload) => {
+                        let msg = payload
+                            .downcast_ref::<String>()
+                            .cloned()
+                            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                            .unwrap_or_else(|| "worker panicked".to_string());
+                        panic_msg = Some(msg);
+                    }
+                }
+            }
+            (worker_tasks, panic_msg)
         });
+        if let Some(msg) = panic_msg {
+            return Err(CheckerError::WorkerPanic(msg));
+        }
+        if let Some(error) = ctl.error.lock().take() {
+            return Err(error);
+        }
 
         // Final totals come exclusively from the shared counters (every
         // worker flushes its remaining delta on exit, including the
@@ -529,24 +783,35 @@ impl<'p> Verifier<'p> {
 
         stats.unique_states = table.unique();
         stats.stored_bytes = table.stored_bytes();
-        stats.truncated |= table.truncated() || depth_truncated.load(Ordering::SeqCst);
-        stats.duration = start.elapsed();
+        let (spilled_states, spill_bytes, cold_hits) = table.spill_stats();
+        stats.spilled_states = spilled_states;
+        stats.spill_bytes = spill_bytes;
+        stats.cold_hits = cold_hits;
+        stats.truncated |=
+            base_truncated || table.truncated() || depth_truncated.load(Ordering::SeqCst);
+        stats.duration = base_duration + start.elapsed();
         #[cfg(feature = "telemetry")]
         self.final_snapshot(&stats, frontier.pending(), jobs as u64);
 
-        let counterexample = first_error.lock().take().map(|(parent_fp, step, error)| {
-            // Workers have joined; the shared parents map is quiescent
-            // and holds a complete root path for every admitted state.
-            let mut trace = table.reconstruct(parent_fp, self.program);
-            trace.push(step);
-            Counterexample { error, trace }
-        });
-        let complete = counterexample.is_none() && !stats.truncated;
-        Report {
+        let counterexample = match first_error.lock().take() {
+            None => None,
+            Some((parent_fp, step, error)) => {
+                // Workers have joined; the shared parents map is
+                // quiescent and holds a complete root path for every
+                // admitted state.
+                let mut trace = table.reconstruct(parent_fp, self.program)?;
+                trace.push(step);
+                Some(Counterexample { error, trace })
+            }
+        };
+        let interrupted = ctl.interrupted.load(Ordering::SeqCst) && counterexample.is_none();
+        let complete = counterexample.is_none() && !stats.truncated && !interrupted;
+        Ok(Report {
             counterexample,
             stats,
             complete,
-        }
+            interrupted,
+        })
     }
 
     /// One parallel worker: expand tasks until the frontier drains or a
@@ -565,6 +830,7 @@ impl<'p> Verifier<'p> {
         first_error: &Mutex<Option<(Fingerprint, TraceStep, PError)>>,
         depth_truncated: &AtomicBool,
         counters: &SharedCounters,
+        ctl: &ParallelControl<'_>,
     ) -> u64 {
         let engine = self.engine().with_dequeue_log(false);
         let mut stats = ExplorationStats::default();
@@ -633,8 +899,8 @@ impl<'p> Verifier<'p> {
                     match &por {
                         None => {
                             let admitted = match succ_key {
-                                Some(key) => {
-                                    match table.admit_sym(key, succ_fp, succ_len, fp, step) {
+                                Some(key) => table.admit_sym(key, succ_fp, succ_len, fp, step).map(
+                                    |admitted| match admitted {
                                         AdmitSym::New => Admit::New,
                                         AdmitSym::Seen { merged } => {
                                             if merged {
@@ -643,9 +909,17 @@ impl<'p> Verifier<'p> {
                                             Admit::Seen
                                         }
                                         AdmitSym::OverBound => Admit::OverBound,
-                                    }
-                                }
+                                    },
+                                ),
                                 None => table.admit(succ_fp, succ_len, fp, step),
+                            };
+                            let admitted = match admitted {
+                                Ok(admitted) => admitted,
+                                Err(error) => {
+                                    report_worker_error(ctl, frontier, error);
+                                    frontier.task_done();
+                                    break 'tasks;
+                                }
                             };
                             match admitted {
                                 Admit::New => frontier.push(
@@ -668,14 +942,9 @@ impl<'p> Verifier<'p> {
                                     fp,
                                     step,
                                 ),
-                                None => {
-                                    match table.admit_sleep(
-                                        succ_fp,
-                                        succ_len,
-                                        child_sleep,
-                                        fp,
-                                        step,
-                                    ) {
+                                None => table
+                                    .admit_sleep(succ_fp, succ_len, child_sleep, fp, step)
+                                    .map(|admitted| match admitted {
                                         AdmitSleep::New => AdmitSleepSym::New,
                                         AdmitSleep::Covered => {
                                             AdmitSleepSym::Covered { merged: false }
@@ -685,7 +954,14 @@ impl<'p> Verifier<'p> {
                                             merged: false,
                                         },
                                         AdmitSleep::OverBound => AdmitSleepSym::OverBound,
-                                    }
+                                    }),
+                            };
+                            let admitted = match admitted {
+                                Ok(admitted) => admitted,
+                                Err(error) => {
+                                    report_worker_error(ctl, frontier, error);
+                                    frontier.task_done();
+                                    break 'tasks;
                                 }
                             };
                             match admitted {
@@ -719,11 +995,13 @@ impl<'p> Verifier<'p> {
             }
             frontier.task_done();
             counters.flush(&stats, &mut flushed);
+            self.parallel_control(ctl, frontier, table, counters, depth_truncated);
             #[cfg(feature = "telemetry")]
             if tasks.is_multiple_of(SNAPSHOT_EVERY_TASKS as u64) {
                 self.telemetry.maybe_snapshot(worker as u32, |elapsed| {
                     let mut totals = counters.totals();
                     totals.unique_states = table.unique();
+                    totals.spilled_states = table.spill_stats().0;
                     snapshot_from(
                         &totals,
                         totals.unique_states,
@@ -735,12 +1013,239 @@ impl<'p> Verifier<'p> {
             }
         }
         counters.flush(&stats, &mut flushed);
+        frontier.retire();
         tasks
     }
+
+    /// The parallel engines' checkpoint/interrupt control point, run by
+    /// every worker between tasks. When a checkpoint or stop is due, one
+    /// worker claims leadership, parks the others at the frontier
+    /// rendezvous (making the table, counters and queues quiescent),
+    /// serializes everything, and either resumes the fleet or shuts it
+    /// down (interrupt / abort-after).
+    fn parallel_control(
+        &self,
+        ctl: &ParallelControl<'_>,
+        frontier: &Frontier<Task>,
+        table: &SharedTable,
+        counters: &SharedCounters,
+        depth_truncated: &AtomicBool,
+    ) {
+        let interrupt_hit = ctl
+            .interrupt
+            .as_ref()
+            .is_some_and(|flag| flag.load(Ordering::SeqCst));
+        let Some(policy) = ctl.policy else {
+            if interrupt_hit {
+                ctl.interrupted.store(true, Ordering::SeqCst);
+                frontier.request_stop();
+            }
+            return;
+        };
+        let abort_hit = policy
+            .abort_after_states
+            .is_some_and(|n| table.unique() >= n);
+        let due = table.unique() >= ctl.last_ckpt.load(Ordering::SeqCst) + policy.every_states;
+        if !(interrupt_hit || abort_hit || due) {
+            return;
+        }
+        if ctl.claimed.swap(true, Ordering::SeqCst) {
+            return; // another worker is already checkpointing
+        }
+        frontier.pause_workers();
+        frontier.await_rendezvous();
+        let result = (|| {
+            let (visited, parents) = table.snapshot()?;
+            let mut stats = counters.totals();
+            stats.unique_states = table.unique();
+            stats.stored_bytes = table.stored_bytes();
+            stats.truncated =
+                ctl.base_truncated || table.truncated() || depth_truncated.load(Ordering::SeqCst);
+            stats.duration = ctl.base_duration + ctl.start.elapsed();
+            let frontier_tasks = encode_frontier(&frontier.snapshot_tasks());
+            checkpoint::write(
+                &policy.dir,
+                ctl.digest,
+                &CheckpointData {
+                    stats,
+                    visited,
+                    parents,
+                    frontier: frontier_tasks,
+                },
+            )
+        })();
+        match result {
+            Err(error) => {
+                let mut slot = ctl.error.lock();
+                if slot.is_none() {
+                    *slot = Some(error);
+                }
+                drop(slot);
+                frontier.request_stop();
+            }
+            Ok(()) => {
+                if interrupt_hit || abort_hit {
+                    ctl.interrupted.store(true, Ordering::SeqCst);
+                    frontier.request_stop();
+                } else {
+                    ctl.last_ckpt.store(table.unique(), Ordering::SeqCst);
+                }
+            }
+        }
+        frontier.resume_workers();
+        ctl.claimed.store(false, Ordering::SeqCst);
+    }
+}
+
+/// Shared control state for the parallel engine's checkpoint/interrupt
+/// protocol.
+#[derive(Debug)]
+struct ParallelControl<'a> {
+    policy: Option<&'a CheckpointPolicy>,
+    interrupt: Option<Arc<AtomicBool>>,
+    digest: u128,
+    base_duration: Duration,
+    base_truncated: bool,
+    start: Instant,
+    /// One checkpoint leader at a time.
+    claimed: AtomicBool,
+    /// `unique()` at the last checkpoint (cadence reference).
+    last_ckpt: AtomicUsize,
+    /// First I/O error from any worker or the checkpoint leader.
+    error: Mutex<Option<CheckerError>>,
+    /// Set when the run stopped on interrupt or abort-after.
+    interrupted: AtomicBool,
+}
+
+/// Records a worker-side [`CheckerError`] (first wins) and shuts the
+/// fleet down.
+fn report_worker_error(ctl: &ParallelControl<'_>, frontier: &Frontier<Task>, error: CheckerError) {
+    let mut slot = ctl.error.lock();
+    if slot.is_none() {
+        *slot = Some(error);
+    }
+    drop(slot);
+    frontier.request_stop();
+}
+
+/// Where the spill (cold-tier) files live. Dropping the guard deletes
+/// the directory: checkpoints are self-contained (a snapshot drains the
+/// cold stores into the checkpoint file), so spill files never outlive
+/// the process that wrote them.
+#[derive(Debug)]
+struct SpillDir {
+    path: PathBuf,
+}
+
+impl SpillDir {
+    /// Prepares a fresh spill directory when a memory limit is set:
+    /// under the checkpoint (or resume) directory if one is configured,
+    /// else under the system temp directory.
+    fn prepare(options: &CheckerOptions) -> Result<Option<SpillDir>, CheckerError> {
+        if options.mem_limit.is_none() {
+            return Ok(None);
+        }
+        let path = match (&options.checkpoint, &options.resume) {
+            (Some(policy), _) => policy.dir.join("spill"),
+            (None, Some(dir)) => dir.join("spill"),
+            (None, None) => std::env::temp_dir().join(format!("p-spill-{}", std::process::id())),
+        };
+        let _ = fs::remove_dir_all(&path);
+        fs::create_dir_all(&path).map_err(|e| CheckerError::io(&path, e))?;
+        Ok(Some(SpillDir { path }))
+    }
+}
+
+impl Drop for SpillDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.path);
+    }
+}
+
+/// The `(dir, hot_budget_bytes)` pair the tiered structures take,
+/// derived from the prepared spill directory and the memory limit.
+fn spill_config<'a>(
+    options: &CheckerOptions,
+    spill: &'a Option<SpillDir>,
+) -> Option<(&'a Path, usize)> {
+    let limit = options.mem_limit?;
+    spill
+        .as_ref()
+        .map(|dir| (dir.path.as_path(), hot_budget_for(limit)))
+}
+
+/// [`spill_config`] with the byte budget converted to the edge-count
+/// cap [`TieredParents`] takes.
+fn parent_spill_config<'a>(
+    options: &CheckerOptions,
+    spill: &'a Option<SpillDir>,
+) -> Option<(&'a Path, usize)> {
+    spill_config(options, spill).map(|(dir, budget)| (dir, parent_cap_for(budget)))
+}
+
+/// Serializes frontier tasks for a checkpoint (order-preserving: the
+/// sequential stack must pop identically after a resume).
+fn encode_frontier(tasks: &[Task]) -> Vec<TaskEntry> {
+    tasks
+        .iter()
+        .map(|(config, fp, depth, sleep, fresh)| TaskEntry {
+            cfg: config.canonical_bytes(),
+            fp: fp.as_u128(),
+            depth: *depth as u64,
+            sleep: sleep.0,
+            fresh: *fresh,
+        })
+        .collect()
+}
+
+/// Decodes checkpointed frontier tasks back into live configurations.
+fn decode_frontier(
+    entries: &[TaskEntry],
+    program: &LoweredProgram,
+) -> Result<Vec<Task>, CheckerError> {
+    let n_events = program.event_count();
+    entries
+        .iter()
+        .map(|t| {
+            let config = Config::from_canonical_bytes(&t.cfg, n_events).ok_or_else(|| {
+                CheckerError::CheckpointFormat(
+                    "undecodable frontier configuration in checkpoint".to_string(),
+                )
+            })?;
+            Ok((
+                config,
+                Fingerprint::from_u128(t.fp),
+                t.depth as usize,
+                SleepSet(t.sleep),
+                t.fresh,
+            ))
+        })
+        .collect()
+}
+
+/// Finalizes the sequential engine's stats from the live tiered
+/// structures: authoritative state/byte counts, per-process spill
+/// activity, and accumulated wall-clock time across resumes.
+fn finalize_sequential(
+    stats: &mut ExplorationStats,
+    visited: &TieredSet,
+    parents: &TieredParents,
+    base_duration: Duration,
+    start: Instant,
+) {
+    stats.unique_states = visited.len();
+    stats.stored_bytes = visited.stored_bytes();
+    let vc = visited.spill_counters();
+    let pc = parents.spill_counters();
+    stats.spilled_states = vc.records as usize;
+    stats.spill_bytes = vc.bytes_written + pc.bytes_written;
+    stats.cold_hits = vc.hits + pc.hits;
+    stats.duration = base_duration + start.elapsed();
 }
 
 /// A unit of parallel work: the state, its fingerprint and depth, the
 /// sleep set to expand it with, and whether this is its first visit.
+/// (The sequential engine's stack entries share the shape.)
 type Task = (Config, Fingerprint, usize, SleepSet, bool);
 
 impl Verifier<'_> {
@@ -797,5 +1302,6 @@ fn snapshot_from(
         symmetry_merges: stats.symmetry_merges as u64,
         max_depth: stats.max_depth as u64,
         workers,
+        spilled: stats.spilled_states as u64,
     }
 }

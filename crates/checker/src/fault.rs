@@ -261,6 +261,7 @@ impl Verifier<'_> {
                     counterexample,
                     stats: stats.clone(),
                     complete,
+                    interrupted: false,
                 },
                 fault_budget: budget,
                 kinds: scheduler.kinds().to_vec(),

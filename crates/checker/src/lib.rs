@@ -61,8 +61,10 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod checkpoint;
 mod delay;
 mod engine;
+mod error;
 mod explore;
 mod fault;
 mod fingerprint;
@@ -71,10 +73,14 @@ mod por;
 mod random;
 mod replay;
 mod stats;
+mod store;
 mod succ;
 mod trace;
+mod wire;
 
+pub use checkpoint::CheckpointPolicy;
 pub use delay::{DelayReport, SchedulerState};
+pub use error::CheckerError;
 pub use explore::{CheckerOptions, Report, Verifier};
 pub use fault::{FaultDecision, FaultKind, FaultReport, FaultScheduler};
 pub use fingerprint::Fingerprint;

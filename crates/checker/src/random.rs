@@ -63,6 +63,7 @@ impl Verifier<'_> {
                         }),
                         stats,
                         complete: false,
+                        interrupted: false,
                     };
                 }
                 seen.insert(Fingerprint::from_u128(config.digest()));
@@ -75,6 +76,7 @@ impl Verifier<'_> {
             counterexample: None,
             stats,
             complete: false,
+            interrupted: false,
         }
     }
 }

@@ -43,6 +43,18 @@ pub struct ExplorationStats {
     /// rather than an identical one — the extra dedup the canonical
     /// fingerprint buys (zero with symmetry reduction off).
     pub symmetry_merges: usize,
+    /// Fingerprints resident in the disk-spilled cold tier at the end of
+    /// the run (zero without `--mem-limit`). `unique_states` already
+    /// includes these — this counts where they live, so the hot-tier
+    /// share is `unique_states - spilled_states` and `stored_bytes`
+    /// honestly reports RAM only.
+    pub spilled_states: usize,
+    /// Bytes written to spill files over the run (visited + parent
+    /// runs, merges included). An I/O-activity counter: it describes
+    /// this process, so a resumed run reports its own spill traffic.
+    pub spill_bytes: u64,
+    /// Visited/parent lookups answered from the cold tier.
+    pub cold_hits: u64,
 }
 
 impl ExplorationStats {
@@ -65,6 +77,9 @@ impl ExplorationStats {
         self.dedup_hits += other.dedup_hits;
         self.sleep_pruned += other.sleep_pruned;
         self.symmetry_merges += other.symmetry_merges;
+        self.spilled_states += other.spilled_states;
+        self.spill_bytes += other.spill_bytes;
+        self.cold_hits += other.cold_hits;
         self.max_depth = self.max_depth.max(other.max_depth);
         self.max_queue_seen = self.max_queue_seen.max(other.max_queue_seen);
         self.duration = self.duration.max(other.duration);
@@ -93,7 +108,11 @@ impl fmt::Display for ExplorationStats {
             self.duration,
             self.stored_mib(),
             if self.truncated { " (truncated)" } else { "" }
-        )
+        )?;
+        if self.spilled_states > 0 {
+            write!(f, ", {} spilled", self.spilled_states)?;
+        }
+        Ok(())
     }
 }
 
@@ -116,10 +135,19 @@ mod tests {
             dedup_hits: 6,
             sleep_pruned: 2,
             symmetry_merges: 0,
+            spilled_states: 0,
+            spill_bytes: 0,
+            cold_hits: 0,
         };
         let text = s.to_string();
         assert!(text.contains("10 states"));
         assert!(text.contains("truncated"));
+        assert!(!text.contains("spilled"), "{text}");
+        let spilling = ExplorationStats {
+            spilled_states: 7,
+            ..s
+        };
+        assert!(spilling.to_string().ends_with(", 7 spilled"));
     }
 
     #[test]
@@ -137,6 +165,9 @@ mod tests {
             dedup_hits: 4,
             sleep_pruned: 1,
             symmetry_merges: 2,
+            spilled_states: 10,
+            spill_bytes: 160,
+            cold_hits: 2,
         };
         let b = ExplorationStats {
             unique_states: 0,
@@ -151,9 +182,15 @@ mod tests {
             dedup_hits: 3,
             sleep_pruned: 2,
             symmetry_merges: 5,
+            spilled_states: 5,
+            spill_bytes: 80,
+            cold_hits: 1,
         };
         a.merge(&b);
         assert_eq!(a.transitions, 12);
+        assert_eq!(a.spilled_states, 15);
+        assert_eq!(a.spill_bytes, 240);
+        assert_eq!(a.cold_hits, 3);
         assert_eq!(a.dedup_hits, 7);
         assert_eq!(a.sleep_pruned, 3);
         assert_eq!(a.symmetry_merges, 7);

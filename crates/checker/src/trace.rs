@@ -173,6 +173,94 @@ impl StepSeed {
         }
     }
 
+    /// Serializes the seed for checkpoint and parent-map spill records.
+    ///
+    /// Unlike the configuration encoding, this format *is* persisted
+    /// (inside checkpoint files), but only ever read back by the same
+    /// checkpoint version — the checkpoint header's version field gates
+    /// compatibility, so the encoding may change freely alongside it.
+    pub(crate) fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.machine.0.to_le_bytes());
+        match self.kind {
+            StepKind::Sent {
+                to,
+                event,
+                enqueued,
+            } => {
+                out.push(0);
+                out.extend_from_slice(&to.0.to_le_bytes());
+                out.extend_from_slice(&event.0.to_le_bytes());
+                out.push(enqueued as u8);
+            }
+            StepKind::Created { id, ty } => {
+                out.push(1);
+                out.extend_from_slice(&id.0.to_le_bytes());
+                out.extend_from_slice(&ty.0.to_le_bytes());
+            }
+            StepKind::Internal => out.push(2),
+            StepKind::Blocked => out.push(3),
+            StepKind::Deleted => out.push(4),
+            StepKind::Fault(d) => {
+                out.push(5);
+                out.push(match d.kind {
+                    FaultKind::Drop => 0,
+                    FaultKind::Dup => 1,
+                    FaultKind::Delay => 2,
+                });
+                out.extend_from_slice(&d.machine.0.to_le_bytes());
+                out.extend_from_slice(&(d.index as u32).to_le_bytes());
+                out.extend_from_slice(&d.event.0.to_le_bytes());
+            }
+        }
+        out.extend_from_slice(&(self.choices.len() as u32).to_le_bytes());
+        out.extend(self.choices.iter().map(|&c| c as u8));
+    }
+
+    /// Inverse of [`StepSeed::encode`]; `None` on malformed input.
+    pub(crate) fn decode(buf: &mut &[u8]) -> Option<StepSeed> {
+        use crate::wire::{read_u32, read_u8};
+        let machine = MachineId(read_u32(buf)?);
+        let kind = match read_u8(buf)? {
+            0 => StepKind::Sent {
+                to: MachineId(read_u32(buf)?),
+                event: EventId(read_u32(buf)?),
+                enqueued: read_u8(buf)? != 0,
+            },
+            1 => StepKind::Created {
+                id: MachineId(read_u32(buf)?),
+                ty: MachineTypeId(read_u32(buf)?),
+            },
+            2 => StepKind::Internal,
+            3 => StepKind::Blocked,
+            4 => StepKind::Deleted,
+            5 => {
+                let kind = match read_u8(buf)? {
+                    0 => FaultKind::Drop,
+                    1 => FaultKind::Dup,
+                    2 => FaultKind::Delay,
+                    _ => return None,
+                };
+                StepKind::Fault(FaultDecision {
+                    kind,
+                    machine: MachineId(read_u32(buf)?),
+                    index: read_u32(buf)? as usize,
+                    event: EventId(read_u32(buf)?),
+                })
+            }
+            _ => return None,
+        };
+        let n_choices = read_u32(buf)? as usize;
+        let mut choices = Vec::new();
+        for _ in 0..n_choices {
+            choices.push(read_u8(buf)? != 0);
+        }
+        Some(StepSeed {
+            machine,
+            kind,
+            choices,
+        })
+    }
+
     /// Renders the human-readable step. Summaries match what
     /// [`TraceStep::from_run`]/[`TraceStep::from_fault`] produce for the
     /// same outcome.
@@ -260,6 +348,61 @@ mod tests {
             step.to_string(),
             "machine #1: ran to quiescence [choices: 10]"
         );
+    }
+
+    #[test]
+    fn step_seed_round_trips_every_kind() {
+        let seeds = [
+            StepSeed {
+                machine: MachineId(3),
+                kind: StepKind::Sent {
+                    to: MachineId(1),
+                    event: EventId(2),
+                    enqueued: false,
+                },
+                choices: vec![true, false, true],
+            },
+            StepSeed {
+                machine: MachineId(0),
+                kind: StepKind::Created {
+                    id: MachineId(9),
+                    ty: MachineTypeId(4),
+                },
+                choices: vec![],
+            },
+            StepSeed::test_blocked(MachineId(7)),
+            StepSeed {
+                machine: MachineId(1),
+                kind: StepKind::Internal,
+                choices: vec![false],
+            },
+            StepSeed {
+                machine: MachineId(2),
+                kind: StepKind::Deleted,
+                choices: vec![],
+            },
+            StepSeed::from_fault(&FaultDecision {
+                kind: FaultKind::Delay,
+                machine: MachineId(5),
+                index: 2,
+                event: EventId(1),
+            }),
+        ];
+        for seed in &seeds {
+            let mut bytes = Vec::new();
+            seed.encode(&mut bytes);
+            let mut cur = &bytes[..];
+            let back = StepSeed::decode(&mut cur).expect("round trip");
+            assert_eq!(&back, seed);
+            assert!(cur.is_empty(), "trailing bytes after {seed:?}");
+        }
+        // Truncations are rejected, not panicked on.
+        let mut bytes = Vec::new();
+        seeds[0].encode(&mut bytes);
+        for cut in 0..bytes.len() {
+            let mut cur = &bytes[..cut];
+            assert!(StepSeed::decode(&mut cur).is_none(), "cut at {cut}");
+        }
     }
 
     #[test]

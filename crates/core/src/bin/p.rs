@@ -7,6 +7,8 @@
 //! p verify FILE [--delay N] [--max-states N] [--fine] [--jobs N] [--por]
 //!              [--symmetry] [--faults N] [--fault-kinds drop,dup,delay]
 //!              [--profile OUT.json] [--progress]
+//!              [--checkpoint DIR] [--checkpoint-every N] [--resume DIR]
+//!              [--mem-limit BYTES] [--abort-after N]
 //! p liveness FILE                   bounded liveness check (§3.2)
 //! p run FILE MACHINE EVENT[:INT]... create a machine and feed it events
 //!       [--stats] [--trace OUT.json] [--metrics OUT.json]
@@ -19,34 +21,103 @@ use std::process::ExitCode;
 
 use p_core::{CheckerOptions, Compiled, Value};
 
+/// Exit code for a property violation (counterexample found).
+const EXIT_VIOLATION: u8 = 1;
+/// Exit code for usage, I/O, and checkpoint-compatibility errors.
+const EXIT_ERROR: u8 = 2;
+/// Exit code for an interrupted run (SIGINT/SIGTERM/`--abort-after`);
+/// a final checkpoint was written when one was configured.
+const EXIT_INTERRUPTED: u8 = 3;
+
+/// SIGINT/SIGTERM plumbing. Handlers only flip an atomic flag (the one
+/// async-signal-safe thing worth doing); the checker polls it at its
+/// control points and shuts down with a final checkpoint.
+#[cfg(unix)]
+mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, OnceLock};
+
+    const SIGINT: i32 = 2;
+    const SIGPIPE: i32 = 13;
+    const SIGTERM: i32 = 15;
+    const SIG_DFL: usize = 0;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    static INTERRUPT: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+    extern "C" fn on_signal(_sig: i32) {
+        if let Some(flag) = INTERRUPT.get() {
+            flag.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// Restores default SIGPIPE so `p verify ... | head` dies quietly
+    /// instead of panicking on a broken stdout.
+    pub fn default_sigpipe() {
+        unsafe {
+            signal(SIGPIPE, SIG_DFL);
+        }
+    }
+
+    /// Installs the SIGINT/SIGTERM handler and returns the shared flag.
+    pub fn install_interrupt() -> Arc<AtomicBool> {
+        let flag = INTERRUPT
+            .get_or_init(|| Arc::new(AtomicBool::new(false)))
+            .clone();
+        let handler = on_signal as extern "C" fn(i32) as usize;
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+        flag
+    }
+}
+
+#[cfg(not(unix))]
+mod signals {
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    pub fn default_sigpipe() {}
+
+    pub fn install_interrupt() -> Arc<AtomicBool> {
+        Arc::new(AtomicBool::new(false))
+    }
+}
+
 fn main() -> ExitCode {
+    signals::default_sigpipe();
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(message) => {
             eprintln!("error: {message}");
-            ExitCode::FAILURE
+            ExitCode::from(EXIT_ERROR)
         }
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<ExitCode, String> {
     let Some(command) = args.first() else {
         return Err(usage());
     };
     let rest = &args[1..];
+    let ok = |()| ExitCode::SUCCESS;
     match command.as_str() {
-        "check" => check(rest),
-        "fmt" => fmt(rest),
-        "info" => info(rest),
+        "check" => check(rest).map(ok),
+        "fmt" => fmt(rest).map(ok),
+        "info" => info(rest).map(ok),
         "verify" => verify(rest),
         "liveness" => liveness(rest),
-        "run" => run_program(rest),
-        "compile" => compile(rest),
-        "dot" => dot(rest),
+        "run" => run_program(rest).map(ok),
+        "compile" => compile(rest).map(ok),
+        "dot" => dot(rest).map(ok),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         other => Err(format!("unknown command `{other}`\n{}", usage())),
     }
@@ -61,6 +132,9 @@ fn usage() -> String {
      p verify FILE [--delay N] [--max-states N] [--fine] [--jobs N] [--por]\n\
                    [--symmetry] [--faults N] [--fault-kinds drop,dup,delay]\n\
                    [--profile OUT.json] [--progress]\n\
+                   [--checkpoint DIR] [--checkpoint-every N] [--resume DIR]\n\
+                   [--mem-limit BYTES[k|m|g]] [--abort-after N]\n\
+                   exit codes: 0 passed, 1 violation, 2 error, 3 interrupted\n\
      p liveness FILE                   bounded liveness check\n\
      p run FILE MACHINE EVENT[:INT]... create a machine, feed it events\n\
            [--stats] [--trace OUT.json] [--metrics OUT.json]\n\
@@ -137,7 +211,7 @@ fn info(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn verify(args: &[String]) -> Result<(), String> {
+fn verify(args: &[String]) -> Result<ExitCode, String> {
     let path = args.first().ok_or_else(usage)?;
     let (_, compiled) = load(path)?;
 
@@ -146,6 +220,9 @@ fn verify(args: &[String]) -> Result<(), String> {
     let mut fault_kinds: Vec<p_core::FaultKind> = Vec::new();
     let mut profile: Option<String> = None;
     let mut progress = false;
+    let mut checkpoint_dir: Option<String> = None;
+    let mut checkpoint_every: Option<usize> = None;
+    let mut abort_after: Option<usize> = None;
     let mut options = CheckerOptions::default();
     let mut i = 1;
     while i < args.len() {
@@ -155,6 +232,29 @@ fn verify(args: &[String]) -> Result<(), String> {
             }
             "--profile" => {
                 profile = Some(parse_flag_path(args, &mut i, "--profile")?);
+            }
+            "--checkpoint" => {
+                checkpoint_dir = Some(parse_flag_path(args, &mut i, "--checkpoint")?);
+            }
+            "--checkpoint-every" => {
+                let every = parse_flag_value(args, &mut i, "--checkpoint-every")?;
+                if every == 0 {
+                    return Err("--checkpoint-every must be at least 1".to_owned());
+                }
+                checkpoint_every = Some(every);
+            }
+            "--resume" => {
+                options.resume = Some(parse_flag_path(args, &mut i, "--resume")?.into());
+            }
+            "--abort-after" => {
+                abort_after = Some(parse_flag_value(args, &mut i, "--abort-after")?);
+            }
+            "--mem-limit" => {
+                let value = args
+                    .get(i + 1)
+                    .ok_or("--mem-limit needs a value".to_owned())?;
+                options.mem_limit = Some(parse_mem_limit(value)?);
+                i += 2;
             }
             "--progress" => {
                 progress = true;
@@ -222,6 +322,37 @@ fn verify(args: &[String]) -> Result<(), String> {
                 .to_owned(),
         );
     }
+    let robustness = checkpoint_dir.is_some()
+        || checkpoint_every.is_some()
+        || abort_after.is_some()
+        || options.resume.is_some()
+        || options.mem_limit.is_some();
+    if robustness && (delay.is_some() || faults.is_some()) {
+        return Err(
+            "--checkpoint/--resume/--mem-limit/--abort-after apply to the \
+                    exhaustive search only (not --delay/--faults)"
+                .to_owned(),
+        );
+    }
+    if checkpoint_every.is_some() && checkpoint_dir.is_none() && options.resume.is_none() {
+        return Err("--checkpoint-every needs --checkpoint DIR (or --resume DIR)".to_owned());
+    }
+    if abort_after.is_some() && checkpoint_dir.is_none() && options.resume.is_none() {
+        return Err("--abort-after needs --checkpoint DIR (or --resume DIR)".to_owned());
+    }
+    // Resuming keeps checkpointing into the same directory unless the
+    // caller pointed --checkpoint elsewhere.
+    let checkpoint_dir = checkpoint_dir
+        .map(std::path::PathBuf::from)
+        .or_else(|| options.resume.clone());
+    if let Some(dir) = checkpoint_dir {
+        let mut policy = p_core::checker::CheckpointPolicy::new(dir);
+        if let Some(every) = checkpoint_every {
+            policy.every_states = every;
+        }
+        policy.abort_after_states = abort_after;
+        options.checkpoint = Some(policy);
+    }
 
     let (telemetry, ring) = if profile.is_some() || progress {
         let mut builder = p_core::Telemetry::builder();
@@ -236,13 +367,19 @@ fn verify(args: &[String]) -> Result<(), String> {
 
     let mode = checker_mode(&options);
     let workers = options.jobs.max(1) as u64;
+    if delay.is_none() && faults.is_none() {
+        options.interrupt = Some(signals::install_interrupt());
+    }
+    let ckpt_dir = options.checkpoint.as_ref().map(|p| p.dir.clone());
     let verifier = compiled
         .verifier()
         .with_options(options)
         .with_telemetry(telemetry.clone());
+    let mut interrupted = false;
     let (passed, stats, counterexample, complete) = match (delay, faults) {
         (None, None) => {
-            let r = verifier.check_exhaustive();
+            let r = verifier.try_check_exhaustive().map_err(|e| e.to_string())?;
+            interrupted = r.interrupted;
             (r.passed(), r.stats, r.counterexample, r.complete)
         }
         (Some(d), _) => {
@@ -293,9 +430,20 @@ fn verify(args: &[String]) -> Result<(), String> {
 
     println!("{stats}");
     match counterexample {
+        None if interrupted => {
+            match &ckpt_dir {
+                Some(dir) => println!(
+                    "{path}: INTERRUPTED (checkpoint written to {}; continue with \
+                     --resume {0})",
+                    dir.display()
+                ),
+                None => println!("{path}: INTERRUPTED (no --checkpoint configured)"),
+            }
+            Ok(ExitCode::from(EXIT_INTERRUPTED))
+        }
         None => {
             println!("{path}: PASSED");
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         Some(cx) => {
             println!("{path}: FAILED\n{cx}");
@@ -304,9 +452,26 @@ fn verify(args: &[String]) -> Result<(), String> {
                 "replay: {}",
                 if replayed { "reproduced" } else { "DIVERGED" }
             );
-            Err("verification failed".to_owned())
+            Ok(ExitCode::from(EXIT_VIOLATION))
         }
     }
+}
+
+/// Parses a byte count with an optional `k`/`m`/`g` suffix (powers of
+/// 1024), e.g. `--mem-limit 32m`.
+fn parse_mem_limit(value: &str) -> Result<usize, String> {
+    let (digits, shift) = match value.chars().last() {
+        Some('k' | 'K') => (&value[..value.len() - 1], 10),
+        Some('m' | 'M') => (&value[..value.len() - 1], 20),
+        Some('g' | 'G') => (&value[..value.len() - 1], 30),
+        _ => (value, 0),
+    };
+    let base: usize = digits
+        .parse()
+        .map_err(|_| format!("--mem-limit: `{value}` is not a byte count"))?;
+    base.checked_mul(1usize << shift)
+        .filter(|&b| b > 0)
+        .ok_or_else(|| format!("--mem-limit: `{value}` is out of range"))
 }
 
 fn parse_flag_value(args: &[String], i: &mut usize, flag: &str) -> Result<usize, String> {
@@ -368,6 +533,9 @@ fn stats_to_metrics(
         sleep_pruned: stats.sleep_pruned as u64,
         symmetry_merges: stats.symmetry_merges as u64,
         workers,
+        spilled_states: stats.spilled_states as u64,
+        spill_bytes: stats.spill_bytes,
+        cold_hits: stats.cold_hits,
         passed,
         complete,
     }
@@ -414,7 +582,7 @@ fn write_profile(
     fs::write(target, doc.render_pretty()).map_err(|e| format!("cannot write {target}: {e}"))
 }
 
-fn liveness(args: &[String]) -> Result<(), String> {
+fn liveness(args: &[String]) -> Result<ExitCode, String> {
     let path = args.first().ok_or_else(usage)?;
     let (_, compiled) = load(path)?;
     let report = compiled.verify_liveness();
@@ -424,12 +592,13 @@ fn liveness(args: &[String]) -> Result<(), String> {
     );
     if report.passed() {
         println!("{path}: no liveness violations");
-        Ok(())
+        Ok(ExitCode::SUCCESS)
     } else {
         for v in &report.violations {
             println!("violation: {v}");
         }
-        Err(format!("{} liveness violation(s)", report.violations.len()))
+        eprintln!("error: {} liveness violation(s)", report.violations.len());
+        Ok(ExitCode::from(EXIT_VIOLATION))
     }
 }
 

@@ -38,6 +38,7 @@ thread_local! {
 
 use crate::lower::{ActionId, EventId, LoweredProgram, MachineTypeId, StateId, StmtId};
 use crate::value::Value;
+use crate::wire;
 
 /// Identifier of a dynamically created machine instance.
 ///
@@ -75,6 +76,15 @@ impl Inherited {
                 out.extend_from_slice(&a.0.to_le_bytes());
             }
         }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Option<Inherited> {
+        Some(match wire::read_u8(buf)? {
+            0 => Inherited::None,
+            1 => Inherited::Deferred,
+            2 => Inherited::Action(ActionId(wire::read_u32(buf)?)),
+            _ => return None,
+        })
     }
 }
 
@@ -128,6 +138,30 @@ impl Instr {
             Instr::PopUnhandled => out.push(5),
         }
     }
+
+    fn decode(buf: &mut &[u8]) -> Option<Instr> {
+        Some(match wire::read_u8(buf)? {
+            0 => Instr::Stmt(StmtId(wire::read_u32(buf)?)),
+            1 => Instr::Seq(StmtId(wire::read_u32(buf)?), wire::read_u32(buf)?),
+            2 => Instr::Loop(StmtId(wire::read_u32(buf)?)),
+            3 => Instr::EnterState(StateId(wire::read_u32(buf)?)),
+            4 => Instr::PopViaReturn,
+            5 => Instr::PopUnhandled,
+            _ => return None,
+        })
+    }
+}
+
+/// Decodes a `u32`-prefixed instruction sequence.
+fn decode_cont(buf: &mut &[u8]) -> Option<Cont> {
+    let len = wire::read_u32(buf)? as usize;
+    // No pre-reservation from the untrusted length: each instruction
+    // consumes at least one byte, so underflow bails out promptly.
+    let mut cont = Vec::new();
+    for _ in 0..len {
+        cont.push(Instr::decode(buf)?);
+    }
+    Some(cont)
 }
 
 /// A statement continuation: a stack of instructions, the last element
@@ -172,6 +206,27 @@ impl Frame {
                 }
             }
         }
+    }
+
+    /// Inverse of [`Frame::encode`]. The inherited map carries no length
+    /// prefix (it always spans the program's event space), so decoding
+    /// is parameterized by `n_events`.
+    fn decode(buf: &mut &[u8], n_events: usize) -> Option<Frame> {
+        let state = StateId(wire::read_u32(buf)?);
+        let mut inherited = Vec::with_capacity(n_events);
+        for _ in 0..n_events {
+            inherited.push(Inherited::decode(buf)?);
+        }
+        let resume = match wire::read_u8(buf)? {
+            0 => None,
+            1 => Some(decode_cont(buf)?),
+            _ => return None,
+        };
+        Some(Frame {
+            state,
+            inherited,
+            resume,
+        })
     }
 }
 
@@ -256,6 +311,49 @@ impl MachineState {
             out.extend_from_slice(&e.0.to_le_bytes());
             v.encode(out);
         }
+    }
+
+    /// Inverse of [`MachineState::encode`] (see [`Frame::decode`] for
+    /// why `n_events` is threaded through).
+    fn decode(buf: &mut &[u8], n_events: usize) -> Option<MachineState> {
+        let ty = MachineTypeId(wire::read_u32(buf)?);
+        let stack_len = wire::read_u32(buf)? as usize;
+        let mut stack = Vec::new();
+        for _ in 0..stack_len {
+            stack.push(Frame::decode(buf, n_events)?);
+        }
+        let locals_len = wire::read_u32(buf)? as usize;
+        let mut locals = Vec::new();
+        for _ in 0..locals_len {
+            locals.push(Value::decode(buf)?);
+        }
+        let msg = Value::decode(buf)?;
+        let arg = Value::decode(buf)?;
+        let cont = decode_cont(buf)?;
+        let pending = match wire::read_u8(buf)? {
+            0 => None,
+            1 => {
+                let e = EventId(wire::read_u32(buf)?);
+                Some((e, Value::decode(buf)?))
+            }
+            _ => return None,
+        };
+        let queue_len = wire::read_u32(buf)? as usize;
+        let mut queue = Vec::new();
+        for _ in 0..queue_len {
+            let e = EventId(wire::read_u32(buf)?);
+            queue.push((e, Value::decode(buf)?));
+        }
+        Some(MachineState {
+            ty,
+            stack,
+            locals,
+            msg,
+            arg,
+            cont,
+            pending,
+            queue,
+        })
     }
 
     /// [`MachineState::encode`] with every machine-id *reference*
@@ -471,6 +569,33 @@ impl Config {
             }
         }
         out
+    }
+
+    /// Inverse of [`Config::canonical_bytes`]: rebuilds a configuration
+    /// from its canonical encoding, or returns `None` for malformed or
+    /// trailing bytes. `n_events` is the program's event count (the
+    /// inherited handler maps are encoded without a length prefix).
+    ///
+    /// This is what makes checkpoints possible: a frontier
+    /// configuration persisted as its canonical bytes decodes to a
+    /// `Config` that is `==` to — and produces the same digest as — the
+    /// original. The digest cache starts cold and refills lazily.
+    pub fn from_canonical_bytes(bytes: &[u8], n_events: usize) -> Option<Config> {
+        let mut buf = bytes;
+        let count = wire::read_u32(&mut buf)? as usize;
+        let mut machines = Vec::new();
+        for _ in 0..count {
+            machines.push(match wire::read_u8(&mut buf)? {
+                0 => None,
+                1 => Some(Arc::new(MachineState::decode(&mut buf, n_events)?)),
+                _ => return None,
+            });
+        }
+        if !buf.is_empty() {
+            return None;
+        }
+        let digests = vec![None; machines.len()];
+        Some(Config { machines, digests })
     }
 
     /// The slot digest and encoded length of slot `i`, computed from
@@ -838,6 +963,57 @@ mod tests {
         assert_eq!(c.encoded_len(), c.canonical_bytes().len());
         c.delete(id);
         assert_eq!(c.encoded_len(), c.canonical_bytes().len());
+    }
+
+    /// Checkpoint round trip: decoding the canonical encoding rebuilds
+    /// an equal configuration with an equal digest — through mutation,
+    /// deletion (tombstones), queued payloads, and a raised event.
+    #[test]
+    fn canonical_bytes_round_trip() {
+        let p = tiny_program();
+        let n_events = p.event_count();
+        let mut c = Config::default();
+        let id = c.allocate(&p, p.main);
+        let id2 = c.allocate(&p, p.main);
+        {
+            let m = c.machine_mut(id).unwrap();
+            m.locals[0] = Value::Machine(id2);
+            m.enqueue(EventId(0), Value::Int(-9));
+            m.enqueue(EventId(1), Value::Null);
+            m.pending = Some((EventId(1), Value::Bool(true)));
+        }
+        c.delete(id2);
+        let bytes = c.canonical_bytes();
+        let back = Config::from_canonical_bytes(&bytes, n_events).expect("round trip");
+        assert_eq!(back, c);
+        assert_eq!(back.canonical_bytes(), bytes);
+        let mut back = back;
+        assert_eq!(back.digest(), c.digest());
+    }
+
+    /// Malformed inputs are rejected, never panicked on: truncation,
+    /// trailing garbage, and a bad tag byte all yield `None`.
+    #[test]
+    fn from_canonical_bytes_rejects_malformed() {
+        let p = tiny_program();
+        let n_events = p.event_count();
+        let mut c = Config::default();
+        c.allocate(&p, p.main);
+        let bytes = c.canonical_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                Config::from_canonical_bytes(&bytes[..cut], n_events).is_none(),
+                "truncation at {cut} must be rejected"
+            );
+        }
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(Config::from_canonical_bytes(&trailing, n_events).is_none());
+        let mut bad_tag = bytes.clone();
+        bad_tag[4] = 7; // slot tag must be 0 or 1
+        assert!(Config::from_canonical_bytes(&bad_tag, n_events).is_none());
+        // A wrong event count misaligns the frame decode.
+        assert!(Config::from_canonical_bytes(&bytes, n_events + 13).is_none());
     }
 
     /// The digest cache must never leak into equality.

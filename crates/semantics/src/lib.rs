@@ -60,6 +60,7 @@ mod foreign;
 pub mod hash;
 pub mod lower;
 mod value;
+mod wire;
 
 #[cfg(test)]
 mod proptests;

@@ -178,6 +178,28 @@ impl Value {
             }
         }
     }
+
+    /// Inverse of [`Value::encode`]: consumes one value from the front
+    /// of `buf`, or returns `None` on a malformed prefix. Round-tripping
+    /// is what lets checkpoints persist frontier configurations.
+    pub(crate) fn decode(buf: &mut &[u8]) -> Option<Value> {
+        use crate::wire::{read_u32, read_u8};
+        Some(match read_u8(buf)? {
+            0 => Value::Null,
+            1 => Value::Bool(match read_u8(buf)? {
+                0 => false,
+                1 => true,
+                _ => return None,
+            }),
+            2 => {
+                let bytes = crate::wire::take(buf, 8)?;
+                Value::Int(i64::from_le_bytes(bytes.try_into().ok()?))
+            }
+            3 => Value::Event(EventId(read_u32(buf)?)),
+            4 => Value::Machine(MachineId(read_u32(buf)?)),
+            _ => return None,
+        })
+    }
 }
 
 impl fmt::Display for Value {

@@ -1,0 +1,45 @@
+//! Minimal byte-reader helpers shared by the configuration decoders.
+//!
+//! The canonical encoding produced by `Config::canonical_bytes` doubles
+//! as the checkpoint wire format for frontier configurations, so the
+//! decoders in `config.rs` / `value.rs` need a common way to consume
+//! little-endian scalars from a shrinking slice. Every reader returns
+//! `None` on underflow; callers treat that as "malformed input", never
+//! as a panic.
+
+/// Splits `n` bytes off the front of `buf`, or `None` on underflow.
+pub(crate) fn take<'a>(buf: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
+    if buf.len() < n {
+        return None;
+    }
+    let (head, tail) = buf.split_at(n);
+    *buf = tail;
+    Some(head)
+}
+
+/// Reads one byte.
+pub(crate) fn read_u8(buf: &mut &[u8]) -> Option<u8> {
+    take(buf, 1).map(|b| b[0])
+}
+
+/// Reads a little-endian `u32`.
+pub(crate) fn read_u32(buf: &mut &[u8]) -> Option<u32> {
+    take(buf, 4).map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn readers_consume_and_bound_check() {
+        let bytes = [7u8, 1, 0, 0, 0, 9];
+        let mut cur = &bytes[..];
+        assert_eq!(read_u8(&mut cur), Some(7));
+        assert_eq!(read_u32(&mut cur), Some(1));
+        assert_eq!(cur, &[9]);
+        assert_eq!(read_u32(&mut cur), None, "underflow must not consume");
+        assert_eq!(read_u8(&mut cur), Some(9));
+        assert_eq!(read_u8(&mut cur), None);
+    }
+}

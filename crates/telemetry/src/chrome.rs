@@ -56,6 +56,7 @@ fn snapshot_counters(snap: &ExplorationSnapshot, tid: u32) -> JsonValue {
                 ("symmetry_merges", num(snap.symmetry_merges as f64)),
                 ("max_depth", num(snap.max_depth as f64)),
                 ("workers", num(snap.workers as f64)),
+                ("spilled", num(snap.spilled as f64)),
                 ("states_per_sec", num(snap.states_per_sec())),
             ]),
         )],

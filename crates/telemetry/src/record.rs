@@ -78,6 +78,9 @@ pub struct ExplorationSnapshot {
     pub max_depth: u64,
     /// Worker count (1 for the sequential engine).
     pub workers: u64,
+    /// Visited fingerprints resident in the disk-spilled cold tier
+    /// (zero without `--mem-limit`).
+    pub spilled: u64,
 }
 
 impl ExplorationSnapshot {

@@ -33,6 +33,13 @@ pub struct ExplorationMetrics {
     pub symmetry_merges: u64,
     /// Worker count used (1 = sequential).
     pub workers: u64,
+    /// Visited fingerprints resident in the disk-spilled cold tier at
+    /// the end of the run (zero without a memory limit).
+    pub spilled_states: u64,
+    /// Bytes written to spill files over the run.
+    pub spill_bytes: u64,
+    /// Visited/parent lookups answered from the cold tier.
+    pub cold_hits: u64,
     /// Whether the safety verdict was "no counterexample".
     pub passed: bool,
     /// Whether the state space was fully explored (no bound hit).
@@ -74,6 +81,9 @@ impl ExplorationMetrics {
             ("sleep_pruned", num(self.sleep_pruned as f64)),
             ("symmetry_merges", num(self.symmetry_merges as f64)),
             ("workers", num(self.workers as f64)),
+            ("spilled_states", num(self.spilled_states as f64)),
+            ("spill_bytes", num(self.spill_bytes as f64)),
+            ("cold_hits", num(self.cold_hits as f64)),
             ("passed", JsonValue::Bool(self.passed)),
             ("complete", JsonValue::Bool(self.complete)),
         ])
@@ -102,6 +112,9 @@ impl ExplorationMetrics {
             sleep_pruned: field("sleep_pruned"),
             symmetry_merges: field("symmetry_merges"),
             workers: field("workers").max(1),
+            spilled_states: field("spilled_states"),
+            spill_bytes: field("spill_bytes"),
+            cold_hits: field("cold_hits"),
             passed: value
                 .get("passed")
                 .and_then(JsonValue::as_bool)
@@ -185,6 +198,9 @@ mod tests {
             sleep_pruned: 0,
             symmetry_merges: 0,
             workers: 1,
+            spilled_states: 0,
+            spill_bytes: 0,
+            cold_hits: 0,
             passed: true,
             complete: true,
         }

@@ -1,0 +1,467 @@
+//! Kill-and-resume consistency and memory-bounded exploration, end to
+//! end through the `p verify` CLI.
+//!
+//! The abort points use `--abort-after N`, a deterministic stand-in for
+//! `kill -9` that stops the run with a final checkpoint exactly the way
+//! a signal does (same code path, same exit code 3). One test sends a
+//! real SIGINT as well.
+//!
+//! What "identical" means per mode (established empirically; see
+//! DESIGN.md §13): sequential runs are fully deterministic, so a resumed
+//! run must match an uninterrupted one bit for bit — verdict, unique
+//! states, transitions, max depth. Parallel runs without POR expand
+//! every unique state exactly once, so their totals are also exact.
+//! Parallel runs *with* POR explore a schedule-dependent transition
+//! subset even uninterrupted; there the verdict and unique-state count
+//! are the invariants.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn p_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_p"))
+}
+
+fn corpus_file(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../corpus/programs")
+        .join(name)
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("p-ckpt-test-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn stdout(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+fn stderr(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}
+
+fn exit_code(output: &Output) -> i32 {
+    output.status.code().unwrap_or(-1)
+}
+
+/// Runs `p verify FILE <args...>` and returns the output.
+fn verify(file: &str, args: &[&str]) -> Output {
+    let path = corpus_file(file);
+    let mut cmd = p_bin();
+    cmd.arg("verify").arg(&path).args(args);
+    cmd.output().unwrap()
+}
+
+/// The `(unique_states, transitions, max_depth)` triple from the stats
+/// line `N states, M transitions, depth D, ...`.
+fn parse_stats(out: &Output) -> (u64, u64, u64) {
+    let text = stdout(out);
+    let line = text
+        .lines()
+        .find(|l| l.contains(" states, ") && l.contains(" transitions, "))
+        .unwrap_or_else(|| panic!("no stats line in output:\n{text}"));
+    let mut nums = line.split(|c: char| !c.is_ascii_digit()).filter_map(|w| {
+        if w.is_empty() {
+            None
+        } else {
+            w.parse::<u64>().ok()
+        }
+    });
+    let states = nums.next().unwrap();
+    let transitions = nums.next().unwrap();
+    let depth = nums.next().unwrap();
+    (states, transitions, depth)
+}
+
+/// Aborts a run mid-search, resumes it, and returns (uninterrupted
+/// baseline, resumed) outputs after checking the abort leg.
+fn abort_and_resume(file: &str, mode: &[&str], abort_after: &str, tag: &str) -> (Output, Output) {
+    let dir = temp_dir(tag);
+    let dir_s = dir.to_str().unwrap();
+
+    let baseline = verify(file, mode);
+    assert_eq!(exit_code(&baseline), 0, "{}", stderr(&baseline));
+
+    let mut abort_args = mode.to_vec();
+    abort_args.extend(["--checkpoint", dir_s, "--abort-after", abort_after]);
+    let aborted = verify(file, &abort_args);
+    assert_eq!(
+        exit_code(&aborted),
+        3,
+        "abort leg should exit 3:\n{}{}",
+        stdout(&aborted),
+        stderr(&aborted)
+    );
+    assert!(stdout(&aborted).contains("INTERRUPTED"));
+    assert!(dir.join("checkpoint.bin").is_file());
+
+    let mut resume_args = mode.to_vec();
+    resume_args.extend(["--resume", dir_s]);
+    let resumed = verify(file, &resume_args);
+    assert_eq!(
+        exit_code(&resumed),
+        0,
+        "resume leg should pass:\n{}{}",
+        stdout(&resumed),
+        stderr(&resumed)
+    );
+    assert!(stdout(&resumed).contains("PASSED"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+    (baseline, resumed)
+}
+
+#[test]
+fn sequential_resume_is_bit_identical_across_modes() {
+    let modes: [(&str, &[&str]); 4] = [
+        ("plain", &[]),
+        ("por", &["--por"]),
+        ("symmetry", &["--symmetry"]),
+        ("por-symmetry", &["--por", "--symmetry"]),
+    ];
+    for (tag, mode) in modes {
+        let (baseline, resumed) =
+            abort_and_resume("german3.p", mode, "4000", &format!("seq-{tag}"));
+        assert_eq!(
+            parse_stats(&baseline),
+            parse_stats(&resumed),
+            "sequential {tag}: resumed run must match uninterrupted bit for bit"
+        );
+    }
+}
+
+#[test]
+fn parallel_resume_without_por_is_bit_identical() {
+    let (baseline, resumed) = abort_and_resume("german4.p", &["--jobs", "4"], "12000", "par-plain");
+    assert_eq!(
+        parse_stats(&baseline),
+        parse_stats(&resumed),
+        "parallel without POR expands each unique state once; totals are exact"
+    );
+}
+
+#[test]
+fn parallel_resume_with_por_and_symmetry_matches_verdict_and_states() {
+    let (baseline, resumed) = abort_and_resume(
+        "german4.p",
+        &["--jobs", "4", "--por", "--symmetry"],
+        "12000",
+        "par-por-sym",
+    );
+    let (base_states, _, _) = parse_stats(&baseline);
+    let (resumed_states, _, _) = parse_stats(&resumed);
+    assert_eq!(
+        base_states, resumed_states,
+        "unique states are schedule-independent even under POR"
+    );
+}
+
+#[test]
+fn resume_across_checkpoint_cadences_is_identical() {
+    // A tight cadence exercises many checkpoint writes before the abort;
+    // the resumed totals must not depend on how often snapshots landed.
+    let dir = temp_dir("cadence");
+    let dir_s = dir.to_str().unwrap();
+    let baseline = verify("german3.p", &["--por", "--symmetry"]);
+    let aborted = verify(
+        "german3.p",
+        &[
+            "--por",
+            "--symmetry",
+            "--checkpoint",
+            dir_s,
+            "--checkpoint-every",
+            "500",
+            "--abort-after",
+            "6000",
+        ],
+    );
+    assert_eq!(exit_code(&aborted), 3, "{}", stderr(&aborted));
+    let resumed = verify("german3.p", &["--por", "--symmetry", "--resume", dir_s]);
+    assert_eq!(exit_code(&resumed), 0, "{}", stderr(&resumed));
+    assert_eq!(parse_stats(&baseline), parse_stats(&resumed));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A program whose only violation sits on the *last* DFS branch at
+/// every choice point (counter `a` can never overflow, so the bug needs
+/// all eight rounds routed to `b`, the else branch). Sequential DFS
+/// visits ~900 states before finding it, so an abort at 400 reliably
+/// lands first and the counterexample is discovered by the resumed run
+/// — its trace reconstructed from parent records that partly predate
+/// the checkpoint.
+const DEEP_BUG: &str = r#"
+event inc;
+event unit;
+machine Counter {
+    var n : int;
+    var limit : int;
+    state Run { on inc do bump; }
+    action bump { n := n + 1; assert(n < limit); }
+}
+ghost machine Env {
+    var a : id;
+    var b : id;
+    var rounds : int;
+    state Init {
+        entry {
+            a := new Counter(n = 0, limit = 99);
+            b := new Counter(n = 0, limit = 8);
+            raise(unit);
+        }
+        on unit goto Loop;
+    }
+    state Loop {
+        entry {
+            if (rounds > 0) {
+                rounds := rounds - 1;
+                if (*) { send(a, inc); } else { send(b, inc); }
+                raise(unit);
+            } else {
+                a := null;
+                b := null;
+            }
+        }
+        on unit goto Loop;
+    }
+}
+main Env(rounds = 8);
+"#;
+
+#[test]
+fn violation_found_after_resume_is_replayable() {
+    let program = std::env::temp_dir().join(format!("p-ckpt-deep-bug-{}.p", std::process::id()));
+    std::fs::write(&program, DEEP_BUG).unwrap();
+    let program_s = program.to_str().unwrap();
+    let dir = temp_dir("violation");
+    let dir_s = dir.to_str().unwrap();
+
+    let baseline = p_bin().args(["verify", program_s]).output().unwrap();
+    assert_eq!(exit_code(&baseline), 1, "{}", stdout(&baseline));
+
+    let aborted = p_bin()
+        .args([
+            "verify",
+            program_s,
+            "--checkpoint",
+            dir_s,
+            "--abort-after",
+            "400",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(
+        exit_code(&aborted),
+        3,
+        "abort must land before the violation:\n{}",
+        stdout(&aborted)
+    );
+
+    let resumed = p_bin()
+        .args(["verify", program_s, "--resume", dir_s])
+        .output()
+        .unwrap();
+    assert_eq!(exit_code(&resumed), 1, "{}", stdout(&resumed));
+    let text = stdout(&resumed);
+    assert!(text.contains("FAILED"), "{text}");
+    assert!(text.contains("replay: reproduced"), "{text}");
+    assert_eq!(
+        parse_stats(&baseline),
+        parse_stats(&resumed),
+        "the resumed run reaches the violation through the same search"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_file(&program);
+}
+
+#[test]
+fn stale_checkpoint_is_rejected() {
+    let dir = temp_dir("stale");
+    let dir_s = dir.to_str().unwrap();
+    let aborted = verify(
+        "german3.p",
+        &["--por", "--checkpoint", dir_s, "--abort-after", "2000"],
+    );
+    assert_eq!(exit_code(&aborted), 3, "{}", stderr(&aborted));
+
+    // Different reduction flags change the search; resuming under them
+    // must be refused, not silently produce a hybrid run.
+    let wrong_flags = verify("german3.p", &["--resume", dir_s]);
+    assert_eq!(exit_code(&wrong_flags), 2);
+    assert!(stderr(&wrong_flags).contains("stale checkpoint"));
+
+    // So must a different program.
+    let wrong_program = verify("german4.p", &["--por", "--resume", dir_s]);
+    assert_eq!(exit_code(&wrong_program), 2);
+    assert!(stderr(&wrong_program).contains("stale checkpoint"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_checkpoint_is_rejected() {
+    let dir = temp_dir("corrupt");
+    let dir_s = dir.to_str().unwrap();
+    let aborted = verify(
+        "german3.p",
+        &["--checkpoint", dir_s, "--abort-after", "2000"],
+    );
+    assert_eq!(exit_code(&aborted), 3, "{}", stderr(&aborted));
+
+    // Flip one payload byte: the checksum must catch it.
+    let file = dir.join("checkpoint.bin");
+    let mut bytes = std::fs::read(&file).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xff;
+    std::fs::write(&file, &bytes).unwrap();
+    let resumed = verify("german3.p", &["--resume", dir_s]);
+    assert_eq!(exit_code(&resumed), 2, "{}", stdout(&resumed));
+    assert!(stderr(&resumed).contains("checkpoint"));
+
+    // Truncate it: a short read is a format error, not a panic.
+    std::fs::write(&file, &bytes[..32.min(bytes.len())]).unwrap();
+    let truncated = verify("german3.p", &["--resume", dir_s]);
+    assert_eq!(exit_code(&truncated), 2, "{}", stdout(&truncated));
+    assert!(stderr(&truncated).contains("checkpoint"));
+
+    // A missing directory is an I/O error with the path in the message.
+    let _ = std::fs::remove_dir_all(&dir);
+    let missing = verify("german3.p", &["--resume", dir_s]);
+    assert_eq!(exit_code(&missing), 2);
+}
+
+#[test]
+fn mem_limit_spills_and_matches_unbounded_run() {
+    let baseline = verify("german3.p", &["--por", "--symmetry"]);
+    assert_eq!(exit_code(&baseline), 0, "{}", stderr(&baseline));
+
+    // 4.34 MiB unbounded; 1m forces the visited tier onto disk.
+    let bounded = verify("german3.p", &["--por", "--symmetry", "--mem-limit", "1m"]);
+    assert_eq!(exit_code(&bounded), 0, "{}", stderr(&bounded));
+    let text = stdout(&bounded);
+    assert!(text.contains("spilled"), "no spill under 1 MiB?\n{text}");
+    assert!(text.contains("PASSED"));
+    assert_eq!(
+        parse_stats(&baseline),
+        parse_stats(&bounded),
+        "spilling must not change what gets explored"
+    );
+}
+
+#[test]
+fn mem_limit_spills_in_parallel_too() {
+    let baseline = verify("german3.p", &["--jobs", "4"]);
+    let bounded = verify("german3.p", &["--jobs", "4", "--mem-limit", "1m"]);
+    assert_eq!(exit_code(&bounded), 0, "{}", stderr(&bounded));
+    assert!(stdout(&bounded).contains("spilled"));
+    assert_eq!(parse_stats(&baseline), parse_stats(&bounded));
+}
+
+#[test]
+fn checkpoint_resume_composes_with_mem_limit() {
+    let dir = temp_dir("ckpt-mem");
+    let dir_s = dir.to_str().unwrap();
+    let baseline = verify("german3.p", &["--por", "--symmetry"]);
+    let aborted = verify(
+        "german3.p",
+        &[
+            "--por",
+            "--symmetry",
+            "--mem-limit",
+            "1m",
+            "--checkpoint",
+            dir_s,
+            "--abort-after",
+            "5000",
+        ],
+    );
+    assert_eq!(exit_code(&aborted), 3, "{}", stderr(&aborted));
+    // The checkpoint is self-contained: resume without a limit too.
+    let resumed = verify(
+        "german3.p",
+        &[
+            "--por",
+            "--symmetry",
+            "--mem-limit",
+            "1m",
+            "--resume",
+            dir_s,
+        ],
+    );
+    assert_eq!(exit_code(&resumed), 0, "{}", stderr(&resumed));
+    assert_eq!(parse_stats(&baseline), parse_stats(&resumed));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn flag_validation_rejects_bad_combinations() {
+    let every_alone = verify("german3.p", &["--checkpoint-every", "100"]);
+    assert_eq!(exit_code(&every_alone), 2);
+    assert!(stderr(&every_alone).contains("--checkpoint-every needs --checkpoint"));
+
+    let abort_alone = verify("german3.p", &["--abort-after", "100"]);
+    assert_eq!(exit_code(&abort_alone), 2);
+    assert!(stderr(&abort_alone).contains("--abort-after needs --checkpoint"));
+
+    let with_delay = verify("german3.p", &["--delay", "1", "--mem-limit", "1m"]);
+    assert_eq!(exit_code(&with_delay), 2);
+    assert!(stderr(&with_delay).contains("exhaustive search only"));
+
+    let bad_limit = verify("german3.p", &["--mem-limit", "lots"]);
+    assert_eq!(exit_code(&bad_limit), 2);
+    assert!(stderr(&bad_limit).contains("not a byte count"));
+
+    let zero_limit = verify("german3.p", &["--mem-limit", "0"]);
+    assert_eq!(exit_code(&zero_limit), 2);
+}
+
+#[cfg(unix)]
+#[test]
+fn sigint_writes_a_loadable_checkpoint() {
+    use std::io::Read as _;
+
+    let dir = temp_dir("sigint");
+    let dir_s = dir.to_str().unwrap();
+    let path = corpus_file("german4.p");
+    let mut child = p_bin()
+        .arg("verify")
+        .arg(&path)
+        .args(["--checkpoint", dir_s])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .unwrap();
+    // Give the search time to start, then interrupt it.
+    std::thread::sleep(std::time::Duration::from_millis(400));
+    let _ = Command::new("kill")
+        .args(["-INT", &child.id().to_string()])
+        .status()
+        .unwrap();
+    let status = child.wait().unwrap();
+    let mut out = String::new();
+    child
+        .stdout
+        .take()
+        .unwrap()
+        .read_to_string(&mut out)
+        .unwrap();
+
+    match status.code() {
+        // Interrupted mid-search: the final checkpoint must exist and
+        // load cleanly (the resume leg aborts immediately after loading
+        // rather than replaying the whole search).
+        Some(3) => {
+            assert!(out.contains("INTERRUPTED"), "{out}");
+            assert!(dir.join("checkpoint.bin").is_file());
+            let probe = verify("german4.p", &["--resume", dir_s, "--abort-after", "1"]);
+            assert_eq!(exit_code(&probe), 3, "{}", stderr(&probe));
+        }
+        // The search won the race and finished first — legitimate on a
+        // fast machine; the abort-based tests cover the resume logic.
+        Some(0) => assert!(out.contains("PASSED"), "{out}"),
+        other => panic!("unexpected exit {other:?}:\n{out}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
