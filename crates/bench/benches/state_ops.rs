@@ -16,7 +16,7 @@ fn warm_config(engine: &Engine<'_>) -> Config {
         let Some(id) = engine.enabled_machines(&config).into_iter().next() else {
             break;
         };
-        engine.run_machine(&mut config, id, &mut || false, Granularity::Atomic);
+        let _ = engine.run_machine(&mut config, id, &mut || false, Granularity::Atomic);
     }
     config
 }
@@ -44,7 +44,9 @@ fn bench_state_ops(c: &mut Criterion) {
             .expect("german3 never quiesces this early");
         b.iter(|| {
             let mut next = base.clone();
-            engine.run_machine(&mut next, id, &mut || false, Granularity::Atomic);
+            engine
+                .run_machine(&mut next, id, &mut || false, Granularity::Atomic)
+                .unwrap();
             next.digest()
         })
     });
@@ -62,7 +64,9 @@ fn bench_state_ops(c: &mut Criterion) {
             .expect("german3 never quiesces this early");
         b.iter(|| {
             let mut next = base.clone();
-            engine.run_machine(&mut next, id, &mut || false, Granularity::Atomic)
+            engine
+                .run_machine(&mut next, id, &mut || false, Granularity::Atomic)
+                .unwrap()
         })
     });
     group.bench_function("run-machine-dequeue-log-off", |b| {
@@ -75,7 +79,9 @@ fn bench_state_ops(c: &mut Criterion) {
             .expect("german3 never quiesces this early");
         b.iter(|| {
             let mut next = base.clone();
-            quiet.run_machine(&mut next, id, &mut || false, Granularity::Atomic)
+            quiet
+                .run_machine(&mut next, id, &mut || false, Granularity::Atomic)
+                .unwrap()
         })
     });
 

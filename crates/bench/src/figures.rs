@@ -348,14 +348,16 @@ fn best_of_three(run: impl Fn() -> p_core::Report) -> p_core::Report {
 }
 
 /// Explores every `corpus::all()` program exhaustively (sequential
-/// engine) in four modes — plain, sleep-set POR, symmetry reduction,
-/// and POR+symmetry — asserting all four agree on the verdict, that POR
-/// preserves the unique-state count exactly (it prunes transitions,
-/// never states), and that symmetry never *increases* it (it merges
-/// id-permuted duplicates). Returns four rows per program, tagged
-/// `"exhaustive"`, `"por"`, `"symmetry"` and `"por+symmetry"`, in the
-/// shared [`ExplorationMetrics`] schema. Each measurement is the
-/// fastest of three runs.
+/// engine) in five modes — plain interpreter, the ahead-of-time
+/// compiled backend, sleep-set POR, symmetry reduction, and
+/// POR+symmetry — asserting all agree on the verdict, that the
+/// compiled backend reproduces states and transitions bit-identically,
+/// that POR preserves the unique-state count exactly (it prunes
+/// transitions, never states), and that symmetry never *increases* it
+/// (it merges id-permuted duplicates). Returns five rows per program,
+/// tagged `"exhaustive"`, `"compiled"`, `"por"`, `"symmetry"` and
+/// `"por+symmetry"`, in the shared [`ExplorationMetrics`] schema. Each
+/// measurement is the fastest of three runs.
 pub fn perf_rows() -> Vec<ExplorationMetrics> {
     let run_mode = |compiled: &Compiled, por: bool, symmetry: bool| {
         best_of_three(|| {
@@ -372,10 +374,32 @@ pub fn perf_rows() -> Vec<ExplorationMetrics> {
     let mut rows = Vec::new();
     for (name, program) in corpus::all() {
         let compiled = Compiled::from_program(program).unwrap();
+        let table = corpus::compiled::compiled_program(name)
+            .unwrap_or_else(|| panic!("{name}: no checked-in compiled table"));
         let full = best_of_three(|| compiled.verify());
+        let fast = best_of_three(|| {
+            compiled
+                .verifier()
+                .with_compiled(table)
+                .expect("corpus table digest matches its own program")
+                .check_exhaustive()
+        });
         let por = run_mode(&compiled, true, false);
         let sym = run_mode(&compiled, false, true);
         let por_sym = run_mode(&compiled, true, true);
+        assert_eq!(
+            (
+                full.passed(),
+                full.stats.unique_states,
+                full.stats.transitions
+            ),
+            (
+                fast.passed(),
+                fast.stats.unique_states,
+                fast.stats.transitions
+            ),
+            "{name}: compiled backend changed the answer"
+        );
         assert_eq!(
             full.passed(),
             por.passed(),
@@ -401,6 +425,7 @@ pub fn perf_rows() -> Vec<ExplorationMetrics> {
             );
         }
         rows.push(report_to_metrics(name, "exhaustive", 1, &full));
+        rows.push(report_to_metrics(name, "compiled", 1, &fast));
         rows.push(report_to_metrics(name, "por", 1, &por));
         rows.push(report_to_metrics(name, "symmetry", 1, &sym));
         rows.push(report_to_metrics(name, "por+symmetry", 1, &por_sym));

@@ -20,6 +20,7 @@ use std::time::Instant;
 use p_semantics::{Config, Engine, ExecOutcome, MachineId, YieldKind};
 
 use crate::engine::{Admit, BoundedSet, ParentMap};
+use crate::error::CheckerError;
 use crate::explore::{initial_machine, Report, Verifier};
 use crate::fingerprint::Fingerprint;
 use crate::stats::ExplorationStats;
@@ -89,7 +90,20 @@ pub struct DelayReport {
 impl Verifier<'_> {
     /// Delay-bounded systematic testing with the causal delaying scheduler
     /// of §5.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a fatal [`CheckerError`] (a corrupt lowering — an engine
+    /// bug, not a property violation). Use
+    /// [`Verifier::try_check_delay_bounded`] to handle it.
     pub fn check_delay_bounded(&self, delay_bound: usize) -> DelayReport {
+        self.try_check_delay_bounded(delay_bound)
+            .expect("delay-bounded search failed; use try_check_delay_bounded to handle errors")
+    }
+
+    /// [`Verifier::check_delay_bounded`], surfacing fatal semantics
+    /// errors instead of panicking.
+    pub fn try_check_delay_bounded(&self, delay_bound: usize) -> Result<DelayReport, CheckerError> {
         let engine = self.engine();
         let start = Instant::now();
         let mut stats = ExplorationStats::default();
@@ -134,7 +148,7 @@ impl Verifier<'_> {
                     &config,
                     machine,
                     self.options().granularity,
-                ) {
+                )? {
                     stats.transitions += 1;
                     // Parent edges store compact step seeds; only an
                     // error path renders human-readable summaries.
@@ -157,7 +171,7 @@ impl Verifier<'_> {
                             stats.duration = start.elapsed();
                             stats.unique_states = config_states.len();
                             stats.stored_bytes = config_states.stored_bytes();
-                            return DelayReport {
+                            return Ok(DelayReport {
                                 report: Report {
                                     counterexample: Some(Counterexample { error, trace }),
                                     stats,
@@ -166,7 +180,7 @@ impl Verifier<'_> {
                                 },
                                 delay_bound,
                                 scheduler_nodes: node_seen.len(),
-                            };
+                            });
                         }
                         ExecOutcome::Yield(YieldKind::Sent { to, .. }) => {
                             if !next_sched.stack.contains(to) {
@@ -213,7 +227,7 @@ impl Verifier<'_> {
         stats.duration = start.elapsed();
         stats.unique_states = config_states.len();
         stats.stored_bytes = config_states.stored_bytes();
-        DelayReport {
+        Ok(DelayReport {
             report: Report {
                 counterexample: None,
                 complete: !stats.truncated,
@@ -222,7 +236,7 @@ impl Verifier<'_> {
             },
             delay_bound,
             scheduler_nodes: node_seen.len(),
-        }
+        })
     }
 }
 
@@ -293,7 +307,9 @@ mod tests {
             let enabled = engine.enabled_machines(&config);
             let Some(&id) = enabled.first() else { break };
             let mut no = || false;
-            engine.run_machine(&mut config, id, &mut no, Default::default());
+            engine
+                .run_machine(&mut config, id, &mut no, Default::default())
+                .unwrap();
         }
         let mut sched = SchedulerState {
             stack: VecDeque::from([MachineId(0), MachineId(1), MachineId(2), MachineId(9)]),

@@ -35,6 +35,13 @@ pub enum CheckerError {
     CheckpointMismatch(String),
     /// An exploration worker thread panicked.
     WorkerPanic(String),
+    /// The semantics engine rejected an execution request — a dead-machine
+    /// step or a corrupt continuation/lowering. These indicate a checker or
+    /// lowering bug, not a property violation of the program under test.
+    Semantics(p_semantics::ExecError),
+    /// A compiled execution backend disagreed with the interpreter (wrong
+    /// program digest, or an unsupported program shape for the fast path).
+    CompiledBackend(String),
 }
 
 impl CheckerError {
@@ -56,7 +63,15 @@ impl fmt::Display for CheckerError {
             CheckerError::CheckpointFormat(why) => write!(f, "invalid checkpoint: {why}"),
             CheckerError::CheckpointMismatch(why) => write!(f, "stale checkpoint: {why}"),
             CheckerError::WorkerPanic(why) => write!(f, "exploration worker panicked: {why}"),
+            CheckerError::Semantics(e) => write!(f, "semantics error: {e}"),
+            CheckerError::CompiledBackend(why) => write!(f, "compiled backend: {why}"),
         }
+    }
+}
+
+impl From<p_semantics::ExecError> for CheckerError {
+    fn from(e: p_semantics::ExecError) -> CheckerError {
+        CheckerError::Semantics(e)
     }
 }
 
@@ -64,6 +79,7 @@ impl std::error::Error for CheckerError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CheckerError::Io { source, .. } => Some(source),
+            CheckerError::Semantics(e) => Some(e),
             _ => None,
         }
     }

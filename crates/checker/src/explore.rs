@@ -178,6 +178,7 @@ pub struct Verifier<'p> {
     foreign: ForeignEnv,
     options: CheckerOptions,
     telemetry: Telemetry,
+    compiled: Option<&'p dyn p_semantics::compiled::CompiledProgram>,
 }
 
 impl<'p> Verifier<'p> {
@@ -188,7 +189,26 @@ impl<'p> Verifier<'p> {
             foreign: ForeignEnv::empty(),
             options: CheckerOptions::default(),
             telemetry: Telemetry::disabled(),
+            compiled: None,
         }
+    }
+
+    /// Attaches an ahead-of-time compiled execution table. Every engine
+    /// the verifier constructs — for any strategy, sequential or
+    /// parallel — then takes the compiled fast path for atomic runs,
+    /// with the interpreter semantics as the specification. The table's
+    /// digest is validated here, eagerly, against the program under
+    /// check; a mismatch is a [`CheckerError::CompiledBackend`] rather
+    /// than a panic deep inside exploration.
+    pub fn with_compiled(
+        mut self,
+        table: &'p dyn p_semantics::compiled::CompiledProgram,
+    ) -> Result<Verifier<'p>, CheckerError> {
+        Engine::new(self.program, self.foreign.clone())
+            .with_compiled(table)
+            .map_err(|e| CheckerError::CompiledBackend(e.to_string()))?;
+        self.compiled = Some(table);
+        Ok(self)
     }
 
     /// Supplies foreign-function implementations (which must be
@@ -231,7 +251,13 @@ impl<'p> Verifier<'p> {
     }
 
     pub(crate) fn engine(&self) -> Engine<'p> {
-        Engine::new(self.program, self.foreign.clone()).with_fuel(self.options.fuel)
+        let engine = Engine::new(self.program, self.foreign.clone()).with_fuel(self.options.fuel);
+        match self.compiled {
+            Some(table) => engine
+                .with_compiled(table)
+                .expect("digest validated in with_compiled"),
+            None => engine,
+        }
     }
 
     /// Exhaustive search truncated at `max_depth` scheduler decisions —
@@ -247,6 +273,7 @@ impl<'p> Verifier<'p> {
             foreign: self.foreign.clone(),
             options,
             telemetry: self.telemetry.clone(),
+            compiled: self.compiled,
         }
         .check_exhaustive()
     }
@@ -262,21 +289,21 @@ impl<'p> Verifier<'p> {
     ///
     /// # Panics
     ///
-    /// Panics if the search fails with a [`CheckerError`]. That can only
-    /// happen with the fallible options set
-    /// ([`CheckerOptions::checkpoint`], [`CheckerOptions::resume`],
-    /// [`CheckerOptions::mem_limit`]) — the in-RAM search is infallible.
-    /// Use [`Verifier::try_check_exhaustive`] to handle those errors.
+    /// Panics if the search fails with a [`CheckerError`]: the fallible
+    /// options ([`CheckerOptions::checkpoint`], [`CheckerOptions::resume`],
+    /// [`CheckerOptions::mem_limit`]), or a fatal semantics error (a
+    /// corrupt lowering — an engine bug, not a property violation). Use
+    /// [`Verifier::try_check_exhaustive`] to handle those errors.
     pub fn check_exhaustive(&self) -> Report {
         self.try_check_exhaustive()
-            .expect("in-RAM exhaustive search cannot fail; use try_check_exhaustive with checkpoint/resume/mem-limit options")
+            .expect("exhaustive search failed; use try_check_exhaustive to handle errors")
     }
 
-    /// [`Verifier::check_exhaustive`], surfacing I/O and checkpoint
-    /// errors instead of panicking. The `Err` cases are all rooted in
-    /// the fallible options: checkpoint directory I/O, a corrupt or
-    /// mismatched checkpoint on resume, or spill-store I/O under a
-    /// memory limit.
+    /// [`Verifier::check_exhaustive`], surfacing I/O, checkpoint, and
+    /// semantics errors instead of panicking. The `Err` cases are rooted
+    /// in the fallible options — checkpoint directory I/O, a corrupt or
+    /// mismatched checkpoint on resume, spill-store I/O under a memory
+    /// limit — or in a fatal [`CheckerError::Semantics`] engine error.
     pub fn try_check_exhaustive(&self) -> Result<Report, CheckerError> {
         if self.options.jobs > 1 {
             self.try_check_parallel(self.options.jobs)
@@ -304,7 +331,7 @@ impl<'p> Verifier<'p> {
         } else {
             self.try_check_sequential()
         };
-        report.expect("in-RAM exhaustive search cannot fail; use try_check_exhaustive with checkpoint/resume/mem-limit options")
+        report.expect("exhaustive search failed; use try_check_exhaustive to handle errors")
     }
 
     /// Digest of everything a checkpoint must agree on to be resumable:
@@ -494,7 +521,7 @@ impl<'p> Verifier<'p> {
                     id,
                     self.options.granularity,
                     &mut succs,
-                );
+                )?;
                 for mut succ in succs.drain(..) {
                     stats.transitions += 1;
                     // Parent edges store compact step seeds; only an
@@ -863,13 +890,17 @@ impl<'p> Verifier<'p> {
                     stats.sleep_pruned += 1;
                     continue;
                 }
-                crate::succ::successors_into(
+                if let Err(error) = crate::succ::successors_into(
                     &engine,
                     &config,
                     id,
                     self.options.granularity,
                     &mut succs,
-                );
+                ) {
+                    report_worker_error(ctl, frontier, error.into());
+                    frontier.task_done();
+                    break 'tasks;
+                }
                 for mut succ in succs.drain(..) {
                     stats.transitions += 1;
                     if let ExecOutcome::Error(e) = &succ.result.outcome {

@@ -19,6 +19,7 @@ use std::time::Instant;
 use p_semantics::{Config, EventId, ExecOutcome, MachineId};
 
 use crate::engine::{Admit, BoundedSet, ParentMap};
+use crate::error::CheckerError;
 use crate::explore::{Report, Verifier};
 use crate::fingerprint::Fingerprint;
 use crate::stats::ExplorationStats;
@@ -225,7 +226,24 @@ impl Verifier<'_> {
     /// With `budget = 0` this coincides with [`Verifier::check_exhaustive`].
     /// Fault injections appear in counterexample traces as dedicated
     /// steps and replay deterministically.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a fatal [`CheckerError`] (a corrupt lowering — an engine
+    /// bug, not a property violation). Use
+    /// [`Verifier::try_check_with_faults`] to handle it.
     pub fn check_with_faults(&self, budget: usize, kinds: &[FaultKind]) -> FaultReport {
+        self.try_check_with_faults(budget, kinds)
+            .expect("fault-injecting search failed; use try_check_with_faults to handle errors")
+    }
+
+    /// [`Verifier::check_with_faults`], surfacing fatal semantics errors
+    /// instead of panicking.
+    pub fn try_check_with_faults(
+        &self,
+        budget: usize,
+        kinds: &[FaultKind],
+    ) -> Result<FaultReport, CheckerError> {
         let scheduler = FaultScheduler::new(budget, kinds);
         let engine = self.engine();
         let start = Instant::now();
@@ -282,7 +300,7 @@ impl Verifier<'_> {
             // Machine transitions (fault count unchanged).
             for id in enabled {
                 for mut succ in
-                    crate::succ::successors_for(&engine, &config, id, self.options().granularity)
+                    crate::succ::successors_for(&engine, &config, id, self.options().granularity)?
                 {
                     stats.transitions += 1;
                     // Parent edges store compact step seeds; only an
@@ -301,13 +319,13 @@ impl Verifier<'_> {
                             &succ.result,
                             choices,
                         ));
-                        return finish(
+                        return Ok(finish(
                             &mut stats,
                             Some(Counterexample { error, trace }),
                             &node_seen,
                             &config_states,
                             fault_transitions,
-                        );
+                        ));
                     }
                     let (digest, len) = succ.config.digest_and_len();
                     // Bound check BEFORE marking visited (see engine.rs).
@@ -345,13 +363,13 @@ impl Verifier<'_> {
             }
         }
 
-        finish(
+        Ok(finish(
             &mut stats,
             None,
             &node_seen,
             &config_states,
             fault_transitions,
-        )
+        ))
     }
 }
 
@@ -444,7 +462,9 @@ mod tests {
         // [cfg, data] (the Sink itself must not dequeue anything yet).
         while engine.enabled(&config, MachineId(0)) {
             let mut no = || false;
-            engine.run_machine(&mut config, MachineId(0), &mut no, Default::default());
+            engine
+                .run_machine(&mut config, MachineId(0), &mut no, Default::default())
+                .unwrap();
         }
         let sink = MachineId(1);
         assert_eq!(config.machine(sink).unwrap().queue.len(), 2);
@@ -475,7 +495,9 @@ mod tests {
         let mut config = engine.initial_config();
         while engine.enabled(&config, MachineId(0)) {
             let mut no = || false;
-            engine.run_machine(&mut config, MachineId(0), &mut no, Default::default());
+            engine
+                .run_machine(&mut config, MachineId(0), &mut no, Default::default())
+                .unwrap();
         }
         let sink = MachineId(1);
         let cfg_event = config.machine(sink).unwrap().queue[0].0;

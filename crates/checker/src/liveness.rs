@@ -26,6 +26,7 @@ use std::time::Instant;
 
 use p_semantics::{Config, EventId, ExecOutcome, MachineId};
 
+use crate::error::CheckerError;
 use crate::explore::Verifier;
 use crate::fingerprint::Fingerprint;
 use crate::stats::ExplorationStats;
@@ -115,9 +116,22 @@ impl Verifier<'_> {
     ///
     /// Safety errors encountered while building the graph are treated as
     /// terminal states (run a safety check first).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a fatal [`CheckerError`] (a corrupt lowering — an engine
+    /// bug, not a property violation). Use
+    /// [`Verifier::try_check_liveness`] to handle it.
     pub fn check_liveness(&self) -> LivenessReport {
+        self.try_check_liveness()
+            .expect("liveness search failed; use try_check_liveness to handle errors")
+    }
+
+    /// [`Verifier::check_liveness`], surfacing fatal semantics errors
+    /// instead of panicking.
+    pub fn try_check_liveness(&self) -> Result<LivenessReport, CheckerError> {
         let start = Instant::now();
-        let (graph, mut stats) = self.build_graph();
+        let (graph, mut stats) = self.build_graph()?;
         let sccs = tarjan(&graph);
 
         let mut violations = Vec::new();
@@ -139,11 +153,11 @@ impl Verifier<'_> {
         }
 
         stats.duration = start.elapsed();
-        LivenessReport {
+        Ok(LivenessReport {
             violations,
             complete: !stats.truncated,
             stats,
-        }
+        })
     }
 
     fn check_scc(
@@ -242,7 +256,7 @@ impl Verifier<'_> {
     }
 
     /// Full exploration that materializes the state graph.
-    fn build_graph(&self) -> (Graph, ExplorationStats) {
+    fn build_graph(&self) -> Result<(Graph, ExplorationStats), CheckerError> {
         let engine = self.engine();
         let mut stats = ExplorationStats::default();
 
@@ -265,7 +279,7 @@ impl Verifier<'_> {
             }
             let config = graph.configs[n].clone();
             for id in engine.enabled_machines(&config) {
-                for mut succ in successors_for(&engine, &config, id, self.options().granularity) {
+                for mut succ in successors_for(&engine, &config, id, self.options().granularity)? {
                     stats.transitions += 1;
                     if matches!(succ.result.outcome, ExecOutcome::Error(_)) {
                         continue; // terminal for liveness purposes
@@ -293,7 +307,7 @@ impl Verifier<'_> {
         }
 
         stats.unique_states = graph.configs.len();
-        (graph, stats)
+        Ok((graph, stats))
     }
 }
 

@@ -356,22 +356,26 @@ mod tests {
         let engine = Engine::new(&program, ForeignEnv::empty());
         let mut config = engine.initial_config();
         // First atomic run stops at the `new`.
-        let r1 = engine.run_machine(
-            &mut config,
-            MachineId(0),
-            &mut || false,
-            Granularity::Atomic,
-        );
+        let r1 = engine
+            .run_machine(
+                &mut config,
+                MachineId(0),
+                &mut || false,
+                Granularity::Atomic,
+            )
+            .unwrap();
         let fp1 = por.run_footprint(MachineId(0), &r1);
         assert!(fp1.alloc, "creation must claim the allocator: {r1:?}");
         assert!(fp1.machines & 0b10 != 0, "created id in footprint");
         // Second run stops at the send.
-        let r2 = engine.run_machine(
-            &mut config,
-            MachineId(0),
-            &mut || false,
-            Granularity::Atomic,
-        );
+        let r2 = engine
+            .run_machine(
+                &mut config,
+                MachineId(0),
+                &mut || false,
+                Granularity::Atomic,
+            )
+            .unwrap();
         let fp2 = por.run_footprint(MachineId(0), &r2);
         assert!(!fp2.alloc);
         assert!(fp2.machines & 0b10 != 0, "send target in footprint");

@@ -9,6 +9,7 @@ use rand::{Rng, SeedableRng};
 
 use p_semantics::ExecOutcome;
 
+use crate::error::CheckerError;
 use crate::explore::{Report, Verifier};
 use crate::fingerprint::Fingerprint;
 use crate::stats::ExplorationStats;
@@ -22,7 +23,25 @@ impl Verifier<'_> {
     /// Returns at the first violation; otherwise reports the states
     /// touched. Random walks are *not* exhaustive — `complete` is always
     /// `false` unless a walk ends with no enabled machines everywhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a fatal [`CheckerError`] (a corrupt lowering — an engine
+    /// bug, not a property violation). Use [`Verifier::try_check_random`]
+    /// to handle it.
     pub fn check_random(&self, seed: u64, walks: usize, max_steps: usize) -> Report {
+        self.try_check_random(seed, walks, max_steps)
+            .expect("random-walk search failed; use try_check_random to handle errors")
+    }
+
+    /// [`Verifier::check_random`], surfacing fatal semantics errors
+    /// instead of panicking.
+    pub fn try_check_random(
+        &self,
+        seed: u64,
+        walks: usize,
+        max_steps: usize,
+    ) -> Result<Report, CheckerError> {
         let engine = self.engine();
         let start = Instant::now();
         let mut rng = StdRng::seed_from_u64(seed);
@@ -48,7 +67,7 @@ impl Verifier<'_> {
                         recorded.push(bit);
                         bit
                     };
-                    engine.run_machine(&mut config, id, &mut chooser, self.options().granularity)
+                    engine.run_machine(&mut config, id, &mut chooser, self.options().granularity)?
                 };
                 stats.transitions += 1;
                 let step = TraceStep::from_run(self.program(), id, &result, recorded);
@@ -56,7 +75,7 @@ impl Verifier<'_> {
                 if let ExecOutcome::Error(e) = &result.outcome {
                     stats.unique_states = seen.len();
                     stats.duration = start.elapsed();
-                    return Report {
+                    return Ok(Report {
                         counterexample: Some(Counterexample {
                             error: e.clone(),
                             trace,
@@ -64,7 +83,7 @@ impl Verifier<'_> {
                         stats,
                         complete: false,
                         interrupted: false,
-                    };
+                    });
                 }
                 seen.insert(Fingerprint::from_u128(config.digest()));
             }
@@ -72,11 +91,11 @@ impl Verifier<'_> {
 
         stats.unique_states = seen.len();
         stats.duration = start.elapsed();
-        Report {
+        Ok(Report {
             counterexample: None,
             stats,
             complete: false,
             interrupted: false,
-        }
+        })
     }
 }

@@ -74,12 +74,20 @@ impl Verifier<'_> {
                 };
             }
             let mut script = Script::new(choices);
-            let result = engine.run_machine(
+            let result = match engine.run_machine(
                 &mut config,
                 *machine,
                 &mut script,
                 self.options().granularity,
-            );
+            ) {
+                Ok(result) => result,
+                Err(e) => {
+                    return ReplayOutcome::Diverged {
+                        step: i,
+                        reason: e.to_string(),
+                    };
+                }
+            };
             match result.outcome {
                 ExecOutcome::NeedChoice => {
                     return ReplayOutcome::Diverged {
@@ -149,12 +157,14 @@ impl Verifier<'_> {
                 continue;
             }
             let mut script = Script::new(&step.choices);
-            let result = engine.run_machine(
+            let Ok(result) = engine.run_machine(
                 &mut config,
                 step.machine,
                 &mut script,
                 self.options().granularity,
-            );
+            ) else {
+                return None;
+            };
             if matches!(
                 result.outcome,
                 ExecOutcome::Error(_) | ExecOutcome::NeedChoice

@@ -1,7 +1,9 @@
 //! Successor generation: all outcomes of running one machine from one
 //! configuration, across every resolution of its ghost `*` choices.
 
-use p_semantics::{ChoiceSource, Config, Engine, ExecOutcome, Granularity, MachineId, RunResult};
+use p_semantics::{
+    ChoiceSource, Config, Engine, ExecError, ExecOutcome, Granularity, MachineId, RunResult,
+};
 
 /// One successor: the configuration after running `machine` with choice
 /// script `choices`.
@@ -51,10 +53,10 @@ pub(crate) fn successors_for(
     config: &Config,
     machine: MachineId,
     granularity: Granularity,
-) -> Vec<Successor> {
+) -> Result<Vec<Successor>, ExecError> {
     let mut out = Vec::new();
-    successors_into(engine, config, machine, granularity, &mut out);
-    out
+    successors_into(engine, config, machine, granularity, &mut out)?;
+    Ok(out)
 }
 
 /// [`successors_for`] into a caller-owned buffer, so the per-state
@@ -65,7 +67,7 @@ pub(crate) fn successors_into(
     machine: MachineId,
     granularity: Granularity,
     out: &mut Vec<Successor>,
-) {
+) -> Result<(), ExecError> {
     let mut script: Vec<bool> = Vec::new();
     loop {
         let mut candidate = config.clone();
@@ -73,7 +75,7 @@ pub(crate) fn successors_into(
             bits: &script,
             used: 0,
         };
-        let result = engine.run_machine(&mut candidate, machine, &mut source, granularity);
+        let result = engine.run_machine(&mut candidate, machine, &mut source, granularity)?;
         let used = source.used;
         debug_assert!(
             !matches!(result.outcome, ExecOutcome::NeedChoice),
@@ -93,7 +95,7 @@ pub(crate) fn successors_into(
         // Backtrack to the next unexplored branch.
         loop {
             match script.pop() {
-                None => return,
+                None => return Ok(()),
                 Some(false) => {
                     script.push(true);
                     break;
@@ -138,7 +140,7 @@ mod tests {
         let program = lower(&b.finish("G")).unwrap();
         let engine = Engine::new(&program, ForeignEnv::empty());
         let config = engine.initial_config();
-        let succs = successors_for(&engine, &config, MachineId(0), Granularity::Atomic);
+        let succs = successors_for(&engine, &config, MachineId(0), Granularity::Atomic).unwrap();
         assert_eq!(succs.len(), 4);
         // Deterministic lexicographic emission, no post-sort needed.
         assert!(
@@ -168,7 +170,7 @@ mod tests {
         let program = lower(&b.finish("M")).unwrap();
         let engine = Engine::new(&program, ForeignEnv::empty());
         let config = engine.initial_config();
-        let succs = successors_for(&engine, &config, MachineId(0), Granularity::Atomic);
+        let succs = successors_for(&engine, &config, MachineId(0), Granularity::Atomic).unwrap();
         assert_eq!(succs.len(), 1);
         assert!(succs[0].choices.is_empty());
         assert_eq!(
@@ -190,7 +192,7 @@ mod tests {
         let engine = Engine::new(&program, ForeignEnv::empty());
         let config = engine.initial_config();
         let before = config.canonical_bytes();
-        let _ = successors_for(&engine, &config, MachineId(0), Granularity::Atomic);
+        let _ = successors_for(&engine, &config, MachineId(0), Granularity::Atomic).unwrap();
         assert_eq!(config.canonical_bytes(), before);
     }
 }

@@ -541,6 +541,7 @@ fn fingerprints_never_merge_distinct_canonical_bytes() {
         for id in engine.enabled_machines(&config) {
             for succ in
                 crate::succ::successors_for(&engine, &config, id, p_semantics::Granularity::Atomic)
+                    .unwrap()
             {
                 if matches!(succ.result.outcome, p_semantics::ExecOutcome::Error(_)) {
                     continue;

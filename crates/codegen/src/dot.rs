@@ -11,8 +11,13 @@ use std::fmt::Write as _;
 
 use p_ast::{MachineDecl, Program, TransitionKind};
 
-/// Renders machine `name` of `program` as a DOT digraph, or `None` if no
-/// such machine exists.
+use crate::emit::CodegenError;
+
+/// Renders machine `name` of `program` as a DOT digraph.
+///
+/// # Errors
+///
+/// Returns [`CodegenError::UnknownMachine`] when no such machine exists.
 ///
 /// # Examples
 ///
@@ -29,10 +34,13 @@ use p_ast::{MachineDecl, Program, TransitionKind};
 /// let dot = p_codegen::machine_to_dot(&program, "M").unwrap();
 /// assert!(dot.contains("digraph M"));
 /// assert!(dot.contains("A -> B"));
+/// assert!(p_codegen::machine_to_dot(&program, "Nope").is_err());
 /// ```
-pub fn machine_to_dot(program: &Program, name: &str) -> Option<String> {
-    let machine = program.machine_named(name)?;
-    Some(render(program, machine))
+pub fn machine_to_dot(program: &Program, name: &str) -> Result<String, CodegenError> {
+    let machine = program
+        .machine_named(name)
+        .ok_or_else(|| CodegenError::UnknownMachine(name.to_owned()))?;
+    Ok(render(program, machine))
 }
 
 /// Renders every machine of the program, concatenated (one digraph per
@@ -166,9 +174,11 @@ mod tests {
     }
 
     #[test]
-    fn unknown_machine_is_none() {
+    fn unknown_machine_is_a_typed_error() {
         let p = elevator_like();
-        assert!(machine_to_dot(&p, "Nope").is_none());
+        let err = machine_to_dot(&p, "Nope").unwrap_err();
+        assert!(matches!(err, CodegenError::UnknownMachine(ref n) if n == "Nope"));
+        assert_eq!(err.to_string(), "no machine named `Nope`");
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //! p fmt FILE                        print the normalized program
 //! p info FILE                       machines / states / transitions
 //! p verify FILE [--delay N] [--max-states N] [--fine] [--jobs N] [--por]
-//!              [--symmetry] [--faults N] [--fault-kinds drop,dup,delay]
+//!              [--symmetry] [--compiled]
+//!              [--faults N] [--fault-kinds drop,dup,delay]
 //!              [--profile OUT.json] [--progress]
 //!              [--checkpoint DIR] [--checkpoint-every N] [--resume DIR]
 //!              [--mem-limit BYTES] [--abort-after N]
@@ -130,7 +131,8 @@ fn usage() -> String {
      p fmt FILE                        print the normalized program\n\
      p info FILE                       machines / states / transitions\n\
      p verify FILE [--delay N] [--max-states N] [--fine] [--jobs N] [--por]\n\
-                   [--symmetry] [--faults N] [--fault-kinds drop,dup,delay]\n\
+                   [--symmetry] [--compiled]\n\
+                   [--faults N] [--fault-kinds drop,dup,delay]\n\
                    [--profile OUT.json] [--progress]\n\
                    [--checkpoint DIR] [--checkpoint-every N] [--resume DIR]\n\
                    [--mem-limit BYTES[k|m|g]] [--abort-after N]\n\
@@ -223,6 +225,7 @@ fn verify(args: &[String]) -> Result<ExitCode, String> {
     let mut checkpoint_dir: Option<String> = None;
     let mut checkpoint_every: Option<usize> = None;
     let mut abort_after: Option<usize> = None;
+    let mut use_compiled = false;
     let mut options = CheckerOptions::default();
     let mut i = 1;
     while i < args.len() {
@@ -292,6 +295,10 @@ fn verify(args: &[String]) -> Result<ExitCode, String> {
                 options.symmetry = true;
                 i += 1;
             }
+            "--compiled" => {
+                use_compiled = true;
+                i += 1;
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -314,6 +321,11 @@ fn verify(args: &[String]) -> Result<ExitCode, String> {
     if options.symmetry && (delay.is_some() || faults.is_some()) {
         return Err(
             "--symmetry applies to the exhaustive search only (not --delay/--faults)".to_owned(),
+        );
+    }
+    if use_compiled && matches!(options.granularity, p_core::semantics::Granularity::Fine) {
+        return Err(
+            "--compiled accelerates atomic runs and cannot be combined with --fine".to_owned(),
         );
     }
     if (profile.is_some() || progress) && (delay.is_some() || faults.is_some()) {
@@ -371,10 +383,22 @@ fn verify(args: &[String]) -> Result<ExitCode, String> {
         options.interrupt = Some(signals::install_interrupt());
     }
     let ckpt_dir = options.checkpoint.as_ref().map(|p| p.dir.clone());
-    let verifier = compiled
+    let mut verifier = compiled
         .verifier()
         .with_options(options)
         .with_telemetry(telemetry.clone());
+    if use_compiled {
+        let digest = p_core::semantics::compiled::program_digest(compiled.lowered());
+        let table = p_core::corpus::compiled::compiled_for_digest(digest).ok_or_else(|| {
+            format!(
+                "--compiled: no ahead-of-time compiled module matches this program \
+                 (digest {digest:032x}); only corpus programs ship checked-in tables \
+                 — regenerate them with CORPUS_REGEN=1 cargo test -p p-corpus"
+            )
+        })?;
+        verifier = verifier.with_compiled(table).map_err(|e| e.to_string())?;
+        println!("backend: compiled (digest {digest:032x})");
+    }
     let mut interrupted = false;
     let (passed, stats, counterexample, complete) = match (delay, faults) {
         (None, None) => {
@@ -383,7 +407,9 @@ fn verify(args: &[String]) -> Result<ExitCode, String> {
             (r.passed(), r.stats, r.counterexample, r.complete)
         }
         (Some(d), _) => {
-            let r = verifier.check_delay_bounded(d);
+            let r = verifier
+                .try_check_delay_bounded(d)
+                .map_err(|e| e.to_string())?;
             println!("delay bound {d}, {} scheduler node(s)", r.scheduler_nodes);
             (
                 r.report.passed(),
@@ -393,7 +419,9 @@ fn verify(args: &[String]) -> Result<ExitCode, String> {
             )
         }
         (None, Some(budget)) => {
-            let r = verifier.check_with_faults(budget, &fault_kinds);
+            let r = verifier
+                .try_check_with_faults(budget, &fault_kinds)
+                .map_err(|e| e.to_string())?;
             println!(
                 "fault budget {budget} ({}), {} fault node(s), {} injection(s) explored",
                 r.kinds
@@ -733,8 +761,9 @@ fn dot(args: &[String]) -> Result<(), String> {
     // Optional machine name (any non-flag second argument).
     let machine = args.get(1).filter(|a| !a.starts_with('-'));
     let rendered = match machine {
-        Some(name) => p_core::codegen::machine_to_dot(compiled.program(), name)
-            .ok_or_else(|| format!("no machine named `{name}`"))?,
+        Some(name) => {
+            p_core::codegen::machine_to_dot(compiled.program(), name).map_err(|e| e.to_string())?
+        }
         None => p_core::codegen::program_to_dot(compiled.program()),
     };
     match output_flag(args)? {

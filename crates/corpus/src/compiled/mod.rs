@@ -1,0 +1,74 @@
+//! Ahead-of-time compiled corpus programs.
+//!
+//! Each submodule is the output of `p_codegen::generate_rust` over the
+//! lowered form of one corpus program (ghosts included — these tables
+//! feed the model checker, not the deployment runtime). The files are
+//! checked in and kept in sync by a corpus test; regenerate them with
+//! `CORPUS_REGEN=1 cargo test -p p-corpus` after changing a program, the
+//! lowering, or the emitter.
+//!
+//! The registry offers two lookups: by corpus name (tests, benches) and
+//! by program digest (the CLI's `--compiled` flag, which verifies an
+//! arbitrary input file and can use a compiled table exactly when that
+//! file lowers to a digest-identical program).
+
+mod elevator;
+mod elevator_buggy;
+mod german;
+mod german3;
+mod german4;
+mod german5;
+mod german_buggy;
+mod lossy_link;
+mod ping_pong;
+mod switch_led;
+mod switch_led_buggy;
+mod usb_dsm;
+mod usb_hsm;
+mod usb_psm20;
+mod usb_psm30;
+
+use p_semantics::compiled::CompiledProgram;
+
+/// The registry: every checked-in compiled corpus program.
+static TABLES: &[(&str, &'static dyn CompiledProgram)] = &[
+    ("ping_pong", &ping_pong::Compiled),
+    ("elevator", &elevator::Compiled),
+    ("elevator_buggy", &elevator_buggy::Compiled),
+    ("switch_led", &switch_led::Compiled),
+    ("switch_led_buggy", &switch_led_buggy::Compiled),
+    ("german", &german::Compiled),
+    ("german_buggy", &german_buggy::Compiled),
+    ("german3", &german3::Compiled),
+    ("german4", &german4::Compiled),
+    ("german5", &german5::Compiled),
+    ("usb_hsm", &usb_hsm::Compiled),
+    ("usb_psm30", &usb_psm30::Compiled),
+    ("usb_psm20", &usb_psm20::Compiled),
+    ("usb_dsm", &usb_dsm::Compiled),
+    ("lossy_link", &lossy_link::Compiled),
+];
+
+/// Names of all checked-in compiled programs, in registry order.
+pub fn compiled_names() -> Vec<&'static str> {
+    TABLES.iter().map(|&(name, _)| name).collect()
+}
+
+/// Looks up the compiled table for corpus program `name`.
+pub fn compiled_program(name: &str) -> Option<&'static dyn CompiledProgram> {
+    TABLES
+        .iter()
+        .find(|&&(n, _)| n == name)
+        .map(|&(_, table)| table)
+}
+
+/// Looks up a compiled table by the digest of a lowered program
+/// (`p_semantics::compiled::program_digest`). This is how the CLI
+/// decides whether `--compiled` applies to an input file: only a
+/// program bit-identical to a corpus program after lowering matches.
+pub fn compiled_for_digest(digest: u128) -> Option<&'static dyn CompiledProgram> {
+    TABLES
+        .iter()
+        .map(|&(_, table)| table)
+        .find(|table| table.digest() == digest)
+}

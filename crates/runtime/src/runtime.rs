@@ -496,15 +496,21 @@ impl Runtime {
             // called on checked inputs, and returning an arbitrary
             // value keeps the runtime total if one slips through.
             let mut no_choices = || false;
+            // Panics and typed engine errors both quarantine the machine:
+            // the run either aborted mid-way (panic) or was rejected up
+            // front (typed error); neither may poison the configuration.
             let run = match catch_unwind(AssertUnwindSafe(|| {
                 engine.run_machine(config, id, &mut no_choices, Granularity::Atomic)
-            })) {
+            }))
+            .map_err(panic_message)
+            .and_then(|run| run.map_err(|e| e.to_string()))
+            {
                 Ok(run) => run,
-                Err(payload) => {
+                Err(message) => {
                     self.inner.runs_executed.fetch_add(1, Ordering::Relaxed);
                     let m = meta.entry(id).or_default();
                     m.status = MachineStatus::Quarantined;
-                    m.fault = Some(panic_message(payload));
+                    m.fault = Some(message);
                     #[cfg(feature = "telemetry")]
                     {
                         let reason = m.fault.as_deref().unwrap_or("");

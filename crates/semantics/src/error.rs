@@ -58,6 +58,62 @@ impl ErrorKind {
     }
 }
 
+/// A fatal engine-level failure: the execution request itself was
+/// malformed, as opposed to a [`PError`], which is a legal error
+/// *transition* of the program under test.
+///
+/// These used to abort the process (`panic!`/`unreachable!` on the
+/// exploration hot path); they now surface as typed errors so a malformed
+/// lowering or an engine bug is reported through the checker's normal
+/// error channel instead of killing a worker thread mid-search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// `run_machine` was asked to run a machine whose slot is dead
+    /// (deleted or never allocated).
+    DeadMachine {
+        /// The requested machine id.
+        machine: MachineId,
+    },
+    /// A machine's continuation or call stack violated an interpreter
+    /// invariant (e.g. a `Seq` instruction pointing at a non-block
+    /// statement) — the lowered program or a stored continuation is
+    /// corrupt.
+    CorruptContinuation {
+        /// The machine being executed.
+        machine: MachineId,
+        /// Which invariant was violated.
+        detail: &'static str,
+    },
+    /// A compiled execution backend was attached for a different program
+    /// than the one the engine interprets (program digest mismatch).
+    CompiledMismatch {
+        /// Digest of the interpreter's lowered program.
+        expected: u128,
+        /// Digest baked into the compiled backend.
+        found: u128,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::DeadMachine { machine } => {
+                write!(f, "run_machine called on dead machine {machine}")
+            }
+            ExecError::CorruptContinuation { machine, detail } => {
+                write!(f, "machine {machine}: corrupt continuation: {detail}")
+            }
+            ExecError::CompiledMismatch { expected, found } => write!(
+                f,
+                "compiled backend was generated from a different program \
+                 (expected digest {expected:032x}, found {found:032x})"
+            ),
+        }
+    }
+}
+
+impl Error for ExecError {}
+
 /// An error transition, attributed to the machine that took it.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PError {

@@ -12,10 +12,13 @@
 //! script and re-executes with extended scripts to enumerate both branches;
 //! the simulator passes a random source.
 
+use crate::compiled::{CompiledProgram, Ctx, Flow, RunEnd};
 use crate::config::{Config, Frame, Inherited, Instr, MachineState};
-use crate::error::{ErrorKind, PError};
+use crate::error::{ErrorKind, ExecError, PError};
 use crate::foreign::ForeignEnv;
-use crate::lower::{EventId, ExprId, FnId, LExpr, LStmt, LoweredProgram, MachineTypeId, StmtId};
+use crate::lower::{
+    EventId, ExprId, FnId, LExpr, LStmt, LoweredProgram, MachineTypeId, StateId, StmtId,
+};
 use crate::value::Value;
 use crate::MachineId;
 
@@ -160,7 +163,9 @@ impl<F: FnMut() -> bool> ChoiceSource for F {
 /// let engine = Engine::new(&program, ForeignEnv::empty());
 /// let mut config = engine.initial_config();
 /// let id = config.live_ids().next().unwrap();
-/// let result = engine.run_machine(&mut config, id, &mut || false, Default::default());
+/// let result = engine
+///     .run_machine(&mut config, id, &mut || false, Default::default())
+///     .unwrap();
 /// assert!(matches!(result.outcome, p_semantics::ExecOutcome::Blocked));
 /// ```
 #[derive(Debug)]
@@ -170,19 +175,20 @@ pub struct Engine<'p> {
     fuel: usize,
     event_log: bool,
     dequeue_log: bool,
+    compiled: Option<&'p dyn CompiledProgram>,
 }
 
 /// What one atomic run observed (internal accumulator for
 /// [`RunResult`]'s event lists).
-struct RunLog {
-    dequeued: Vec<EventId>,
-    raised: Vec<EventId>,
-    deferred: Vec<EventId>,
+pub(crate) struct RunLog {
+    pub(crate) dequeued: Vec<EventId>,
+    pub(crate) raised: Vec<EventId>,
+    pub(crate) deferred: Vec<EventId>,
     /// Record `dequeued`? (On by default — the liveness analysis and the
     /// runtime depend on it; the safety checker turns it off.)
-    dequeue: bool,
+    pub(crate) dequeue: bool,
     /// Record `raised`/`deferred` too?
-    extended: bool,
+    pub(crate) extended: bool,
 }
 
 /// Result of one small step (internal).
@@ -193,6 +199,10 @@ enum SmallStep {
     Deleted,
     Error(ErrorKind),
     NeedChoice,
+    /// An interpreter invariant was violated (corrupt continuation or
+    /// lowered program); the detail becomes
+    /// [`ExecError::CorruptContinuation`].
+    Fatal(&'static str),
 }
 
 /// Expression evaluation abort: the choice source ran dry.
@@ -208,7 +218,32 @@ impl<'p> Engine<'p> {
             fuel: 100_000,
             event_log: false,
             dequeue_log: true,
+            compiled: None,
         }
+    }
+
+    /// Attaches a compiled execution backend: atomic runs then execute
+    /// statements through `table`'s generated functions instead of the
+    /// interpreter (fine-grained runs still interpret — the ablation
+    /// baseline measures the interpreter). The interpreter remains the
+    /// differential oracle; both backends are bit-identical in outcomes,
+    /// step counts, choice consumption and machine state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::CompiledMismatch`] when `table` was generated
+    /// from a different program than this engine interprets.
+    pub fn with_compiled(
+        mut self,
+        table: &'p dyn CompiledProgram,
+    ) -> Result<Engine<'p>, ExecError> {
+        let expected = crate::compiled::program_digest(self.program);
+        let found = table.digest();
+        if found != expected {
+            return Err(ExecError::CompiledMismatch { expected, found });
+        }
+        self.compiled = Some(table);
+        Ok(self)
     }
 
     /// Also records `raise`d and deferred events in [`RunResult`] (the
@@ -275,16 +310,20 @@ impl<'p> Engine<'p> {
     /// On [`ExecOutcome::NeedChoice`] the configuration is left partially
     /// mutated and must be discarded by the caller.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `id` is not a live machine.
+    /// Returns [`ExecError::DeadMachine`] if `id` is not a live machine,
+    /// and [`ExecError::CorruptContinuation`] if a stored continuation or
+    /// the lowered program violates an interpreter invariant. Both signal
+    /// a malformed request — not an error transition of the program under
+    /// test, which is reported in-band as [`ExecOutcome::Error`].
     pub fn run_machine(
         &self,
         config: &mut Config,
         id: MachineId,
         choices: &mut dyn ChoiceSource,
         granularity: Granularity,
-    ) -> RunResult {
+    ) -> Result<RunResult, ExecError> {
         // Take the running machine out of its slot for the whole run: the
         // copy-on-write clone happens exactly once here, and every small
         // step then works on a direct `&mut MachineState` instead of
@@ -293,7 +332,7 @@ impl<'p> Engine<'p> {
         // While taken, the slot is a tombstone; `exec_stmt` special-cases
         // sends to the running machine itself.
         let Some(mut taken) = config.take_machine(id) else {
-            panic!("run_machine called on dead machine {id}");
+            return Err(ExecError::DeadMachine { machine: id });
         };
         let mut counting = CountingChoices {
             inner: choices,
@@ -307,45 +346,199 @@ impl<'p> Engine<'p> {
             dequeue: self.dequeue_log,
             extended: self.event_log,
         };
+        let mut fatal = None;
         let outcome = {
             let m = std::sync::Arc::make_mut(&mut taken);
-            loop {
-                if steps >= self.fuel {
-                    break ExecOutcome::Error(PError::new(ErrorKind::FuelExhausted, id));
-                }
-                steps += 1;
-                let step = self.small_step(config, m, id, &mut counting, &mut log);
-                match step {
-                    SmallStep::Continue => {
-                        if granularity == Granularity::Fine {
-                            // Blocked/terminated conditions are detected on
-                            // the next entry, so a fine step is always
-                            // resumable.
-                            break ExecOutcome::Yield(YieldKind::Internal);
+            if let (Some(table), Granularity::Atomic) = (self.compiled, granularity) {
+                self.run_compiled(
+                    table,
+                    config,
+                    m,
+                    id,
+                    &mut counting,
+                    &mut log,
+                    &mut steps,
+                    &mut fatal,
+                )
+            } else {
+                loop {
+                    if steps >= self.fuel {
+                        break ExecOutcome::Error(PError::new(ErrorKind::FuelExhausted, id));
+                    }
+                    steps += 1;
+                    let step = self.small_step(config, m, id, &mut counting, &mut log);
+                    match step {
+                        SmallStep::Continue => {
+                            if granularity == Granularity::Fine {
+                                // Blocked/terminated conditions are detected on
+                                // the next entry, so a fine step is always
+                                // resumable.
+                                break ExecOutcome::Yield(YieldKind::Internal);
+                            }
+                        }
+                        SmallStep::Yield(kind) => break ExecOutcome::Yield(kind),
+                        SmallStep::Blocked => break ExecOutcome::Blocked,
+                        SmallStep::Deleted => break ExecOutcome::Deleted,
+                        SmallStep::Error(kind) => break ExecOutcome::Error(PError::new(kind, id)),
+                        SmallStep::NeedChoice => break ExecOutcome::NeedChoice,
+                        SmallStep::Fatal(detail) => {
+                            fatal = Some(detail);
+                            break ExecOutcome::NeedChoice; // placeholder, unused
                         }
                     }
-                    SmallStep::Yield(kind) => break ExecOutcome::Yield(kind),
-                    SmallStep::Blocked => break ExecOutcome::Blocked,
-                    SmallStep::Deleted => break ExecOutcome::Deleted,
-                    SmallStep::Error(kind) => break ExecOutcome::Error(PError::new(kind, id)),
-                    SmallStep::NeedChoice => break ExecOutcome::NeedChoice,
                 }
             }
         };
+        if let Some(detail) = fatal {
+            // Put the machine back so the configuration stays structurally
+            // valid for the caller's error reporting.
+            config.restore_machine(id, taken);
+            return Err(ExecError::CorruptContinuation {
+                machine: id,
+                detail,
+            });
+        }
         if !matches!(outcome, ExecOutcome::Deleted) {
             // A deleted machine leaves its tombstone in place (the
             // `delete` statement); every other outcome puts the mutated
             // state back.
             config.restore_machine(id, taken);
         }
-        RunResult {
+        Ok(RunResult {
             outcome,
             choices_used: counting.used,
             steps,
             dequeued: log.dequeued,
             raised: log.raised,
             deferred: log.deferred,
+        })
+    }
+
+    /// The compiled driver loop: statement-shaped instructions (`Stmt`,
+    /// `Seq`, `Loop`) run as generated code; dispatch, dequeueing and the
+    /// stack instructions take the interpreter path (they are identical
+    /// table walks in both backends and never dominate a profile).
+    ///
+    /// Step accounting is exact: generated statement functions charge one
+    /// step per interpreter instruction pop they fuse away, and this loop
+    /// charges the pops it performs itself, so fuel runs out at the same
+    /// point on both backends.
+    #[allow(clippy::too_many_arguments)]
+    fn run_compiled(
+        &self,
+        table: &dyn CompiledProgram,
+        config: &mut Config,
+        m: &mut MachineState,
+        id: MachineId,
+        choices: &mut CountingChoices<'_>,
+        log: &mut RunLog,
+        steps: &mut usize,
+        fatal: &mut Option<&'static str>,
+    ) -> ExecOutcome {
+        loop {
+            if matches!(
+                m.cont.last(),
+                Some(Instr::Stmt(_) | Instr::Seq(..) | Instr::Loop(_))
+            ) {
+                let instr = m.cont.pop().expect("just matched Some");
+                let cont_base = m.cont.len();
+                let mut cx = Ctx {
+                    engine: self,
+                    config,
+                    m,
+                    id,
+                    choices,
+                    log,
+                    steps,
+                    fuel: self.fuel,
+                    cont_base,
+                };
+                let flow = match instr {
+                    Instr::Stmt(sid) => table.stmt(&mut cx, sid),
+                    Instr::Seq(block, idx) => table.seq(&mut cx, block, idx),
+                    Instr::Loop(while_stmt) => {
+                        // The interpreter charges one step to pop `Loop`
+                        // (which re-pushes the `while`), then the `while`
+                        // statement charges its own.
+                        if cx.step() {
+                            Flow::End(RunEnd::Error(ErrorKind::FuelExhausted))
+                        } else {
+                            table.stmt(&mut cx, while_stmt)
+                        }
+                    }
+                    _ => unreachable!("matched statement-shaped instruction above"),
+                };
+                match flow {
+                    Flow::Done | Flow::Transfer => {}
+                    Flow::Call(target) => self.finish_call_state(m, target),
+                    Flow::End(RunEnd::Yield(kind)) => break ExecOutcome::Yield(kind),
+                    Flow::End(RunEnd::Deleted) => break ExecOutcome::Deleted,
+                    Flow::End(RunEnd::Error(kind)) => {
+                        break ExecOutcome::Error(PError::new(kind, id))
+                    }
+                    Flow::End(RunEnd::NeedChoice) => break ExecOutcome::NeedChoice,
+                    Flow::End(RunEnd::Fatal(detail)) => {
+                        *fatal = Some(detail);
+                        break ExecOutcome::NeedChoice; // placeholder, unused
+                    }
+                }
+                continue;
+            }
+            if *steps >= self.fuel {
+                break ExecOutcome::Error(PError::new(ErrorKind::FuelExhausted, id));
+            }
+            *steps += 1;
+            match self.small_step(config, m, id, choices, log) {
+                SmallStep::Continue => {}
+                SmallStep::Yield(kind) => break ExecOutcome::Yield(kind),
+                SmallStep::Blocked => break ExecOutcome::Blocked,
+                SmallStep::Deleted => break ExecOutcome::Deleted,
+                SmallStep::Error(kind) => break ExecOutcome::Error(PError::new(kind, id)),
+                SmallStep::NeedChoice => break ExecOutcome::NeedChoice,
+                SmallStep::Fatal(detail) => {
+                    *fatal = Some(detail);
+                    break ExecOutcome::NeedChoice; // placeholder, unused
+                }
+            }
         }
+    }
+
+    /// Completes a `call n` statement: computes the inherited table from
+    /// the current state, saves the statement continuation as the resume
+    /// point, pushes the callee frame and queues its entry statement.
+    /// Shared by the interpreter's `CallState` arm and the compiled
+    /// driver's [`Flow::Call`] handling.
+    pub(crate) fn finish_call_state(&self, m: &mut MachineState, target: StateId) {
+        let mt = self.program.machine(m.ty);
+        let current = m.current_state();
+        let state = &mt.states[current.0 as usize];
+        let n_events = self.program.event_count();
+        let old = m.top().inherited.clone();
+        let mut inherited = Vec::with_capacity(n_events);
+        #[allow(clippy::needless_range_loop)] // x indexes four tables
+        for x in 0..n_events {
+            let ev = EventId(x as u32);
+            let entry = if state.steps[x].is_some() || state.calls[x].is_some() {
+                Inherited::None
+            } else if let Some(a) = state.actions[x] {
+                Inherited::Action(a)
+            } else if state.deferred.contains(ev) {
+                Inherited::Deferred
+            } else {
+                old[x]
+            };
+            inherited.push(entry);
+        }
+        // The continuation after this statement becomes the saved
+        // resume point; it is restored when the callee returns.
+        let resume = std::mem::take(&mut m.cont);
+        let entry = mt.states[target.0 as usize].entry;
+        m.stack.push(Frame {
+            state: target,
+            inherited,
+            resume: Some(resume),
+        });
+        m.cont.push(Instr::Stmt(entry));
     }
 
     /// Executes one small step of machine `id`, already taken out of
@@ -496,7 +689,7 @@ impl<'p> Engine<'p> {
             }
             Instr::Seq(block, idx) => {
                 let LStmt::Block(children) = self.program.code.stmt(block) else {
-                    unreachable!("Seq instruction over a non-block statement");
+                    return SmallStep::Fatal("Seq instruction over a non-block statement");
                 };
                 if let Some(child) = children.get(idx as usize).copied() {
                     m.cont.push(Instr::Seq(block, idx + 1));
@@ -511,12 +704,17 @@ impl<'p> Engine<'p> {
             Instr::EnterState(target) => {
                 let mt = self.program.machine(m.ty);
                 let entry = mt.states[target.0 as usize].entry;
-                m.stack.last_mut().expect("empty stack on enter").state = target;
+                let Some(top) = m.stack.last_mut() else {
+                    return SmallStep::Fatal("state transition with an empty call stack");
+                };
+                top.state = target;
                 m.cont.push(Instr::Stmt(entry));
                 SmallStep::Continue
             }
             Instr::PopViaReturn => {
-                let frame = m.stack.pop().expect("return with empty stack");
+                let Some(frame) = m.stack.pop() else {
+                    return SmallStep::Fatal("return with an empty call stack");
+                };
                 if m.stack.is_empty() {
                     return SmallStep::Error(ErrorKind::StackUnderflow);
                 }
@@ -526,11 +724,12 @@ impl<'p> Engine<'p> {
                 SmallStep::Continue
             }
             Instr::PopUnhandled => {
-                let pending_event = m
-                    .pending
-                    .map(|(e, _)| e)
-                    .expect("PopUnhandled without a pending event");
-                m.stack.pop().expect("pop with empty stack");
+                let Some(pending_event) = m.pending.map(|(e, _)| e) else {
+                    return SmallStep::Fatal("PopUnhandled without a pending event");
+                };
+                if m.stack.pop().is_none() {
+                    return SmallStep::Fatal("pop with an empty call stack");
+                }
                 if m.stack.is_empty() {
                     return SmallStep::Error(ErrorKind::UnhandledEvent {
                         event: pending_event,
@@ -677,36 +876,7 @@ impl<'p> Engine<'p> {
                 _ => SmallStep::Error(ErrorKind::UndefinedCondition),
             },
             LStmt::CallState(target) => {
-                let mt = self.program.machine(m.ty);
-                let current = m.current_state();
-                let state = &mt.states[current.0 as usize];
-                let n_events = self.program.event_count();
-                let old = m.top().inherited.clone();
-                let mut inherited = Vec::with_capacity(n_events);
-                #[allow(clippy::needless_range_loop)] // x indexes four tables
-                for x in 0..n_events {
-                    let ev = EventId(x as u32);
-                    let entry = if state.steps[x].is_some() || state.calls[x].is_some() {
-                        Inherited::None
-                    } else if let Some(a) = state.actions[x] {
-                        Inherited::Action(a)
-                    } else if state.deferred.contains(ev) {
-                        Inherited::Deferred
-                    } else {
-                        old[x]
-                    };
-                    inherited.push(entry);
-                }
-                // The continuation after this statement becomes the saved
-                // resume point; it is restored when the callee returns.
-                let resume = std::mem::take(&mut m.cont);
-                let entry = mt.states[target.0 as usize].entry;
-                m.stack.push(Frame {
-                    state: *target,
-                    inherited,
-                    resume: Some(resume),
-                });
-                m.cont.push(Instr::Stmt(entry));
+                self.finish_call_state(m, *target);
                 SmallStep::Continue
             }
             LStmt::Foreign { dst, func, args } => {
@@ -791,7 +961,7 @@ impl<'p> Engine<'p> {
 }
 
 /// Why a model-body interpretation stopped early.
-enum ModelAbort {
+pub(crate) enum ModelAbort {
     NeedChoice,
     Error(ErrorKind),
 }
@@ -800,7 +970,7 @@ impl Engine<'_> {
     /// Calls a foreign function: a registered native implementation wins;
     /// otherwise an erasable model body (§3) is interpreted; otherwise the
     /// conservative ⊥ is returned.
-    fn call_foreign(
+    pub(crate) fn call_foreign(
         &self,
         m: &MachineState,
         self_id: MachineId,

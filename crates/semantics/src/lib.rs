@@ -44,7 +44,9 @@
 //! let engine = Engine::new(&program, ForeignEnv::empty());
 //! let mut config = engine.initial_config();
 //! let id = config.live_ids().next().unwrap();
-//! let result = engine.run_machine(&mut config, id, &mut || false, Default::default());
+//! let result = engine
+//!     .run_machine(&mut config, id, &mut || false, Default::default())
+//!     .unwrap();
 //! assert_eq!(result.outcome, ExecOutcome::Blocked);
 //! assert_eq!(config.machine(id).unwrap().locals[0], p_semantics::Value::Int(10));
 //! ```
@@ -53,6 +55,7 @@
 #![warn(missing_debug_implementations)]
 
 mod canon;
+pub mod compiled;
 mod config;
 mod error;
 mod exec;
@@ -69,7 +72,7 @@ mod tests;
 
 pub use canon::canonical_digest;
 pub use config::{Config, Cont, Frame, Inherited, Instr, MachineId, MachineState};
-pub use error::{ErrorKind, PError};
+pub use error::{ErrorKind, ExecError, PError};
 pub use exec::{ChoiceSource, Engine, ExecOutcome, Granularity, RunResult, Script, YieldKind};
 pub use foreign::{ForeignEnv, ForeignFn, ForeignRegistry};
 pub use lower::{

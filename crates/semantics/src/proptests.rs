@@ -48,7 +48,9 @@ fn run_schedule(program: &crate::LoweredProgram, bits: &[bool]) -> Option<Vec<u8
         let Some(&id) = enabled.first() else {
             return Some(config.canonical_bytes());
         };
-        let r = engine.run_machine(&mut config, id, &mut script, Granularity::Atomic);
+        let r = engine
+            .run_machine(&mut config, id, &mut script, Granularity::Atomic)
+            .unwrap();
         match r.outcome {
             ExecOutcome::NeedChoice => return None,
             ExecOutcome::Error(_) => return Some(config.canonical_bytes()),
@@ -97,7 +99,7 @@ proptest! {
         for _ in 0..100 {
             let enabled = engine.enabled_machines(&config);
             let Some(&id) = enabled.first() else { break };
-            let r = engine.run_machine(&mut config, id, &mut script, Granularity::Atomic);
+            let r = engine.run_machine(&mut config, id, &mut script, Granularity::Atomic).unwrap();
             prop_assert!(!matches!(r.outcome, ExecOutcome::Error(_) | ExecOutcome::NeedChoice));
         }
         // Env counts n = 2,1,0 sending n+1 ∈ {3,2,1} when the bit is true.
@@ -156,7 +158,7 @@ proptest! {
             }
             let enabled = engine.enabled_machines(&config);
             let Some(&id) = enabled.first() else { break };
-            let r = engine.run_machine(&mut config, id, &mut script, Granularity::Atomic);
+            let r = engine.run_machine(&mut config, id, &mut script, Granularity::Atomic).unwrap();
             if matches!(r.outcome, ExecOutcome::NeedChoice) {
                 return Ok(());
             }
@@ -206,7 +208,7 @@ proptest! {
             check_no_dups(&config);
             let enabled = engine.enabled_machines(&config);
             let Some(&id) = enabled.first() else { break };
-            let r = engine.run_machine(&mut config, id, &mut script, Granularity::Atomic);
+            let r = engine.run_machine(&mut config, id, &mut script, Granularity::Atomic).unwrap();
             if matches!(r.outcome, ExecOutcome::NeedChoice) {
                 break;
             }
@@ -268,7 +270,9 @@ fn walk(program: &crate::LoweredProgram, bits: &[bool], steps: usize) -> Option<
     for _ in 0..steps {
         let enabled = engine.enabled_machines(&config);
         let Some(&id) = enabled.first() else { break };
-        let r = engine.run_machine(&mut config, id, &mut script, Granularity::Atomic);
+        let r = engine
+            .run_machine(&mut config, id, &mut script, Granularity::Atomic)
+            .unwrap();
         if matches!(r.outcome, ExecOutcome::NeedChoice) {
             return None;
         }

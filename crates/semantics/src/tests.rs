@@ -18,7 +18,9 @@ fn run_main_to_block(engine: &Engine<'_>) -> Config {
     let id = MachineId(0);
     let mut choices = no_choices();
     loop {
-        let r = engine.run_machine(&mut config, id, &mut choices, Granularity::Atomic);
+        let r = engine
+            .run_machine(&mut config, id, &mut choices, Granularity::Atomic)
+            .unwrap();
         match r.outcome {
             ExecOutcome::Blocked => return config,
             ExecOutcome::Yield(_) => continue,
@@ -123,12 +125,14 @@ fn unhandled_event_error_on_empty_stack() {
     let program = lower(&b.finish("M")).unwrap();
     let engine = Engine::new(&program, ForeignEnv::empty());
     let mut config = engine.initial_config();
-    let r = engine.run_machine(
-        &mut config,
-        MachineId(0),
-        &mut no_choices(),
-        Granularity::Atomic,
-    );
+    let r = engine
+        .run_machine(
+            &mut config,
+            MachineId(0),
+            &mut no_choices(),
+            Granularity::Atomic,
+        )
+        .unwrap();
     match r.outcome {
         ExecOutcome::Error(e) => {
             assert!(matches!(e.kind, ErrorKind::UnhandledEvent { .. }));
@@ -205,7 +209,9 @@ fn callee_inherits_deferred_and_actions_from_caller() {
     // Run again: `d` is inherited-deferred and skipped; `a` runs the
     // inherited action.
     let mut choices = no_choices();
-    let r = engine.run_machine(&mut config, MachineId(0), &mut choices, Granularity::Atomic);
+    let r = engine
+        .run_machine(&mut config, MachineId(0), &mut choices, Granularity::Atomic)
+        .unwrap();
     assert_eq!(r.outcome, ExecOutcome::Blocked);
     let machine = config.machine(MachineId(0)).unwrap();
     assert_eq!(
@@ -241,7 +247,9 @@ fn transition_in_callee_overrides_inherited_deferral() {
         .unwrap()
         .enqueue(d, Value::Null);
     let mut choices = no_choices();
-    let r = engine.run_machine(&mut config, MachineId(0), &mut choices, Granularity::Atomic);
+    let r = engine
+        .run_machine(&mut config, MachineId(0), &mut choices, Granularity::Atomic)
+        .unwrap();
     assert_eq!(r.outcome, ExecOutcome::Blocked);
     assert_eq!(state_name(&engine, &config, MachineId(0)), "Handled");
 }
@@ -269,7 +277,9 @@ fn pop_redispatches_unhandled_event_in_caller() {
         .unwrap()
         .enqueue(u, Value::Null);
     let mut choices = no_choices();
-    let r = engine.run_machine(&mut config, MachineId(0), &mut choices, Granularity::Atomic);
+    let r = engine
+        .run_machine(&mut config, MachineId(0), &mut choices, Granularity::Atomic)
+        .unwrap();
     assert_eq!(r.outcome, ExecOutcome::Blocked);
     let machine = config.machine(MachineId(0)).unwrap();
     assert_eq!(machine.stack.len(), 1, "callee frame popped");
@@ -299,17 +309,23 @@ fn send_yields_and_enqueues_with_dedup() {
     let mut config = engine.initial_config();
     let mut choices = no_choices();
 
-    let r1 = engine.run_machine(&mut config, MachineId(0), &mut choices, Granularity::Atomic);
+    let r1 = engine
+        .run_machine(&mut config, MachineId(0), &mut choices, Granularity::Atomic)
+        .unwrap();
     assert!(matches!(
         r1.outcome,
         ExecOutcome::Yield(YieldKind::Created { .. })
     ));
-    let r2 = engine.run_machine(&mut config, MachineId(0), &mut choices, Granularity::Atomic);
+    let r2 = engine
+        .run_machine(&mut config, MachineId(0), &mut choices, Granularity::Atomic)
+        .unwrap();
     assert!(matches!(
         r2.outcome,
         ExecOutcome::Yield(YieldKind::Sent { enqueued: true, .. })
     ));
-    let r3 = engine.run_machine(&mut config, MachineId(0), &mut choices, Granularity::Atomic);
+    let r3 = engine
+        .run_machine(&mut config, MachineId(0), &mut choices, Granularity::Atomic)
+        .unwrap();
     assert!(matches!(
         r3.outcome,
         ExecOutcome::Yield(YieldKind::Sent {
@@ -333,12 +349,14 @@ fn send_to_null_is_an_error() {
     let program = lower(&b.finish("M")).unwrap();
     let engine = Engine::new(&program, ForeignEnv::empty());
     let mut config = engine.initial_config();
-    let r = engine.run_machine(
-        &mut config,
-        MachineId(0),
-        &mut no_choices(),
-        Granularity::Atomic,
-    );
+    let r = engine
+        .run_machine(
+            &mut config,
+            MachineId(0),
+            &mut no_choices(),
+            Granularity::Atomic,
+        )
+        .unwrap();
     match r.outcome {
         ExecOutcome::Error(e) => assert_eq!(e.kind, ErrorKind::SendToUndefined),
         other => panic!("expected send-to-undefined, got {other:?}"),
@@ -367,16 +385,22 @@ fn send_to_deleted_machine_is_an_error() {
     let mut config = engine.initial_config();
     let mut choices = no_choices();
     // Main creates Victim.
-    let r = engine.run_machine(&mut config, MachineId(0), &mut choices, Granularity::Atomic);
+    let r = engine
+        .run_machine(&mut config, MachineId(0), &mut choices, Granularity::Atomic)
+        .unwrap();
     assert!(matches!(
         r.outcome,
         ExecOutcome::Yield(YieldKind::Created { .. })
     ));
     // Victim deletes itself.
-    let r = engine.run_machine(&mut config, MachineId(1), &mut choices, Granularity::Atomic);
+    let r = engine
+        .run_machine(&mut config, MachineId(1), &mut choices, Granularity::Atomic)
+        .unwrap();
     assert_eq!(r.outcome, ExecOutcome::Deleted);
     // Main's send now fails.
-    let r = engine.run_machine(&mut config, MachineId(0), &mut choices, Granularity::Atomic);
+    let r = engine
+        .run_machine(&mut config, MachineId(0), &mut choices, Granularity::Atomic)
+        .unwrap();
     match r.outcome {
         ExecOutcome::Error(e) => assert_eq!(
             e.kind,
@@ -402,12 +426,14 @@ fn assert_failure_and_undefined() {
         let program = lower(&b.finish("M")).unwrap();
         let engine = Engine::new(&program, ForeignEnv::empty());
         let mut config = engine.initial_config();
-        let r = engine.run_machine(
-            &mut config,
-            MachineId(0),
-            &mut no_choices(),
-            Granularity::Atomic,
-        );
+        let r = engine
+            .run_machine(
+                &mut config,
+                MachineId(0),
+                &mut no_choices(),
+                Granularity::Atomic,
+            )
+            .unwrap();
         match r.outcome {
             ExecOutcome::Error(e) => assert_eq!(e.kind, kind),
             other => panic!("expected {kind:?}, got {other:?}"),
@@ -474,12 +500,14 @@ fn return_from_bottom_frame_underflows() {
     let program = lower(&b.finish("M")).unwrap();
     let engine = Engine::new(&program, ForeignEnv::empty());
     let mut config = engine.initial_config();
-    let r = engine.run_machine(
-        &mut config,
-        MachineId(0),
-        &mut no_choices(),
-        Granularity::Atomic,
-    );
+    let r = engine
+        .run_machine(
+            &mut config,
+            MachineId(0),
+            &mut no_choices(),
+            Granularity::Atomic,
+        )
+        .unwrap();
     match r.outcome {
         ExecOutcome::Error(e) => assert_eq!(e.kind, ErrorKind::StackUnderflow),
         other => panic!("expected stack underflow, got {other:?}"),
@@ -496,12 +524,14 @@ fn infinite_private_loop_exhausts_fuel() {
     let program = lower(&b.finish("M")).unwrap();
     let engine = Engine::new(&program, ForeignEnv::empty()).with_fuel(1000);
     let mut config = engine.initial_config();
-    let r = engine.run_machine(
-        &mut config,
-        MachineId(0),
-        &mut no_choices(),
-        Granularity::Atomic,
-    );
+    let r = engine
+        .run_machine(
+            &mut config,
+            MachineId(0),
+            &mut no_choices(),
+            Granularity::Atomic,
+        )
+        .unwrap();
     match r.outcome {
         ExecOutcome::Error(e) => assert_eq!(e.kind, ErrorKind::FuelExhausted),
         other => panic!("expected fuel exhaustion, got {other:?}"),
@@ -526,13 +556,17 @@ fn nondet_consumes_script_and_requests_more() {
     // Empty script: the engine must ask for a choice.
     let mut config = engine.initial_config();
     let mut script = Script::new(&[]);
-    let r = engine.run_machine(&mut config, MachineId(0), &mut script, Granularity::Atomic);
+    let r = engine
+        .run_machine(&mut config, MachineId(0), &mut script, Granularity::Atomic)
+        .unwrap();
     assert_eq!(r.outcome, ExecOutcome::NeedChoice);
 
     // Script [true] → branch 1.
     let mut config = engine.initial_config();
     let mut script = Script::new(&[true]);
-    let r = engine.run_machine(&mut config, MachineId(0), &mut script, Granularity::Atomic);
+    let r = engine
+        .run_machine(&mut config, MachineId(0), &mut script, Granularity::Atomic)
+        .unwrap();
     assert_eq!(r.outcome, ExecOutcome::Blocked);
     assert_eq!(r.choices_used, 1);
     assert_eq!(
@@ -543,7 +577,9 @@ fn nondet_consumes_script_and_requests_more() {
     // Script [false] → branch 2.
     let mut config = engine.initial_config();
     let mut script = Script::new(&[false]);
-    let r = engine.run_machine(&mut config, MachineId(0), &mut script, Granularity::Atomic);
+    let r = engine
+        .run_machine(&mut config, MachineId(0), &mut script, Granularity::Atomic)
+        .unwrap();
     assert_eq!(r.outcome, ExecOutcome::Blocked);
     assert_eq!(
         config.machine(MachineId(0)).unwrap().locals[0],
@@ -596,7 +632,9 @@ fn msg_and_arg_visible_to_handler() {
         .unwrap()
         .enqueue(data, Value::Int(55));
     let mut choices = no_choices();
-    let r = engine.run_machine(&mut config, MachineId(0), &mut choices, Granularity::Atomic);
+    let r = engine
+        .run_machine(&mut config, MachineId(0), &mut choices, Granularity::Atomic)
+        .unwrap();
     assert_eq!(r.outcome, ExecOutcome::Blocked);
     let machine = config.machine(MachineId(0)).unwrap();
     assert_eq!(machine.locals[0], Value::Int(55));
@@ -620,7 +658,9 @@ fn fine_granularity_yields_every_step() {
     let mut choices = no_choices();
     let mut yields = 0;
     loop {
-        let r = engine.run_machine(&mut config, MachineId(0), &mut choices, Granularity::Fine);
+        let r = engine
+            .run_machine(&mut config, MachineId(0), &mut choices, Granularity::Fine)
+            .unwrap();
         match r.outcome {
             ExecOutcome::Yield(YieldKind::Internal) => {
                 assert_eq!(r.steps, 1);
@@ -648,12 +688,14 @@ fn deleted_machine_is_not_enabled() {
     let engine = Engine::new(&program, ForeignEnv::empty());
     let mut config = engine.initial_config();
     assert_eq!(engine.enabled_machines(&config), vec![MachineId(0)]);
-    let r = engine.run_machine(
-        &mut config,
-        MachineId(0),
-        &mut no_choices(),
-        Granularity::Atomic,
-    );
+    let r = engine
+        .run_machine(
+            &mut config,
+            MachineId(0),
+            &mut no_choices(),
+            Granularity::Atomic,
+        )
+        .unwrap();
     assert_eq!(r.outcome, ExecOutcome::Deleted);
     assert!(engine.enabled_machines(&config).is_empty());
 }
@@ -765,14 +807,18 @@ fn model_body_nondet_requests_choices() {
 
     let mut config = engine.initial_config();
     let mut empty = Script::new(&[]);
-    let r = engine.run_machine(&mut config, MachineId(0), &mut empty, Granularity::Atomic);
+    let r = engine
+        .run_machine(&mut config, MachineId(0), &mut empty, Granularity::Atomic)
+        .unwrap();
     assert_eq!(r.outcome, ExecOutcome::NeedChoice);
 
     for (bit, expected) in [(false, 0i64), (true, 1i64)] {
         let mut config = engine.initial_config();
         let script = [bit];
         let mut s = Script::new(&script);
-        let r = engine.run_machine(&mut config, MachineId(0), &mut s, Granularity::Atomic);
+        let r = engine
+            .run_machine(&mut config, MachineId(0), &mut s, Granularity::Atomic)
+            .unwrap();
         assert_eq!(r.outcome, ExecOutcome::Blocked);
         assert_eq!(
             config.machine(MachineId(0)).unwrap().locals[0],
@@ -812,4 +858,34 @@ fn model_body_while_loop_computes() {
         config.machine(MachineId(0)).unwrap().locals[0],
         Value::Int(10)
     );
+}
+
+#[test]
+fn dead_machine_step_is_a_typed_error_not_a_panic() {
+    // Asking the engine to run a machine that was never allocated (or
+    // was deleted) must surface as `ExecError::DeadMachine`, not abort
+    // the process: the checker propagates it as a `CheckerError`.
+    let mut b = ProgramBuilder::new();
+    let mut m = b.machine("M");
+    m.state("S").entry(Stmt::skip());
+    m.finish();
+    let program = lower(&b.finish("M")).unwrap();
+    let engine = Engine::new(&program, ForeignEnv::empty());
+    let mut config = engine.initial_config();
+    let dead = MachineId(99);
+    let err = engine
+        .run_machine(&mut config, dead, &mut no_choices(), Granularity::Atomic)
+        .unwrap_err();
+    assert_eq!(err, crate::ExecError::DeadMachine { machine: dead });
+    assert!(err.to_string().contains("dead machine"), "{err}");
+    // The configuration is untouched: the live machine still runs fine.
+    let r = engine
+        .run_machine(
+            &mut config,
+            MachineId(0),
+            &mut no_choices(),
+            Granularity::Atomic,
+        )
+        .unwrap();
+    assert_eq!(r.outcome, ExecOutcome::Blocked);
 }

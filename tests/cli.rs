@@ -355,3 +355,75 @@ fn unknown_command_shows_usage() {
     assert!(!out.status.success());
     assert!(stderr(&out).contains("usage:"));
 }
+
+#[test]
+fn mem_limit_rejects_overflow_and_zero() {
+    // `99999999999999999999k` overflows even a 64-bit byte count; the
+    // parser must reject it (exit 2), not wrap around to a tiny limit.
+    let file = corpus_file("ping_pong.p");
+    let out = p_bin()
+        .args([
+            "verify",
+            file.to_str().unwrap(),
+            "--mem-limit",
+            "99999999999999999999k",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stderr(&out).contains("--mem-limit"));
+
+    // A zero limit would truncate every search at the first state.
+    let out = p_bin()
+        .args(["verify", file.to_str().unwrap(), "--mem-limit", "0"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stderr(&out).contains("out of range"));
+}
+
+#[test]
+fn verify_compiled_uses_corpus_table() {
+    let out = p_bin()
+        .args([
+            "verify",
+            corpus_file("german.p").to_str().unwrap(),
+            "--compiled",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("backend: compiled (digest "));
+    assert!(stdout(&out).contains("PASSED"));
+}
+
+#[test]
+fn verify_compiled_rejects_unknown_programs_with_exit_2() {
+    // Any program that does not lower bit-identically to a corpus entry
+    // has no checked-in table; `--compiled` must fail up front.
+    let path = write_temp(
+        "not-in-corpus.p",
+        "event e; machine M { state S { on e goto S; } } main M();",
+    );
+    let out = p_bin()
+        .args(["verify", path.to_str().unwrap(), "--compiled"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stderr(&out).contains("no ahead-of-time compiled module"));
+}
+
+#[test]
+fn verify_compiled_refuses_fine_granularity() {
+    let out = p_bin()
+        .args([
+            "verify",
+            corpus_file("ping_pong.p").to_str().unwrap(),
+            "--compiled",
+            "--fine",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stderr(&out).contains("--fine"));
+}

@@ -81,7 +81,9 @@ fn run_closed() -> (Vec<(String, Value)>, (Value, Value), String) {
         if config.machine(id).is_none() || !engine.enabled(&config, id) {
             continue;
         }
-        let run = engine.run_machine(&mut config, id, &mut no_choices, Granularity::Atomic);
+        let run = engine
+            .run_machine(&mut config, id, &mut no_choices, Granularity::Atomic)
+            .unwrap();
         match run.outcome {
             ExecOutcome::Yield(YieldKind::Sent { to, event, .. }) => {
                 let receiver_is_worker = config.machine(to).is_some_and(|m| m.ty == worker_ty);
