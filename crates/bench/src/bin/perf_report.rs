@@ -18,23 +18,43 @@
 //! `telemetry_gate` parses back to compare throughput.
 //!
 //! ```sh
-//! cargo run --release -p p-bench --bin perf_report [OUT.json]
+//! cargo run --release -p p-bench --bin perf_report [OUT.json] [--only a,b,c]
 //! ```
 //!
 //! With no argument the JSON goes to `BENCH_checker.json` in the current
-//! directory.
+//! directory. `--only` restricts the run to a comma-separated list of
+//! corpus program names — the fast-subset mode the `bench-regression`
+//! CI job uses to guard the throughput trajectory on every PR.
 
-use p_bench::figures::perf_rows;
+use p_bench::figures::perf_rows_for;
 use p_core::telemetry::BenchReport;
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_checker.json".to_owned());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "BENCH_checker.json".to_owned();
+    let mut only: Option<Vec<String>> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--only" => {
+                let list = args
+                    .get(i + 1)
+                    .expect("--only needs a comma-separated list");
+                only = Some(list.split(',').map(str::to_owned).collect());
+                i += 2;
+            }
+            other if other.starts_with("--") => panic!("unknown flag `{other}`"),
+            _ => {
+                out_path = args[i].clone();
+                i += 1;
+            }
+        }
+    }
 
     println!("Checker throughput — exhaustive exploration, sequential engine\n");
     println!(
-        "{:<12} {:<14} {:>8} {:>12} {:>10} {:>12} {:>11} {:>10} {:>12} {:>9}",
+        "{:<12} {:<14} {:>8} {:>12} {:>10} {:>12} {:>11} {:>10} {:>12} {:>9}  \
+         phase ms (exec/digest/clone/canon/table)",
         "program",
         "mode",
         "states",
@@ -44,15 +64,16 @@ fn main() {
         "bytes/st",
         "dedup",
         "sleep-pruned",
-        "merges"
+        "merges",
     );
 
     let report = BenchReport {
-        programs: perf_rows(),
+        programs: perf_rows_for(only.as_deref()),
     };
     for row in &report.programs {
         println!(
-            "{:<12} {:<14} {:>8} {:>12} {:>9.1}ms {:>12.0} {:>11.1} {:>10} {:>12} {:>9}",
+            "{:<12} {:<14} {:>8} {:>12} {:>9.1}ms {:>12.0} {:>11.1} {:>10} {:>12} {:>9}  \
+             {:.0}/{:.0}/{:.0}/{:.0}/{:.0}",
             row.name,
             row.mode,
             row.states,
@@ -63,6 +84,11 @@ fn main() {
             row.dedup_hits,
             row.sleep_pruned,
             row.symmetry_merges,
+            row.exec_seconds * 1e3,
+            row.digest_seconds * 1e3,
+            row.clone_seconds * 1e3,
+            row.canon_seconds * 1e3,
+            row.table_seconds * 1e3,
         );
     }
 
@@ -73,4 +99,7 @@ fn main() {
          exploration on the verdict for all {} program(s).",
         report.programs.len() / 5
     );
+    if only.is_some() {
+        println!("(--only subset — do not commit this file as the benchmark baseline)");
+    }
 }

@@ -3,8 +3,13 @@
 //! throughput regressed by more than the threshold.
 //!
 //! ```sh
-//! telemetry_gate FRESH.json BASELINE.json [--threshold 0.10] [--mode exhaustive]
+//! telemetry_gate FRESH.json BASELINE.json [--threshold 0.10] [--mode exhaustive] [--only a,b,c]
 //! ```
+//!
+//! `--only` restricts *both* reports to the named programs before taking
+//! medians, so a fresh run of the fast corpus subset (perf_report
+//! `--only`) compares against the same subset of the committed
+//! baseline — the `bench-regression` job's apples-to-apples guard.
 //!
 //! Both files are [`BenchReport`] JSON. The comparison is on the median
 //! `states_per_sec` across rows of the given mode (median, not mean, so
@@ -34,6 +39,7 @@ fn run() -> Result<(), String> {
     let mut paths: Vec<&String> = Vec::new();
     let mut threshold = 0.10_f64;
     let mut mode = "exhaustive".to_owned();
+    let mut only: Option<Vec<String>> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -48,6 +54,13 @@ fn run() -> Result<(), String> {
                 mode = args.get(i + 1).ok_or("--mode needs a value")?.clone();
                 i += 2;
             }
+            "--only" => {
+                let list = args
+                    .get(i + 1)
+                    .ok_or("--only needs a comma-separated list")?;
+                only = Some(list.split(',').map(str::to_owned).collect::<Vec<_>>());
+                i += 2;
+            }
             other if other.starts_with("--") => return Err(format!("unknown flag `{other}`")),
             _ => {
                 paths.push(&args[i]);
@@ -57,12 +70,21 @@ fn run() -> Result<(), String> {
     }
     let [fresh_path, baseline_path] = paths.as_slice() else {
         return Err(
-            "usage: telemetry_gate FRESH.json BASELINE.json [--threshold F] [--mode M]".to_owned(),
+            "usage: telemetry_gate FRESH.json BASELINE.json [--threshold F] [--mode M] [--only a,b,c]"
+                .to_owned(),
         );
     };
 
-    let fresh = load(fresh_path)?;
-    let baseline = load(baseline_path)?;
+    let mut fresh = load(fresh_path)?;
+    let mut baseline = load(baseline_path)?;
+    if let Some(names) = &only {
+        for report in [&mut fresh, &mut baseline] {
+            report.programs.retain(|r| names.contains(&r.name));
+        }
+        if fresh.programs.is_empty() || baseline.programs.is_empty() {
+            return Err("--only filtered out every row of one report".to_owned());
+        }
+    }
     let fresh_median = fresh
         .median_states_per_sec(Some(&mode))
         .ok_or_else(|| format!("{fresh_path}: no `{mode}` rows"))?;

@@ -326,6 +326,11 @@ pub fn report_to_metrics(
         cold_hits: report.stats.cold_hits,
         passed: report.passed(),
         complete: report.complete,
+        exec_seconds: report.stats.phases.exec as f64 / 1e9,
+        digest_seconds: report.stats.phases.digest as f64 / 1e9,
+        clone_seconds: report.stats.phases.clone as f64 / 1e9,
+        canon_seconds: report.stats.phases.canon as f64 / 1e9,
+        table_seconds: report.stats.phases.table as f64 / 1e9,
     }
 }
 
@@ -359,6 +364,21 @@ fn best_of_three(run: impl Fn() -> p_core::Report) -> p_core::Report {
 /// `"por+symmetry"`, in the shared [`ExplorationMetrics`] schema. Each
 /// measurement is the fastest of three runs.
 pub fn perf_rows() -> Vec<ExplorationMetrics> {
+    perf_rows_for(None)
+}
+
+/// [`perf_rows`] restricted to the corpus programs named in `only`
+/// (all of them when `None`). Unknown names panic rather than silently
+/// measuring nothing — a typo in a CI job must fail loudly.
+pub fn perf_rows_for(only: Option<&[String]>) -> Vec<ExplorationMetrics> {
+    if let Some(names) = only {
+        for name in names {
+            assert!(
+                corpus::all().iter().any(|(n, _)| n == name),
+                "--only: no corpus program named `{name}`"
+            );
+        }
+    }
     let run_mode = |compiled: &Compiled, por: bool, symmetry: bool| {
         best_of_three(|| {
             compiled
@@ -373,6 +393,9 @@ pub fn perf_rows() -> Vec<ExplorationMetrics> {
     };
     let mut rows = Vec::new();
     for (name, program) in corpus::all() {
+        if only.is_some_and(|names| !names.iter().any(|n| n == name)) {
+            continue;
+        }
         let compiled = Compiled::from_program(program).unwrap();
         let table = corpus::compiled::compiled_program(name)
             .unwrap_or_else(|| panic!("{name}: no checked-in compiled table"));

@@ -351,6 +351,7 @@ mod tests {
             spilled_states: 0,
             spill_bytes: 0,
             cold_hits: 0,
+            phases: crate::PhaseNanos::default(),
         };
         CheckpointData {
             stats,

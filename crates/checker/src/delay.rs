@@ -113,14 +113,14 @@ impl Verifier<'_> {
 
         let mut config_states = BoundedSet::new(self.options().max_states);
         let (init_digest, init_len) = init.digest_and_len();
-        config_states.admit(Fingerprint::from_u128(init_digest), init_len);
+        config_states.admit(Fingerprint::from_u128(init_digest), || init_len);
 
         // Scheduler nodes are a bounded configuration space times a
         // finite scheduler annotation; the configuration bound above
         // already caps them.
         let mut node_seen = BoundedSet::unbounded();
         let init_node_fp = node_fingerprint(init_digest, &init_sched);
-        node_seen.admit(init_node_fp, 0);
+        node_seen.admit(init_node_fp, || 0);
 
         let mut parents = ParentMap::new();
         let mut stack: Vec<(Config, SchedulerState, Fingerprint, usize)> =
@@ -210,13 +210,14 @@ impl Verifier<'_> {
                     // Bound check BEFORE marking visited: a successor
                     // dropped by `max_states` stays unvisited and
                     // uncounted instead of being hidden forever.
-                    if config_states.admit(Fingerprint::from_u128(digest), len) == Admit::OverBound
+                    if config_states.admit(Fingerprint::from_u128(digest), || len)
+                        == Admit::OverBound
                     {
                         stats.truncated = true;
                         continue;
                     }
                     let nfp2 = node_fingerprint(digest, &next_sched);
-                    if node_seen.admit(nfp2, 0) == Admit::New {
+                    if node_seen.admit(nfp2, || 0) == Admit::New {
                         parents.record(nfp2, nfp, seed(&mut succ));
                         stack.push((succ.config, next_sched, nfp2, depth + 1));
                     }

@@ -157,9 +157,13 @@ impl BoundedSet {
         BoundedSet::new(usize::MAX)
     }
 
-    /// Offers a state; `bytes_len` is the length of its canonical
-    /// encoding, accounted only when the state is retained.
-    pub(crate) fn admit(&mut self, fp: Fingerprint, bytes_len: usize) -> Admit {
+    /// Offers a state; `bytes` produces the state's stored byte cost,
+    /// and is invoked only when the state is actually retained. The
+    /// laziness is what makes intern-aware accounting possible: the
+    /// caller's closure interns the admitted configuration's slots and
+    /// returns only the *marginal* bytes (shared slots count once,
+    /// the first time any state stores them).
+    pub(crate) fn admit(&mut self, fp: Fingerprint, bytes: impl FnOnce() -> usize) -> Admit {
         // Below the bound (the overwhelmingly common case) a single
         // `insert` answers New-vs-Seen in one lookup. At the bound, fall
         // back to `contains` so a dropped state is never marked visited.
@@ -170,7 +174,7 @@ impl BoundedSet {
             return Admit::OverBound;
         }
         if self.seen.insert(fp) {
-            self.stored_bytes += bytes_len;
+            self.stored_bytes += bytes();
             Admit::New
         } else {
             Admit::Seen
@@ -182,7 +186,7 @@ impl BoundedSet {
     pub(crate) fn admit_sleep(
         &mut self,
         fp: Fingerprint,
-        bytes_len: usize,
+        bytes: impl FnOnce() -> usize,
         sleep: SleepSet,
     ) -> AdmitSleep {
         // Mirror [`BoundedSet::admit`]: one lookup below the bound.
@@ -191,7 +195,7 @@ impl BoundedSet {
                 if sleep != SleepSet::empty() {
                     self.sleeps.insert(fp, sleep);
                 }
-                self.stored_bytes += bytes_len;
+                self.stored_bytes += bytes();
                 return AdmitSleep::New;
             }
         } else if !self.seen.contains(&fp) {
@@ -219,9 +223,9 @@ impl BoundedSet {
         &mut self,
         key: Fingerprint,
         concrete: Fingerprint,
-        bytes_len: usize,
+        bytes: impl FnOnce() -> usize,
     ) -> AdmitSym {
-        match self.admit(key, bytes_len) {
+        match self.admit(key, bytes) {
             Admit::New => {
                 self.reps.insert(key, concrete);
                 AdmitSym::New
@@ -239,7 +243,7 @@ impl BoundedSet {
         &mut self,
         key: Fingerprint,
         concrete: Fingerprint,
-        bytes_len: usize,
+        bytes: impl FnOnce() -> usize,
         sleep: SleepSet,
     ) -> AdmitSleepSym {
         if self.seen.len() < self.max {
@@ -248,7 +252,7 @@ impl BoundedSet {
                 if sleep != SleepSet::empty() {
                     self.sleeps.insert(key, sleep);
                 }
-                self.stored_bytes += bytes_len;
+                self.stored_bytes += bytes();
                 return AdmitSleepSym::New;
             }
         } else if !self.seen.contains(&key) {
@@ -489,10 +493,10 @@ impl TieredSet {
     pub(crate) fn admit(
         &mut self,
         fp: Fingerprint,
-        bytes_len: usize,
+        bytes: impl FnOnce() -> usize,
     ) -> Result<Admit, CheckerError> {
         if self.cold.is_none() {
-            return Ok(self.hot.admit(fp, bytes_len));
+            return Ok(self.hot.admit(fp, bytes));
         }
         if self.hot.seen.contains(&fp) || self.cold_lookup(fp)?.is_some() {
             return Ok(Admit::Seen);
@@ -500,7 +504,7 @@ impl TieredSet {
         if self.len() >= self.hot.max {
             return Ok(Admit::OverBound);
         }
-        self.insert_hot(fp, bytes_len)?;
+        self.insert_hot(fp, bytes())?;
         Ok(Admit::New)
     }
 
@@ -508,11 +512,11 @@ impl TieredSet {
     pub(crate) fn admit_sleep(
         &mut self,
         fp: Fingerprint,
-        bytes_len: usize,
+        bytes: impl FnOnce() -> usize,
         sleep: SleepSet,
     ) -> Result<AdmitSleep, CheckerError> {
         if self.cold.is_none() {
-            return Ok(self.hot.admit_sleep(fp, bytes_len, sleep));
+            return Ok(self.hot.admit_sleep(fp, bytes, sleep));
         }
         let visited = self.hot.seen.contains(&fp) || self.cold_lookup(fp)?.is_some();
         if !visited {
@@ -522,7 +526,7 @@ impl TieredSet {
             if sleep != SleepSet::empty() {
                 self.hot.sleeps.insert(fp, sleep);
             }
-            self.insert_hot(fp, bytes_len)?;
+            self.insert_hot(fp, bytes())?;
             return Ok(AdmitSleep::New);
         }
         // The revisit rule runs on the RAM-resident sleeps map whether
@@ -545,10 +549,10 @@ impl TieredSet {
         &mut self,
         key: Fingerprint,
         concrete: Fingerprint,
-        bytes_len: usize,
+        bytes: impl FnOnce() -> usize,
     ) -> Result<AdmitSym, CheckerError> {
         if self.cold.is_none() {
-            return Ok(self.hot.admit_sym(key, concrete, bytes_len));
+            return Ok(self.hot.admit_sym(key, concrete, bytes));
         }
         if self.hot.seen.contains(&key) {
             return Ok(AdmitSym::Seen {
@@ -564,7 +568,7 @@ impl TieredSet {
             return Ok(AdmitSym::OverBound);
         }
         self.hot.reps.insert(key, concrete);
-        self.insert_hot(key, bytes_len)?;
+        self.insert_hot(key, bytes())?;
         Ok(AdmitSym::New)
     }
 
@@ -573,11 +577,11 @@ impl TieredSet {
         &mut self,
         key: Fingerprint,
         concrete: Fingerprint,
-        bytes_len: usize,
+        bytes: impl FnOnce() -> usize,
         sleep: SleepSet,
     ) -> Result<AdmitSleepSym, CheckerError> {
         if self.cold.is_none() {
-            return Ok(self.hot.admit_sleep_sym(key, concrete, bytes_len, sleep));
+            return Ok(self.hot.admit_sleep_sym(key, concrete, bytes, sleep));
         }
         let rep = if self.hot.seen.contains(&key) {
             Some(self.hot.reps.get(&key).copied())
@@ -593,7 +597,7 @@ impl TieredSet {
             if sleep != SleepSet::empty() {
                 self.hot.sleeps.insert(key, sleep);
             }
-            self.insert_hot(key, bytes_len)?;
+            self.insert_hot(key, bytes())?;
             return Ok(AdmitSleepSym::New);
         };
         let old = self.hot.sleeps.get(&key).copied().unwrap_or_default();
@@ -891,6 +895,8 @@ pub(crate) struct SharedCounters {
     symmetry_merges: AtomicUsize,
     max_depth: AtomicUsize,
     max_queue_seen: AtomicUsize,
+    /// Sampled phase nanoseconds (exec, digest, clone, canon, table).
+    phase_nanos: [std::sync::atomic::AtomicU64; 5],
 }
 
 impl SharedCounters {
@@ -925,6 +931,14 @@ impl SharedCounters {
         self.max_depth.fetch_max(local.max_depth, Ordering::Relaxed);
         self.max_queue_seen
             .fetch_max(local.max_queue_seen, Ordering::Relaxed);
+        let phases = |p: &crate::PhaseNanos| [p.exec, p.digest, p.clone, p.canon, p.table];
+        let now = phases(&local.phases);
+        let before = phases(&flushed.phases);
+        for (cell, (now, before)) in self.phase_nanos.iter().zip(now.into_iter().zip(before)) {
+            if now > before {
+                cell.fetch_add(now - before, Ordering::Relaxed);
+            }
+        }
         *flushed = local.clone();
     }
 
@@ -940,6 +954,13 @@ impl SharedCounters {
             symmetry_merges: self.symmetry_merges.load(Ordering::Relaxed),
             max_depth: self.max_depth.load(Ordering::Relaxed),
             max_queue_seen: self.max_queue_seen.load(Ordering::Relaxed),
+            phases: crate::PhaseNanos {
+                exec: self.phase_nanos[0].load(Ordering::Relaxed),
+                digest: self.phase_nanos[1].load(Ordering::Relaxed),
+                clone: self.phase_nanos[2].load(Ordering::Relaxed),
+                canon: self.phase_nanos[3].load(Ordering::Relaxed),
+                table: self.phase_nanos[4].load(Ordering::Relaxed),
+            },
             ..crate::ExplorationStats::default()
         }
     }
@@ -1223,20 +1244,27 @@ impl SharedTable {
     }
 
     /// Admits the initial state (no parent edge).
-    pub(crate) fn admit_root(&self, fp: Fingerprint, bytes_len: usize) {
+    pub(crate) fn admit_root(&self, fp: Fingerprint, bytes: impl FnOnce() -> usize) {
         let mut shard = self.shards[fp.shard(SHARDS)].lock();
         shard.visited.insert(fp);
         self.unique.fetch_add(1, Ordering::SeqCst);
+        let bytes_len = bytes();
         self.note_hot_insert(&mut shard, fp, bytes_len);
     }
 
     /// [`SharedTable::admit_root`] keyed canonically, remembering the
     /// initial state's concrete fingerprint as its orbit representative.
-    pub(crate) fn admit_root_sym(&self, key: Fingerprint, concrete: Fingerprint, bytes_len: usize) {
+    pub(crate) fn admit_root_sym(
+        &self,
+        key: Fingerprint,
+        concrete: Fingerprint,
+        bytes: impl FnOnce() -> usize,
+    ) {
         let mut shard = self.shards[key.shard(SHARDS)].lock();
         shard.visited.insert(key);
         shard.reps.insert(key, concrete);
         self.unique.fetch_add(1, Ordering::SeqCst);
+        let bytes_len = bytes();
         self.note_hot_insert(&mut shard, key, bytes_len);
     }
 
@@ -1250,7 +1278,7 @@ impl SharedTable {
     pub(crate) fn admit(
         &self,
         fp: Fingerprint,
-        bytes_len: usize,
+        bytes: impl FnOnce() -> usize,
         parent: Fingerprint,
         step: impl FnOnce() -> StepSeed,
     ) -> Result<Admit, CheckerError> {
@@ -1275,6 +1303,7 @@ impl SharedTable {
             }
             shard.visited.insert(fp);
             shard.parents.insert(fp, (parent, step()));
+            let bytes_len = bytes();
             self.note_hot_insert(&mut shard, fp, bytes_len);
         }
         self.maybe_spill()?;
@@ -1288,7 +1317,7 @@ impl SharedTable {
     pub(crate) fn admit_sleep(
         &self,
         fp: Fingerprint,
-        bytes_len: usize,
+        bytes: impl FnOnce() -> usize,
         sleep: SleepSet,
         parent: Fingerprint,
         step: impl FnOnce() -> StepSeed,
@@ -1322,6 +1351,7 @@ impl SharedTable {
             if sleep != SleepSet::empty() {
                 shard.sleeps.insert(fp, sleep);
             }
+            let bytes_len = bytes();
             self.note_hot_insert(&mut shard, fp, bytes_len);
         }
         self.maybe_spill()?;
@@ -1339,7 +1369,7 @@ impl SharedTable {
         &self,
         key: Fingerprint,
         concrete: Fingerprint,
-        bytes_len: usize,
+        bytes: impl FnOnce() -> usize,
         parent: Fingerprint,
         step: impl FnOnce() -> StepSeed,
     ) -> Result<AdmitSym, CheckerError> {
@@ -1363,6 +1393,7 @@ impl SharedTable {
             }
             shard.visited.insert(key);
             shard.reps.insert(key, concrete);
+            let bytes_len = bytes();
             self.note_hot_insert(&mut shard, key, bytes_len);
         }
         self.record_parent_edge(concrete, parent, step)?;
@@ -1401,7 +1432,7 @@ impl SharedTable {
         &self,
         key: Fingerprint,
         concrete: Fingerprint,
-        bytes_len: usize,
+        bytes: impl FnOnce() -> usize,
         sleep: SleepSet,
         parent: Fingerprint,
         step: impl FnOnce() -> StepSeed,
@@ -1452,6 +1483,7 @@ impl SharedTable {
                 if sleep != SleepSet::empty() {
                     shard.sleeps.insert(key, sleep);
                 }
+                let bytes_len = bytes();
                 self.note_hot_insert(&mut shard, key, bytes_len);
                 AdmitSleepSym::New
             }
@@ -1737,8 +1769,8 @@ mod tests {
     #[test]
     fn bounded_set_admits_counts_and_dedups() {
         let mut set = BoundedSet::new(10);
-        assert_eq!(set.admit(fp(1), 4), Admit::New);
-        assert_eq!(set.admit(fp(1), 4), Admit::Seen);
+        assert_eq!(set.admit(fp(1), || 4), Admit::New);
+        assert_eq!(set.admit(fp(1), || 4), Admit::Seen);
         assert_eq!(set.len(), 1);
         assert_eq!(set.stored_bytes(), 4);
     }
@@ -1750,14 +1782,14 @@ mod tests {
     #[test]
     fn over_bound_state_is_not_poisoned_as_visited() {
         let mut set = BoundedSet::new(2);
-        assert_eq!(set.admit(fp(1), 10), Admit::New);
-        assert_eq!(set.admit(fp(2), 10), Admit::New);
-        assert_eq!(set.admit(fp(3), 10), Admit::OverBound);
+        assert_eq!(set.admit(fp(1), || 10), Admit::New);
+        assert_eq!(set.admit(fp(2), || 10), Admit::New);
+        assert_eq!(set.admit(fp(3), || 10), Admit::OverBound);
         assert!(!set.contains(fp(3)), "dropped state must stay unvisited");
         assert_eq!(set.len(), 2, "only retained states are counted");
         assert_eq!(set.stored_bytes(), 20, "dropped bytes are not accounted");
         // Duplicates of retained states still dedup at the full bound.
-        assert_eq!(set.admit(fp(2), 10), Admit::Seen);
+        assert_eq!(set.admit(fp(2), || 10), Admit::Seen);
     }
 
     fn sleep(ids: &[u32]) -> SleepSet {
@@ -1774,23 +1806,26 @@ mod tests {
     #[test]
     fn bounded_set_sleep_covered_and_widen() {
         let mut set = BoundedSet::new(10);
-        assert_eq!(set.admit_sleep(fp(1), 4, sleep(&[1, 2])), AdmitSleep::New);
         assert_eq!(
-            set.admit_sleep(fp(1), 4, sleep(&[1, 2])),
+            set.admit_sleep(fp(1), || 4, sleep(&[1, 2])),
+            AdmitSleep::New
+        );
+        assert_eq!(
+            set.admit_sleep(fp(1), || 4, sleep(&[1, 2])),
             AdmitSleep::Covered
         );
         // Stored {1,2} ⊄ offered {1}: re-explore with the intersection.
         assert_eq!(
-            set.admit_sleep(fp(1), 4, sleep(&[1])),
+            set.admit_sleep(fp(1), || 4, sleep(&[1])),
             AdmitSleep::Widen(sleep(&[1]))
         );
         // Stored {1} ⊄ offered {3}: widen to ∅ — fully explored.
         assert_eq!(
-            set.admit_sleep(fp(1), 4, sleep(&[3])),
+            set.admit_sleep(fp(1), || 4, sleep(&[3])),
             AdmitSleep::Widen(SleepSet::empty())
         );
         assert_eq!(
-            set.admit_sleep(fp(1), 4, sleep(&[7])),
+            set.admit_sleep(fp(1), || 4, sleep(&[7])),
             AdmitSleep::Covered,
             "empty stored sleep covers every offer"
         );
@@ -1799,9 +1834,9 @@ mod tests {
         assert_eq!(set.stored_bytes(), 4);
         // The bound still holds for fresh states.
         let mut tiny = BoundedSet::new(1);
-        assert_eq!(tiny.admit_sleep(fp(1), 4, sleep(&[])), AdmitSleep::New);
+        assert_eq!(tiny.admit_sleep(fp(1), || 4, sleep(&[])), AdmitSleep::New);
         assert_eq!(
-            tiny.admit_sleep(fp(2), 4, sleep(&[])),
+            tiny.admit_sleep(fp(2), || 4, sleep(&[])),
             AdmitSleep::OverBound
         );
     }
@@ -1809,29 +1844,29 @@ mod tests {
     #[test]
     fn shared_table_sleep_covered_and_widen() {
         let table = SharedTable::new(usize::MAX);
-        table.admit_root(fp(0), 0);
+        table.admit_root(fp(0), || 0);
         // Roots are stored with an empty sleep set: always covered.
         assert_eq!(
             table
-                .admit_sleep(fp(0), 0, sleep(&[5]), fp(0), || step(9))
+                .admit_sleep(fp(0), || 0, sleep(&[5]), fp(0), || step(9))
                 .unwrap(),
             AdmitSleep::Covered
         );
         assert_eq!(
             table
-                .admit_sleep(fp(1), 8, sleep(&[1, 2]), fp(0), || step(1))
+                .admit_sleep(fp(1), || 8, sleep(&[1, 2]), fp(0), || step(1))
                 .unwrap(),
             AdmitSleep::New
         );
         assert_eq!(
             table
-                .admit_sleep(fp(1), 8, sleep(&[2, 3]), fp(0), || step(1))
+                .admit_sleep(fp(1), || 8, sleep(&[2, 3]), fp(0), || step(1))
                 .unwrap(),
             AdmitSleep::Widen(sleep(&[2]))
         );
         assert_eq!(
             table
-                .admit_sleep(fp(1), 8, sleep(&[2, 4]), fp(0), || step(1))
+                .admit_sleep(fp(1), || 8, sleep(&[2, 4]), fp(0), || step(1))
                 .unwrap(),
             AdmitSleep::Covered
         );
@@ -1852,22 +1887,22 @@ mod tests {
     fn bounded_set_admit_sym_tells_merges_from_dedups() {
         let mut set = BoundedSet::new(10);
         // Orbit keyed fp(100); representative fp(1).
-        assert_eq!(set.admit_sym(fp(100), fp(1), 4), AdmitSym::New);
+        assert_eq!(set.admit_sym(fp(100), fp(1), || 4), AdmitSym::New);
         assert_eq!(
-            set.admit_sym(fp(100), fp(1), 4),
+            set.admit_sym(fp(100), fp(1), || 4),
             AdmitSym::Seen { merged: false }
         );
         assert_eq!(
-            set.admit_sym(fp(100), fp(2), 4),
+            set.admit_sym(fp(100), fp(2), || 4),
             AdmitSym::Seen { merged: true }
         );
         assert_eq!(set.len(), 1, "one orbit, one counted state");
         // The bound applies per orbit.
         let mut tiny = BoundedSet::new(1);
-        assert_eq!(tiny.admit_sym(fp(100), fp(1), 4), AdmitSym::New);
-        assert_eq!(tiny.admit_sym(fp(200), fp(2), 4), AdmitSym::OverBound);
+        assert_eq!(tiny.admit_sym(fp(100), fp(1), || 4), AdmitSym::New);
+        assert_eq!(tiny.admit_sym(fp(200), fp(2), || 4), AdmitSym::OverBound);
         assert_eq!(
-            tiny.admit_sym(fp(100), fp(3), 4),
+            tiny.admit_sym(fp(100), fp(3), || 4),
             AdmitSym::Seen { merged: true }
         );
     }
@@ -1879,12 +1914,12 @@ mod tests {
     fn bounded_set_admit_sleep_sym_sibling_rule() {
         let mut set = BoundedSet::new(10);
         assert_eq!(
-            set.admit_sleep_sym(fp(100), fp(1), 4, sleep(&[1, 2])),
+            set.admit_sleep_sym(fp(100), fp(1), || 4, sleep(&[1, 2])),
             AdmitSleepSym::New
         );
         // Representative: classical widening still applies.
         assert_eq!(
-            set.admit_sleep_sym(fp(100), fp(1), 4, sleep(&[2, 3])),
+            set.admit_sleep_sym(fp(100), fp(1), || 4, sleep(&[2, 3])),
             AdmitSleepSym::Widen {
                 sleep: sleep(&[2]),
                 merged: false
@@ -1892,7 +1927,7 @@ mod tests {
         );
         // Sibling with stored sleep {2} ≠ ∅: re-expand once with ∅.
         assert_eq!(
-            set.admit_sleep_sym(fp(100), fp(9), 4, sleep(&[1])),
+            set.admit_sleep_sym(fp(100), fp(9), || 4, sleep(&[1])),
             AdmitSleepSym::Widen {
                 sleep: SleepSet::empty(),
                 merged: true
@@ -1900,11 +1935,11 @@ mod tests {
         );
         // Orbit now fully explored: every offer (sibling or not) covers.
         assert_eq!(
-            set.admit_sleep_sym(fp(100), fp(9), 4, sleep(&[5])),
+            set.admit_sleep_sym(fp(100), fp(9), || 4, sleep(&[5])),
             AdmitSleepSym::Covered { merged: true }
         );
         assert_eq!(
-            set.admit_sleep_sym(fp(100), fp(1), 4, sleep(&[5])),
+            set.admit_sleep_sym(fp(100), fp(1), || 4, sleep(&[5])),
             AdmitSleepSym::Covered { merged: false }
         );
         assert_eq!(set.len(), 1);
@@ -1913,23 +1948,23 @@ mod tests {
     #[test]
     fn shared_table_admit_sym_records_concrete_parent_edges() {
         let table = SharedTable::new(usize::MAX);
-        table.admit_root_sym(fp(100), fp(0), 0);
+        table.admit_root_sym(fp(100), fp(0), || 0);
         // New orbit reached from concrete fp(0) by step 1.
         assert_eq!(
             table
-                .admit_sym(fp(200), fp(1), 8, fp(0), || step(1))
+                .admit_sym(fp(200), fp(1), || 8, fp(0), || step(1))
                 .unwrap(),
             AdmitSym::New
         );
         assert_eq!(
             table
-                .admit_sym(fp(200), fp(1), 8, fp(0), || step(7))
+                .admit_sym(fp(200), fp(1), || 8, fp(0), || step(7))
                 .unwrap(),
             AdmitSym::Seen { merged: false }
         );
         assert_eq!(
             table
-                .admit_sym(fp(200), fp(2), 8, fp(0), || step(7))
+                .admit_sym(fp(200), fp(2), || 8, fp(0), || step(7))
                 .unwrap(),
             AdmitSym::Seen { merged: true }
         );
@@ -1945,10 +1980,10 @@ mod tests {
     #[test]
     fn shared_table_admit_sleep_sym_sibling_gets_an_edge() {
         let table = SharedTable::new(usize::MAX);
-        table.admit_root_sym(fp(100), fp(0), 0);
+        table.admit_root_sym(fp(100), fp(0), || 0);
         assert_eq!(
             table
-                .admit_sleep_sym(fp(200), fp(1), 8, sleep(&[3]), fp(0), || step(1))
+                .admit_sleep_sym(fp(200), fp(1), || 8, sleep(&[3]), fp(0), || step(1))
                 .unwrap(),
             AdmitSleepSym::New
         );
@@ -1957,7 +1992,7 @@ mod tests {
         // traceable.
         assert_eq!(
             table
-                .admit_sleep_sym(fp(200), fp(2), 8, sleep(&[4]), fp(1), || step(2))
+                .admit_sleep_sym(fp(200), fp(2), || 8, sleep(&[4]), fp(1), || step(2))
                 .unwrap(),
             AdmitSleepSym::Widen {
                 sleep: SleepSet::empty(),
@@ -1970,7 +2005,7 @@ mod tests {
         // Fully explored orbit covers everything thereafter.
         assert_eq!(
             table
-                .admit_sleep_sym(fp(200), fp(3), 8, sleep(&[6]), fp(0), || step(3))
+                .admit_sleep_sym(fp(200), fp(3), || 8, sleep(&[6]), fp(0), || step(3))
                 .unwrap(),
             AdmitSleepSym::Covered { merged: true }
         );
@@ -1992,13 +2027,13 @@ mod tests {
     #[test]
     fn shared_table_enforces_bound_without_poisoning() {
         let table = SharedTable::new(2);
-        table.admit_root(fp(0), 8);
+        table.admit_root(fp(0), || 8);
         assert_eq!(
-            table.admit(fp(1), 8, fp(0), || step(1)).unwrap(),
+            table.admit(fp(1), || 8, fp(0), || step(1)).unwrap(),
             Admit::New
         );
         assert_eq!(
-            table.admit(fp(2), 8, fp(0), || step(2)).unwrap(),
+            table.admit(fp(2), || 8, fp(0), || step(2)).unwrap(),
             Admit::OverBound
         );
         assert!(table.truncated());
@@ -2006,12 +2041,12 @@ mod tests {
         assert_eq!(table.stored_bytes(), 16);
         // The dropped state was not marked visited.
         assert_eq!(
-            table.admit(fp(2), 8, fp(1), || step(3)).unwrap(),
+            table.admit(fp(2), || 8, fp(1), || step(3)).unwrap(),
             Admit::OverBound
         );
         // Retained states still dedup.
         assert_eq!(
-            table.admit(fp(1), 8, fp(0), || step(1)).unwrap(),
+            table.admit(fp(1), || 8, fp(0), || step(1)).unwrap(),
             Admit::Seen
         );
     }
@@ -2019,13 +2054,13 @@ mod tests {
     #[test]
     fn shared_table_admits_exactly_once_across_threads() {
         let table = SharedTable::new(usize::MAX);
-        table.admit_root(fp(0), 0);
+        table.admit_root(fp(0), || 0);
         let wins = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             for _ in 0..4 {
                 scope.spawn(|| {
                     for n in 1..500u32 {
-                        if table.admit(fp(n), 1, fp(0), || step(0)).unwrap() == Admit::New {
+                        if table.admit(fp(n), || 1, fp(0), || step(0)).unwrap() == Admit::New {
                             wins.fetch_add(1, Ordering::SeqCst);
                         }
                     }
@@ -2040,9 +2075,9 @@ mod tests {
     #[test]
     fn shared_table_reconstructs_traces() {
         let table = SharedTable::new(usize::MAX);
-        table.admit_root(fp(0), 0);
-        table.admit(fp(1), 0, fp(0), || step(1)).unwrap();
-        table.admit(fp(2), 0, fp(1), || step(2)).unwrap();
+        table.admit_root(fp(0), || 0);
+        table.admit(fp(1), || 0, fp(0), || step(1)).unwrap();
+        table.admit(fp(2), || 0, fp(1), || step(2)).unwrap();
         let trace = table.reconstruct(fp(2), &program()).unwrap();
         let machines: Vec<MachineId> = trace.iter().map(|s| s.machine).collect();
         assert_eq!(machines, [MachineId(1), MachineId(2)]);
@@ -2093,7 +2128,7 @@ mod tests {
         let dir = temp_dir("tiered-dedup");
         let mut set = TieredSet::with_spill(usize::MAX, &dir, 4).unwrap();
         for n in 0..20u32 {
-            assert_eq!(set.admit(fp(n), 8).unwrap(), Admit::New);
+            assert_eq!(set.admit(fp(n), || 8).unwrap(), Admit::New);
         }
         assert!(
             set.spill_counters().records >= 16,
@@ -2102,7 +2137,7 @@ mod tests {
         assert_eq!(set.len(), 20);
         // Every state — hot or cold — still dedups exactly.
         for n in 0..20u32 {
-            assert_eq!(set.admit(fp(n), 8).unwrap(), Admit::Seen);
+            assert_eq!(set.admit(fp(n), || 8).unwrap(), Admit::Seen);
         }
         assert_eq!(set.len(), 20);
         // RAM accounting covers only the hot tier.
@@ -2110,15 +2145,93 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
     }
 
+    /// Intern-aware accounting invariant: `bytes` closures run only on
+    /// the New path, `stored_bytes` is the exact sum of the admitted
+    /// *marginal* costs (a machine slot shared between two states is
+    /// counted once, by whichever state stored it first), and a spill
+    /// frees exactly that sum — keeping `--mem-limit` triggers
+    /// byte-accurate.
+    #[test]
+    fn tiered_spill_keeps_marginal_byte_accounting_exact() {
+        use p_ast::{ProgramBuilder, Ty};
+        use p_semantics::{lower, Config, SlotInterner, Value};
+
+        let mut b = ProgramBuilder::new();
+        b.event("go");
+        let mut m = b.machine("M");
+        m.var("n", Ty::Int);
+        m.state("A");
+        m.finish();
+        let p = lower(&b.finish("M")).unwrap();
+
+        // Two states over two machines that share slot 0: interning
+        // must charge the shared slot's bytes to the first state only.
+        let mut a = Config::default();
+        a.allocate(&p, p.main);
+        a.allocate(&p, p.main);
+        let mut c = a.clone();
+        c.machine_mut(p_semantics::MachineId(1)).unwrap().locals[0] = Value::Int(7);
+        let full_a = a.canonical_bytes().len();
+        let overhead = 4 + 2; // length prefix + one tag byte per slot
+        let slot_len = (full_a - overhead) / 2;
+        let mutated_slot = c.canonical_bytes().len() - overhead - slot_len;
+
+        let dir = temp_dir("tiered-marginal");
+        let mut set = TieredSet::with_spill(usize::MAX, &dir, usize::MAX).unwrap();
+        let mut interner = SlotInterner::new();
+        let fp_a = Fingerprint::from_u128(a.digest());
+        let fp_c = Fingerprint::from_u128(c.digest());
+        assert_eq!(
+            set.admit(fp_a, || a.intern_slots(&mut interner)).unwrap(),
+            Admit::New
+        );
+        // `a`'s two machines are identical, so even the first state pays
+        // for that slot once — not the full `canonical_bytes` encoding.
+        assert_eq!(set.stored_bytes(), overhead + slot_len);
+        assert_eq!(
+            set.admit(fp_c, || c.intern_slots(&mut interner)).unwrap(),
+            Admit::New
+        );
+        // Second state pays only its overhead plus the one fresh slot;
+        // its copy of slot 0 is shared with (and was paid by) `a`.
+        assert_eq!(set.stored_bytes(), 2 * overhead + slot_len + mutated_slot);
+        assert!(std::sync::Arc::ptr_eq(
+            a.machine_arc(p_semantics::MachineId(0)).unwrap(),
+            c.machine_arc(p_semantics::MachineId(0)).unwrap()
+        ));
+        // A revisit never invokes the closure (marginal bytes would be
+        // double-counted otherwise).
+        let before = set.stored_bytes();
+        assert_eq!(
+            set.admit(fp_a, || unreachable!("Seen must not re-account"))
+                .unwrap(),
+            Admit::Seen
+        );
+        assert_eq!(set.stored_bytes(), before);
+        // Hot budget 1 byte: every admit spills immediately, and each
+        // spill must free *exactly* the marginal bytes recorded for the
+        // drained states — any mismatch leaves `stored_bytes` drifting
+        // away from zero and `--mem-limit` triggers lose accuracy.
+        let dir2 = temp_dir("tiered-marginal-spill");
+        let mut spilly = TieredSet::with_spill(usize::MAX, &dir2, 1).unwrap();
+        for n in 0..4u32 {
+            assert_eq!(spilly.admit(fp(n), || 10).unwrap(), Admit::New);
+            assert_eq!(spilly.stored_bytes(), 0, "spill freed the exact lens");
+        }
+        assert_eq!(spilly.spill_counters().records, 4);
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&dir2);
+    }
+
     #[test]
     fn tiered_set_respects_bound_across_tiers() {
         let dir = temp_dir("tiered-bound");
         let mut set = TieredSet::with_spill(6, &dir, 2).unwrap();
         for n in 0..6u32 {
-            assert_eq!(set.admit(fp(n), 1).unwrap(), Admit::New);
+            assert_eq!(set.admit(fp(n), || 1).unwrap(), Admit::New);
         }
         // max_states counts both tiers, not just the (nearly empty) hot one.
-        assert_eq!(set.admit(fp(99), 1).unwrap(), Admit::OverBound);
+        assert_eq!(set.admit(fp(99), || 1).unwrap(), Admit::OverBound);
         assert_eq!(set.len(), 6);
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -2128,21 +2241,21 @@ mod tests {
         let dir = temp_dir("tiered-sym");
         let mut set = TieredSet::with_spill(usize::MAX, &dir, 2).unwrap();
         assert_eq!(
-            set.admit_sym(fp(100), fp(1), 8).unwrap(),
+            set.admit_sym(fp(100), fp(1), || 8).unwrap(),
             AdmitSym::New,
             "first concrete state of the orbit wins"
         );
         // Force the orbit key onto disk.
         for n in 0..8u32 {
-            set.admit(fp(n), 8).unwrap();
+            set.admit(fp(n), || 8).unwrap();
         }
         assert_eq!(
-            set.admit_sym(fp(100), fp(1), 8).unwrap(),
+            set.admit_sym(fp(100), fp(1), || 8).unwrap(),
             AdmitSym::Seen { merged: false },
             "the representative itself is not a merge, even spilled"
         );
         assert_eq!(
-            set.admit_sym(fp(100), fp(2), 8).unwrap(),
+            set.admit_sym(fp(100), fp(2), || 8).unwrap(),
             AdmitSym::Seen { merged: true },
             "a symmetric sibling merges against the spilled representative"
         );
@@ -2154,21 +2267,21 @@ mod tests {
         let dir = temp_dir("tiered-sleep");
         let mut set = TieredSet::with_spill(usize::MAX, &dir, 2).unwrap();
         assert_eq!(
-            set.admit_sleep(fp(1), 8, sleep(&[1, 2])).unwrap(),
+            set.admit_sleep(fp(1), || 8, sleep(&[1, 2])).unwrap(),
             AdmitSleep::New
         );
         for n in 10..18u32 {
-            set.admit(fp(n), 8).unwrap();
+            set.admit(fp(n), || 8).unwrap();
         }
         assert!(set.spill_counters().records > 0);
         // fp(1) now lives on disk but its sleep set stayed in RAM: the
         // POR revisit rule must still widen, not re-admit.
         assert_eq!(
-            set.admit_sleep(fp(1), 8, sleep(&[2, 3])).unwrap(),
+            set.admit_sleep(fp(1), || 8, sleep(&[2, 3])).unwrap(),
             AdmitSleep::Widen(sleep(&[2]))
         );
         assert_eq!(
-            set.admit_sleep(fp(1), 8, sleep(&[2, 4])).unwrap(),
+            set.admit_sleep(fp(1), || 8, sleep(&[2, 4])).unwrap(),
             AdmitSleep::Covered
         );
         let _ = std::fs::remove_dir_all(&dir);
@@ -2200,10 +2313,10 @@ mod tests {
     fn tiered_set_snapshot_restore_round_trips() {
         let dir = temp_dir("tiered-snapshot");
         let mut set = TieredSet::with_spill(usize::MAX, &dir, 3).unwrap();
-        set.admit_sleep(fp(1), 8, sleep(&[1])).unwrap();
-        set.admit_sym(fp(100), fp(2), 8).unwrap();
+        set.admit_sleep(fp(1), || 8, sleep(&[1])).unwrap();
+        set.admit_sym(fp(100), fp(2), || 8).unwrap();
         for n in 10..16u32 {
-            set.admit(fp(n), 8).unwrap();
+            set.admit(fp(n), || 8).unwrap();
         }
         let mut entries = set.snapshot().unwrap();
         assert_eq!(entries.len(), set.len());
@@ -2213,14 +2326,14 @@ mod tests {
         let mut ram = TieredSet::restore(usize::MAX, None, &entries, 64).unwrap();
         assert_eq!(ram.len(), entries.len());
         assert_eq!(ram.stored_bytes(), 64);
-        assert_eq!(ram.admit(fp(10), 8).unwrap(), Admit::Seen);
+        assert_eq!(ram.admit(fp(10), || 8).unwrap(), Admit::Seen);
         assert_eq!(
-            ram.admit_sleep(fp(1), 8, sleep(&[1])).unwrap(),
+            ram.admit_sleep(fp(1), || 8, sleep(&[1])).unwrap(),
             AdmitSleep::Covered,
             "sleep sets survive the round trip"
         );
         assert_eq!(
-            ram.admit_sym(fp(100), fp(3), 8).unwrap(),
+            ram.admit_sym(fp(100), fp(3), || 8).unwrap(),
             AdmitSym::Seen { merged: true },
             "representatives survive the round trip"
         );
@@ -2234,13 +2347,13 @@ mod tests {
             0,
             "restored-to-disk states hold no RAM"
         );
-        assert_eq!(cold.admit(fp(10), 8).unwrap(), Admit::Seen);
+        assert_eq!(cold.admit(fp(10), || 8).unwrap(), Admit::Seen);
         assert_eq!(
-            cold.admit_sleep(fp(1), 8, sleep(&[1])).unwrap(),
+            cold.admit_sleep(fp(1), || 8, sleep(&[1])).unwrap(),
             AdmitSleep::Covered
         );
         assert_eq!(
-            cold.admit_sym(fp(100), fp(3), 8).unwrap(),
+            cold.admit_sym(fp(100), fp(3), || 8).unwrap(),
             AdmitSym::Seen { merged: true }
         );
         let mut re = cold.snapshot().unwrap();
@@ -2254,14 +2367,14 @@ mod tests {
     fn shared_table_spills_and_stays_exact_across_threads() {
         let dir = temp_dir("shared-spill");
         let table = SharedTable::with_spill(usize::MAX, &dir, 64).unwrap();
-        table.admit_root(fp(0), 1);
+        table.admit_root(fp(0), || 1);
         let wins = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             for _ in 0..4 {
                 let (table, wins) = (&table, &wins);
                 scope.spawn(move || {
                     for n in 1..500u32 {
-                        if table.admit(fp(n), 1, fp(0), || step(n)).unwrap() == Admit::New {
+                        if table.admit(fp(n), || 1, fp(0), || step(n)).unwrap() == Admit::New {
                             wins.fetch_add(1, Ordering::SeqCst);
                         }
                     }
@@ -2288,9 +2401,9 @@ mod tests {
     fn shared_table_snapshot_restore_round_trips() {
         let dir = temp_dir("shared-snapshot");
         let table = SharedTable::with_spill(usize::MAX, &dir, 4).unwrap();
-        table.admit_root(fp(0), 1);
+        table.admit_root(fp(0), || 1);
         for n in 1..12u32 {
-            table.admit(fp(n), 1, fp(n - 1), || step(n)).unwrap();
+            table.admit(fp(n), || 1, fp(n - 1), || step(n)).unwrap();
         }
         let (mut visited, mut parents) = table.snapshot().unwrap();
         visited.sort_by_key(|e| e.fp);
@@ -2303,7 +2416,7 @@ mod tests {
         assert_eq!(restored.unique(), 12);
         assert_eq!(restored.stored_bytes(), 12);
         assert_eq!(
-            restored.admit(fp(5), 1, fp(0), || step(99)).unwrap(),
+            restored.admit(fp(5), || 1, fp(0), || step(99)).unwrap(),
             Admit::Seen
         );
         let trace = restored.reconstruct(fp(11), &program()).unwrap();
@@ -2315,7 +2428,7 @@ mod tests {
         assert_eq!(respilled.unique(), 12);
         assert_eq!(respilled.stored_bytes(), 0);
         assert_eq!(
-            respilled.admit(fp(5), 1, fp(0), || step(99)).unwrap(),
+            respilled.admit(fp(5), || 1, fp(0), || step(99)).unwrap(),
             Admit::Seen
         );
         let trace = respilled.reconstruct(fp(11), &program()).unwrap();

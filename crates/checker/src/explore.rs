@@ -25,7 +25,7 @@ use parking_lot::Mutex;
 
 use p_semantics::{
     canonical_digest, Config, Engine, ExecOutcome, ForeignEnv, Granularity, LoweredProgram,
-    MachineId, PError,
+    MachineId, PError, SlotInterner,
 };
 
 use p_telemetry::Telemetry;
@@ -373,6 +373,11 @@ impl<'p> Verifier<'p> {
         let spill_cfg = spill_config(options, &spill);
         let por = options.por.then(|| Por::new(self.program));
         let symmetry = options.symmetry;
+        // Per-engine intern table: identical machine slots across
+        // admitted configurations share one `Arc`, and each admit
+        // closure returns only the state's *marginal* bytes, so
+        // `stored_bytes` counts every distinct slot exactly once.
+        let mut interner = SlotInterner::new();
 
         let resumed = match &options.resume {
             Some(dir) => Some(checkpoint::load(dir, digest)?),
@@ -387,17 +392,16 @@ impl<'p> Verifier<'p> {
         match resumed {
             None => {
                 let mut init = engine.initial_config();
-                let (init_digest, init_len) = init.digest_and_len();
-                let init_fp = Fingerprint::from_u128(init_digest);
+                let init_fp = Fingerprint::from_u128(init.digest());
                 visited = match spill_cfg {
                     None => TieredSet::new(options.max_states),
                     Some((dir, cap)) => TieredSet::with_spill(options.max_states, dir, cap)?,
                 };
                 if symmetry {
                     let init_key = Fingerprint::from_u128(canonical_digest(&mut init));
-                    visited.admit_sym(init_key, init_fp, init_len)?;
+                    visited.admit_sym(init_key, init_fp, || init.intern_slots(&mut interner))?;
                 } else {
-                    visited.admit(init_fp, init_len)?;
+                    visited.admit(init_fp, || init.intern_slots(&mut interner))?;
                 }
                 parents = match parent_spill_config(options, &spill) {
                     None => TieredParents::new(),
@@ -432,6 +436,9 @@ impl<'p> Verifier<'p> {
         // with and whether this is its first visit (`fresh`); with POR
         // off, the sleep set stays empty and every visit is fresh.
         let mut succs = Vec::new();
+        let mut arena = crate::succ::SuccArena::new();
+        let mut enabled = Vec::new();
+        let mut task_index = 0u64;
         // Concrete-fingerprint → canonical-key memo: most successors are
         // revisits of a concrete state already canonicalized, and
         // canonicalization costs far more than a hash lookup.
@@ -494,12 +501,14 @@ impl<'p> Verifier<'p> {
                     });
                 }
             }
+            arena.phases.begin_task(task_index);
+            task_index += 1;
             stats.max_depth = stats.max_depth.max(depth);
             if depth >= self.options.max_depth {
                 stats.truncated = true;
                 continue;
             }
-            let enabled = engine.enabled_machines(&config);
+            engine.enabled_machines_into(&config, &mut enabled);
             if fresh {
                 // Diagnostics are per-state; a sleep-widening revisit
                 // must not double-count quiescence or queue peaks.
@@ -510,7 +519,7 @@ impl<'p> Verifier<'p> {
             // earlier siblings); `enabled_machines` returns ascending
             // ids, so the accumulation order is deterministic.
             let mut cur_sleep = sleep;
-            for id in enabled {
+            for &id in &enabled {
                 if cur_sleep.contains(id) {
                     stats.sleep_pruned += 1;
                     continue;
@@ -521,6 +530,7 @@ impl<'p> Verifier<'p> {
                     id,
                     self.options.granularity,
                     &mut succs,
+                    &mut arena,
                 )?;
                 for mut succ in succs.drain(..) {
                     stats.transitions += 1;
@@ -550,20 +560,27 @@ impl<'p> Verifier<'p> {
                             interrupted: false,
                         });
                     }
-                    let (succ_digest, succ_len) = succ.config.digest_and_len();
-                    let succ_fp = Fingerprint::from_u128(succ_digest);
+                    let t = arena.phases.start();
+                    let succ_fp = Fingerprint::from_u128(succ.config.digest());
+                    arena.phases.stop(crate::phase::Phase::Digest, t);
                     // With symmetry on, the visited set is keyed by the
                     // canonical fingerprint; everything else (parent
                     // edges, stack tasks, traces) stays concrete.
                     let succ_key = symmetry.then(|| {
                         *canon_cache.entry(succ_fp).or_insert_with(|| {
-                            Fingerprint::from_u128(canonical_digest(&mut succ.config))
+                            let t = arena.phases.start();
+                            let key = Fingerprint::from_u128(canonical_digest(&mut succ.config));
+                            arena.phases.stop(crate::phase::Phase::Canon, t);
+                            key
                         })
                     });
+                    let table_t = arena.phases.start();
                     match &por {
                         None => {
                             let admitted = match succ_key {
-                                Some(key) => match visited.admit_sym(key, succ_fp, succ_len)? {
+                                Some(key) => match visited.admit_sym(key, succ_fp, || {
+                                    succ.config.intern_slots(&mut interner)
+                                })? {
                                     AdmitSym::New => Admit::New,
                                     AdmitSym::Seen { merged } => {
                                         if merged {
@@ -573,13 +590,14 @@ impl<'p> Verifier<'p> {
                                     }
                                     AdmitSym::OverBound => Admit::OverBound,
                                 },
-                                None => visited.admit(succ_fp, succ_len)?,
+                                None => visited
+                                    .admit(succ_fp, || succ.config.intern_slots(&mut interner))?,
                             };
                             match admitted {
                                 Admit::New => {
                                     parents.record(succ_fp, fp, seed(&mut succ))?;
                                     stack.push((
-                                        succ.config,
+                                        std::mem::take(&mut succ.config),
                                         succ_fp,
                                         depth + 1,
                                         SleepSet::empty(),
@@ -594,11 +612,18 @@ impl<'p> Verifier<'p> {
                             let taken = por.run_footprint(id, &succ.result);
                             let child_sleep = por.filter_sleep(&config, cur_sleep, &taken);
                             let admitted = match succ_key {
-                                Some(key) => {
-                                    visited.admit_sleep_sym(key, succ_fp, succ_len, child_sleep)?
-                                }
+                                Some(key) => visited.admit_sleep_sym(
+                                    key,
+                                    succ_fp,
+                                    || succ.config.intern_slots(&mut interner),
+                                    child_sleep,
+                                )?,
                                 None => {
-                                    match visited.admit_sleep(succ_fp, succ_len, child_sleep)? {
+                                    match visited.admit_sleep(
+                                        succ_fp,
+                                        || succ.config.intern_slots(&mut interner),
+                                        child_sleep,
+                                    )? {
                                         AdmitSleep::New => AdmitSleepSym::New,
                                         AdmitSleep::Covered => {
                                             AdmitSleepSym::Covered { merged: false }
@@ -616,7 +641,7 @@ impl<'p> Verifier<'p> {
                                     let seed = seed(&mut succ);
                                     parents.record(succ_fp, fp, seed)?;
                                     stack.push((
-                                        succ.config,
+                                        std::mem::take(&mut succ.config),
                                         succ_fp,
                                         depth + 1,
                                         child_sleep,
@@ -639,17 +664,27 @@ impl<'p> Verifier<'p> {
                                         parents
                                             .record_if_absent(succ_fp, fp, || seed(&mut succ))?;
                                     }
-                                    stack.push((succ.config, succ_fp, depth + 1, sleep, false));
+                                    stack.push((
+                                        std::mem::take(&mut succ.config),
+                                        succ_fp,
+                                        depth + 1,
+                                        sleep,
+                                        false,
+                                    ));
                                 }
                                 AdmitSleepSym::OverBound => stats.truncated = true,
                             }
                         }
                     }
+                    arena.phases.stop(crate::phase::Phase::Table, table_t);
+                    arena.recycle(succ);
                 }
                 if por.is_some() {
                     cur_sleep.insert(id);
                 }
             }
+            arena.recycle_config(config);
+            arena.phases.drain_into(&mut stats.phases);
         }
 
         finalize_sequential(&mut stats, &visited, &parents, base_duration, start);
@@ -686,6 +721,12 @@ impl<'p> Verifier<'p> {
         };
 
         let counters = SharedCounters::default();
+        // One intern table shared by every worker (a mutex taken only on
+        // the New path, a minority of offers): with a single table the
+        // marginal byte accounting is insertion-order-independent —
+        // every distinct slot counts exactly once globally — so
+        // `stored_bytes` agrees bit-for-bit with the sequential engine.
+        let interner = Mutex::new(SlotInterner::new());
         let mut base_duration = Duration::ZERO;
         let mut base_truncated = false;
         let (table, frontier) = match resumed {
@@ -695,13 +736,14 @@ impl<'p> Verifier<'p> {
                     Some((dir, cap)) => SharedTable::with_spill(options.max_states, dir, cap)?,
                 };
                 let mut init = self.engine().initial_config();
-                let (init_digest, init_len) = init.digest_and_len();
-                let init_fp = Fingerprint::from_u128(init_digest);
+                let init_fp = Fingerprint::from_u128(init.digest());
                 if options.symmetry {
                     let init_key = Fingerprint::from_u128(canonical_digest(&mut init));
-                    table.admit_root_sym(init_key, init_fp, init_len);
+                    table.admit_root_sym(init_key, init_fp, || {
+                        init.intern_slots(&mut interner.lock())
+                    });
                 } else {
-                    table.admit_root(init_fp, init_len);
+                    table.admit_root(init_fp, || init.intern_slots(&mut interner.lock()));
                 }
                 let frontier: Frontier<Task> =
                     Frontier::new(jobs, (init, init_fp, 0, SleepSet::empty(), true));
@@ -754,12 +796,14 @@ impl<'p> Verifier<'p> {
                     let depth_truncated = &depth_truncated;
                     let counters = &counters;
                     let ctl = &ctl;
+                    let interner = &interner;
                     scope.spawn(move || {
                         self.expand_worker(
                             w,
                             jobs,
                             frontier,
                             table,
+                            interner,
                             first_error,
                             depth_truncated,
                             counters,
@@ -854,6 +898,7 @@ impl<'p> Verifier<'p> {
         jobs: usize,
         frontier: &Frontier<Task>,
         table: &SharedTable,
+        interner: &Mutex<SlotInterner>,
         first_error: &Mutex<Option<(Fingerprint, TraceStep, PError)>>,
         depth_truncated: &AtomicBool,
         counters: &SharedCounters,
@@ -868,24 +913,27 @@ impl<'p> Verifier<'p> {
         let por = self.options.por.then(|| Por::new(self.program));
         let symmetry = self.options.symmetry;
         let mut succs = Vec::new();
+        let mut arena = crate::succ::SuccArena::new();
+        let mut enabled = Vec::new();
         // Per-worker concrete → canonical memo (see `check_sequential`).
         // Workers may canonicalize a state another worker has already
         // seen, but never the same state twice themselves.
         let mut canon_cache: FpHashMap<Fingerprint> = FpHashMap::default();
         'tasks: while let Some((config, fp, depth, sleep, fresh)) = frontier.next(worker) {
             tasks += 1;
+            arena.phases.begin_task(tasks);
             stats.max_depth = stats.max_depth.max(depth);
             if depth >= self.options.max_depth {
                 depth_truncated.store(true, Ordering::SeqCst);
                 frontier.task_done();
                 continue;
             }
-            let enabled = engine.enabled_machines(&config);
+            engine.enabled_machines_into(&config, &mut enabled);
             if fresh {
                 self.note_diagnostics(&config, &enabled, &mut stats);
             }
             let mut cur_sleep = sleep;
-            for id in enabled {
+            for &id in &enabled {
                 if cur_sleep.contains(id) {
                     stats.sleep_pruned += 1;
                     continue;
@@ -896,6 +944,7 @@ impl<'p> Verifier<'p> {
                     id,
                     self.options.granularity,
                     &mut succs,
+                    &mut arena,
                 ) {
                     report_worker_error(ctl, frontier, error.into());
                     frontier.task_done();
@@ -916,34 +965,42 @@ impl<'p> Verifier<'p> {
                         frontier.task_done();
                         break 'tasks;
                     }
-                    let (succ_digest, succ_len) = succ.config.digest_and_len();
-                    let succ_fp = Fingerprint::from_u128(succ_digest);
+                    let t = arena.phases.start();
+                    let succ_fp = Fingerprint::from_u128(succ.config.digest());
+                    arena.phases.stop(crate::phase::Phase::Digest, t);
                     let succ_key = symmetry.then(|| {
                         *canon_cache.entry(succ_fp).or_insert_with(|| {
-                            Fingerprint::from_u128(canonical_digest(&mut succ.config))
+                            let t = arena.phases.start();
+                            let key = Fingerprint::from_u128(canonical_digest(&mut succ.config));
+                            arena.phases.stop(crate::phase::Phase::Canon, t);
+                            key
                         })
                     });
+                    let table_t = arena.phases.start();
+                    let config_slots = &mut succ.config;
+                    let bytes = || config_slots.intern_slots(&mut interner.lock());
                     let choices = &mut succ.choices;
                     let result = &succ.result;
                     let step =
                         || crate::trace::StepSeed::from_run(id, result, std::mem::take(choices));
                     match &por {
                         None => {
-                            let admitted = match succ_key {
-                                Some(key) => table.admit_sym(key, succ_fp, succ_len, fp, step).map(
-                                    |admitted| match admitted {
-                                        AdmitSym::New => Admit::New,
-                                        AdmitSym::Seen { merged } => {
-                                            if merged {
-                                                stats.symmetry_merges += 1;
+                            let admitted =
+                                match succ_key {
+                                    Some(key) => table
+                                        .admit_sym(key, succ_fp, bytes, fp, step)
+                                        .map(|admitted| match admitted {
+                                            AdmitSym::New => Admit::New,
+                                            AdmitSym::Seen { merged } => {
+                                                if merged {
+                                                    stats.symmetry_merges += 1;
+                                                }
+                                                Admit::Seen
                                             }
-                                            Admit::Seen
-                                        }
-                                        AdmitSym::OverBound => Admit::OverBound,
-                                    },
-                                ),
-                                None => table.admit(succ_fp, succ_len, fp, step),
-                            };
+                                            AdmitSym::OverBound => Admit::OverBound,
+                                        }),
+                                    None => table.admit(succ_fp, bytes, fp, step),
+                                };
                             let admitted = match admitted {
                                 Ok(admitted) => admitted,
                                 Err(error) => {
@@ -955,7 +1012,13 @@ impl<'p> Verifier<'p> {
                             match admitted {
                                 Admit::New => frontier.push(
                                     worker,
-                                    (succ.config, succ_fp, depth + 1, SleepSet::empty(), true),
+                                    (
+                                        std::mem::take(&mut succ.config),
+                                        succ_fp,
+                                        depth + 1,
+                                        SleepSet::empty(),
+                                        true,
+                                    ),
                                 ),
                                 Admit::Seen => stats.dedup_hits += 1,
                                 Admit::OverBound => {}
@@ -968,13 +1031,13 @@ impl<'p> Verifier<'p> {
                                 Some(key) => table.admit_sleep_sym(
                                     key,
                                     succ_fp,
-                                    succ_len,
+                                    bytes,
                                     child_sleep,
                                     fp,
                                     step,
                                 ),
                                 None => table
-                                    .admit_sleep(succ_fp, succ_len, child_sleep, fp, step)
+                                    .admit_sleep(succ_fp, bytes, child_sleep, fp, step)
                                     .map(|admitted| match admitted {
                                         AdmitSleep::New => AdmitSleepSym::New,
                                         AdmitSleep::Covered => {
@@ -998,7 +1061,13 @@ impl<'p> Verifier<'p> {
                             match admitted {
                                 AdmitSleepSym::New => frontier.push(
                                     worker,
-                                    (succ.config, succ_fp, depth + 1, child_sleep, true),
+                                    (
+                                        std::mem::take(&mut succ.config),
+                                        succ_fp,
+                                        depth + 1,
+                                        child_sleep,
+                                        true,
+                                    ),
                                 ),
                                 AdmitSleepSym::Covered { merged } => {
                                     stats.dedup_hits += 1;
@@ -1013,17 +1082,27 @@ impl<'p> Verifier<'p> {
                                     }
                                     frontier.push(
                                         worker,
-                                        (succ.config, succ_fp, depth + 1, sleep, false),
+                                        (
+                                            std::mem::take(&mut succ.config),
+                                            succ_fp,
+                                            depth + 1,
+                                            sleep,
+                                            false,
+                                        ),
                                     );
                                 }
                             }
                         }
                     }
+                    arena.phases.stop(crate::phase::Phase::Table, table_t);
+                    arena.recycle(succ);
                 }
                 if por.is_some() {
                     cur_sleep.insert(id);
                 }
             }
+            arena.recycle_config(config);
+            arena.phases.drain_into(&mut stats.phases);
             frontier.task_done();
             counters.flush(&stats, &mut flushed);
             self.parallel_control(ctl, frontier, table, counters, depth_truncated);
@@ -1238,10 +1317,10 @@ fn decode_frontier(
     entries
         .iter()
         .map(|t| {
-            let config = Config::from_canonical_bytes(&t.cfg, n_events).ok_or_else(|| {
-                CheckerError::CheckpointFormat(
-                    "undecodable frontier configuration in checkpoint".to_string(),
-                )
+            let config = Config::from_canonical_bytes(&t.cfg, n_events).map_err(|e| {
+                CheckerError::CheckpointFormat(format!(
+                    "undecodable frontier configuration in checkpoint: {e}"
+                ))
             })?;
             Ok((
                 config,

@@ -254,12 +254,12 @@ impl Verifier<'_> {
         let (init_digest, init_len) = init.digest_and_len();
 
         let mut config_states = BoundedSet::new(self.options().max_states);
-        config_states.admit(Fingerprint::from_u128(init_digest), init_len);
+        config_states.admit(Fingerprint::from_u128(init_digest), || init_len);
 
         // Node space = bounded configurations × budget+1 fault counts.
         let mut node_seen = BoundedSet::unbounded();
         let init_node = node_fingerprint(init_digest, 0);
-        node_seen.admit(init_node, 0);
+        node_seen.admit(init_node, || 0);
 
         let mut parents = ParentMap::new();
         // (configuration, faults used, node fingerprint, depth)
@@ -329,13 +329,14 @@ impl Verifier<'_> {
                     }
                     let (digest, len) = succ.config.digest_and_len();
                     // Bound check BEFORE marking visited (see engine.rs).
-                    if config_states.admit(Fingerprint::from_u128(digest), len) == Admit::OverBound
+                    if config_states.admit(Fingerprint::from_u128(digest), || len)
+                        == Admit::OverBound
                     {
                         stats.truncated = true;
                         continue;
                     }
                     let nfp2 = node_fingerprint(digest, used);
-                    if node_seen.admit(nfp2, 0) == Admit::New {
+                    if node_seen.admit(nfp2, || 0) == Admit::New {
                         parents.record(nfp2, nfp, seed(&mut succ));
                         stack.push((succ.config, used, nfp2, depth + 1));
                     }
@@ -351,12 +352,12 @@ impl Verifier<'_> {
                 FaultScheduler::apply(&decision, &mut faulted)
                     .expect("enumerated fault applies to its own configuration");
                 let (digest, len) = faulted.digest_and_len();
-                if config_states.admit(Fingerprint::from_u128(digest), len) == Admit::OverBound {
+                if config_states.admit(Fingerprint::from_u128(digest), || len) == Admit::OverBound {
                     stats.truncated = true;
                     continue;
                 }
                 let nfp2 = node_fingerprint(digest, used + 1);
-                if node_seen.admit(nfp2, 0) == Admit::New {
+                if node_seen.admit(nfp2, || 0) == Admit::New {
                     parents.record(nfp2, nfp, crate::trace::StepSeed::from_fault(&decision));
                     stack.push((faulted, used + 1, nfp2, depth + 1));
                 }

@@ -69,6 +69,7 @@ mod explore;
 mod fault;
 mod fingerprint;
 mod liveness;
+mod phase;
 mod por;
 mod random;
 mod replay;
@@ -86,7 +87,7 @@ pub use fault::{FaultDecision, FaultKind, FaultReport, FaultScheduler};
 pub use fingerprint::Fingerprint;
 pub use liveness::{LivenessReport, LivenessViolation};
 pub use replay::ReplayOutcome;
-pub use stats::ExplorationStats;
+pub use stats::{ExplorationStats, PhaseNanos};
 pub use trace::{Counterexample, TraceStep};
 
 #[cfg(test)]

@@ -4,6 +4,48 @@
 use std::fmt;
 use std::time::Duration;
 
+/// Sampled per-phase attribution of exploration time, in nanoseconds.
+///
+/// Filled by the exhaustive explorers from a 1-in-N task sample scaled
+/// back to the whole run (see `crate::phase`), so each figure is an
+/// estimate of where wall-clock time went rather than an exact meter:
+/// `exec` is the interpreter/compiled machine runs, `digest` the
+/// incremental fingerprint maintenance, `clone` the candidate
+/// configuration derivation (arena priming), `canon` the symmetry
+/// canonicalization, and `table` the visited-set/parent-map admission.
+/// The phases deliberately do not sum to the run duration — enabled-set
+/// computation, scheduling and bookkeeping are unattributed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseNanos {
+    /// Machine execution (interpreter or compiled stepper).
+    pub exec: u64,
+    /// Incremental digest/fingerprint maintenance.
+    pub digest: u64,
+    /// Candidate configuration cloning/priming.
+    pub clone: u64,
+    /// Symmetry canonicalization.
+    pub canon: u64,
+    /// Visited-table/parent-map admission and the bookkeeping it
+    /// triggers (parent edges, frontier pushes).
+    pub table: u64,
+}
+
+impl PhaseNanos {
+    /// Adds another sample's nanoseconds phase-wise.
+    pub fn add(&mut self, other: &PhaseNanos) {
+        self.exec += other.exec;
+        self.digest += other.digest;
+        self.clone += other.clone;
+        self.canon += other.canon;
+        self.table += other.table;
+    }
+
+    /// Total attributed nanoseconds across all phases.
+    pub fn total(&self) -> u64 {
+        self.exec + self.digest + self.clone + self.canon + self.table
+    }
+}
+
 /// Statistics of one exploration run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ExplorationStats {
@@ -55,6 +97,9 @@ pub struct ExplorationStats {
     pub spill_bytes: u64,
     /// Visited/parent lookups answered from the cold tier.
     pub cold_hits: u64,
+    /// Sampled per-phase time attribution (all zero for engines that
+    /// do not meter their hot loop).
+    pub phases: PhaseNanos,
 }
 
 impl ExplorationStats {
@@ -80,6 +125,7 @@ impl ExplorationStats {
         self.spilled_states += other.spilled_states;
         self.spill_bytes += other.spill_bytes;
         self.cold_hits += other.cold_hits;
+        self.phases.add(&other.phases);
         self.max_depth = self.max_depth.max(other.max_depth);
         self.max_queue_seen = self.max_queue_seen.max(other.max_queue_seen);
         self.duration = self.duration.max(other.duration);
@@ -112,6 +158,18 @@ impl fmt::Display for ExplorationStats {
         if self.spilled_states > 0 {
             write!(f, ", {} spilled", self.spilled_states)?;
         }
+        if self.phases.total() > 0 {
+            let ms = |n: u64| n as f64 / 1e6;
+            write!(
+                f,
+                " [exec {:.0}ms, digest {:.0}ms, clone {:.0}ms, canon {:.0}ms, table {:.0}ms]",
+                ms(self.phases.exec),
+                ms(self.phases.digest),
+                ms(self.phases.clone),
+                ms(self.phases.canon),
+                ms(self.phases.table),
+            )?;
+        }
         Ok(())
     }
 }
@@ -138,6 +196,7 @@ mod tests {
             spilled_states: 0,
             spill_bytes: 0,
             cold_hits: 0,
+            phases: PhaseNanos::default(),
         };
         let text = s.to_string();
         assert!(text.contains("10 states"));
@@ -168,6 +227,13 @@ mod tests {
             spilled_states: 10,
             spill_bytes: 160,
             cold_hits: 2,
+            phases: PhaseNanos {
+                exec: 5,
+                digest: 4,
+                clone: 3,
+                canon: 2,
+                table: 1,
+            },
         };
         let b = ExplorationStats {
             unique_states: 0,
@@ -185,12 +251,29 @@ mod tests {
             spilled_states: 5,
             spill_bytes: 80,
             cold_hits: 1,
+            phases: PhaseNanos {
+                exec: 10,
+                digest: 10,
+                clone: 10,
+                canon: 10,
+                table: 10,
+            },
         };
         a.merge(&b);
         assert_eq!(a.transitions, 12);
         assert_eq!(a.spilled_states, 15);
         assert_eq!(a.spill_bytes, 240);
         assert_eq!(a.cold_hits, 3);
+        assert_eq!(
+            a.phases,
+            PhaseNanos {
+                exec: 15,
+                digest: 14,
+                clone: 13,
+                canon: 12,
+                table: 11,
+            }
+        );
         assert_eq!(a.dedup_hits, 7);
         assert_eq!(a.sleep_pruned, 3);
         assert_eq!(a.symmetry_merges, 7);

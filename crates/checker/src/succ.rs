@@ -15,6 +15,76 @@ pub(crate) struct Successor {
     pub result: RunResult,
 }
 
+/// Recycling pool for the successor hot path: rejected candidates'
+/// configurations (with their machine-state buffers) and choice
+/// scripts come back here and are re-derived from the next parent via
+/// [`Config::prepare_candidate`] / `clone_from` instead of fresh
+/// allocations. In the steady state a successor costs zero mallocs:
+/// the candidate reuses a pooled config whose uniquely-owned runner
+/// slot absorbs the copy-on-write unsharing, and the choices vector
+/// reuses a pooled buffer.
+#[derive(Debug, Default)]
+pub(crate) struct SuccArena {
+    configs: Vec<Config>,
+    scripts: Vec<Vec<bool>>,
+    /// Sole-owned machine buffers harvested from retired candidates;
+    /// [`Config::prepare_candidate`] primes the next runner slot from
+    /// here so the run's `Arc::make_mut` never deep-clones.
+    slots: Vec<std::sync::Arc<p_semantics::MachineState>>,
+    /// The enumeration's working script buffer, kept across tasks.
+    script_buf: Vec<bool>,
+    /// Sampled phase attribution for the loop this arena serves (the
+    /// arena is already threaded through the hot path, so the sampler
+    /// rides along instead of widening every signature).
+    pub(crate) phases: crate::phase::PhaseTimes,
+}
+
+/// Pool growth cap: the pool only needs to cover one expansion's worth
+/// of successors plus a popped task per step; anything beyond that is a
+/// leak, not a working set.
+const ARENA_CAP: usize = 64;
+
+impl SuccArena {
+    pub(crate) fn new() -> SuccArena {
+        SuccArena::default()
+    }
+
+    /// Returns a rejected successor's buffers to the pool.
+    pub(crate) fn recycle(&mut self, succ: Successor) {
+        self.recycle_config(succ.config);
+        if self.scripts.len() < ARENA_CAP {
+            self.scripts.push(succ.choices);
+        }
+    }
+
+    /// Returns a retired configuration (rejected successor or expanded
+    /// task) to the pool, harvesting its sole-owned machine buffers for
+    /// runner-slot priming.
+    pub(crate) fn recycle_config(&mut self, mut config: Config) {
+        config.harvest_unique_slots(&mut self.slots, ARENA_CAP);
+        if self.configs.len() < ARENA_CAP {
+            self.configs.push(config);
+        }
+    }
+
+    /// A candidate configuration primed from `config` for running
+    /// `machine`: pooled buffers when available, fresh allocations
+    /// otherwise.
+    fn candidate(&mut self, config: &Config, machine: MachineId) -> Config {
+        let mut c = self.configs.pop().unwrap_or_default();
+        c.prepare_candidate(config, machine, &mut self.slots);
+        c
+    }
+
+    /// A choices vector holding `bits`, reusing a pooled buffer.
+    fn choices(&mut self, bits: &[bool]) -> Vec<bool> {
+        let mut v = self.scripts.pop().unwrap_or_default();
+        v.clear();
+        v.extend_from_slice(bits);
+        v
+    }
+}
+
 /// A choice script that never exhausts: past its recorded bits it
 /// answers `false` and keeps counting. A run driven by it always
 /// completes, and `used` afterwards tells how long the *actual* script
@@ -55,27 +125,57 @@ pub(crate) fn successors_for(
     granularity: Granularity,
 ) -> Result<Vec<Successor>, ExecError> {
     let mut out = Vec::new();
-    successors_into(engine, config, machine, granularity, &mut out)?;
+    let mut arena = SuccArena::new();
+    successors_into(engine, config, machine, granularity, &mut out, &mut arena)?;
     Ok(out)
 }
 
-/// [`successors_for`] into a caller-owned buffer, so the per-state
-/// expansion loops can reuse one allocation across the whole search.
+/// [`successors_for`] into a caller-owned buffer, drawing candidate
+/// configurations and script buffers from `arena`, so the per-state
+/// expansion loops reuse allocations across the whole search.
 pub(crate) fn successors_into(
     engine: &Engine<'_>,
     config: &Config,
     machine: MachineId,
     granularity: Granularity,
     out: &mut Vec<Successor>,
+    arena: &mut SuccArena,
 ) -> Result<(), ExecError> {
-    let mut script: Vec<bool> = Vec::new();
+    let mut script = std::mem::take(&mut arena.script_buf);
+    script.clear();
+    let r = successors_loop(
+        engine,
+        config,
+        machine,
+        granularity,
+        out,
+        arena,
+        &mut script,
+    );
+    arena.script_buf = script;
+    r
+}
+
+fn successors_loop(
+    engine: &Engine<'_>,
+    config: &Config,
+    machine: MachineId,
+    granularity: Granularity,
+    out: &mut Vec<Successor>,
+    arena: &mut SuccArena,
+    script: &mut Vec<bool>,
+) -> Result<(), ExecError> {
     loop {
-        let mut candidate = config.clone();
+        let t = arena.phases.start();
+        let mut candidate = arena.candidate(config, machine);
+        arena.phases.stop(crate::phase::Phase::Clone, t);
         let mut source = PaddedScript {
-            bits: &script,
+            bits: script.as_slice(),
             used: 0,
         };
+        let t = arena.phases.start();
         let result = engine.run_machine(&mut candidate, machine, &mut source, granularity)?;
+        arena.phases.stop(crate::phase::Phase::Exec, t);
         let used = source.used;
         debug_assert!(
             !matches!(result.outcome, ExecOutcome::NeedChoice),
@@ -89,7 +189,7 @@ pub(crate) fn successors_into(
         out.push(Successor {
             config: candidate,
             machine,
-            choices: script.clone(),
+            choices: arena.choices(script),
             result,
         });
         // Backtrack to the next unexplored branch.

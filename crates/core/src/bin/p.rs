@@ -566,6 +566,11 @@ fn stats_to_metrics(
         cold_hits: stats.cold_hits,
         passed,
         complete,
+        exec_seconds: stats.phases.exec as f64 / 1e9,
+        digest_seconds: stats.phases.digest as f64 / 1e9,
+        clone_seconds: stats.phases.clone as f64 / 1e9,
+        canon_seconds: stats.phases.canon as f64 / 1e9,
+        table_seconds: stats.phases.table as f64 / 1e9,
     }
 }
 

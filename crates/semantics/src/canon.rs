@@ -82,7 +82,7 @@ use std::cell::RefCell;
 use std::sync::Arc;
 
 use crate::config::{Config, MachineState};
-use crate::hash::fingerprint128;
+use crate::hash::fingerprint128_fast;
 
 /// Code for "the machine being hashed" in refinement rounds, so a
 /// machine that references itself is distinguished from one that
@@ -161,7 +161,7 @@ fn map_sig(map: &[u32], buf: &mut Vec<u8>) -> u128 {
     for &x in map {
         buf.extend_from_slice(&x.to_le_bytes());
     }
-    fingerprint128(buf)
+    fingerprint128_fast(buf)
 }
 
 /// The digest of one machine encoded under code map `map`, through the
@@ -195,7 +195,7 @@ fn renamed_digest(
         buf.push(1);
     }
     state.encode_renamed(buf, map);
-    let value = fingerprint128(buf);
+    let value = fingerprint128_fast(buf);
     cache[idx] = Some(CacheEntry {
         slot_digest,
         map_sig: sig,

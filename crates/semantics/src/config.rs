@@ -22,10 +22,87 @@
 //!   ([`Config::digest`]).
 
 use std::cell::RefCell;
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
-use crate::hash::fingerprint128;
+use crate::hash::fingerprint128_fast;
+
+/// Multiplier shared by the digest finalizer and the per-slot weights
+/// (odd, so multiplication by it is invertible mod 2¹²⁸).
+const DIGEST_P: u128 = 0x9e37_79b9_7f4a_7c15_f39c_c060_5ced_c835;
+
+/// The digest a tombstone slot contributes in place of a machine
+/// encoding's hash, so a deleted slot is distinguished from every live
+/// one (and from a slot that never existed — the count seed covers
+/// that).
+const TOMBSTONE_DIGEST: u128 = 0x5851_f42d_4c95_7f2d_1405_7b7e_f767_814f;
+
+/// SplitMix64's finalizer: a cheap, well-dispersed 64-bit permutation
+/// used to derive per-slot weights from slot indices.
+const fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The position weight of slot `i` in the homomorphic digest fold: an
+/// odd (hence invertible mod 2¹²⁸) 128-bit constant derived from the
+/// index, so the same machine state contributes differently at
+/// different slot positions. The first slots come from a
+/// const-evaluated table; higher indices (rare) compute on demand.
+fn slot_weight(i: usize) -> u128 {
+    const fn weight(i: u64) -> u128 {
+        let lo = splitmix64(i);
+        let hi = splitmix64(i ^ 0x517c_c1b7_2722_0a95);
+        (((hi as u128) << 64) | lo as u128) | 1
+    }
+    const CACHED: usize = 64;
+    const WEIGHTS: [u128; CACHED] = {
+        let mut w = [0u128; CACHED];
+        let mut i = 0;
+        while i < CACHED {
+            w[i] = weight(i as u64);
+            i += 1;
+        }
+        w
+    };
+    if i < CACHED {
+        WEIGHTS[i]
+    } else {
+        weight(i as u64)
+    }
+}
+
+/// Avalanches one slot digest before it enters the linear fold. The
+/// fold is a sum of per-slot terms (that is what makes subtract-old /
+/// add-new maintenance possible), so each term must already be
+/// well-mixed; slot digests are SipHash outputs (uniform), and this
+/// permutation decouples the term from the raw digest value.
+fn mix_slot_digest(h: u128) -> u128 {
+    let mut h = h ^ (h >> 67);
+    h = h.wrapping_mul(DIGEST_P);
+    h ^ (h >> 71)
+}
+
+/// Slot `i`'s term in the homomorphic digest fold. Tombstone slots are
+/// cached with [`TOMBSTONE_DIGEST`] as their digest, so the cached
+/// entry alone determines the term.
+fn slot_term(i: usize, digest: u128) -> u128 {
+    mix_slot_digest(digest).wrapping_mul(slot_weight(i))
+}
+
+/// Finalizes the running fold into the published digest: folds in the
+/// slot count (so prefixes of each other's slot vectors stay distinct)
+/// and avalanches, so trailing-slot edits disperse into the high bits
+/// (the parallel engine routes shards by them).
+fn finalize_digest(acc: u128, count: usize) -> u128 {
+    let mut acc = acc.wrapping_add((count as u128).wrapping_mul(DIGEST_P));
+    acc ^= acc >> 71;
+    acc = acc.wrapping_mul(DIGEST_P);
+    acc ^ (acc >> 64)
+}
 
 thread_local! {
     /// Scratch buffer for the digest hot path: one machine encoding
@@ -171,7 +248,7 @@ pub type Cont = Vec<Instr>;
 /// A call-stack frame `(n, a)` — a state plus the handler map inherited
 /// from callers — optionally carrying the continuation saved by a
 /// `call n;` statement.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, PartialEq)]
 pub struct Frame {
     /// The frame's control state.
     pub state: StateId,
@@ -179,6 +256,29 @@ pub struct Frame {
     pub inherited: Vec<Inherited>,
     /// Saved caller continuation (only for `call n;` statements).
     pub resume: Option<Cont>,
+}
+
+impl Clone for Frame {
+    fn clone(&self) -> Frame {
+        Frame {
+            state: self.state,
+            inherited: self.inherited.clone(),
+            resume: self.resume.clone(),
+        }
+    }
+
+    /// Buffer-reusing clone: the inherited map and resume continuation
+    /// copy into the existing allocations (their elements are `Copy`),
+    /// so re-deriving a recycled frame from a source frame is
+    /// allocation-free once capacities have grown.
+    fn clone_from(&mut self, src: &Frame) {
+        self.state = src.state;
+        self.inherited.clone_from(&src.inherited);
+        match (&mut self.resume, &src.resume) {
+            (Some(dst), Some(s)) => dst.clone_from(s),
+            (dst, s) => *dst = s.clone(),
+        }
+    }
 }
 
 impl Frame {
@@ -231,7 +331,7 @@ impl Frame {
 }
 
 /// The configuration of one live machine.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, PartialEq)]
 pub struct MachineState {
     /// The machine's type.
     pub ty: MachineTypeId,
@@ -251,6 +351,38 @@ pub struct MachineState {
     pub pending: Option<(EventId, Value)>,
     /// The input queue.
     pub queue: Vec<(EventId, Value)>,
+}
+
+impl Clone for MachineState {
+    fn clone(&self) -> MachineState {
+        MachineState {
+            ty: self.ty,
+            stack: self.stack.clone(),
+            locals: self.locals.clone(),
+            msg: self.msg,
+            arg: self.arg,
+            cont: self.cont.clone(),
+            pending: self.pending,
+            queue: self.queue.clone(),
+        }
+    }
+
+    /// Buffer-reusing clone: every vector copies into its existing
+    /// allocation (`Vec::clone_from` reuses capacity and clones frames
+    /// element-wise through [`Frame::clone_from`]), so re-deriving a
+    /// recycled machine state is allocation-free in the steady state.
+    /// This is what makes the checker's successor recycling pay:
+    /// `Arc::make_mut` on a uniquely-owned recycled slot never copies.
+    fn clone_from(&mut self, src: &MachineState) {
+        self.ty = src.ty;
+        self.stack.clone_from(&src.stack);
+        self.locals.clone_from(&src.locals);
+        self.msg = src.msg;
+        self.arg = src.arg;
+        self.cont.clone_from(&src.cont);
+        self.pending = src.pending;
+        self.queue.clone_from(&src.queue);
+    }
 }
 
 impl MachineState {
@@ -395,31 +527,323 @@ impl MachineState {
     }
 }
 
+/// A fixed-capacity, allocation-free list of slot indices. Exceeding
+/// the inline capacity degrades to "all slots" (a full scan at the next
+/// flush) instead of spilling to the heap — the list rides along every
+/// [`Config`] clone on the successor hot path, so it must stay `Copy`.
+#[derive(Debug, Clone, Copy, Default)]
+struct SlotList {
+    slots: [u32; 12],
+    len: u8,
+    /// Capacity exceeded: membership is unknown, scan every slot.
+    all: bool,
+}
+
+impl SlotList {
+    fn push(&mut self, i: usize) {
+        if self.all {
+            return;
+        }
+        if (self.len as usize) < self.slots.len() {
+            self.slots[self.len as usize] = i as u32;
+            self.len += 1;
+        } else {
+            self.all = true;
+            self.len = 0;
+        }
+    }
+
+    fn mark_all(&mut self) {
+        self.all = true;
+        self.len = 0;
+    }
+
+    fn clear(&mut self) {
+        self.all = false;
+        self.len = 0;
+    }
+
+    fn is_empty(&self) -> bool {
+        !self.all && self.len == 0
+    }
+
+    /// The listed indices (meaningless when `all` is set — check first).
+    fn indices(&self) -> &[u32] {
+        &self.slots[..self.len as usize]
+    }
+}
+
+/// Why a canonical configuration encoding failed to decode.
+///
+/// Checkpoint and spill-store corruption surfaces through here; the
+/// variants name what was wrong so the report is actionable instead of
+/// a silent `None`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigDecodeError {
+    /// The input ended before the slot-count header or a slot tag.
+    Truncated {
+        /// Byte offset at which the input ran out.
+        offset: usize,
+    },
+    /// A slot tag byte was neither 0 (tombstone) nor 1 (live).
+    BadSlotTag {
+        /// Index of the offending slot.
+        slot: usize,
+        /// The invalid tag byte found.
+        tag: u8,
+    },
+    /// A live slot's machine encoding was malformed or truncated.
+    BadMachine {
+        /// Index of the offending slot.
+        slot: usize,
+    },
+    /// Bytes remained after the final slot decoded.
+    TrailingBytes {
+        /// How many bytes were left over.
+        extra: usize,
+    },
+}
+
+impl fmt::Display for ConfigDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigDecodeError::Truncated { offset } => {
+                write!(f, "encoding truncated at byte {offset}")
+            }
+            ConfigDecodeError::BadSlotTag { slot, tag } => {
+                write!(f, "slot {slot} has invalid tag byte {tag} (want 0 or 1)")
+            }
+            ConfigDecodeError::BadMachine { slot } => {
+                write!(f, "slot {slot} holds a malformed machine encoding")
+            }
+            ConfigDecodeError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after the final slot")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigDecodeError {}
+
 /// A global configuration: every machine created so far, with deleted
 /// machines remembered as `None` (so that sends to them are detected as
 /// errors, rule SEND-FAIL2).
 ///
 /// Machines are stored behind [`Arc`]s and mutated copy-on-write via
 /// [`Config::machine_mut`]; equality and the canonical encoding are
-/// functions of the machine contents only (the digest cache is ignored).
-#[derive(Debug, Clone, Default)]
+/// functions of the machine contents only (the digest cache and the
+/// fold accumulators are ignored).
+#[derive(Debug, Default)]
 pub struct Config {
     machines: Vec<Option<Arc<MachineState>>>,
     /// Per-slot digest cache: the 128-bit hash of the slot's canonical
-    /// encoding and that encoding's byte length. `None` after the slot
-    /// was mutated (or never hashed). Kept in lock-step with `machines`.
+    /// encoding and that encoding's byte length (tombstones cache
+    /// [`TOMBSTONE_DIGEST`] with length 0). `None` after the slot was
+    /// mutated (or never hashed). Kept in lock-step with `machines`.
     digests: Vec<Option<(u128, u32)>>,
+    /// Running homomorphic fold: Σ [`slot_term`] over every slot whose
+    /// digest is cached. Mutators subtract the old term eagerly, so
+    /// publishing a digest only adds back the few dirty slots' terms.
+    acc: u128,
+    /// Running Σ (1 + encoded length) over slots whose digest is
+    /// cached — the body of [`Config::encoded_len`], maintained the
+    /// same subtract-old / add-new way.
+    len_acc: usize,
+    /// Slots whose digest cache entry is `None` (mutated since the last
+    /// digest); drained by [`Config::fill_digests`].
+    dirty: SlotList,
+    /// Slots digested but not yet offered to a [`SlotInterner`];
+    /// drained by [`Config::intern_slots`].
+    uninterned: SlotList,
+    /// Spare uniquely-owned machine buffers for allocation-free
+    /// copy-on-write unsharing ([`Config::machine_mut`] on a shared
+    /// slot). Never semantic state: ignored by equality, hashing and
+    /// encoding, emptied on [`Clone::clone`], refilled by the checker's
+    /// successor arena via [`Config::prepare_candidate`].
+    scratch: Vec<Arc<MachineState>>,
 }
 
 impl PartialEq for Config {
     fn eq(&self, other: &Config) -> bool {
         // The digest cache is derived data; two configurations are equal
-        // iff their machines are.
-        self.machines == other.machines
+        // iff their machines are. Interning makes slot pointer equality
+        // common, so compare identity before content.
+        self.machines.len() == other.machines.len()
+            && self
+                .machines
+                .iter()
+                .zip(&other.machines)
+                .all(|(a, b)| match (a, b) {
+                    (None, None) => true,
+                    (Some(a), Some(b)) => Arc::ptr_eq(a, b) || a == b,
+                    _ => false,
+                })
     }
 }
 
+impl Clone for Config {
+    fn clone(&self) -> Config {
+        Config {
+            machines: self.machines.clone(),
+            digests: self.digests.clone(),
+            acc: self.acc,
+            len_acc: self.len_acc,
+            dirty: self.dirty,
+            uninterned: self.uninterned,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Allocation-reusing clone for the successor hot path: slot arcs
+    /// already shared with `src` are left untouched (no refcount
+    /// traffic), and the spare vectors keep their buffers. Combined
+    /// with successor recycling in the checker this makes cloning a
+    /// candidate configuration allocation-free in the steady state.
+    fn clone_from(&mut self, src: &Config) {
+        let n = src.machines.len();
+        self.machines.truncate(n);
+        for (dst, s) in self.machines.iter_mut().zip(&src.machines) {
+            match (&*dst, s) {
+                (Some(a), Some(b)) if Arc::ptr_eq(a, b) => {}
+                (None, None) => {}
+                _ => *dst = s.clone(),
+            }
+        }
+        for s in &src.machines[self.machines.len()..] {
+            self.machines.push(s.clone());
+        }
+        self.digests.clear();
+        self.digests.extend_from_slice(&src.digests);
+        self.acc = src.acc;
+        self.len_acc = src.len_acc;
+        self.dirty = src.dirty;
+        self.uninterned = src.uninterned;
+    }
+}
+
+/// A uniquely-owned deep copy of runner slot `b`: reuses `have` when it
+/// is already sole-owned, else a harvested spare buffer, else falls back
+/// to sharing `b` (the run's `Arc::make_mut` will unshare it).
+fn primed_slot(
+    have: Option<Arc<MachineState>>,
+    b: &Arc<MachineState>,
+    spares: &mut Vec<Arc<MachineState>>,
+) -> Arc<MachineState> {
+    let owned = match have {
+        Some(a) if Arc::strong_count(&a) == 1 && Arc::weak_count(&a) == 0 => Some(a),
+        _ => spares.pop(),
+    };
+    match owned {
+        Some(mut a) => match Arc::get_mut(&mut a) {
+            Some(slot) => {
+                slot.clone_from(b);
+                a
+            }
+            // Unreachable per the pool invariant (only sole-owned arcs
+            // are harvested), but sharing is always a sound fallback.
+            None => Arc::clone(b),
+        },
+        None => Arc::clone(b),
+    }
+}
+
+/// Makes `arc` uniquely owned, deep-copying into a spare buffer from
+/// `scratch` when one is available (the pool-backed equivalent of
+/// `Arc::make_mut`). The deep copy still happens — it is the semantics
+/// of copy-on-write — but its vector allocations are recycled.
+fn unshare_slot<'a>(
+    arc: &'a mut Arc<MachineState>,
+    scratch: &mut Vec<Arc<MachineState>>,
+) -> &'a mut MachineState {
+    if Arc::strong_count(arc) != 1 || Arc::weak_count(arc) != 0 {
+        let spare = scratch.pop().and_then(|mut s| {
+            Arc::get_mut(&mut s)?.clone_from(&**arc);
+            Some(s)
+        });
+        *arc = spare.unwrap_or_else(|| Arc::new((**arc).clone()));
+    }
+    Arc::get_mut(arc).expect("unshared above")
+}
+
 impl Config {
+    /// [`Clone::clone_from`], plus: the slot of the machine about to
+    /// run is *deep-copied* into a uniquely-owned allocation — one
+    /// already in place, or one popped from `spares` (machine buffers
+    /// harvested from retired candidates, see
+    /// [`Config::harvest_unique_slots`]) — instead of being re-shared
+    /// with `src`. The run's own copy-on-write unsharing
+    /// (`Arc::make_mut`) then finds the slot already unique and copies
+    /// nothing; the recycled machine's vectors are reused via
+    /// [`MachineState::clone_from`]. Only the runner slot is treated
+    /// this way: deep-copying untouched slots would just break their
+    /// sharing with `src`.
+    pub fn prepare_candidate(
+        &mut self,
+        src: &Config,
+        runner: MachineId,
+        spares: &mut Vec<Arc<MachineState>>,
+    ) {
+        let r = runner.0 as usize;
+        self.machines.truncate(src.machines.len());
+        for i in 0..self.machines.len() {
+            let s = &src.machines[i];
+            let dst = &mut self.machines[i];
+            match (dst.take(), s) {
+                (have, Some(b)) if i == r => *dst = Some(primed_slot(have, b, spares)),
+                (Some(a), Some(b)) if Arc::ptr_eq(&a, b) => *dst = Some(a),
+                (_, s) => *dst = s.clone(),
+            }
+        }
+        for i in self.machines.len()..src.machines.len() {
+            let s = &src.machines[i];
+            self.machines.push(match s {
+                Some(b) if i == r => Some(primed_slot(None, b, spares)),
+                s => s.clone(),
+            });
+        }
+        self.digests.clear();
+        self.digests.extend_from_slice(&src.digests);
+        self.acc = src.acc;
+        self.len_acc = src.len_acc;
+        self.dirty = src.dirty;
+        self.uninterned = src.uninterned;
+        // Donate a couple of spares to the candidate's scratch pool so
+        // in-run copy-on-write unshares (sends mutating a non-runner
+        // machine) also reuse retired buffers instead of allocating.
+        while self.scratch.len() < 2 {
+            match spares.pop() {
+                Some(s) => self.scratch.push(s),
+                None => break,
+            }
+        }
+    }
+
+    /// Moves this configuration's uniquely-owned machine buffers into
+    /// `pool` (up to `cap` entries) so
+    /// [`Config::prepare_candidate`] can reuse their allocations for
+    /// the next candidate's runner slot. Called on retired candidates
+    /// by the checker's successor arena; the harvested slots are left
+    /// empty, which is fine because a pooled configuration is always
+    /// re-primed wholesale before its next use.
+    pub fn harvest_unique_slots(&mut self, pool: &mut Vec<Arc<MachineState>>, cap: usize) {
+        while pool.len() < cap {
+            match self.scratch.pop() {
+                Some(s) => pool.push(s),
+                None => break,
+            }
+        }
+        for slot in &mut self.machines {
+            if pool.len() >= cap {
+                return;
+            }
+            if let Some(arc) = slot {
+                if Arc::get_mut(arc).is_some() {
+                    pool.push(slot.take().expect("slot checked live above"));
+                }
+            }
+        }
+    }
+
     /// Allocates a fresh machine of type `ty` with ⊥-initialized locals,
     /// an initial frame, and the init state's entry statement as its
     /// continuation. Returns the new id.
@@ -440,7 +864,19 @@ impl Config {
         };
         self.machines.push(Some(Arc::new(state)));
         self.digests.push(None);
+        self.dirty.push(self.machines.len() - 1);
         MachineId((self.machines.len() - 1) as u32)
+    }
+
+    /// Drops slot `i`'s cached digest, subtracting its term from the
+    /// running fold and queueing it for recomputation. No-op when the
+    /// slot is already dirty.
+    fn invalidate_slot(&mut self, i: usize) {
+        if let Some((h, len)) = self.digests[i].take() {
+            self.acc = self.acc.wrapping_sub(slot_term(i, h));
+            self.len_acc -= 1 + len as usize;
+            self.dirty.push(i);
+        }
     }
 
     /// Total machines ever created (including deleted ones).
@@ -462,15 +898,39 @@ impl Config {
         self.machines.get(id.0 as usize).and_then(|m| m.as_deref())
     }
 
+    /// The shared handle behind machine `id`'s slot, if live. Interned
+    /// configurations ([`Config::intern_slots`]) make slot pointer
+    /// identity meaningful, so callers can use `Arc::ptr_eq` as a cheap
+    /// same-content test before comparing states structurally.
+    pub fn machine_arc(&self, id: MachineId) -> Option<&Arc<MachineState>> {
+        self.machines.get(id.0 as usize)?.as_ref()
+    }
+
     /// Mutable lookup of a live machine. Copy-on-write: if the machine is
     /// shared with another configuration (a search sibling), only this
     /// one machine is cloned — everything else stays shared. The slot's
     /// cached digest is invalidated.
     pub fn machine_mut(&mut self, id: MachineId) -> Option<&mut MachineState> {
         let i = id.0 as usize;
-        let slot = self.machines.get_mut(i)?.as_mut()?;
-        self.digests[i] = None;
-        Some(Arc::make_mut(slot))
+        if self.machines.get(i)?.is_none() {
+            return None;
+        }
+        self.invalidate_slot(i);
+        let (machines, scratch) = (&mut self.machines, &mut self.scratch);
+        let slot = machines[i].as_mut().expect("checked live above");
+        Some(unshare_slot(slot, scratch))
+    }
+
+    /// Pool-backed `Arc::make_mut`: unshares `arc` using this
+    /// configuration's scratch buffers so a copy-on-write on the hot
+    /// path reuses a retired machine's allocations instead of
+    /// allocating afresh. Used by [`crate::Engine::run_machine`] on the
+    /// taken runner slot.
+    pub(crate) fn cow_unshare<'a>(
+        &mut self,
+        arc: &'a mut Arc<MachineState>,
+    ) -> &'a mut MachineState {
+        unshare_slot(arc, &mut self.scratch)
     }
 
     /// Takes machine `id` out of its slot for the duration of an atomic
@@ -483,23 +943,30 @@ impl Config {
     /// lookups — the interpreter special-cases self-sends.
     pub(crate) fn take_machine(&mut self, id: MachineId) -> Option<Arc<MachineState>> {
         let i = id.0 as usize;
-        let taken = self.machines.get_mut(i)?.take()?;
-        self.digests[i] = None;
-        Some(taken)
+        if self.machines.get(i)?.is_none() {
+            return None;
+        }
+        self.invalidate_slot(i);
+        self.machines[i].take()
     }
 
     /// Puts a machine taken with [`Config::take_machine`] back into its
     /// slot. The digest stays invalidated — the run mutated the state.
     pub(crate) fn restore_machine(&mut self, id: MachineId, state: Arc<MachineState>) {
-        self.machines[id.0 as usize] = Some(state);
+        let i = id.0 as usize;
+        // The slot's digest was invalidated by `take_machine`, but a
+        // digest query in between may have cached the tombstone entry.
+        self.invalidate_slot(i);
+        self.machines[i] = Some(state);
     }
 
     /// Removes machine `id` (the `delete` statement). Its slot stays
     /// reserved so later sends to it are errors.
     pub fn delete(&mut self, id: MachineId) {
-        if let Some(slot) = self.machines.get_mut(id.0 as usize) {
-            *slot = None;
-            self.digests[id.0 as usize] = None;
+        let i = id.0 as usize;
+        if self.machines.get(i).is_some() {
+            self.invalidate_slot(i);
+            self.machines[i] = None;
         }
     }
 
@@ -572,86 +1039,144 @@ impl Config {
     }
 
     /// Inverse of [`Config::canonical_bytes`]: rebuilds a configuration
-    /// from its canonical encoding, or returns `None` for malformed or
-    /// trailing bytes. `n_events` is the program's event count (the
-    /// inherited handler maps are encoded without a length prefix).
+    /// from its canonical encoding. `n_events` is the program's event
+    /// count (the inherited handler maps are encoded without a length
+    /// prefix). Malformed input yields a [`ConfigDecodeError`] naming
+    /// what was wrong, so checkpoint and spill-store corruption is
+    /// reported with a cause.
     ///
     /// This is what makes checkpoints possible: a frontier
     /// configuration persisted as its canonical bytes decodes to a
     /// `Config` that is `==` to — and produces the same digest as — the
     /// original. The digest cache starts cold and refills lazily.
-    pub fn from_canonical_bytes(bytes: &[u8], n_events: usize) -> Option<Config> {
+    pub fn from_canonical_bytes(
+        bytes: &[u8],
+        n_events: usize,
+    ) -> Result<Config, ConfigDecodeError> {
         let mut buf = bytes;
-        let count = wire::read_u32(&mut buf)? as usize;
+        let truncated = |buf: &[u8]| ConfigDecodeError::Truncated {
+            offset: bytes.len() - buf.len(),
+        };
+        let count = wire::read_u32(&mut buf).ok_or(truncated(buf))? as usize;
         let mut machines = Vec::new();
-        for _ in 0..count {
-            machines.push(match wire::read_u8(&mut buf)? {
+        for slot in 0..count {
+            let tag = wire::read_u8(&mut buf).ok_or(truncated(buf))?;
+            machines.push(match tag {
                 0 => None,
-                1 => Some(Arc::new(MachineState::decode(&mut buf, n_events)?)),
-                _ => return None,
+                1 => Some(Arc::new(
+                    MachineState::decode(&mut buf, n_events)
+                        .ok_or(ConfigDecodeError::BadMachine { slot })?,
+                )),
+                tag => return Err(ConfigDecodeError::BadSlotTag { slot, tag }),
             });
         }
         if !buf.is_empty() {
-            return None;
+            return Err(ConfigDecodeError::TrailingBytes { extra: buf.len() });
         }
-        let digests = vec![None; machines.len()];
-        Some(Config { machines, digests })
+        Ok(Config::from_machines(machines))
+    }
+
+    /// A configuration over `machines` with a cold digest cache (every
+    /// slot dirty).
+    fn from_machines(machines: Vec<Option<Arc<MachineState>>>) -> Config {
+        let mut dirty = SlotList::default();
+        dirty.mark_all();
+        let mut uninterned = SlotList::default();
+        uninterned.mark_all();
+        Config {
+            digests: vec![None; machines.len()],
+            machines,
+            acc: 0,
+            len_acc: 0,
+            dirty,
+            uninterned,
+            scratch: Vec::new(),
+        }
     }
 
     /// The slot digest and encoded length of slot `i`, computed from
-    /// scratch. Tombstones digest their tag byte alone so a deleted slot
-    /// is distinguished from every live one.
+    /// scratch. Tombstones contribute the fixed [`TOMBSTONE_DIGEST`] so
+    /// a deleted slot is distinguished from every live one, and so the
+    /// cached entry alone determines the slot's fold term.
     fn slot_digest(slot: &Option<Arc<MachineState>>) -> (u128, u32) {
         match slot {
-            None => (fingerprint128(&[0]), 0),
+            None => (TOMBSTONE_DIGEST, 0),
             Some(state) => SLOT_SCRATCH.with(|buf| {
                 let mut bytes = buf.borrow_mut();
                 bytes.clear();
                 bytes.push(1);
                 state.encode(&mut bytes);
-                (fingerprint128(&bytes), (bytes.len() - 1) as u32)
+                (fingerprint128_fast(&bytes), (bytes.len() - 1) as u32)
             }),
         }
     }
 
-    /// Fills every missing entry of the digest cache.
+    /// Fills every missing entry of the digest cache and folds the new
+    /// terms into the running accumulators. Cost is proportional to the
+    /// number of slots *dirtied* since the last fill (typically one),
+    /// not to the configuration size — the dirty list remembers exactly
+    /// which slots were invalidated, falling back to a full scan only
+    /// when it overflows or the cache starts cold.
     fn fill_digests(&mut self) {
-        for (i, cached) in self.digests.iter_mut().enumerate() {
-            if cached.is_none() {
-                *cached = Some(Config::slot_digest(&self.machines[i]));
+        if self.dirty.is_empty() {
+            return;
+        }
+        if self.dirty.all {
+            for i in 0..self.machines.len() {
+                self.fill_slot(i);
             }
+        } else {
+            let list = self.dirty;
+            for &i in list.indices() {
+                self.fill_slot(i as usize);
+            }
+        }
+        self.dirty.clear();
+    }
+
+    /// Digests slot `i` if its cache entry is missing, adding its term
+    /// to the digest/length accumulators and remembering it as a
+    /// candidate for interning.
+    fn fill_slot(&mut self, i: usize) {
+        if self.digests[i].is_some() {
+            return;
+        }
+        let entry = Config::slot_digest(&self.machines[i]);
+        self.digests[i] = Some(entry);
+        self.acc = self.acc.wrapping_add(slot_term(i, entry.0));
+        self.len_acc += 1 + entry.1 as usize;
+        if self.machines[i].is_some() {
+            self.uninterned.push(i);
         }
     }
 
-    /// Combines per-slot digests into the global one: an order-sensitive
-    /// polynomial fold over the digest sequence,
-    /// `acc = acc·P + hᵢ (mod 2¹²⁸)`, seeded with the slot count.
+    /// Combines per-slot digests into the global one: a position-
+    /// weighted *linear* fold, `acc = Σᵢ mix(hᵢ)·wᵢ (mod 2¹²⁸)`,
+    /// finalized with the slot count and an avalanche.
     ///
-    /// `P` is odd, so every power of `P` is invertible mod 2¹²⁸ and two
-    /// sequences of the same length collide only when the (nonzero)
-    /// difference polynomial vanishes — for slot digests that are
-    /// already uniform SipHash outputs this is the same ~2⁻¹²⁸ event as
-    /// a direct hash collision. Tombstones fold a fixed tag so a deleted
-    /// slot is distinguished from every live one, and the count seed
-    /// separates sequences of different lengths. This replaces
-    /// re-hashing a count·17-byte concatenation per transition with
-    /// ~`count` multiplications.
+    /// Linearity is the point — it is what makes the fold maintainable
+    /// in O(1) per mutation ([`Config::invalidate_slot`] subtracts the
+    /// old term, [`Config::fill_slot`] adds the new one), where the old
+    /// polynomial fold's weights `P^(n-1-i)` depended on the slot count
+    /// and forced an O(n) re-fold per digest query. Position
+    /// sensitivity survives because each slot index gets its own odd
+    /// (hence invertible mod 2¹²⁸) weight `wᵢ`: two same-length digest
+    /// sequences collide only when the weighted difference vanishes,
+    /// which for already-avalanched SipHash slot terms is the same
+    /// ~2⁻¹²⁸ event as a direct hash collision. Tombstones fold a fixed
+    /// tag digest so a deleted slot is distinguished from every live
+    /// one, and the count term separates sequences of different
+    /// lengths.
     pub(crate) fn combine_digests(
         digests: impl Iterator<Item = (bool, u128)>,
         count: usize,
     ) -> u128 {
-        const P: u128 = 0x9e37_79b9_7f4a_7c15_f39c_c060_5ced_c835;
-        const TOMBSTONE: u128 = 0x5851_f42d_4c95_7f2d_1405_7b7e_f767_814f;
-        let mut acc = (count as u128).wrapping_mul(P);
-        for (live, digest) in digests {
-            let h = if live { digest } else { TOMBSTONE };
-            acc = acc.wrapping_mul(P).wrapping_add(h);
+        let mut acc = 0u128;
+        for (i, (live, digest)) in digests.enumerate() {
+            let h = if live { digest } else { TOMBSTONE_DIGEST };
+            acc = acc.wrapping_add(slot_term(i, h));
         }
-        // Final avalanche so trailing-slot edits disperse into the high
-        // bits (the parallel engine routes shards by them).
-        acc ^= acc >> 71;
-        acc = acc.wrapping_mul(P);
-        acc ^ (acc >> 64)
+        finalize_digest(acc, count)
     }
 
     /// The configuration's 128-bit state digest, computed incrementally:
@@ -666,24 +1191,16 @@ impl Config {
         self.digest_and_len().0
     }
 
-    /// [`Config::digest`] and [`Config::encoded_len`] from one pass over
-    /// the (filled) per-slot cache — the explorers need both per
-    /// transition.
+    /// [`Config::digest`] and [`Config::encoded_len`] straight from the
+    /// maintained accumulators — the explorers need both per
+    /// transition, and after the O(#dirty) fill this is O(1) regardless
+    /// of configuration size.
     pub fn digest_and_len(&mut self) -> (u128, usize) {
         self.fill_digests();
-        let digest = Config::combine_digests(
-            self.digests
-                .iter()
-                .zip(&self.machines)
-                .map(|(d, m)| (m.is_some(), d.expect("cache filled").0)),
-            self.machines.len(),
-        );
-        let len = 4 + self
-            .digests
-            .iter()
-            .map(|d| 1 + d.expect("cache filled").1 as usize)
-            .sum::<usize>();
-        (digest, len)
+        (
+            finalize_digest(self.acc, self.machines.len()),
+            4 + self.len_acc,
+        )
     }
 
     /// The digest computed entirely from scratch, ignoring (and not
@@ -704,11 +1221,7 @@ impl Config {
     /// column of Figure 8).
     pub fn encoded_len(&mut self) -> usize {
         self.fill_digests();
-        4 + self
-            .digests
-            .iter()
-            .map(|d| 1 + d.expect("cache filled").1 as usize)
-            .sum::<usize>()
+        4 + self.len_acc
     }
 
     /// The raw slot vector alongside the (filled) per-slot digest cache,
@@ -761,12 +1274,186 @@ impl Config {
             assert!(target.is_none(), "perm is not a bijection");
             *target = Some(Arc::new(renamed));
         }
-        Config {
-            digests: vec![None; machines.len()],
-            machines,
+        Config::from_machines(machines)
+    }
+
+    /// Offers every not-yet-interned live slot to `interner`, replacing
+    /// this configuration's `Arc`s with the table's canonical ones, and
+    /// returns the configuration's *marginal* stored size: the encoding
+    /// overhead (count word plus one tag byte per slot) plus the
+    /// encoded lengths of only those slots this call newly inserted
+    /// into the table. Slots already interned — by an ancestor, a
+    /// sibling, or any other configuration sharing the table — count
+    /// zero, so summing the return value over all admitted states
+    /// counts each distinct machine state once.
+    ///
+    /// Call this only for configurations the visited set *admitted*:
+    /// interning rejected candidates would replace their uniquely-owned
+    /// slots with shared ones and defeat the successor buffer-reuse
+    /// path.
+    pub fn intern_slots(&mut self, interner: &mut SlotInterner) -> usize {
+        self.fill_digests();
+        let mut fresh = 4 + self.machines.len();
+        let list = self.uninterned;
+        if list.all {
+            for i in 0..self.machines.len() {
+                fresh += self.intern_slot(i, interner);
+            }
+        } else {
+            for &i in list.indices() {
+                fresh += self.intern_slot(i as usize, interner);
+            }
+        }
+        self.uninterned.clear();
+        fresh
+    }
+
+    /// Interns slot `i` (live, digest cached), returning the bytes
+    /// newly added to the table.
+    fn intern_slot(&mut self, i: usize, interner: &mut SlotInterner) -> usize {
+        let Some(state) = &mut self.machines[i] else {
+            return 0;
+        };
+        let (digest, len) = self.digests[i].expect("cache filled");
+        let (fresh, displaced) = interner.intern(digest, state);
+        if let Some(old) = displaced {
+            // Keep the displaced buffer (usually this candidate's own
+            // fresh copy) as a scratch spare: interned slots are never
+            // uniquely owned, so the drop-time harvest can no longer
+            // recover buffers from explored configurations.
+            if self.scratch.len() < 2 && Arc::strong_count(&old) == 1 && Arc::weak_count(&old) == 0
+            {
+                self.scratch.push(old);
+            }
+        }
+        if fresh {
+            len as usize
+        } else {
+            0
         }
     }
 }
+
+/// Hash-consing table for machine slots: maps a slot's 128-bit content
+/// digest to the one shared [`Arc<MachineState>`] every admitted
+/// configuration with that slot content points at. Sharing identical
+/// slots across configurations cuts resident state memory (each
+/// distinct machine state is stored once) and makes untouched-slot
+/// clones and comparisons pointer-cheap.
+///
+/// Keyed by digest alone — the same ~2⁻¹²⁸ collision assumption the
+/// visited set already makes for whole configurations. The key is
+/// already a SipHash output, so the map hashes it by truncation
+/// (identity hashing).
+///
+/// One table per exploration engine (per worker, in parallel mode):
+/// the table is not synchronized, and per-worker tables keep the
+/// admission hot path lock-free at the cost of some cross-worker
+/// duplication in the byte accounting.
+#[derive(Debug)]
+pub struct SlotInterner {
+    table: HashMap<u128, Arc<MachineState>, BuildDigestHasher>,
+    /// Entry cap: beyond this the table stops growing (lookups still
+    /// hit) so a pathological state space cannot turn the interner
+    /// itself into the memory problem it exists to solve.
+    cap: usize,
+}
+
+impl Default for SlotInterner {
+    fn default() -> SlotInterner {
+        SlotInterner::new()
+    }
+}
+
+impl SlotInterner {
+    /// Default entry cap (~48 MiB of table at worst, ignoring the
+    /// interned states themselves, which the visited set accounts).
+    const DEFAULT_CAP: usize = 1 << 20;
+
+    /// An empty table with the default capacity limit.
+    pub fn new() -> SlotInterner {
+        SlotInterner {
+            table: HashMap::default(),
+            cap: SlotInterner::DEFAULT_CAP,
+        }
+    }
+
+    /// A table that refuses to grow past `cap` entries.
+    pub fn with_capacity_limit(cap: usize) -> SlotInterner {
+        SlotInterner {
+            table: HashMap::default(),
+            cap,
+        }
+    }
+
+    /// Interns `state` by content digest in one table probe. On a hit,
+    /// repoints `state` at the canonical `Arc` and returns the
+    /// displaced handle; on a miss, stores a clone of `state` (capacity
+    /// permitting — at the cap the state simply stays unshared).
+    /// Returns `(fresh, displaced)`: `fresh` is true iff the content
+    /// was not in the table, i.e. its bytes are newly accounted.
+    fn intern(
+        &mut self,
+        digest: u128,
+        state: &mut Arc<MachineState>,
+    ) -> (bool, Option<Arc<MachineState>>) {
+        let full = self.table.len() >= self.cap;
+        match self.table.entry(digest) {
+            std::collections::hash_map::Entry::Occupied(entry) => {
+                if Arc::ptr_eq(state, entry.get()) {
+                    (false, None)
+                } else {
+                    (
+                        false,
+                        Some(std::mem::replace(state, Arc::clone(entry.get()))),
+                    )
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(entry) => {
+                if !full {
+                    entry.insert(Arc::clone(state));
+                }
+                (true, None)
+            }
+        }
+    }
+
+    /// Number of distinct machine states currently interned.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether no machine state has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+}
+
+/// Identity hasher for digest keys: slot digests are SipHash outputs,
+/// already uniform, so the map key hashes by truncating to the low 64
+/// bits instead of re-hashing 16 bytes.
+#[derive(Debug, Default, Clone)]
+struct DigestHasher(u64);
+
+impl std::hash::Hasher for DigestHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // u128 keys arrive as one 16-byte write; take the low word.
+        let mut lo = [0u8; 8];
+        let n = bytes.len().min(8);
+        lo[..n].copy_from_slice(&bytes[..n]);
+        self.0 = u64::from_le_bytes(lo);
+    }
+
+    fn write_u128(&mut self, v: u128) {
+        self.0 = v as u64;
+    }
+}
+
+type BuildDigestHasher = std::hash::BuildHasherDefault<DigestHasher>;
 
 #[cfg(test)]
 mod tests {
@@ -991,8 +1678,9 @@ mod tests {
         assert_eq!(back.digest(), c.digest());
     }
 
-    /// Malformed inputs are rejected, never panicked on: truncation,
-    /// trailing garbage, and a bad tag byte all yield `None`.
+    /// Malformed inputs are rejected with a typed error naming the
+    /// cause, never panicked on: truncation, trailing garbage, and a
+    /// bad tag byte are each distinguished.
     #[test]
     fn from_canonical_bytes_rejects_malformed() {
         let p = tiny_program();
@@ -1001,19 +1689,106 @@ mod tests {
         c.allocate(&p, p.main);
         let bytes = c.canonical_bytes();
         for cut in 0..bytes.len() {
+            let err = Config::from_canonical_bytes(&bytes[..cut], n_events)
+                .expect_err("truncation must be rejected");
             assert!(
-                Config::from_canonical_bytes(&bytes[..cut], n_events).is_none(),
-                "truncation at {cut} must be rejected"
+                matches!(
+                    err,
+                    ConfigDecodeError::Truncated { .. } | ConfigDecodeError::BadMachine { .. }
+                ),
+                "truncation at {cut} gave {err}"
             );
         }
         let mut trailing = bytes.clone();
         trailing.push(0);
-        assert!(Config::from_canonical_bytes(&trailing, n_events).is_none());
+        assert!(matches!(
+            Config::from_canonical_bytes(&trailing, n_events),
+            Err(ConfigDecodeError::TrailingBytes { extra: 1 })
+        ));
         let mut bad_tag = bytes.clone();
         bad_tag[4] = 7; // slot tag must be 0 or 1
-        assert!(Config::from_canonical_bytes(&bad_tag, n_events).is_none());
+        assert!(matches!(
+            Config::from_canonical_bytes(&bad_tag, n_events),
+            Err(ConfigDecodeError::BadSlotTag { slot: 0, tag: 7 })
+        ));
         // A wrong event count misaligns the frame decode.
-        assert!(Config::from_canonical_bytes(&bytes, n_events + 13).is_none());
+        assert!(Config::from_canonical_bytes(&bytes, n_events + 13).is_err());
+        // Errors format with their position so corruption reports read.
+        let err = Config::from_canonical_bytes(&bytes[..2], n_events).unwrap_err();
+        assert!(err.to_string().contains("truncated"));
+    }
+
+    /// Interning admitted configurations shares identical slots behind
+    /// one `Arc` and accounts each distinct machine state's bytes
+    /// exactly once.
+    #[test]
+    fn intern_slots_shares_and_counts_once() {
+        let p = tiny_program();
+        let mut interner = SlotInterner::new();
+        let mut a = Config::default();
+        a.allocate(&p, p.main);
+        a.allocate(&p, p.main);
+        let overhead = 4 + a.machines.len();
+        let slot_len: usize = a.canonical_bytes().len() - overhead;
+        // Two freshly allocated machines are identical: one insert.
+        let fresh_a = a.intern_slots(&mut interner);
+        assert_eq!(interner.len(), 1);
+        assert_eq!(fresh_a, overhead + slot_len / 2);
+        assert!(Arc::ptr_eq(
+            a.machines[0].as_ref().unwrap(),
+            a.machines[1].as_ref().unwrap()
+        ));
+        // A second config with the same content adds only overhead.
+        let mut b = Config::default();
+        b.allocate(&p, p.main);
+        b.allocate(&p, p.main);
+        let fresh_b = b.intern_slots(&mut interner);
+        assert_eq!(fresh_b, overhead);
+        assert_eq!(interner.len(), 1);
+        assert!(Arc::ptr_eq(
+            a.machines[0].as_ref().unwrap(),
+            b.machines[1].as_ref().unwrap()
+        ));
+        // Interning preserves digests and canonical bytes.
+        assert_eq!(b.digest(), b.digest_uncached());
+        assert_eq!(a.canonical_bytes(), b.canonical_bytes());
+        // A mutated slot is a new distinct state: its bytes are fresh.
+        b.machine_mut(MachineId(0)).unwrap().locals[0] = Value::Int(77);
+        let mutated_len = b.canonical_bytes().len() - overhead - slot_len / 2;
+        let fresh_b2 = b.intern_slots(&mut interner);
+        assert_eq!(fresh_b2, overhead + mutated_len);
+        assert_eq!(interner.len(), 2);
+        // Re-interning with nothing dirty adds only overhead again.
+        assert_eq!(b.intern_slots(&mut interner), overhead);
+    }
+
+    /// The interner's capacity limit stops growth but keeps lookups
+    /// serving, and a full table counts unshared bytes as fresh.
+    #[test]
+    fn intern_slots_respects_capacity_limit() {
+        let p = tiny_program();
+        let mut interner = SlotInterner::with_capacity_limit(1);
+        let mut a = Config::default();
+        a.allocate(&p, p.main);
+        let overhead = 4 + 1;
+        let slot_len = a.canonical_bytes().len() - overhead;
+        assert_eq!(a.intern_slots(&mut interner), overhead + slot_len);
+        assert_eq!(interner.len(), 1);
+        // A distinct state cannot be inserted: counted fresh each time.
+        let mut b = Config::default();
+        let id = b.allocate(&p, p.main);
+        b.machine_mut(id).unwrap().locals[0] = Value::Int(5);
+        let b_len = b.canonical_bytes().len() - overhead;
+        assert_eq!(b.intern_slots(&mut interner), overhead + b_len);
+        assert_eq!(interner.len(), 1);
+        // The existing entry still serves hits.
+        let mut c = Config::default();
+        c.allocate(&p, p.main);
+        assert_eq!(c.intern_slots(&mut interner), overhead);
+        assert!(Arc::ptr_eq(
+            a.machines[0].as_ref().unwrap(),
+            c.machines[0].as_ref().unwrap()
+        ));
     }
 
     /// The digest cache must never leak into equality.

@@ -348,7 +348,7 @@ impl<'p> Engine<'p> {
         };
         let mut fatal = None;
         let outcome = {
-            let m = std::sync::Arc::make_mut(&mut taken);
+            let m = config.cow_unshare(&mut taken);
             if let (Some(table), Granularity::Atomic) = (self.compiled, granularity) {
                 self.run_compiled(
                     table,
@@ -953,10 +953,16 @@ impl<'p> Engine<'p> {
 
     /// Ids of all enabled machines, in increasing id order.
     pub fn enabled_machines(&self, config: &Config) -> Vec<MachineId> {
-        config
-            .live_ids()
-            .filter(|&id| self.enabled(config, id))
-            .collect()
+        let mut out = Vec::new();
+        self.enabled_machines_into(config, &mut out);
+        out
+    }
+
+    /// [`Engine::enabled_machines`] into a caller-owned buffer (cleared
+    /// first), so a hot loop reuses one allocation across states.
+    pub fn enabled_machines_into(&self, config: &Config, out: &mut Vec<MachineId>) {
+        out.clear();
+        out.extend(config.live_ids().filter(|&id| self.enabled(config, id)));
     }
 }
 

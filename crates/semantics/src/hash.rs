@@ -1,6 +1,9 @@
-//! SipHash-2-4 with the 128-bit output extension — the hash behind both
+//! SipHash with the 128-bit output extension — the hash behind both
 //! the per-machine digests cached in [`crate::Config`] and the checker's
-//! global state fingerprints.
+//! global state fingerprints. Two round-count flavors share one
+//! implementation: full SipHash-2-4 ([`fingerprint128`]) for cold
+//! composite keys and checksums, and reduced SipHash-1-3
+//! ([`fingerprint128_fast`]) for the hot per-machine slot digests.
 //!
 //! The function lives in `p-semantics` (rather than `p-checker`, where
 //! the fingerprint type is defined) because the incremental digest
@@ -22,11 +25,24 @@ pub const KEY0: u64 = 0x0706_0504_0302_0100;
 /// Fixed SipHash key, high word.
 pub const KEY1: u64 = 0x0f0e_0d0c_0b0a_0908;
 
-/// Hashes `data` with the fixed key — the digest used for per-machine
-/// digests and state fingerprints.
+/// Hashes `data` with the fixed key — the digest used for composite
+/// fingerprints, checkpoint checksums and other cold paths.
 #[inline]
 pub fn fingerprint128(data: &[u8]) -> u128 {
     siphash_2_4_128(KEY0, KEY1, data)
+}
+
+/// Hashes `data` with the fixed key using the reduced-round
+/// SipHash-1-3 — the digest behind the per-machine slot digests and
+/// canonical (symmetry) keys, the hottest hashes in the checker. The
+/// 1/3 round counts are the ones `std`'s `DefaultHasher` ships for
+/// exactly this non-adversarial setting; distribution quality is
+/// unaffected, only the cryptographic PRF margin shrinks, which state
+/// fingerprinting does not rely on (P programs do not choose their
+/// encodings adversarially).
+#[inline]
+pub fn fingerprint128_fast(data: &[u8]) -> u128 {
+    siphash_128::<1, 3>(KEY0, KEY1, data)
 }
 
 #[inline]
@@ -55,6 +71,12 @@ fn sip_rounds(v: &mut [u64; 4], n: usize) {
 /// the high word comes from four extra rounds after XORing `0xdd` into
 /// `v1`.
 pub fn siphash_2_4_128(k0: u64, k1: u64, data: &[u8]) -> u128 {
+    siphash_128::<2, 4>(k0, k1, data)
+}
+
+/// SipHash-C-D with the 128-bit output extension, generic over the
+/// compression (`C`) and finalization (`D`) round counts.
+fn siphash_128<const C: usize, const D: usize>(k0: u64, k1: u64, data: &[u8]) -> u128 {
     let mut v = [
         k0 ^ 0x736f_6d65_7073_6575, // "somepseu"
         k1 ^ 0x646f_7261_6e64_6f6d, // "dorandom"
@@ -67,7 +89,7 @@ pub fn siphash_2_4_128(k0: u64, k1: u64, data: &[u8]) -> u128 {
     for chunk in &mut chunks {
         let m = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
         v[3] ^= m;
-        sip_rounds(&mut v, 2);
+        sip_rounds(&mut v, C);
         v[0] ^= m;
     }
     let rest = chunks.remainder();
@@ -76,14 +98,14 @@ pub fn siphash_2_4_128(k0: u64, k1: u64, data: &[u8]) -> u128 {
     last[7] = data.len() as u8;
     let m = u64::from_le_bytes(last);
     v[3] ^= m;
-    sip_rounds(&mut v, 2);
+    sip_rounds(&mut v, C);
     v[0] ^= m;
 
     v[2] ^= 0xee;
-    sip_rounds(&mut v, 4);
+    sip_rounds(&mut v, D);
     let lo = v[0] ^ v[1] ^ v[2] ^ v[3];
     v[1] ^= 0xdd;
-    sip_rounds(&mut v, 4);
+    sip_rounds(&mut v, D);
     let hi = v[0] ^ v[1] ^ v[2] ^ v[3];
     (lo as u128) | ((hi as u128) << 64)
 }
@@ -133,6 +155,22 @@ mod tests {
                 "SipHash-2-4-128 vector for input length {len}"
             );
         }
+    }
+
+    #[test]
+    fn fast_variant_differs_but_mixes() {
+        // SipHash-1-3 is a different function from SipHash-2-4…
+        assert_ne!(fingerprint128_fast(b"probe"), fingerprint128(b"probe"));
+        // …that still avalanches: flipping one input bit moves about
+        // half the output bits.
+        let base = fingerprint128_fast(b"avalanche-probe");
+        let mut data = *b"avalanche-probe";
+        data[3] ^= 1;
+        let differing = (base ^ fingerprint128_fast(&data)).count_ones();
+        assert!((32..=96).contains(&differing), "{differing} bits differ");
+        // And it keeps the padding/length guarantees of the slow one.
+        assert_ne!(fingerprint128_fast(&[0]), fingerprint128_fast(&[0, 0]));
+        assert_ne!(fingerprint128_fast(&[1; 8]), fingerprint128_fast(&[1; 9]));
     }
 
     #[test]

@@ -71,7 +71,9 @@ mod proptests;
 mod tests;
 
 pub use canon::canonical_digest;
-pub use config::{Config, Cont, Frame, Inherited, Instr, MachineId, MachineState};
+pub use config::{
+    Config, ConfigDecodeError, Cont, Frame, Inherited, Instr, MachineId, MachineState, SlotInterner,
+};
 pub use error::{ErrorKind, ExecError, PError};
 pub use exec::{ChoiceSource, Engine, ExecOutcome, Granularity, RunResult, Script, YieldKind};
 pub use foreign::{ForeignEnv, ForeignFn, ForeignRegistry};

@@ -196,6 +196,75 @@ proptest! {
         prop_assert_eq!(sym.digest_uncached(), sym.clone().digest());
     }
 
+    /// The delta-maintained digest equals the from-scratch reference
+    /// under *arbitrary* slot-level mutation sequences — mutate, delete
+    /// (tombstones), allocate, take/restore (the self-send path), and
+    /// interning — with digest queries interleaved at every prefix, so
+    /// the subtract-old/add-new accumulator can never drift from
+    /// `digest_uncached`.
+    #[test]
+    fn delta_digest_matches_reference_under_op_sequences(
+        ops in proptest::collection::vec((0u8..6, any::<u16>(), any::<bool>()), 0..24),
+    ) {
+        let program = choosy_program(2);
+        let engine = Engine::new(&program, ForeignEnv::empty());
+        let mut config = engine.initial_config();
+        let mut interner = crate::SlotInterner::new();
+        for &(op, seed, query) in &ops {
+            let n = config.created_count();
+            let id = MachineId(seed as u32 % n.max(1) as u32);
+            match op {
+                // Mutate one live machine's locals in place.
+                0 => {
+                    if let Some(m) = config.machine_mut(id) {
+                        m.locals[0] = crate::Value::Int(seed as i64);
+                    }
+                }
+                // Enqueue into one live machine (queue dedups).
+                1 => {
+                    if let Some(m) = config.machine_mut(id) {
+                        m.enqueue(crate::lower::EventId(0), crate::Value::Int(seed as i64 % 4));
+                    }
+                }
+                // Delete: leaves a tombstone slot.
+                2 => config.delete(id),
+                // Allocate a fresh machine.
+                3 => {
+                    config.allocate(&program, program.main);
+                }
+                // Take + mutate + restore — the run_machine self-send
+                // shape, exercising tombstone-cache invalidation.
+                4 => {
+                    if let Some(mut taken) = config.take_machine(id) {
+                        if query {
+                            // Digest the tombstoned view before restore.
+                            prop_assert_eq!(config.digest(), config.digest_uncached());
+                        }
+                        std::sync::Arc::make_mut(&mut taken).locals[0] =
+                            crate::Value::Int(-(seed as i64));
+                        config.restore_machine(id, taken);
+                    }
+                }
+                // Intern: must never change digests or equality.
+                _ => {
+                    config.intern_slots(&mut interner);
+                }
+            }
+            if query {
+                prop_assert_eq!(config.digest(), config.digest_uncached());
+                prop_assert_eq!(config.encoded_len(), config.canonical_bytes().len());
+            }
+        }
+        prop_assert_eq!(config.digest(), config.digest_uncached());
+        prop_assert_eq!(config.encoded_len(), config.canonical_bytes().len());
+        // And the digest round-trips through the canonical encoding.
+        let mut back = Config::from_canonical_bytes(
+            &config.canonical_bytes(),
+            program.event_count(),
+        ).expect("canonical bytes round trip");
+        prop_assert_eq!(back.digest(), config.digest());
+    }
+
     /// Queues never hold duplicate (event, payload) pairs in any reachable
     /// configuration.
     #[test]

@@ -44,6 +44,17 @@ pub struct ExplorationMetrics {
     pub passed: bool,
     /// Whether the state space was fully explored (no bound hit).
     pub complete: bool,
+    /// Sampled seconds attributed to machine execution (interpreter or
+    /// compiled stepper). Zero for engines that do not meter phases.
+    pub exec_seconds: f64,
+    /// Sampled seconds attributed to digest/fingerprint maintenance.
+    pub digest_seconds: f64,
+    /// Sampled seconds attributed to candidate configuration cloning.
+    pub clone_seconds: f64,
+    /// Sampled seconds attributed to symmetry canonicalization.
+    pub canon_seconds: f64,
+    /// Sampled seconds attributed to visited-table/parent-map admission.
+    pub table_seconds: f64,
 }
 
 impl ExplorationMetrics {
@@ -86,6 +97,11 @@ impl ExplorationMetrics {
             ("cold_hits", num(self.cold_hits as f64)),
             ("passed", JsonValue::Bool(self.passed)),
             ("complete", JsonValue::Bool(self.complete)),
+            ("exec_seconds", num(self.exec_seconds)),
+            ("digest_seconds", num(self.digest_seconds)),
+            ("clone_seconds", num(self.clone_seconds)),
+            ("canon_seconds", num(self.canon_seconds)),
+            ("table_seconds", num(self.table_seconds)),
         ])
     }
 
@@ -96,6 +112,7 @@ impl ExplorationMetrics {
     /// zero so older `BENCH_checker.json` rows still parse.
     pub fn from_json(value: &JsonValue) -> Option<ExplorationMetrics> {
         let field = |k: &str| value.get(k).and_then(JsonValue::as_u64).unwrap_or(0);
+        let secs = |k: &str| value.get(k).and_then(JsonValue::as_f64).unwrap_or(0.0);
         Some(ExplorationMetrics {
             name: value.get("name")?.as_str()?.to_owned(),
             mode: value
@@ -123,6 +140,11 @@ impl ExplorationMetrics {
                 .get("complete")
                 .and_then(JsonValue::as_bool)
                 .unwrap_or(true),
+            exec_seconds: secs("exec_seconds"),
+            digest_seconds: secs("digest_seconds"),
+            clone_seconds: secs("clone_seconds"),
+            canon_seconds: secs("canon_seconds"),
+            table_seconds: secs("table_seconds"),
         })
     }
 }
@@ -203,6 +225,11 @@ mod tests {
             cold_hits: 0,
             passed: true,
             complete: true,
+            exec_seconds: seconds * 0.25,
+            digest_seconds: seconds * 0.125,
+            clone_seconds: seconds * 0.125,
+            canon_seconds: 0.0,
+            table_seconds: seconds * 0.25,
         }
     }
 
