@@ -12,7 +12,7 @@
 //!              [--mem-limit BYTES] [--abort-after N]
 //! p liveness FILE                   bounded liveness check (§3.2)
 //! p run FILE MACHINE EVENT[:INT]... create a machine and feed it events
-//!       [--stats] [--trace OUT.json] [--metrics OUT.json]
+//!       [--stats] [--shards N] [--trace OUT.json] [--metrics OUT.json]
 //! p compile FILE [-o OUT.c]         generate the C translation unit (§4)
 //! p dot FILE [MACHINE] [-o OUT.dot] state-diagram export
 //! ```
@@ -139,7 +139,9 @@ fn usage() -> String {
                    exit codes: 0 passed, 1 violation, 2 error, 3 interrupted\n\
      p liveness FILE                   bounded liveness check\n\
      p run FILE MACHINE EVENT[:INT]... create a machine, feed it events\n\
-           [--stats] [--trace OUT.json] [--metrics OUT.json]\n\
+           [--stats] [--shards N] [--trace OUT.json] [--metrics OUT.json]\n\
+           --shards N > 1 drives the sharded executor instead of the\n\
+           in-process runtime (same output shape, per-shard stats)\n\
      p compile FILE [-o OUT.c]         generate C (section 4 layout)\n\
      p dot FILE [MACHINE] [-o OUT.dot] state-diagram export"
         .to_owned()
@@ -637,6 +639,7 @@ fn liveness(args: &[String]) -> Result<ExitCode, String> {
 
 fn run_program(args: &[String]) -> Result<(), String> {
     let mut stats = false;
+    let mut shards = 1usize;
     let mut trace: Option<String> = None;
     let mut metrics: Option<String> = None;
     let mut positional: Vec<&String> = Vec::new();
@@ -646,6 +649,12 @@ fn run_program(args: &[String]) -> Result<(), String> {
             "--stats" => {
                 stats = true;
                 i += 1;
+            }
+            "--shards" => {
+                shards = parse_flag_value(args, &mut i, "--shards")?;
+                if shards == 0 {
+                    return Err("--shards must be at least 1".to_owned());
+                }
             }
             "--trace" => {
                 trace = Some(parse_flag_path(args, &mut i, "--trace")?);
@@ -673,6 +682,20 @@ fn run_program(args: &[String]) -> Result<(), String> {
     } else {
         (p_core::Telemetry::disabled(), None)
     };
+    if shards > 1 {
+        return run_sharded(
+            path,
+            &compiled,
+            machine,
+            &positional,
+            shards,
+            stats,
+            &trace,
+            &metrics,
+            telemetry,
+            ring,
+        );
+    }
     let runtime = {
         let mut builder = compiled.runtime().map_err(|e| e.to_string())?;
         builder.telemetry(telemetry.clone());
@@ -687,16 +710,7 @@ fn run_program(args: &[String]) -> Result<(), String> {
         runtime.current_state(id).unwrap_or_default()
     );
     for spec in &positional[2..] {
-        let (event, payload) = match spec.split_once(':') {
-            None => (spec.as_str(), Value::Null),
-            Some((e, v)) => (
-                e,
-                Value::Int(
-                    v.parse()
-                        .map_err(|_| format!("payload `{v}` is not an integer"))?,
-                ),
-            ),
-        };
+        let (event, payload) = parse_event_spec(spec)?;
         runtime
             .add_event(id, event, payload)
             .map_err(|e| e.to_string())?;
@@ -735,6 +749,106 @@ fn run_program(args: &[String]) -> Result<(), String> {
         println!("wrote {target}");
     }
     if let Some(target) = &metrics {
+        let report = metrics_report.unwrap_or_else(|| p_core::telemetry::json::obj(vec![]));
+        fs::write(target, report.render_pretty())
+            .map_err(|e| format!("cannot write {target}: {e}"))?;
+        println!("wrote {target}");
+    }
+    Ok(())
+}
+
+/// Splits a `EVENT` / `EVENT:INT` argument into name and payload.
+fn parse_event_spec(spec: &str) -> Result<(&str, Value), String> {
+    match spec.split_once(':') {
+        None => Ok((spec, Value::Null)),
+        Some((e, v)) => Ok((
+            e,
+            Value::Int(
+                v.parse()
+                    .map_err(|_| format!("payload `{v}` is not an integer"))?,
+            ),
+        )),
+    }
+}
+
+/// `p run --shards N` with N > 1: the same create-and-feed loop driven
+/// through the sharded executor. Each injection is awaited (the executor
+/// delivers asynchronously) before its state line prints, so the output
+/// keeps the single-runtime shape.
+#[allow(clippy::too_many_arguments)]
+fn run_sharded(
+    path: &str,
+    compiled: &Compiled,
+    machine: &str,
+    positional: &[&String],
+    shards: usize,
+    stats: bool,
+    trace: &Option<String>,
+    metrics: &Option<String>,
+    telemetry: p_core::Telemetry,
+    ring: Option<std::sync::Arc<p_core::telemetry::RingRecorder>>,
+) -> Result<(), String> {
+    use p_core::runtime::{Executor, Injection};
+
+    let exec = Executor::builder(compiled.program())
+        .map_err(|e| e.to_string())?
+        .shards(shards)
+        .telemetry(telemetry.clone())
+        .start();
+    let id = exec
+        .create_machine(machine, &[])
+        .map_err(|e| e.to_string())?;
+    println!(
+        "created {machine} {id} ({} shard(s)), state = {}",
+        exec.shards(),
+        exec.current_state(id).unwrap_or_default()
+    );
+    for spec in positional.iter().skip(2) {
+        let (event, payload) = parse_event_spec(spec)?;
+        let before = exec.events_processed();
+        exec.inject(Injection::new(id, event, payload))
+            .map_err(|e| e.to_string())?;
+        // Await the delivery so the printed state reflects this event.
+        // Bounded wait: a quarantined machine never processes it.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while exec.events_processed() <= before && std::time::Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+        println!(
+            "  {spec:<24} -> state = {}, queue = {}",
+            exec.current_state(id).unwrap_or_else(|| "<deleted>".into()),
+            exec.queue_len(id).unwrap_or(0)
+        );
+    }
+
+    let exec_stats = exec.stats();
+    if stats {
+        println!("{}", exec_stats.to_json().render_pretty());
+    }
+    exec.shutdown().map_err(|e| e.to_string())?;
+    let metrics_report = telemetry
+        .metrics()
+        .map(p_core::telemetry::MetricsRegistry::report);
+    if let Some(target) = trace {
+        use p_core::telemetry::json::{num, str as jstr};
+        let records = ring
+            .as_deref()
+            .map(p_core::telemetry::RingRecorder::drain)
+            .unwrap_or_default();
+        let doc = p_core::telemetry::chrome::chrome_document(
+            &records,
+            metrics_report.clone(),
+            vec![
+                ("source", jstr(path)),
+                ("stats", exec_stats.to_json()),
+                ("dropped_records", num(telemetry.dropped_records() as f64)),
+            ],
+        );
+        fs::write(target, doc.render_pretty())
+            .map_err(|e| format!("cannot write {target}: {e}"))?;
+        println!("wrote {target}");
+    }
+    if let Some(target) = metrics {
         let report = metrics_report.unwrap_or_else(|| p_core::telemetry::json::obj(vec![]));
         fs::write(target, report.render_pretty())
             .map_err(|e| format!("cannot write {target}: {e}"))?;

@@ -40,8 +40,26 @@ pub enum RuntimeError {
     /// policy, or after a `try_inject` deadline expired).
     QueueFull,
     /// Graceful shutdown did not drain in-flight injections before its
-    /// deadline.
-    ShutdownTimeout,
+    /// deadline. `pending` counts the injections (queued events plus
+    /// armed timers) still in flight when the deadline expired; the
+    /// workers are detached and keep draining them in the background.
+    ShutdownTimeout {
+        /// Injections still queued or armed at the deadline.
+        pending: u64,
+    },
+    /// A machine on one executor shard was referenced (as an initializer
+    /// or payload) while creating or injecting into a machine on a
+    /// different shard. Shards own disjoint configurations, so in-program
+    /// machine references must stay shard-local; route cross-shard
+    /// traffic through `Executor::inject` instead.
+    CrossShard {
+        /// The machine that was referenced.
+        machine: p_semantics::MachineId,
+        /// The shard that owns it.
+        home: usize,
+        /// The shard the reference was used from.
+        used_from: usize,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -61,10 +79,20 @@ impl fmt::Display for RuntimeError {
             RuntimeError::PumpStopped => write!(f, "event pump has stopped"),
             RuntimeError::PumpPanicked => write!(f, "event pump worker thread panicked"),
             RuntimeError::QueueFull => write!(f, "event pump queue is full"),
-            RuntimeError::ShutdownTimeout => {
+            RuntimeError::ShutdownTimeout { pending } => {
                 write!(
                     f,
-                    "event pump shutdown deadline expired before the queue drained"
+                    "shutdown deadline expired with {pending} injection(s) still in flight"
+                )
+            }
+            RuntimeError::CrossShard {
+                machine,
+                home,
+                used_from,
+            } => {
+                write!(
+                    f,
+                    "machine {machine} lives on shard {home} but was referenced from shard {used_from}"
                 )
             }
         }
@@ -115,8 +143,15 @@ mod tests {
         );
         assert!(RuntimeError::PumpPanicked.to_string().contains("panicked"));
         assert!(RuntimeError::QueueFull.to_string().contains("full"));
-        assert!(RuntimeError::ShutdownTimeout
-            .to_string()
-            .contains("deadline"));
+        let e = RuntimeError::ShutdownTimeout { pending: 3 };
+        assert!(e.to_string().contains("deadline"));
+        assert!(e.to_string().contains('3'));
+        let e = RuntimeError::CrossShard {
+            machine: MachineId(4),
+            home: 2,
+            used_from: 0,
+        };
+        assert!(e.to_string().contains("shard 2"));
+        assert!(e.to_string().contains("shard 0"));
     }
 }

@@ -1,0 +1,1124 @@
+//! The sharded executor: N worker shards over per-machine mailboxes.
+//!
+//! This is the production-shaped runtime core (ROADMAP item 2). A
+//! [`Runtime`] alone processes events on the calling thread; an
+//! [`Executor`] owns `N` shards, each with its own runtime (and thus its
+//! own machine table — shards share nothing but the program), a worker
+//! thread, bounded per-machine mailboxes, and credit-based injection
+//! backpressure. A hashed timer wheel adds delayed injections
+//! ([`Executor::inject_after`]).
+//!
+//! **Semantics are unchanged.** Every delivery is one
+//! `Runtime::add_event` call — one enqueue through the paper's ⊕
+//! operator followed by a run-to-completion drain — executed by exactly
+//! one worker per machine at a time (the mailbox's single-drainer flag).
+//! Batching happens strictly *between* deliveries: a worker drains up to
+//! one scheduling quantum of envelopes from a mailbox before moving on,
+//! which amortizes scheduling overhead without ever merging two events
+//! into one enqueue (that would change ⊕-dedup behavior). Work stealing
+//! moves *scheduling* of a ready machine to an idle worker; the stolen
+//! machine still runs against its owning shard's runtime, so supervision
+//! (quarantine, halt, typed errors) and ordering are untouched.
+//!
+//! **Sharding boundary.** Machines created through the executor get a
+//! *global* id mapped to a `(shard, local id)` pair. In-program machine
+//! references (`send` targets, id-typed variables) must stay on one
+//! shard — the executor rejects cross-shard initializers and payloads
+//! with [`RuntimeError::CrossShard`] — while executor-level injections
+//! route to any shard. Co-locate machines that talk to each other with
+//! [`Executor::create_machine_on`].
+//!
+//! [`EventPump`](crate::EventPump) is a shards=1 facade over this module
+//! that adopts an existing runtime, preserving the PR 1 pump API.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Mutex, RwLock};
+
+use p_ast::Program;
+use p_semantics::{lower, LoweredProgram, MachineId, Value};
+use p_telemetry::Telemetry;
+
+use crate::shard::{Envelope, Shard};
+use crate::timer::TimerWheel;
+use crate::{MachineStatus, Runtime, RuntimeBuilder, RuntimeError};
+
+/// One event to deliver.
+#[derive(Debug, Clone)]
+pub struct Injection {
+    /// Target machine.
+    pub target: MachineId,
+    /// Event name.
+    pub event: String,
+    /// Payload.
+    pub payload: Value,
+}
+
+impl Injection {
+    /// Creates an injection.
+    pub fn new(target: MachineId, event: &str, payload: Value) -> Injection {
+        Injection {
+            target,
+            event: event.to_owned(),
+            payload,
+        }
+    }
+}
+
+/// What [`Executor::inject`] (and [`EventPump::inject`]
+/// (crate::EventPump::inject)) does when the target mailbox is full or
+/// the shard is out of injection credits.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OverflowPolicy {
+    /// Block the producer until space frees up (backpressure, like a
+    /// full DPC queue). The default.
+    #[default]
+    Block,
+    /// Drop the event being injected, count it in the stats and the
+    /// target machine's [`RuntimeStats`](crate::RuntimeStats) row, and
+    /// report success.
+    DropNewest,
+    /// Fail fast with [`RuntimeError::QueueFull`].
+    Fail,
+}
+
+/// Exponential-backoff schedule for [`Executor::inject_with_retry`].
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Total send attempts before giving up with
+    /// [`RuntimeError::QueueFull`].
+    pub max_attempts: u32,
+    /// Delay after the first failed attempt; doubles per attempt.
+    pub base_delay: Duration,
+    /// Ceiling on the exponential backoff: delays saturate here instead
+    /// of overflowing at high attempt counts.
+    pub max_delay: Duration,
+    /// Add up to +50% random jitter per delay, decorrelating producers
+    /// that fail in lockstep.
+    pub jitter: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 5,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_secs(30),
+            jitter: true,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before retry number `attempt` (0-based): the base
+    /// delay doubled per attempt — saturating, never overflowing — and
+    /// capped at `max_delay`, plus up to +50% jitter when enabled.
+    pub fn delay_for(&self, attempt: u32) -> Duration {
+        // 2^attempt as a saturating u32 factor: checked_shl rejects
+        // shifts ≥ 64, and the factor clamps to u32::MAX beyond 2^32.
+        let factor = 1u64.checked_shl(attempt).unwrap_or(u64::MAX);
+        let factor = u32::try_from(factor).unwrap_or(u32::MAX);
+        let backoff = self.base_delay.saturating_mul(factor).min(self.max_delay);
+        if !self.jitter {
+            return backoff;
+        }
+        // Deterministic per-call jitter without a rand dependency: hash
+        // a process-wide counter (SplitMix64).
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER
+            .fetch_add(1, Ordering::Relaxed)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = n;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z ^= z >> 31;
+        let half = backoff.as_nanos() as u64 / 2;
+        backoff.saturating_add(Duration::from_nanos(if half == 0 { 0 } else { z % half }))
+    }
+}
+
+/// How machine ids map to shards.
+enum Router {
+    /// Adopt mode (the `EventPump` facade): one shard wrapping a caller-
+    /// owned runtime; ids pass through unchanged.
+    Identity,
+    /// Executor-owned machines: global id → `(shard, local id)`.
+    Table(RwLock<Vec<(usize, MachineId)>>),
+}
+
+/// Per-shard rows inside an [`ExecStats`] snapshot.
+#[derive(Clone, Debug)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Machines with a mailbox on this shard.
+    pub machines: usize,
+    /// Envelopes currently queued across its mailboxes (the queue-depth
+    /// gauge; reads one atomic, no locks).
+    pub queued: u64,
+    /// Injection credits currently unclaimed.
+    pub credits_free: u64,
+    /// Injections delivered through this shard's runtime.
+    pub delivered: u64,
+    /// Injections its runtime rejected (halted/quarantined targets, …).
+    pub failed: u64,
+    /// Injections dropped by the `DropNewest` policy.
+    pub dropped: u64,
+    /// Batches this shard's worker executed that it stole from another
+    /// shard's ready queue.
+    pub steals: u64,
+    /// Mailbox batches this shard's worker drained.
+    pub batches: u64,
+    /// Timer-wheel entries delivered into this shard's mailboxes.
+    pub timer_fired: u64,
+    /// High-water mark over its mailbox depths.
+    pub max_mailbox_depth: u64,
+}
+
+/// Point-in-time executor counters (see [`Executor::stats`]).
+#[derive(Clone, Debug)]
+pub struct ExecStats {
+    /// Injections delivered, summed over shards.
+    pub delivered: u64,
+    /// Injections rejected by a runtime, summed.
+    pub failed: u64,
+    /// Injections dropped by overflow policy, summed.
+    pub dropped: u64,
+    /// Cross-shard batch steals, summed.
+    pub steals: u64,
+    /// Mailbox batches drained, summed.
+    pub batches: u64,
+    /// Envelopes currently queued, summed.
+    pub queued: u64,
+    /// Timers armed over the executor's lifetime.
+    pub timer_scheduled: u64,
+    /// Timers armed but not yet delivered.
+    pub timer_pending: u64,
+    /// Timers delivered into mailboxes.
+    pub timer_fired: u64,
+    /// Per-shard breakdown.
+    pub shards: Vec<ShardStats>,
+}
+
+impl ExecStats {
+    /// Serializes the snapshot as JSON (the `p run --shards --stats`
+    /// payload).
+    pub fn to_json(&self) -> p_telemetry::json::JsonValue {
+        use p_telemetry::json::{num, obj, JsonValue};
+        let shards = JsonValue::Arr(
+            self.shards
+                .iter()
+                .map(|s| {
+                    obj(vec![
+                        ("shard", num(s.shard as f64)),
+                        ("machines", num(s.machines as f64)),
+                        ("queued", num(s.queued as f64)),
+                        ("credits_free", num(s.credits_free as f64)),
+                        ("delivered", num(s.delivered as f64)),
+                        ("failed", num(s.failed as f64)),
+                        ("dropped", num(s.dropped as f64)),
+                        ("steals", num(s.steals as f64)),
+                        ("batches", num(s.batches as f64)),
+                        ("timer_fired", num(s.timer_fired as f64)),
+                        ("max_mailbox_depth", num(s.max_mailbox_depth as f64)),
+                    ])
+                })
+                .collect(),
+        );
+        obj(vec![
+            ("delivered", num(self.delivered as f64)),
+            ("failed", num(self.failed as f64)),
+            ("dropped", num(self.dropped as f64)),
+            ("steals", num(self.steals as f64)),
+            ("batches", num(self.batches as f64)),
+            ("queued", num(self.queued as f64)),
+            ("timer_scheduled", num(self.timer_scheduled as f64)),
+            ("timer_pending", num(self.timer_pending as f64)),
+            ("timer_fired", num(self.timer_fired as f64)),
+            ("shards", shards),
+        ])
+    }
+}
+
+/// What a clean [`Executor::shutdown`] returns: totals plus the recorded
+/// latency samples.
+#[derive(Debug)]
+pub struct ExecReport {
+    /// Injections delivered over the executor's lifetime.
+    pub delivered: u64,
+    /// Final counter snapshot.
+    pub stats: ExecStats,
+    /// Injection-to-completion latencies in nanoseconds, sorted
+    /// ascending (empty unless latency recording was enabled).
+    pub latency_ns: Vec<u64>,
+}
+
+impl ExecReport {
+    /// The `q`-quantile (0.0–1.0) of recorded latencies, by
+    /// nearest-rank on the sorted samples.
+    pub fn latency_quantile(&self, q: f64) -> Option<Duration> {
+        if self.latency_ns.is_empty() {
+            return None;
+        }
+        let idx = ((self.latency_ns.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        Some(Duration::from_nanos(self.latency_ns[idx]))
+    }
+}
+
+type ForeignThunk = Box<dyn Fn(&mut RuntimeBuilder) + Send + Sync>;
+
+enum Source {
+    Lowered(Box<LoweredProgram>),
+    Adopt(Runtime),
+}
+
+/// Configures and builds an [`Executor`].
+pub struct ExecutorBuilder {
+    source: Source,
+    shards: usize,
+    mailbox_capacity: usize,
+    credits: usize,
+    overflow: OverflowPolicy,
+    quantum: usize,
+    timer_tick: Duration,
+    record_latency: bool,
+    fuel: Option<usize>,
+    telemetry: Telemetry,
+    foreigns: Vec<ForeignThunk>,
+}
+
+impl std::fmt::Debug for ExecutorBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecutorBuilder")
+            .field("shards", &self.shards)
+            .field("mailbox_capacity", &self.mailbox_capacity)
+            .finish()
+    }
+}
+
+impl ExecutorBuilder {
+    fn new(source: Source) -> ExecutorBuilder {
+        ExecutorBuilder {
+            source,
+            shards: 1,
+            mailbox_capacity: 64,
+            credits: 4096,
+            overflow: OverflowPolicy::default(),
+            quantum: 32,
+            timer_tick: Duration::from_millis(1),
+            record_latency: false,
+            fuel: None,
+            telemetry: Telemetry::disabled(),
+            foreigns: Vec::new(),
+        }
+    }
+
+    /// Number of worker shards (default 1; ignored in adopt mode, which
+    /// is always a single shard over the adopted runtime).
+    pub fn shards(mut self, shards: usize) -> ExecutorBuilder {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Per-machine mailbox bound (default 64).
+    pub fn mailbox_capacity(mut self, capacity: usize) -> ExecutorBuilder {
+        self.mailbox_capacity = capacity.max(1);
+        self
+    }
+
+    /// Shard-wide injection credit budget: the total number of envelopes
+    /// one shard may have queued at once (default 4096).
+    pub fn credits(mut self, credits: usize) -> ExecutorBuilder {
+        self.credits = credits.max(1);
+        self
+    }
+
+    /// Overflow policy for [`Executor::inject`] (default
+    /// [`OverflowPolicy::Block`]).
+    pub fn overflow(mut self, policy: OverflowPolicy) -> ExecutorBuilder {
+        self.overflow = policy;
+        self
+    }
+
+    /// Scheduling quantum: max envelopes a worker drains from one
+    /// mailbox before requeueing the machine (default 32).
+    pub fn quantum(mut self, quantum: usize) -> ExecutorBuilder {
+        self.quantum = quantum.max(1);
+        self
+    }
+
+    /// Timer-wheel tick (default 1ms; floor 100µs).
+    pub fn timer_tick(mut self, tick: Duration) -> ExecutorBuilder {
+        self.timer_tick = tick;
+        self
+    }
+
+    /// Record per-injection completion latencies (returned sorted by
+    /// [`Executor::shutdown`]; default off — sampling costs one `Instant`
+    /// read per delivery plus the sample storage).
+    pub fn record_latency(mut self, record: bool) -> ExecutorBuilder {
+        self.record_latency = record;
+        self
+    }
+
+    /// Overrides the per-run small-step budget of every shard runtime.
+    pub fn fuel(mut self, fuel: usize) -> ExecutorBuilder {
+        self.fuel = Some(fuel);
+        self
+    }
+
+    /// Attaches a telemetry handle: shard runtimes record their run
+    /// spans through it, and workers add per-shard queue-depth gauges
+    /// and steal/batch counters.
+    pub fn telemetry(mut self, telemetry: Telemetry) -> ExecutorBuilder {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Registers a pure foreign function on every shard runtime.
+    /// Ignored in adopt mode (the adopted runtime already has its
+    /// foreign environment).
+    pub fn foreign<F>(mut self, name: &str, f: F) -> ExecutorBuilder
+    where
+        F: Fn(&[Value]) -> Value + Send + Sync + 'static,
+    {
+        let name = name.to_owned();
+        let f = Arc::new(f);
+        self.foreigns.push(Box::new(move |b: &mut RuntimeBuilder| {
+            let f = Arc::clone(&f);
+            b.foreign(&name, move |args| f(args));
+        }));
+        self
+    }
+
+    /// Builds the shards, spawns one worker thread per shard plus the
+    /// timer thread, and returns the executor handle.
+    pub fn start(self) -> Executor {
+        let (shards, router) = match self.source {
+            Source::Adopt(runtime) => (
+                vec![Shard::new(runtime, self.mailbox_capacity, self.credits)],
+                Router::Identity,
+            ),
+            Source::Lowered(lowered) => {
+                let mut shards = Vec::with_capacity(self.shards);
+                for _ in 0..self.shards {
+                    let mut builder = Runtime::from_lowered((*lowered).clone());
+                    for register in &self.foreigns {
+                        register(&mut builder);
+                    }
+                    if let Some(fuel) = self.fuel {
+                        builder.fuel(fuel);
+                    }
+                    builder.telemetry(self.telemetry.clone());
+                    shards.push(Shard::new(
+                        builder.start(),
+                        self.mailbox_capacity,
+                        self.credits,
+                    ));
+                }
+                (shards, Router::Table(RwLock::new(Vec::new())))
+            }
+        };
+        let inner = Arc::new(ExecInner {
+            shards,
+            router,
+            wheel: TimerWheel::new(self.timer_tick),
+            overflow: self.overflow,
+            quantum: self.quantum.max(1),
+            record_latency: self.record_latency,
+            stop: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            first_error: Mutex::new(None),
+            next_shard: AtomicUsize::new(0),
+            telemetry: self.telemetry,
+        });
+        let workers = (0..inner.shards.len())
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("p-exec-shard-{i}"))
+                    .spawn(move || worker_loop(&inner, i))
+                    .expect("spawn shard worker")
+            })
+            .collect();
+        let timer = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("p-exec-timer".to_owned())
+                .spawn(move || timer_loop(&inner))
+                .expect("spawn timer thread")
+        };
+        Executor {
+            inner,
+            workers,
+            timer: Some(timer),
+            done: false,
+        }
+    }
+}
+
+struct ExecInner {
+    shards: Vec<Shard>,
+    router: Router,
+    wheel: TimerWheel,
+    overflow: OverflowPolicy,
+    quantum: usize,
+    record_latency: bool,
+    /// No new injections or timers once set (shutdown or drop).
+    stop: AtomicBool,
+    /// Workers currently executing a batch.
+    active: AtomicUsize,
+    first_error: Mutex<Option<RuntimeError>>,
+    next_shard: AtomicUsize,
+    #[cfg_attr(not(feature = "telemetry"), allow(dead_code))]
+    telemetry: Telemetry,
+}
+
+impl ExecInner {
+    fn resolve(&self, id: MachineId) -> Result<(usize, MachineId), RuntimeError> {
+        match &self.router {
+            Router::Identity => Ok((0, id)),
+            Router::Table(table) => table
+                .read()
+                .get(id.0 as usize)
+                .copied()
+                .ok_or(RuntimeError::NoSuchMachine(id)),
+        }
+    }
+
+    /// Translates a `Value::Machine` payload into the target shard's
+    /// local id space, rejecting cross-shard references.
+    fn translate_payload(&self, payload: Value, shard: usize) -> Result<Value, RuntimeError> {
+        match payload {
+            Value::Machine(id) => {
+                let (home, local) = self.resolve(id)?;
+                if home != shard {
+                    return Err(RuntimeError::CrossShard {
+                        machine: id,
+                        home,
+                        used_from: shard,
+                    });
+                }
+                Ok(Value::Machine(local))
+            }
+            other => Ok(other),
+        }
+    }
+
+    fn queued_total(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.queued.load(Ordering::SeqCst))
+            .sum()
+    }
+
+    /// True once every injection has been delivered: no armed timers, no
+    /// queued envelopes, no batch mid-run. Read order matters — work
+    /// moves wheel→mailbox (queued++ before pending--) and
+    /// mailbox→worker (active++ before queued--), so reading pending,
+    /// then queued, then active can never miss an in-flight event.
+    fn drained(&self) -> bool {
+        self.wheel.pending() == 0
+            && self.queued_total() == 0
+            && self.active.load(Ordering::SeqCst) == 0
+    }
+
+    fn record_error(&self, e: RuntimeError) {
+        let mut slot = self.first_error.lock();
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+    }
+}
+
+/// Claims the next ready machine: own shard first (FIFO), then steal
+/// from the others (LIFO), rotated by worker index.
+fn next_work(inner: &ExecInner, me: usize) -> Option<(usize, MachineId)> {
+    if let Some(local) = inner.shards[me].pop_ready() {
+        return Some((me, local));
+    }
+    let n = inner.shards.len();
+    for k in 1..n {
+        let victim = (me + k) % n;
+        if let Some(local) = inner.shards[victim].steal_ready() {
+            inner.shards[me]
+                .counters
+                .steals
+                .fetch_add(1, Ordering::Relaxed);
+            return Some((victim, local));
+        }
+    }
+    None
+}
+
+/// Drains up to one quantum of envelopes from `local`'s mailbox,
+/// delivering each through the owning shard's runtime.
+fn run_batch(inner: &ExecInner, shard_idx: usize, local: MachineId) {
+    let shard = &inner.shards[shard_idx];
+    let mb = shard.mailbox(local);
+    let mut processed = 0u64;
+    let mut latencies: Vec<u64> = Vec::new();
+    while processed < inner.quantum as u64 {
+        let Some(env) = shard.pop_envelope(&mb) else {
+            break;
+        };
+        let started = env.at;
+        match shard.runtime.add_event(env.local, &env.event, env.payload) {
+            Ok(()) => {
+                shard.counters.delivered.fetch_add(1, Ordering::Relaxed);
+                if inner.record_latency {
+                    latencies.push(started.elapsed().as_nanos() as u64);
+                }
+            }
+            Err(e) => {
+                // A failed machine must not stall delivery to healthy
+                // ones: remember the first error, keep draining.
+                shard.counters.failed.fetch_add(1, Ordering::Relaxed);
+                inner.record_error(e);
+            }
+        }
+        processed += 1;
+    }
+    if processed > 0 {
+        shard.counters.batches.fetch_add(1, Ordering::Relaxed);
+        if !latencies.is_empty() {
+            shard.latencies.lock().extend(latencies);
+        }
+    }
+    #[cfg(feature = "telemetry")]
+    if inner.telemetry.enabled() {
+        inner.telemetry.gauge(
+            shard_idx as u32,
+            "shard_queue_depth",
+            shard.queued.load(Ordering::Relaxed) as i64,
+        );
+        if let Some(metrics) = inner.telemetry.metrics() {
+            metrics.counter("exec.batches").inc();
+            metrics.counter("exec.delivered").add(processed);
+            metrics
+                .gauge("exec.queue.depth")
+                .set(inner.queued_total() as u64);
+        }
+    }
+    shard.reschedule_after_batch(&mb, local);
+}
+
+fn worker_loop(inner: &Arc<ExecInner>, me: usize) {
+    loop {
+        match next_work(inner, me) {
+            Some((shard_idx, local)) => {
+                inner.active.fetch_add(1, Ordering::SeqCst);
+                run_batch(inner, shard_idx, local);
+                inner.active.fetch_sub(1, Ordering::SeqCst);
+            }
+            None => {
+                if inner.stop.load(Ordering::SeqCst)
+                    && inner.wheel.pending() == 0
+                    && inner.queued_total() == 0
+                {
+                    break;
+                }
+                inner.shards[me].park(Duration::from_micros(500));
+            }
+        }
+    }
+}
+
+fn timer_loop(inner: &Arc<ExecInner>) {
+    loop {
+        if inner.stop.load(Ordering::SeqCst) && inner.wheel.pending() == 0 {
+            break;
+        }
+        let now = inner.wheel.now_tick();
+        for entry in inner.wheel.collect_due(now) {
+            let shard = &inner.shards[entry.shard];
+            let (deadline_tick, seq, shard_idx) = (entry.deadline_tick, entry.seq, entry.shard);
+            let env = Envelope {
+                local: entry.local,
+                event: entry.event,
+                payload: entry.payload,
+                at: Instant::now(),
+            };
+            match shard.try_push(env) {
+                Ok(()) => {
+                    shard.counters.timer_fired.fetch_add(1, Ordering::Relaxed);
+                    inner.wheel.note_moved();
+                }
+                Err(env) => {
+                    if inner.overflow == OverflowPolicy::DropNewest {
+                        shard.counters.dropped.fetch_add(1, Ordering::Relaxed);
+                        shard.runtime.note_dropped(env.local);
+                        inner.wheel.note_moved();
+                    } else {
+                        // Full mailbox under Block/Fail: fire again next
+                        // tick, keeping the original deadline order key.
+                        inner.wheel.rearm(
+                            crate::timer::TimerEntry {
+                                fire_tick: now + 1,
+                                deadline_tick,
+                                seq,
+                                shard: shard_idx,
+                                local: env.local,
+                                event: env.event,
+                                payload: env.payload,
+                            },
+                            now,
+                        );
+                    }
+                }
+            }
+        }
+        inner.wheel.park_thread();
+    }
+}
+
+/// A sharded multi-threaded executor over P machine runtimes.
+///
+/// # Examples
+///
+/// ```
+/// let src = r#"
+///     event inc;
+///     machine Counter {
+///         var n : int;
+///         state Run { on inc do bump; }
+///         action bump { n := n + 1; }
+///     }
+///     main Counter();
+/// "#;
+/// let program = p_parser::parse(src).unwrap();
+/// let exec = p_runtime::Executor::builder(&program).unwrap().shards(2).start();
+/// let ids: Vec<_> = (0..4)
+///     .map(|_| exec.create_machine("Counter", &[("n", p_semantics::Value::Int(0))]).unwrap())
+///     .collect();
+/// for &id in &ids {
+///     exec.inject(p_runtime::Injection::new(id, "inc", p_semantics::Value::Null)).unwrap();
+/// }
+/// let report = exec.shutdown().unwrap();
+/// assert_eq!(report.delivered, 4);
+/// ```
+pub struct Executor {
+    inner: Arc<ExecInner>,
+    workers: Vec<JoinHandle<()>>,
+    timer: Option<JoinHandle<()>>,
+    done: bool,
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("shards", &self.inner.shards.len())
+            .field("queued", &self.inner.queued_total())
+            .finish()
+    }
+}
+
+impl Executor {
+    /// Checks `program`, erases its ghost parts, lowers the result and
+    /// returns a builder (mirroring [`Runtime::builder`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the program is rejected by the static checker, has no
+    /// real machines, or does not lower.
+    pub fn builder(program: &Program) -> Result<ExecutorBuilder, RuntimeError> {
+        p_typecheck::check(program)?;
+        let erased = p_typecheck::erase(program)?;
+        let lowered = lower(&erased)?;
+        Ok(ExecutorBuilder::new(Source::Lowered(Box::new(lowered))))
+    }
+
+    /// Builder over an already-erased, lowered program.
+    pub fn from_lowered(program: LoweredProgram) -> ExecutorBuilder {
+        ExecutorBuilder::new(Source::Lowered(Box::new(program)))
+    }
+
+    /// Builder that adopts an existing runtime as a single shard (the
+    /// [`EventPump`](crate::EventPump) facade). Machine ids pass through
+    /// unchanged; machines created directly on the runtime get their
+    /// mailbox lazily on first injection.
+    pub fn adopt(runtime: Runtime) -> ExecutorBuilder {
+        ExecutorBuilder::new(Source::Adopt(runtime))
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// The runtime owning shard `shard`'s machines.
+    pub fn shard_runtime(&self, shard: usize) -> Option<&Runtime> {
+        self.inner.shards.get(shard).map(|s| &s.runtime)
+    }
+
+    /// The `(shard, shard-local id)` pair a global machine id routes to.
+    /// Together with a cloned [`Executor::shard_runtime`] handle this
+    /// lets callers inspect machine state after the executor has shut
+    /// down.
+    pub fn locate(&self, id: MachineId) -> Option<(usize, MachineId)> {
+        self.inner.resolve(id).ok()
+    }
+
+    /// Creates a machine on the least-recently-used shard (round-robin)
+    /// and returns its global id.
+    ///
+    /// # Errors
+    ///
+    /// As [`Runtime::create_machine`], plus
+    /// [`RuntimeError::CrossShard`] if an initializer references a
+    /// machine on a different shard.
+    pub fn create_machine(
+        &self,
+        type_name: &str,
+        inits: &[(&str, Value)],
+    ) -> Result<MachineId, RuntimeError> {
+        let n = self.inner.shards.len();
+        let shard = self.inner.next_shard.fetch_add(1, Ordering::Relaxed) % n;
+        self.create_machine_on(shard, type_name, inits)
+    }
+
+    /// Creates a machine on a specific shard. Machines that reference
+    /// each other in-program (id-typed variables, `send` targets) must
+    /// be co-located this way.
+    ///
+    /// # Errors
+    ///
+    /// As [`Executor::create_machine`]; unknown shard indices report
+    /// [`RuntimeError::UnknownName`].
+    pub fn create_machine_on(
+        &self,
+        shard: usize,
+        type_name: &str,
+        inits: &[(&str, Value)],
+    ) -> Result<MachineId, RuntimeError> {
+        let inner = &self.inner;
+        if shard >= inner.shards.len() {
+            return Err(RuntimeError::UnknownName {
+                kind: "shard",
+                name: shard.to_string(),
+            });
+        }
+        let mut translated: Vec<(&str, Value)> = Vec::with_capacity(inits.len());
+        for (name, value) in inits {
+            translated.push((name, inner.translate_payload(*value, shard)?));
+        }
+        let local = inner.shards[shard]
+            .runtime
+            .create_machine(type_name, &translated)?;
+        let global = match &inner.router {
+            Router::Identity => local,
+            Router::Table(table) => {
+                let mut table = table.write();
+                table.push((shard, local));
+                MachineId((table.len() - 1) as u32)
+            }
+        };
+        // Pre-size the mailbox table so first injection takes the read path.
+        let _ = inner.shards[shard].mailbox(local);
+        Ok(global)
+    }
+
+    /// Queues one event for asynchronous delivery. A full mailbox (or an
+    /// exhausted credit budget) is handled per the executor's
+    /// [`OverflowPolicy`].
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::PumpStopped`] after shutdown has begun;
+    /// [`RuntimeError::QueueFull`] under the `Fail` policy;
+    /// [`RuntimeError::NoSuchMachine`] / [`RuntimeError::CrossShard`]
+    /// for unroutable targets or payloads.
+    pub fn inject(&self, injection: Injection) -> Result<(), RuntimeError> {
+        let inner = &self.inner;
+        let (shard_idx, local) = inner.resolve(injection.target)?;
+        let payload = inner.translate_payload(injection.payload, shard_idx)?;
+        let env = Envelope {
+            local,
+            event: injection.event,
+            payload,
+            at: Instant::now(),
+        };
+        inner.shards[shard_idx].push(env, inner.overflow, None, &inner.stop)
+    }
+
+    /// Queues one event, waiting at most `deadline` for space regardless
+    /// of the configured overflow policy.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::QueueFull`] if the deadline expires; otherwise as
+    /// [`Executor::inject`].
+    pub fn try_inject(&self, injection: Injection, deadline: Duration) -> Result<(), RuntimeError> {
+        let inner = &self.inner;
+        let (shard_idx, local) = inner.resolve(injection.target)?;
+        let payload = inner.translate_payload(injection.payload, shard_idx)?;
+        let env = Envelope {
+            local,
+            event: injection.event,
+            payload,
+            at: Instant::now(),
+        };
+        inner.shards[shard_idx].push(
+            env,
+            OverflowPolicy::Block,
+            Some(Instant::now() + deadline),
+            &inner.stop,
+        )
+    }
+
+    /// Queues one event, retrying transient full-queue conditions with
+    /// exponential backoff per `policy`.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::QueueFull`] once `policy.max_attempts` attempts
+    /// are exhausted; otherwise as [`Executor::inject`].
+    pub fn inject_with_retry(
+        &self,
+        injection: Injection,
+        policy: &RetryPolicy,
+    ) -> Result<(), RuntimeError> {
+        let inner = &self.inner;
+        let (shard_idx, local) = inner.resolve(injection.target)?;
+        let payload = inner.translate_payload(injection.payload, shard_idx)?;
+        let mut env = Envelope {
+            local,
+            event: injection.event,
+            payload,
+            at: Instant::now(),
+        };
+        let attempts = policy.max_attempts.max(1);
+        for attempt in 0..attempts {
+            if inner.stop.load(Ordering::SeqCst) {
+                return Err(RuntimeError::PumpStopped);
+            }
+            match inner.shards[shard_idx].try_push(env) {
+                Ok(()) => return Ok(()),
+                Err(back) => {
+                    env = back;
+                    if attempt + 1 < attempts {
+                        std::thread::sleep(policy.delay_for(attempt));
+                    }
+                }
+            }
+        }
+        Err(RuntimeError::QueueFull)
+    }
+
+    /// Arms a delayed injection: `injection` is delivered through the
+    /// timer wheel once `delay` has elapsed. Delayed sends to one
+    /// machine fire in deadline order (arm order breaking ties), even
+    /// when mailbox backpressure postpones actual delivery.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::PumpStopped`] after shutdown has begun; routing
+    /// errors as [`Executor::inject`].
+    pub fn inject_after(&self, injection: Injection, delay: Duration) -> Result<(), RuntimeError> {
+        let inner = &self.inner;
+        let (shard_idx, local) = inner.resolve(injection.target)?;
+        let payload = inner.translate_payload(injection.payload, shard_idx)?;
+        inner.wheel.schedule(
+            shard_idx,
+            local,
+            injection.event,
+            payload,
+            delay,
+            &inner.stop,
+        )
+    }
+
+    /// Pending-mailbox depth of machine `id` (one atomic read; no
+    /// locks). `None` for unroutable ids.
+    pub fn queue_len(&self, id: MachineId) -> Option<usize> {
+        let (shard, local) = self.inner.resolve(id).ok()?;
+        Some(self.inner.shards[shard].mailbox(local).depth())
+    }
+
+    /// Supervision status of machine `id` (see
+    /// [`Runtime::machine_status`]).
+    pub fn machine_status(&self, id: MachineId) -> Option<MachineStatus> {
+        let (shard, local) = self.inner.resolve(id).ok()?;
+        self.inner.shards[shard].runtime.machine_status(local)
+    }
+
+    /// Reads a machine variable by name (introspection; machine-id
+    /// values come back in the owning shard's local id space).
+    pub fn read_var(&self, id: MachineId, name: &str) -> Option<Value> {
+        let (shard, local) = self.inner.resolve(id).ok()?;
+        self.inner.shards[shard].runtime.read_var(local, name)
+    }
+
+    /// The source name of machine `id`'s current control state.
+    pub fn current_state(&self, id: MachineId) -> Option<String> {
+        let (shard, local) = self.inner.resolve(id).ok()?;
+        self.inner.shards[shard].runtime.current_state(local)
+    }
+
+    /// Events accepted across all shard runtimes.
+    pub fn events_processed(&self) -> u64 {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.runtime.events_processed())
+            .sum()
+    }
+
+    /// Counter snapshot: totals plus per-shard queue depths, credits,
+    /// steal/batch/timer counters.
+    pub fn stats(&self) -> ExecStats {
+        stats_of(&self.inner)
+    }
+
+    fn begin_stop(&self) {
+        self.inner.stop.store(true, Ordering::SeqCst);
+        for shard in &self.inner.shards {
+            shard.barrier();
+        }
+        self.inner.wheel.barrier();
+    }
+
+    fn finish(&mut self) -> Result<ExecReport, RuntimeError> {
+        self.done = true;
+        for shard in &self.inner.shards {
+            shard.wake_worker();
+        }
+        self.inner.wheel.barrier();
+        for worker in self.workers.drain(..) {
+            if worker.join().is_err() {
+                return Err(RuntimeError::PumpPanicked);
+            }
+        }
+        if let Some(timer) = self.timer.take() {
+            if timer.join().is_err() {
+                return Err(RuntimeError::PumpPanicked);
+            }
+        }
+        if let Some(e) = self.inner.first_error.lock().take() {
+            return Err(e);
+        }
+        let stats = stats_of(&self.inner);
+        let mut latency_ns: Vec<u64> = Vec::new();
+        for shard in &self.inner.shards {
+            latency_ns.extend(shard.latencies.lock().drain(..));
+        }
+        latency_ns.sort_unstable();
+        Ok(ExecReport {
+            delivered: stats.delivered,
+            stats,
+            latency_ns,
+        })
+    }
+
+    /// Stops accepting injections, waits for every queued envelope and
+    /// armed timer to deliver, joins the workers, and returns the final
+    /// report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first machine error any shard encountered, or
+    /// [`RuntimeError::PumpPanicked`] if a worker thread died.
+    pub fn shutdown(mut self) -> Result<ExecReport, RuntimeError> {
+        self.begin_stop();
+        while !self.inner.drained() {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        self.finish()
+    }
+
+    /// Like [`Executor::shutdown`], but waits at most `deadline` for the
+    /// drain.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::ShutdownTimeout`] (carrying the in-flight count)
+    /// if the deadline expires — the workers are detached and keep
+    /// draining in the background; otherwise as [`Executor::shutdown`].
+    pub fn shutdown_with_deadline(
+        mut self,
+        deadline: Duration,
+    ) -> Result<ExecReport, RuntimeError> {
+        self.begin_stop();
+        let end = Instant::now() + deadline;
+        while !self.inner.drained() {
+            if Instant::now() >= end {
+                self.done = true;
+                let pending = (self.inner.queued_total()
+                    + self.inner.wheel.pending()
+                    + self.inner.active.load(Ordering::SeqCst))
+                    as u64;
+                self.workers.clear();
+                self.timer.take();
+                return Err(RuntimeError::ShutdownTimeout {
+                    pending: pending.max(1),
+                });
+            }
+            std::thread::sleep(Duration::from_micros(100));
+        }
+        self.finish()
+    }
+}
+
+fn stats_of(inner: &ExecInner) -> ExecStats {
+    let shards: Vec<ShardStats> = inner
+        .shards
+        .iter()
+        .enumerate()
+        .map(|(i, s)| ShardStats {
+            shard: i,
+            machines: s.machine_count(),
+            queued: s.queued.load(Ordering::SeqCst) as u64,
+            credits_free: s.credits_free() as u64,
+            delivered: s.counters.delivered.load(Ordering::Relaxed),
+            failed: s.counters.failed.load(Ordering::Relaxed),
+            dropped: s.counters.dropped.load(Ordering::Relaxed),
+            steals: s.counters.steals.load(Ordering::Relaxed),
+            batches: s.counters.batches.load(Ordering::Relaxed),
+            timer_fired: s.counters.timer_fired.load(Ordering::Relaxed),
+            max_mailbox_depth: s.counters.max_depth.load(Ordering::Relaxed),
+        })
+        .collect();
+    ExecStats {
+        delivered: shards.iter().map(|s| s.delivered).sum(),
+        failed: shards.iter().map(|s| s.failed).sum(),
+        dropped: shards.iter().map(|s| s.dropped).sum(),
+        steals: shards.iter().map(|s| s.steals).sum(),
+        batches: shards.iter().map(|s| s.batches).sum(),
+        queued: shards.iter().map(|s| s.queued).sum(),
+        timer_scheduled: inner.wheel.scheduled_total(),
+        timer_pending: inner.wheel.pending() as u64,
+        timer_fired: shards.iter().map(|s| s.timer_fired).sum(),
+        shards,
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        if self.done {
+            return;
+        }
+        // Stop intake, give the drain a short grace period, then join —
+        // a silently detached worker would leak the thread and lose any
+        // recorded machine error.
+        self.begin_stop();
+        let grace = Instant::now() + Duration::from_millis(200);
+        while !self.inner.drained() && Instant::now() < grace {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        if self.inner.drained() {
+            for worker in self.workers.drain(..) {
+                let _ = worker.join();
+            }
+            if let Some(timer) = self.timer.take() {
+                let _ = timer.join();
+            }
+            if let Some(e) = self.inner.first_error.lock().take() {
+                eprintln!("Executor dropped with an unobserved machine error: {e}");
+            }
+        }
+        // Not drained within the grace period: detach. The workers keep
+        // draining and exit once their queues empty.
+    }
+}

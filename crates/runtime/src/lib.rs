@@ -11,8 +11,14 @@
 //!    run-to-completion on the calling thread, exactly like the paper's
 //!    driver runtime with its `SMCreateMachine` / `SMAddEvent` /
 //!    `SMGetContext` API;
-//! 5. [`DriverHost`] plays the role of the skeletal KMDF interface code,
-//!    translating simulated OS callbacks into P events.
+//! 5. an [`Executor`] scales that out: N worker shards over per-machine
+//!    bounded mailboxes with work stealing, credit-based injection
+//!    backpressure, and a timer wheel for delayed injections — every
+//!    delivery still one run-to-completion `add_event`;
+//! 6. [`DriverHost`] plays the role of the skeletal KMDF interface code,
+//!    translating simulated OS callbacks into P events, and
+//!    [`EventPump`] is the single-shard executor facade for
+//!    asynchronous producers.
 //!
 //! Because the runtime drives the *same* operational-semantics engine the
 //! model checker explores, the schedule it executes is the delay-0 causal
@@ -23,13 +29,20 @@
 #![warn(missing_debug_implementations)]
 
 mod error;
+mod exec;
 mod host;
 mod pump;
 mod runtime;
+mod shard;
+mod timer;
 
 pub use error::RuntimeError;
+pub use exec::{
+    ExecReport, ExecStats, Executor, ExecutorBuilder, Injection, OverflowPolicy, RetryPolicy,
+    ShardStats,
+};
 pub use host::{DeviceHandle, DriverHost};
-pub use pump::{EventPump, Injection, OverflowPolicy, PumpBuilder, PumpStats, RetryPolicy};
+pub use pump::{EventPump, PumpBuilder, PumpStats};
 pub use runtime::{MachineStats, MachineStatus, Runtime, RuntimeBuilder, RuntimeStats};
 
 #[cfg(test)]

@@ -1,114 +1,28 @@
-//! Asynchronous event injection: a background thread that drains a
-//! channel of events into the runtime.
+//! Asynchronous event injection: the single-shard facade over the
+//! sharded executor.
 //!
 //! Windows calls into a driver from many contexts — application requests,
 //! interrupts, deferred procedure calls (§4). [`EventPump`] models those
 //! asynchronous sources: producers send [`Injection`]s from any thread;
-//! a dedicated pump thread delivers them through `SMAddEvent`
-//! (run-to-completion), exactly like interface code running on an OS
-//! worker thread.
+//! the executor delivers them through `SMAddEvent` (run-to-completion),
+//! exactly like interface code running on an OS worker thread.
 //!
-//! The pump has an explicit failure model. The bounded channel overflows
-//! according to a configurable [`OverflowPolicy`]; transient
+//! Since the sharded executor landed (ROADMAP item 2), the pump is a thin
+//! wrapper over [`Executor`] in adopt mode: one shard wrapping the
+//! caller's runtime, injection credits standing in for the old bounded
+//! channel's capacity. The public API and failure model are unchanged —
+//! the bounded queue overflows per [`OverflowPolicy`]; transient
 //! backpressure can be ridden out with [`EventPump::try_inject`]
 //! (deadline) or [`EventPump::inject_with_retry`] (exponential backoff
-//! via [`RetryPolicy`]). Machine errors do **not** kill the pump: the
+//! via [`RetryPolicy`]); machine errors do **not** kill the pump (the
 //! worker records the first failure, keeps delivering to healthy
-//! machines, and the error surfaces on [`EventPump::shutdown`].
+//! machines, and the error surfaces on [`EventPump::shutdown`]) — and
+//! the pump gains [`EventPump::inject_after`] from the executor's timer
+//! wheel for free.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
-use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use crossbeam::channel::{bounded, Sender, TrySendError};
-use parking_lot::Mutex;
-
-use p_semantics::{MachineId, Value};
-
-use crate::{Runtime, RuntimeError};
-
-/// One event to deliver.
-#[derive(Debug, Clone)]
-pub struct Injection {
-    /// Target machine.
-    pub target: MachineId,
-    /// Event name.
-    pub event: String,
-    /// Payload.
-    pub payload: Value,
-}
-
-impl Injection {
-    /// Creates an injection.
-    pub fn new(target: MachineId, event: &str, payload: Value) -> Injection {
-        Injection {
-            target,
-            event: event.to_owned(),
-            payload,
-        }
-    }
-}
-
-/// What [`EventPump::inject`] does when the bounded channel is full.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub enum OverflowPolicy {
-    /// Block the producer until space frees up (backpressure, like a
-    /// full DPC queue). The default.
-    #[default]
-    Block,
-    /// Drop the event being injected, count it in [`PumpStats`] and the
-    /// target machine's [`RuntimeStats`](crate::RuntimeStats) row, and
-    /// report success.
-    DropNewest,
-    /// Fail fast with [`RuntimeError::QueueFull`].
-    Fail,
-}
-
-/// Exponential-backoff schedule for [`EventPump::inject_with_retry`].
-#[derive(Clone, Debug)]
-pub struct RetryPolicy {
-    /// Total send attempts before giving up with
-    /// [`RuntimeError::QueueFull`].
-    pub max_attempts: u32,
-    /// Delay after the first failed attempt; doubles per attempt.
-    pub base_delay: Duration,
-    /// Add up to +50% random jitter per delay, decorrelating producers
-    /// that fail in lockstep.
-    pub jitter: bool,
-}
-
-impl Default for RetryPolicy {
-    fn default() -> RetryPolicy {
-        RetryPolicy {
-            max_attempts: 5,
-            base_delay: Duration::from_millis(1),
-            jitter: true,
-        }
-    }
-}
-
-impl RetryPolicy {
-    /// The backoff before retry number `attempt` (0-based): the base
-    /// delay doubled per attempt, plus up to +50% jitter when enabled.
-    pub fn delay_for(&self, attempt: u32) -> Duration {
-        let backoff = self.base_delay * (1u32 << attempt.min(16));
-        if !self.jitter {
-            return backoff;
-        }
-        // Deterministic per-call jitter without a rand dependency: hash
-        // a process-wide counter (SplitMix64).
-        static COUNTER: AtomicU64 = AtomicU64::new(0);
-        let n = COUNTER
-            .fetch_add(1, Ordering::Relaxed)
-            .wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = n;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z ^= z >> 31;
-        let half = backoff.as_nanos() as u64 / 2;
-        backoff + Duration::from_nanos(if half == 0 { 0 } else { z % half })
-    }
-}
+use crate::{Executor, Injection, OverflowPolicy, RetryPolicy, Runtime, RuntimeError};
 
 /// Delivery counters for one pump (see [`EventPump::stats`]).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -122,17 +36,6 @@ pub struct PumpStats {
     pub dropped: u64,
 }
 
-/// State shared between producers, the worker thread and the pump handle.
-#[derive(Debug, Default)]
-struct PumpShared {
-    delivered: AtomicU64,
-    failed: AtomicU64,
-    dropped: AtomicU64,
-    /// Set by the worker when its delivery loop has exited.
-    done: AtomicBool,
-    first_error: Mutex<Option<RuntimeError>>,
-}
-
 /// Configures an [`EventPump`] (see [`EventPump::builder`]).
 #[derive(Debug)]
 pub struct PumpBuilder {
@@ -142,9 +45,9 @@ pub struct PumpBuilder {
 }
 
 impl PumpBuilder {
-    /// Channel capacity (default 64).
+    /// Queue capacity (default 64).
     pub fn capacity(mut self, capacity: usize) -> PumpBuilder {
-        self.capacity = capacity;
+        self.capacity = capacity.max(1);
         self
     }
 
@@ -157,41 +60,20 @@ impl PumpBuilder {
 
     /// Spawns the worker thread and returns the pump handle.
     pub fn start(self) -> EventPump {
-        let (sender, receiver) = bounded::<Injection>(self.capacity);
-        let shared = Arc::new(PumpShared::default());
-        let worker_shared = Arc::clone(&shared);
-        let runtime = self.runtime.clone();
-        let worker = std::thread::spawn(move || {
-            for injection in receiver {
-                match runtime.add_event(injection.target, &injection.event, injection.payload) {
-                    Ok(()) => {
-                        worker_shared.delivered.fetch_add(1, Ordering::Relaxed);
-                    }
-                    Err(e) => {
-                        // A failed machine must not stall delivery to the
-                        // healthy ones: remember the first error, keep
-                        // pumping.
-                        worker_shared.failed.fetch_add(1, Ordering::Relaxed);
-                        let mut slot = worker_shared.first_error.lock();
-                        if slot.is_none() {
-                            *slot = Some(e);
-                        }
-                    }
-                }
-            }
-            worker_shared.done.store(true, Ordering::Release);
-        });
         EventPump {
-            sender: Some(sender),
-            worker: Some(worker),
-            shared,
-            runtime: self.runtime,
-            overflow: self.overflow,
+            exec: Executor::adopt(self.runtime)
+                // The old bounded channel's capacity maps onto the
+                // shard's credit budget: at most `capacity` injections
+                // queued at once, pump-wide.
+                .mailbox_capacity(self.capacity)
+                .credits(self.capacity)
+                .overflow(self.overflow)
+                .start(),
         }
     }
 }
 
-/// A background event-delivery thread over a bounded channel.
+/// A background event-delivery worker over a bounded queue.
 ///
 /// # Examples
 ///
@@ -218,11 +100,7 @@ impl PumpBuilder {
 /// ```
 #[derive(Debug)]
 pub struct EventPump {
-    sender: Option<Sender<Injection>>,
-    worker: Option<JoinHandle<()>>,
-    shared: Arc<PumpShared>,
-    runtime: Runtime,
-    overflow: OverflowPolicy,
+    exec: Executor,
 }
 
 impl EventPump {
@@ -235,60 +113,33 @@ impl EventPump {
         }
     }
 
-    /// Spawns a pump with a channel of the given capacity and the default
+    /// Spawns a pump with a queue of the given capacity and the default
     /// [`OverflowPolicy::Block`] policy.
     pub fn start(runtime: Runtime, capacity: usize) -> EventPump {
         EventPump::builder(runtime).capacity(capacity).start()
     }
 
-    fn sender(&self) -> &Sender<Injection> {
-        self.sender.as_ref().expect("pump is live until shutdown")
-    }
-
-    /// Queues one event for delivery. A full channel is handled per the
+    /// Queues one event for delivery. A full queue is handled per the
     /// pump's [`OverflowPolicy`]: `Block` waits, `DropNewest` counts the
     /// event as dropped and succeeds, `Fail` returns
     /// [`RuntimeError::QueueFull`].
     ///
     /// # Errors
     ///
-    /// [`RuntimeError::PumpStopped`] if the worker has exited;
+    /// [`RuntimeError::PumpStopped`] if the pump has stopped;
     /// [`RuntimeError::QueueFull`] under the `Fail` policy.
     pub fn inject(&self, injection: Injection) -> Result<(), RuntimeError> {
-        match self.overflow {
-            OverflowPolicy::Block => self
-                .sender()
-                .send(injection)
-                .map_err(|_| RuntimeError::PumpStopped),
-            OverflowPolicy::DropNewest => match self.sender().try_send(injection) {
-                Ok(()) => Ok(()),
-                Err(TrySendError::Full(injection)) => {
-                    self.shared.dropped.fetch_add(1, Ordering::Relaxed);
-                    self.runtime.note_dropped(injection.target);
-                    Ok(())
-                }
-                Err(TrySendError::Disconnected(_)) => Err(RuntimeError::PumpStopped),
-            },
-            OverflowPolicy::Fail => match self.sender().try_send(injection) {
-                Ok(()) => Ok(()),
-                Err(TrySendError::Full(_)) => Err(RuntimeError::QueueFull),
-                Err(TrySendError::Disconnected(_)) => Err(RuntimeError::PumpStopped),
-            },
-        }
+        self.exec.inject(injection)
     }
 
-    /// Queues one event, waiting at most `deadline` for channel space.
+    /// Queues one event, waiting at most `deadline` for queue space.
     ///
     /// # Errors
     ///
     /// [`RuntimeError::QueueFull`] if the deadline expires;
-    /// [`RuntimeError::PumpStopped`] if the worker has exited.
+    /// [`RuntimeError::PumpStopped`] if the pump has stopped.
     pub fn try_inject(&self, injection: Injection, deadline: Duration) -> Result<(), RuntimeError> {
-        match self.sender().send_timeout(injection, deadline) {
-            Ok(()) => Ok(()),
-            Err(e) if e.is_full() => Err(RuntimeError::QueueFull),
-            Err(_) => Err(RuntimeError::PumpStopped),
-        }
+        self.exec.try_inject(injection, deadline)
     }
 
     /// Queues one event, retrying transient [`RuntimeError::QueueFull`]
@@ -297,54 +148,45 @@ impl EventPump {
     /// # Errors
     ///
     /// [`RuntimeError::QueueFull`] once `policy.max_attempts` attempts
-    /// are exhausted; [`RuntimeError::PumpStopped`] if the worker exits.
+    /// are exhausted; [`RuntimeError::PumpStopped`] if the pump stops.
     pub fn inject_with_retry(
         &self,
         injection: Injection,
         policy: &RetryPolicy,
     ) -> Result<(), RuntimeError> {
-        let mut injection = injection;
-        for attempt in 0..policy.max_attempts.max(1) {
-            match self.sender().try_send(injection) {
-                Ok(()) => return Ok(()),
-                Err(TrySendError::Disconnected(_)) => return Err(RuntimeError::PumpStopped),
-                Err(TrySendError::Full(v)) => {
-                    injection = v;
-                    if attempt + 1 < policy.max_attempts {
-                        std::thread::sleep(policy.delay_for(attempt));
-                    }
-                }
-            }
-        }
-        Err(RuntimeError::QueueFull)
+        self.exec.inject_with_retry(injection, policy)
+    }
+
+    /// Arms a delayed injection on the executor's timer wheel: the event
+    /// is delivered once `delay` has elapsed. Delayed sends to one
+    /// machine fire in deadline order.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::PumpStopped`] after shutdown has begun.
+    pub fn inject_after(&self, injection: Injection, delay: Duration) -> Result<(), RuntimeError> {
+        self.exec.inject_after(injection, delay)
     }
 
     /// This pump's delivery counters.
     pub fn stats(&self) -> PumpStats {
+        let stats = self.exec.stats();
         PumpStats {
-            delivered: self.shared.delivered.load(Ordering::Relaxed),
-            failed: self.shared.failed.load(Ordering::Relaxed),
-            dropped: self.shared.dropped.load(Ordering::Relaxed),
+            delivered: stats.delivered,
+            failed: stats.failed,
+            dropped: stats.dropped,
         }
     }
 
-    /// Closes the channel and waits for the pump to drain; returns the
-    /// number of events delivered.
+    /// Stops intake and waits for the pump to drain; returns the number
+    /// of events delivered.
     ///
     /// # Errors
     ///
     /// Propagates the first machine error the pump encountered, or
     /// [`RuntimeError::PumpPanicked`] if the worker thread died.
-    pub fn shutdown(mut self) -> Result<u64, RuntimeError> {
-        self.sender.take(); // closes the channel; the worker drains and exits
-        let worker = self.worker.take().expect("shutdown called once");
-        if worker.join().is_err() {
-            return Err(RuntimeError::PumpPanicked);
-        }
-        if let Some(e) = self.shared.first_error.lock().take() {
-            return Err(e);
-        }
-        Ok(self.shared.delivered.load(Ordering::Relaxed))
+    pub fn shutdown(self) -> Result<u64, RuntimeError> {
+        self.exec.shutdown().map(|report| report.delivered)
     }
 
     /// Like [`EventPump::shutdown`], but waits at most `deadline` for
@@ -352,57 +194,21 @@ impl EventPump {
     ///
     /// # Errors
     ///
-    /// [`RuntimeError::ShutdownTimeout`] if the queue does not drain in
-    /// time (the worker is detached and keeps draining in the
-    /// background); otherwise as [`EventPump::shutdown`].
-    pub fn shutdown_with_deadline(mut self, deadline: Duration) -> Result<u64, RuntimeError> {
-        self.sender.take();
-        let start = Instant::now();
-        while !self.shared.done.load(Ordering::Acquire) {
-            if start.elapsed() >= deadline {
-                self.worker.take(); // detach; it exits once the channel drains
-                return Err(RuntimeError::ShutdownTimeout);
-            }
-            std::thread::sleep(Duration::from_micros(200));
-        }
-        let worker = self.worker.take().expect("shutdown called once");
-        if worker.join().is_err() {
-            return Err(RuntimeError::PumpPanicked);
-        }
-        if let Some(e) = self.shared.first_error.lock().take() {
-            return Err(e);
-        }
-        Ok(self.shared.delivered.load(Ordering::Relaxed))
-    }
-}
-
-impl Drop for EventPump {
-    fn drop(&mut self) {
-        // Close the channel so the worker drains and exits, then give it
-        // a short grace period and join — a silently detached worker
-        // would leak the thread and lose any recorded machine error.
-        self.sender.take();
-        let Some(worker) = self.worker.take() else {
-            return; // already shut down
-        };
-        let deadline = Instant::now() + Duration::from_millis(200);
-        while !self.shared.done.load(Ordering::Acquire) && Instant::now() < deadline {
-            std::thread::sleep(Duration::from_micros(200));
-        }
-        if self.shared.done.load(Ordering::Acquire) {
-            let _ = worker.join();
-            if let Some(e) = self.shared.first_error.lock().take() {
-                eprintln!("EventPump dropped with an unobserved machine error: {e}");
-            }
-        }
-        // Not done within the grace period: detach. The worker still
-        // exits once the (closed) channel drains.
+    /// [`RuntimeError::ShutdownTimeout`] — carrying the in-flight count —
+    /// if the queue does not drain in time (the worker is detached and
+    /// keeps draining in the background); otherwise as
+    /// [`EventPump::shutdown`].
+    pub fn shutdown_with_deadline(self, deadline: Duration) -> Result<u64, RuntimeError> {
+        self.exec
+            .shutdown_with_deadline(deadline)
+            .map(|report| report.delivered)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use p_semantics::{MachineId, Value};
 
     fn counter_runtime() -> (Runtime, MachineId) {
         let src = r#"
@@ -555,7 +361,7 @@ mod tests {
             .unwrap();
         std::thread::sleep(Duration::from_millis(50));
         // Fill the buffer to the brim (its exact in-flight boundary is a
-        // channel implementation detail), then expect fail-fast.
+        // scheduling detail), then expect fail-fast.
         let mut full = false;
         for _ in 0..5 {
             match pump.inject(Injection::new(id, "tick", Value::Null)) {
@@ -595,6 +401,7 @@ mod tests {
         let policy = RetryPolicy {
             max_attempts: 10,
             base_delay: Duration::from_millis(5),
+            max_delay: Duration::from_secs(30),
             jitter: true,
         };
         pump.inject_with_retry(Injection::new(id, "tick", Value::Null), &policy)
@@ -612,7 +419,9 @@ mod tests {
             .unwrap();
         std::thread::sleep(Duration::from_millis(20));
         match pump.shutdown_with_deadline(Duration::from_millis(50)) {
-            Err(RuntimeError::ShutdownTimeout) => {}
+            Err(RuntimeError::ShutdownTimeout { pending }) => {
+                assert!(pending >= 1, "a stuck delivery counts as in flight");
+            }
             other => panic!("expected shutdown timeout, got {other:?}"),
         }
     }
@@ -643,10 +452,28 @@ mod tests {
     }
 
     #[test]
+    fn inject_after_delivers_through_the_timer_wheel() {
+        let (runtime, id) = counter_runtime();
+        let pump = EventPump::start(runtime.clone(), 16);
+        pump.inject_after(
+            Injection::new(id, "inc", Value::Null),
+            Duration::from_millis(30),
+        )
+        .unwrap();
+        // Not yet delivered (the timer is still armed)…
+        assert_eq!(runtime.read_var(id, "n"), Some(Value::Int(0)));
+        // …but shutdown waits for armed timers before draining.
+        let delivered = pump.shutdown().unwrap();
+        assert_eq!(delivered, 1);
+        assert_eq!(runtime.read_var(id, "n"), Some(Value::Int(1)));
+    }
+
+    #[test]
     fn retry_policy_backoff_grows_and_caps() {
         let p = RetryPolicy {
             max_attempts: 4,
             base_delay: Duration::from_millis(2),
+            max_delay: Duration::from_secs(30),
             jitter: false,
         };
         assert_eq!(p.delay_for(0), Duration::from_millis(2));
@@ -658,5 +485,31 @@ mod tests {
         };
         let d = j.delay_for(1);
         assert!(d >= Duration::from_millis(4) && d < Duration::from_millis(6));
+    }
+
+    #[test]
+    fn retry_policy_backoff_saturates_at_max_delay() {
+        let p = RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_secs(30),
+            jitter: false,
+        };
+        // 1ms << 14 = 16.384s is the last step below the cap…
+        assert_eq!(p.delay_for(14), Duration::from_millis(16_384));
+        // …and attempt 15 (32.768s) pins to max_delay. From here on the
+        // schedule is flat, no matter how absurd the attempt count.
+        assert_eq!(p.delay_for(15), Duration::from_secs(30));
+        assert_eq!(p.delay_for(63), Duration::from_secs(30));
+        assert_eq!(p.delay_for(64), Duration::from_secs(30));
+        assert_eq!(p.delay_for(u32::MAX), Duration::from_secs(30));
+        // A pathological base_delay saturates instead of panicking.
+        let huge = RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_secs(u64::MAX / 2),
+            max_delay: Duration::MAX,
+            jitter: false,
+        };
+        assert_eq!(huge.delay_for(40), Duration::MAX);
     }
 }

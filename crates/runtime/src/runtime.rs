@@ -118,8 +118,8 @@ impl RuntimeBuilder {
                 shared: Mutex::new(Shared {
                     config: Config::default(),
                     work: Vec::new(),
-                    meta: HashMap::new(),
                 }),
+                meta: Mutex::new(HashMap::new()),
                 fuel: self.fuel,
                 events_processed: AtomicU64::new(0),
                 runs_executed: AtomicU64::new(0),
@@ -156,11 +156,18 @@ impl MachineStatus {
 }
 
 /// Supervision metadata kept per machine instance.
+///
+/// Lives under its own mutex (`Inner::meta`), *not* under the
+/// configuration lock: status checks, counters and queue-depth gauges
+/// stay readable while a long atomic run holds the config. The
+/// `queue_depth` field is a snapshot maintained by `drain` after every
+/// enqueue and run, so introspection never touches the machine table.
 #[derive(Default)]
 struct MachineMeta {
     status: MachineStatus,
     delivered: u64,
     dropped: u64,
+    queue_depth: usize,
     error: Option<p_semantics::PError>,
     fault: Option<String>,
 }
@@ -195,6 +202,8 @@ pub struct MachineStats {
     pub delivered: u64,
     /// Events dropped before reaching its queue.
     pub dropped: u64,
+    /// Events waiting in its queue when the snapshot was taken.
+    pub queue_len: usize,
 }
 
 impl MachineStatus {
@@ -222,6 +231,7 @@ impl RuntimeStats {
                         ("status", jstr(m.status.as_str())),
                         ("delivered", num(m.delivered as f64)),
                         ("dropped", num(m.dropped as f64)),
+                        ("queue_len", num(m.queue_len as f64)),
                     ])
                 })
                 .collect(),
@@ -242,8 +252,6 @@ struct Shared {
     config: Config,
     /// Causal work stack: machines with pending work, top last.
     work: Vec<MachineId>,
-    /// Supervision status and delivery counters, keyed by machine.
-    meta: HashMap<MachineId, MachineMeta>,
 }
 
 /// Renders a `catch_unwind` payload for the quarantine record.
@@ -262,6 +270,11 @@ struct Inner {
     foreign: ForeignEnv,
     contexts: Arc<Mutex<ContextMap>>,
     shared: Mutex<Shared>,
+    /// Supervision status and delivery counters, keyed by machine.
+    /// Separate from `shared` so introspection (`queue_len`, `stats`,
+    /// `machine_status`) never blocks behind a running drain. Lock
+    /// order when both are held: `shared` before `meta`.
+    meta: Mutex<HashMap<MachineId, MachineMeta>>,
     fuel: usize,
     events_processed: AtomicU64,
     runs_executed: AtomicU64,
@@ -390,7 +403,7 @@ impl Runtime {
         for (var, value) in resolved {
             machine.locals[var.0 as usize] = value;
         }
-        shared.meta.insert(id, MachineMeta::default());
+        self.inner.meta.lock().insert(id, MachineMeta::default());
         shared.work.push(id);
         self.drain(&mut shared)?;
         Ok(id)
@@ -420,27 +433,35 @@ impl Runtime {
                     name: event.to_owned(),
                 })?;
         let mut shared = self.inner.shared.lock();
-        match shared.meta.get(&id).map(|m| m.status) {
-            Some(MachineStatus::Quarantined) => {
-                return Err(RuntimeError::MachineQuarantined(id));
+        {
+            let meta = self.inner.meta.lock();
+            match meta.get(&id).map(|m| m.status) {
+                Some(MachineStatus::Quarantined) => {
+                    return Err(RuntimeError::MachineQuarantined(id));
+                }
+                Some(MachineStatus::Halted) => {
+                    let saved = meta
+                        .get(&id)
+                        .and_then(|m| m.error.clone())
+                        .expect("halted machines record their error");
+                    return Err(RuntimeError::Machine(saved));
+                }
+                _ => {}
             }
-            Some(MachineStatus::Halted) => {
-                let saved = shared
-                    .meta
-                    .get(&id)
-                    .and_then(|m| m.error.clone())
-                    .expect("halted machines record their error");
-                return Err(RuntimeError::Machine(saved));
-            }
-            _ => {}
         }
         let machine = shared
             .config
             .machine_mut(id)
             .ok_or(RuntimeError::NoSuchMachine(id))?;
         machine.enqueue(ev, payload);
+        let depth = machine.queue.len();
         self.inner.events_processed.fetch_add(1, Ordering::Relaxed);
-        shared.meta.entry(id).or_default().delivered += 1;
+        {
+            let mut meta = self.inner.meta.lock();
+            let m = meta.entry(id).or_default();
+            m.delivered += 1;
+            m.queue_depth = depth;
+        }
         #[cfg(feature = "telemetry")]
         {
             let program = &self.inner.program;
@@ -475,13 +496,21 @@ impl Runtime {
             // per occurrence; only pay for them when tracing.
             engine = engine.with_event_log(self.inner.telemetry.enabled());
         }
-        let Shared { config, work, meta } = shared;
+        let Shared { config, work } = shared;
         let mut first_err: Option<RuntimeError> = None;
         while let Some(id) = work.pop() {
             if config.machine(id).is_none() || !engine.enabled(config, id) {
                 continue;
             }
-            if !meta.entry(id).or_default().status.is_running() {
+            if !self
+                .inner
+                .meta
+                .lock()
+                .entry(id)
+                .or_default()
+                .status
+                .is_running()
+            {
                 continue;
             }
             #[cfg(feature = "telemetry")]
@@ -508,12 +537,15 @@ impl Runtime {
                 Ok(run) => run,
                 Err(message) => {
                     self.inner.runs_executed.fetch_add(1, Ordering::Relaxed);
-                    let m = meta.entry(id).or_default();
-                    m.status = MachineStatus::Quarantined;
-                    m.fault = Some(message);
+                    {
+                        let mut meta = self.inner.meta.lock();
+                        let m = meta.entry(id).or_default();
+                        m.status = MachineStatus::Quarantined;
+                        m.fault = Some(message.clone());
+                    }
                     #[cfg(feature = "telemetry")]
                     {
-                        let reason = m.fault.as_deref().unwrap_or("");
+                        let reason = message.as_str();
                         self.inner
                             .telemetry
                             .instant(id.0, "quarantine", || vec![("reason", reason.into())]);
@@ -529,6 +561,20 @@ impl Runtime {
             self.inner.runs_executed.fetch_add(1, Ordering::Relaxed);
             #[cfg(feature = "telemetry")]
             self.trace_run(id, config, &run);
+            // Refresh the queue-depth snapshots touched by this run (the
+            // runner's own queue, and the receiver's on a send) so
+            // `queue_len`/`stats` stay accurate without the config lock.
+            {
+                let mut meta = self.inner.meta.lock();
+                if let Some(m) = config.machine(id) {
+                    meta.entry(id).or_default().queue_depth = m.queue.len();
+                }
+                if let ExecOutcome::Yield(YieldKind::Sent { to, .. }) = run.outcome {
+                    if let Some(t) = config.machine(to) {
+                        meta.entry(to).or_default().queue_depth = t.queue.len();
+                    }
+                }
+            }
             match run.outcome {
                 ExecOutcome::Yield(YieldKind::Sent { to, .. }) => {
                     // Causal order: the receiver processes next, then
@@ -537,7 +583,7 @@ impl Runtime {
                     work.push(to);
                 }
                 ExecOutcome::Yield(YieldKind::Created { id: new_id, .. }) => {
-                    meta.entry(new_id).or_default();
+                    self.inner.meta.lock().entry(new_id).or_default();
                     work.push(id);
                     work.push(new_id);
                 }
@@ -546,13 +592,16 @@ impl Runtime {
                 }
                 ExecOutcome::Blocked => {}
                 ExecOutcome::Deleted => {
-                    meta.remove(&id);
+                    self.inner.meta.lock().remove(&id);
                     self.inner.contexts.lock().remove(&id);
                 }
                 ExecOutcome::Error(e) => {
-                    let m = meta.entry(id).or_default();
-                    m.status = MachineStatus::Halted;
-                    m.error = Some(e.clone());
+                    {
+                        let mut meta = self.inner.meta.lock();
+                        let m = meta.entry(id).or_default();
+                        m.status = MachineStatus::Halted;
+                        m.error = Some(e.clone());
+                    }
                     first_err.get_or_insert(RuntimeError::Machine(e));
                 }
                 ExecOutcome::NeedChoice => {
@@ -624,39 +673,45 @@ impl Runtime {
     }
 
     /// Queue length of machine `id` (introspection).
+    ///
+    /// Reads the depth snapshot maintained alongside the supervision
+    /// metadata, so it never waits for the configuration lock (and thus
+    /// never blocks behind an in-progress atomic run).
     pub fn queue_len(&self, id: MachineId) -> Option<usize> {
-        let shared = self.inner.shared.lock();
-        Some(shared.config.machine(id)?.queue.len())
+        self.inner.meta.lock().get(&id).map(|m| m.queue_depth)
     }
 
     /// Supervision status of machine `id`, or `None` if it was never
     /// created (deleted machines are forgotten; halted and quarantined
     /// ones are remembered).
     pub fn machine_status(&self, id: MachineId) -> Option<MachineStatus> {
-        self.inner.shared.lock().meta.get(&id).map(|m| m.status)
+        self.inner.meta.lock().get(&id).map(|m| m.status)
     }
 
     /// The panic message that quarantined machine `id`, if any.
     pub fn quarantine_reason(&self, id: MachineId) -> Option<String> {
         self.inner
-            .shared
-            .lock()
             .meta
+            .lock()
             .get(&id)
             .and_then(|m| m.fault.clone())
     }
 
     /// Snapshot of the runtime's supervision counters.
+    ///
+    /// Like [`Runtime::queue_len`], this reads only the metadata table —
+    /// a stats poll during a long drain returns immediately instead of
+    /// serializing behind the machine table.
     pub fn stats(&self) -> RuntimeStats {
-        let shared = self.inner.shared.lock();
-        let mut machines: Vec<MachineStats> = shared
-            .meta
+        let meta = self.inner.meta.lock();
+        let mut machines: Vec<MachineStats> = meta
             .iter()
             .map(|(id, m)| MachineStats {
                 machine: *id,
                 status: m.status,
                 delivered: m.delivered,
                 dropped: m.dropped,
+                queue_len: m.queue_depth,
             })
             .collect();
         machines.sort_by_key(|m| m.machine.0);
@@ -679,7 +734,7 @@ impl Runtime {
 
     /// Records an event dropped before delivery (pump overflow policy).
     pub(crate) fn note_dropped(&self, id: MachineId) {
-        self.inner.shared.lock().meta.entry(id).or_default().dropped += 1;
+        self.inner.meta.lock().entry(id).or_default().dropped += 1;
         #[cfg(feature = "telemetry")]
         {
             self.inner.telemetry.instant(id.0, "drop", Vec::new);

@@ -1,0 +1,325 @@
+//! Shard-local executor state: per-machine bounded mailboxes, the ready
+//! queue, and credit-based injection backpressure.
+//!
+//! A shard owns one [`Runtime`] (its own configuration — shards never
+//! share a machine table, which is what makes them parallel) plus one
+//! bounded [`Mailbox`] per local machine. Producers deposit envelopes
+//! under a shard-wide credit budget; workers drain mailboxes in batches.
+//! Two invariants carry the executor's correctness:
+//!
+//! * **Single drainer.** A machine's `scheduled` flag is set by whichever
+//!   producer transitions its mailbox from unscheduled to scheduled, and
+//!   cleared only by the worker that drained it. At most one worker ever
+//!   pops a given mailbox at a time, so per-machine FIFO order and
+//!   run-to-completion are preserved no matter how many workers steal.
+//! * **Credit-on-pop.** An injection credit is consumed when an envelope
+//!   enters a mailbox and released when a worker *pops* it (not when the
+//!   run completes), mirroring the slot semantics of the bounded channel
+//!   this design replaces: a producer may claim the freed slot while the
+//!   popped event is still being processed.
+//!
+//! Lock order: `credits` before a mailbox `queue` (push side). The pop
+//! side drops the queue lock before touching credits, so the two paths
+//! never deadlock.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::{Condvar, Mutex, RwLock};
+
+use p_semantics::{MachineId, Value};
+
+use crate::{OverflowPolicy, Runtime, RuntimeError};
+
+/// One event waiting in a mailbox.
+pub(crate) struct Envelope {
+    /// Target machine, in the owning shard's local id space.
+    pub local: MachineId,
+    /// Event name (resolved against the shard runtime at delivery).
+    pub event: String,
+    /// Event payload, already translated into the shard's id space.
+    pub payload: Value,
+    /// When the injection entered the mailbox, for latency accounting.
+    pub at: Instant,
+}
+
+/// A per-machine bounded FIFO of pending injections.
+pub(crate) struct Mailbox {
+    queue: Mutex<VecDeque<Envelope>>,
+    /// Cached `queue.len()`, readable without the queue lock.
+    depth: AtomicUsize,
+    /// True while the machine sits in a ready queue or a worker is
+    /// draining its batch (the single-drainer flag).
+    scheduled: AtomicBool,
+}
+
+impl Mailbox {
+    fn new() -> Mailbox {
+        Mailbox {
+            queue: Mutex::new(VecDeque::new()),
+            depth: AtomicUsize::new(0),
+            scheduled: AtomicBool::new(false),
+        }
+    }
+
+    /// Events currently queued (lock-free snapshot).
+    pub(crate) fn depth(&self) -> usize {
+        self.depth.load(Ordering::Acquire)
+    }
+}
+
+/// Monotonic per-shard counters, updated with relaxed atomics.
+#[derive(Default)]
+pub(crate) struct ShardCounters {
+    pub delivered: AtomicU64,
+    pub failed: AtomicU64,
+    pub dropped: AtomicU64,
+    pub steals: AtomicU64,
+    pub batches: AtomicU64,
+    pub timer_fired: AtomicU64,
+    /// High-water mark over every mailbox depth seen on this shard.
+    pub max_depth: AtomicU64,
+}
+
+/// One executor shard: a runtime, its mailboxes, and its scheduling state.
+pub(crate) struct Shard {
+    /// The runtime owning this shard's machines. Every delivery goes
+    /// through `Runtime::add_event`, so run-to-completion and the
+    /// supervision model (quarantine, halt, typed errors) apply per
+    /// shard exactly as they do for a standalone runtime.
+    pub runtime: Runtime,
+    mailboxes: RwLock<Vec<Arc<Mailbox>>>,
+    /// Machines whose scheduled flag is set, awaiting a worker.
+    ready: Mutex<VecDeque<MachineId>>,
+    /// Worker parking spot, paired with `ready`.
+    wake: Condvar,
+    /// Injection credits remaining (shard-wide bound on queued events).
+    credits: Mutex<usize>,
+    /// Producers blocked for credits/mailbox space, paired with `credits`.
+    space: Condvar,
+    /// Envelopes currently queued across this shard's mailboxes.
+    pub queued: AtomicUsize,
+    pub counters: ShardCounters,
+    /// Completed injection-to-completion latencies in nanoseconds
+    /// (recorded only when the executor enables latency sampling).
+    pub latencies: Mutex<Vec<u64>>,
+    /// Per-mailbox queue bound.
+    capacity: usize,
+}
+
+impl Shard {
+    pub(crate) fn new(runtime: Runtime, capacity: usize, credits: usize) -> Shard {
+        Shard {
+            runtime,
+            mailboxes: RwLock::new(Vec::new()),
+            ready: Mutex::new(VecDeque::new()),
+            wake: Condvar::new(),
+            credits: Mutex::new(credits.max(1)),
+            space: Condvar::new(),
+            queued: AtomicUsize::new(0),
+            counters: ShardCounters::default(),
+            latencies: Mutex::new(Vec::new()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Number of machines with a mailbox on this shard.
+    pub(crate) fn machine_count(&self) -> usize {
+        self.mailboxes.read().len()
+    }
+
+    /// Injection credits currently unclaimed.
+    pub(crate) fn credits_free(&self) -> usize {
+        *self.credits.lock()
+    }
+
+    /// The mailbox for `local`, growing the table on demand (machines
+    /// created directly on an adopted runtime get theirs lazily).
+    pub(crate) fn mailbox(&self, local: MachineId) -> Arc<Mailbox> {
+        let idx = local.0 as usize;
+        {
+            let boxes = self.mailboxes.read();
+            if let Some(mb) = boxes.get(idx) {
+                return Arc::clone(mb);
+            }
+        }
+        let mut boxes = self.mailboxes.write();
+        while boxes.len() <= idx {
+            boxes.push(Arc::new(Mailbox::new()));
+        }
+        Arc::clone(&boxes[idx])
+    }
+
+    /// Delivers `env` into its mailbox under `policy`.
+    ///
+    /// `Block` waits for a credit and mailbox space (bounded by
+    /// `deadline` when given, surfacing `QueueFull` on expiry);
+    /// `DropNewest` counts the overflow against the target machine and
+    /// reports success; `Fail` returns `QueueFull` immediately. A raised
+    /// stop flag aborts the wait with `PumpStopped`.
+    pub(crate) fn push(
+        &self,
+        env: Envelope,
+        policy: OverflowPolicy,
+        deadline: Option<Instant>,
+        stop: &AtomicBool,
+    ) -> Result<(), RuntimeError> {
+        let local = env.local;
+        let mb = self.mailbox(local);
+        let mut credits = self.credits.lock();
+        loop {
+            if stop.load(Ordering::SeqCst) {
+                return Err(RuntimeError::PumpStopped);
+            }
+            if *credits > 0 {
+                let mut q = mb.queue.lock();
+                if q.len() < self.capacity {
+                    *credits -= 1;
+                    q.push_back(env);
+                    let depth = q.len();
+                    mb.depth.store(depth, Ordering::Release);
+                    drop(q);
+                    self.queued.fetch_add(1, Ordering::SeqCst);
+                    self.counters
+                        .max_depth
+                        .fetch_max(depth as u64, Ordering::Relaxed);
+                    drop(credits);
+                    self.schedule(&mb, local);
+                    return Ok(());
+                }
+            }
+            match policy {
+                OverflowPolicy::Block => match deadline {
+                    None => self.space.wait(&mut credits),
+                    Some(d) => {
+                        if self.space.wait_until(&mut credits, d).timed_out() {
+                            return Err(RuntimeError::QueueFull);
+                        }
+                    }
+                },
+                OverflowPolicy::DropNewest => {
+                    self.counters.dropped.fetch_add(1, Ordering::Relaxed);
+                    drop(credits);
+                    self.runtime.note_dropped(local);
+                    return Ok(());
+                }
+                OverflowPolicy::Fail => return Err(RuntimeError::QueueFull),
+            }
+        }
+    }
+
+    /// Non-blocking push (used by the timer thread and retry loops);
+    /// hands the envelope back when no credit or mailbox slot is free.
+    pub(crate) fn try_push(&self, env: Envelope) -> Result<(), Envelope> {
+        let local = env.local;
+        let mb = self.mailbox(local);
+        let mut credits = self.credits.lock();
+        if *credits == 0 {
+            return Err(env);
+        }
+        let mut q = mb.queue.lock();
+        if q.len() >= self.capacity {
+            return Err(env);
+        }
+        *credits -= 1;
+        q.push_back(env);
+        let depth = q.len();
+        mb.depth.store(depth, Ordering::Release);
+        drop(q);
+        self.queued.fetch_add(1, Ordering::SeqCst);
+        self.counters
+            .max_depth
+            .fetch_max(depth as u64, Ordering::Relaxed);
+        drop(credits);
+        self.schedule(&mb, local);
+        Ok(())
+    }
+
+    /// Marks `local` ready if it is not already scheduled.
+    fn schedule(&self, mb: &Mailbox, local: MachineId) {
+        if mb
+            .scheduled
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            self.ready.lock().push_back(local);
+            self.wake.notify_one();
+        }
+    }
+
+    /// Pops one envelope from `mb`, releasing its injection credit.
+    ///
+    /// The queue lock is dropped before credits are touched (see the
+    /// module-level lock order).
+    pub(crate) fn pop_envelope(&self, mb: &Mailbox) -> Option<Envelope> {
+        let env = {
+            let mut q = mb.queue.lock();
+            let env = q.pop_front();
+            if env.is_some() {
+                mb.depth.store(q.len(), Ordering::Release);
+            }
+            env
+        }?;
+        {
+            let mut credits = self.credits.lock();
+            *credits += 1;
+        }
+        self.space.notify_all();
+        self.queued.fetch_sub(1, Ordering::SeqCst);
+        Some(env)
+    }
+
+    /// Called by a worker after draining a batch from `local`: requeues
+    /// the machine if more work arrived mid-batch (round-robin fairness),
+    /// otherwise clears the scheduled flag — then re-checks the depth to
+    /// close the race against a push that saw the flag still set.
+    pub(crate) fn reschedule_after_batch(&self, mb: &Mailbox, local: MachineId) {
+        if mb.depth() > 0 {
+            self.ready.lock().push_back(local);
+            self.wake.notify_one();
+            return;
+        }
+        mb.scheduled.store(false, Ordering::Release);
+        if mb.depth() > 0 {
+            self.schedule(mb, local);
+        }
+    }
+
+    /// Next ready machine for this shard's own worker (FIFO end).
+    pub(crate) fn pop_ready(&self) -> Option<MachineId> {
+        self.ready.lock().pop_front()
+    }
+
+    /// Steals a ready machine for a foreign worker (LIFO end, so the
+    /// victim's oldest work stays with its own worker).
+    pub(crate) fn steal_ready(&self) -> Option<MachineId> {
+        self.ready.lock().pop_back()
+    }
+
+    /// Parks the calling worker until readied work arrives or `timeout`
+    /// elapses (short, so stop-flag changes are observed promptly).
+    pub(crate) fn park(&self, timeout: std::time::Duration) {
+        let mut ready = self.ready.lock();
+        if ready.is_empty() {
+            self.wake.wait_for(&mut ready, timeout);
+        }
+    }
+
+    /// Wakes the shard's worker (used at shutdown).
+    pub(crate) fn wake_worker(&self) {
+        let _ready = self.ready.lock();
+        self.wake.notify_all();
+    }
+
+    /// Stop-flag barrier: any producer that read the stop flag as clear
+    /// and is already inside [`Shard::push`] holds (or queues on) the
+    /// credits lock; cycling it here guarantees that after this call no
+    /// new envelope can enter the shard. Waiters are woken to observe
+    /// the flag.
+    pub(crate) fn barrier(&self) {
+        drop(self.credits.lock());
+        self.space.notify_all();
+    }
+}

@@ -3,18 +3,19 @@
 //! This workspace builds in hermetic environments with no crates.io
 //! access, so the external dependencies are replaced by local shims that
 //! implement exactly the API surface the workspace uses. This shim
-//! provides [`Mutex`] with `parking_lot`'s two observable differences
-//! from `std::sync::Mutex`:
+//! provides [`Mutex`], [`Condvar`] and [`RwLock`] with `parking_lot`'s
+//! two observable differences from their `std::sync` counterparts:
 //!
-//! * `lock()` returns the guard directly (no `Result`);
-//! * a panic while the lock is held does **not** poison it — the next
-//!   `lock()` succeeds and sees whatever state the panicking holder left
-//!   behind. The fault-supervision layer in `p-runtime` depends on this:
-//!   quarantining a panicked machine is only useful if the shared
+//! * locking returns the guard directly (no `Result`);
+//! * a panic while a lock is held does **not** poison it — the next
+//!   acquisition succeeds and sees whatever state the panicking holder
+//!   left behind. The fault-supervision layer in `p-runtime` depends on
+//!   this: quarantining a panicked machine is only useful if the shared
 //!   configuration lock stays usable.
 
 use std::fmt;
 use std::sync::TryLockError;
+use std::time::{Duration, Instant};
 
 /// A mutual-exclusion primitive with non-poisoning semantics.
 pub struct Mutex<T: ?Sized> {
@@ -22,8 +23,12 @@ pub struct Mutex<T: ?Sized> {
 }
 
 /// RAII guard returned by [`Mutex::lock`].
+///
+/// The inner `std` guard sits behind an `Option` so [`Condvar`] can take
+/// it out for the duration of a wait and put the reacquired guard back;
+/// it is `Some` at every moment user code can observe.
 pub struct MutexGuard<'a, T: ?Sized> {
-    inner: std::sync::MutexGuard<'a, T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
 }
 
 impl<T> Mutex<T> {
@@ -51,15 +56,15 @@ impl<T: ?Sized> Mutex<T> {
             .inner
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner());
-        MutexGuard { inner: guard }
+        MutexGuard { inner: Some(guard) }
     }
 
     /// Attempts to acquire the lock without blocking.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
         match self.inner.try_lock() {
-            Ok(guard) => Some(MutexGuard { inner: guard }),
+            Ok(guard) => Some(MutexGuard { inner: Some(guard) }),
             Err(TryLockError::Poisoned(poisoned)) => Some(MutexGuard {
-                inner: poisoned.into_inner(),
+                inner: Some(poisoned.into_inner()),
             }),
             Err(TryLockError::WouldBlock) => None,
         }
@@ -91,11 +96,188 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
 impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        &self.inner
+        self.inner.as_ref().expect("guard holds the lock")
     }
 }
 
 impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard holds the lock")
+    }
+}
+
+/// Whether a timed [`Condvar`] wait returned because its timeout
+/// elapsed (rather than a notification).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// True if the wait timed out.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// A condition variable for [`Mutex`], with `parking_lot`'s guard-by-
+/// reference wait API.
+#[derive(Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Condvar {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Blocks until notified, atomically releasing and reacquiring the
+    /// guard's lock around the wait.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.inner.take().expect("guard holds the lock");
+        let inner = self
+            .inner
+            .wait(inner)
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        guard.inner = Some(inner);
+    }
+
+    /// Blocks until notified or `timeout` elapses.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.inner.take().expect("guard holds the lock");
+        let (inner, result) = self
+            .inner
+            .wait_timeout(inner, timeout)
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        guard.inner = Some(inner);
+        WaitTimeoutResult {
+            timed_out: result.timed_out(),
+        }
+    }
+
+    /// Blocks until notified or the `deadline` instant passes.
+    pub fn wait_until<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        deadline: Instant,
+    ) -> WaitTimeoutResult {
+        let timeout = deadline.saturating_duration_since(Instant::now());
+        self.wait_for(guard, timeout)
+    }
+
+    /// Wakes one blocked waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes every blocked waiter.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}
+
+/// A reader-writer lock with non-poisoning semantics.
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<T>,
+}
+
+/// Shared-access guard returned by [`RwLock::read`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockReadGuard<'a, T>,
+}
+
+/// Exclusive-access guard returned by [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a new reader-writer lock.
+    pub const fn new(value: T) -> RwLock<T> {
+        RwLock {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the underlying data.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared access, blocking until no writer holds the lock.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        let guard = self
+            .inner
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        RwLockReadGuard { inner: guard }
+    }
+
+    /// Acquires exclusive access, blocking until the lock is free.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let guard = self
+            .inner
+            .write()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        RwLockWriteGuard { inner: guard }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner
+            .get_mut()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> RwLock<T> {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.inner.try_read() {
+            Ok(guard) => f.debug_struct("RwLock").field("data", &&*guard).finish(),
+            Err(_) => f.debug_struct("RwLock").field("data", &"<locked>").finish(),
+        }
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
         &mut self.inner
     }
@@ -134,5 +316,49 @@ mod tests {
         assert!(m.try_lock().is_none());
         drop(g);
         assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn condvar_wakes_a_waiter() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let waiter = std::thread::spawn(move || {
+            let (lock, cv) = &*pair2;
+            let mut ready = lock.lock();
+            while !*ready {
+                cv.wait(&mut ready);
+            }
+        });
+        {
+            let (lock, cv) = &*pair;
+            *lock.lock() = true;
+            cv.notify_one();
+        }
+        waiter.join().unwrap();
+    }
+
+    #[test]
+    fn condvar_timed_waits_report_timeout() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        assert!(cv.wait_for(&mut g, Duration::from_millis(5)).timed_out());
+        let deadline = Instant::now() + Duration::from_millis(5);
+        assert!(cv.wait_until(&mut g, deadline).timed_out());
+        // A deadline already in the past returns immediately.
+        assert!(cv
+            .wait_until(&mut g, Instant::now() - Duration::from_millis(1))
+            .timed_out());
+    }
+
+    #[test]
+    fn rwlock_allows_parallel_readers() {
+        let l = RwLock::new(5);
+        let r1 = l.read();
+        let r2 = l.read();
+        assert_eq!(*r1 + *r2, 10);
+        drop((r1, r2));
+        *l.write() += 1;
+        assert_eq!(*l.read(), 6);
     }
 }

@@ -41,7 +41,7 @@ pub use metrics::{Counter, GaugeCell, Histogram, MetricsRegistry, HISTOGRAM_BUCK
 pub use progress::Progress;
 pub use record::{AttrValue, Attrs, ExplorationSnapshot, Record, RecordKind};
 pub use ring::RingRecorder;
-pub use schema::{BenchReport, ExplorationMetrics};
+pub use schema::{BenchReport, ExplorationMetrics, RuntimeBenchReport, RuntimeBenchRow};
 pub use sink::{NullSink, TelemetrySink};
 
 struct Inner {

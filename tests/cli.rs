@@ -332,6 +332,47 @@ fn run_drives_a_machine() {
 }
 
 #[test]
+fn run_shards_drives_the_sharded_executor() {
+    let out = p_bin()
+        .args([
+            "run",
+            corpus_file("usb_dsm.p").to_str().unwrap(),
+            "DeviceSm",
+            "Attach",
+            "PowerOn",
+            "BusReset",
+            "SetAddress:5",
+            "--shards",
+            "4",
+            "--stats",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("(4 shard(s))"), "{text}");
+    // Same end state as the single-runtime path above.
+    assert!(text.contains("state = AddressState"), "{text}");
+    // --stats prints the executor report with per-shard rows.
+    assert!(text.contains("\"delivered\": 4"), "{text}");
+    assert!(text.contains("\"shard\": 3"), "{text}");
+
+    let out = p_bin()
+        .args([
+            "run",
+            corpus_file("usb_dsm.p").to_str().unwrap(),
+            "DeviceSm",
+            "Attach",
+            "--shards",
+            "0",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--shards must be at least 1"));
+}
+
+#[test]
 fn liveness_flags_spinner() {
     let spinner = write_temp(
         "spin.p",
